@@ -1,0 +1,118 @@
+//! Criterion benchmarks of the end-to-end flows behind each experiment.
+//!
+//! One bench per paper artifact class: the block-level flow (Tables 2/3),
+//! the folding flow under both bonding styles (Tables 4, Figs 2/6/7), the
+//! second-level SPC fold (Fig 3) and a full-chip assembly (Table 5 /
+//! Fig 8). All run on the reduced `tiny` design so `cargo bench` stays
+//! minutes-scale; the `repro` binary runs the full-size reproduction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use foldic::prelude::*;
+use foldic_timing::TimingBudgets;
+
+fn bench_flows(c: &mut Criterion) {
+    let (design, tech) = T2Config::tiny().generate();
+
+    c.bench_function("block_flow_l2t_2d", |b| {
+        b.iter_batched(
+            || design.clone(),
+            |mut d| {
+                let id = d.find_block("l2t0").unwrap();
+                let block = d.block_mut(id);
+                let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
+                run_block_flow(block, &tech, &budgets, &FlowConfig::fast())
+                    .metrics
+                    .power
+                    .total_uw()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    for bonding in [BondingStyle::FaceToBack, BondingStyle::FaceToFace] {
+        c.bench_function(&format!("fold_l2t_{bonding}"), |b| {
+            b.iter_batched(
+                || design.clone(),
+                |mut d| {
+                    let id = d.find_block("l2t0").unwrap();
+                    let cfg = FoldConfig {
+                        bonding,
+                        placer: foldic_place::PlacerConfig::fast(),
+                        ..FoldConfig::default()
+                    };
+                    fold_block(d.block_mut(id), &tech, &cfg).metrics.power.total_uw()
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+
+    c.bench_function("fold_ccx_natural", |b| {
+        b.iter_batched(
+            || design.clone(),
+            |mut d| {
+                let id = d.find_block("ccx").unwrap();
+                let cfg = FoldConfig {
+                    strategy: FoldStrategy::NaturalGroups(vec!["pcx".into()]),
+                    aspect: FoldAspect::Square,
+                    bonding: BondingStyle::FaceToBack,
+                    placer: foldic_place::PlacerConfig::fast(),
+                    ..FoldConfig::default()
+                };
+                fold_block(d.block_mut(id), &tech, &cfg).cut
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    c.bench_function("fold_spc_second_level", |b| {
+        b.iter_batched(
+            || design.clone(),
+            |mut d| {
+                let id = d.find_block("spc0").unwrap();
+                let cfg = FoldConfig {
+                    bonding: BondingStyle::FaceToFace,
+                    placer: foldic_place::PlacerConfig::fast(),
+                    ..FoldConfig::default()
+                };
+                fold_spc_second_level(d.block_mut(id), &tech, &cfg)
+                    .metrics
+                    .num_3d_connections
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    c.bench_function("fullchip_2d_tiny", |b| {
+        b.iter_batched(
+            || design.clone(),
+            |mut d| {
+                run_fullchip(&mut d, &tech, DesignStyle::Flat2d, &FullChipConfig::fast())
+                    .chip
+                    .power
+                    .total_uw()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    c.bench_function("fullchip_core_cache_tiny", |b| {
+        b.iter_batched(
+            || design.clone(),
+            |mut d| {
+                run_fullchip(&mut d, &tech, DesignStyle::CoreCache, &FullChipConfig::fast())
+                    .chip
+                    .power
+                    .total_uw()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = flows;
+    config = Criterion::default().sample_size(10);
+    targets = bench_flows
+}
+criterion_main!(flows);

@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the tool-chain kernels.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use foldic_geom::{Point, Rect};
+use foldic_partition::{bipartition, PartitionConfig};
+use foldic_place::{place_block, PlacerConfig, QuadraticSystem};
+use foldic_route::{place_vias, BlockWiring, GlobalRouter, SteinerTree};
+use foldic_t2::T2Config;
+use foldic_tech::BondingStyle;
+use foldic_timing::{analyze, StaConfig, TimingBudgets};
+
+fn bench_kernels(c: &mut Criterion) {
+    let (design, tech) = T2Config::tiny().generate();
+    let l2t = design.block(design.find_block("l2t0").unwrap()).clone();
+    let outline = l2t.outline;
+
+    c.bench_function("steiner_tree_16pin", |b| {
+        let driver = Point::new(0.0, 0.0);
+        let sinks: Vec<Point> = (0..16)
+            .map(|i| Point::new((i * 37 % 100) as f64, (i * 53 % 100) as f64))
+            .collect();
+        b.iter(|| SteinerTree::build(driver, &sinks).total_length());
+    });
+
+    c.bench_function("fm_bipartition_l2t", |b| {
+        b.iter(|| bipartition(&l2t.netlist, &tech, &PartitionConfig::default()).cut);
+    });
+
+    c.bench_function("quadratic_system_build_l2t", |b| {
+        b.iter(|| QuadraticSystem::build(&l2t.netlist, outline).num_movable());
+    });
+
+    c.bench_function("placer_full_l2t", |b| {
+        b.iter_batched(
+            || l2t.netlist.clone(),
+            |mut nl| place_block(&mut nl, &tech, outline, &PlacerConfig::fast()),
+            BatchSize::LargeInput,
+        );
+    });
+
+    c.bench_function("wiring_analysis_l2t", |b| {
+        b.iter(|| BlockWiring::analyze(&l2t.netlist, &tech, 1.1, None).total_um);
+    });
+
+    c.bench_function("sta_l2t", |b| {
+        let wiring = BlockWiring::analyze(&l2t.netlist, &tech, 1.1, None);
+        let budgets = TimingBudgets::relaxed(&l2t.netlist, &tech);
+        b.iter(|| analyze(&l2t.netlist, &tech, &wiring, &budgets, &StaConfig::default()).tns_ps);
+    });
+
+    c.bench_function("via_placement_f2f", |b| {
+        // fold crudely so tier-crossing nets exist
+        let mut nl = l2t.netlist.clone();
+        let ids: Vec<_> = nl.inst_ids().collect();
+        for (k, id) in ids.into_iter().enumerate() {
+            if k % 2 == 0 {
+                nl.inst_mut(id).tier = foldic_geom::Tier::Top;
+            }
+        }
+        b.iter(|| place_vias(&nl, &tech, outline, BondingStyle::FaceToFace).len());
+    });
+
+    c.bench_function("cts_rebuild_l2t", |b| {
+        b.iter_batched(
+            || l2t.netlist.clone(),
+            |mut nl| foldic_opt::cts::synthesize_clock_tree(&mut nl, &tech).buffers,
+            BatchSize::LargeInput,
+        );
+    });
+
+    c.bench_function("thermal_solve_64x64x2", |b| {
+        let map = foldic_thermal::PowerMap::uniform(64, 64, 0.125, 5.0e6);
+        let cfg = foldic_thermal::StackConfig::f2f();
+        b.iter(|| foldic_thermal::solve_stack(&[map.clone(), map.clone()], &cfg).max_c);
+    });
+
+    c.bench_function("power_census_l2t", |b| {
+        let wiring = BlockWiring::analyze(&l2t.netlist, &tech, 1.1, None);
+        let cfg = foldic_power::PowerConfig::for_block(&l2t);
+        b.iter(|| foldic_power::power_census(&l2t.netlist, &tech, &wiring, &cfg).total_uw());
+    });
+
+    c.bench_function("global_router_500nets", |b| {
+        b.iter(|| {
+            let mut r = GlobalRouter::new(Rect::new(0.0, 0.0, 5000.0, 5000.0), 100.0, 1.5);
+            let mut total = 0.0;
+            for i in 0..500u64 {
+                let a = Point::new((i * 97 % 5000) as f64, (i * 31 % 5000) as f64);
+                let bpt = Point::new((i * 53 % 5000) as f64, (i * 71 % 5000) as f64);
+                total += r.route(a, bpt, 1.0);
+            }
+            total
+        });
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(kernels);

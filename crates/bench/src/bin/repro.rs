@@ -1,0 +1,107 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [EXPERIMENT...] [--size full|small|tiny]
+//!
+//! EXPERIMENT: table1 table2 table3 table4 table5
+//!             fig2 fig3 fig5 fig6 fig7 fig8
+//!             all (default)
+//! ```
+//!
+//! Output is printed to stdout; tee it into a file to archive a run.
+
+use foldic::prelude::*;
+use foldic_bench::{experiments, Ctx};
+use std::time::Instant;
+
+fn main() {
+    let mut size = "full".to_owned();
+    let mut picks: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--size" => {
+                size = args.next().unwrap_or_else(|| {
+                    eprintln!("--size needs a value (full|small|tiny)");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [EXPERIMENT...] [--size full|small|tiny]\n\
+                     experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6 fig7 fig8 thermal ablations layouts all"
+                );
+                return;
+            }
+            other => picks.push(other.to_owned()),
+        }
+    }
+    if picks.is_empty() {
+        picks.push("all".to_owned());
+    }
+    let cfg = match size.as_str() {
+        "full" => T2Config::full(),
+        "small" => T2Config::small(),
+        "tiny" => T2Config::tiny(),
+        other => {
+            eprintln!("unknown size `{other}` (full|small|tiny)");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "foldic repro — synthetic OpenSPARC T2 @ size={size} (seed {:#x}, cluster {}x)",
+        cfg.seed, cfg.cluster_size
+    );
+    let t0 = Instant::now();
+    let mut ctx = Ctx::new(cfg);
+    println!(
+        "generated {} blocks, {} instances in {:?}\n",
+        ctx.design.num_blocks(),
+        ctx.design.total_insts(),
+        t0.elapsed()
+    );
+
+    let want = |name: &str, picks: &[String]| {
+        picks.iter().any(|p| p == name || p == "all")
+    };
+    let mut ran = 0;
+    macro_rules! run {
+        ($name:literal, $body:expr) => {
+            if want($name, &picks) {
+                let t = Instant::now();
+                let report = $body;
+                println!("{report}");
+                println!("[{} finished in {:?}]\n", $name, t.elapsed());
+                ran += 1;
+            }
+        };
+    }
+
+    run!("table1", experiments::table1(&ctx.tech));
+    run!("table2", experiments::table2(&mut ctx));
+    run!("table3", experiments::table3(&mut ctx));
+    run!("table4", experiments::table4(&mut ctx));
+    run!("fig2", experiments::fig2(&mut ctx));
+    run!("fig3", experiments::fig3(&mut ctx));
+    run!("fig5", experiments::fig5(&mut ctx));
+    run!("fig6", experiments::fig6(&mut ctx));
+    run!("fig7", experiments::fig7(&mut ctx));
+    run!("fig8", experiments::fig8(&mut ctx));
+    run!("table5", experiments::table5(&mut ctx));
+    run!("thermal", experiments::thermal(&mut ctx));
+    run!("ablations", experiments::ablations(&mut ctx));
+    if want("layouts", &picks) {
+        let t = Instant::now();
+        let report = experiments::layouts(&mut ctx, std::path::Path::new("layouts"));
+        println!("{report}");
+        println!("[layouts finished in {:?}]\n", t.elapsed());
+        ran += 1;
+    }
+
+    if ran == 0 {
+        eprintln!("no experiment matched {picks:?}; see --help");
+        std::process::exit(2);
+    }
+    println!("total wall time {:?}", t0.elapsed());
+}

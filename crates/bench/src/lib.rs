@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+//! Benchmark harness: regenerates every table and figure of the paper.
+//!
+//! The [`experiments`] module holds one runner per table/figure; each
+//! returns a formatted report comparing the measured values against the
+//! paper's published numbers ([`paper`]). The `repro` binary drives them
+//! from the command line; the Criterion benches in `benches/` time the
+//! underlying kernels.
+//!
+//! Absolute numbers are not expected to match the paper — the substrate
+//! is a synthetic design and an open tool chain, not the OpenSPARC T2 RTL
+//! under commercial sign-off tools. What must match is the *shape*: which
+//! design wins, by roughly what factor, and where the crossovers fall.
+
+pub mod experiments;
+pub mod paper;
+
+use foldic::prelude::*;
+use std::collections::HashMap;
+
+/// Shared experiment context: one generated design plus cached full-chip
+/// runs (several experiments read the same runs).
+pub struct Ctx {
+    /// The pristine generated design (cloned per run).
+    pub design: Design,
+    /// Matching technology.
+    pub tech: Technology,
+    /// Generation config used.
+    pub cfg: T2Config,
+    cache: HashMap<(DesignStyle, bool), FullChipResult>,
+}
+
+impl Ctx {
+    /// Generates the design for `cfg`.
+    pub fn new(cfg: T2Config) -> Self {
+        let (design, tech) = cfg.generate();
+        Self {
+            design,
+            tech,
+            cfg,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Runs (or returns the cached) full-chip flow for a style.
+    pub fn fullchip(&mut self, style: DesignStyle, dual_vth: bool) -> &FullChipResult {
+        if !self.cache.contains_key(&(style, dual_vth)) {
+            let mut design = self.design.clone();
+            let cfg = FullChipConfig {
+                dual_vth,
+                ..FullChipConfig::default()
+            };
+            let result = run_fullchip(&mut design, &self.tech, style, &cfg);
+            self.cache.insert((style, dual_vth), result);
+        }
+        &self.cache[&(style, dual_vth)]
+    }
+
+    /// Runs the plain 2D block flow on a clone of one block and returns
+    /// its metrics.
+    pub fn block_2d(&self, name: &str) -> DesignMetrics {
+        let mut d = self.design.clone();
+        let id = d.find_block(name).expect("known block");
+        let b = d.block_mut(id);
+        let budgets = foldic_timing::TimingBudgets::relaxed(&b.netlist, &self.tech);
+        foldic::flow::run_block_flow(b, &self.tech, &budgets, &FlowConfig::default()).metrics
+    }
+}
+
+/// Percentage delta, `(new − base) / base × 100`.
+pub fn pct(base: f64, new: f64) -> f64 {
+    foldic::metrics::pct(base, new)
+}
+
+/// Formats a `measured vs paper` delta pair.
+pub fn fmt_delta(measured: f64, paper: f64) -> String {
+    format!("{measured:+7.1}% (paper {paper:+6.1}%)")
+}

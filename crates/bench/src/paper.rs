@@ -1,0 +1,159 @@
+//! The paper's published numbers, transcribed from the DAC 2014 text.
+//!
+//! Used as the reference column in every regenerated table/figure. Some
+//! absolute values did not survive the available OCR of the paper; where a
+//! number is reconstructed from the prose it is marked in the doc comment.
+
+/// Table 2 — 2D vs 3D block-level designs (percent deltas vs 2D).
+pub mod table2 {
+    /// Footprint delta of both 3D styles.
+    pub const FOOTPRINT: f64 = -46.0;
+    /// Cell-count delta, core/cache / core/core.
+    pub const CELLS: [f64; 2] = [-2.4, -1.8];
+    /// Buffer-count delta.
+    pub const BUFFERS: [f64; 2] = [-16.3, -15.2];
+    /// Wirelength delta.
+    pub const WIRELENGTH: [f64; 2] = [-5.0, -5.4];
+    /// Total power delta.
+    pub const TOTAL_POWER: [f64; 2] = [-10.3, -9.1];
+    /// Cell power delta.
+    pub const CELL_POWER: [f64; 2] = [-15.6, -13.6];
+    /// Net power delta.
+    pub const NET_POWER: [f64; 2] = [-8.4, -8.2];
+    /// Leakage delta.
+    pub const LEAKAGE: [f64; 2] = [-9.9, -7.9];
+    /// Inter-block wirelength delta (§3.2 prose).
+    pub const INTERBLOCK_WL: [f64; 2] = [-15.6, -17.8];
+}
+
+/// Table 3 — folding-candidate census (per-copy power share %, net power
+/// portion %, long-wire count). Block names reconstructed from the prose
+/// (see DESIGN.md).
+pub const TABLE3: [(&str, f64, f64, f64, &str); 8] = [
+    ("SPC", 5.8, 55.1, 27_700.0, "CPU clock, 8X"),
+    ("RTX", 3.6, 44.4, 27_500.0, "I/O clock"),
+    ("CCX", 2.8, 57.6, 12_400.0, "CPU clock"),
+    ("L2D", 2.1, 29.2, 6_500.0, "8X"),
+    ("L2T", 1.8, 48.5, 6_000.0, "8X"),
+    ("RDP", 1.7, 48.9, 5_200.0, "I/O clock"),
+    ("TDS", 1.3, 43.1, 4_800.0, "I/O clock"),
+    ("MAC", 1.1, 40.7, 5_400.0, "I/O clock"),
+];
+
+/// Table 4 — 2D vs folded L2D (`scdata`), percent deltas.
+pub mod table4 {
+    /// Footprint delta.
+    pub const FOOTPRINT: f64 = -48.4;
+    /// Wirelength delta.
+    pub const WIRELENGTH: f64 = -6.4;
+    /// Buffer-count delta.
+    pub const BUFFERS: f64 = -33.5;
+    /// Total power delta.
+    pub const TOTAL_POWER: f64 = -5.1;
+    /// 2D net-power portion (§4.4 prose: "only about 29 %").
+    pub const NET_PORTION_2D: f64 = 29.0;
+}
+
+/// Table 5 — full-chip dual-Vth comparison (percent deltas vs 2D DVT).
+pub mod table5 {
+    /// Footprint: 3D w/o folding, 3D w/ folding.
+    pub const FOOTPRINT: [f64; 2] = [-46.0, -42.6];
+    /// Wirelength.
+    pub const WIRELENGTH: [f64; 2] = [-5.5, -8.9];
+    /// Cells.
+    pub const CELLS: [f64; 2] = [-4.3, -7.8];
+    /// Buffers.
+    pub const BUFFERS: [f64; 2] = [-17.9, -22.8];
+    /// HVT share of cells (%): 2D, 3D w/o folding, 3D w/ folding.
+    pub const HVT_SHARE: [f64; 3] = [87.8, 90.0, 94.0];
+    /// 3D connections: w/o folding (TSV), w/ folding (F2F).
+    pub const VIAS: [f64; 2] = [3_263.0, 112_044.0];
+    /// Total power.
+    pub const TOTAL_POWER: [f64; 2] = [-13.7, -20.3];
+    /// Cell power.
+    pub const CELL_POWER: [f64; 2] = [-21.2, -33.6];
+    /// Net power.
+    pub const NET_POWER: [f64; 2] = [-11.2, -14.8];
+    /// Leakage.
+    pub const LEAKAGE: [f64; 2] = [-12.4, -24.2];
+    /// DVT saving over the RVT-only build: 2D, 3D w/ folding (§6.2).
+    pub const DVT_VS_RVT: [f64; 2] = [-9.5, -11.4];
+}
+
+/// Fig. 2 — folding the crossbar.
+pub mod fig2 {
+    /// Footprint delta of the folded CCX.
+    pub const FOOTPRINT: f64 = -54.6;
+    /// Wirelength delta.
+    pub const WIRELENGTH: f64 = -28.8;
+    /// Buffer delta.
+    pub const BUFFERS: f64 = -62.5;
+    /// Power delta.
+    pub const TOTAL_POWER: f64 = -32.8;
+    /// Signal TSVs of the natural PCX/CPX split.
+    pub const TSVS: usize = 4;
+    /// TSV count of the most-connected alternative partition…
+    pub const SWEEP_TSVS: usize = 6_393;
+    /// …its TSV area overhead…
+    pub const SWEEP_AREA_OVERHEAD: f64 = 13.3;
+    /// …and the reduced power benefit it achieves.
+    pub const SWEEP_POWER: f64 = -23.4;
+}
+
+/// Fig. 3 — second-level folding of the SPARC core.
+pub mod fig3 {
+    /// FUBs folded out of 14.
+    pub const FOLDED_FUBS: usize = 6;
+    /// F2F via count.
+    pub const F2F_VIAS: usize = 10_251;
+    /// Deltas vs the SPC without second-level folding.
+    pub const WIRELENGTH_VS_BLOCK3D: f64 = -9.2;
+    /// Buffer delta vs block-level 3D.
+    pub const BUFFERS_VS_BLOCK3D: f64 = -10.8;
+    /// Power delta vs block-level 3D.
+    pub const POWER_VS_BLOCK3D: f64 = -5.1;
+    /// Power delta vs the 2D SPC.
+    pub const POWER_VS_2D: f64 = -21.2;
+}
+
+/// Fig. 6 — bonding-style impact on folded placement.
+pub mod fig6 {
+    /// L2D folded: F2F footprint vs F2B footprint.
+    pub const L2D_F2F_VS_F2B_FOOTPRINT: f64 = -2.6;
+    /// L2T folded: F2F footprint vs F2B footprint.
+    pub const L2T_F2F_VS_F2B_FOOTPRINT: f64 = -6.3;
+    /// TSV silicon share of the folded L2T die ("TSV area: ~10 %").
+    pub const TSV_AREA_SHARE: f64 = 10.0;
+    /// L2T folded under F2F vs F2B: wirelength delta (§5.2 prose).
+    pub const L2T_F2F_VS_F2B_WIRELENGTH: f64 = -11.1;
+    /// …buffer delta…
+    pub const L2T_F2F_VS_F2B_BUFFERS: f64 = -3.9;
+    /// …and power delta.
+    pub const L2T_F2F_VS_F2B_POWER: f64 = -4.1;
+}
+
+/// Fig. 7 — partition sweep of the folded L2T under both bonding styles.
+pub mod fig7 {
+    /// 3D-connection counts of partition cases #1–#5.
+    pub const CASE_VIAS: [usize; 5] = [1_014, 1_950, 2_451, 4_120, 5_073];
+    /// Case #5: F2F power vs F2B power.
+    pub const CASE5_F2F_VS_F2B: f64 = -16.2;
+}
+
+/// Fig. 8 — the five full-chip styles.
+pub mod fig8 {
+    /// Die footprints in mm²: 2D, core/cache, core/core, fold+TSV, fold+F2F.
+    pub const FOOTPRINT_MM2: [f64; 5] = [71.1, 38.4, 38.4, 39.6, 39.6];
+    /// 3D connection counts (0 for 2D).
+    pub const VIAS: [usize; 5] = [0, 3_263, 7_606, 69_091, 112_308];
+}
+
+/// Table 1 — 3D interconnect settings. The paper's exact cell values did
+/// not survive OCR; the reproduced table is generated from the same Katti
+/// model \[4\] with the geometry in `foldic_tech::via3d`, preserving the
+/// stated relations (TSV ≫ F2F via in size and capacitance; F2F via ≈ 2×
+/// the minimum M9 width).
+pub mod table1 {
+    /// Sanity relation: TSV capacitance must dwarf the F2F via's.
+    pub const TSV_OVER_F2F_CAP_MIN: f64 = 10.0;
+}

@@ -1,0 +1,219 @@
+//! The block-level physical design flow of §2.2.
+//!
+//! For each block: mixed-size placement, wiring analysis, STA against the
+//! chip-level port budgets, iterative timing optimization (buffer
+//! insertion, upsizing), power optimization (downsizing, optional HVT
+//! swap), and power sign-off.
+
+use crate::metrics::DesignMetrics;
+use foldic_netlist::{Block, InstMaster, Netlist};
+use foldic_opt::{optimize_block_with_vias, OptConfig, OptStats};
+use foldic_place::{place_block, PlacerConfig};
+use foldic_power::{analyze_block, PowerConfig};
+use foldic_route::{BlockWiring, ViaPlacement};
+use foldic_tech::{BondingStyle, CellKind, RoutingPolicy, Technology, VthClass};
+use foldic_timing::{analyze, StaConfig, TimingBudgets};
+
+/// Configuration of the block flow.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Placer settings.
+    pub placer: PlacerConfig,
+    /// Optimizer settings (layer/via fields are overwritten per block).
+    pub opt: OptConfig,
+    /// Bonding style of the stack the block lives in.
+    pub bonding: BondingStyle,
+    /// Enable the dual-Vth pass.
+    pub dual_vth: bool,
+    /// Routing-layer policy.
+    pub policy: RoutingPolicy,
+}
+
+impl FlowConfig {
+    /// Fast settings for tests.
+    pub fn fast() -> Self {
+        Self {
+            placer: PlacerConfig::fast(),
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self {
+            placer: PlacerConfig::quality(),
+            opt: OptConfig::default(),
+            bonding: BondingStyle::FaceToBack,
+            dual_vth: false,
+            policy: RoutingPolicy::dac14(),
+        }
+    }
+}
+
+/// Outcome of running the flow on one block.
+#[derive(Debug, Clone)]
+pub struct BlockResult {
+    /// Sign-off metrics.
+    pub metrics: DesignMetrics,
+    /// What the optimizer did.
+    pub opt: OptStats,
+}
+
+/// Effective routing-layer ceiling for STA/power inside a block.
+pub fn block_max_layer(block: &Block, bonding: BondingStyle, policy: &RoutingPolicy) -> usize {
+    if block.routing_hungry() {
+        return policy.hungry_max_layer;
+    }
+    if block.folded {
+        // F2B folded blocks mix an M7 bottom die and an M9 top die; F2F
+        // folded blocks route through M9 on both dies
+        return match bonding {
+            BondingStyle::FaceToBack => policy.block_max_layer + 1,
+            BondingStyle::FaceToFace => policy.hungry_max_layer,
+        };
+    }
+    policy.block_max_layer
+}
+
+/// Collects [`DesignMetrics`] from a finished (placed + optimized) block.
+pub fn collect_metrics(
+    netlist: &Netlist,
+    block: &Block,
+    tech: &Technology,
+    wiring: &BlockWiring,
+    vias: Option<&ViaPlacement>,
+    power: foldic_power::PowerReport,
+    wns_ps: f64,
+) -> DesignMetrics {
+    let mut m = DesignMetrics {
+        footprint_um2: block.outline.area(),
+        wirelength_um: wiring.total_um,
+        long_wires: wiring.long_wires,
+        num_3d_connections: vias.map(|v| v.len()).unwrap_or(0),
+        power,
+        wns_ps,
+        ..Default::default()
+    };
+    for (_, inst) in netlist.insts() {
+        match inst.master {
+            InstMaster::Cell(id) => {
+                let master = tech.cells.master(id);
+                m.num_cells += 1;
+                if matches!(master.kind, CellKind::Buf | CellKind::ClkBuf) {
+                    m.num_buffers += 1;
+                }
+                if master.vth == VthClass::Hvt {
+                    m.num_hvt += 1;
+                }
+            }
+            InstMaster::Macro(_) => m.num_macros += 1,
+        }
+    }
+    m
+}
+
+/// Runs the full flow on an *unfolded* block in place: placement,
+/// optimization and sign-off. The block's netlist is mutated (placement,
+/// buffers, sizing, Vth).
+pub fn run_block_flow(
+    block: &mut Block,
+    tech: &Technology,
+    budgets: &TimingBudgets,
+    cfg: &FlowConfig,
+) -> BlockResult {
+    let outline = block.outline;
+    let max_layer = block_max_layer(block, cfg.bonding, &cfg.policy);
+
+    // 1. placement
+    place_block(&mut block.netlist, tech, outline, &cfg.placer);
+
+    // 2. timing + power optimization
+    let mut opt_cfg = cfg.opt.clone();
+    opt_cfg.max_layer = max_layer;
+    opt_cfg.via_kind = None;
+    opt_cfg.dual_vth = cfg.dual_vth;
+    let opt = optimize_block_with_vias(&mut block.netlist, tech, budgets, &opt_cfg, None);
+
+    // 3. sign-off
+    let wiring = BlockWiring::analyze(&block.netlist, tech, opt_cfg.detour, None);
+    let sta = analyze(
+        &block.netlist,
+        tech,
+        &wiring,
+        budgets,
+        &StaConfig {
+            max_layer,
+            via_kind: None,
+        },
+    );
+    let mut pw_cfg = PowerConfig::for_block(block);
+    pw_cfg.max_layer = max_layer;
+    let power = analyze_block(&block.netlist, tech, &wiring, &pw_cfg);
+    let metrics = collect_metrics(&block.netlist, block, tech, &wiring, None, power, sta.wns_ps);
+    BlockResult { metrics, opt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foldic_t2::T2Config;
+
+    #[test]
+    fn flow_produces_consistent_metrics() {
+        let (mut design, tech) = T2Config::tiny().generate();
+        let id = design.find_block("mcu0").unwrap();
+        let block = design.block_mut(id);
+        let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
+        let before_cells = block
+            .netlist
+            .insts()
+            .filter(|(_, i)| !i.master.is_macro())
+            .count();
+        let result = run_block_flow(block, &tech, &budgets, &FlowConfig::fast());
+        assert!(result.metrics.num_cells >= before_cells, "buffers only add");
+        assert!(result.metrics.power.total_uw() > 0.0);
+        assert!(result.metrics.wirelength_um > 0.0);
+        assert_eq!(result.metrics.num_3d_connections, 0);
+        block.netlist.check().expect("flow keeps netlist sound");
+    }
+
+    #[test]
+    fn dvt_flow_reports_hvt_cells() {
+        let (mut design, tech) = T2Config::tiny().generate();
+        let id = design.find_block("ccu").unwrap();
+        let block = design.block_mut(id);
+        let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
+        let mut cfg = FlowConfig::fast();
+        cfg.dual_vth = true;
+        let result = run_block_flow(block, &tech, &budgets, &cfg);
+        assert!(result.metrics.num_hvt > 0);
+        assert!(result.metrics.hvt_fraction() > 0.3);
+    }
+
+    #[test]
+    fn layer_policy_follows_block_and_bonding() {
+        let (mut design, tech) = T2Config::tiny().generate();
+        let policy = RoutingPolicy::dac14();
+        let _ = tech;
+        let spc = design.find_block("spc0").unwrap();
+        assert_eq!(
+            block_max_layer(design.block(spc), BondingStyle::FaceToBack, &policy),
+            9
+        );
+        let mcu = design.find_block("mcu0").unwrap();
+        assert_eq!(
+            block_max_layer(design.block(mcu), BondingStyle::FaceToBack, &policy),
+            7
+        );
+        design.block_mut(mcu).folded = true;
+        assert_eq!(
+            block_max_layer(design.block(mcu), BondingStyle::FaceToBack, &policy),
+            8
+        );
+        assert_eq!(
+            block_max_layer(design.block(mcu), BondingStyle::FaceToFace, &policy),
+            9
+        );
+    }
+}

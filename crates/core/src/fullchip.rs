@@ -1,0 +1,536 @@
+//! Full-chip assembly: the five design styles of Fig. 8.
+//!
+//! A full-chip run (§3 and §6):
+//!
+//! 1. for folded styles, fold the five selected block types (SPC via
+//!    second-level FUB folding, CCX via the natural PCX/CPX split, L2D via
+//!    macro-row splitting, L2T and RTX via min-cut);
+//! 2. floorplan the blocks (user-defined arrangements per style) and plan
+//!    chip-level TSVs for cross-die nets;
+//! 3. derive per-block I/O timing budgets from the chip-level net lengths
+//!    (the §2.2 constraint-extraction step);
+//! 4. run the block flow on every unfolded block against those budgets;
+//! 5. route the inter-block nets on the M8–M9 over-the-block resources —
+//!    SPCs and F2F-folded blocks block them (§6.1) — and roll up chip
+//!    power, wirelength and via counts.
+
+use crate::flow::{run_block_flow, FlowConfig};
+use crate::folding::{
+    fold_block_with_budgets, fold_spc_second_level, FoldAspect, FoldConfig, FoldStrategy,
+};
+use crate::metrics::DesignMetrics;
+use foldic_floorplan::{floorplan_t2, plan_chip_tsvs, ChipPlan, FloorplanStyle};
+use foldic_geom::Point;
+use foldic_netlist::{BlockId, BlockKind, ClockDomain, Design};
+use foldic_opt::chip_repeater_spacing_um;
+use foldic_power::PowerReport;
+use foldic_route::GlobalRouter;
+use foldic_tech::{BondingStyle, CellKind, Drive, Technology, VthClass};
+use foldic_timing::TimingBudgets;
+use std::collections::HashMap;
+
+/// Effective chip-net delay per µm of routed length in ps (a buffered
+/// top-metal wire).
+const CHIP_DELAY_PS_PER_UM: f64 = 0.12;
+/// Toggle activity of inter-block buses.
+const CHIP_NET_ACTIVITY: f64 = 0.15;
+/// Fraction of the raw M8–M9 track supply available for signal routing.
+const TRACK_UTILIZATION: f64 = 0.6;
+
+/// The five full-chip design styles of Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignStyle {
+    /// 2D baseline (Fig. 8a).
+    Flat2d,
+    /// Core/cache stacking, F2B, no folding (Fig. 8b).
+    CoreCache,
+    /// Core/core stacking, F2B, no folding (Fig. 8c).
+    CoreCore,
+    /// Five block types folded, TSVs (Fig. 8d).
+    FoldedF2b,
+    /// Five block types folded, F2F vias (Fig. 8e).
+    FoldedF2f,
+}
+
+impl DesignStyle {
+    /// All five styles in Fig. 8 order.
+    pub const ALL: [DesignStyle; 5] = [
+        DesignStyle::Flat2d,
+        DesignStyle::CoreCache,
+        DesignStyle::CoreCore,
+        DesignStyle::FoldedF2b,
+        DesignStyle::FoldedF2f,
+    ];
+
+    /// `true` for two-tier styles.
+    pub fn is_3d(self) -> bool {
+        !matches!(self, DesignStyle::Flat2d)
+    }
+
+    /// Bonding style of the stack.
+    pub fn bonding(self) -> BondingStyle {
+        match self {
+            DesignStyle::FoldedF2f => BondingStyle::FaceToFace,
+            _ => BondingStyle::FaceToBack,
+        }
+    }
+
+    /// `true` when blocks are folded.
+    pub fn folded(self) -> bool {
+        matches!(self, DesignStyle::FoldedF2b | DesignStyle::FoldedF2f)
+    }
+
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignStyle::Flat2d => "2D",
+            DesignStyle::CoreCache => "3D core/cache",
+            DesignStyle::CoreCore => "3D core/core",
+            DesignStyle::FoldedF2b => "3D folded (F2B)",
+            DesignStyle::FoldedF2f => "3D folded (F2F)",
+        }
+    }
+}
+
+/// Full-chip run configuration.
+#[derive(Debug, Clone)]
+pub struct FullChipConfig {
+    /// Per-block flow settings.
+    pub flow: FlowConfig,
+    /// Fold RTX too (the paper builds both a 4-type and a 5-type variant,
+    /// §6.1).
+    pub fold_rtx: bool,
+    /// Enable dual-Vth everywhere.
+    pub dual_vth: bool,
+}
+
+impl FullChipConfig {
+    /// Fast settings for tests.
+    pub fn fast() -> Self {
+        Self {
+            flow: FlowConfig::fast(),
+            fold_rtx: true,
+            dual_vth: false,
+        }
+    }
+}
+
+impl Default for FullChipConfig {
+    fn default() -> Self {
+        Self {
+            flow: FlowConfig::default(),
+            fold_rtx: true,
+            dual_vth: false,
+        }
+    }
+}
+
+/// Result of a full-chip run.
+#[derive(Debug, Clone)]
+pub struct FullChipResult {
+    /// Which style was built.
+    pub style: DesignStyle,
+    /// Die outline.
+    pub die: foldic_geom::Rect,
+    /// Chip totals (footprint = one die).
+    pub chip: DesignMetrics,
+    /// Per-block sign-off metrics.
+    pub per_block: Vec<(String, BlockKind, DesignMetrics)>,
+    /// Chip-level 3D connections (between blocks).
+    pub chip_vias: usize,
+    /// Intra-block 3D connections (inside folded blocks).
+    pub intra_block_vias: usize,
+    /// Routed inter-block wirelength in µm.
+    pub interblock_wl_um: f64,
+    /// Inter-block routing detour factor.
+    pub interblock_detour: f64,
+    /// Inter-block connections that crossed over-capacity regions.
+    pub route_overflow: usize,
+}
+
+/// Runs one full-chip style end to end. The design is consumed/mutated:
+/// pass a fresh clone per style.
+pub fn run_fullchip(
+    design: &mut Design,
+    tech: &Technology,
+    style: DesignStyle,
+    cfg: &FullChipConfig,
+) -> FullChipResult {
+    let bonding = style.bonding();
+
+    // ---- 1. fold the selected blocks --------------------------------------
+    let mut folded_results: HashMap<BlockId, DesignMetrics> = HashMap::new();
+    let mut intra_block_vias = 0;
+    if style.folded() {
+        let fold_cfg = |strategy, aspect| FoldConfig {
+            strategy,
+            aspect,
+            bonding,
+            placer: cfg.flow.placer.clone(),
+            opt: cfg.flow.opt.clone(),
+            dual_vth: cfg.dual_vth,
+            ..FoldConfig::default()
+        };
+        let ids: Vec<BlockId> = design.block_ids().collect();
+        for id in ids {
+            let kind = design.block(id).kind;
+            let strategy = match kind {
+                BlockKind::Spc => None, // second-level handled below
+                BlockKind::Ccx => Some(FoldStrategy::NaturalGroups(vec!["pcx".into()])),
+                BlockKind::L2d => Some(FoldStrategy::MacroRows),
+                BlockKind::L2t => Some(FoldStrategy::MinCut),
+                BlockKind::Rtx if cfg.fold_rtx => Some(FoldStrategy::MinCut),
+                _ => None,
+            };
+            if kind == BlockKind::Spc {
+                let c = fold_cfg(FoldStrategy::MinCut, FoldAspect::Keep);
+                let folded = fold_spc_second_level(design.block_mut(id), tech, &c);
+                intra_block_vias += folded.metrics.num_3d_connections;
+                folded_results.insert(id, folded.metrics);
+            } else if let Some(strategy) = strategy {
+                let aspect = match kind {
+                    BlockKind::Ccx => FoldAspect::Square,
+                    BlockKind::L2d => FoldAspect::KeepWidth,
+                    _ => FoldAspect::Keep,
+                };
+                let c = fold_cfg(strategy, aspect);
+                let budgets = TimingBudgets::relaxed(&design.block(id).netlist, tech);
+                let folded =
+                    fold_block_with_budgets(design.block_mut(id), tech, &budgets, &c);
+                intra_block_vias += folded.metrics.num_3d_connections;
+                folded_results.insert(id, folded.metrics);
+            }
+        }
+    }
+
+    // ---- 2. floorplan -------------------------------------------------------
+    let fp_style = match style {
+        DesignStyle::Flat2d | DesignStyle::FoldedF2b | DesignStyle::FoldedF2f => {
+            FloorplanStyle::Flat2d
+        }
+        DesignStyle::CoreCache => FloorplanStyle::CoreCache,
+        DesignStyle::CoreCore => FloorplanStyle::CoreCore,
+    };
+    let mut plan: ChipPlan = floorplan_t2(design, fp_style, tech);
+    if style.folded() {
+        // folded blocks expose ports on both tiers: cross-die chip nets
+        // exist even though the arrangement is single-layout
+        plan.tsvs = plan_chip_tsvs(design, plan.die, tech);
+    }
+
+    // ---- 3. floorplan-driven pin assignment + timing budgets ----------------
+    assign_port_positions(design, &plan);
+    let budgets = chip_budgets(design, &plan, tech);
+
+    // ---- 4. block flows -------------------------------------------------------
+    let mut flow_cfg = cfg.flow.clone();
+    flow_cfg.bonding = bonding;
+    flow_cfg.dual_vth = cfg.dual_vth;
+    let mut per_block = Vec::new();
+    let ids: Vec<BlockId> = design.block_ids().collect();
+    for id in ids {
+        let metrics = if let Some(m) = folded_results.get(&id) {
+            *m
+        } else {
+            let b = design.block_mut(id);
+            let budget = &budgets[&id];
+            run_block_flow(b, tech, budget, &flow_cfg).metrics
+        };
+        let b = design.block(id);
+        per_block.push((b.name.clone(), b.kind, metrics));
+    }
+
+    // ---- 5. inter-block routing and roll-up -----------------------------------
+    let top = tech.metal.top_layer();
+    let tracks_per_um = 2.0 / top.pitch_um * TRACK_UTILIZATION;
+    let mut router = GlobalRouter::new(plan.die, plan.die.width().max(64.0) / 32.0, tracks_per_um);
+    for (_, b) in design.blocks() {
+        let open_fraction: f64 = if b.routing_hungry() {
+            if style.is_3d() && !b.folded {
+                0.5 // the other die is still open above the SPC
+            } else {
+                0.0
+            }
+        } else if b.folded {
+            match bonding {
+                BondingStyle::FaceToFace => 0.0, // §6.1: blocks both dies
+                BondingStyle::FaceToBack => 0.5, // top die of the fold uses M8–M9
+            }
+        } else {
+            1.0
+        };
+        if open_fraction < 1.0 {
+            router.scale_capacity(b.chip_rect(), open_fraction);
+        }
+    }
+    let mut tsv_iter = plan.tsvs.iter();
+    let mut chip_net_wire_cap_ghz = 0.0; // Σ cap·f over chip nets
+    for net in design.chip_nets() {
+        let pts: Vec<(Point, foldic_geom::Tier)> = net
+            .endpoints
+            .iter()
+            .map(|&(bid, pid)| {
+                let b = design.block(bid);
+                let port = b.netlist.port(pid);
+                let tier = if b.folded { port.tier } else { b.tier };
+                (b.to_chip(port.pos), tier)
+            })
+            .collect();
+        let cross = pts.windows(2).any(|w| w[0].1 != w[1].1);
+        let routed = if cross {
+            let via = tsv_iter
+                .next()
+                .copied()
+                .unwrap_or_else(|| pts[0].0.midpoint(pts[pts.len() - 1].0));
+            let mut len = 0.0;
+            for &(p, _) in &pts {
+                len += router.route(p, via, net.bits as f64);
+            }
+            len
+        } else {
+            let mut len = 0.0;
+            for w in pts.windows(2) {
+                len += router.route(w[0].0, w[1].0, net.bits as f64);
+            }
+            len
+        };
+        let f = net.domain.frequency_ghz(tech);
+        chip_net_wire_cap_ghz += routed * net.bits as f64 * top.c_per_um * f;
+    }
+    let route_stats = router.stats();
+    let interblock_wl_um = route_stats.routed_um;
+
+    // chip-level repeaters on the inter-block wiring
+    let spacing = chip_repeater_spacing_um(tech);
+    let chip_buffers = (interblock_wl_um / spacing).round() as usize;
+    let buf = tech.cells.get(CellKind::Buf, Drive::X8, VthClass::Rvt);
+
+    let mut chip = DesignMetrics {
+        footprint_um2: plan.die.area(),
+        ..Default::default()
+    };
+    for (_, _, m) in &per_block {
+        chip.absorb(m);
+    }
+    chip.wirelength_um += interblock_wl_um;
+    chip.num_buffers += chip_buffers;
+    chip.num_cells += chip_buffers;
+    // chip TSV/F2F capacitance on cross-die nets
+    let via_cap = match bonding {
+        BondingStyle::FaceToBack => tech.tsv.capacitance_ff(),
+        BondingStyle::FaceToFace => tech.f2f_via.capacitance_ff(),
+    };
+    let cross_nets = plan.tsvs.len();
+    let chip_power = PowerReport {
+        cell_uw: chip_buffers as f64 * buf.internal_energy_fj * tech.cpu_clock_ghz
+            * CHIP_NET_ACTIVITY,
+        net_wire_uw: (chip_net_wire_cap_ghz
+            + cross_nets as f64 * via_cap * tech.cpu_clock_ghz)
+            * tech.vdd
+            * tech.vdd
+            * CHIP_NET_ACTIVITY,
+        net_pin_uw: 0.0,
+        leakage_uw: chip_buffers as f64 * buf.leakage_uw,
+    };
+    chip.power += chip_power;
+    chip.num_3d_connections = cross_nets + intra_block_vias;
+
+    FullChipResult {
+        style,
+        die: plan.die,
+        chip,
+        per_block,
+        chip_vias: cross_nets,
+        intra_block_vias,
+        interblock_wl_um,
+        interblock_detour: route_stats.detour(),
+        route_overflow: route_stats.overflowed,
+    }
+}
+
+/// Re-assigns every unfolded block's port locations from the floorplan
+/// (the pin-assignment step of the paper's flow, re-run per configuration):
+///
+/// * a port facing a *same-tier* peer moves to the boundary point nearest
+///   the straight line toward that peer;
+/// * a port whose peer sits on the *other* die moves to the projection of
+///   its chip-level TSV / F2F-via onto the block — in a 3D stack the 3D
+///   connection lands wherever is best for the internal logic, which is
+///   precisely why stacking shortens port-attached wiring.
+///
+/// Folded blocks keep the port tiers/positions their fold assigned.
+pub fn assign_port_positions(design: &mut Design, plan: &ChipPlan) {
+    // collect (block, port, target chip position, cross-tier?) first
+    let mut moves: Vec<(BlockId, foldic_netlist::PortId, Point, bool)> = Vec::new();
+    let mut tsv_iter = plan.tsvs.iter();
+    for net in design.chip_nets() {
+        let pts: Vec<(BlockId, foldic_netlist::PortId, Point, foldic_geom::Tier)> = net
+            .endpoints
+            .iter()
+            .map(|&(bid, pid)| {
+                let b = design.block(bid);
+                let port = b.netlist.port(pid);
+                let tier = if b.folded { port.tier } else { b.tier };
+                (bid, pid, b.to_chip(port.pos), tier)
+            })
+            .collect();
+        let cross = pts.windows(2).any(|w| w[0].3 != w[1].3);
+        if cross {
+            let via = tsv_iter
+                .next()
+                .copied()
+                .unwrap_or_else(|| pts[0].2.midpoint(pts[pts.len() - 1].2));
+            for &(bid, pid, _, _) in &pts {
+                moves.push((bid, pid, via, true));
+            }
+        } else {
+            // aim each port at the other endpoint's current location
+            for (k, &(bid, pid, _, _)) in pts.iter().enumerate() {
+                let other = pts[(k + 1) % pts.len()].2;
+                moves.push((bid, pid, other, false));
+            }
+        }
+    }
+    for (bid, pid, target, cross) in moves {
+        let block = design.block_mut(bid);
+        if block.folded {
+            continue; // the fold already placed these ports
+        }
+        let rect = block.outline;
+        let local = target - block.pos;
+        let new_pos = if cross && rect.contains(local) {
+            // the 3D connection is directly over the block: land the pin
+            // right there
+            local
+        } else {
+            // clamp to the boundary facing the target
+            let c = local.clamped(rect);
+            // push onto the nearest edge
+            let d_left = (c.x - rect.llx).abs();
+            let d_right = (rect.urx - c.x).abs();
+            let d_bot = (c.y - rect.lly).abs();
+            let d_top = (rect.ury - c.y).abs();
+            let min = d_left.min(d_right).min(d_bot).min(d_top);
+            if min == d_left {
+                Point::new(rect.llx, c.y)
+            } else if min == d_right {
+                Point::new(rect.urx, c.y)
+            } else if min == d_bot {
+                Point::new(c.x, rect.lly)
+            } else {
+                Point::new(c.x, rect.ury)
+            }
+        };
+        block.netlist.port_mut(pid).pos = new_pos;
+    }
+}
+
+/// Derives per-block port budgets from chip-level net lengths: an input
+/// port's data arrives later the longer its chip net; an output port must
+/// be ready earlier when it drives a long chip net.
+pub fn chip_budgets(
+    design: &Design,
+    plan: &ChipPlan,
+    tech: &Technology,
+) -> HashMap<BlockId, TimingBudgets> {
+    let mut budgets: HashMap<BlockId, TimingBudgets> = design
+        .block_ids()
+        .map(|id| (id, TimingBudgets::relaxed(&design.block(id).netlist, tech)))
+        .collect();
+    let mut tsv_iter = plan.tsvs.iter();
+    for net in design.chip_nets() {
+        let pts: Vec<(Point, foldic_geom::Tier)> = net
+            .endpoints
+            .iter()
+            .map(|&(bid, pid)| {
+                let b = design.block(bid);
+                let port = b.netlist.port(pid);
+                let tier = if b.folded { port.tier } else { b.tier };
+                (b.to_chip(port.pos), tier)
+            })
+            .collect();
+        let cross = pts.windows(2).any(|w| w[0].1 != w[1].1);
+        let len = if cross {
+            let via = tsv_iter
+                .next()
+                .copied()
+                .unwrap_or_else(|| pts[0].0.midpoint(pts[pts.len() - 1].0));
+            pts.iter().map(|&(p, _)| p.manhattan(via)).sum::<f64>()
+        } else {
+            pts.windows(2).map(|w| w[0].0.manhattan(w[1].0)).sum::<f64>()
+        };
+        let delay = len * CHIP_DELAY_PS_PER_UM;
+        let period = match net.domain {
+            ClockDomain::Cpu => tech.cpu_period_ps(),
+            ClockDomain::Io => tech.io_period_ps(),
+        };
+        // endpoints[0] drives, endpoints[1..] receive
+        if let Some(&(bid, pid)) = net.endpoints.first() {
+            let b = budgets.get_mut(&bid).expect("all blocks budgeted");
+            let req = &mut b.output_required_ps[pid.index()];
+            *req = req.min((0.75 * period - delay).max(0.15 * period));
+        }
+        for &(bid, pid) in net.endpoints.iter().skip(1) {
+            let b = budgets.get_mut(&bid).expect("all blocks budgeted");
+            let arr = &mut b.input_arrival_ps[pid.index()];
+            *arr = arr.max((0.25 * period + delay).min(0.85 * period));
+        }
+    }
+    budgets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foldic_t2::T2Config;
+
+    /// End-to-end smoke test on the tiny design, 2D style.
+    #[test]
+    fn flat2d_fullchip_runs() {
+        let (mut design, tech) = T2Config::tiny().generate();
+        let result = run_fullchip(&mut design, &tech, DesignStyle::Flat2d, &FullChipConfig::fast());
+        assert_eq!(result.style, DesignStyle::Flat2d);
+        assert_eq!(result.per_block.len(), 46);
+        assert_eq!(result.chip_vias, 0);
+        assert!(result.chip.power.total_uw() > 0.0);
+        assert!(result.interblock_wl_um > 0.0);
+        assert!(result.chip.footprint_um2 > 0.0);
+    }
+
+    #[test]
+    fn core_cache_beats_2d_on_interblock_wl() {
+        let (design, tech) = T2Config::tiny().generate();
+        let cfg = FullChipConfig::fast();
+        let mut d2 = design.clone();
+        let r2 = run_fullchip(&mut d2, &tech, DesignStyle::Flat2d, &cfg);
+        let mut d3 = design.clone();
+        let r3 = run_fullchip(&mut d3, &tech, DesignStyle::CoreCache, &cfg);
+        assert!(r3.chip_vias > 0);
+        assert!(
+            r3.interblock_wl_um < r2.interblock_wl_um,
+            "3D {} vs 2D {}",
+            r3.interblock_wl_um,
+            r2.interblock_wl_um
+        );
+        assert!(r3.chip.footprint_um2 < r2.chip.footprint_um2);
+    }
+
+    #[test]
+    fn budgets_tighten_with_distance() {
+        let (mut design, tech) = T2Config::tiny().generate();
+        let plan = floorplan_t2(&mut design, FloorplanStyle::Flat2d, &tech);
+        let budgets = chip_budgets(&design, &plan, &tech);
+        // some input port must have a later-than-default arrival
+        let mut tightened = 0;
+        for (id, b) in &budgets {
+            let block = design.block(*id);
+            for (pid, port) in block.netlist.ports() {
+                let period = port.domain.period_ps(&tech);
+                if b.input_arrival_ps[pid.index()] > 0.26 * period {
+                    tightened += 1;
+                }
+            }
+        }
+        assert!(tightened > 0, "chip distances must tighten some budgets");
+    }
+}

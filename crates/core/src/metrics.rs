@@ -1,0 +1,234 @@
+//! Design metrics and comparisons — the rows of the paper's tables.
+
+use foldic_power::PowerReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything the paper's tables report about one design (a block or a
+/// full chip).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DesignMetrics {
+    /// Footprint (die outline area) in µm². For a 3D design this is the
+    /// area of *one* die, matching the paper's usage.
+    pub footprint_um2: f64,
+    /// Total routed wirelength in µm.
+    pub wirelength_um: f64,
+    /// Standard-cell instance count.
+    pub num_cells: usize,
+    /// Repeater (BUF/CLKBUF) count.
+    pub num_buffers: usize,
+    /// Hard-macro count.
+    pub num_macros: usize,
+    /// HVT cell count (dual-Vth designs).
+    pub num_hvt: usize,
+    /// TSV or F2F-via count (3D designs).
+    pub num_3d_connections: usize,
+    /// Wires longer than the 100×-cell-height threshold.
+    pub long_wires: usize,
+    /// Power breakdown.
+    pub power: PowerReport,
+    /// Worst negative slack in ps (0 when timing met).
+    pub wns_ps: f64,
+}
+
+impl DesignMetrics {
+    /// Footprint in mm².
+    pub fn footprint_mm2(&self) -> f64 {
+        self.footprint_um2 * 1e-6
+    }
+
+    /// Wirelength in metres.
+    pub fn wirelength_m(&self) -> f64 {
+        self.wirelength_um * 1e-6
+    }
+
+    /// HVT share of the cell count.
+    pub fn hvt_fraction(&self) -> f64 {
+        if self.num_cells > 0 {
+            self.num_hvt as f64 / self.num_cells as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Accumulates another design's metrics (for chip-level roll-ups;
+    /// footprint is *not* summed — set it explicitly).
+    pub fn absorb(&mut self, other: &DesignMetrics) {
+        self.wirelength_um += other.wirelength_um;
+        self.num_cells += other.num_cells;
+        self.num_buffers += other.num_buffers;
+        self.num_macros += other.num_macros;
+        self.num_hvt += other.num_hvt;
+        self.num_3d_connections += other.num_3d_connections;
+        self.long_wires += other.long_wires;
+        self.power += other.power;
+        self.wns_ps = self.wns_ps.max(other.wns_ps);
+    }
+}
+
+/// Percentage delta of `new` against `base` (negative = reduction), the
+/// number every table's parenthesis reports.
+pub fn pct(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+/// A named baseline/candidate pair with formatted percentage deltas.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Label of the baseline design (e.g. `"2D"`).
+    pub base_label: String,
+    /// Label of the compared design (e.g. `"3D (core/cache)"`).
+    pub new_label: String,
+    /// Baseline metrics.
+    pub base: DesignMetrics,
+    /// Compared metrics.
+    pub new: DesignMetrics,
+}
+
+impl Comparison {
+    /// Builds a comparison.
+    pub fn new(
+        base_label: impl Into<String>,
+        base: DesignMetrics,
+        new_label: impl Into<String>,
+        new: DesignMetrics,
+    ) -> Self {
+        Self {
+            base_label: base_label.into(),
+            new_label: new_label.into(),
+            base,
+            new,
+        }
+    }
+
+    /// Footprint delta in percent.
+    pub fn footprint_pct(&self) -> f64 {
+        pct(self.base.footprint_um2, self.new.footprint_um2)
+    }
+
+    /// Wirelength delta in percent.
+    pub fn wirelength_pct(&self) -> f64 {
+        pct(self.base.wirelength_um, self.new.wirelength_um)
+    }
+
+    /// Cell-count delta in percent.
+    pub fn cells_pct(&self) -> f64 {
+        pct(self.base.num_cells as f64, self.new.num_cells as f64)
+    }
+
+    /// Buffer-count delta in percent.
+    pub fn buffers_pct(&self) -> f64 {
+        pct(self.base.num_buffers as f64, self.new.num_buffers as f64)
+    }
+
+    /// Total-power delta in percent.
+    pub fn total_power_pct(&self) -> f64 {
+        pct(self.base.power.total_uw(), self.new.power.total_uw())
+    }
+
+    /// Cell-power delta in percent.
+    pub fn cell_power_pct(&self) -> f64 {
+        pct(self.base.power.cell_uw, self.new.power.cell_uw)
+    }
+
+    /// Net-power delta in percent.
+    pub fn net_power_pct(&self) -> f64 {
+        pct(self.base.power.net_uw(), self.new.power.net_uw())
+    }
+
+    /// Leakage delta in percent.
+    pub fn leakage_pct(&self) -> f64 {
+        pct(self.base.power.leakage_uw, self.new.power.leakage_uw)
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<22} {:>14} {:>14} {:>9}", "", self.base_label, self.new_label, "diff")?;
+        let row = |f: &mut fmt::Formatter<'_>, name: &str, b: f64, n: f64, unit: &str| {
+            writeln!(
+                f,
+                "{name:<22} {b:>14.3} {n:>14.3} {d:>+8.1}%  {unit}",
+                d = pct(b, n)
+            )
+        };
+        row(f, "footprint", self.base.footprint_mm2(), self.new.footprint_mm2(), "mm^2")?;
+        row(f, "wirelength", self.base.wirelength_m(), self.new.wirelength_m(), "m")?;
+        row(f, "# cells", self.base.num_cells as f64, self.new.num_cells as f64, "")?;
+        row(f, "# buffers", self.base.num_buffers as f64, self.new.num_buffers as f64, "")?;
+        row(
+            f,
+            "total power",
+            self.base.power.total_w(),
+            self.new.power.total_w(),
+            "W",
+        )?;
+        row(f, "cell power", self.base.power.cell_uw * 1e-6, self.new.power.cell_uw * 1e-6, "W")?;
+        row(
+            f,
+            "net power",
+            self.base.power.net_uw() * 1e-6,
+            self.new.power.net_uw() * 1e-6,
+            "W",
+        )?;
+        row(
+            f,
+            "leakage power",
+            self.base.power.leakage_uw * 1e-6,
+            self.new.power.leakage_uw * 1e-6,
+            "W",
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(cells: usize, power: f64) -> DesignMetrics {
+        DesignMetrics {
+            footprint_um2: 100.0,
+            wirelength_um: 1000.0,
+            num_cells: cells,
+            power: PowerReport {
+                cell_uw: power,
+                net_wire_uw: power / 2.0,
+                net_pin_uw: power / 4.0,
+                leakage_uw: power / 4.0,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pct_signs() {
+        assert_eq!(pct(100.0, 90.0), -10.0);
+        assert_eq!(pct(100.0, 110.0), 10.0);
+        assert_eq!(pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn comparison_deltas() {
+        let c = Comparison::new("2D", m(1000, 100.0), "3D", m(900, 80.0));
+        assert_eq!(c.cells_pct(), -10.0);
+        assert!((c.total_power_pct() + 20.0).abs() < 1e-9);
+        let rendered = c.to_string();
+        assert!(rendered.contains("total power"));
+        assert!(rendered.contains("-20.0%"));
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut total = DesignMetrics::default();
+        total.absorb(&m(10, 1.0));
+        total.absorb(&m(20, 2.0));
+        assert_eq!(total.num_cells, 30);
+        assert!((total.power.cell_uw - 3.0).abs() < 1e-12);
+        assert_eq!(total.footprint_um2, 0.0, "footprint is never summed");
+    }
+}

@@ -1,0 +1,248 @@
+//! SVG rendering of chip and block layouts (the GDS-shot figures).
+//!
+//! Two renderers produce the paper's figure styles:
+//!
+//! * [`render_chip_svg`] — a full-chip floorplan like Fig. 8: one panel
+//!   per die, blocks coloured by kind, folded blocks shown on both panels
+//!   with a fold marker, chip-level TSVs as dots.
+//! * [`render_block_svg`] — a block layout like Fig. 2/5/6: macros, cell
+//!   positions per tier, and the 3D vias (TSV landing pads vs F2F via
+//!   dots).
+//!
+//! Output is plain SVG text; callers write it wherever they like.
+
+use foldic_geom::{Rect, Tier};
+use foldic_netlist::{Block, BlockKind, Design};
+use foldic_route::ViaPlacement;
+use foldic_tech::Technology;
+use std::fmt::Write as _;
+
+/// Fill colour per block kind (Fig. 8 palette-ish).
+fn kind_color(kind: BlockKind) -> &'static str {
+    match kind {
+        BlockKind::Spc => "#e4572e",
+        BlockKind::L2d => "#17bebb",
+        BlockKind::L2t => "#76b041",
+        BlockKind::L2b => "#ffc914",
+        BlockKind::Ccx => "#a4036f",
+        BlockKind::Mcu => "#2e86ab",
+        BlockKind::Mac | BlockKind::Rdp | BlockKind::Tds | BlockKind::Rtx => "#6c756b",
+        _ => "#c5c3c6",
+    }
+}
+
+fn svg_header(out: &mut String, w: f64, h: f64) {
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {w:.0} {h:.0}" font-family="monospace">"##
+    );
+    let _ = writeln!(
+        out,
+        r##"<rect x="0" y="0" width="{w:.0}" height="{h:.0}" fill="#fafafa"/>"##
+    );
+}
+
+/// Renders the floorplanned `design` as one SVG panel per die.
+///
+/// `scale` maps µm to SVG units (e.g. `0.05`); the panels sit side by
+/// side with a margin.
+pub fn render_chip_svg(design: &Design, die: Rect, scale: f64) -> String {
+    let pw = die.width() * scale;
+    let ph = die.height() * scale;
+    let margin = 24.0;
+    let total_w = 2.0 * pw + 3.0 * margin;
+    let total_h = ph + 2.0 * margin + 16.0;
+    let mut out = String::new();
+    svg_header(&mut out, total_w, total_h);
+    for tier in Tier::ALL {
+        let x0 = margin + tier.index() as f64 * (pw + margin);
+        let y0 = margin;
+        let _ = writeln!(
+            out,
+            r##"<rect x="{x0:.1}" y="{y0:.1}" width="{pw:.1}" height="{ph:.1}" fill="none" stroke="#333" stroke-width="1"/>"##
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="{x0:.1}" y="{:.1}" font-size="12">{tier}</text>"##,
+            y0 + ph + 14.0
+        );
+        for (_, b) in design.blocks() {
+            let on_tier = b.folded || b.tier == tier;
+            if !on_tier {
+                continue;
+            }
+            let r = b.chip_rect();
+            let x = x0 + (r.llx - die.llx) * scale;
+            // SVG y grows downward: flip
+            let y = y0 + (die.ury - r.ury) * scale;
+            let w = r.width() * scale;
+            let h = r.height() * scale;
+            let color = kind_color(b.kind);
+            let dash = if b.folded { r##" stroke-dasharray="3,2""## } else { "" };
+            let _ = writeln!(
+                out,
+                r##"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{color}" fill-opacity="0.75" stroke="#222" stroke-width="0.6"{dash}/>"##
+            );
+            if w > 14.0 && h > 5.0 {
+                let _ = writeln!(
+                    out,
+                    r##"<text x="{:.1}" y="{:.1}" font-size="8" text-anchor="middle">{}</text>"##,
+                    x + w / 2.0,
+                    y + h / 2.0 + 3.0,
+                    b.name
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+/// Renders one block's layout: macros as outlined rectangles, cells as
+/// per-tier dots, vias as markers (squares for TSV landing pads, dots for
+/// F2F vias), per die panel.
+pub fn render_block_svg(
+    block: &Block,
+    tech: &Technology,
+    vias: Option<&ViaPlacement>,
+    scale: f64,
+) -> String {
+    let o = block.outline;
+    let pw = o.width() * scale;
+    let ph = o.height() * scale;
+    let margin = 20.0;
+    let panels = if block.folded { 2 } else { 1 };
+    let total_w = panels as f64 * (pw + margin) + margin;
+    let total_h = ph + 2.0 * margin + 14.0;
+    let mut out = String::new();
+    svg_header(&mut out, total_w, total_h);
+    let flip_y = |y: f64| margin + (o.ury - y) * scale;
+    for panel in 0..panels {
+        let tier = Tier::from_index(panel);
+        let x0 = margin + panel as f64 * (pw + margin);
+        let _ = writeln!(
+            out,
+            r##"<rect x="{x0:.1}" y="{margin:.1}" width="{pw:.1}" height="{ph:.1}" fill="none" stroke="#333"/>"##
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="{x0:.1}" y="{:.1}" font-size="11">{} {}</text>"##,
+            margin + ph + 12.0,
+            block.name,
+            if block.folded { tier.to_string() } else { String::new() }
+        );
+        for (_, inst) in block.netlist.insts() {
+            if block.folded && inst.tier != tier {
+                continue;
+            }
+            let x = x0 + (inst.pos.x - o.llx) * scale;
+            let y = flip_y(inst.pos.y);
+            if inst.master.is_macro() {
+                let r = inst.rect(tech);
+                let _ = writeln!(
+                    out,
+                    r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#d9e2ec" stroke="#486581" stroke-width="0.8"/>"##,
+                    x0 + (r.llx - o.llx) * scale,
+                    flip_y(r.ury),
+                    r.width() * scale,
+                    r.height() * scale,
+                );
+            } else {
+                let color = if block.folded && tier == Tier::Top { "#2bb3c0" } else { "#f2c14e" };
+                let _ = writeln!(
+                    out,
+                    r##"<circle cx="{x:.1}" cy="{y:.1}" r="0.7" fill="{color}"/>"##
+                );
+            }
+        }
+        if let Some(vp) = vias {
+            for via in vp.iter() {
+                let x = x0 + (via.pos.x - o.llx) * scale;
+                let y = flip_y(via.pos.y);
+                match vp.kind() {
+                    foldic_tech::Via3dKind::Tsv => {
+                        let s = (tech.tsv.pitch_um * scale).max(1.5);
+                        let _ = writeln!(
+                            out,
+                            r##"<rect x="{:.1}" y="{:.1}" width="{s:.1}" height="{s:.1}" fill="#1b4965" fill-opacity="0.85"/>"##,
+                            x - s / 2.0,
+                            y - s / 2.0,
+                        );
+                    }
+                    foldic_tech::Via3dKind::F2fVia => {
+                        let _ = writeln!(
+                            out,
+                            r##"<circle cx="{x:.1}" cy="{y:.1}" r="1.1" fill="#ffb400"/>"##
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::folding::{fold_block, FoldConfig};
+    use foldic_t2::T2Config;
+    use foldic_tech::BondingStyle;
+
+    #[test]
+    fn chip_svg_contains_all_blocks() {
+        let (mut design, tech) = T2Config::tiny().generate();
+        let plan = foldic_floorplan::floorplan_t2(
+            &mut design,
+            foldic_floorplan::FloorplanStyle::Flat2d,
+            &tech,
+        );
+        let svg = render_chip_svg(&design, plan.die, 0.12);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        for name in ["spc0", "ccx", "l2d7", "rtx"] {
+            assert!(svg.contains(name), "{name} missing");
+        }
+        // both dies drawn even for 2D (the top panel is empty)
+        assert_eq!(svg.matches("die_bot").count(), 1);
+    }
+
+    #[test]
+    fn folded_block_svg_shows_both_tiers_and_vias() {
+        let (mut design, tech) = T2Config::tiny().generate();
+        let id = design.find_block("l2t0").unwrap();
+        let folded = fold_block(
+            design.block_mut(id),
+            &tech,
+            &FoldConfig {
+                bonding: BondingStyle::FaceToFace,
+                placer: foldic_place::PlacerConfig::fast(),
+                ..FoldConfig::default()
+            },
+        );
+        let svg = render_block_svg(design.block(id), &tech, Some(&folded.vias), 0.2);
+        assert!(svg.contains("die_bot") && svg.contains("die_top"));
+        // F2F vias rendered as dots
+        assert!(svg.matches("#ffb400").count() >= folded.vias.len().min(1));
+        // macros rendered
+        assert!(svg.contains("#d9e2ec"));
+    }
+
+    #[test]
+    fn svg_is_balanced_markup() {
+        let (mut design, tech) = T2Config::tiny().generate();
+        let plan = foldic_floorplan::floorplan_t2(
+            &mut design,
+            foldic_floorplan::FloorplanStyle::CoreCache,
+            &tech,
+        );
+        let svg = render_chip_svg(&design, plan.die, 0.05);
+        // every opened tag family is closed or self-closing
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+        let opens = svg.matches("<rect").count() + svg.matches("<circle").count()
+            + svg.matches("<text").count();
+        let closes = svg.matches("/>").count() + svg.matches("</text>").count();
+        assert_eq!(opens, closes);
+    }
+}

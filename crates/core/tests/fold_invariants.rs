@@ -1,0 +1,211 @@
+//! Invariants of the folding flow across strategies and bonding styles.
+
+use foldic::prelude::*;
+use foldic_geom::Tier;
+use foldic_netlist::InstMaster;
+use foldic_place::PlacerConfig;
+
+fn design() -> (Design, Technology) {
+    T2Config::tiny().generate()
+}
+
+fn fast_fold(strategy: FoldStrategy, bonding: BondingStyle) -> FoldConfig {
+    FoldConfig {
+        strategy,
+        bonding,
+        placer: PlacerConfig::fast(),
+        ..FoldConfig::default()
+    }
+}
+
+#[test]
+fn every_strategy_produces_a_sound_two_tier_block() {
+    let (design, tech) = design();
+    let cases: Vec<(&str, FoldStrategy)> = vec![
+        ("l2t0", FoldStrategy::MinCut),
+        ("l2t0", FoldStrategy::Quality(0.5)),
+        ("l2d0", FoldStrategy::MacroRows),
+        ("ccx", FoldStrategy::NaturalGroups(vec!["pcx".into()])),
+    ];
+    for (name, strategy) in cases {
+        for bonding in [BondingStyle::FaceToBack, BondingStyle::FaceToFace] {
+            let mut d = design.clone();
+            let id = d.find_block(name).unwrap();
+            let label = format!("{name}/{strategy:?}/{bonding}");
+            let folded = fold_block(d.block_mut(id), &tech, &fast_fold(strategy.clone(), bonding));
+            let block = d.block(id);
+            block.netlist.check().unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert!(block.folded, "{label}");
+            // both tiers populated
+            let mut tiers = [0usize; 2];
+            for (_, i) in block.netlist.insts() {
+                tiers[i.tier.index()] += 1;
+            }
+            assert!(tiers[0] > 0 && tiers[1] > 0, "{label}: {tiers:?}");
+            // everything inside the folded outline
+            for (_, inst) in block.netlist.insts() {
+                assert!(
+                    block.outline.inflated(2.0).contains(inst.pos),
+                    "{label}: {} escaped",
+                    inst.name
+                );
+            }
+            // vias match tier-crossing nets
+            for via in folded.vias.iter() {
+                assert!(block.netlist.net_is_3d(via.net), "{label}: via on a 2D net");
+                assert!(block.outline.inflated(1.0).contains(via.pos), "{label}");
+            }
+            // each tier-crossing *signal* net got a via
+            let crossing = block
+                .netlist
+                .net_ids()
+                .filter(|&n| block.netlist.net_is_3d(n))
+                .count();
+            assert!(
+                folded.vias.len() <= crossing,
+                "{label}: more vias than 3D nets"
+            );
+            assert!(
+                folded.vias.len() * 10 >= crossing * 9,
+                "{label}: vias {} for {crossing} 3D nets",
+                folded.vias.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn folded_footprint_tracks_the_bigger_tier() {
+    let (design, tech) = design();
+    let mut d = design.clone();
+    let id = d.find_block("rtx").unwrap();
+    let folded = fold_block(
+        d.block_mut(id),
+        &tech,
+        &fast_fold(FoldStrategy::MinCut, BondingStyle::FaceToFace),
+    );
+    let block = d.block(id);
+    // per-tier placed area must fit in the outline at sane utilization
+    for tier in Tier::ALL {
+        let area: f64 = block
+            .netlist
+            .insts()
+            .filter(|(_, i)| i.tier == tier)
+            .map(|(_, i)| i.area_um2(&tech))
+            .sum();
+        assert!(
+            area <= block.outline.area(),
+            "tier {tier} area {area} exceeds outline {}",
+            block.outline.area()
+        );
+    }
+    let _ = folded;
+}
+
+#[test]
+fn f2b_outline_grows_with_via_count() {
+    let (design, tech) = design();
+    let fp_of = |q: f64| {
+        let mut d = design.clone();
+        let id = d.find_block("l2t0").unwrap();
+        let f = fold_block(
+            d.block_mut(id),
+            &tech,
+            &fast_fold(FoldStrategy::Quality(q), BondingStyle::FaceToBack),
+        );
+        (f.metrics.num_3d_connections, d.block(id).outline.area())
+    };
+    let (v_min, fp_min) = fp_of(1.0);
+    let (v_max, fp_max) = fp_of(0.0);
+    assert!(v_max > v_min);
+    assert!(
+        fp_max > fp_min,
+        "more TSVs must grow the die: {fp_min} -> {fp_max}"
+    );
+}
+
+#[test]
+fn macro_rows_fold_keeps_macros_legal_and_disjoint() {
+    let (design, tech) = design();
+    let mut d = design.clone();
+    let id = d.find_block("l2d0").unwrap();
+    let _ = fold_block(
+        d.block_mut(id),
+        &tech,
+        &FoldConfig {
+            strategy: FoldStrategy::MacroRows,
+            aspect: FoldAspect::KeepWidth,
+            bonding: BondingStyle::FaceToFace,
+            placer: PlacerConfig::fast(),
+            ..FoldConfig::default()
+        },
+    );
+    let block = d.block(id);
+    for tier in Tier::ALL {
+        let rects: Vec<_> = block
+            .netlist
+            .insts()
+            .filter(|(_, i)| i.master.is_macro() && i.tier == tier)
+            .map(|(_, i)| i.rect(&tech))
+            .collect();
+        assert_eq!(rects.len(), 16);
+        for (k, a) in rects.iter().enumerate() {
+            assert!(block.outline.inflated(1.0).contains_rect(*a));
+            for b in &rects[k + 1..] {
+                assert!(!a.inflated(-0.5).overlaps(*b), "macros overlap on {tier}");
+            }
+        }
+    }
+}
+
+#[test]
+fn second_level_fold_respects_unfolded_fub_assignment() {
+    let (design, tech) = design();
+    let mut d = design.clone();
+    let id = d.find_block("spc0").unwrap();
+    let _ = fold_spc_second_level(
+        d.block_mut(id),
+        &tech,
+        &fast_fold(FoldStrategy::MinCut, BondingStyle::FaceToFace),
+    );
+    let nl = &d.block(id).netlist;
+    // unfolded FUBs live on exactly one tier
+    for name in ["pku", "dec", "mmu", "gkt"] {
+        let gid = (0..nl.num_groups())
+            .map(|i| foldic_netlist::GroupId(i as u32))
+            .find(|&g| nl.group_name(g) == name)
+            .unwrap();
+        // clock-tree buffers are re-clustered across tiers after the
+        // fold (per-tier CTS), so only signal cells are checked
+        let tiers: std::collections::HashSet<Tier> = nl
+            .insts()
+            .filter(|(_, i)| {
+                i.group == Some(gid)
+                    && match i.master {
+                        InstMaster::Cell(m) => {
+                            tech.cells.master(m).kind != foldic_tech::CellKind::ClkBuf
+                        }
+                        InstMaster::Macro(_) => false,
+                    }
+            })
+            .map(|(_, i)| i.tier)
+            .collect();
+        assert_eq!(tiers.len(), 1, "FUB {name} wrongly split: {tiers:?}");
+    }
+}
+
+#[test]
+fn fold_then_render_produces_consistent_panels() {
+    let (design, tech) = design();
+    let mut d = design.clone();
+    let id = d.find_block("mcu0").unwrap();
+    let folded = fold_block(
+        d.block_mut(id),
+        &tech,
+        &fast_fold(FoldStrategy::MinCut, BondingStyle::FaceToBack),
+    );
+    let svg = foldic::render_block_svg(d.block(id), &tech, Some(&folded.vias), 0.3);
+    assert!(svg.contains("die_bot") && svg.contains("die_top"));
+    // TSVs drawn as dark squares
+    assert!(svg.contains("#1b4965"));
+}

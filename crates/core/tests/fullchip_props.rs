@@ -1,0 +1,111 @@
+//! Full-chip assembly properties across all five styles.
+
+use foldic::fullchip::chip_budgets;
+use foldic::prelude::*;
+use foldic_floorplan::{floorplan_t2, FloorplanStyle};
+
+#[test]
+fn style_enum_is_coherent() {
+    assert_eq!(DesignStyle::ALL.len(), 5);
+    assert!(!DesignStyle::Flat2d.is_3d());
+    assert!(!DesignStyle::Flat2d.folded());
+    assert!(DesignStyle::FoldedF2f.folded());
+    assert_eq!(DesignStyle::FoldedF2f.bonding(), BondingStyle::FaceToFace);
+    assert_eq!(DesignStyle::FoldedF2b.bonding(), BondingStyle::FaceToBack);
+    assert_eq!(DesignStyle::CoreCache.bonding(), BondingStyle::FaceToBack);
+    // labels are unique
+    let labels: std::collections::HashSet<&str> =
+        DesignStyle::ALL.iter().map(|s| s.label()).collect();
+    assert_eq!(labels.len(), 5);
+}
+
+#[test]
+fn budgets_stay_inside_the_clock_period() {
+    let (mut design, tech) = T2Config::tiny().generate();
+    let plan = floorplan_t2(&mut design, FloorplanStyle::Flat2d, &tech);
+    let budgets = chip_budgets(&design, &plan, &tech);
+    for (id, b) in &budgets {
+        let block = design.block(*id);
+        for (pid, port) in block.netlist.ports() {
+            let period = port.domain.period_ps(&tech);
+            let arr = b.input_arrival_ps[pid.index()];
+            assert!(arr >= 0.0 && arr <= 0.9 * period, "{}: arrival {arr}", port.name);
+            let req = b.output_required_ps[pid.index()];
+            assert!(req > 0.1 * period, "{}: required {req}", port.name);
+            assert!(req <= period, "{}: required {req} beyond period", port.name);
+        }
+    }
+}
+
+#[test]
+fn folded_styles_report_both_via_classes() {
+    let (mut design, tech) = T2Config::tiny().generate();
+    let r = run_fullchip(
+        &mut design,
+        &tech,
+        DesignStyle::FoldedF2f,
+        &FullChipConfig::fast(),
+    );
+    assert!(r.intra_block_vias > 0, "folded blocks must carry vias");
+    assert!(r.chip_vias > 0, "folded ports on both dies need chip-level connections");
+    assert_eq!(
+        r.chip.num_3d_connections,
+        r.chip_vias + r.intra_block_vias
+    );
+    // the five folded types are folded, everything else is not
+    for (_, b) in design.blocks() {
+        let should_fold = matches!(
+            b.kind,
+            BlockKind::Spc | BlockKind::Ccx | BlockKind::L2d | BlockKind::L2t | BlockKind::Rtx
+        );
+        assert_eq!(b.folded, should_fold, "{}", b.name);
+    }
+}
+
+#[test]
+fn folded_chip_beats_plain_stacking_on_power() {
+    let (design, tech) = T2Config::tiny().generate();
+    let cfg = FullChipConfig::fast();
+    let mut d1 = design.clone();
+    let stacked = run_fullchip(&mut d1, &tech, DesignStyle::CoreCache, &cfg);
+    let mut d2 = design.clone();
+    let folded = run_fullchip(&mut d2, &tech, DesignStyle::FoldedF2f, &cfg);
+    assert!(
+        folded.chip.power.total_uw() < stacked.chip.power.total_uw(),
+        "folding {} must beat stacking {}",
+        folded.chip.power.total_uw(),
+        stacked.chip.power.total_uw()
+    );
+}
+
+#[test]
+fn over_the_block_blockage_raises_interblock_detour() {
+    // F2F folded blocks block M8/M9 on both dies (§6.1): the folded-F2F
+    // chip must show a worse inter-block routing picture than plain
+    // stacking (more overflowed routes and/or longer wiring).
+    let (design, tech) = T2Config::tiny().generate();
+    let cfg = FullChipConfig::fast();
+    let mut d1 = design.clone();
+    let stacked = run_fullchip(&mut d1, &tech, DesignStyle::CoreCache, &cfg);
+    let mut d2 = design.clone();
+    let folded = run_fullchip(&mut d2, &tech, DesignStyle::FoldedF2f, &cfg);
+    let worse = folded.route_overflow > stacked.route_overflow
+        || folded.interblock_detour > stacked.interblock_detour
+        || folded.interblock_wl_um > stacked.interblock_wl_um;
+    assert!(worse, "F2F folding must tax the over-the-block routing");
+}
+
+#[test]
+fn dual_vth_fullchip_tracks_rvt_with_less_power() {
+    let (design, tech) = T2Config::tiny().generate();
+    let mut d1 = design.clone();
+    let rvt = run_fullchip(&mut d1, &tech, DesignStyle::Flat2d, &FullChipConfig::fast());
+    let mut d2 = design.clone();
+    let mut cfg = FullChipConfig::fast();
+    cfg.dual_vth = true;
+    let dvt = run_fullchip(&mut d2, &tech, DesignStyle::Flat2d, &cfg);
+    assert!(dvt.chip.num_hvt > 0);
+    assert!(dvt.chip.hvt_fraction() > 0.5);
+    assert!(dvt.chip.power.total_uw() < rvt.chip.power.total_uw());
+    assert!(dvt.chip.power.leakage_uw < rvt.chip.power.leakage_uw);
+}

@@ -1,0 +1,102 @@
+//! Floorplan-level invariants across all styles.
+
+use foldic_floorplan::{
+    anneal_floorplan, floorplan_t2, interblock_wirelength_um, plan_chip_tsvs, FloorplanStyle,
+    SaConfig,
+};
+use foldic_geom::Tier;
+use foldic_t2::T2Config;
+
+#[test]
+fn chip_tsv_count_equals_cross_die_nets() {
+    let (mut design, tech) = T2Config::tiny().generate();
+    let plan = floorplan_t2(&mut design, FloorplanStyle::CoreCache, &tech);
+    let mut crossing = 0;
+    for net in design.chip_nets() {
+        let tiers: std::collections::HashSet<Tier> = net
+            .endpoints
+            .iter()
+            .map(|&(bid, _)| design.block(bid).tier)
+            .collect();
+        if tiers.len() > 1 {
+            crossing += 1;
+        }
+    }
+    assert_eq!(plan.tsvs.len(), crossing);
+}
+
+#[test]
+fn replanning_tsvs_is_deterministic() {
+    let (mut design, tech) = T2Config::tiny().generate();
+    let plan = floorplan_t2(&mut design, FloorplanStyle::CoreCore, &tech);
+    let again = plan_chip_tsvs(&design, plan.die, &tech);
+    assert_eq!(plan.tsvs, again);
+}
+
+#[test]
+fn interblock_wl_is_positive_and_scales_with_style() {
+    let (design, tech) = T2Config::tiny().generate();
+    let mut lens = Vec::new();
+    for style in [
+        FloorplanStyle::Flat2d,
+        FloorplanStyle::CoreCache,
+        FloorplanStyle::CoreCore,
+    ] {
+        let mut d = design.clone();
+        let plan = floorplan_t2(&mut d, style, &tech);
+        let wl = interblock_wirelength_um(&d, &plan);
+        assert!(wl > 0.0);
+        lens.push(wl);
+    }
+    // both 3D styles beat 2D
+    assert!(lens[1] < lens[0]);
+    assert!(lens[2] < lens[0]);
+}
+
+#[test]
+fn sa_floorplanner_handles_mixed_sizes() {
+    use foldic_floorplan::seqpair::FpBlock;
+    // one giant block plus many small ones: no overlap, sane bounding box
+    let mut blocks = vec![FpBlock { w: 50.0, h: 50.0 }];
+    for i in 0..15 {
+        blocks.push(FpBlock {
+            w: 8.0 + (i % 4) as f64,
+            h: 6.0 + (i % 3) as f64,
+        });
+    }
+    let (pos, bb) = anneal_floorplan(&blocks, &Vec::new(), None, &SaConfig::default());
+    let area_sum: f64 = blocks.iter().map(|b| b.w * b.h).sum();
+    assert!(bb.area() >= area_sum);
+    assert!(bb.area() < 2.5 * area_sum, "bb {} vs blocks {area_sum}", bb.area());
+    for (i, p) in pos.iter().enumerate() {
+        let a = foldic_geom::Rect::with_size(*p, blocks[i].w, blocks[i].h);
+        for (j, q) in pos.iter().enumerate().skip(i + 1) {
+            let b = foldic_geom::Rect::with_size(*q, blocks[j].w, blocks[j].h);
+            assert!(!a.inflated(-1e-9).overlaps(b), "{i} overlaps {j}");
+        }
+    }
+}
+
+#[test]
+fn folded_blocks_expose_ports_on_both_tiers_to_the_planner() {
+    // fold one block, then floorplan: cross-die chip nets must appear even
+    // in the single-arrangement (Flat2d-recipe) plan
+    let (mut design, tech) = T2Config::tiny().generate();
+    let id = design.find_block("ccx").unwrap();
+    let _ = foldic::fold_block(
+        design.block_mut(id),
+        &tech,
+        &foldic::FoldConfig {
+            strategy: foldic::FoldStrategy::NaturalGroups(vec!["pcx".into()]),
+            bonding: foldic_tech::BondingStyle::FaceToFace,
+            placer: foldic_place::PlacerConfig::fast(),
+            ..foldic::FoldConfig::default()
+        },
+    );
+    let plan = floorplan_t2(&mut design, FloorplanStyle::Flat2d, &tech);
+    let tsvs = plan_chip_tsvs(&design, plan.die, &tech);
+    assert!(
+        !tsvs.is_empty(),
+        "folded CCX ports on the top die must require chip-level 3D connections"
+    );
+}

@@ -1,0 +1,222 @@
+use crate::{BinGrid, Rect};
+use serde::{Deserialize, Serialize};
+
+/// The placer's supply/demand density map (Kraftwerk2-style).
+///
+/// Each bin carries a *supply* (placement capacity in µm²) and a *demand*
+/// (area requested by the cells whose centres fall in or near the bin).
+/// The mixed-size placer of the paper (§4.2) handles arbitrarily large hard
+/// macros by **punching holes**: inside a hole both supply *and* demand are
+/// pinned to zero, so the spreading forces neither push cells into the
+/// macro nor create the halo whitespace regions that plain demand-inflation
+/// produces.
+///
+/// # Examples
+///
+/// ```
+/// use foldic_geom::{BinGrid, DensityMap, Rect};
+///
+/// let grid = BinGrid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10, 10);
+/// let mut dm = DensityMap::new(grid, 0.8);
+/// dm.punch_hole(Rect::new(0.0, 0.0, 30.0, 30.0));
+/// dm.add_demand(Rect::new(40.0, 40.0, 60.0, 60.0), 400.0);
+/// assert!(dm.overflow() >= 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DensityMap {
+    grid: BinGrid,
+    supply: Vec<f64>,
+    demand: Vec<f64>,
+    hole: Vec<bool>,
+}
+
+impl DensityMap {
+    /// Creates a map over `grid` where every bin initially supplies
+    /// `bin_area × target_utilization` of placement capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_utilization` is not in `(0, 1]`.
+    pub fn new(grid: BinGrid, target_utilization: f64) -> Self {
+        assert!(
+            target_utilization > 0.0 && target_utilization <= 1.0,
+            "target utilization must be in (0,1], got {target_utilization}"
+        );
+        let n = grid.bin_count();
+        let s = grid.bin_area() * target_utilization;
+        Self {
+            grid,
+            supply: vec![s; n],
+            demand: vec![0.0; n],
+            hole: vec![false; n],
+        }
+    }
+
+    /// The underlying bin grid.
+    pub fn grid(&self) -> &BinGrid {
+        &self.grid
+    }
+
+    /// Zeroes supply and demand in every bin overlapped by `r` and marks it
+    /// as a hole. This is the paper's fix for extremely large hard macros:
+    /// "we set both the supply and the demand of the regions the hard
+    /// macros occupy to zero".
+    pub fn punch_hole(&mut self, r: Rect) {
+        let ((c0, r0), (c1, r1)) = self.grid.bins_overlapping(r);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                // Only bins mostly covered by the macro become holes;
+                // boundary bins keep their (reduced) supply.
+                let bin = self.grid.bin_rect(col, row);
+                let covered = r
+                    .intersection(bin)
+                    .map(|i| i.area())
+                    .unwrap_or(0.0);
+                let idx = self.grid.flat(col, row);
+                if covered >= 0.5 * bin.area() {
+                    self.hole[idx] = true;
+                    self.supply[idx] = 0.0;
+                    self.demand[idx] = 0.0;
+                } else {
+                    self.supply[idx] = (self.supply[idx] - covered).max(0.0);
+                }
+            }
+        }
+    }
+
+    /// `true` when bin `(col, row)` is inside a punched hole.
+    pub fn is_hole(&self, col: usize, row: usize) -> bool {
+        self.hole[self.grid.flat(col, row)]
+    }
+
+    /// Adds `area` of demand distributed over the bins overlapped by `r`,
+    /// proportionally to overlap. Demand falling on hole bins is dropped
+    /// (holes are opaque to the spreading system).
+    pub fn add_demand(&mut self, r: Rect, area: f64) {
+        if area <= 0.0 || r.area() <= 0.0 {
+            return;
+        }
+        let ((c0, r0), (c1, r1)) = self.grid.bins_overlapping(r);
+        let total = r.area();
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                let idx = self.grid.flat(col, row);
+                if self.hole[idx] {
+                    continue;
+                }
+                let bin = self.grid.bin_rect(col, row);
+                if let Some(i) = r.intersection(bin) {
+                    self.demand[idx] += area * i.area() / total;
+                }
+            }
+        }
+    }
+
+    /// Clears all demand, keeping supply and holes.
+    pub fn clear_demand(&mut self) {
+        for d in &mut self.demand {
+            *d = 0.0;
+        }
+    }
+
+    /// Supply of bin `(col, row)` in µm².
+    pub fn supply(&self, col: usize, row: usize) -> f64 {
+        self.supply[self.grid.flat(col, row)]
+    }
+
+    /// Demand of bin `(col, row)` in µm².
+    pub fn demand(&self, col: usize, row: usize) -> f64 {
+        self.demand[self.grid.flat(col, row)]
+    }
+
+    /// Signed excess `demand − supply` of bin `(col, row)`.
+    pub fn excess(&self, col: usize, row: usize) -> f64 {
+        let i = self.grid.flat(col, row);
+        self.demand[i] - self.supply[i]
+    }
+
+    /// Total positive overflow `Σ max(demand − supply, 0)` in µm²; the
+    /// spreading loop drives this toward zero.
+    pub fn overflow(&self) -> f64 {
+        self.demand
+            .iter()
+            .zip(&self.supply)
+            .map(|(d, s)| (d - s).max(0.0))
+            .sum()
+    }
+
+    /// Total supply in µm².
+    pub fn total_supply(&self) -> f64 {
+        self.supply.iter().sum()
+    }
+
+    /// Total demand in µm².
+    pub fn total_demand(&self) -> f64 {
+        self.demand.iter().sum()
+    }
+
+    /// Fraction of hole bins.
+    pub fn hole_fraction(&self) -> f64 {
+        self.hole.iter().filter(|&&h| h).count() as f64 / self.hole.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    fn dm() -> DensityMap {
+        let grid = BinGrid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10, 10);
+        DensityMap::new(grid, 1.0)
+    }
+
+    #[test]
+    fn fresh_map_has_no_overflow() {
+        let m = dm();
+        assert_eq!(m.overflow(), 0.0);
+        assert_eq!(m.total_supply(), 100.0 * 100.0);
+    }
+
+    #[test]
+    fn demand_distributes_by_overlap() {
+        let mut m = dm();
+        // 20x20 rect straddles four 10x10 bins equally.
+        m.add_demand(Rect::new(5.0, 5.0, 25.0, 25.0), 400.0);
+        assert!((m.total_demand() - 400.0).abs() < 1e-9);
+        let (c, r) = m.grid().bin_of(Point::new(7.0, 7.0));
+        assert!(m.demand(c, r) > 0.0);
+    }
+
+    #[test]
+    fn hole_zeroes_supply_and_rejects_demand() {
+        let mut m = dm();
+        m.punch_hole(Rect::new(0.0, 0.0, 30.0, 30.0));
+        assert!(m.is_hole(0, 0));
+        assert_eq!(m.supply(1, 1), 0.0);
+        let before = m.total_demand();
+        m.add_demand(Rect::new(5.0, 5.0, 8.0, 8.0), 9.0);
+        // demand fell entirely inside the hole and was dropped
+        assert_eq!(m.total_demand(), before);
+        // and hole bins never report overflow
+        assert_eq!(m.overflow(), 0.0);
+    }
+
+    #[test]
+    fn partial_hole_bins_keep_reduced_supply() {
+        let mut m = dm();
+        // covers 40% of bin (3,0): x in [30,34] of bin [30,40]
+        m.punch_hole(Rect::new(30.0, 0.0, 34.0, 10.0));
+        assert!(!m.is_hole(3, 0));
+        assert!((m.supply(3, 0) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflow_counts_only_positive_excess() {
+        let mut m = dm();
+        m.add_demand(Rect::new(0.0, 0.0, 10.0, 10.0), 150.0);
+        assert!((m.overflow() - 50.0).abs() < 1e-9);
+        assert!((m.excess(0, 0) - 50.0).abs() < 1e-9);
+        assert!(m.excess(5, 5) < 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+use crate::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A uniform rectangular bin grid over a region.
+///
+/// Used by the placer's density map and by the global router's congestion
+/// map. Bins are addressed by `(col, row)` with `(0, 0)` at the lower-left.
+/// Out-of-region points are clamped into the boundary bins.
+///
+/// # Examples
+///
+/// ```
+/// use foldic_geom::{BinGrid, Point, Rect};
+///
+/// let g = BinGrid::new(Rect::new(0.0, 0.0, 100.0, 50.0), 10, 5);
+/// assert_eq!(g.bin_of(Point::new(15.0, 45.0)), (1, 4));
+/// assert_eq!(g.bin_count(), 50);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinGrid {
+    region: Rect,
+    cols: usize,
+    rows: usize,
+    bin_w: f64,
+    bin_h: f64,
+}
+
+impl BinGrid {
+    /// Creates a `cols × rows` grid covering `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is zero, or if the region is degenerate.
+    pub fn new(region: Rect, cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must have at least one bin");
+        assert!(
+            region.width() > 0.0 && region.height() > 0.0,
+            "grid region must have positive area, got {region}"
+        );
+        Self {
+            region,
+            cols,
+            rows,
+            bin_w: region.width() / cols as f64,
+            bin_h: region.height() / rows as f64,
+        }
+    }
+
+    /// Creates a grid whose bins are approximately `bin_size × bin_size`.
+    pub fn with_bin_size(region: Rect, bin_size: f64) -> Self {
+        let cols = ((region.width() / bin_size).ceil() as usize).max(1);
+        let rows = ((region.height() / bin_size).ceil() as usize).max(1);
+        Self::new(region, cols, rows)
+    }
+
+    /// The covered region.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total bin count (`cols × rows`).
+    pub fn bin_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Bin width in µm.
+    pub fn bin_width(&self) -> f64 {
+        self.bin_w
+    }
+
+    /// Bin height in µm.
+    pub fn bin_height(&self) -> f64 {
+        self.bin_h
+    }
+
+    /// Area of one bin in µm².
+    pub fn bin_area(&self) -> f64 {
+        self.bin_w * self.bin_h
+    }
+
+    /// The `(col, row)` bin containing `p`, clamped into the grid.
+    pub fn bin_of(&self, p: Point) -> (usize, usize) {
+        let c = ((p.x - self.region.llx) / self.bin_w).floor() as isize;
+        let r = ((p.y - self.region.lly) / self.bin_h).floor() as isize;
+        (
+            c.clamp(0, self.cols as isize - 1) as usize,
+            r.clamp(0, self.rows as isize - 1) as usize,
+        )
+    }
+
+    /// Flat index of bin `(col, row)`, row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on out-of-range bins.
+    #[inline]
+    pub fn flat(&self, col: usize, row: usize) -> usize {
+        debug_assert!(col < self.cols && row < self.rows);
+        row * self.cols + col
+    }
+
+    /// Geometric extent of bin `(col, row)`.
+    pub fn bin_rect(&self, col: usize, row: usize) -> Rect {
+        let llx = self.region.llx + col as f64 * self.bin_w;
+        let lly = self.region.lly + row as f64 * self.bin_h;
+        Rect::new(llx, lly, llx + self.bin_w, lly + self.bin_h)
+    }
+
+    /// Centre of bin `(col, row)`.
+    pub fn bin_center(&self, col: usize, row: usize) -> Point {
+        self.bin_rect(col, row).center()
+    }
+
+    /// Inclusive `(col, row)` ranges of bins overlapped by `r`.
+    pub fn bins_overlapping(&self, r: Rect) -> ((usize, usize), (usize, usize)) {
+        let (c0, r0) = self.bin_of(Point::new(r.llx, r.lly));
+        // Upper coordinates are exclusive: nudge inward so a rect ending
+        // exactly on a bin boundary does not claim the next bin.
+        let eps_x = self.bin_w * 1e-9;
+        let eps_y = self.bin_h * 1e-9;
+        let (c1, r1) = self.bin_of(Point::new(r.urx - eps_x, r.ury - eps_y));
+        ((c0, r0), (c1.max(c0), r1.max(r0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> BinGrid {
+        BinGrid::new(Rect::new(0.0, 0.0, 100.0, 50.0), 10, 5)
+    }
+
+    #[test]
+    fn bin_lookup_and_clamping() {
+        let g = grid();
+        assert_eq!(g.bin_of(Point::new(0.0, 0.0)), (0, 0));
+        assert_eq!(g.bin_of(Point::new(99.9, 49.9)), (9, 4));
+        // clamped outside
+        assert_eq!(g.bin_of(Point::new(-5.0, 500.0)), (0, 4));
+    }
+
+    #[test]
+    fn bin_geometry() {
+        let g = grid();
+        assert_eq!(g.bin_area(), 100.0);
+        assert_eq!(g.bin_rect(0, 0), Rect::new(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(g.bin_center(1, 1), Point::new(15.0, 15.0));
+    }
+
+    #[test]
+    fn overlap_ranges_respect_boundaries() {
+        let g = grid();
+        let ((c0, r0), (c1, r1)) = g.bins_overlapping(Rect::new(5.0, 5.0, 20.0, 20.0));
+        assert_eq!((c0, r0), (0, 0));
+        assert_eq!((c1, r1), (1, 1)); // ends exactly on bin boundary at 20.0
+    }
+
+    #[test]
+    fn with_bin_size_rounds_up() {
+        let g = BinGrid::with_bin_size(Rect::new(0.0, 0.0, 95.0, 42.0), 10.0);
+        assert_eq!(g.cols(), 10);
+        assert_eq!(g.rows(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = BinGrid::new(Rect::new(0.0, 0.0, 1.0, 1.0), 0, 1);
+    }
+}

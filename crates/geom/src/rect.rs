@@ -1,0 +1,251 @@
+use crate::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle in microns, stored as lower-left / upper-right
+/// corners. Degenerate (zero-area) rectangles are allowed; inverted
+/// rectangles (`llx > urx`) are not.
+///
+/// # Examples
+///
+/// ```
+/// use foldic_geom::Rect;
+///
+/// let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+/// let b = Rect::new(5.0, 5.0, 15.0, 15.0);
+/// assert_eq!(a.intersection(b).unwrap().area(), 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left x in µm.
+    pub llx: f64,
+    /// Lower-left y in µm.
+    pub lly: f64,
+    /// Upper-right x in µm.
+    pub urx: f64,
+    /// Upper-right y in µm.
+    pub ury: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the rectangle is inverted.
+    pub fn new(llx: f64, lly: f64, urx: f64, ury: f64) -> Self {
+        debug_assert!(llx <= urx && lly <= ury, "inverted rect {llx},{lly},{urx},{ury}");
+        Self { llx, lly, urx, ury }
+    }
+
+    /// Creates a rectangle from a lower-left corner plus width and height.
+    pub fn with_size(ll: Point, w: f64, h: f64) -> Self {
+        Rect::new(ll.x, ll.y, ll.x + w, ll.y + h)
+    }
+
+    /// Creates a rectangle of size `w × h` centred on `c`.
+    pub fn centered(c: Point, w: f64, h: f64) -> Self {
+        Rect::new(c.x - w * 0.5, c.y - h * 0.5, c.x + w * 0.5, c.y + h * 0.5)
+    }
+
+    /// The empty rectangle used as a union identity: any union with it
+    /// yields the other operand.
+    pub fn empty() -> Self {
+        Rect {
+            llx: f64::INFINITY,
+            lly: f64::INFINITY,
+            urx: f64::NEG_INFINITY,
+            ury: f64::NEG_INFINITY,
+        }
+    }
+
+    /// `true` for the union-identity produced by [`Rect::empty`].
+    pub fn is_empty(&self) -> bool {
+        self.llx > self.urx || self.lly > self.ury
+    }
+
+    /// Width in µm.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.urx - self.llx
+    }
+
+    /// Height in µm.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.ury - self.lly
+    }
+
+    /// Area in µm².
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    /// Half-perimeter (the HPWL contribution of a bounding box).
+    #[inline]
+    pub fn half_perimeter(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() + self.height()
+        }
+    }
+
+    /// Centre point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.llx + self.urx) * 0.5, (self.lly + self.ury) * 0.5)
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.llx && p.x <= self.urx && p.y >= self.lly && p.y <= self.ury
+    }
+
+    /// `true` when `other` lies entirely inside or on the boundary.
+    pub fn contains_rect(&self, other: Rect) -> bool {
+        other.llx >= self.llx && other.urx <= self.urx && other.lly >= self.lly && other.ury <= self.ury
+    }
+
+    /// `true` when the two rectangles share interior area (touching edges do
+    /// not count as overlap).
+    pub fn overlaps(&self, other: Rect) -> bool {
+        self.llx < other.urx && other.llx < self.urx && self.lly < other.ury && other.lly < self.ury
+    }
+
+    /// The overlapping region, or `None` when the rectangles share no
+    /// interior area.
+    pub fn intersection(&self, other: Rect) -> Option<Rect> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        Some(Rect::new(
+            self.llx.max(other.llx),
+            self.lly.max(other.lly),
+            self.urx.min(other.urx),
+            self.ury.min(other.ury),
+        ))
+    }
+
+    /// Smallest rectangle covering both operands.
+    pub fn union(&self, other: Rect) -> Rect {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect::new(
+            self.llx.min(other.llx),
+            self.lly.min(other.lly),
+            self.urx.max(other.urx),
+            self.ury.max(other.ury),
+        )
+    }
+
+    /// Grows the rectangle by `p` and extends the bounding box to cover it.
+    pub fn expand_to(&mut self, p: Point) {
+        self.llx = self.llx.min(p.x);
+        self.lly = self.lly.min(p.y);
+        self.urx = self.urx.max(p.x);
+        self.ury = self.ury.max(p.y);
+    }
+
+    /// Returns the rectangle inflated by `margin` on every side.
+    ///
+    /// A negative margin shrinks the rectangle; the result collapses to the
+    /// centre point if the margin exceeds half the dimensions.
+    pub fn inflated(&self, margin: f64) -> Rect {
+        let c = self.center();
+        let w = (self.width() + 2.0 * margin).max(0.0);
+        let h = (self.height() + 2.0 * margin).max(0.0);
+        Rect::centered(c, w, h)
+    }
+
+    /// Returns the rectangle translated by `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> Rect {
+        Rect::new(self.llx + dx, self.lly + dy, self.urx + dx, self.ury + dy)
+    }
+
+    /// Bounding box of a set of points; `Rect::empty()` when the iterator
+    /// is empty.
+    pub fn bounding<I: IntoIterator<Item = Point>>(points: I) -> Rect {
+        let mut bb = Rect::empty();
+        for p in points {
+            bb.expand_to(p);
+        }
+        bb
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.2},{:.2} .. {:.2},{:.2}]",
+            self.llx, self.lly, self.urx, self.ury
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_metrics() {
+        let r = Rect::new(1.0, 2.0, 5.0, 10.0);
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 8.0);
+        assert_eq!(r.area(), 32.0);
+        assert_eq!(r.half_perimeter(), 12.0);
+        assert_eq!(r.center(), Point::new(3.0, 6.0));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(5.0, 5.0, 15.0, 15.0);
+        let c = Rect::new(10.0, 0.0, 20.0, 10.0); // touches a, no interior overlap
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c));
+        assert_eq!(a.intersection(b).unwrap(), Rect::new(5.0, 5.0, 10.0, 10.0));
+        assert!(a.intersection(c).is_none());
+    }
+
+    #[test]
+    fn union_identity() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(Rect::empty().union(a), a);
+        assert_eq!(a.union(Rect::empty()), a);
+        assert_eq!(Rect::empty().area(), 0.0);
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let bb = Rect::bounding([Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(4.0, 4.0)]);
+        assert_eq!(bb, Rect::new(-2.0, 3.0, 4.0, 5.0));
+        assert!(Rect::bounding(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn inflate_and_translate() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(r.inflated(1.0), Rect::new(-1.0, -1.0, 11.0, 11.0));
+        assert_eq!(r.inflated(-6.0).area(), 0.0);
+        assert_eq!(r.translated(2.0, 3.0), Rect::new(2.0, 3.0, 12.0, 13.0));
+    }
+
+    #[test]
+    fn containment() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(a.contains_rect(Rect::new(2.0, 2.0, 8.0, 8.0)));
+        assert!(!a.contains_rect(Rect::new(2.0, 2.0, 12.0, 8.0)));
+    }
+}

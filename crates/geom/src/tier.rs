@@ -1,0 +1,107 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A die (tier) of a two-tier 3D stack.
+///
+/// The paper builds exclusively two-tier designs, so the tier is a simple
+/// two-valued enum rather than an index. `Bottom` is the die whose face
+/// points up in face-to-back bonding (it carries the TSV landing pads at
+/// M1); `Top` is the stacked die.
+///
+/// # Examples
+///
+/// ```
+/// use foldic_geom::Tier;
+///
+/// assert_eq!(Tier::Top.other(), Tier::Bottom);
+/// assert_eq!(Tier::ALL.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Tier {
+    /// The bottom die of the stack.
+    Bottom,
+    /// The top die of the stack.
+    Top,
+}
+
+impl Tier {
+    /// Both tiers, bottom first.
+    pub const ALL: [Tier; 2] = [Tier::Bottom, Tier::Top];
+
+    /// The opposite tier.
+    #[inline]
+    pub fn other(self) -> Tier {
+        match self {
+            Tier::Bottom => Tier::Top,
+            Tier::Top => Tier::Bottom,
+        }
+    }
+
+    /// Index usable for two-element arrays: bottom = 0, top = 1.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Tier::Bottom => 0,
+            Tier::Top => 1,
+        }
+    }
+
+    /// Inverse of [`Tier::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 1`.
+    pub fn from_index(i: usize) -> Tier {
+        match i {
+            0 => Tier::Bottom,
+            1 => Tier::Top,
+            _ => panic!("tier index {i} out of range (two-tier stack)"),
+        }
+    }
+}
+
+impl Default for Tier {
+    fn default() -> Self {
+        Tier::Bottom
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tier::Bottom => write!(f, "die_bot"),
+            Tier::Top => write!(f, "die_top"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_involution() {
+        for t in Tier::ALL {
+            assert_eq!(t.other().other(), t);
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for t in Tier::ALL {
+            assert_eq!(Tier::from_index(t.index()), t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let _ = Tier::from_index(2);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Tier::Top.to_string(), "die_top");
+        assert_eq!(Tier::Bottom.to_string(), "die_bot");
+    }
+}

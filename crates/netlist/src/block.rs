@@ -1,0 +1,206 @@
+//! Blocks: named netlists with a physical outline and chip-level placement.
+
+use crate::netlist::{ClockDomain, Netlist};
+use foldic_geom::{Point, Rect, Tier};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction of a block boundary port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDir {
+    /// Signal enters the block.
+    Input,
+    /// Signal leaves the block.
+    Output,
+}
+
+/// A block boundary pin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// Clock domain of the signal.
+    pub domain: ClockDomain,
+    /// Location in block-local µm (on the block boundary after pin
+    /// assignment).
+    pub pos: Point,
+    /// Die the port lands on when the block is folded.
+    pub tier: Tier,
+}
+
+/// Functional identity of a T2 block, used for floorplan constraints,
+/// folding-candidate tables and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// SPARC core (8 copies).
+    Spc,
+    /// L2-cache data bank, `scdata` (8 copies).
+    L2d,
+    /// L2-cache tag, `sctag` (8 copies).
+    L2t,
+    /// L2-cache miss buffer, `scbuf` (8 copies).
+    L2b,
+    /// Cache crossbar (PCX + CPX).
+    Ccx,
+    /// Memory controller unit (4 copies).
+    Mcu,
+    /// NIU: 10G Ethernet MAC.
+    Mac,
+    /// NIU: receive datapath.
+    Rdp,
+    /// NIU: transmit data store.
+    Tds,
+    /// NIU: receive traffic engine.
+    Rtx,
+    /// Non-cacheable unit.
+    Ncu,
+    /// Clock control unit.
+    Ccu,
+    /// Data management unit.
+    Dmu,
+    /// PCIe unit.
+    Peu,
+    /// System interface unit.
+    Siu,
+    /// Test control unit.
+    Tcu,
+    /// Anything else.
+    Misc,
+}
+
+impl BlockKind {
+    /// `true` for the blocks the paper calls routing-hungry (SPC uses all
+    /// nine metal layers).
+    pub fn routing_hungry(self) -> bool {
+        matches!(self, BlockKind::Spc)
+    }
+
+    /// Clock domain the block predominantly runs in.
+    pub fn clock(self) -> ClockDomain {
+        match self {
+            BlockKind::Mac | BlockKind::Rdp | BlockKind::Tds | BlockKind::Rtx => ClockDomain::Io,
+            _ => ClockDomain::Cpu,
+        }
+    }
+
+    /// Short display name matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockKind::Spc => "SPC",
+            BlockKind::L2d => "L2D",
+            BlockKind::L2t => "L2T",
+            BlockKind::L2b => "L2B",
+            BlockKind::Ccx => "CCX",
+            BlockKind::Mcu => "MCU",
+            BlockKind::Mac => "MAC",
+            BlockKind::Rdp => "RDP",
+            BlockKind::Tds => "TDS",
+            BlockKind::Rtx => "RTX",
+            BlockKind::Ncu => "NCU",
+            BlockKind::Ccu => "CCU",
+            BlockKind::Dmu => "DMU",
+            BlockKind::Peu => "PEU",
+            BlockKind::Siu => "SIU",
+            BlockKind::Tcu => "TCU",
+            BlockKind::Misc => "MISC",
+        }
+    }
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A design block: a gate-level netlist with a physical outline, placed on
+/// a die (or folded across both) at chip level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Block {
+    /// Instance name at chip level, e.g. `"spc0"`.
+    pub name: String,
+    /// Functional identity.
+    pub kind: BlockKind,
+    /// Dominant clock domain.
+    pub clock: ClockDomain,
+    /// Gate-level content.
+    pub netlist: Netlist,
+    /// Block outline in block-local coordinates, lower-left at the origin.
+    pub outline: Rect,
+    /// Chip-level placement: lower-left corner of the outline on the die.
+    pub pos: Point,
+    /// Die the block sits on; for folded blocks this is the *bottom* die
+    /// and the block occupies both tiers.
+    pub tier: Tier,
+    /// `true` once the block has been folded across both dies.
+    pub folded: bool,
+    /// Toggle activity (expected toggles per cycle) of the block's logic,
+    /// set by the workload generator and consumed by the power engine.
+    pub activity: f64,
+}
+
+impl Block {
+    /// Creates a block with an empty placement at the origin of the bottom
+    /// die.
+    pub fn new(name: impl Into<String>, kind: BlockKind, netlist: Netlist, outline: Rect) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            clock: kind.clock(),
+            netlist,
+            outline,
+            pos: Point::ORIGIN,
+            tier: Tier::Bottom,
+            folded: false,
+            activity: 0.10,
+        }
+    }
+
+    /// Silicon footprint in µm² (outline area; a folded block occupies this
+    /// footprint on **each** of the two dies).
+    pub fn footprint_um2(&self) -> f64 {
+        self.outline.area()
+    }
+
+    /// Chip-level rectangle occupied by the block.
+    pub fn chip_rect(&self) -> Rect {
+        self.outline.translated(self.pos.x, self.pos.y)
+    }
+
+    /// Converts a block-local point to chip coordinates.
+    pub fn to_chip(&self, local: Point) -> Point {
+        local + self.pos
+    }
+
+    /// `true` when this block uses all nine metal layers (see
+    /// [`BlockKind::routing_hungry`]).
+    pub fn routing_hungry(&self) -> bool {
+        self.kind.routing_hungry()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_properties() {
+        assert!(BlockKind::Spc.routing_hungry());
+        assert!(!BlockKind::Ccx.routing_hungry());
+        assert_eq!(BlockKind::Mac.clock(), ClockDomain::Io);
+        assert_eq!(BlockKind::Spc.clock(), ClockDomain::Cpu);
+        assert_eq!(BlockKind::L2d.label(), "L2D");
+    }
+
+    #[test]
+    fn chip_coordinates() {
+        let nl = Netlist::new("x");
+        let mut b = Block::new("x0", BlockKind::Misc, nl, Rect::new(0.0, 0.0, 100.0, 50.0));
+        b.pos = Point::new(10.0, 20.0);
+        assert_eq!(b.chip_rect(), Rect::new(10.0, 20.0, 110.0, 70.0));
+        assert_eq!(b.to_chip(Point::new(1.0, 2.0)), Point::new(11.0, 22.0));
+        assert_eq!(b.footprint_um2(), 5000.0);
+    }
+}

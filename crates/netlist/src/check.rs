@@ -1,0 +1,187 @@
+//! Structural invariant checking for netlists.
+
+use crate::netlist::{Netlist, PinRef};
+use crate::block::PortDir;
+use std::fmt;
+
+/// A violated netlist invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// A net has no driver pin.
+    UndrivenNet {
+        /// Name of the offending net.
+        net: String,
+    },
+    /// A pin reference points past the instance arena.
+    DanglingInst {
+        /// Name of the offending net.
+        net: String,
+    },
+    /// A pin reference points past the port arena.
+    DanglingPort {
+        /// Name of the offending net.
+        net: String,
+    },
+    /// An input port appears as a net sink or an output port as a driver.
+    PortDirectionMismatch {
+        /// Name of the offending net.
+        net: String,
+        /// Name of the offending port.
+        port: String,
+    },
+    /// The same sink pin appears on a net twice.
+    DuplicateSink {
+        /// Name of the offending net.
+        net: String,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::UndrivenNet { net } => write!(f, "net `{net}` has no driver"),
+            CheckError::DanglingInst { net } => {
+                write!(f, "net `{net}` references a nonexistent instance")
+            }
+            CheckError::DanglingPort { net } => {
+                write!(f, "net `{net}` references a nonexistent port")
+            }
+            CheckError::PortDirectionMismatch { net, port } => {
+                write!(f, "net `{net}` uses port `{port}` against its direction")
+            }
+            CheckError::DuplicateSink { net } => {
+                write!(f, "net `{net}` lists the same sink pin twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl Netlist {
+    /// Verifies the structural invariants of the netlist, returning the
+    /// first violation found.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckError`] describing the first violated invariant:
+    /// undriven nets, dangling instance/port references, ports used against
+    /// their direction, or duplicated sink pins.
+    pub fn check(&self) -> Result<(), CheckError> {
+        for (_, net) in self.nets() {
+            let name = || net.name.clone();
+            let driver = net.driver.ok_or_else(|| CheckError::UndrivenNet { net: name() })?;
+
+            for (k, pin) in net.pins().enumerate() {
+                match pin {
+                    PinRef::InstOut(i) | PinRef::InstIn(i, _) => {
+                        if i.index() >= self.num_insts() {
+                            return Err(CheckError::DanglingInst { net: name() });
+                        }
+                    }
+                    PinRef::Port(p) => {
+                        if p.index() >= self.num_ports() {
+                            return Err(CheckError::DanglingPort { net: name() });
+                        }
+                        let port = self.port(p);
+                        let is_driver = k == 0;
+                        let ok = match port.dir {
+                            PortDir::Input => is_driver,
+                            PortDir::Output => !is_driver,
+                        };
+                        if !ok {
+                            return Err(CheckError::PortDirectionMismatch {
+                                net: name(),
+                                port: port.name.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            // A driver must be an output-ish pin (inst output or input port).
+            if let PinRef::InstIn(..) = driver {
+                // treat an input pin driving a net as an undriven net
+                return Err(CheckError::UndrivenNet { net: name() });
+            }
+            let mut seen = std::collections::HashSet::new();
+            for s in &net.sinks {
+                if !seen.insert(*s) {
+                    return Err(CheckError::DuplicateSink { net: name() });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{InstMaster, Netlist};
+    use crate::ClockDomain;
+    use foldic_tech::{CellKind, CellLibrary, Drive, VthClass};
+
+    fn inv_master() -> InstMaster {
+        InstMaster::Cell(CellLibrary::cmos28().id_of(CellKind::Inv, Drive::X1, VthClass::Rvt))
+    }
+
+    #[test]
+    fn valid_netlist_passes() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_inst("a", inv_master());
+        let b = nl.add_inst("b", inv_master());
+        let n = nl.add_net("n");
+        nl.connect_driver(n, PinRef::output(a));
+        nl.connect_sink(n, PinRef::input(b, 0));
+        assert!(nl.check().is_ok());
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let mut nl = Netlist::new("t");
+        let _ = nl.add_net("n");
+        assert!(matches!(nl.check(), Err(CheckError::UndrivenNet { .. })));
+    }
+
+    #[test]
+    fn input_pin_as_driver_detected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_inst("a", inv_master());
+        let n = nl.add_net("n");
+        nl.connect_driver(n, PinRef::input(a, 0));
+        assert!(matches!(nl.check(), Err(CheckError::UndrivenNet { .. })));
+    }
+
+    #[test]
+    fn port_direction_enforced() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_inst("a", inv_master());
+        let out = nl.add_port("y", PortDir::Output, ClockDomain::Cpu);
+        let n = nl.add_net("n");
+        // an output port cannot drive a net
+        nl.connect_driver(n, PinRef::port(out));
+        nl.connect_sink(n, PinRef::input(a, 0));
+        assert!(matches!(
+            nl.check(),
+            Err(CheckError::PortDirectionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_sink_detected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_inst("a", inv_master());
+        let b = nl.add_inst("b", inv_master());
+        let n = nl.add_net("n");
+        nl.connect_driver(n, PinRef::output(a));
+        nl.connect_sink(n, PinRef::input(b, 0));
+        nl.connect_sink(n, PinRef::input(b, 0));
+        assert!(matches!(nl.check(), Err(CheckError::DuplicateSink { .. })));
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        let e = CheckError::UndrivenNet { net: "x".into() };
+        assert!(!e.to_string().is_empty());
+    }
+}

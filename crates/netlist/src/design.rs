@@ -1,0 +1,163 @@
+//! Chip-level design: blocks plus inter-block connectivity.
+
+use crate::block::Block;
+use crate::ids::{BlockId, PortId};
+use crate::netlist::ClockDomain;
+use serde::{Deserialize, Serialize};
+
+/// An inter-block bus at chip level.
+///
+/// A chip net connects boundary ports of two or more blocks. `bits` carries
+/// the bus width so the generator does not need to materialize thousands of
+/// identical scalar nets; wirelength and capacitance accounting multiply by
+/// it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChipNet {
+    /// Bus name.
+    pub name: String,
+    /// Connected `(block, port)` endpoints; the first is the driver side.
+    pub endpoints: Vec<(BlockId, PortId)>,
+    /// Bus width.
+    pub bits: u32,
+    /// Clock domain of the bus.
+    pub domain: ClockDomain,
+}
+
+impl ChipNet {
+    /// Number of endpoints.
+    pub fn arity(&self) -> usize {
+        self.endpoints.len()
+    }
+}
+
+/// A complete chip: blocks and the nets between them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Design {
+    /// Design name.
+    pub name: String,
+    blocks: Vec<Block>,
+    chip_nets: Vec<ChipNet>,
+}
+
+impl Design {
+    /// Creates an empty design.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            blocks: Vec::new(),
+            chip_nets: Vec::new(),
+        }
+    }
+
+    /// Adds a block and returns its id.
+    pub fn add_block(&mut self, block: Block) -> BlockId {
+        let id = BlockId::from(self.blocks.len());
+        self.blocks.push(block);
+        id
+    }
+
+    /// Adds an inter-block net.
+    pub fn add_chip_net(&mut self, net: ChipNet) {
+        self.chip_nets.push(net);
+    }
+
+    /// The block behind `id`.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to the block behind `id`.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterates over `(id, block)` pairs.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::from(i), b))
+    }
+
+    /// Iterates over blocks mutably.
+    pub fn blocks_mut(&mut self) -> impl Iterator<Item = (BlockId, &mut Block)> {
+        self.blocks
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| (BlockId::from(i), b))
+    }
+
+    /// All block ids.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len()).map(BlockId::from)
+    }
+
+    /// The inter-block nets.
+    pub fn chip_nets(&self) -> &[ChipNet] {
+        &self.chip_nets
+    }
+
+    /// Finds a block by name.
+    pub fn find_block(&self, name: &str) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.name == name)
+            .map(BlockId::from)
+    }
+
+    /// Total instance count across all blocks.
+    pub fn total_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.netlist.num_insts()).sum()
+    }
+
+    /// Total intra-block net count across all blocks.
+    pub fn total_nets(&self) -> usize {
+        self.blocks.iter().map(|b| b.netlist.num_nets()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockKind;
+    use crate::netlist::Netlist;
+    use foldic_geom::Rect;
+
+    #[test]
+    fn add_and_find_blocks() {
+        let mut d = Design::new("chip");
+        let b0 = d.add_block(Block::new(
+            "spc0",
+            BlockKind::Spc,
+            Netlist::new("spc"),
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+        ));
+        let b1 = d.add_block(Block::new(
+            "ccx",
+            BlockKind::Ccx,
+            Netlist::new("ccx"),
+            Rect::new(0.0, 0.0, 5.0, 5.0),
+        ));
+        assert_eq!(d.num_blocks(), 2);
+        assert_eq!(d.find_block("ccx"), Some(b1));
+        assert_eq!(d.find_block("nope"), None);
+        assert_eq!(d.block(b0).kind, BlockKind::Spc);
+    }
+
+    #[test]
+    fn chip_net_arity() {
+        let net = ChipNet {
+            name: "bus".into(),
+            endpoints: vec![(BlockId(0), PortId(0)), (BlockId(1), PortId(3))],
+            bits: 64,
+            domain: ClockDomain::Cpu,
+        };
+        assert_eq!(net.arity(), 2);
+        assert_eq!(net.bits, 64);
+    }
+}

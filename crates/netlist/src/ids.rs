@@ -1,0 +1,78 @@
+//! Typed arena indices.
+//!
+//! All database entities are stored in flat vectors and referenced by
+//! typed `u32` newtypes, which keeps the hot physical-design loops free of
+//! pointer chasing while preventing index mix-ups at compile time.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! arena_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The wrapped index as `usize`.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                $name(i as u32)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+arena_id!(
+    /// Index of an instance inside a [`crate::Netlist`].
+    InstId
+);
+arena_id!(
+    /// Index of a net inside a [`crate::Netlist`].
+    NetId
+);
+arena_id!(
+    /// Index of a boundary port inside a [`crate::Netlist`].
+    PortId
+);
+arena_id!(
+    /// Index of a block inside a [`crate::Design`].
+    BlockId
+);
+arena_id!(
+    /// Index of an instance group (FUB, sub-crossbar) inside a
+    /// [`crate::Netlist`].
+    GroupId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let id = InstId::from(42usize);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "InstId(42)");
+        assert_ne!(InstId(1), InstId(2));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NetId(3) < NetId(10));
+    }
+}

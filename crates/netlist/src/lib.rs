@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! Gate-level design database for the `foldic` study.
+//!
+//! The database mirrors the paper's two design levels:
+//!
+//! * **block level** — each [`Block`] owns a flat gate-level [`Netlist`] of
+//!   cell and macro [`Inst`]ances wired by [`Net`]s, plus boundary
+//!   [`Port`]s. Instances carry their placement (`pos`), die assignment
+//!   (`tier`, used when a block is folded across two dies) and an optional
+//!   group tag (FUBs inside the SPARC core, PCX/CPX inside the crossbar).
+//! * **chip level** — a [`Design`] owns the blocks plus the inter-block
+//!   [`ChipNet`]s that the 3D floorplanner optimizes.
+//!
+//! All geometric data uses µm ([`foldic_geom`]); electrical characteristics
+//! live in [`foldic_tech`] and are referenced via master identifiers.
+//!
+//! # Examples
+//!
+//! ```
+//! use foldic_netlist::{Netlist, InstMaster, PinRef, PortDir, ClockDomain};
+//! use foldic_tech::{CellKind, CellLibrary, Drive, VthClass};
+//!
+//! let lib = CellLibrary::cmos28();
+//! let mut nl = Netlist::new("tiny");
+//! let a = nl.add_port("a", PortDir::Input, ClockDomain::Cpu);
+//! let y = nl.add_port("y", PortDir::Output, ClockDomain::Cpu);
+//! let inv = nl.add_inst("u1", InstMaster::Cell(lib.id_of(CellKind::Inv, Drive::X1, VthClass::Rvt)));
+//! let n_in = nl.add_net("a");
+//! nl.connect_driver(n_in, PinRef::port(a));
+//! nl.connect_sink(n_in, PinRef::input(inv, 0));
+//! let n_out = nl.add_net("y");
+//! nl.connect_driver(n_out, PinRef::output(inv));
+//! nl.connect_sink(n_out, PinRef::port(y));
+//! assert!(nl.check().is_ok());
+//! ```
+
+mod block;
+mod check;
+mod design;
+mod ids;
+mod netlist;
+mod stats;
+pub mod verilog;
+
+pub use block::{Block, BlockKind, Port, PortDir};
+pub use check::CheckError;
+pub use design::{ChipNet, Design};
+pub use ids::{BlockId, GroupId, InstId, NetId, PortId};
+pub use netlist::{ClockDomain, Inst, InstMaster, Net, Netlist, PinRef};
+pub use stats::NetlistStats;
+pub use verilog::write_verilog;

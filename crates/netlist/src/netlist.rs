@@ -1,0 +1,522 @@
+//! Flat gate-level netlist: instances, nets, ports.
+
+use crate::{GroupId, InstId, NetId, PortId};
+use crate::block::{Port, PortDir};
+use foldic_geom::{Point, Tier};
+use foldic_tech::{MacroKind, Technology};
+use foldic_tech::cells::MasterId;
+use serde::{Deserialize, Serialize};
+
+/// Clock domain of a net, port or block.
+///
+/// The T2 has two domains relevant to the study: the CPU clock (500 MHz
+/// target) driving cores, caches and the crossbar, and the I/O clock
+/// (250 MHz) driving the network interface unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClockDomain {
+    /// CPU clock domain (500 MHz in the study).
+    Cpu,
+    /// I/O clock domain (250 MHz in the study).
+    Io,
+}
+
+impl ClockDomain {
+    /// Clock frequency in GHz under `tech`.
+    pub fn frequency_ghz(self, tech: &Technology) -> f64 {
+        match self {
+            ClockDomain::Cpu => tech.cpu_clock_ghz,
+            ClockDomain::Io => tech.io_clock_ghz,
+        }
+    }
+
+    /// Clock period in ps under `tech`.
+    pub fn period_ps(self, tech: &Technology) -> f64 {
+        1000.0 / self.frequency_ghz(tech)
+    }
+}
+
+/// What an instance instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstMaster {
+    /// A standard cell from the cell library.
+    Cell(MasterId),
+    /// A hard macro from the macro library.
+    Macro(MacroKind),
+}
+
+impl InstMaster {
+    /// `true` for hard macros.
+    pub fn is_macro(self) -> bool {
+        matches!(self, InstMaster::Macro(_))
+    }
+}
+
+/// A placed instance of a cell or macro.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Inst {
+    /// Instance name.
+    pub name: String,
+    /// What is instantiated.
+    pub master: InstMaster,
+    /// Placement location (centre of the footprint) in block-local µm.
+    pub pos: Point,
+    /// Die assignment when the owning block is folded; `Tier::Bottom` for
+    /// unfolded blocks.
+    pub tier: Tier,
+    /// `true` when the placer must not move the instance (pre-placed
+    /// macros, pads).
+    pub fixed: bool,
+    /// Optional group membership (FUB inside SPC, PCX/CPX inside CCX).
+    pub group: Option<GroupId>,
+}
+
+impl Inst {
+    /// Footprint area in µm² under `tech`.
+    pub fn area_um2(&self, tech: &Technology) -> f64 {
+        match self.master {
+            InstMaster::Cell(id) => tech.cells.master(id).area_um2,
+            InstMaster::Macro(kind) => tech.macros.get(kind).area_um2(),
+        }
+    }
+
+    /// Footprint width and height in µm under `tech`.
+    pub fn dims_um(&self, tech: &Technology) -> (f64, f64) {
+        match self.master {
+            InstMaster::Cell(id) => {
+                let m = tech.cells.master(id);
+                (m.width_um, tech.row_height)
+            }
+            InstMaster::Macro(kind) => {
+                let m = tech.macros.get(kind);
+                (m.width_um, m.height_um)
+            }
+        }
+    }
+
+    /// Footprint rectangle centred on `pos` under `tech`.
+    pub fn rect(&self, tech: &Technology) -> foldic_geom::Rect {
+        let (w, h) = self.dims_um(tech);
+        foldic_geom::Rect::centered(self.pos, w, h)
+    }
+}
+
+/// A reference to one pin: an instance output, an instance input, or a
+/// block boundary port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PinRef {
+    /// The (single) output pin of an instance.
+    InstOut(InstId),
+    /// The `pin`-th input pin of an instance.
+    InstIn(InstId, u16),
+    /// A boundary port of the owning block.
+    Port(PortId),
+}
+
+impl PinRef {
+    /// Reference to the output pin of `inst`.
+    pub fn output(inst: InstId) -> Self {
+        PinRef::InstOut(inst)
+    }
+
+    /// Reference to input pin `pin` of `inst`.
+    pub fn input(inst: InstId, pin: u16) -> Self {
+        PinRef::InstIn(inst, pin)
+    }
+
+    /// Reference to a boundary port.
+    pub fn port(port: PortId) -> Self {
+        PinRef::Port(port)
+    }
+
+    /// The instance this pin belongs to, if any.
+    pub fn inst(self) -> Option<InstId> {
+        match self {
+            PinRef::InstOut(i) | PinRef::InstIn(i, _) => Some(i),
+            PinRef::Port(_) => None,
+        }
+    }
+}
+
+/// A signal net with a single driver and zero or more sinks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// The driving pin; `None` only transiently during construction.
+    pub driver: Option<PinRef>,
+    /// Fan-out pins.
+    pub sinks: Vec<PinRef>,
+    /// Clock domain the net toggles in.
+    pub domain: ClockDomain,
+    /// `true` for clock-distribution nets.
+    pub is_clock: bool,
+}
+
+impl Net {
+    /// Fan-out (sink count).
+    pub fn fanout(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Iterates over every pin on the net, driver first.
+    pub fn pins(&self) -> impl Iterator<Item = PinRef> + '_ {
+        self.driver.into_iter().chain(self.sinks.iter().copied())
+    }
+}
+
+/// A flat gate-level netlist.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Netlist {
+    /// Netlist (module) name.
+    pub name: String,
+    insts: Vec<Inst>,
+    nets: Vec<Net>,
+    ports: Vec<Port>,
+    groups: Vec<String>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            insts: Vec::new(),
+            nets: Vec::new(),
+            ports: Vec::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    // ---- construction -----------------------------------------------------
+
+    /// Adds an unplaced, movable instance and returns its id.
+    pub fn add_inst(&mut self, name: impl Into<String>, master: InstMaster) -> InstId {
+        let id = InstId::from(self.insts.len());
+        self.insts.push(Inst {
+            name: name.into(),
+            master,
+            pos: Point::ORIGIN,
+            tier: Tier::Bottom,
+            fixed: false,
+            group: None,
+        });
+        id
+    }
+
+    /// Adds an empty net and returns its id.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId::from(self.nets.len());
+        self.nets.push(Net {
+            name: name.into(),
+            driver: None,
+            sinks: Vec::new(),
+            domain: ClockDomain::Cpu,
+            is_clock: false,
+        });
+        id
+    }
+
+    /// Adds a boundary port and returns its id.
+    pub fn add_port(
+        &mut self,
+        name: impl Into<String>,
+        dir: PortDir,
+        domain: ClockDomain,
+    ) -> PortId {
+        let id = PortId::from(self.ports.len());
+        self.ports.push(Port {
+            name: name.into(),
+            dir,
+            domain,
+            pos: Point::ORIGIN,
+            tier: Tier::Bottom,
+        });
+        id
+    }
+
+    /// Registers a named instance group (FUB, sub-crossbar) and returns its
+    /// id.
+    pub fn add_group(&mut self, name: impl Into<String>) -> GroupId {
+        let id = GroupId::from(self.groups.len());
+        self.groups.push(name.into());
+        id
+    }
+
+    /// Sets the driver pin of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net already has a driver.
+    pub fn connect_driver(&mut self, net: NetId, pin: PinRef) {
+        let n = &mut self.nets[net.index()];
+        assert!(
+            n.driver.is_none(),
+            "net {} already driven by {:?}",
+            n.name,
+            n.driver
+        );
+        n.driver = Some(pin);
+    }
+
+    /// Appends a sink pin to `net`.
+    pub fn connect_sink(&mut self, net: NetId, pin: PinRef) {
+        self.nets[net.index()].sinks.push(pin);
+    }
+
+    /// Moves the sinks of `from` selected by `take` onto `to`.
+    ///
+    /// This is the primitive buffer insertion builds on: create a buffer,
+    /// drive `to` with its output, move the far sinks over, and add the
+    /// buffer input as a sink of `from`.
+    pub fn move_sinks(&mut self, from: NetId, to: NetId, mut take: impl FnMut(PinRef) -> bool) {
+        debug_assert_ne!(from, to);
+        let mut moved = Vec::new();
+        self.nets[from.index()].sinks.retain(|&s| {
+            if take(s) {
+                moved.push(s);
+                false
+            } else {
+                true
+            }
+        });
+        self.nets[to.index()].sinks.extend(moved);
+    }
+
+    // ---- access -----------------------------------------------------------
+
+    /// The instance behind `id`.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    /// Mutable access to the instance behind `id`.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.index()]
+    }
+
+    /// The net behind `id`.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Mutable access to the net behind `id`.
+    pub fn net_mut(&mut self, id: NetId) -> &mut Net {
+        &mut self.nets[id.index()]
+    }
+
+    /// The port behind `id`.
+    pub fn port(&self, id: PortId) -> &Port {
+        &self.ports[id.index()]
+    }
+
+    /// Mutable access to the port behind `id`.
+    pub fn port_mut(&mut self, id: PortId) -> &mut Port {
+        &mut self.ports[id.index()]
+    }
+
+    /// Name of group `id`.
+    pub fn group_name(&self, id: GroupId) -> &str {
+        &self.groups[id.index()]
+    }
+
+    /// Number of instances.
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of boundary ports.
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Number of registered groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Iterates over `(id, inst)` pairs.
+    pub fn insts(&self) -> impl Iterator<Item = (InstId, &Inst)> {
+        self.insts.iter().enumerate().map(|(i, x)| (InstId::from(i), x))
+    }
+
+    /// Iterates over `(id, net)` pairs.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets.iter().enumerate().map(|(i, x)| (NetId::from(i), x))
+    }
+
+    /// Iterates over `(id, port)` pairs.
+    pub fn ports(&self) -> impl Iterator<Item = (PortId, &Port)> {
+        self.ports.iter().enumerate().map(|(i, x)| (PortId::from(i), x))
+    }
+
+    /// All instance ids.
+    pub fn inst_ids(&self) -> impl Iterator<Item = InstId> {
+        (0..self.insts.len()).map(InstId::from)
+    }
+
+    /// All net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> {
+        (0..self.nets.len()).map(NetId::from)
+    }
+
+    // ---- geometry ---------------------------------------------------------
+
+    /// Physical location of a pin: the owning instance's centre or the
+    /// port's boundary location.
+    pub fn pin_pos(&self, pin: PinRef) -> Point {
+        match pin {
+            PinRef::InstOut(i) | PinRef::InstIn(i, _) => self.inst(i).pos,
+            PinRef::Port(p) => self.port(p).pos,
+        }
+    }
+
+    /// Die (tier) of a pin.
+    pub fn pin_tier(&self, pin: PinRef) -> Tier {
+        match pin {
+            PinRef::InstOut(i) | PinRef::InstIn(i, _) => self.inst(i).tier,
+            PinRef::Port(p) => self.port(p).tier,
+        }
+    }
+
+    /// `true` when the net spans both tiers (a 3D net needing a TSV or F2F
+    /// via once the block is folded).
+    pub fn net_is_3d(&self, id: NetId) -> bool {
+        let mut tiers = self.net(id).pins().map(|p| self.pin_tier(p));
+        match tiers.next() {
+            None => false,
+            Some(first) => tiers.any(|t| t != first),
+        }
+    }
+
+    /// Builds the instance → nets incidence map (recomputed on demand
+    /// because the netlist is freely mutable).
+    pub fn inst_net_incidence(&self) -> Vec<Vec<NetId>> {
+        let mut inc = vec![Vec::new(); self.insts.len()];
+        for (nid, net) in self.nets() {
+            for pin in net.pins() {
+                if let Some(i) = pin.inst() {
+                    let v: &mut Vec<NetId> = &mut inc[i.index()];
+                    if v.last() != Some(&nid) {
+                        v.push(nid);
+                    }
+                }
+            }
+        }
+        inc
+    }
+
+    /// Total movable (non-fixed, non-macro) cell area in µm².
+    pub fn movable_cell_area(&self, tech: &Technology) -> f64 {
+        self.insts
+            .iter()
+            .filter(|i| !i.fixed && !i.master.is_macro())
+            .map(|i| i.area_um2(tech))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foldic_tech::{CellKind, Drive, VthClass};
+
+    fn lib() -> foldic_tech::CellLibrary {
+        foldic_tech::CellLibrary::cmos28()
+    }
+
+    fn inv(nl: &mut Netlist, name: &str) -> InstId {
+        let id = lib().id_of(CellKind::Inv, Drive::X1, VthClass::Rvt);
+        nl.add_inst(name, InstMaster::Cell(id))
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut nl = Netlist::new("t");
+        let a = inv(&mut nl, "a");
+        let b = inv(&mut nl, "b");
+        let n = nl.add_net("n");
+        nl.connect_driver(n, PinRef::output(a));
+        nl.connect_sink(n, PinRef::input(b, 0));
+        assert_eq!(nl.num_insts(), 2);
+        assert_eq!(nl.net(n).fanout(), 1);
+        assert_eq!(nl.net(n).pins().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already driven")]
+    fn double_driver_panics() {
+        let mut nl = Netlist::new("t");
+        let a = inv(&mut nl, "a");
+        let b = inv(&mut nl, "b");
+        let n = nl.add_net("n");
+        nl.connect_driver(n, PinRef::output(a));
+        nl.connect_driver(n, PinRef::output(b));
+    }
+
+    #[test]
+    fn move_sinks_partitions_fanout() {
+        let mut nl = Netlist::new("t");
+        let d = inv(&mut nl, "d");
+        let sinks: Vec<_> = (0..4).map(|i| inv(&mut nl, &format!("s{i}"))).collect();
+        let n1 = nl.add_net("n1");
+        nl.connect_driver(n1, PinRef::output(d));
+        for &s in &sinks {
+            nl.connect_sink(n1, PinRef::input(s, 0));
+        }
+        let n2 = nl.add_net("n2");
+        let far: std::collections::HashSet<_> = sinks[2..].iter().copied().collect();
+        nl.move_sinks(n1, n2, |p| p.inst().is_some_and(|i| far.contains(&i)));
+        assert_eq!(nl.net(n1).fanout(), 2);
+        assert_eq!(nl.net(n2).fanout(), 2);
+    }
+
+    #[test]
+    fn tier_spanning_detection() {
+        let mut nl = Netlist::new("t");
+        let a = inv(&mut nl, "a");
+        let b = inv(&mut nl, "b");
+        let n = nl.add_net("n");
+        nl.connect_driver(n, PinRef::output(a));
+        nl.connect_sink(n, PinRef::input(b, 0));
+        assert!(!nl.net_is_3d(n));
+        nl.inst_mut(b).tier = Tier::Top;
+        assert!(nl.net_is_3d(n));
+    }
+
+    #[test]
+    fn incidence_map_dedups_per_net() {
+        let mut nl = Netlist::new("t");
+        let a = inv(&mut nl, "a");
+        let b = inv(&mut nl, "b");
+        let n = nl.add_net("n");
+        nl.connect_driver(n, PinRef::output(a));
+        // b appears twice on the same net (two input pins)
+        nl.connect_sink(n, PinRef::input(b, 0));
+        nl.connect_sink(n, PinRef::input(b, 1));
+        let inc = nl.inst_net_incidence();
+        assert_eq!(inc[b.index()], vec![n]);
+    }
+
+    #[test]
+    fn inst_geometry_from_tech() {
+        let tech = foldic_tech::Technology::cmos28();
+        let mut nl = Netlist::new("t");
+        let a = inv(&mut nl, "a");
+        nl.inst_mut(a).pos = Point::new(10.0, 10.0);
+        let r = nl.inst(a).rect(&tech);
+        assert!((r.area() - nl.inst(a).area_um2(&tech)).abs() < 1e-9);
+        assert_eq!(r.center(), Point::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn clock_domain_periods() {
+        let tech = foldic_tech::Technology::cmos28();
+        assert_eq!(ClockDomain::Cpu.period_ps(&tech), 2000.0);
+        assert_eq!(ClockDomain::Io.period_ps(&tech), 4000.0);
+    }
+}

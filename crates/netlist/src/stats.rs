@@ -1,0 +1,129 @@
+//! Netlist statistics: the raw counts the paper's tables report.
+
+use crate::netlist::{InstMaster, Netlist};
+use foldic_tech::{CellKind, Technology};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of a netlist.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Total instance count (cells + macros).
+    pub num_insts: usize,
+    /// Standard-cell instance count.
+    pub num_cells: usize,
+    /// Hard-macro instance count.
+    pub num_macros: usize,
+    /// Repeater count — `BUF` and `CLKBUF` cells (what Table 2's
+    /// "# buffers" tracks).
+    pub num_buffers: usize,
+    /// Flip-flop count.
+    pub num_flops: usize,
+    /// Total standard-cell area in µm².
+    pub cell_area_um2: f64,
+    /// Total macro area in µm².
+    pub macro_area_um2: f64,
+    /// Net count.
+    pub num_nets: usize,
+    /// Total pin count over all nets (drivers + sinks).
+    pub num_pins: usize,
+    /// Boundary port count.
+    pub num_ports: usize,
+}
+
+impl NetlistStats {
+    /// Collects statistics from `netlist` under `tech`.
+    pub fn collect(netlist: &Netlist, tech: &Technology) -> Self {
+        let mut s = NetlistStats {
+            num_nets: netlist.num_nets(),
+            num_ports: netlist.num_ports(),
+            ..Default::default()
+        };
+        for (_, inst) in netlist.insts() {
+            s.num_insts += 1;
+            match inst.master {
+                InstMaster::Cell(id) => {
+                    let m = tech.cells.master(id);
+                    s.num_cells += 1;
+                    s.cell_area_um2 += m.area_um2;
+                    match m.kind {
+                        CellKind::Buf | CellKind::ClkBuf => s.num_buffers += 1,
+                        CellKind::Dff => s.num_flops += 1,
+                        _ => {}
+                    }
+                }
+                InstMaster::Macro(kind) => {
+                    s.num_macros += 1;
+                    s.macro_area_um2 += tech.macros.get(kind).area_um2();
+                }
+            }
+        }
+        for (_, net) in netlist.nets() {
+            s.num_pins += net.pins().count();
+        }
+        s
+    }
+
+    /// Total placed area (cells + macros) in µm².
+    pub fn total_area_um2(&self) -> f64 {
+        self.cell_area_um2 + self.macro_area_um2
+    }
+
+    /// Average net fanout (pins per net minus the driver).
+    pub fn avg_fanout(&self) -> f64 {
+        if self.num_nets == 0 {
+            0.0
+        } else {
+            (self.num_pins - self.num_nets) as f64 / self.num_nets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::PinRef;
+    use foldic_tech::{CellLibrary, Drive, MacroKind, VthClass};
+
+    #[test]
+    fn counts_by_category() {
+        let tech = Technology::cmos28();
+        let lib = CellLibrary::cmos28();
+        let mut nl = Netlist::new("t");
+        let inv = nl.add_inst(
+            "i",
+            InstMaster::Cell(lib.id_of(CellKind::Inv, Drive::X1, VthClass::Rvt)),
+        );
+        let buf = nl.add_inst(
+            "b",
+            InstMaster::Cell(lib.id_of(CellKind::Buf, Drive::X2, VthClass::Rvt)),
+        );
+        let ff = nl.add_inst(
+            "f",
+            InstMaster::Cell(lib.id_of(CellKind::Dff, Drive::X1, VthClass::Rvt)),
+        );
+        let _m = nl.add_inst("m", InstMaster::Macro(MacroKind::Sram16k));
+        let n = nl.add_net("n");
+        nl.connect_driver(n, PinRef::output(inv));
+        nl.connect_sink(n, PinRef::input(buf, 0));
+        nl.connect_sink(n, PinRef::input(ff, 0));
+
+        let s = NetlistStats::collect(&nl, &tech);
+        assert_eq!(s.num_insts, 4);
+        assert_eq!(s.num_cells, 3);
+        assert_eq!(s.num_macros, 1);
+        assert_eq!(s.num_buffers, 1);
+        assert_eq!(s.num_flops, 1);
+        assert_eq!(s.num_pins, 3);
+        assert!(s.macro_area_um2 > s.cell_area_um2);
+        assert!((s.avg_fanout() - 2.0).abs() < 1e-12);
+        assert!(s.total_area_um2() > 0.0);
+    }
+
+    #[test]
+    fn empty_netlist_stats() {
+        let tech = Technology::cmos28();
+        let s = NetlistStats::collect(&Netlist::new("e"), &tech);
+        assert_eq!(s.num_insts, 0);
+        assert_eq!(s.avg_fanout(), 0.0);
+    }
+}

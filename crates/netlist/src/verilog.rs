@@ -1,0 +1,164 @@
+//! Structural Verilog export.
+//!
+//! Writes a block's gate-level netlist as a synthesizable structural
+//! Verilog module: one `wire` per net, one instantiation per cell/macro
+//! with positional-free named port connections. The output is meant for
+//! interoperability (waveform-less equivalence checks, external tools)
+//! and for eyeballing generated designs; it is not re-imported.
+
+use crate::netlist::{InstMaster, Netlist, PinRef};
+use crate::block::PortDir;
+use foldic_tech::Technology;
+use std::fmt::Write as _;
+
+/// Sanitizes an identifier for Verilog (escapes anything exotic).
+fn ident(name: &str) -> String {
+    if name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    {
+        name.to_owned()
+    } else {
+        format!("\\{name} ")
+    }
+}
+
+/// Writes `netlist` as a structural Verilog module named after it.
+///
+/// Driver pins connect through the net's wire; instance input pins are
+/// named `in0`, `in1`, … and the output pin `out`, matching the database's
+/// single-output cell model. Macro pins follow the same convention.
+pub fn write_verilog(netlist: &Netlist, tech: &Technology) -> String {
+    let mut out = String::new();
+    let module = ident(&netlist.name);
+    // ports
+    let mut port_decls = Vec::new();
+    for (_, port) in netlist.ports() {
+        let dir = match port.dir {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+        };
+        port_decls.push((dir, ident(&port.name)));
+    }
+    let _ = writeln!(
+        out,
+        "module {module} ({});",
+        port_decls
+            .iter()
+            .map(|(_, n)| n.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for (dir, name) in &port_decls {
+        let _ = writeln!(out, "  {dir} {name};");
+    }
+    // wires: one per net not directly a port passthrough
+    for (_, net) in netlist.nets() {
+        let _ = writeln!(out, "  wire {};", ident(&net.name));
+    }
+    // port-to-net aliases
+    for (pid, port) in netlist.ports() {
+        // find the net touching this port
+        for (_, net) in netlist.nets() {
+            let on_net = net
+                .pins()
+                .any(|p| matches!(p, PinRef::Port(q) if q == pid));
+            if !on_net {
+                continue;
+            }
+            match port.dir {
+                PortDir::Input => {
+                    let _ = writeln!(out, "  assign {} = {};", ident(&net.name), ident(&port.name));
+                }
+                PortDir::Output => {
+                    let _ = writeln!(out, "  assign {} = {};", ident(&port.name), ident(&net.name));
+                }
+            }
+        }
+    }
+    // instances: collect per-pin wires
+    let mut conns: Vec<Vec<(String, String)>> = vec![Vec::new(); netlist.num_insts()];
+    for (_, net) in netlist.nets() {
+        let wire = ident(&net.name);
+        for (k, pin) in net.pins().enumerate() {
+            match pin {
+                PinRef::InstOut(i) => {
+                    debug_assert_eq!(k, 0, "outputs only drive");
+                    conns[i.index()].push(("out".to_owned(), wire.clone()));
+                }
+                PinRef::InstIn(i, p) => {
+                    conns[i.index()].push((format!("in{p}"), wire.clone()));
+                }
+                PinRef::Port(_) => {}
+            }
+        }
+    }
+    for (id, inst) in netlist.insts() {
+        let master = match inst.master {
+            InstMaster::Cell(m) => tech.cells.master(m).name.clone(),
+            InstMaster::Macro(k) => k.to_string(),
+        };
+        let mut pins = conns[id.index()].clone();
+        pins.sort();
+        pins.dedup();
+        let body = pins
+            .iter()
+            .map(|(p, w)| format!(".{p}({w})"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  {} {} ({body});", ident(&master), ident(&inst.name));
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::ClockDomain;
+    use foldic_tech::{CellKind, Drive, VthClass};
+
+    fn tiny_netlist() -> (Netlist, Technology) {
+        let tech = Technology::cmos28();
+        let inv = InstMaster::Cell(tech.cells.id_of(CellKind::Inv, Drive::X1, VthClass::Rvt));
+        let mut nl = Netlist::new("tiny_top");
+        let a = nl.add_port("a", PortDir::Input, ClockDomain::Cpu);
+        let y = nl.add_port("y", PortDir::Output, ClockDomain::Cpu);
+        let u1 = nl.add_inst("u1", inv);
+        let u2 = nl.add_inst("u2", inv);
+        let n0 = nl.add_net("n0");
+        nl.connect_driver(n0, PinRef::port(a));
+        nl.connect_sink(n0, PinRef::input(u1, 0));
+        let n1 = nl.add_net("n1");
+        nl.connect_driver(n1, PinRef::output(u1));
+        nl.connect_sink(n1, PinRef::input(u2, 0));
+        let n2 = nl.add_net("n2");
+        nl.connect_driver(n2, PinRef::output(u2));
+        nl.connect_sink(n2, PinRef::port(y));
+        (nl, tech)
+    }
+
+    #[test]
+    fn verilog_has_module_ports_wires_and_instances() {
+        let (nl, tech) = tiny_netlist();
+        let v = write_verilog(&nl, &tech);
+        assert!(v.starts_with("module tiny_top (a, y);"));
+        assert!(v.contains("input a;"));
+        assert!(v.contains("output y;"));
+        assert!(v.contains("wire n1;"));
+        assert!(v.contains("INVX1_RVT u1 (.in0(n0), .out(n1));"));
+        assert!(v.contains("assign n0 = a;"));
+        assert!(v.contains("assign y = n2;"));
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn exotic_names_get_escaped() {
+        assert_eq!(ident("u1"), "u1");
+        assert_eq!(ident("n[3]"), "\\n[3] ");
+        assert_eq!(ident("2bad"), "\\2bad ");
+    }
+
+}

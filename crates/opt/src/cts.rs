@@ -1,0 +1,320 @@
+//! Clock-tree synthesis by recursive geometric bisection.
+//!
+//! The paper's flow runs pre-CTS, post-CTS and post-route optimization
+//! (§2.2); this module supplies the CTS step: given the flops of a block
+//! (optionally folded across two tiers), it rebuilds the clock
+//! distribution as a balanced tree — means-split recursive bisection down
+//! to leaf clusters, one clock buffer per internal node, with flops of
+//! each die clustered per tier so a fold never leaves a leaf straddling
+//! the stack.
+
+use foldic_geom::{Point, Tier};
+use foldic_netlist::{ClockDomain, InstMaster, Netlist, PinRef};
+use foldic_tech::{CellKind, Drive, Technology, VthClass};
+
+/// Maximum flops per leaf cluster.
+pub const LEAF_CAPACITY: usize = 24;
+
+/// Result of a CTS run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtsStats {
+    /// Clock buffers created.
+    pub buffers: usize,
+    /// Leaf clusters driven.
+    pub leaves: usize,
+    /// Tree depth (root = 0).
+    pub depth: usize,
+    /// Clocked sinks (flop clock pins) connected.
+    pub sinks: usize,
+}
+
+/// Re-synthesizes the block's clock tree from scratch.
+///
+/// Existing clock nets are emptied and re-used where possible; existing
+/// clock buffers are abandoned in place (they become unloaded and cost
+/// only leakage — mirroring ECO-style CTS rebuilds) and fresh buffers are
+/// inserted. Flop clock pins are rediscovered from the library masters,
+/// so the routine works on any netlist state (fresh, optimized, folded).
+pub fn synthesize_clock_tree(netlist: &mut Netlist, tech: &Technology) -> CtsStats {
+    // 1. collect flop clock pins per tier
+    let mut sinks: Vec<(PinRef, Point, Tier)> = Vec::new();
+    for (id, inst) in netlist.insts() {
+        if let InstMaster::Cell(m) = inst.master {
+            if tech.cells.master(m).kind == CellKind::Dff {
+                sinks.push((PinRef::input(id, 1), inst.pos, inst.tier));
+            }
+        }
+    }
+    if sinks.is_empty() {
+        return CtsStats {
+            buffers: 0,
+            leaves: 0,
+            depth: 0,
+            sinks: 0,
+        };
+    }
+    let domain = netlist
+        .nets()
+        .find(|(_, n)| n.is_clock)
+        .map(|(_, n)| n.domain)
+        .unwrap_or(ClockDomain::Cpu);
+
+    // 2. strip the old tree: clock nets lose their sinks (the old buffers
+    //    stay placed but unloaded)
+    let old_clock_nets: Vec<foldic_netlist::NetId> = netlist
+        .nets()
+        .filter(|(_, n)| n.is_clock)
+        .map(|(id, _)| id)
+        .collect();
+    for nid in &old_clock_nets {
+        netlist.net_mut(*nid).sinks.clear();
+    }
+    // keep the root input (clk port) net if one exists
+    let root_in = old_clock_nets.iter().copied().find(|&nid| {
+        matches!(netlist.net(*&nid).driver, Some(PinRef::Port(_)))
+    });
+
+    // 3. per tier, recursively bisect the sink set
+    let mut stats = CtsStats {
+        buffers: 0,
+        leaves: 0,
+        depth: 0,
+        sinks: sinks.len(),
+    };
+    let buf_leaf = tech.cells.id_of(CellKind::ClkBuf, Drive::X8, VthClass::Rvt);
+    let buf_mid = tech.cells.id_of(CellKind::ClkBuf, Drive::X16, VthClass::Rvt);
+
+    // root buffer at the sink centroid of everything
+    let centroid_all = sinks
+        .iter()
+        .fold(Point::ORIGIN, |a, &(_, p, _)| a + p)
+        * (1.0 / sinks.len() as f64);
+    let root = netlist.add_inst("cts_root", InstMaster::Cell(buf_mid));
+    netlist.inst_mut(root).pos = centroid_all;
+    stats.buffers += 1;
+    if let Some(nid) = root_in {
+        netlist.connect_sink(nid, PinRef::input(root, 0));
+    }
+    let trunk = netlist.add_net("cts_trunk");
+    {
+        let n = netlist.net_mut(trunk);
+        n.domain = domain;
+        n.is_clock = true;
+    }
+    netlist.connect_driver(trunk, PinRef::output(root));
+
+    for tier in Tier::ALL {
+        let mut tier_sinks: Vec<(PinRef, Point)> = sinks
+            .iter()
+            .filter(|&&(_, _, t)| t == tier)
+            .map(|&(p, pos, _)| (p, pos))
+            .collect();
+        if tier_sinks.is_empty() {
+            continue;
+        }
+        let depth = bisect(
+            netlist,
+            tech,
+            &mut tier_sinks,
+            tier,
+            trunk,
+            domain,
+            buf_leaf,
+            buf_mid,
+            &mut stats,
+            1,
+        );
+        stats.depth = stats.depth.max(depth);
+    }
+    stats
+}
+
+/// Recursively splits `sinks` at the median of the wider axis; creates a
+/// buffer per node. Returns the subtree depth.
+#[allow(clippy::too_many_arguments)]
+fn bisect(
+    netlist: &mut Netlist,
+    tech: &Technology,
+    sinks: &mut [(PinRef, Point)],
+    tier: Tier,
+    parent_net: foldic_netlist::NetId,
+    domain: ClockDomain,
+    buf_leaf: foldic_tech::cells::MasterId,
+    buf_mid: foldic_tech::cells::MasterId,
+    stats: &mut CtsStats,
+    level: usize,
+) -> usize {
+    let centroid = sinks
+        .iter()
+        .fold(Point::ORIGIN, |a, &(_, p)| a + p)
+        * (1.0 / sinks.len() as f64);
+    let leaf = sinks.len() <= LEAF_CAPACITY;
+    let master = if leaf { buf_leaf } else { buf_mid };
+    let name = format!("cts_{}_{}_{}", tier, level, stats.buffers);
+    let buf = netlist.add_inst(name, InstMaster::Cell(master));
+    {
+        let inst = netlist.inst_mut(buf);
+        inst.pos = centroid;
+        inst.tier = tier;
+    }
+    stats.buffers += 1;
+    netlist.connect_sink(parent_net, PinRef::input(buf, 0));
+    let net = netlist.add_net(format!("cts_n_{}_{}_{}", tier, level, stats.buffers));
+    {
+        let n = netlist.net_mut(net);
+        n.domain = domain;
+        n.is_clock = true;
+    }
+    netlist.connect_driver(net, PinRef::output(buf));
+
+    if leaf {
+        stats.leaves += 1;
+        for &(pin, _) in sinks.iter() {
+            netlist.connect_sink(net, pin);
+        }
+        return level;
+    }
+    // split along the wider axis at the median
+    let bb = foldic_geom::Rect::bounding(sinks.iter().map(|&(_, p)| p));
+    if bb.width() >= bb.height() {
+        sinks.sort_by(|a, b| a.1.x.partial_cmp(&b.1.x).expect("finite"));
+    } else {
+        sinks.sort_by(|a, b| a.1.y.partial_cmp(&b.1.y).expect("finite"));
+    }
+    let mid = sinks.len() / 2;
+    let (lo, hi) = sinks.split_at_mut(mid);
+    let d1 = bisect(netlist, tech, lo, tier, net, domain, buf_leaf, buf_mid, stats, level + 1);
+    let d2 = bisect(netlist, tech, hi, tier, net, domain, buf_leaf, buf_mid, stats, level + 1);
+    d1.max(d2)
+}
+
+/// Estimated worst skew of the synthesized tree in ps: the spread of
+/// driver-to-sink Elmore delays over the leaf nets.
+pub fn estimate_skew_ps(netlist: &Netlist, tech: &Technology, max_layer: usize) -> f64 {
+    let wiring = foldic_route::BlockWiring::analyze(netlist, tech, 1.1, None);
+    let r = tech.metal.effective_r_per_um(max_layer);
+    let c = tech.metal.effective_c_per_um(max_layer);
+    let mut min_d = f64::INFINITY;
+    let mut max_d = f64::NEG_INFINITY;
+    for (nid, net) in netlist.nets() {
+        if !net.is_clock || net.sinks.is_empty() {
+            continue;
+        }
+        let rec = wiring.net(nid);
+        for (k, _) in net.sinks.iter().enumerate() {
+            let len = rec.sink_paths.get(k).copied().unwrap_or(0.0);
+            let d = 0.5 * r * len * c * len * foldic_tech::units::RC_TO_PS;
+            min_d = min_d.min(d);
+            max_d = max_d.max(d);
+        }
+    }
+    if max_d.is_finite() {
+        max_d - min_d
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foldic_t2::T2Config;
+
+    fn flop_clock_sinks(nl: &Netlist, tech: &Technology) -> Vec<PinRef> {
+        nl.insts()
+            .filter_map(|(id, i)| match i.master {
+                InstMaster::Cell(m) if tech.cells.master(m).kind == CellKind::Dff => {
+                    Some(PinRef::input(id, 1))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cts_reaches_every_flop_exactly_once() {
+        let (design, tech) = T2Config::tiny().generate();
+        let mut nl = design
+            .block(design.find_block("mcu0").unwrap())
+            .netlist
+            .clone();
+        let stats = synthesize_clock_tree(&mut nl, &tech);
+        nl.check().expect("sound after CTS");
+        let expect = flop_clock_sinks(&nl, &tech);
+        assert_eq!(stats.sinks, expect.len());
+        let mut seen = std::collections::HashMap::new();
+        for (_, net) in nl.nets() {
+            if net.is_clock {
+                for s in &net.sinks {
+                    if expect.contains(s) {
+                        *seen.entry(*s).or_insert(0usize) += 1;
+                    }
+                }
+            }
+        }
+        for pin in expect {
+            assert_eq!(seen.get(&pin), Some(&1), "{pin:?}");
+        }
+    }
+
+    #[test]
+    fn leaf_capacity_is_respected() {
+        let (design, tech) = T2Config::tiny().generate();
+        let mut nl = design
+            .block(design.find_block("l2t0").unwrap())
+            .netlist
+            .clone();
+        let stats = synthesize_clock_tree(&mut nl, &tech);
+        assert!(stats.leaves >= 1);
+        for (_, net) in nl.nets() {
+            if net.is_clock && net.name.starts_with("cts_n") {
+                // leaf nets drive flops only up to capacity; internal nets
+                // drive buffers (small fanout by construction)
+                assert!(net.fanout() <= LEAF_CAPACITY.max(2), "{}", net.name);
+            }
+        }
+    }
+
+    #[test]
+    fn folded_blocks_get_per_tier_leaves() {
+        let (design, tech) = T2Config::tiny().generate();
+        let mut nl = design
+            .block(design.find_block("l2t0").unwrap())
+            .netlist
+            .clone();
+        // fold crudely
+        let ids: Vec<foldic_netlist::InstId> = nl.inst_ids().collect();
+        for (k, id) in ids.into_iter().enumerate() {
+            if k % 2 == 0 {
+                nl.inst_mut(id).tier = Tier::Top;
+            }
+        }
+        synthesize_clock_tree(&mut nl, &tech);
+        // no cts leaf net may span tiers
+        for (nid, net) in nl.nets() {
+            if net.is_clock && net.name.starts_with("cts_n") {
+                let drives_flops = net.sinks.iter().any(|s| match s {
+                    PinRef::InstIn(i, 1) => matches!(nl.inst(*i).master, InstMaster::Cell(m)
+                        if tech.cells.master(m).kind == CellKind::Dff),
+                    _ => false,
+                });
+                if drives_flops {
+                    assert!(!nl.net_is_3d(nid), "leaf {} spans tiers", net.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skew_estimate_is_bounded() {
+        let (design, tech) = T2Config::tiny().generate();
+        let mut nl = design
+            .block(design.find_block("rtx").unwrap())
+            .netlist
+            .clone();
+        synthesize_clock_tree(&mut nl, &tech);
+        let skew = estimate_skew_ps(&nl, &tech, 7);
+        assert!(skew >= 0.0);
+        assert!(skew < 500.0, "skew {skew} ps is implausible");
+    }
+}

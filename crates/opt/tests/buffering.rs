@@ -1,0 +1,146 @@
+//! Buffer-insertion topology and sizing-pass invariants.
+
+use foldic_geom::Point;
+use foldic_netlist::{InstMaster, Netlist, PinRef};
+use foldic_opt::{
+    insert_buffers, optimize_block, repeater_spacing_um, upsize_critical, OptConfig,
+};
+use foldic_route::BlockWiring;
+use foldic_tech::{CellKind, Drive, Technology, VthClass};
+use foldic_timing::{analyze, StaConfig, TimingBudgets};
+
+fn two_point_net(len: f64) -> (Netlist, Technology) {
+    let tech = Technology::cmos28();
+    let m = InstMaster::Cell(tech.cells.id_of(CellKind::Inv, Drive::X2, VthClass::Rvt));
+    let mut nl = Netlist::new("t");
+    let a = nl.add_inst("a", m);
+    let b = nl.add_inst("b", m);
+    nl.inst_mut(b).pos = Point::new(len, 0.0);
+    let n = nl.add_net("w");
+    nl.connect_driver(n, PinRef::output(a));
+    nl.connect_sink(n, PinRef::input(b, 0));
+    (nl, tech)
+}
+
+#[test]
+fn chain_splits_into_even_segments() {
+    let tech = Technology::cmos28();
+    let spacing = repeater_spacing_um(&tech, 7);
+    let len = spacing * 3.5;
+    let (mut nl, tech) = two_point_net(len);
+    let cfg = OptConfig::default();
+    let added = insert_buffers(&mut nl, &tech, &cfg, None);
+    assert!(added >= 2, "expected a chain on a {len:.0} µm net, got {added}");
+    nl.check().expect("sound after chaining");
+    // total wirelength must stay ~the same (detour-free straight line)
+    let wiring = BlockWiring::analyze(&nl, &tech, 1.0, None);
+    assert!(
+        (wiring.total_um - len).abs() < 0.05 * len,
+        "chain stretched the route: {} vs {len}",
+        wiring.total_um
+    );
+    // every inserted buffer lies on the segment between the endpoints
+    for (_, inst) in nl.insts() {
+        assert!(inst.pos.x >= -1.0 && inst.pos.x <= len + 1.0);
+        assert!(inst.pos.y.abs() < 1.0);
+    }
+    // and no segment exceeds the spacing by much
+    for (_, net) in nl.nets() {
+        let d = net
+            .pins()
+            .map(|p| nl.pin_pos(p))
+            .collect::<Vec<_>>();
+        if d.len() == 2 {
+            assert!(d[0].manhattan(d[1]) < spacing * 1.6);
+        }
+    }
+}
+
+#[test]
+fn short_nets_are_left_alone() {
+    let (mut nl, tech) = two_point_net(20.0);
+    let cfg = OptConfig::default();
+    let added = insert_buffers(&mut nl, &tech, &cfg, None);
+    assert_eq!(added, 0);
+    assert_eq!(nl.num_insts(), 2);
+}
+
+#[test]
+fn fanout_buffer_takes_only_far_sinks() {
+    let tech = Technology::cmos28();
+    let spacing = repeater_spacing_um(&tech, 7);
+    let m = InstMaster::Cell(tech.cells.id_of(CellKind::Inv, Drive::X2, VthClass::Rvt));
+    let mut nl = Netlist::new("fan");
+    let d = nl.add_inst("d", m);
+    let near = nl.add_inst("near", m);
+    let far1 = nl.add_inst("far1", m);
+    let far2 = nl.add_inst("far2", m);
+    nl.inst_mut(near).pos = Point::new(10.0, 0.0);
+    nl.inst_mut(far1).pos = Point::new(2.2 * spacing, 10.0);
+    nl.inst_mut(far2).pos = Point::new(2.2 * spacing, -10.0);
+    let n = nl.add_net("w");
+    nl.connect_driver(n, PinRef::output(d));
+    for s in [near, far1, far2] {
+        nl.connect_sink(n, PinRef::input(s, 0));
+    }
+    let cfg = OptConfig::default();
+    let added = insert_buffers(&mut nl, &tech, &cfg, None);
+    assert!(added >= 1);
+    nl.check().expect("sound");
+    // the near sink must still hang on the original net
+    let orig = nl.net(foldic_netlist::NetId(0));
+    assert!(orig.sinks.contains(&PinRef::input(near, 0)));
+    assert!(!orig.sinks.contains(&PinRef::input(far1, 0)));
+}
+
+#[test]
+fn upsizing_saturates_at_x16() {
+    let tech = Technology::cmos28();
+    let (mut nl, _) = two_point_net(9000.0);
+    let budgets = TimingBudgets::relaxed(&nl, &tech);
+    // hammer the upsizer many rounds; drives must cap at X16
+    for _ in 0..10 {
+        let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None);
+        let rep = analyze(&nl, &tech, &wiring, &budgets, &StaConfig::default());
+        upsize_critical(&mut nl, &tech, &rep);
+    }
+    for (_, inst) in nl.insts() {
+        if let InstMaster::Cell(m) = inst.master {
+            assert!(tech.cells.master(m).drive.factor() <= 16.0);
+        }
+    }
+}
+
+#[test]
+fn optimize_block_never_leaves_dangling_nets() {
+    let (design, tech) = foldic_t2::T2Config::tiny().generate();
+    for name in ["ccu", "ncu", "rtx"] {
+        let mut nl = design
+            .block(design.find_block(name).unwrap())
+            .netlist
+            .clone();
+        let budgets = TimingBudgets::relaxed(&nl, &tech);
+        optimize_block(&mut nl, &tech, &budgets, &OptConfig::default());
+        nl.check().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn second_optimization_pass_is_nearly_idempotent() {
+    let (design, tech) = foldic_t2::T2Config::tiny().generate();
+    let mut nl = design
+        .block(design.find_block("mcu0").unwrap())
+        .netlist
+        .clone();
+    let budgets = TimingBudgets::relaxed(&nl, &tech);
+    let cfg = OptConfig::default();
+    optimize_block(&mut nl, &tech, &budgets, &cfg);
+    let cells_after_first = nl.num_insts();
+    let stats = optimize_block(&mut nl, &tech, &budgets, &cfg);
+    // a settled design re-optimized must barely change
+    assert!(
+        stats.buffers_added * 20 <= cells_after_first,
+        "second pass added {} buffers on {cells_after_first} cells",
+        stats.buffers_added
+    );
+}

@@ -1,0 +1,443 @@
+//! Fiduccia–Mattheyses area-balanced min-cut bipartitioning.
+
+use foldic_geom::Tier;
+use foldic_netlist::{InstId, Netlist};
+use foldic_tech::Technology;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BinaryHeap;
+
+/// Nets with more pins than this are excluded from the cut objective:
+/// broadcast/control fan-outs span both dies no matter what and would only
+/// drown the gain signal (clock nets are excluded unconditionally).
+const MAX_NET_DEGREE: usize = 64;
+
+/// Configuration of the FM partitioner.
+#[derive(Debug, Clone)]
+pub struct PartitionConfig {
+    /// Allowed area imbalance as a fraction of total area (each side must
+    /// hold `0.5 ± balance_tol` of the area).
+    pub balance_tol: f64,
+    /// Maximum number of improvement passes per start.
+    pub max_passes: usize,
+    /// Number of random restarts; the best result wins.
+    pub starts: usize,
+    /// RNG seed for the random initial solutions.
+    pub seed: u64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        Self {
+            balance_tol: 0.10,
+            max_passes: 8,
+            starts: 4,
+            seed: 0xF01D,
+        }
+    }
+}
+
+/// A two-die assignment of every instance in a netlist.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Die of each instance, indexed by `InstId`.
+    pub tier_of: Vec<Tier>,
+    /// Number of cut signal nets (= 3D connections the fold will need).
+    pub cut: usize,
+}
+
+impl Partition {
+    /// Recounts the cut: signal nets with instance pins on both dies.
+    /// Clock nets and nets wider than the degree cap are excluded, matching
+    /// the paper's *signal* TSV counts.
+    pub fn cut_size(&self, netlist: &Netlist) -> usize {
+        let mut cut = 0;
+        for (_, net) in netlist.nets() {
+            if net.is_clock {
+                continue;
+            }
+            let mut bottom = false;
+            let mut top = false;
+            for pin in net.pins() {
+                if let Some(i) = pin.inst() {
+                    match self.tier_of[i.index()] {
+                        Tier::Bottom => bottom = true,
+                        Tier::Top => top = true,
+                    }
+                }
+            }
+            if bottom && top {
+                cut += 1;
+            }
+        }
+        cut
+    }
+
+    /// Area imbalance `|A_bottom − A_top| / (A_bottom + A_top)`.
+    pub fn balance(&self, netlist: &Netlist, tech: &Technology) -> f64 {
+        let (mut bottom, mut top) = (0.0, 0.0);
+        for (id, inst) in netlist.insts() {
+            let a = inst.area_um2(tech);
+            match self.tier_of[id.index()] {
+                Tier::Bottom => bottom += a,
+                Tier::Top => top += a,
+            }
+        }
+        if bottom + top == 0.0 {
+            0.0
+        } else {
+            (bottom - top).abs() / (bottom + top)
+        }
+    }
+
+    /// Placement area per tier in µm², `(bottom, top)`.
+    pub fn area_per_tier(&self, netlist: &Netlist, tech: &Technology) -> (f64, f64) {
+        let (mut bottom, mut top) = (0.0, 0.0);
+        for (id, inst) in netlist.insts() {
+            let a = inst.area_um2(tech);
+            match self.tier_of[id.index()] {
+                Tier::Bottom => bottom += a,
+                Tier::Top => top += a,
+            }
+        }
+        (bottom, top)
+    }
+}
+
+struct Hypergraph {
+    /// nets as lists of vertex (inst) indices, deduplicated
+    nets: Vec<Vec<u32>>,
+    /// incident net lists per vertex
+    incident: Vec<Vec<u32>>,
+    /// vertex areas
+    area: Vec<f64>,
+}
+
+fn build_hypergraph(netlist: &Netlist, tech: &Technology) -> Hypergraph {
+    let n = netlist.num_insts();
+    let mut nets = Vec::new();
+    let mut incident = vec![Vec::new(); n];
+    for (_, net) in netlist.nets() {
+        if net.is_clock {
+            continue;
+        }
+        let mut verts: Vec<u32> = net
+            .pins()
+            .filter_map(|p| p.inst())
+            .map(|i| i.0)
+            .collect();
+        verts.sort_unstable();
+        verts.dedup();
+        if verts.len() < 2 || verts.len() > MAX_NET_DEGREE {
+            continue;
+        }
+        let nid = nets.len() as u32;
+        for &v in &verts {
+            incident[v as usize].push(nid);
+        }
+        nets.push(verts);
+    }
+    let area = netlist
+        .insts()
+        .map(|(_, inst)| inst.area_um2(tech))
+        .collect();
+    Hypergraph {
+        nets,
+        incident,
+        area,
+    }
+}
+
+/// Area-balanced min-cut bipartitioning with multi-start FM.
+///
+/// All instances (including placement-fixed macros) are movable: folding
+/// re-places the block from scratch, so "fixed" only constrains placement,
+/// not die assignment. Use [`crate::partition_by_groups`] or pre-seeded
+/// solutions when some instances must stay on a given die.
+pub fn bipartition(netlist: &Netlist, tech: &Technology, cfg: &PartitionConfig) -> Partition {
+    bipartition_seeded(netlist, tech, cfg, None)
+}
+
+/// Like [`bipartition`], but starting from (and locking) the tiers given by
+/// `locked` where it returns `Some`.
+pub fn bipartition_seeded(
+    netlist: &Netlist,
+    tech: &Technology,
+    cfg: &PartitionConfig,
+    locked: Option<&dyn Fn(InstId) -> Option<Tier>>,
+) -> Partition {
+    let hg = build_hypergraph(netlist, tech);
+    let n = netlist.num_insts();
+    if n == 0 {
+        return Partition {
+            tier_of: Vec::new(),
+            cut: 0,
+        };
+    }
+    let total_area: f64 = hg.area.iter().sum();
+    let lo = total_area * (0.5 - cfg.balance_tol);
+    let hi = total_area * (0.5 + cfg.balance_tol);
+
+    let locked_tier: Vec<Option<Tier>> = (0..n)
+        .map(|i| locked.and_then(|f| f(InstId::from(i))))
+        .collect();
+
+    let mut best: Option<(usize, Vec<bool>)> = None;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for start in 0..cfg.starts.max(1) {
+        let mut side = random_balanced(&hg, &locked_tier, total_area, &mut rng, start);
+        let cut = fm_refine(&hg, &mut side, &locked_tier, lo, hi, cfg.max_passes);
+        if best.as_ref().is_none_or(|(c, _)| cut < *c) {
+            best = Some((cut, side));
+        }
+    }
+    let (cut, side) = best.expect("at least one start");
+    Partition {
+        tier_of: side
+            .iter()
+            .map(|&s| if s { Tier::Top } else { Tier::Bottom })
+            .collect(),
+        cut,
+    }
+}
+
+/// Random area-balanced initial assignment honouring locks.
+fn random_balanced(
+    hg: &Hypergraph,
+    locked: &[Option<Tier>],
+    total_area: f64,
+    rng: &mut StdRng,
+    _start: usize,
+) -> Vec<bool> {
+    let n = hg.area.len();
+    let mut side = vec![false; n];
+    let mut top_area = 0.0;
+    for (i, l) in locked.iter().enumerate() {
+        if let Some(t) = l {
+            side[i] = *t == Tier::Top;
+            if side[i] {
+                top_area += hg.area[i];
+            }
+        }
+    }
+    let mut free: Vec<usize> = (0..n).filter(|&i| locked[i].is_none()).collect();
+    free.shuffle(rng);
+    for i in free {
+        if top_area < total_area * 0.5 {
+            side[i] = true;
+            top_area += hg.area[i];
+        } else {
+            side[i] = false;
+        }
+    }
+    side
+}
+
+/// One FM run: repeated passes until a pass yields no improvement.
+/// Returns the final cut size.
+fn fm_refine(
+    hg: &Hypergraph,
+    side: &mut [bool],
+    locked: &[Option<Tier>],
+    lo: f64,
+    hi: f64,
+    max_passes: usize,
+) -> usize {
+    let n = side.len();
+    let mut cut = count_cut(hg, side);
+    for _ in 0..max_passes {
+        // per-net side counts
+        let mut counts: Vec<(u32, u32)> = hg
+            .nets
+            .iter()
+            .map(|verts| {
+                let top = verts.iter().filter(|&&v| side[v as usize]).count() as u32;
+                (verts.len() as u32 - top, top)
+            })
+            .collect();
+        let mut top_area: f64 = (0..n).filter(|&i| side[i]).map(|i| hg.area[i]).sum();
+
+        let gain_of = |v: usize, side: &[bool], counts: &[(u32, u32)]| -> i64 {
+            let mut g = 0i64;
+            for &nid in &hg.incident[v] {
+                let (b, t) = counts[nid as usize];
+                let (from, to) = if side[v] { (t, b) } else { (b, t) };
+                if from == 1 {
+                    g += 1; // moving v uncuts the net
+                }
+                if to == 0 {
+                    g -= 1; // moving v cuts the net
+                }
+            }
+            g
+        };
+
+        let mut stamp = vec![0u32; n];
+        let mut heap: BinaryHeap<(i64, u32, u32)> = BinaryHeap::new();
+        for v in 0..n {
+            if locked[v].is_none() {
+                heap.push((gain_of(v, side, &counts), 0, v as u32));
+            }
+        }
+        let mut moved = vec![false; n];
+        let mut order: Vec<(usize, i64)> = Vec::new();
+        while let Some((g, s, v)) = heap.pop() {
+            let v = v as usize;
+            if moved[v] || s != stamp[v] {
+                continue;
+            }
+            // balance feasibility
+            let new_top = if side[v] {
+                top_area - hg.area[v]
+            } else {
+                top_area + hg.area[v]
+            };
+            if new_top < lo || new_top > hi {
+                continue; // skip this vertex for the rest of the pass
+            }
+            // apply move
+            moved[v] = true;
+            order.push((v, g));
+            for &nid in &hg.incident[v] {
+                let c = &mut counts[nid as usize];
+                if side[v] {
+                    c.1 -= 1;
+                    c.0 += 1;
+                } else {
+                    c.0 -= 1;
+                    c.1 += 1;
+                }
+            }
+            side[v] = !side[v];
+            top_area = new_top;
+            // refresh gains of unmoved neighbours
+            for &nid in &hg.incident[v] {
+                for &u in &hg.nets[nid as usize] {
+                    let u = u as usize;
+                    if !moved[u] && locked[u].is_none() {
+                        stamp[u] += 1;
+                        heap.push((gain_of(u, side, &counts), stamp[u], u as u32));
+                    }
+                }
+            }
+        }
+        // find the best prefix of the move sequence
+        let mut best_gain = 0i64;
+        let mut running = 0i64;
+        let mut best_k = 0usize;
+        for (k, &(_, g)) in order.iter().enumerate() {
+            running += g;
+            if running > best_gain {
+                best_gain = running;
+                best_k = k + 1;
+            }
+        }
+        // undo moves beyond the best prefix
+        for &(v, _) in &order[best_k..] {
+            side[v] = !side[v];
+        }
+        if best_gain <= 0 {
+            break;
+        }
+        cut = (cut as i64 - best_gain) as usize;
+    }
+    debug_assert_eq!(cut, count_cut(hg, side));
+    cut
+}
+
+fn count_cut(hg: &Hypergraph, side: &[bool]) -> usize {
+    hg.nets
+        .iter()
+        .filter(|verts| {
+            let first = side[verts[0] as usize];
+            verts.iter().any(|&v| side[v as usize] != first)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foldic_netlist::{InstMaster, PinRef};
+    use foldic_tech::{CellKind, Drive, VthClass};
+
+    /// Two cliques of `k` cells joined by a single bridge net: FM must find
+    /// the bridge.
+    fn two_cliques(k: usize) -> (Netlist, Technology) {
+        let tech = Technology::cmos28();
+        let lib = &tech.cells;
+        let master = InstMaster::Cell(lib.id_of(CellKind::Nand2, Drive::X1, VthClass::Rvt));
+        let mut nl = Netlist::new("cliques");
+        let ids: Vec<InstId> = (0..2 * k)
+            .map(|i| nl.add_inst(format!("u{i}"), master))
+            .collect();
+        let mut wire = |a: InstId, b: InstId, name: String, nl: &mut Netlist| {
+            let n = nl.add_net(name);
+            nl.connect_driver(n, PinRef::output(a));
+            nl.connect_sink(n, PinRef::input(b, 0));
+        };
+        for c in 0..2 {
+            let base = c * k;
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    wire(ids[base + i], ids[base + j], format!("c{c}_{i}_{j}"), &mut nl);
+                }
+            }
+        }
+        wire(ids[0], ids[k], "bridge".into(), &mut nl);
+        (nl, tech)
+    }
+
+    #[test]
+    fn finds_the_bridge_cut() {
+        let (nl, tech) = two_cliques(12);
+        let p = bipartition(&nl, &tech, &PartitionConfig::default());
+        assert_eq!(p.cut, 1, "must cut only the bridge net");
+        assert!(p.balance(&nl, &tech) < 0.05);
+    }
+
+    #[test]
+    fn cut_size_matches_recount() {
+        let (nl, tech) = two_cliques(8);
+        let p = bipartition(&nl, &tech, &PartitionConfig::default());
+        assert_eq!(p.cut, p.cut_size(&nl));
+    }
+
+    #[test]
+    fn seeded_locks_are_respected() {
+        let (nl, tech) = two_cliques(8);
+        // lock vertex 0 to Top and vertex 8 (other clique) to Bottom
+        let lock = |id: InstId| -> Option<Tier> {
+            match id.0 {
+                0 => Some(Tier::Top),
+                8 => Some(Tier::Bottom),
+                _ => None,
+            }
+        };
+        let p = bipartition_seeded(&nl, &tech, &PartitionConfig::default(), Some(&lock));
+        assert_eq!(p.tier_of[0], Tier::Top);
+        assert_eq!(p.tier_of[8], Tier::Bottom);
+        assert_eq!(p.cut, 1);
+    }
+
+    #[test]
+    fn empty_netlist_is_fine() {
+        let tech = Technology::cmos28();
+        let nl = Netlist::new("empty");
+        let p = bipartition(&nl, &tech, &PartitionConfig::default());
+        assert_eq!(p.cut, 0);
+        assert!(p.tier_of.is_empty());
+    }
+
+    #[test]
+    fn balance_tolerance_is_enforced() {
+        let (nl, tech) = two_cliques(20);
+        let cfg = PartitionConfig {
+            balance_tol: 0.02,
+            ..Default::default()
+        };
+        let p = bipartition(&nl, &tech, &cfg);
+        assert!(p.balance(&nl, &tech) <= 0.05);
+    }
+}

@@ -1,0 +1,275 @@
+//! Quadratic wirelength system and conjugate-gradient solver.
+
+use foldic_geom::{Point, Rect};
+use foldic_netlist::{InstId, Netlist, PinRef};
+
+/// Nets up to this many pins enter the system as cliques; larger nets use
+/// centroid (star) springs recomputed every solve.
+const CLIQUE_LIMIT: usize = 8;
+
+/// The quadratic placement system: static clique edges plus per-solve
+/// centroid springs and spreading anchors.
+#[derive(Debug)]
+pub struct QuadraticSystem {
+    movable: Vec<InstId>,
+    var_of: Vec<Option<u32>>,
+    /// movable–movable springs `(a, b, w)`
+    edges: Vec<(u32, u32, f64)>,
+    /// movable–fixed springs `(a, fixed position, w)`
+    fixed_springs: Vec<(u32, Point, f64)>,
+    /// star nets: pin lists for centroid springs
+    star_nets: Vec<(Vec<PinRef>, f64)>,
+    /// adjacency (CSR-ish) built from `edges`
+    nbr_index: Vec<Vec<(u32, f64)>>,
+}
+
+impl QuadraticSystem {
+    /// Builds the system from the netlist topology. Clock nets are
+    /// excluded (they are routed as balanced trees, not optimized for
+    /// wirelength).
+    pub fn build(netlist: &Netlist, _outline: Rect) -> Self {
+        let n = netlist.num_insts();
+        let mut var_of = vec![None; n];
+        let mut movable = Vec::new();
+        for (id, inst) in netlist.insts() {
+            if !inst.fixed {
+                var_of[id.index()] = Some(movable.len() as u32);
+                movable.push(id);
+            }
+        }
+        let mut edges = Vec::new();
+        let mut fixed_springs = Vec::new();
+        let mut star_nets = Vec::new();
+        for (_, net) in netlist.nets() {
+            if net.is_clock {
+                continue;
+            }
+            let pins: Vec<PinRef> = net.pins().collect();
+            if pins.len() < 2 {
+                continue;
+            }
+            if pins.len() <= CLIQUE_LIMIT {
+                let w = 1.0 / (pins.len() as f64 - 1.0);
+                for i in 0..pins.len() {
+                    for j in (i + 1)..pins.len() {
+                        match (pin_var(netlist, &var_of, pins[i]), pin_var(netlist, &var_of, pins[j])) {
+                            (Var::Movable(a), Var::Movable(b)) => {
+                                if a != b {
+                                    edges.push((a, b, w));
+                                }
+                            }
+                            (Var::Movable(a), Var::Fixed(p)) | (Var::Fixed(p), Var::Movable(a)) => {
+                                fixed_springs.push((a, p, w));
+                            }
+                            (Var::Fixed(_), Var::Fixed(_)) => {}
+                        }
+                    }
+                }
+            } else {
+                star_nets.push((pins.clone(), 2.0 / pins.len() as f64));
+            }
+        }
+        let mut nbr_index = vec![Vec::new(); movable.len()];
+        for &(a, b, w) in &edges {
+            nbr_index[a as usize].push((b, w));
+            nbr_index[b as usize].push((a, w));
+        }
+        Self {
+            movable,
+            var_of,
+            edges,
+            fixed_springs,
+            star_nets,
+            nbr_index,
+        }
+    }
+
+    /// Number of movable instances in the system.
+    pub fn num_movable(&self) -> usize {
+        self.movable.len()
+    }
+
+    /// Solves the x and y systems with anchors of weight `anchor_w` at the
+    /// instances' current positions, then writes the solution back into
+    /// the netlist (clamped to `outline`).
+    pub fn solve(&mut self, netlist: &mut Netlist, outline: Rect, cg_iters: usize, anchor_w: f64) {
+        let n = self.movable.len();
+        if n == 0 {
+            return;
+        }
+        // Base diagonal from clique + fixed springs.
+        let mut diag = vec![1e-6; n];
+        for &(a, b, w) in &self.edges {
+            diag[a as usize] += w;
+            diag[b as usize] += w;
+        }
+        for &(a, _, w) in &self.fixed_springs {
+            diag[a as usize] += w;
+        }
+        let mut bx = vec![0.0; n];
+        let mut by = vec![0.0; n];
+        for &(a, p, w) in &self.fixed_springs {
+            bx[a as usize] += w * p.x;
+            by[a as usize] += w * p.y;
+        }
+        // Star springs at the current net centroids.
+        for (pins, w) in &self.star_nets {
+            let mut c = Point::ORIGIN;
+            for &p in pins {
+                c += netlist.pin_pos(p);
+            }
+            let c = c * (1.0 / pins.len() as f64);
+            for &p in pins {
+                if let Var::Movable(a) = pin_var(netlist, &self.var_of, p) {
+                    diag[a as usize] += w;
+                    bx[a as usize] += w * c.x;
+                    by[a as usize] += w * c.y;
+                }
+            }
+        }
+        // Spreading anchors at the current (post-equalization) positions.
+        let anchors: Vec<Point> = self.movable.iter().map(|&id| netlist.inst(id).pos).collect();
+        for (i, p) in anchors.iter().enumerate() {
+            diag[i] += anchor_w;
+            bx[i] += anchor_w * p.x;
+            by[i] += anchor_w * p.y;
+        }
+
+        let x0: Vec<f64> = anchors.iter().map(|p| p.x).collect();
+        let y0: Vec<f64> = anchors.iter().map(|p| p.y).collect();
+        let xs = self.cg(&diag, &bx, x0, cg_iters);
+        let ys = self.cg(&diag, &by, y0, cg_iters);
+        for (i, &id) in self.movable.iter().enumerate() {
+            let p = Point::new(xs[i], ys[i]).clamped(outline);
+            netlist.inst_mut(id).pos = if p.is_finite() { p } else { anchors[i] };
+        }
+    }
+
+    /// Jacobi-preconditioned conjugate gradient for `A v = b` where
+    /// `A = diag − offdiag(edges)` (a weighted Laplacian plus anchors).
+    fn cg(&self, diag: &[f64], b: &[f64], mut v: Vec<f64>, iters: usize) -> Vec<f64> {
+        let n = v.len();
+        let mat_vec = |v: &[f64], out: &mut [f64]| {
+            for i in 0..n {
+                let mut s = diag[i] * v[i];
+                for &(j, w) in &self.nbr_index[i] {
+                    s -= w * v[j as usize];
+                }
+                out[i] = s;
+            }
+        };
+        let mut r = vec![0.0; n];
+        mat_vec(&v, &mut r);
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+        }
+        let mut z: Vec<f64> = r.iter().zip(diag).map(|(ri, di)| ri / di).collect();
+        let mut p = z.clone();
+        let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let mut ap = vec![0.0; n];
+        for _ in 0..iters {
+            if rz.abs() < 1e-12 {
+                break;
+            }
+            mat_vec(&p, &mut ap);
+            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            if pap.abs() < 1e-18 {
+                break;
+            }
+            let alpha = rz / pap;
+            for i in 0..n {
+                v[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            for i in 0..n {
+                z[i] = r[i] / diag[i];
+            }
+            let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            let beta = rz_new / rz;
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        v
+    }
+}
+
+enum Var {
+    Movable(u32),
+    Fixed(Point),
+}
+
+fn pin_var(netlist: &Netlist, var_of: &[Option<u32>], pin: PinRef) -> Var {
+    match pin {
+        PinRef::InstOut(i) | PinRef::InstIn(i, _) => match var_of[i.index()] {
+            Some(v) => Var::Movable(v),
+            None => Var::Fixed(netlist.inst(i).pos),
+        },
+        PinRef::Port(p) => Var::Fixed(netlist.port(p).pos),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foldic_netlist::{InstMaster, PortDir};
+    use foldic_tech::{CellKind, CellLibrary, Drive, VthClass};
+
+    /// A chain of movable cells between two fixed ports must spread evenly
+    /// along the line between the ports (the classic quadratic solution).
+    #[test]
+    fn chain_solution_is_linear_interpolation() {
+        let lib = CellLibrary::cmos28();
+        let master = InstMaster::Cell(lib.id_of(CellKind::Buf, Drive::X1, VthClass::Rvt));
+        let mut nl = Netlist::new("chain");
+        let left = nl.add_port("in", PortDir::Input, foldic_netlist::ClockDomain::Cpu);
+        let right = nl.add_port("out", PortDir::Output, foldic_netlist::ClockDomain::Cpu);
+        nl.port_mut(left).pos = Point::new(0.0, 50.0);
+        nl.port_mut(right).pos = Point::new(100.0, 50.0);
+        let k = 4;
+        let cells: Vec<InstId> = (0..k).map(|i| nl.add_inst(format!("c{i}"), master)).collect();
+        let mut prev = PinRef::port(left);
+        for (i, &c) in cells.iter().enumerate() {
+            let net = nl.add_net(format!("n{i}"));
+            nl.connect_driver(net, prev);
+            nl.connect_sink(net, PinRef::input(c, 0));
+            prev = PinRef::output(c);
+        }
+        let last = nl.add_net("nlast");
+        nl.connect_driver(last, prev);
+        nl.connect_sink(last, PinRef::port(right));
+
+        let outline = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let mut sys = QuadraticSystem::build(&nl, outline);
+        assert_eq!(sys.num_movable(), k);
+        // several solves with negligible anchors converge to the line
+        for _ in 0..3 {
+            sys.solve(&mut nl, outline, 200, 1e-9);
+        }
+        for (i, &c) in cells.iter().enumerate() {
+            let expect = 100.0 * (i + 1) as f64 / (k + 1) as f64;
+            let got = nl.inst(c).pos;
+            assert!(
+                (got.x - expect).abs() < 1.0,
+                "cell {i} at {} expected x={expect}",
+                got
+            );
+            assert!((got.y - 50.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn anchors_hold_disconnected_cells() {
+        let lib = CellLibrary::cmos28();
+        let master = InstMaster::Cell(lib.id_of(CellKind::Inv, Drive::X1, VthClass::Rvt));
+        let mut nl = Netlist::new("loose");
+        let a = nl.add_inst("a", master);
+        nl.inst_mut(a).pos = Point::new(30.0, 70.0);
+        let outline = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let mut sys = QuadraticSystem::build(&nl, outline);
+        sys.solve(&mut nl, outline, 50, 0.5);
+        let p = nl.inst(a).pos;
+        assert!((p.x - 30.0).abs() < 1e-3 && (p.y - 70.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Supply/demand spreading by monotone 1-D equalization.
+//!
+//! After each quadratic solve the cells cluster in dense knots. This pass
+//! remaps cell coordinates so that the cumulative *demand* distribution
+//! matches the cumulative *supply* distribution bin-row by bin-row (x
+//! pass) and bin-column by bin-column (y pass). Macro holes carry zero
+//! supply, so the monotone remap transports cells around them — no halos,
+//! regardless of macro size (the §4.2 requirement).
+
+use crate::{MacroMode, Obstacle, PlacerConfig};
+use foldic_geom::{BinGrid, DensityMap, Point, Rect, Tier};
+use foldic_netlist::{InstId, Netlist};
+use foldic_tech::Technology;
+
+/// Damping of the equalization move (1.0 = jump straight to the target).
+const DAMP: f64 = 0.65;
+
+/// Runs one x+y equalization pass over the movable cells of `tier`
+/// (`None` = all tiers, for unfolded blocks).
+pub fn equalize_tier(
+    netlist: &mut Netlist,
+    tech: &Technology,
+    outline: Rect,
+    cfg: &PlacerConfig,
+    obstacles: &[Obstacle],
+    tier: Option<Tier>,
+) {
+    let min_dim = outline.width().min(outline.height());
+    let bin = (cfg.bin_rows * tech.row_height).clamp(min_dim / 32.0, min_dim / 8.0);
+    let grid = BinGrid::with_bin_size(outline, bin);
+    let mut dm = DensityMap::new(grid.clone(), cfg.target_util);
+    // macros: holes (the paper's §4.2 fix) or plain demand inflation
+    // (the Kraftwerk2 baseline that leaves halos)
+    for (_, inst) in netlist.insts() {
+        if inst.fixed && inst.master.is_macro() && tier.is_none_or(|t| inst.tier == t) {
+            match cfg.macro_mode {
+                MacroMode::Hole => dm.punch_hole(inst.rect(tech)),
+                MacroMode::DemandInflation => {
+                    // the macro participates in the spreading system as a
+                    // huge immovable demand; its pressure pushes cells
+                    // beyond the physical outline — the halo whitespace
+                    // Kraftwerk2-style handling leaves around big macros
+                    let r = inst.rect(tech);
+                    let halo = 0.2 * r.width().min(r.height());
+                    dm.punch_hole(r.inflated(halo));
+                }
+            }
+        }
+    }
+    for ob in obstacles {
+        if tier.is_none() || ob.tier.is_none() || ob.tier == tier {
+            dm.punch_hole(ob.rect);
+        }
+    }
+
+    let movable: Vec<(InstId, Point, f64)> = netlist
+        .insts()
+        .filter(|(_, i)| !i.fixed && tier.is_none_or(|t| i.tier == t))
+        .map(|(id, i)| (id, i.pos, i.area_um2(tech)))
+        .collect();
+    if movable.is_empty() {
+        return;
+    }
+
+    let mut pos: Vec<Point> = movable.iter().map(|m| m.1).collect();
+
+    // --- x pass: equalize within each bin row -------------------------------
+    remap_axis(&grid, &dm, &movable, &mut pos, Axis::X);
+    // --- y pass: equalize within each bin column ----------------------------
+    remap_axis(&grid, &dm, &movable, &mut pos, Axis::Y);
+
+    for ((id, _, _), p) in movable.iter().zip(&pos) {
+        netlist.inst_mut(*id).pos = p.clamped(outline);
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Axis {
+    X,
+    Y,
+}
+
+/// Equalizes one axis with **overflow-driven** transport: for every lane
+/// of bins perpendicular to `axis`, overflow (demand beyond capacity) is
+/// water-filled into the nearest bins with spare capacity, and cells are
+/// remapped monotonically from the old cumulative demand profile onto the
+/// feasible one. Bins below capacity keep their cells in place — an
+/// under-utilized region (e.g. the sparse logic channels of a
+/// macro-dominated block) is never stretched to fill its whitespace.
+fn remap_axis(
+    grid: &BinGrid,
+    dm: &DensityMap,
+    movable: &[(InstId, Point, f64)],
+    pos: &mut [Point],
+    axis: Axis,
+) {
+    let (lanes, bins_per_lane) = match axis {
+        Axis::X => (grid.rows(), grid.cols()),
+        Axis::Y => (grid.cols(), grid.rows()),
+    };
+    // demand per (lane, bin) from current positions
+    let mut demand = vec![0.0f64; lanes * bins_per_lane];
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); lanes];
+    for (k, p) in pos.iter().enumerate() {
+        let (c, r) = grid.bin_of(*p);
+        let (lane, b) = match axis {
+            Axis::X => (r, c),
+            Axis::Y => (c, r),
+        };
+        demand[lane * bins_per_lane + b] += movable[k].2;
+        members[lane].push(k);
+    }
+    let region = grid.region();
+    for lane in 0..lanes {
+        if members[lane].is_empty() {
+            continue;
+        }
+        let cap: Vec<f64> = (0..bins_per_lane)
+            .map(|b| {
+                let (c, r) = match axis {
+                    Axis::X => (b, lane),
+                    Axis::Y => (lane, b),
+                };
+                dm.supply(c, r)
+            })
+            .collect();
+        let d: Vec<f64> = (0..bins_per_lane)
+            .map(|b| demand[lane * bins_per_lane + b])
+            .collect();
+        if d.iter().zip(&cap).all(|(di, ci)| di <= ci) {
+            continue; // lane already feasible: nothing moves
+        }
+        // water-fill the overflow into neighbouring spare capacity
+        let mut dp = d.clone();
+        for _ in 0..2 {
+            // left -> right
+            for b in 0..bins_per_lane - 1 {
+                let e = dp[b] - cap[b];
+                if e > 0.0 {
+                    dp[b] -= e;
+                    dp[b + 1] += e;
+                }
+            }
+            // right -> left
+            for b in (1..bins_per_lane).rev() {
+                let e = dp[b] - cap[b];
+                if e > 0.0 {
+                    dp[b] -= e;
+                    dp[b - 1] += e;
+                }
+            }
+        }
+        // monotone remap: old cumulative demand -> new cumulative demand
+        let mut d_cum = vec![0.0; bins_per_lane + 1];
+        let mut dp_cum = vec![0.0; bins_per_lane + 1];
+        for b in 0..bins_per_lane {
+            d_cum[b + 1] = d_cum[b] + d[b];
+            dp_cum[b + 1] = dp_cum[b] + dp[b];
+        }
+        let total = d_cum[bins_per_lane];
+        if total <= 0.0 {
+            continue;
+        }
+        let (lo, step) = match axis {
+            Axis::X => (region.llx, grid.bin_width()),
+            Axis::Y => (region.lly, grid.bin_height()),
+        };
+        for &k in &members[lane] {
+            let coord = match axis {
+                Axis::X => pos[k].x,
+                Axis::Y => pos[k].y,
+            };
+            let fbin = ((coord - lo) / step).clamp(0.0, bins_per_lane as f64 - 1e-9);
+            let b = fbin as usize;
+            let frac = fbin - b as f64;
+            let here = d_cum[b] + frac * (d_cum[b + 1] - d_cum[b]);
+            // invert the new profile at the same cumulative mass
+            let mut nb = bins_per_lane - 1;
+            for bb in 0..bins_per_lane {
+                if dp_cum[bb + 1] >= here - 1e-12 {
+                    nb = bb;
+                    break;
+                }
+            }
+            let seg = dp_cum[nb + 1] - dp_cum[nb];
+            let f = if seg > 0.0 {
+                ((here - dp_cum[nb]) / seg).clamp(0.0, 1.0)
+            } else {
+                0.5
+            };
+            let new_coord = lo + (nb as f64 + f) * step;
+            let c = match axis {
+                Axis::X => &mut pos[k].x,
+                Axis::Y => &mut pos[k].y,
+            };
+            *c += DAMP * (new_coord - *c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foldic_netlist::InstMaster;
+    use foldic_tech::{CellKind, Drive, VthClass};
+
+    /// All cells start stacked in one corner; after a few equalization
+    /// passes the bin overflow must drop dramatically.
+    #[test]
+    fn spreading_reduces_overflow() {
+        let tech = Technology::cmos28();
+        let master = InstMaster::Cell(tech.cells.id_of(CellKind::Nand2, Drive::X2, VthClass::Rvt));
+        let outline = Rect::new(0.0, 0.0, 60.0, 60.0);
+        let mut nl = Netlist::new("blob");
+        for i in 0..400 {
+            let id = nl.add_inst(format!("c{i}"), master);
+            nl.inst_mut(id).pos = Point::new(5.0 + (i % 7) as f64 * 0.3, 5.0 + (i / 7) as f64 * 0.2);
+        }
+        let cfg = PlacerConfig::fast();
+        let overflow = |nl: &Netlist| {
+            let grid = BinGrid::with_bin_size(outline, 6.0);
+            let mut dm = DensityMap::new(grid, cfg.target_util);
+            for (_, inst) in nl.insts() {
+                dm.add_demand(inst.rect(&tech), inst.area_um2(&tech));
+            }
+            dm.overflow()
+        };
+        let before = overflow(&nl);
+        for _ in 0..6 {
+            equalize_tier(&mut nl, &tech, outline, &cfg, &[], None);
+        }
+        let after = overflow(&nl);
+        assert!(after < 0.35 * before, "overflow {before} -> {after}");
+    }
+
+    /// Cells must flow around a hole, not into it.
+    #[test]
+    fn holes_stay_empty() {
+        let tech = Technology::cmos28();
+        let master = InstMaster::Cell(tech.cells.id_of(CellKind::Inv, Drive::X1, VthClass::Rvt));
+        let outline = Rect::new(0.0, 0.0, 60.0, 60.0);
+        let hole = Rect::new(20.0, 20.0, 40.0, 40.0);
+        let mut nl = Netlist::new("hole");
+        for i in 0..300 {
+            let id = nl.add_inst(format!("c{i}"), master);
+            // start everyone inside the future hole
+            nl.inst_mut(id).pos = Point::new(21.0 + (i % 10) as f64, 21.0 + (i / 10) as f64 * 0.5);
+        }
+        let cfg = PlacerConfig::fast();
+        let obstacles = [Obstacle {
+            rect: hole,
+            tier: None,
+        }];
+        for _ in 0..8 {
+            equalize_tier(&mut nl, &tech, outline, &cfg, &obstacles, None);
+        }
+        // the density grid punches whole bins only, so measure against the
+        // interior that is guaranteed to be holed (bins fully covered)
+        let inside = nl
+            .insts()
+            .filter(|(_, i)| hole.inflated(-4.0).contains(i.pos))
+            .count();
+        assert!(inside <= 10, "{inside} cells still deep inside the hole");
+    }
+}

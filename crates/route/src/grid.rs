@@ -1,0 +1,256 @@
+//! Congestion-aware global routing on a g-cell grid.
+//!
+//! Used at chip level: inter-block nets are routed over the block array,
+//! where the available track supply per g-cell depends on the
+//! routing-layer policy — blocks that consume M8–M9 (SPC everywhere;
+//! every folded block under F2F bonding, §6.1) leave no over-the-block
+//! capacity and force detours.
+
+use foldic_geom::{BinGrid, Point, Rect};
+
+/// Routing statistics accumulated by a [`GlobalRouter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RouteStats {
+    /// Number of routed two-pin connections.
+    pub connections: usize,
+    /// Total routed length in µm.
+    pub routed_um: f64,
+    /// Total ideal (Manhattan) length in µm.
+    pub ideal_um: f64,
+    /// Connections that could not avoid over-capacity bins.
+    pub overflowed: usize,
+}
+
+impl RouteStats {
+    /// Mean detour factor (routed / ideal).
+    pub fn detour(&self) -> f64 {
+        if self.ideal_um > 0.0 {
+            self.routed_um / self.ideal_um
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A two-layer-direction g-cell congestion model.
+#[derive(Debug, Clone)]
+pub struct GlobalRouter {
+    grid: BinGrid,
+    /// horizontal track capacity per bin
+    cap_h: Vec<f64>,
+    /// vertical track capacity per bin
+    cap_v: Vec<f64>,
+    use_h: Vec<f64>,
+    use_v: Vec<f64>,
+    stats: RouteStats,
+}
+
+impl GlobalRouter {
+    /// Creates a router over `region` with ~`gcell_um` g-cells and a track
+    /// supply of `tracks_per_um` in each direction.
+    pub fn new(region: Rect, gcell_um: f64, tracks_per_um: f64) -> Self {
+        let grid = BinGrid::with_bin_size(region, gcell_um);
+        let n = grid.bin_count();
+        let cap_h = grid.bin_height() * tracks_per_um;
+        let cap_v = grid.bin_width() * tracks_per_um;
+        Self {
+            grid,
+            cap_h: vec![cap_h; n],
+            cap_v: vec![cap_v; n],
+            use_h: vec![0.0; n],
+            use_v: vec![0.0; n],
+            stats: RouteStats::default(),
+        }
+    }
+
+    /// Scales the capacity of every bin overlapping `rect` by `factor`
+    /// (0.0 = fully blocked). Used for routing-hungry / F2F-folded blocks.
+    pub fn scale_capacity(&mut self, rect: Rect, factor: f64) {
+        let ((c0, r0), (c1, r1)) = self.grid.bins_overlapping(rect);
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                let i = self.grid.flat(c, r);
+                self.cap_h[i] *= factor;
+                self.cap_v[i] *= factor;
+            }
+        }
+    }
+
+    /// Routes a two-pin connection of width `tracks` (bus bits), choosing
+    /// among L- and Z-shapes by congestion; records usage and returns the
+    /// routed length in µm.
+    pub fn route(&mut self, a: Point, b: Point, tracks: f64) -> f64 {
+        let ideal = a.manhattan(b);
+        self.stats.connections += 1;
+        self.stats.ideal_um += ideal;
+
+        // candidate bend points: the two L-shapes plus three Z midpoints
+        // in each direction
+        let mut candidates = vec![Point::new(b.x, a.y), Point::new(a.x, b.y)];
+        for f in [0.25, 0.5, 0.75] {
+            candidates.push(Point::new(a.x + (b.x - a.x) * f, a.y));
+            candidates.push(Point::new(a.x, a.y + (b.y - a.y) * f));
+        }
+        let mut best: Option<(Point, f64, f64)> = None; // (bend, cost, worst)
+        for &bend in &candidates {
+            let (len, worst) = self.probe_path(a, bend, b, tracks);
+            // congestion-weighted cost: length + heavy penalty per unit of
+            // worst-bin over-capacity
+            let cost = len * (1.0 + 2.0 * worst.max(0.0));
+            if best.as_ref().is_none_or(|(_, c, _)| cost < *c) {
+                best = Some((bend, cost, worst));
+            }
+        }
+        let (bend, _, worst) = best.expect("candidates are never empty");
+        if worst > 0.0 {
+            self.stats.overflowed += 1;
+        }
+        let len = self.commit_path(a, bend, b, tracks);
+        self.stats.routed_um += len;
+        len
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> RouteStats {
+        self.stats
+    }
+
+    /// Total positive overflow across all bins, in track-µm.
+    pub fn overflow(&self) -> f64 {
+        let h: f64 = self
+            .use_h
+            .iter()
+            .zip(&self.cap_h)
+            .map(|(u, c)| (u - c).max(0.0))
+            .sum();
+        let v: f64 = self
+            .use_v
+            .iter()
+            .zip(&self.cap_v)
+            .map(|(u, c)| (u - c).max(0.0))
+            .sum();
+        h + v
+    }
+
+    /// `(length, worst over-capacity ratio)` of the two-segment path
+    /// `a → bend → b` without committing it.
+    fn probe_path(&self, a: Point, bend: Point, b: Point, tracks: f64) -> (f64, f64) {
+        let mut worst = f64::NEG_INFINITY;
+        let mut len = 0.0;
+        for (p, q) in [(a, bend), (bend, b)] {
+            len += p.manhattan(q);
+            self.walk(p, q, &mut |i, horizontal| {
+                let (u, c) = if horizontal {
+                    (self.use_h[i] + tracks, self.cap_h[i])
+                } else {
+                    (self.use_v[i] + tracks, self.cap_v[i])
+                };
+                let over = if c > 0.0 { u / c - 1.0 } else { 10.0 };
+                if over > worst {
+                    worst = over;
+                }
+            });
+        }
+        (len, worst)
+    }
+
+    fn commit_path(&mut self, a: Point, bend: Point, b: Point, tracks: f64) -> f64 {
+        let mut touched: Vec<(usize, bool)> = Vec::new();
+        let mut len = 0.0;
+        for (p, q) in [(a, bend), (bend, b)] {
+            len += p.manhattan(q);
+            self.walk(p, q, &mut |i, horizontal| touched.push((i, horizontal)));
+        }
+        for (i, horizontal) in touched {
+            if horizontal {
+                self.use_h[i] += tracks;
+            } else {
+                self.use_v[i] += tracks;
+            }
+        }
+        len
+    }
+
+    /// Visits the bins crossed by the axis-aligned segment `p → q`.
+    /// Diagonal inputs are decomposed into an L through `(q.x, p.y)`.
+    fn walk(&self, p: Point, q: Point, f: &mut dyn FnMut(usize, bool)) {
+        let (c0, r0) = self.grid.bin_of(p);
+        let (c1, r1) = self.grid.bin_of(q);
+        if r0 == r1 {
+            for c in c0.min(c1)..=c0.max(c1) {
+                f(self.grid.flat(c, r0), true);
+            }
+        } else if c0 == c1 {
+            for r in r0.min(r1)..=r0.max(r1) {
+                f(self.grid.flat(c0, r), false);
+            }
+        } else {
+            let bend = Point::new(q.x, p.y);
+            self.walk(p, bend, f);
+            self.walk(bend, q, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> GlobalRouter {
+        GlobalRouter::new(Rect::new(0.0, 0.0, 1000.0, 1000.0), 50.0, 1.0)
+    }
+
+    #[test]
+    fn uncongested_routes_are_ideal() {
+        let mut r = router();
+        let len = r.route(Point::new(100.0, 100.0), Point::new(500.0, 300.0), 1.0);
+        assert_eq!(len, 600.0);
+        assert_eq!(r.stats().detour(), 1.0);
+        assert_eq!(r.overflow(), 0.0);
+    }
+
+    #[test]
+    fn blocked_region_forces_detours_or_overflow() {
+        let mut clean = router();
+        let mut blocked = router();
+        blocked.scale_capacity(Rect::new(300.0, 0.0, 700.0, 1000.0), 0.0);
+        // many parallel wires crossing the blocked column
+        for i in 0..20 {
+            let y = 100.0 + 30.0 * i as f64;
+            clean.route(Point::new(100.0, y), Point::new(900.0, y), 4.0);
+            blocked.route(Point::new(100.0, y), Point::new(900.0, y), 4.0);
+        }
+        assert!(blocked.stats().overflowed > 0);
+        assert!(blocked.overflow() > clean.overflow());
+    }
+
+    #[test]
+    fn congestion_spreads_wires() {
+        let mut r = router();
+        // hammer one straight corridor; later wires must pick other bends
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for i in 0..200 {
+            let len = r.route(Point::new(0.0, 500.0), Point::new(1000.0, 520.0), 1.0);
+            if i == 0 {
+                first = len;
+            }
+            last = len;
+        }
+        // the first wire is ideal; the capacity model keeps the router
+        // from endlessly stacking all wires on the same bins
+        assert_eq!(first, 1020.0);
+        assert!(last >= first);
+        assert!(r.stats().detour() >= 1.0);
+    }
+
+    #[test]
+    fn capacity_scaling_is_local() {
+        let mut r = router();
+        r.scale_capacity(Rect::new(0.0, 0.0, 100.0, 100.0), 0.0);
+        // a route far away is unaffected
+        let len = r.route(Point::new(500.0, 500.0), Point::new(900.0, 900.0), 1.0);
+        assert_eq!(len, 800.0);
+        assert_eq!(r.stats().overflowed, 0);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! Wirelength estimation, global routing and 3D-via placement.
+//!
+//! Four services the flow needs after placement:
+//!
+//! * [`steiner`] — rectilinear spanning/Steiner topology per net, total
+//!   and per-sink lengths (feeding Elmore delay and wire capacitance);
+//! * [`wiring`] — per-block wiring reports: routed wirelength with detour,
+//!   the >100×-cell-height *long wire* census of Table 3, and net length
+//!   lookup tables for the timing and power engines;
+//! * [`grid`] — a congestion-aware global router on a g-cell grid whose
+//!   capacity follows the routing-layer policy (§2.2/§6.1), used to
+//!   quantify detour when folded F2F blocks block over-the-block routing;
+//! * [`via`] — the paper's §5.1 contribution: choosing TSV / F2F-via
+//!   locations for the 3D nets of a folded block. F2F vias may sit
+//!   anywhere, including over macros; TSVs must claim legal silicon sites
+//!   on a pitch grid outside macros, which displaces them from the optimum
+//!   and degrades wirelength (the Fig. 6 effect).
+//!
+//! # Examples
+//!
+//! ```
+//! use foldic_geom::Point;
+//! use foldic_route::steiner::SteinerTree;
+//!
+//! let tree = SteinerTree::build(
+//!     Point::new(0.0, 0.0),
+//!     &[Point::new(10.0, 0.0), Point::new(10.0, 5.0)],
+//! );
+//! assert_eq!(tree.total_length(), 15.0);
+//! ```
+
+pub mod grid;
+pub mod merged;
+pub mod steiner;
+pub mod via;
+pub mod wiring;
+
+pub use grid::{GlobalRouter, RouteStats};
+pub use merged::{parse_merged, write_merged, MergedDesign};
+pub use steiner::SteinerTree;
+pub use via::{place_vias, Via3d, ViaPlacement};
+pub use wiring::{BlockWiring, NetLength};

@@ -1,0 +1,369 @@
+//! The "2D-like 3D design file" exchange of §5.1 (Fig. 4).
+//!
+//! To find F2F via locations with a commercial 2D router, the paper
+//! merges both dies of a folded block into one routing instance: cell and
+//! layer names get `_die_top` / `_die_bot` suffixes, only the 3D nets are
+//! listed for routing, and the 2D nets are tied off to ground so they
+//! cannot influence the 3D routes. This module writes and parses that
+//! merged design as a DEF-flavoured text format, so the folded state can
+//! be exported to (and re-imported from) external tools.
+//!
+//! Distances are in DEF-style database units of 1 nm.
+//!
+//! # Examples
+//!
+//! ```
+//! use foldic_route::merged::{parse_merged, write_merged};
+//! use foldic_t2::T2Config;
+//!
+//! let (design, tech) = T2Config::tiny().generate();
+//! let block = design.block(design.find_block("ccu").unwrap());
+//! let text = write_merged(&block.netlist, &tech, block.outline, "ccu_merged");
+//! let parsed = parse_merged(&text).unwrap();
+//! assert_eq!(parsed.name, "ccu_merged");
+//! assert_eq!(parsed.components.len(), block.netlist.num_insts());
+//! ```
+
+use foldic_geom::{Point, Rect, Tier};
+use foldic_netlist::{InstMaster, Netlist, PinRef};
+use foldic_tech::Technology;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Database units per µm (DEF convention: 1000 = nm grid).
+pub const DBU_PER_UM: f64 = 1000.0;
+
+/// One placed component of the merged design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedComponent {
+    /// Instance name.
+    pub name: String,
+    /// Master name with the die suffix, e.g. `NAND2X2_RVT_die_top`.
+    pub master: String,
+    /// Placement in µm.
+    pub pos: Point,
+}
+
+impl MergedComponent {
+    /// Which die the suffix encodes.
+    pub fn tier(&self) -> Option<Tier> {
+        if self.master.ends_with("_die_top") {
+            Some(Tier::Top)
+        } else if self.master.ends_with("_die_bot") {
+            Some(Tier::Bottom)
+        } else {
+            None
+        }
+    }
+}
+
+/// One routable 3D net of the merged design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedNet {
+    /// Net name.
+    pub name: String,
+    /// `(component, pin)` endpoints; the first is the driver.
+    pub pins: Vec<(String, String)>,
+}
+
+/// A parsed merged design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedDesign {
+    /// Design name.
+    pub name: String,
+    /// Die area in µm.
+    pub die: Rect,
+    /// All components of both dies.
+    pub components: Vec<MergedComponent>,
+    /// The 3D nets to route.
+    pub nets_3d: Vec<MergedNet>,
+    /// Number of 2D nets tied off to ground.
+    pub tied_off: usize,
+}
+
+/// Writes the merged 2D-like design of a folded block.
+pub fn write_merged(netlist: &Netlist, tech: &Technology, outline: Rect, name: &str) -> String {
+    let mut out = String::new();
+    let dbu = |v: f64| (v * DBU_PER_UM).round() as i64;
+    let _ = writeln!(out, "MERGEDDESIGN {name} ;");
+    let _ = writeln!(out, "UNITS DISTANCE MICRONS {} ;", DBU_PER_UM as i64);
+    let _ = writeln!(
+        out,
+        "DIEAREA ( {} {} ) ( {} {} ) ;",
+        dbu(outline.llx),
+        dbu(outline.lly),
+        dbu(outline.urx),
+        dbu(outline.ury)
+    );
+
+    let suffix = |t: Tier| match t {
+        Tier::Bottom => "_die_bot",
+        Tier::Top => "_die_top",
+    };
+    let _ = writeln!(out, "COMPONENTS {} ;", netlist.num_insts());
+    for (_, inst) in netlist.insts() {
+        let base = match inst.master {
+            InstMaster::Cell(m) => tech.cells.master(m).name.clone(),
+            InstMaster::Macro(k) => k.to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  - {} {}{} + PLACED ( {} {} ) ;",
+            inst.name,
+            base,
+            suffix(inst.tier),
+            dbu(inst.pos.x),
+            dbu(inst.pos.y)
+        );
+    }
+    let _ = writeln!(out, "END COMPONENTS");
+
+    let pin_name = |p: PinRef| -> Option<(String, String)> {
+        match p {
+            PinRef::InstOut(i) => Some((netlist.inst(i).name.clone(), "out".to_owned())),
+            PinRef::InstIn(i, k) => Some((netlist.inst(i).name.clone(), format!("in{k}"))),
+            PinRef::Port(_) => None,
+        }
+    };
+    let mut nets_3d = Vec::new();
+    let mut tied = 0usize;
+    for (nid, net) in netlist.nets() {
+        if netlist.net_is_3d(nid) {
+            let pins: Vec<(String, String)> = net.pins().filter_map(pin_name).collect();
+            if pins.len() >= 2 {
+                nets_3d.push((net.name.clone(), pins));
+                continue;
+            }
+        }
+        tied += 1;
+    }
+    let _ = writeln!(out, "NETS3D {} ;", nets_3d.len());
+    for (nname, pins) in &nets_3d {
+        let mut line = format!("  - {nname}");
+        for (c, p) in pins {
+            let _ = write!(line, " ( {c} {p} )");
+        }
+        let _ = writeln!(out, "{line} ;");
+    }
+    let _ = writeln!(out, "END NETS3D");
+    // the 2D nets are tied to ground so the external router ignores them
+    let _ = writeln!(out, "TIEDOFF {tied} ;");
+    let _ = writeln!(out, "END DESIGN");
+    out
+}
+
+/// A parse failure with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMergedError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseMergedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseMergedError {}
+
+/// Parses a merged design written by [`write_merged`].
+///
+/// # Errors
+///
+/// Returns [`ParseMergedError`] on malformed headers, component or net
+/// records.
+pub fn parse_merged(text: &str) -> Result<MergedDesign, ParseMergedError> {
+    let err = |line: usize, message: &str| ParseMergedError {
+        line,
+        message: message.to_owned(),
+    };
+    let mut name = None;
+    let mut die = None;
+    let mut components = Vec::new();
+    let mut nets_3d = Vec::new();
+    let mut tied_off = 0;
+    #[derive(PartialEq)]
+    enum Section {
+        Head,
+        Components,
+        Nets,
+    }
+    let mut section = Section::Head;
+    for (k, raw) in text.lines().enumerate() {
+        let line_no = k + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match section {
+            Section::Head | Section::Nets | Section::Components
+                if toks[0] == "MERGEDDESIGN" =>
+            {
+                name = Some(
+                    toks.get(1)
+                        .ok_or_else(|| err(line_no, "missing design name"))?
+                        .to_string(),
+                );
+            }
+            _ if toks[0] == "DIEAREA" => {
+                // DIEAREA ( x0 y0 ) ( x1 y1 ) ;
+                let nums: Vec<f64> = toks
+                    .iter()
+                    .filter_map(|t| t.parse::<i64>().ok())
+                    .map(|v| v as f64 / DBU_PER_UM)
+                    .collect();
+                if nums.len() != 4 {
+                    return Err(err(line_no, "DIEAREA needs four coordinates"));
+                }
+                die = Some(Rect::new(nums[0], nums[1], nums[2], nums[3]));
+            }
+            _ if toks[0] == "COMPONENTS" => section = Section::Components,
+            _ if toks[0] == "NETS3D" => section = Section::Nets,
+            _ if toks[0] == "TIEDOFF" => {
+                tied_off = toks
+                    .get(1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, "TIEDOFF needs a count"))?;
+            }
+            _ if toks[0] == "END" || toks[0] == "UNITS" => {}
+            Section::Components if toks[0] == "-" => {
+                // - name master + PLACED ( x y ) ;
+                if toks.len() < 9 {
+                    return Err(err(line_no, "short component record"));
+                }
+                let x: i64 = toks[6]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad x coordinate"))?;
+                let y: i64 = toks[7]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad y coordinate"))?;
+                components.push(MergedComponent {
+                    name: toks[1].to_owned(),
+                    master: toks[2].to_owned(),
+                    pos: Point::new(x as f64 / DBU_PER_UM, y as f64 / DBU_PER_UM),
+                });
+            }
+            Section::Nets if toks[0] == "-" => {
+                // - name ( comp pin ) ( comp pin ) ... ;
+                let mut pins = Vec::new();
+                let mut i = 2;
+                while i + 3 < toks.len() {
+                    if toks[i] == "(" && toks[i + 3] == ")" {
+                        pins.push((toks[i + 1].to_owned(), toks[i + 2].to_owned()));
+                        i += 4;
+                    } else {
+                        break;
+                    }
+                }
+                if pins.len() < 2 {
+                    return Err(err(line_no, "net with fewer than two pins"));
+                }
+                nets_3d.push(MergedNet {
+                    name: toks[1].to_owned(),
+                    pins,
+                });
+            }
+            _ => return Err(err(line_no, "unrecognized record")),
+        }
+    }
+    Ok(MergedDesign {
+        name: name.ok_or_else(|| err(0, "missing MERGEDDESIGN header"))?,
+        die: die.ok_or_else(|| err(0, "missing DIEAREA"))?,
+        components,
+        nets_3d,
+        tied_off,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foldic_netlist::InstId;
+    use foldic_tech::{CellKind, Drive, VthClass};
+
+    fn folded_netlist() -> (Netlist, Technology) {
+        let tech = Technology::cmos28();
+        let m = InstMaster::Cell(tech.cells.id_of(CellKind::Inv, Drive::X2, VthClass::Rvt));
+        let mut nl = Netlist::new("t");
+        let a = nl.add_inst("a", m);
+        let b = nl.add_inst("b", m);
+        let c = nl.add_inst("c", m);
+        nl.inst_mut(a).pos = Point::new(10.0, 20.0);
+        nl.inst_mut(b).pos = Point::new(30.0, 40.0);
+        nl.inst_mut(b).tier = Tier::Top;
+        nl.inst_mut(c).pos = Point::new(50.0, 60.0);
+        // a -> b crosses tiers (3D); a -> c stays 2D
+        let n3d = nl.add_net("x3d");
+        nl.connect_driver(n3d, PinRef::output(a));
+        nl.connect_sink(n3d, PinRef::input(b, 0));
+        let n2d = nl.add_net("flat");
+        nl.connect_driver(n2d, PinRef::output(c));
+        nl.connect_sink(n2d, PinRef::input(a, 0));
+        (nl, tech)
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let (nl, tech) = folded_netlist();
+        let outline = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let text = write_merged(&nl, &tech, outline, "demo");
+        let parsed = parse_merged(&text).expect("parse");
+        assert_eq!(parsed.name, "demo");
+        assert_eq!(parsed.die, outline);
+        assert_eq!(parsed.components.len(), 3);
+        assert_eq!(parsed.nets_3d.len(), 1);
+        assert_eq!(parsed.tied_off, 1);
+        assert_eq!(parsed.nets_3d[0].name, "x3d");
+        assert_eq!(parsed.nets_3d[0].pins.len(), 2);
+    }
+
+    #[test]
+    fn masters_carry_die_suffixes() {
+        let (nl, tech) = folded_netlist();
+        let text = write_merged(&nl, &tech, Rect::new(0.0, 0.0, 100.0, 100.0), "demo");
+        let parsed = parse_merged(&text).unwrap();
+        let b = parsed.components.iter().find(|c| c.name == "b").unwrap();
+        assert!(b.master.ends_with("_die_top"), "{}", b.master);
+        assert_eq!(b.tier(), Some(Tier::Top));
+        let a = parsed.components.iter().find(|c| c.name == "a").unwrap();
+        assert_eq!(a.tier(), Some(Tier::Bottom));
+    }
+
+    #[test]
+    fn positions_roundtrip_at_dbu_precision() {
+        let (mut nl, tech) = folded_netlist();
+        nl.inst_mut(InstId(0)).pos = Point::new(12.3456789, 98.7654321);
+        let text = write_merged(&nl, &tech, Rect::new(0.0, 0.0, 100.0, 100.0), "p");
+        let parsed = parse_merged(&text).unwrap();
+        let a = parsed.components.iter().find(|c| c.name == "a").unwrap();
+        assert!((a.pos.x - 12.346).abs() < 1e-9);
+        assert!((a.pos.y - 98.765).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_inputs_error_with_line_numbers() {
+        assert!(parse_merged("").is_err());
+        let bad = "MERGEDDESIGN x ;\nDIEAREA ( 0 0 ) ( 10 ) ;";
+        let e = parse_merged(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("DIEAREA"));
+        let bad2 = "MERGEDDESIGN x ;\nDIEAREA ( 0 0 ) ( 10 10 ) ;\nGARBAGE here";
+        assert!(parse_merged(bad2).is_err());
+    }
+
+    #[test]
+    fn folded_t2_block_roundtrips() {
+        let (design, tech) = foldic_t2::T2Config::tiny().generate();
+        let block = design.block(design.find_block("l2t0").unwrap());
+        let text = write_merged(&block.netlist, &tech, block.outline, "l2t0_merged");
+        let parsed = parse_merged(&text).expect("parse generated block");
+        assert_eq!(parsed.components.len(), block.netlist.num_insts());
+        // unfolded block: no 3D nets, everything tied off
+        assert_eq!(parsed.nets_3d.len(), 0);
+        assert_eq!(parsed.tied_off, block.netlist.num_nets());
+    }
+}

@@ -1,0 +1,181 @@
+//! Rectilinear net topology: Prim spanning tree with per-sink path
+//! lengths and a Steiner-ratio correction.
+
+use foldic_geom::Point;
+
+/// Empirical ratio between a rectilinear Steiner tree and the rectilinear
+/// MST for random point sets; the router applies it to MST lengths.
+pub const STEINER_RATIO: f64 = 0.85;
+
+/// A routing topology for one net: a spanning tree over the driver and
+/// sink positions in the Manhattan metric.
+#[derive(Debug, Clone)]
+pub struct SteinerTree {
+    /// Pin positions; index 0 is the driver.
+    points: Vec<Point>,
+    /// Parent index per point (parent of the driver is itself).
+    parent: Vec<usize>,
+    /// Tree distance from the driver to each point.
+    path_len: Vec<f64>,
+    /// Total edge length (MST, before the Steiner correction).
+    mst_len: f64,
+}
+
+impl SteinerTree {
+    /// Builds the topology for a driver and its sinks (Prim's algorithm,
+    /// O(p²) — net degrees are small).
+    pub fn build(driver: Point, sinks: &[Point]) -> Self {
+        let mut points = Vec::with_capacity(sinks.len() + 1);
+        points.push(driver);
+        points.extend_from_slice(sinks);
+        let n = points.len();
+        let mut parent = vec![0usize; n];
+        let mut in_tree = vec![false; n];
+        let mut best_d = vec![f64::INFINITY; n];
+        let mut best_p = vec![0usize; n];
+        in_tree[0] = true;
+        for i in 1..n {
+            best_d[i] = points[0].manhattan(points[i]);
+        }
+        let mut mst_len = 0.0;
+        for _ in 1..n {
+            // pick the nearest out-of-tree point
+            let mut v = usize::MAX;
+            let mut d = f64::INFINITY;
+            for i in 1..n {
+                if !in_tree[i] && best_d[i] < d {
+                    d = best_d[i];
+                    v = i;
+                }
+            }
+            if v == usize::MAX {
+                break;
+            }
+            in_tree[v] = true;
+            parent[v] = best_p[v];
+            mst_len += d;
+            for i in 1..n {
+                if !in_tree[i] {
+                    let nd = points[v].manhattan(points[i]);
+                    if nd < best_d[i] {
+                        best_d[i] = nd;
+                        best_p[i] = v;
+                    }
+                }
+            }
+        }
+        // driver-to-pin path lengths down the tree
+        let mut path_len = vec![0.0; n];
+        // points are connected in insertion order of Prim, but parents may
+        // be any in-tree vertex; resolve by repeated relaxation (n is tiny)
+        let mut resolved = vec![false; n];
+        resolved[0] = true;
+        let mut remaining = n - 1;
+        while remaining > 0 {
+            let mut progressed = false;
+            for i in 1..n {
+                if !resolved[i] && resolved[parent[i]] {
+                    path_len[i] = path_len[parent[i]] + points[parent[i]].manhattan(points[i]);
+                    resolved[i] = true;
+                    remaining -= 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break; // disconnected (cannot happen for finite points)
+            }
+        }
+        Self {
+            points,
+            parent,
+            path_len,
+            mst_len,
+        }
+    }
+
+    /// Steiner-corrected total wirelength of the net in µm.
+    pub fn total_length(&self) -> f64 {
+        if self.points.len() <= 3 {
+            // MST is optimal (equals RSMT) for 2 pins; near-optimal for 3
+            self.mst_len
+        } else {
+            self.mst_len * STEINER_RATIO
+        }
+    }
+
+    /// Raw spanning-tree length in µm.
+    pub fn mst_length(&self) -> f64 {
+        self.mst_len
+    }
+
+    /// Tree distance from the driver to sink `i` (0-based over the sink
+    /// slice passed to [`SteinerTree::build`]).
+    pub fn sink_path_length(&self, i: usize) -> f64 {
+        self.path_len[i + 1]
+    }
+
+    /// Number of pins (driver + sinks).
+    pub fn num_pins(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Tree edges as `(child, parent)` point pairs (for plotting / the
+    /// global router).
+    pub fn edges(&self) -> impl Iterator<Item = (Point, Point)> + '_ {
+        (1..self.points.len()).map(|i| (self.points[i], self.points[self.parent[i]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_pin_net_is_manhattan() {
+        let t = SteinerTree::build(Point::new(0.0, 0.0), &[Point::new(3.0, 4.0)]);
+        assert_eq!(t.total_length(), 7.0);
+        assert_eq!(t.sink_path_length(0), 7.0);
+    }
+
+    #[test]
+    fn chain_paths_accumulate() {
+        let sinks = [Point::new(10.0, 0.0), Point::new(20.0, 0.0), Point::new(30.0, 0.0)];
+        let t = SteinerTree::build(Point::new(0.0, 0.0), &sinks);
+        assert_eq!(t.mst_length(), 30.0);
+        assert_eq!(t.sink_path_length(2), 30.0);
+        assert_eq!(t.sink_path_length(0), 10.0);
+    }
+
+    #[test]
+    fn steiner_ratio_applies_to_big_nets() {
+        let sinks: Vec<Point> = (0..8)
+            .map(|i| Point::new((i % 3) as f64 * 10.0, (i / 3) as f64 * 10.0))
+            .collect();
+        let t = SteinerTree::build(Point::new(15.0, 15.0), &sinks);
+        assert!((t.total_length() - t.mst_length() * STEINER_RATIO).abs() < 1e-9);
+        assert!(t.total_length() < t.mst_length());
+    }
+
+    #[test]
+    fn star_prefers_hub_edges() {
+        // sinks around a central driver must connect directly (no chain)
+        let sinks = [
+            Point::new(10.0, 0.0),
+            Point::new(-10.0, 0.0),
+            Point::new(0.0, 10.0),
+            Point::new(0.0, -10.0),
+        ];
+        let t = SteinerTree::build(Point::ORIGIN, &sinks);
+        assert_eq!(t.mst_length(), 40.0);
+        for i in 0..4 {
+            assert_eq!(t.sink_path_length(i), 10.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_single_pin() {
+        let t = SteinerTree::build(Point::ORIGIN, &[]);
+        assert_eq!(t.total_length(), 0.0);
+        assert_eq!(t.num_pins(), 1);
+    }
+}

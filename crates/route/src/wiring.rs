@@ -1,0 +1,230 @@
+//! Per-block wiring analysis: routed lengths, per-sink paths, long-wire
+//! census.
+
+use crate::steiner::SteinerTree;
+use crate::via::ViaPlacement;
+use foldic_geom::{Point, Tier};
+use foldic_netlist::{NetId, Netlist};
+use foldic_tech::Technology;
+
+/// Default detour factor between Steiner length and routed length.
+pub const DEFAULT_DETOUR: f64 = 1.10;
+
+/// Routed-length record for one net.
+#[derive(Debug, Clone)]
+pub struct NetLength {
+    /// The net.
+    pub net: NetId,
+    /// Routed total length in µm (detour included).
+    pub length_um: f64,
+    /// Driver-to-sink path length per sink, in `net.sinks` order.
+    pub sink_paths: Vec<f64>,
+    /// `true` when the net crosses tiers (carries a TSV / F2F via).
+    pub is_3d: bool,
+}
+
+/// Wiring report of a placed block.
+#[derive(Debug, Clone)]
+pub struct BlockWiring {
+    /// Per-net records, indexed by `NetId`.
+    pub nets: Vec<NetLength>,
+    /// Total routed wirelength in µm.
+    pub total_um: f64,
+    /// Nets longer than the technology's long-wire threshold (Table 3).
+    pub long_wires: usize,
+    /// Number of tier-crossing nets.
+    pub num_3d: usize,
+}
+
+impl BlockWiring {
+    /// Analyzes a placed netlist.
+    ///
+    /// `vias` supplies 3D-via locations for folded blocks; without it,
+    /// tier-crossing nets are measured with an *ideal* 3D interconnect
+    /// (pins treated as coplanar) — the assumption of the §5.1 flow's
+    /// first pass.
+    pub fn analyze(
+        netlist: &Netlist,
+        tech: &Technology,
+        detour: f64,
+        vias: Option<&ViaPlacement>,
+    ) -> Self {
+        let mut nets = Vec::with_capacity(netlist.num_nets());
+        let mut total = 0.0;
+        let mut long_wires = 0;
+        let mut num_3d = 0;
+        let threshold = tech.long_wire_threshold();
+        for (nid, net) in netlist.nets() {
+            let Some(driver) = net.driver else {
+                nets.push(NetLength {
+                    net: nid,
+                    length_um: 0.0,
+                    sink_paths: Vec::new(),
+                    is_3d: false,
+                });
+                continue;
+            };
+            let dpos = netlist.pin_pos(driver);
+            let dtier = netlist.pin_tier(driver);
+            let sinks: Vec<(Point, Tier)> = net
+                .sinks
+                .iter()
+                .map(|&s| (netlist.pin_pos(s), netlist.pin_tier(s)))
+                .collect();
+            let is_3d = sinks.iter().any(|&(_, t)| t != dtier);
+
+            let (length, sink_paths) = match (is_3d, vias.and_then(|v| v.via_of(nid))) {
+                (true, Some(via)) => route_3d(dpos, dtier, &sinks, via.pos, detour),
+                _ => {
+                    // coplanar (2D net, or ideal 3D interconnect)
+                    let pts: Vec<Point> = sinks.iter().map(|&(p, _)| p).collect();
+                    let tree = SteinerTree::build(dpos, &pts);
+                    let paths = (0..pts.len())
+                        .map(|i| tree.sink_path_length(i) * detour)
+                        .collect();
+                    (tree.total_length() * detour, paths)
+                }
+            };
+            if is_3d {
+                num_3d += 1;
+            }
+            if length > threshold {
+                long_wires += 1;
+            }
+            total += length;
+            nets.push(NetLength {
+                net: nid,
+                length_um: length,
+                sink_paths,
+                is_3d,
+            });
+        }
+        Self {
+            nets,
+            total_um: total,
+            long_wires,
+            num_3d,
+        }
+    }
+
+    /// The record of `net`.
+    pub fn net(&self, net: NetId) -> &NetLength {
+        &self.nets[net.index()]
+    }
+
+    /// Total routed length in metres (the unit of the paper's tables).
+    pub fn total_m(&self) -> f64 {
+        self.total_um * 1e-6
+    }
+}
+
+/// Routes a tier-crossing net through its via: one subtree per tier with
+/// the via as the crossing point.
+fn route_3d(
+    dpos: Point,
+    dtier: Tier,
+    sinks: &[(Point, Tier)],
+    via: Point,
+    detour: f64,
+) -> (f64, Vec<f64>) {
+    let near: Vec<Point> = sinks
+        .iter()
+        .filter(|&&(_, t)| t == dtier)
+        .map(|&(p, _)| p)
+        .collect();
+    let far: Vec<Point> = sinks
+        .iter()
+        .filter(|&&(_, t)| t != dtier)
+        .map(|&(p, _)| p)
+        .collect();
+    // near tree: driver + near sinks + the via
+    let mut near_pts = near.clone();
+    near_pts.push(via);
+    let near_tree = SteinerTree::build(dpos, &near_pts);
+    let via_path = near_tree.sink_path_length(near.len());
+    // far tree: via acts as the driver
+    let far_tree = SteinerTree::build(via, &far);
+    let length = (near_tree.total_length() + far_tree.total_length()) * detour;
+    // stitch per-sink paths back into the original sink order
+    let mut near_iter = 0usize;
+    let mut far_iter = 0usize;
+    let mut paths = Vec::with_capacity(sinks.len());
+    for &(_, t) in sinks {
+        if t == dtier {
+            paths.push(near_tree.sink_path_length(near_iter) * detour);
+            near_iter += 1;
+        } else {
+            paths.push((via_path + far_tree.sink_path_length(far_iter)) * detour);
+            far_iter += 1;
+        }
+    }
+    (length, paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foldic_netlist::{InstMaster, PinRef};
+    use foldic_tech::{CellKind, Drive, VthClass};
+
+    fn tech() -> Technology {
+        Technology::cmos28()
+    }
+
+    fn two_cell_net(dist: f64) -> Netlist {
+        let t = tech();
+        let m = InstMaster::Cell(t.cells.id_of(CellKind::Inv, Drive::X1, VthClass::Rvt));
+        let mut nl = Netlist::new("n");
+        let a = nl.add_inst("a", m);
+        let b = nl.add_inst("b", m);
+        nl.inst_mut(b).pos = Point::new(dist, 0.0);
+        let n = nl.add_net("w");
+        nl.connect_driver(n, PinRef::output(a));
+        nl.connect_sink(n, PinRef::input(b, 0));
+        nl
+    }
+
+    #[test]
+    fn detour_scales_length() {
+        let nl = two_cell_net(100.0);
+        let w = BlockWiring::analyze(&nl, &tech(), 1.1, None);
+        assert!((w.total_um - 110.0).abs() < 1e-9);
+        assert_eq!(w.nets[0].sink_paths.len(), 1);
+    }
+
+    #[test]
+    fn long_wire_census_uses_threshold() {
+        let t = tech();
+        let short = BlockWiring::analyze(&two_cell_net(50.0), &t, 1.0, None);
+        assert_eq!(short.long_wires, 0);
+        let long = BlockWiring::analyze(&two_cell_net(150.0), &t, 1.0, None);
+        assert_eq!(long.long_wires, 1);
+    }
+
+    #[test]
+    fn ideal_3d_net_is_coplanar() {
+        let mut nl = two_cell_net(100.0);
+        let b = foldic_netlist::InstId(1);
+        nl.inst_mut(b).tier = Tier::Top;
+        let w = BlockWiring::analyze(&nl, &tech(), 1.0, None);
+        assert_eq!(w.num_3d, 1);
+        assert!((w.total_um - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn via_detour_lengthens_3d_net() {
+        let mut nl = two_cell_net(100.0);
+        let b = foldic_netlist::InstId(1);
+        nl.inst_mut(b).tier = Tier::Top;
+        // a via off the direct path adds length
+        let vias = ViaPlacement::from_pairs(
+            &nl,
+            vec![(foldic_netlist::NetId(0), Point::new(50.0, 30.0))],
+            foldic_tech::Via3dKind::F2fVia,
+        );
+        let w = BlockWiring::analyze(&nl, &tech(), 1.0, Some(&vias));
+        assert!((w.total_um - 160.0).abs() < 1e-9, "{}", w.total_um);
+        // sink path = driver->via + via->sink
+        assert!((w.nets[0].sink_paths[0] - 160.0).abs() < 1e-9);
+    }
+}

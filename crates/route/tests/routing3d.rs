@@ -1,0 +1,126 @@
+//! Route-level integration: wiring analysis, via placement and the
+//! global router on generated blocks.
+
+use foldic_geom::Tier;
+use foldic_partition::{apply_partition, bipartition, PartitionConfig};
+use foldic_route::{place_vias, BlockWiring, GlobalRouter};
+use foldic_t2::T2Config;
+use foldic_tech::BondingStyle;
+
+#[test]
+fn via_detours_never_shorten_nets() {
+    let (design, tech) = T2Config::tiny().generate();
+    let mut nl = design
+        .block(design.find_block("l2t0").unwrap())
+        .netlist
+        .clone();
+    let part = bipartition(&nl, &tech, &PartitionConfig::default());
+    apply_partition(&mut nl, &part);
+    let outline = design.block(design.find_block("l2t0").unwrap()).outline;
+    let ideal = BlockWiring::analyze(&nl, &tech, 1.0, None);
+    let vias = place_vias(&nl, &tech, outline, BondingStyle::FaceToFace);
+    let routed = BlockWiring::analyze(&nl, &tech, 1.0, Some(&vias));
+    // Per net, the via route cannot be dramatically shorter than the
+    // coplanar estimate (both are Steiner *approximations*: a split pair
+    // of exact small trees may beat the 0.85-ratio MST estimate by a
+    // bounded margin, but never by more).
+    for (a, b) in ideal.nets.iter().zip(&routed.nets) {
+        if b.is_3d && vias.via_of(b.net).is_some() {
+            assert!(
+                b.length_um >= 0.75 * a.length_um - 1e-6,
+                "net {:?}: via route {} way below ideal {}",
+                b.net,
+                b.length_um,
+                a.length_um
+            );
+        }
+    }
+    // in aggregate the via detours dominate the estimator noise
+    assert!(routed.total_um >= 0.95 * ideal.total_um);
+}
+
+#[test]
+fn sink_paths_cover_every_sink() {
+    let (design, tech) = T2Config::tiny().generate();
+    let nl = &design.block(design.find_block("rtx").unwrap()).netlist;
+    let wiring = BlockWiring::analyze(nl, &tech, 1.1, None);
+    for (nid, net) in nl.nets() {
+        let rec = wiring.net(nid);
+        assert_eq!(rec.sink_paths.len(), net.sinks.len(), "{}", net.name);
+        for &p in &rec.sink_paths {
+            assert!(p.is_finite() && p >= 0.0);
+            assert!(p <= rec.length_um * 1.5 + 1.0, "path {p} vs net {}", rec.length_um);
+        }
+    }
+}
+
+#[test]
+fn tsv_assignment_monotone_in_congestion() {
+    // folding more cells into crossing nets forces TSVs further from
+    // their ideals (the site grid fills up)
+    let (design, tech) = T2Config::tiny().generate();
+    let base = design.block(design.find_block("l2t0").unwrap());
+    let outline = base.outline;
+    let displacement = |quality: f64| {
+        let mut nl = base.netlist.clone();
+        let part = foldic_partition::partition_with_quality(
+            &nl,
+            &tech,
+            &PartitionConfig::default(),
+            quality,
+        );
+        apply_partition(&mut nl, &part);
+        let vias = place_vias(&nl, &tech, outline, BondingStyle::FaceToBack);
+        (vias.len(), vias.mean_displacement_um())
+    };
+    let (n_few, d_few) = displacement(1.0);
+    let (n_many, d_many) = displacement(0.0);
+    assert!(n_many > n_few);
+    assert!(
+        d_many > d_few,
+        "more TSVs must displace further: {d_few} -> {d_many}"
+    );
+}
+
+#[test]
+fn global_router_conserves_connection_count() {
+    let mut r = GlobalRouter::new(
+        foldic_geom::Rect::new(0.0, 0.0, 2000.0, 2000.0),
+        100.0,
+        1.0,
+    );
+    for i in 0..64u64 {
+        let a = foldic_geom::Point::new((i * 131 % 2000) as f64, (i * 17 % 2000) as f64);
+        let b = foldic_geom::Point::new((i * 89 % 2000) as f64, (i * 241 % 2000) as f64);
+        r.route(a, b, 2.0);
+    }
+    let s = r.stats();
+    assert_eq!(s.connections, 64);
+    assert!(s.routed_um >= s.ideal_um);
+    assert!(s.detour() >= 1.0);
+}
+
+#[test]
+fn folded_block_keeps_clock_vias() {
+    // clock trunks cross the dies too: the via placer must serve clock
+    // nets (clock TSVs exist in real stacks)
+    let (design, tech) = T2Config::tiny().generate();
+    let mut nl = design
+        .block(design.find_block("mcu0").unwrap())
+        .netlist
+        .clone();
+    // move all flops' leaf buffers to the top die to force a 3D trunk
+    let ids: Vec<_> = nl.inst_ids().collect();
+    for id in ids {
+        if nl.inst(id).name.contains("cklf") {
+            nl.inst_mut(id).tier = Tier::Top;
+        }
+    }
+    let outline = design.block(design.find_block("mcu0").unwrap()).outline;
+    let vias = place_vias(&nl, &tech, outline, BondingStyle::FaceToBack);
+    let clock_vias = vias
+        .iter()
+        .filter(|v| nl.net(v.net).is_clock)
+        .count();
+    assert!(clock_vias > 0, "clock distribution must cross the stack");
+}

@@ -1,0 +1,216 @@
+//! Per-block generation specifications.
+//!
+//! Cell counts are in *synthetic* instances at `size = 1.0` (one synthetic
+//! cell ≈ `cluster_size` real cells). Macro counts are physical. The
+//! numbers are calibrated so the generated 2D design reproduces the
+//! paper's Table 3 census: SPC and RTX as the top power/long-wire blocks,
+//! CCX as a wiring-dominated block, L2D memory-dominated with ≈29 % net
+//! power.
+
+use foldic_netlist::BlockKind;
+use foldic_tech::MacroKind;
+
+/// How macros are pre-placed inside a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacroLayout {
+    /// Rows of macros along the top and bottom block edges (tag arrays,
+    /// register files).
+    Ring,
+    /// A regular grid filling the block (the L2D data-bank sub-arrays),
+    /// with routing channels between columns and rows.
+    Grid,
+}
+
+/// Internal hierarchy generated for a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupPlan {
+    /// Flat logic cloud.
+    Flat,
+    /// The 14 functional unit blocks of a SPARC core (§4.5).
+    Fubs,
+    /// The PCX / CPX split of the cache crossbar (§4.3).
+    CcxSplit,
+}
+
+/// Specification of one block type.
+#[derive(Debug, Clone)]
+pub struct BlockSpec {
+    /// Which T2 block this describes.
+    pub kind: BlockKind,
+    /// Number of copies in the chip.
+    pub count: usize,
+    /// Synthetic cell count at `size = 1.0`.
+    pub cells: usize,
+    /// Fraction of cells that are flip-flops.
+    pub flop_frac: f64,
+    /// Hard macros instantiated in each copy.
+    pub macros: Vec<(MacroKind, usize)>,
+    /// Macro pre-placement style.
+    pub macro_layout: MacroLayout,
+    /// Outline aspect ratio (width / height).
+    pub aspect: f64,
+    /// Placement utilization used to derive the outline.
+    pub utilization: f64,
+    /// Mean net span as a fraction of the block dimension (Rent-style
+    /// locality; smaller = more local wiring).
+    pub locality: f64,
+    /// Fraction of nets drawn from the long-range tail.
+    pub long_frac: f64,
+    /// Toggle activity (expected toggles per clock cycle) of the block's
+    /// logic.
+    pub activity: f64,
+    /// Internal hierarchy.
+    pub groups: GroupPlan,
+}
+
+impl BlockSpec {
+    /// Instance name of copy `i` (`"spc3"`, or just `"ccx"` for singletons).
+    pub fn instance_name(&self, i: usize) -> String {
+        let base = self.kind.label().to_ascii_lowercase();
+        if self.count == 1 {
+            base
+        } else {
+            format!("{base}{i}")
+        }
+    }
+}
+
+/// The 46-block OpenSPARC T2 inventory.
+pub fn block_specs() -> Vec<BlockSpec> {
+    use BlockKind::*;
+    use MacroKind::*;
+    let spec = |kind,
+                count,
+                cells,
+                flop_frac,
+                macros: &[(MacroKind, usize)],
+                macro_layout,
+                aspect,
+                utilization,
+                locality,
+                long_frac,
+                activity,
+                groups| BlockSpec {
+        kind,
+        count,
+        cells,
+        flop_frac,
+        macros: macros.to_vec(),
+        macro_layout,
+        aspect,
+        utilization,
+        locality,
+        long_frac,
+        activity,
+        groups,
+    };
+    vec![
+        // The SPARC core: biggest, flop-rich, 14 FUBs, register files and
+        // small arrays. Highest single power share (Table 3: 5.8 % each).
+        spec(
+            Spc, 8, 20_000, 0.25,
+            &[(RegFile, 8), (Sram4k, 4), (Cam, 2)],
+            MacroLayout::Ring, 1.0, 0.62, 0.050, 0.045, 0.036, GroupPlan::Fubs,
+        ),
+        // L2 data bank: 32× 16 KB SRAM grid, thin logic, memory-power
+        // dominated (net power ≈ 29 %).
+        spec(
+            L2d, 8, 1_200, 0.14,
+            &[(Sram16k, 32)],
+            MacroLayout::Grid, 0.63, 0.78, 0.110, 0.035, 0.095, GroupPlan::Flat,
+        ),
+        // L2 tag: tag SRAMs + CAMs, moderate logic.
+        spec(
+            L2t, 8, 2_400, 0.20,
+            &[(Sram8k, 8), (Cam, 2)],
+            MacroLayout::Ring, 0.875, 0.70, 0.085, 0.055, 0.185, GroupPlan::Flat,
+        ),
+        // L2 miss buffer.
+        spec(
+            L2b, 8, 1_500, 0.20,
+            &[(Sram4k, 4)],
+            MacroLayout::Ring, 1.0, 0.70, 0.080, 0.040, 0.055, GroupPlan::Flat,
+        ),
+        // Cache crossbar: pure wiring machine, tall-thin outline, PCX/CPX
+        // halves, the highest net-power share (57.6 %).
+        spec(
+            Ccx, 1, 4_500, 0.10,
+            &[],
+            MacroLayout::Ring, 4.2, 0.55, 0.200, 0.120, 0.053, GroupPlan::CcxSplit,
+        ),
+        // Memory controllers.
+        spec(
+            Mcu, 4, 2_000, 0.20,
+            &[(Sram4k, 2)],
+            MacroLayout::Ring, 1.0, 0.70, 0.075, 0.030, 0.060, GroupPlan::Flat,
+        ),
+        // NIU receive traffic engine: big I/O-clock block with very long
+        // internal wiring (Table 3: 27.5 K long wires, 3.6 % power).
+        spec(
+            Rtx, 1, 5_200, 0.20,
+            &[(Sram8k, 4)],
+            MacroLayout::Ring, 1.0, 0.65, 0.140, 0.160, 0.400, GroupPlan::Flat,
+        ),
+        // NIU Ethernet MAC.
+        spec(
+            Mac, 1, 2_900, 0.22,
+            &[(Sram4k, 2)],
+            MacroLayout::Ring, 1.0, 0.70, 0.090, 0.070, 0.380, GroupPlan::Flat,
+        ),
+        // NIU receive datapath.
+        spec(
+            Rdp, 1, 3_400, 0.20,
+            &[(Sram8k, 2)],
+            MacroLayout::Ring, 1.0, 0.70, 0.095, 0.080, 0.440, GroupPlan::Flat,
+        ),
+        // NIU transmit data store.
+        spec(
+            Tds, 1, 2_900, 0.20,
+            &[(Sram8k, 3)],
+            MacroLayout::Ring, 1.0, 0.70, 0.095, 0.075, 0.400, GroupPlan::Flat,
+        ),
+        // Control units.
+        spec(Ncu, 1, 1_900, 0.20, &[], MacroLayout::Ring, 1.0, 0.70, 0.080, 0.030, 0.070, GroupPlan::Flat),
+        spec(Ccu, 1, 700, 0.25, &[], MacroLayout::Ring, 1.0, 0.70, 0.070, 0.020, 0.060, GroupPlan::Flat),
+        spec(Dmu, 1, 1_600, 0.20, &[(Sram4k, 1)], MacroLayout::Ring, 1.0, 0.70, 0.080, 0.030, 0.065, GroupPlan::Flat),
+        spec(Peu, 1, 1_900, 0.20, &[(Sram4k, 2)], MacroLayout::Ring, 1.0, 0.70, 0.080, 0.030, 0.065, GroupPlan::Flat),
+        // TCU is one of the seven dropped blocks in the paper's
+        // implementation (test logic does not affect CPU performance), so
+        // the inventory ends at 46 with SIU.
+        spec(Siu, 1, 1_500, 0.20, &[], MacroLayout::Ring, 1.0, 0.70, 0.080, 0.030, 0.065, GroupPlan::Flat),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_is_46_blocks() {
+        let total: usize = block_specs().iter().map(|s| s.count).sum();
+        assert_eq!(total, 46);
+    }
+
+    #[test]
+    fn instance_names() {
+        let specs = block_specs();
+        let spc = specs.iter().find(|s| s.kind == BlockKind::Spc).unwrap();
+        assert_eq!(spc.instance_name(3), "spc3");
+        let ccx = specs.iter().find(|s| s.kind == BlockKind::Ccx).unwrap();
+        assert_eq!(ccx.instance_name(0), "ccx");
+    }
+
+    #[test]
+    fn folding_candidates_have_distinct_profiles() {
+        let specs = block_specs();
+        let get = |k| specs.iter().find(|s| s.kind == k).unwrap();
+        // CCX is the most wiring-dominated block.
+        assert!(get(BlockKind::Ccx).locality > get(BlockKind::Spc).locality);
+        // RTX has the fattest long-wire tail.
+        let rtx = get(BlockKind::Rtx);
+        assert!(specs.iter().all(|s| s.long_frac <= rtx.long_frac));
+        // L2D is macro-dominated: its macro area dwarfs typical logic area.
+        let l2d = get(BlockKind::L2d);
+        assert_eq!(l2d.macros[0], (MacroKind::Sram16k, 32));
+    }
+}

@@ -1,0 +1,158 @@
+//! Structural invariants of the synthetic T2 across scales.
+
+use foldic_netlist::{BlockKind, InstMaster, NetlistStats, PinRef};
+use foldic_t2::{block_specs, T2Config, SPC_FUBS};
+
+#[test]
+fn every_block_outline_contains_its_content() {
+    let (design, tech) = T2Config::tiny().generate();
+    for (_, block) in design.blocks() {
+        for (_, inst) in block.netlist.insts() {
+            assert!(
+                block.outline.inflated(1.0).contains(inst.pos),
+                "{}: {} at {} outside {}",
+                block.name,
+                inst.name,
+                inst.pos,
+                block.outline
+            );
+            if inst.master.is_macro() {
+                assert!(
+                    block.outline.inflated(1.0).contains_rect(inst.rect(&tech)),
+                    "{}: macro {} clipped",
+                    block.name,
+                    inst.name
+                );
+            }
+        }
+        for (_, port) in block.netlist.ports() {
+            assert!(
+                block.outline.inflated(1.0).contains(port.pos),
+                "{}: port {} off the boundary box",
+                block.name,
+                port.name
+            );
+        }
+    }
+}
+
+#[test]
+fn macro_counts_match_the_specs() {
+    let (design, _) = T2Config::tiny().generate();
+    let specs = block_specs();
+    for (_, block) in design.blocks() {
+        let spec = specs.iter().find(|s| s.kind == block.kind).unwrap();
+        let expected: usize = spec.macros.iter().map(|&(_, n)| n).sum();
+        let actual = block
+            .netlist
+            .insts()
+            .filter(|(_, i)| i.master.is_macro())
+            .count();
+        assert_eq!(actual, expected, "{}", block.name);
+    }
+}
+
+#[test]
+fn fub_weights_cover_the_core() {
+    let total: f64 = SPC_FUBS.iter().map(|(_, w, _)| w).sum();
+    assert!((total - 1.0).abs() < 1e-9, "FUB weights sum to {total}");
+    assert_eq!(SPC_FUBS.iter().filter(|(_, _, folded)| *folded).count(), 6);
+    assert_eq!(SPC_FUBS.len(), 14);
+}
+
+#[test]
+fn size_scales_instance_counts_roughly_linearly() {
+    let tiny = T2Config::tiny();
+    let (d_tiny, _) = tiny.generate();
+    let mut bigger = T2Config::tiny();
+    bigger.size *= 2.0;
+    let (d_big, _) = bigger.generate();
+    let ratio = d_big.total_insts() as f64 / d_tiny.total_insts() as f64;
+    assert!(ratio > 1.6 && ratio < 2.4, "ratio {ratio}");
+}
+
+#[test]
+fn stats_are_self_consistent_per_block() {
+    let (design, tech) = T2Config::tiny().generate();
+    for (_, block) in design.blocks() {
+        let s = NetlistStats::collect(&block.netlist, &tech);
+        assert_eq!(s.num_insts, s.num_cells + s.num_macros, "{}", block.name);
+        assert!(s.num_buffers <= s.num_cells);
+        assert!(s.num_flops <= s.num_cells);
+        assert!(s.avg_fanout() > 0.5 && s.avg_fanout() < 10.0, "{}", block.name);
+    }
+}
+
+#[test]
+fn flop_clock_pins_never_carry_data() {
+    // pin 1 of every DFF must only appear on clock nets
+    let (design, tech) = T2Config::tiny().generate();
+    for (_, block) in design.blocks() {
+        let nl = &block.netlist;
+        for (_, net) in nl.nets() {
+            for &s in &net.sinks {
+                if let PinRef::InstIn(i, 1) = s {
+                    if let InstMaster::Cell(m) = nl.inst(i).master {
+                        if tech.cells.master(m).kind == foldic_tech::CellKind::Dff {
+                            assert!(
+                                net.is_clock,
+                                "{}: data net {} drives a flop clock pin",
+                                block.name, net.name
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chip_connectivity_is_symmetric_across_slices() {
+    // every SPC slice must see the same bus structure
+    let (design, _) = T2Config::small().generate();
+    let port_count = |name: &str| {
+        design
+            .block(design.find_block(name).unwrap())
+            .netlist
+            .num_ports()
+    };
+    let p0 = port_count("spc0");
+    for i in 1..8 {
+        assert_eq!(port_count(&format!("spc{i}")), p0, "spc{i}");
+    }
+    let l0 = port_count("l2d0");
+    for i in 1..8 {
+        assert_eq!(port_count(&format!("l2d{i}")), l0, "l2d{i}");
+    }
+}
+
+#[test]
+fn memory_blocks_are_macro_area_dominated() {
+    let (design, tech) = T2Config::tiny().generate();
+    let b = design.block(design.find_block("l2d0").unwrap());
+    let s = NetlistStats::collect(&b.netlist, &tech);
+    assert!(
+        s.macro_area_um2 > 3.0 * s.cell_area_um2,
+        "scdata must be macro-dominated: {} vs {}",
+        s.macro_area_um2,
+        s.cell_area_um2
+    );
+    // and the SPC must not be
+    let spc = design.block(design.find_block("spc0").unwrap());
+    let s = NetlistStats::collect(&spc.netlist, &tech);
+    assert!(s.cell_area_um2 > s.macro_area_um2);
+}
+
+#[test]
+fn block_kind_inventory_matches_the_paper() {
+    let (design, _) = T2Config::tiny().generate();
+    let count = |k: BlockKind| design.blocks().filter(|(_, b)| b.kind == k).count();
+    assert_eq!(count(BlockKind::Spc), 8);
+    assert_eq!(count(BlockKind::L2d), 8);
+    assert_eq!(count(BlockKind::L2t), 8);
+    assert_eq!(count(BlockKind::L2b), 8);
+    assert_eq!(count(BlockKind::Ccx), 1);
+    assert_eq!(count(BlockKind::Mcu), 4);
+    assert_eq!(design.num_blocks(), 46);
+}

@@ -1,0 +1,543 @@
+//! Standard-cell library: kinds × drive strengths × Vth classes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Logical function of a standard cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer (the cell the timing optimizer inserts).
+    Buf,
+    /// Clock-tree buffer.
+    ClkBuf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// AND-OR-invert 2-1.
+    Aoi21,
+    /// OR-AND-invert 2-1.
+    Oai21,
+    /// 2-input XOR.
+    Xor2,
+    /// 2:1 multiplexer.
+    Mux2,
+    /// D flip-flop.
+    Dff,
+}
+
+impl CellKind {
+    /// Every kind, in a stable order.
+    pub const ALL: [CellKind; 12] = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::ClkBuf,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Aoi21,
+        CellKind::Oai21,
+        CellKind::Xor2,
+        CellKind::Mux2,
+        CellKind::Dff,
+    ];
+
+    /// Broad class used for statistics and optimization decisions.
+    pub fn class(self) -> CellClass {
+        match self {
+            CellKind::Buf | CellKind::Inv => CellClass::Buffer,
+            CellKind::ClkBuf => CellClass::ClockTree,
+            CellKind::Dff => CellClass::Sequential,
+            _ => CellClass::Combinational,
+        }
+    }
+
+    /// Short library name fragment (`"INV"`, `"DFF"`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CellKind::Inv => "INV",
+            CellKind::Buf => "BUF",
+            CellKind::ClkBuf => "CLKBUF",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nor2 => "NOR2",
+            CellKind::And2 => "AND2",
+            CellKind::Or2 => "OR2",
+            CellKind::Aoi21 => "AOI21",
+            CellKind::Oai21 => "OAI21",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Mux2 => "MUX2",
+            CellKind::Dff => "DFF",
+        }
+    }
+
+    /// Number of signal input pins (clock included for flops).
+    pub fn input_count(self) -> usize {
+        match self {
+            CellKind::Inv | CellKind::Buf | CellKind::ClkBuf => 1,
+            CellKind::Nand2 | CellKind::Nor2 | CellKind::And2 | CellKind::Or2 | CellKind::Xor2 => 2,
+            CellKind::Aoi21 | CellKind::Oai21 | CellKind::Mux2 => 3,
+            CellKind::Dff => 2,
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Broad functional class of a cell, used in reports (the paper reports
+/// buffer counts separately from total cell counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellClass {
+    /// Plain combinational logic.
+    Combinational,
+    /// Registers.
+    Sequential,
+    /// Repeaters: buffers and inverters (what Table 2's "# buffers" counts).
+    Buffer,
+    /// Clock-tree cells.
+    ClockTree,
+}
+
+/// Drive strength of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Drive {
+    /// Unit drive.
+    X1,
+    /// 2× drive.
+    X2,
+    /// 4× drive.
+    X4,
+    /// 8× drive.
+    X8,
+    /// 16× drive.
+    X16,
+}
+
+impl Drive {
+    /// Every drive, weakest first.
+    pub const ALL: [Drive; 5] = [Drive::X1, Drive::X2, Drive::X4, Drive::X8, Drive::X16];
+
+    /// Numeric strength multiplier.
+    pub fn factor(self) -> f64 {
+        match self {
+            Drive::X1 => 1.0,
+            Drive::X2 => 2.0,
+            Drive::X4 => 4.0,
+            Drive::X8 => 8.0,
+            Drive::X16 => 16.0,
+        }
+    }
+
+    /// Next stronger drive, if any.
+    pub fn up(self) -> Option<Drive> {
+        match self {
+            Drive::X1 => Some(Drive::X2),
+            Drive::X2 => Some(Drive::X4),
+            Drive::X4 => Some(Drive::X8),
+            Drive::X8 => Some(Drive::X16),
+            Drive::X16 => None,
+        }
+    }
+
+    /// Next weaker drive, if any.
+    pub fn down(self) -> Option<Drive> {
+        match self {
+            Drive::X1 => None,
+            Drive::X2 => Some(Drive::X1),
+            Drive::X4 => Some(Drive::X2),
+            Drive::X8 => Some(Drive::X4),
+            Drive::X16 => Some(Drive::X8),
+        }
+    }
+}
+
+impl fmt::Display for Drive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.factor() as u32)
+    }
+}
+
+/// Threshold-voltage class of a cell.
+///
+/// The paper's dual-Vth study (§6.2) uses regular-Vth as the baseline and
+/// swaps positive-slack cells to high-Vth: "each HVT cell shows around 30 %
+/// slower, yet 50 % lower leakage and 5 % smaller cell power".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VthClass {
+    /// Regular threshold voltage (fast, leaky).
+    Rvt,
+    /// High threshold voltage (≈30 % slower, ≈50 % less leakage).
+    Hvt,
+}
+
+impl VthClass {
+    /// Both classes, RVT first.
+    pub const ALL: [VthClass; 2] = [VthClass::Rvt, VthClass::Hvt];
+
+    /// Delay multiplier relative to RVT.
+    pub fn delay_factor(self) -> f64 {
+        match self {
+            VthClass::Rvt => 1.0,
+            VthClass::Hvt => 1.3,
+        }
+    }
+
+    /// Leakage multiplier relative to RVT.
+    pub fn leakage_factor(self) -> f64 {
+        match self {
+            VthClass::Rvt => 1.0,
+            VthClass::Hvt => 0.5,
+        }
+    }
+
+    /// Internal (cell) switching-energy multiplier relative to RVT.
+    pub fn energy_factor(self) -> f64 {
+        match self {
+            VthClass::Rvt => 1.0,
+            VthClass::Hvt => 0.95,
+        }
+    }
+}
+
+impl fmt::Display for VthClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VthClass::Rvt => f.write_str("RVT"),
+            VthClass::Hvt => f.write_str("HVT"),
+        }
+    }
+}
+
+/// Identifier of a master cell inside a [`CellLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MasterId(pub u32);
+
+/// One characterized library cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MasterCell {
+    /// Library name, e.g. `"NAND2X4_HVT"`.
+    pub name: String,
+    /// Logical function.
+    pub kind: CellKind,
+    /// Drive strength.
+    pub drive: Drive,
+    /// Threshold class.
+    pub vth: VthClass,
+    /// Footprint area in µm².
+    pub area_um2: f64,
+    /// Cell width in µm (height is the technology row height).
+    pub width_um: f64,
+    /// Input capacitance per input pin in fF.
+    pub input_cap_ff: f64,
+    /// Output (drive) resistance in Ω.
+    pub output_res_ohm: f64,
+    /// Intrinsic (unloaded) delay in ps.
+    pub intrinsic_delay_ps: f64,
+    /// Internal energy per output toggle in fJ (short-circuit + internal
+    /// node charging; what the paper's "cell power" integrates).
+    pub internal_energy_fj: f64,
+    /// Leakage power in µW.
+    pub leakage_uw: f64,
+}
+
+impl MasterCell {
+    /// Delay in ps driving `load_ff` of external load.
+    #[inline]
+    pub fn delay_ps(&self, load_ff: f64) -> f64 {
+        self.intrinsic_delay_ps + self.output_res_ohm * load_ff * crate::units::RC_TO_PS
+    }
+
+    /// Total input capacitance across all pins in fF.
+    pub fn total_input_cap_ff(&self) -> f64 {
+        self.input_cap_ff * self.kind.input_count() as f64
+    }
+}
+
+/// Per-kind electrical profile relative to the X1 RVT inverter.
+struct KindProfile {
+    area: f64,
+    cap: f64,
+    res: f64,
+    intrinsic: f64,
+    energy: f64,
+    leak: f64,
+}
+
+fn profile(kind: CellKind) -> KindProfile {
+    let p = |area, cap, res, intrinsic, energy, leak| KindProfile {
+        area,
+        cap,
+        res,
+        intrinsic,
+        energy,
+        leak,
+    };
+    match kind {
+        CellKind::Inv => p(1.0, 1.0, 1.0, 1.0, 1.0, 1.0),
+        CellKind::Buf => p(1.6, 0.9, 1.0, 1.8, 1.8, 1.7),
+        CellKind::ClkBuf => p(1.8, 0.95, 0.95, 1.9, 2.0, 1.8),
+        CellKind::Nand2 => p(1.4, 1.1, 1.2, 1.3, 1.5, 1.6),
+        CellKind::Nor2 => p(1.5, 1.2, 1.4, 1.5, 1.6, 1.7),
+        CellKind::And2 => p(1.8, 1.0, 1.1, 1.9, 1.9, 1.9),
+        CellKind::Or2 => p(1.9, 1.0, 1.2, 2.0, 2.0, 2.0),
+        CellKind::Aoi21 => p(1.9, 1.15, 1.4, 1.7, 1.8, 2.0),
+        CellKind::Oai21 => p(1.9, 1.15, 1.4, 1.7, 1.8, 2.0),
+        CellKind::Xor2 => p(2.6, 1.3, 1.3, 2.2, 2.4, 2.6),
+        CellKind::Mux2 => p(2.4, 1.1, 1.2, 2.0, 2.2, 2.4),
+        CellKind::Dff => p(4.5, 1.0, 1.1, 3.2, 4.2, 4.0),
+    }
+}
+
+/// Electrical base values of the X1 RVT inverter in the default 28 nm
+/// library.
+mod base {
+    /// Area of INVX1 in µm².
+    pub const AREA_UM2: f64 = 0.6;
+    /// Input pin capacitance of INVX1 in fF.
+    pub const CAP_FF: f64 = 0.9;
+    /// Output resistance of INVX1 in Ω.
+    pub const RES_OHM: f64 = 6000.0;
+    /// Intrinsic delay of INVX1 in ps.
+    pub const INTRINSIC_PS: f64 = 8.0;
+    /// Internal energy per toggle of INVX1 in fJ.
+    pub const ENERGY_FJ: f64 = 0.55;
+    /// Leakage of INVX1 in µW.
+    pub const LEAK_UW: f64 = 0.012;
+    /// Row height in µm (duplicated from `Technology::row_height`).
+    pub const ROW_HEIGHT_UM: f64 = 1.2;
+}
+
+/// A complete standard-cell library.
+///
+/// # Examples
+///
+/// ```
+/// use foldic_tech::{CellKind, CellLibrary, Drive, VthClass};
+///
+/// let lib = CellLibrary::cmos28();
+/// let inv = lib.get(CellKind::Inv, Drive::X4, VthClass::Rvt);
+/// let hvt = lib.get(CellKind::Inv, Drive::X4, VthClass::Hvt);
+/// assert!(hvt.leakage_uw < inv.leakage_uw);
+/// assert!(hvt.intrinsic_delay_ps > inv.intrinsic_delay_ps);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellLibrary {
+    masters: Vec<MasterCell>,
+    #[serde(skip)]
+    index: HashMap<(CellKind, Drive, VthClass), MasterId>,
+}
+
+impl CellLibrary {
+    /// Builds the default 28 nm-class library: every kind at X1–X16 in both
+    /// Vth classes.
+    pub fn cmos28() -> Self {
+        let mut masters = Vec::new();
+        for kind in CellKind::ALL {
+            let prof = profile(kind);
+            for drive in Drive::ALL {
+                let x = drive.factor();
+                // Area grows sublinearly with drive (shared wells/rails).
+                let area = base::AREA_UM2 * prof.area * (0.45 + 0.55 * x);
+                for vth in VthClass::ALL {
+                    masters.push(MasterCell {
+                        name: format!("{}{}_{vth}", kind.mnemonic(), drive),
+                        kind,
+                        drive,
+                        vth,
+                        area_um2: area,
+                        width_um: area / base::ROW_HEIGHT_UM,
+                        input_cap_ff: base::CAP_FF * prof.cap * x,
+                        output_res_ohm: base::RES_OHM * prof.res / x * vth.delay_factor(),
+                        intrinsic_delay_ps: base::INTRINSIC_PS * prof.intrinsic * vth.delay_factor(),
+                        internal_energy_fj: base::ENERGY_FJ * prof.energy * x * vth.energy_factor(),
+                        leakage_uw: base::LEAK_UW * prof.leak * x * vth.leakage_factor(),
+                    });
+                }
+            }
+        }
+        let mut lib = Self {
+            masters,
+            index: HashMap::new(),
+        };
+        lib.rebuild_index();
+        lib
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index = self
+            .masters
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ((m.kind, m.drive, m.vth), MasterId(i as u32)))
+            .collect();
+    }
+
+    /// Number of masters in the library.
+    pub fn len(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// `true` when the library holds no masters.
+    pub fn is_empty(&self) -> bool {
+        self.masters.is_empty()
+    }
+
+    /// Identifier of the `(kind, drive, vth)` master.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination is missing (cannot happen for libraries
+    /// built by [`CellLibrary::cmos28`]).
+    pub fn id_of(&self, kind: CellKind, drive: Drive, vth: VthClass) -> MasterId {
+        *self
+            .index
+            .get(&(kind, drive, vth))
+            .unwrap_or_else(|| panic!("library is missing {kind}{drive}_{vth}"))
+    }
+
+    /// The `(kind, drive, vth)` master.
+    pub fn get(&self, kind: CellKind, drive: Drive, vth: VthClass) -> &MasterCell {
+        self.master(self.id_of(kind, drive, vth))
+    }
+
+    /// The master behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this library.
+    pub fn master(&self, id: MasterId) -> &MasterCell {
+        &self.masters[id.0 as usize]
+    }
+
+    /// The same cell one drive step stronger, if one exists.
+    pub fn upsize(&self, id: MasterId) -> Option<MasterId> {
+        let m = self.master(id);
+        m.drive.up().map(|d| self.id_of(m.kind, d, m.vth))
+    }
+
+    /// The same cell one drive step weaker, if one exists.
+    pub fn downsize(&self, id: MasterId) -> Option<MasterId> {
+        let m = self.master(id);
+        m.drive.down().map(|d| self.id_of(m.kind, d, m.vth))
+    }
+
+    /// The same cell in the requested Vth class.
+    pub fn with_vth(&self, id: MasterId, vth: VthClass) -> MasterId {
+        let m = self.master(id);
+        self.id_of(m.kind, m.drive, vth)
+    }
+
+    /// Applies `f` to every master in place, preserving ids.
+    ///
+    /// Used by workload generators that rescale the library (e.g. when one
+    /// synthetic cell stands for a cluster of real cells). Kind, drive and
+    /// Vth must not be changed; only electrical/geometric values.
+    pub fn scale_masters(&mut self, mut f: impl FnMut(&mut MasterCell)) {
+        for m in &mut self.masters {
+            let key = (m.kind, m.drive, m.vth);
+            f(m);
+            debug_assert_eq!(key, (m.kind, m.drive, m.vth), "scale_masters must not re-type cells");
+        }
+    }
+
+    /// Iterates over all masters.
+    pub fn iter(&self) -> impl Iterator<Item = (MasterId, &MasterCell)> {
+        self.masters
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MasterId(i as u32), m))
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        Self::cmos28()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_covers_full_grid() {
+        let lib = CellLibrary::cmos28();
+        assert_eq!(lib.len(), 12 * 5 * 2);
+        for kind in CellKind::ALL {
+            for drive in Drive::ALL {
+                for vth in VthClass::ALL {
+                    let m = lib.get(kind, drive, vth);
+                    assert!(m.area_um2 > 0.0 && m.leakage_uw > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drive_scaling_monotone() {
+        let lib = CellLibrary::cmos28();
+        let mut prev_res = f64::INFINITY;
+        let mut prev_cap = 0.0;
+        let mut prev_area = 0.0;
+        for drive in Drive::ALL {
+            let m = lib.get(CellKind::Nand2, drive, VthClass::Rvt);
+            assert!(m.output_res_ohm < prev_res, "res must fall with drive");
+            assert!(m.input_cap_ff > prev_cap, "cap must rise with drive");
+            assert!(m.area_um2 > prev_area, "area must rise with drive");
+            prev_res = m.output_res_ohm;
+            prev_cap = m.input_cap_ff;
+            prev_area = m.area_um2;
+        }
+    }
+
+    #[test]
+    fn hvt_deltas_match_paper() {
+        let lib = CellLibrary::cmos28();
+        for kind in CellKind::ALL {
+            let r = lib.get(kind, Drive::X4, VthClass::Rvt);
+            let h = lib.get(kind, Drive::X4, VthClass::Hvt);
+            // ~30% slower
+            assert!((h.intrinsic_delay_ps / r.intrinsic_delay_ps - 1.3).abs() < 1e-9);
+            // 50% lower leakage
+            assert!((h.leakage_uw / r.leakage_uw - 0.5).abs() < 1e-9);
+            // 5% lower internal energy
+            assert!((h.internal_energy_fj / r.internal_energy_fj - 0.95).abs() < 1e-9);
+            // same footprint
+            assert_eq!(h.area_um2, r.area_um2);
+        }
+    }
+
+    #[test]
+    fn resize_navigation() {
+        let lib = CellLibrary::cmos28();
+        let x4 = lib.id_of(CellKind::Buf, Drive::X4, VthClass::Rvt);
+        let x8 = lib.upsize(x4).unwrap();
+        assert_eq!(lib.master(x8).drive, Drive::X8);
+        assert_eq!(lib.downsize(x8), Some(x4));
+        let x16 = lib.id_of(CellKind::Buf, Drive::X16, VthClass::Rvt);
+        assert!(lib.upsize(x16).is_none());
+        let x1 = lib.id_of(CellKind::Buf, Drive::X1, VthClass::Rvt);
+        assert!(lib.downsize(x1).is_none());
+    }
+
+    #[test]
+    fn delay_model_increases_with_load() {
+        let lib = CellLibrary::cmos28();
+        let m = lib.get(CellKind::Inv, Drive::X1, VthClass::Rvt);
+        assert!(m.delay_ps(10.0) > m.delay_ps(1.0));
+        // FO4-ish delay in tens of ps: sanity window
+        let fo4 = m.delay_ps(4.0 * m.input_cap_ff);
+        assert!(fo4 > 5.0 && fo4 < 100.0, "FO4 = {fo4} ps");
+    }
+}

@@ -1,0 +1,156 @@
+#![warn(missing_docs)]
+//! 28 nm-class technology model for the `foldic` 3D-IC study.
+//!
+//! The paper builds its layouts on a Synopsys 28 nm PDK with nine metal
+//! layers, an RVT/HVT standard-cell library and compiled memory macros.
+//! This crate supplies the open equivalent: a parameterized
+//! [`Technology`] bundling
+//!
+//! * a standard-cell library ([`CellLibrary`]) with drive strengths X1–X16
+//!   and regular-Vth / high-Vth flavours (HVT ≈ +30 % delay, −50 % leakage,
+//!   −5 % internal power — the deltas the paper states in §6.2),
+//! * memory-macro models ([`MacroLibrary`], 16 KB SRAM banks etc.),
+//! * a nine-layer [`MetalStack`] with per-layer wire R/C,
+//! * TSV and face-to-face via electrical models ([`via3d`]) following the
+//!   Katti cylindrical-TSV formulation the paper cites as \[4\],
+//! * the routing-layer usage policy of §2.2/§6.1 (SPC gets M1–M9, other
+//!   blocks M1–M7; F2F-bonded folded blocks consume all nine layers).
+//!
+//! # Units
+//!
+//! | quantity    | unit |
+//! |-------------|------|
+//! | length      | µm   |
+//! | resistance  | Ω    |
+//! | capacitance | fF   |
+//! | time        | ps   |
+//! | energy      | fJ   |
+//! | power       | µW   |
+//! | frequency   | GHz  |
+//!
+//! With these units `R·C` is in units of `Ω·fF = 10⁻³ ps`
+//! (see [`units::RC_TO_PS`]) and `E·f` is directly in µW.
+//!
+//! # Examples
+//!
+//! ```
+//! use foldic_tech::Technology;
+//!
+//! let tech = Technology::cmos28();
+//! let tsv = tech.tsv.resistance_ohm();
+//! let f2f = tech.f2f_via.resistance_ohm();
+//! assert!(tech.tsv.capacitance_ff() > tech.f2f_via.capacitance_ff());
+//! assert!(tsv > 0.0 && f2f > 0.0);
+//! ```
+
+pub mod cells;
+pub mod macros;
+pub mod metal;
+pub mod policy;
+pub mod units;
+pub mod via3d;
+
+pub use cells::{CellClass, CellKind, CellLibrary, Drive, MasterCell, VthClass};
+pub use macros::{MacroKind, MacroLibrary, MacroMaster};
+pub use metal::{MetalLayer, MetalStack};
+pub use policy::{BondingStyle, RoutingPolicy};
+pub use via3d::{F2fViaModel, TsvModel, Via3dKind};
+
+use serde::{Deserialize, Serialize};
+
+/// A complete process technology: libraries, interconnect and 3D options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Technology {
+    /// Human-readable node name, e.g. `"cmos28"`.
+    pub name: String,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Standard-cell row height in µm. Workload generators that rescale
+    /// the library (cluster cells) scale this too, so cells stay roughly
+    /// square.
+    pub row_height: f64,
+    /// The paper's "long wire" threshold (§4.1): 100× the *physical*
+    /// standard-cell height. Kept separate from `row_height` so cluster
+    /// rescaling does not shift the census definition.
+    pub long_wire_um: f64,
+    /// Standard cell library (all kinds × drives × Vth classes).
+    pub cells: CellLibrary,
+    /// Memory macro library.
+    pub macros: MacroLibrary,
+    /// Back-end-of-line metal stack.
+    pub metal: MetalStack,
+    /// Through-silicon via model (face-to-back bonding).
+    pub tsv: TsvModel,
+    /// Face-to-face via model (face-to-face bonding).
+    pub f2f_via: F2fViaModel,
+    /// CPU clock frequency in GHz (paper: 500 MHz target).
+    pub cpu_clock_ghz: f64,
+    /// I/O clock frequency in GHz (paper: 250 MHz).
+    pub io_clock_ghz: f64,
+}
+
+impl Technology {
+    /// The default 28 nm-class technology used throughout the study.
+    pub fn cmos28() -> Self {
+        let metal = MetalStack::cmos28();
+        let f2f_via = F2fViaModel::sized_for(&metal);
+        Self {
+            name: "cmos28".to_owned(),
+            vdd: 0.9,
+            row_height: 1.2,
+            long_wire_um: 120.0,
+            cells: CellLibrary::cmos28(),
+            macros: MacroLibrary::cmos28(),
+            metal,
+            tsv: TsvModel::default(),
+            f2f_via,
+            cpu_clock_ghz: 0.5,
+            io_clock_ghz: 0.25,
+        }
+    }
+
+    /// Length threshold (µm) above which the paper counts a wire as "long"
+    /// (100× the physical standard-cell height, §4.1).
+    pub fn long_wire_threshold(&self) -> f64 {
+        self.long_wire_um
+    }
+
+    /// Clock period of the CPU domain in ps.
+    pub fn cpu_period_ps(&self) -> f64 {
+        1000.0 / self.cpu_clock_ghz
+    }
+
+    /// Clock period of the I/O domain in ps.
+    pub fn io_period_ps(&self) -> f64 {
+        1000.0 / self.io_clock_ghz
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::cmos28()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tech_is_consistent() {
+        let t = Technology::cmos28();
+        assert_eq!(t.long_wire_threshold(), 120.0);
+        assert_eq!(t.cpu_period_ps(), 2000.0);
+        assert_eq!(t.io_period_ps(), 4000.0);
+        assert!(t.vdd > 0.0);
+    }
+
+    #[test]
+    fn tsv_dwarfs_f2f_via() {
+        // Table 1's central asymmetry: the TSV is much bigger and much more
+        // capacitive than the F2F via.
+        let t = Technology::cmos28();
+        assert!(t.tsv.diameter_um > 2.0 * t.f2f_via.size_um);
+        assert!(t.tsv.capacitance_ff() > 10.0 * t.f2f_via.capacitance_ff());
+    }
+}

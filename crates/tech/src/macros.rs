@@ -1,0 +1,200 @@
+//! Memory-macro library.
+//!
+//! The T2's L2-cache data bank (`scdata`) is "memory (and its power)
+//! dominated": 512 KB implemented as 32 macros of 16 KB each. Macro power
+//! does not shrink when a block is folded — the paper's explanation for the
+//! small power win of the `scdata` fold (§4.4) — so macros carry their own
+//! internal/leakage power here, independent of the logic optimizer.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Kind of hard macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MacroKind {
+    /// 16 KB single-port SRAM bank (the `scdata` unit macro).
+    Sram16k,
+    /// 8 KB SRAM (tag arrays and smaller buffers).
+    Sram8k,
+    /// 4 KB SRAM (FIFOs, small queues).
+    Sram4k,
+    /// Multi-ported register file (core-internal storage).
+    RegFile,
+    /// CAM array used in TLBs and miss buffers.
+    Cam,
+}
+
+impl MacroKind {
+    /// Every macro kind in a stable order.
+    pub const ALL: [MacroKind; 5] = [
+        MacroKind::Sram16k,
+        MacroKind::Sram8k,
+        MacroKind::Sram4k,
+        MacroKind::RegFile,
+        MacroKind::Cam,
+    ];
+}
+
+impl fmt::Display for MacroKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MacroKind::Sram16k => "SRAM16K",
+            MacroKind::Sram8k => "SRAM8K",
+            MacroKind::Sram4k => "SRAM4K",
+            MacroKind::RegFile => "REGFILE",
+            MacroKind::Cam => "CAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One characterized hard macro.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MacroMaster {
+    /// Kind of the macro.
+    pub kind: MacroKind,
+    /// Width in µm.
+    pub width_um: f64,
+    /// Height in µm.
+    pub height_um: f64,
+    /// Number of signal pins (address + data + control), which the netlist
+    /// generator wires to surrounding logic.
+    pub pin_count: usize,
+    /// Capacitance per signal pin in fF.
+    pub pin_cap_ff: f64,
+    /// Internal energy per clocked access in fJ.
+    pub access_energy_fj: f64,
+    /// Leakage power in µW.
+    pub leakage_uw: f64,
+    /// Output drive resistance of the macro's read ports in Ω.
+    pub output_res_ohm: f64,
+    /// Access (clock-to-output) delay in ps.
+    pub access_delay_ps: f64,
+}
+
+impl MacroMaster {
+    /// Footprint area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.width_um * self.height_um
+    }
+}
+
+/// A library of hard macros indexed by [`MacroKind`].
+///
+/// # Examples
+///
+/// ```
+/// use foldic_tech::{MacroKind, MacroLibrary};
+///
+/// let lib = MacroLibrary::cmos28();
+/// let sram = lib.get(MacroKind::Sram16k);
+/// assert!(sram.area_um2() > 10_000.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MacroLibrary {
+    masters: HashMap<MacroKind, MacroMaster>,
+}
+
+impl MacroLibrary {
+    /// Builds the default 28 nm-class macro library.
+    pub fn cmos28() -> Self {
+        let mut masters = HashMap::new();
+        // 28nm 6T SRAM bitcell ≈ 0.12 µm²; array efficiency ≈ 50 %.
+        let m = |kind, w, h, pins, pin_cap, energy, leak, res, delay| {
+            (
+                kind,
+                MacroMaster {
+                    kind,
+                    width_um: w,
+                    height_um: h,
+                    pin_count: pins,
+                    pin_cap_ff: pin_cap,
+                    access_energy_fj: energy,
+                    leakage_uw: leak,
+                    output_res_ohm: res,
+                    access_delay_ps: delay,
+                },
+            )
+        };
+        for (k, v) in [
+            // 16KB: 131072 bits * 0.12um2 / 0.5 eff ≈ 31,457 µm² → 210 × 150
+            m(MacroKind::Sram16k, 210.0, 150.0, 96, 2.5, 27_000.0, 300.0, 900.0, 450.0),
+            m(MacroKind::Sram8k, 150.0, 110.0, 80, 2.2, 5_200.0, 115.0, 950.0, 380.0),
+            m(MacroKind::Sram4k, 110.0, 80.0, 72, 2.0, 3_100.0, 62.0, 1000.0, 330.0),
+            m(MacroKind::RegFile, 90.0, 60.0, 140, 1.8, 2_400.0, 48.0, 800.0, 260.0),
+            m(MacroKind::Cam, 80.0, 70.0, 110, 2.1, 4_400.0, 75.0, 850.0, 300.0),
+        ] {
+            masters.insert(k, v);
+        }
+        Self { masters }
+    }
+
+    /// The master for `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is missing (cannot happen for libraries built by
+    /// [`MacroLibrary::cmos28`]).
+    pub fn get(&self, kind: MacroKind) -> &MacroMaster {
+        self.masters
+            .get(&kind)
+            .unwrap_or_else(|| panic!("macro library is missing {kind}"))
+    }
+
+    /// Iterates over all masters in `MacroKind::ALL` order.
+    pub fn iter(&self) -> impl Iterator<Item = &MacroMaster> {
+        MacroKind::ALL.iter().filter_map(|k| self.masters.get(k))
+    }
+
+    /// Number of macro masters.
+    pub fn len(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// `true` when the library holds no macros.
+    pub fn is_empty(&self) -> bool {
+        self.masters.is_empty()
+    }
+}
+
+impl Default for MacroLibrary {
+    fn default() -> Self {
+        Self::cmos28()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_present() {
+        let lib = MacroLibrary::cmos28();
+        assert_eq!(lib.len(), MacroKind::ALL.len());
+        for k in MacroKind::ALL {
+            assert!(lib.get(k).area_um2() > 0.0);
+        }
+    }
+
+    #[test]
+    fn sram_sizes_ordered() {
+        let lib = MacroLibrary::cmos28();
+        let a16 = lib.get(MacroKind::Sram16k).area_um2();
+        let a8 = lib.get(MacroKind::Sram8k).area_um2();
+        let a4 = lib.get(MacroKind::Sram4k).area_um2();
+        assert!(a16 > a8 && a8 > a4);
+        // energy and leakage should scale with capacity too
+        assert!(lib.get(MacroKind::Sram16k).leakage_uw > lib.get(MacroKind::Sram8k).leakage_uw);
+    }
+
+    #[test]
+    fn scdata_bank_footprint_plausible() {
+        // 32 × 16KB macros must fit comfortably inside the paper's
+        // 910 × 1440 µm² scdata bank.
+        let lib = MacroLibrary::cmos28();
+        let total = 32.0 * lib.get(MacroKind::Sram16k).area_um2();
+        assert!(total < 0.9 * 910.0 * 1440.0, "macros {total} µm² too big");
+        assert!(total > 0.4 * 910.0 * 1440.0, "macros {total} µm² too small to dominate");
+    }
+}

@@ -1,0 +1,191 @@
+//! Nine-layer back-end-of-line metal stack with per-layer wire parasitics.
+
+use serde::{Deserialize, Serialize};
+
+/// One routing layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetalLayer {
+    /// Layer name (`"M1"` … `"M9"`).
+    pub name: String,
+    /// 1-based layer index.
+    pub index: usize,
+    /// Minimum wire width in µm.
+    pub min_width_um: f64,
+    /// Routing pitch in µm (wire width + spacing).
+    pub pitch_um: f64,
+    /// Wire resistance per µm in Ω at minimum width.
+    pub r_per_um: f64,
+    /// Wire capacitance per µm in fF at minimum width.
+    pub c_per_um: f64,
+    /// `true` for horizontal preferred direction (alternating by layer).
+    pub horizontal: bool,
+}
+
+/// The full metal stack.
+///
+/// # Examples
+///
+/// ```
+/// use foldic_tech::MetalStack;
+///
+/// let stack = MetalStack::cmos28();
+/// assert_eq!(stack.num_layers(), 9);
+/// // Upper layers are fatter and faster:
+/// assert!(stack.layer(9).r_per_um < stack.layer(2).r_per_um);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetalStack {
+    layers: Vec<MetalLayer>,
+}
+
+impl MetalStack {
+    /// The default 28 nm-class nine-layer stack: thin local layers (M1–M3),
+    /// intermediate (M4–M7) and thick global layers (M8–M9).
+    pub fn cmos28() -> Self {
+        // (min_width, pitch, r/um, c/um) per layer group.
+        let spec: [(f64, f64, f64, f64); 9] = [
+            (0.05, 0.10, 16.0, 0.18), // M1
+            (0.05, 0.10, 8.0, 0.19),  // M2
+            (0.05, 0.10, 6.0, 0.20),  // M3
+            (0.07, 0.14, 2.8, 0.20),  // M4
+            (0.07, 0.14, 2.2, 0.21),  // M5
+            (0.10, 0.20, 1.1, 0.21),  // M6
+            (0.10, 0.20, 0.9, 0.22),  // M7
+            (0.40, 0.80, 0.16, 0.24), // M8
+            (0.40, 0.80, 0.13, 0.24), // M9
+        ];
+        let layers = spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, p, r, c))| MetalLayer {
+                name: format!("M{}", i + 1),
+                index: i + 1,
+                min_width_um: w,
+                pitch_um: p,
+                r_per_um: r,
+                c_per_um: c,
+                horizontal: (i + 1) % 2 == 0,
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Number of layers in the stack.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The 1-based `index`-th layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is 0 or beyond the stack.
+    pub fn layer(&self, index: usize) -> &MetalLayer {
+        assert!(
+            index >= 1 && index <= self.layers.len(),
+            "metal layer M{index} out of range"
+        );
+        &self.layers[index - 1]
+    }
+
+    /// The topmost layer (M9 in the default stack).
+    pub fn top_layer(&self) -> &MetalLayer {
+        self.layers.last().expect("stack is never empty")
+    }
+
+    /// Iterates over the layers, M1 first.
+    pub fn iter(&self) -> impl Iterator<Item = &MetalLayer> {
+        self.layers.iter()
+    }
+
+    /// Average wire resistance per µm across layers `1..=max_layer`,
+    /// weighted toward the intermediate layers signal routing actually
+    /// uses (local layers are mostly pins, top layers mostly clock/power).
+    ///
+    /// This is the effective value the wire-delay and wire-capacitance
+    /// models use for a block allowed to route up to `max_layer`.
+    pub fn effective_r_per_um(&self, max_layer: usize) -> f64 {
+        self.weighted(max_layer, |l| l.r_per_um)
+    }
+
+    /// Average wire capacitance per µm across layers `1..=max_layer`
+    /// (see [`MetalStack::effective_r_per_um`]).
+    pub fn effective_c_per_um(&self, max_layer: usize) -> f64 {
+        self.weighted(max_layer, |l| l.c_per_um)
+    }
+
+    /// Routing-track supply per µm of bin width for layers `1..=max_layer`:
+    /// `Σ 1/pitch` over signal layers, discounting M1 (pins) entirely.
+    pub fn track_capacity_per_um(&self, max_layer: usize) -> f64 {
+        self.layers
+            .iter()
+            .take(max_layer.min(self.layers.len()))
+            .skip(1)
+            .map(|l| 1.0 / l.pitch_um)
+            .sum()
+    }
+
+    fn weighted(&self, max_layer: usize, f: impl Fn(&MetalLayer) -> f64) -> f64 {
+        let max = max_layer.clamp(1, self.layers.len());
+        // Length-weighted layer mix: M1 carries pins only, and the total
+        // wire length on a layer grows with its position in the stack
+        // (routers promote long nets upward), so weight ∝ layer index.
+        let mut sum = 0.0;
+        let mut wsum = 0.0;
+        for l in &self.layers[1..max] {
+            let w = l.index as f64;
+            sum += f(l) * w;
+            wsum += w;
+        }
+        if wsum == 0.0 {
+            return f(&self.layers[0]);
+        }
+        sum / wsum
+    }
+}
+
+impl Default for MetalStack {
+    fn default() -> Self {
+        Self::cmos28()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_layers_with_alternating_directions() {
+        let s = MetalStack::cmos28();
+        assert_eq!(s.num_layers(), 9);
+        assert_eq!(s.layer(1).name, "M1");
+        assert_eq!(s.top_layer().name, "M9");
+        assert_ne!(s.layer(1).horizontal, s.layer(2).horizontal);
+    }
+
+    #[test]
+    fn more_layers_means_faster_wires() {
+        let s = MetalStack::cmos28();
+        // Opening M8/M9 lowers the effective resistance.
+        assert!(s.effective_r_per_um(9) < s.effective_r_per_um(7));
+        // And increases track supply.
+        assert!(s.track_capacity_per_um(9) > s.track_capacity_per_um(7));
+    }
+
+    #[test]
+    fn effective_values_bounded_by_extremes() {
+        let s = MetalStack::cmos28();
+        for max in [3, 5, 7, 9] {
+            let r = s.effective_r_per_um(max);
+            assert!(r <= s.layer(1).r_per_um && r >= s.top_layer().r_per_um);
+            let c = s.effective_c_per_um(max);
+            assert!(c > 0.1 && c < 0.3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn layer_zero_panics() {
+        let _ = MetalStack::cmos28().layer(0);
+    }
+}

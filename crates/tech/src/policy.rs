@@ -1,0 +1,146 @@
+//! Bonding styles and the routing-layer usage policy of §2.2 / §6.1.
+
+use foldic_geom::Tier;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Die bonding style for the two-tier stack (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BondingStyle {
+    /// Face-to-back: TSVs through the top die's substrate.
+    FaceToBack,
+    /// Face-to-face: F2F vias between the two top metals.
+    FaceToFace,
+}
+
+impl BondingStyle {
+    /// Both styles, F2B first (the paper's baseline).
+    pub const ALL: [BondingStyle; 2] = [BondingStyle::FaceToBack, BondingStyle::FaceToFace];
+
+    /// `true` for face-to-face.
+    pub fn is_f2f(self) -> bool {
+        matches!(self, BondingStyle::FaceToFace)
+    }
+}
+
+impl fmt::Display for BondingStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BondingStyle::FaceToBack => f.write_str("F2B"),
+            BondingStyle::FaceToFace => f.write_str("F2F"),
+        }
+    }
+}
+
+/// Routing-layer budget decisions.
+///
+/// The paper's rules:
+///
+/// * Block-level (§2.2): the SPC — the most routing-hungry block — uses all
+///   nine metal layers; every other block uses seven, freeing M8–M9 for
+///   over-the-block routing at chip level.
+/// * Folded blocks under F2B (§6.1): the bottom die of a folded block uses
+///   up to M7 (TSV landing pad at M1); the top die uses up to M9 (landing
+///   pad at M9). SPC is the exception and takes M9 on both dies.
+/// * Folded blocks under F2F (§6.1): the F2F via sits on top of M9, so both
+///   dies route through M9 and the folded block blocks over-the-block
+///   routing on **both** dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingPolicy {
+    /// Highest metal layer for ordinary (non-SPC) unfolded blocks.
+    pub block_max_layer: usize,
+    /// Highest metal layer for routing-hungry blocks (SPC).
+    pub hungry_max_layer: usize,
+}
+
+impl RoutingPolicy {
+    /// The paper's policy: M7 for ordinary blocks, M9 for SPC.
+    pub fn dac14() -> Self {
+        Self {
+            block_max_layer: 7,
+            hungry_max_layer: 9,
+        }
+    }
+
+    /// Maximum routing layer inside a block.
+    ///
+    /// `routing_hungry` marks SPC-class blocks; `folded_tier` is `Some`
+    /// with the tier when the block is one die of a folded (split) block.
+    pub fn max_layer(
+        &self,
+        routing_hungry: bool,
+        bonding: BondingStyle,
+        folded_tier: Option<Tier>,
+    ) -> usize {
+        if routing_hungry {
+            return self.hungry_max_layer;
+        }
+        match (bonding, folded_tier) {
+            // F2F folded blocks consume the full stack on both dies.
+            (BondingStyle::FaceToFace, Some(_)) => self.hungry_max_layer,
+            // F2B folded: top die routes to M9 (pad at M9), bottom to M7.
+            (BondingStyle::FaceToBack, Some(Tier::Top)) => self.hungry_max_layer,
+            (BondingStyle::FaceToBack, Some(Tier::Bottom)) => self.block_max_layer,
+            // Unfolded block.
+            (_, None) => self.block_max_layer,
+        }
+    }
+
+    /// `true` when the block leaves M8–M9 free for over-the-block routing
+    /// at chip level on the given tier.
+    pub fn allows_over_the_block(
+        &self,
+        routing_hungry: bool,
+        bonding: BondingStyle,
+        folded_tier: Option<Tier>,
+    ) -> bool {
+        self.max_layer(routing_hungry, bonding, folded_tier) < self.hungry_max_layer
+    }
+}
+
+impl Default for RoutingPolicy {
+    fn default() -> Self {
+        Self::dac14()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinary_blocks_leave_top_layers_free() {
+        let p = RoutingPolicy::dac14();
+        assert_eq!(p.max_layer(false, BondingStyle::FaceToBack, None), 7);
+        assert!(p.allows_over_the_block(false, BondingStyle::FaceToBack, None));
+    }
+
+    #[test]
+    fn spc_always_takes_nine_layers() {
+        let p = RoutingPolicy::dac14();
+        for bonding in BondingStyle::ALL {
+            for tier in [None, Some(Tier::Top), Some(Tier::Bottom)] {
+                assert_eq!(p.max_layer(true, bonding, tier), 9);
+                assert!(!p.allows_over_the_block(true, bonding, tier));
+            }
+        }
+    }
+
+    #[test]
+    fn f2b_folded_asymmetric_layers() {
+        let p = RoutingPolicy::dac14();
+        assert_eq!(p.max_layer(false, BondingStyle::FaceToBack, Some(Tier::Top)), 9);
+        assert_eq!(p.max_layer(false, BondingStyle::FaceToBack, Some(Tier::Bottom)), 7);
+        // the bottom die still allows over-the-block routing
+        assert!(p.allows_over_the_block(false, BondingStyle::FaceToBack, Some(Tier::Bottom)));
+    }
+
+    #[test]
+    fn f2f_folded_blocks_both_dies() {
+        let p = RoutingPolicy::dac14();
+        for t in [Tier::Top, Tier::Bottom] {
+            assert_eq!(p.max_layer(false, BondingStyle::FaceToFace, Some(t)), 9);
+            assert!(!p.allows_over_the_block(false, BondingStyle::FaceToFace, Some(t)));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Unit conventions and conversion constants.
+//!
+//! The crate-level documentation lists the canonical units. The constants
+//! here convert between natural combinations of those units.
+
+/// Converts a product `R[Ω] × C[fF]` into picoseconds.
+///
+/// `1 Ω · 1 fF = 10⁻¹⁵ s·Ω/Ω = 10⁻³ ps`.
+///
+/// # Examples
+///
+/// ```
+/// use foldic_tech::units::RC_TO_PS;
+/// // A 1 kΩ driver into 100 fF: 100 ps time constant.
+/// assert_eq!(1000.0 * 100.0 * RC_TO_PS, 100.0);
+/// ```
+pub const RC_TO_PS: f64 = 1e-3;
+
+/// Converts µW to W.
+pub const UW_TO_W: f64 = 1e-6;
+
+/// Converts µm to mm.
+pub const UM_TO_MM: f64 = 1e-3;
+
+/// Converts µm² to mm².
+pub const UM2_TO_MM2: f64 = 1e-6;
+
+/// Dynamic switching energy in fJ for a capacitance in fF charged to `vdd`.
+///
+/// `E = C · V²` (the full `CV²` drawn from the supply per low→high
+/// transition; the standard α·f·C·V² power formulation folds the ½ into
+/// the activity definition).
+#[inline]
+pub fn switching_energy_fj(cap_ff: f64, vdd: f64) -> f64 {
+    cap_ff * vdd * vdd
+}
+
+/// Average switching power in µW for an energy-per-toggle in fJ, a clock in
+/// GHz and a toggle activity `alpha` (expected toggles per cycle).
+#[inline]
+pub fn switching_power_uw(energy_fj: f64, clock_ghz: f64, alpha: f64) -> f64 {
+    energy_fj * clock_ghz * alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_and_power_composition() {
+        // 100 fF at 0.9 V toggled every other cycle at 0.5 GHz:
+        let e = switching_energy_fj(100.0, 0.9);
+        assert!((e - 81.0).abs() < 1e-12);
+        let p = switching_power_uw(e, 0.5, 0.5);
+        assert!((p - 20.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rc_constant_sane() {
+        // 50 Ω TSV driving 40 fF ≈ 2 ps.
+        assert!((50.0 * 40.0 * RC_TO_PS - 2.0).abs() < 1e-12);
+    }
+}

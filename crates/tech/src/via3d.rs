@@ -1,0 +1,276 @@
+//! Electrical and geometric models for 3D interconnect elements.
+//!
+//! Two bonding styles exist for two-tier stacks (paper Fig. 1):
+//!
+//! * **face-to-back (F2B)** — the top die's face bonds to the bottom die's
+//!   thinned back; inter-die connections are **TSVs** drilled through the
+//!   top die's substrate. TSVs consume silicon area (cells cannot sit under
+//!   them) and their pitch limits 3D connection density.
+//! * **face-to-face (F2F)** — the two dies bond face to face; connections
+//!   are **F2F vias** between the top metals. They consume no silicon area
+//!   and may sit over cells and macros.
+//!
+//! The TSV R/C follows the closed-form cylindrical model of Katti et al.
+//! (the paper's reference \[4\]): metal resistance of a copper cylinder and
+//! the coaxial metal–oxide–semiconductor capacitance of the liner.
+
+use crate::metal::MetalStack;
+use serde::{Deserialize, Serialize};
+
+/// Copper resistivity in Ω·µm (1.68×10⁻⁸ Ω·m).
+const RHO_CU_OHM_UM: f64 = 1.68e-2;
+/// Vacuum permittivity in fF/µm (8.854×10⁻¹² F/m).
+const EPS0_FF_UM: f64 = 8.854e-3;
+/// SiO₂ relative permittivity.
+const EPS_OX: f64 = 3.9;
+
+/// Which 3D interconnect element a connection uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Via3dKind {
+    /// Through-silicon via (face-to-back bonding).
+    Tsv,
+    /// Face-to-face via (face-to-face bonding).
+    F2fVia,
+}
+
+/// Katti-model through-silicon via.
+///
+/// # Examples
+///
+/// ```
+/// use foldic_tech::TsvModel;
+///
+/// let tsv = TsvModel::default();
+/// // tens of mΩ and tens of fF, per the model in the paper's Table 1
+/// assert!(tsv.resistance_ohm() < 1.0);
+/// assert!(tsv.capacitance_ff() > 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TsvModel {
+    /// Copper body diameter in µm.
+    pub diameter_um: f64,
+    /// Via height (thinned substrate thickness) in µm.
+    pub height_um: f64,
+    /// Minimum centre-to-centre pitch in µm.
+    pub pitch_um: f64,
+    /// Oxide liner thickness in µm.
+    pub liner_um: f64,
+}
+
+impl TsvModel {
+    /// Body resistance `ρ·h / (π·r²)` in Ω.
+    pub fn resistance_ohm(&self) -> f64 {
+        let r = self.diameter_um / 2.0;
+        RHO_CU_OHM_UM * self.height_um / (std::f64::consts::PI * r * r)
+    }
+
+    /// Coaxial MIS capacitance `2π·ε_ox·h / ln((r+t_ox)/r)` in fF.
+    pub fn capacitance_ff(&self) -> f64 {
+        let r = self.diameter_um / 2.0;
+        2.0 * std::f64::consts::PI * EPS_OX * EPS0_FF_UM * self.height_um
+            / ((r + self.liner_um) / r).ln()
+    }
+
+    /// Silicon keep-out footprint in µm²: a `pitch × pitch` square no cell
+    /// may occupy (body + liner + stress keep-out).
+    pub fn keepout_area_um2(&self) -> f64 {
+        self.pitch_um * self.pitch_um
+    }
+
+    /// Landing-pad edge length in µm (pad at M1 on the bottom die).
+    pub fn landing_pad_um(&self) -> f64 {
+        self.diameter_um + 2.0 * self.liner_um
+    }
+
+    /// TSV-to-wire coupling capacitance in fF (the paper's §7 future-work
+    /// parasitic): the cylindrical body couples laterally into the wires
+    /// routed past it. Modeled as a coaxial capacitor from the body to a
+    /// virtual shield at half the keep-out pitch, of which `wire_fraction`
+    /// terminates on signal wiring (the rest sees substrate/power mesh).
+    pub fn coupling_cap_ff(&self) -> f64 {
+        let r = self.diameter_um / 2.0;
+        let shield = (self.pitch_um / 2.0).max(r * 1.2);
+        let wire_fraction = 0.25;
+        2.0 * std::f64::consts::PI * EPS_OX * EPS0_FF_UM * self.height_um
+            / (shield / r).ln()
+            * wire_fraction
+    }
+}
+
+impl Default for TsvModel {
+    /// The study's TSV: 3.5 µm body, 30 µm height, 7 µm pitch, 0.35 µm
+    /// liner — sized so a folded block's TSV array costs ≈10 % of its die
+    /// area (the paper's Fig. 6 annotation).
+    fn default() -> Self {
+        Self {
+            diameter_um: 3.5,
+            height_um: 30.0,
+            pitch_um: 7.0,
+            liner_um: 0.35,
+        }
+    }
+}
+
+/// Face-to-face via (bond-point between the two top metals).
+///
+/// The paper sizes it "comparable to the top metal dimension, around twice
+/// the minimum top metal (M9) width".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct F2fViaModel {
+    /// Square pad edge in µm.
+    pub size_um: f64,
+    /// Minimum centre-to-centre pitch in µm.
+    pub pitch_um: f64,
+    /// Bond height (top-metal to top-metal) in µm.
+    pub height_um: f64,
+}
+
+impl F2fViaModel {
+    /// Builds the model from a metal stack: pad edge = 2× min M9 width.
+    pub fn sized_for(stack: &MetalStack) -> Self {
+        let w = 2.0 * stack.top_layer().min_width_um;
+        Self {
+            size_um: w,
+            pitch_um: 2.0 * w,
+            height_um: 1.0,
+        }
+    }
+
+    /// Bond resistance in Ω: a short copper pillar plus contact resistance.
+    pub fn resistance_ohm(&self) -> f64 {
+        let area = self.size_um * self.size_um;
+        let body = RHO_CU_OHM_UM * self.height_um / area;
+        let contact = 0.15; // Cu-Cu thermo-compression contact
+        body + contact
+    }
+
+    /// Bond capacitance in fF: parallel-plate pad-to-substrate fringe,
+    /// empirically a fraction of a fF for µm-scale pads.
+    pub fn capacitance_ff(&self) -> f64 {
+        // plate term + fringe floor
+        let plate = EPS_OX * EPS0_FF_UM * self.size_um * self.size_um / 0.5;
+        plate + 0.05
+    }
+
+    /// Top-metal pad area in µm² — consumed on M9, not in silicon.
+    pub fn pad_area_um2(&self) -> f64 {
+        self.size_um * self.size_um
+    }
+}
+
+impl Default for F2fViaModel {
+    fn default() -> Self {
+        Self::sized_for(&MetalStack::cmos28())
+    }
+}
+
+/// Electrical summary of a 3D interconnect element, for reports (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Via3dSummary {
+    /// Which element this summarizes.
+    pub kind: Via3dKind,
+    /// Body diameter / pad edge in µm.
+    pub diameter_um: f64,
+    /// Height in µm.
+    pub height_um: f64,
+    /// Pitch in µm.
+    pub pitch_um: f64,
+    /// Resistance in Ω.
+    pub resistance_ohm: f64,
+    /// Capacitance in fF.
+    pub capacitance_ff: f64,
+}
+
+impl TsvModel {
+    /// Summary row for Table 1.
+    pub fn summary(&self) -> Via3dSummary {
+        Via3dSummary {
+            kind: Via3dKind::Tsv,
+            diameter_um: self.diameter_um,
+            height_um: self.height_um,
+            pitch_um: self.pitch_um,
+            resistance_ohm: self.resistance_ohm(),
+            capacitance_ff: self.capacitance_ff(),
+        }
+    }
+}
+
+impl F2fViaModel {
+    /// Summary row for Table 1.
+    pub fn summary(&self) -> Via3dSummary {
+        Via3dSummary {
+            kind: Via3dKind::F2fVia,
+            diameter_um: self.size_um,
+            height_um: self.height_um,
+            pitch_um: self.pitch_um,
+            resistance_ohm: self.resistance_ohm(),
+            capacitance_ff: self.capacitance_ff(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_katti_values_in_range() {
+        let tsv = TsvModel::default();
+        let r = tsv.resistance_ohm();
+        let c = tsv.capacitance_ff();
+        // ρh/(πr²) = 1.68e-2 * 30 / (π·1.75²) ≈ 52 mΩ
+        assert!((r - 0.052).abs() < 0.005, "R = {r} Ω");
+        // 2π·3.9·8.854e-3·30 / ln(2.1/1.75) ≈ 35.7 fF
+        assert!((c - 35.7).abs() < 3.0, "C = {c} fF");
+    }
+
+    #[test]
+    fn f2f_via_is_tiny() {
+        let f2f = F2fViaModel::default();
+        assert!(f2f.size_um <= 1.0);
+        assert!(f2f.capacitance_ff() < 1.0);
+        assert!(f2f.resistance_ohm() < 1.0);
+    }
+
+    #[test]
+    fn tsv_area_overhead_vs_f2f() {
+        let tsv = TsvModel::default();
+        let f2f = F2fViaModel::default();
+        // A TSV costs pitch² = 49 µm² of silicon; an F2F via costs none.
+        assert_eq!(tsv.keepout_area_um2(), 49.0);
+        assert!(f2f.pad_area_um2() < 1.0);
+    }
+
+    #[test]
+    fn summaries_match_models() {
+        let tsv = TsvModel::default();
+        let s = tsv.summary();
+        assert_eq!(s.kind, Via3dKind::Tsv);
+        assert_eq!(s.resistance_ohm, tsv.resistance_ohm());
+        let f = F2fViaModel::default().summary();
+        assert_eq!(f.kind, Via3dKind::F2fVia);
+    }
+
+    #[test]
+    fn coupling_is_a_fraction_of_body_cap() {
+        let tsv = TsvModel::default();
+        let c = tsv.coupling_cap_ff();
+        assert!(c > 0.5, "coupling {c} fF too small to matter");
+        assert!(c < tsv.capacitance_ff(), "coupling {c} exceeds body cap");
+    }
+
+    #[test]
+    fn scaling_laws() {
+        let thin = TsvModel {
+            diameter_um: 2.0,
+            ..TsvModel::default()
+        };
+        let fat = TsvModel {
+            diameter_um: 8.0,
+            ..TsvModel::default()
+        };
+        // Thinner TSV: more resistance, less capacitance.
+        assert!(thin.resistance_ohm() > fat.resistance_ohm());
+        assert!(thin.capacitance_ff() < fat.capacitance_ff());
+    }
+}

@@ -1,0 +1,479 @@
+#![warn(missing_docs)]
+//! Steady-state thermal analysis of two-tier 3D stacks.
+//!
+//! The paper closes with: *"our future work will address thermal issues
+//! in various 3D design styles with different bonding styles"*. This
+//! crate implements that study: a finite-difference resistive-grid
+//! thermal solver for the chip styles the power experiments build.
+//!
+//! # Model
+//!
+//! Each die is a uniform 2-D grid of thermal nodes with lateral silicon
+//! conduction; the stack couples vertically:
+//!
+//! ```text
+//!        heat sink (ambient + R_sink)
+//!   ───────────────────────────────────
+//!        top die        ← R_bond →      (F2B: thinned Si + µbumps,
+//!        bottom die                      F2F: two BEOL stacks — worse!)
+//!   ───────────────────────────────────
+//!        package/board (R_board, poor path)
+//! ```
+//!
+//! Power maps come from placed designs (cell/macro powers smeared into
+//! bins). The solver runs red-black Gauss–Seidel with successive
+//! over-relaxation to convergence.
+//!
+//! The headline 3D-thermal facts this reproduces mechanistically:
+//!
+//! * stacking raises power density → 3D runs hotter than 2D at the same
+//!   total power;
+//! * face-to-face bonding inserts two dielectric BEOL stacks between the
+//!   active layers and the heat sink path, so the F2F stack runs hotter
+//!   than the F2B stack — the thermal price of the power benefits the
+//!   main study demonstrates.
+//!
+//! # Examples
+//!
+//! ```
+//! use foldic_thermal::{PowerMap, StackConfig, solve_stack};
+//!
+//! // a single hot die: uniform 5 W over 10x10 bins of 1 mm²
+//! let map = PowerMap::uniform(10, 10, 1.0, 5.0e6);
+//! let report = solve_stack(&[map], &StackConfig::single_die());
+//! assert!(report.max_c > report.ambient_c);
+//! ```
+
+use foldic_geom::Rect;
+use foldic_netlist::{Design, InstMaster};
+use foldic_tech::Technology;
+use serde::{Deserialize, Serialize};
+
+/// A per-bin power map of one die in µW.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerMap {
+    cols: usize,
+    rows: usize,
+    /// Bin edge in mm.
+    bin_mm: f64,
+    /// Power per bin in µW, row-major.
+    power_uw: Vec<f64>,
+}
+
+impl PowerMap {
+    /// An all-zero map.
+    pub fn zero(cols: usize, rows: usize, bin_mm: f64) -> Self {
+        assert!(cols > 0 && rows > 0 && bin_mm > 0.0);
+        Self {
+            cols,
+            rows,
+            bin_mm,
+            power_uw: vec![0.0; cols * rows],
+        }
+    }
+
+    /// A uniform map carrying `total_uw` split evenly over all bins.
+    pub fn uniform(cols: usize, rows: usize, bin_mm: f64, total_uw: f64) -> Self {
+        let mut m = Self::zero(cols, rows, bin_mm);
+        let per = total_uw / (cols * rows) as f64;
+        m.power_uw.iter_mut().for_each(|p| *p = per);
+        m
+    }
+
+    /// Adds `uw` at the bin containing `(x_mm, y_mm)` (clamped).
+    pub fn deposit(&mut self, x_mm: f64, y_mm: f64, uw: f64) {
+        let c = ((x_mm / self.bin_mm) as isize).clamp(0, self.cols as isize - 1) as usize;
+        let r = ((y_mm / self.bin_mm) as isize).clamp(0, self.rows as isize - 1) as usize;
+        self.power_uw[r * self.cols + c] += uw;
+    }
+
+    /// Total power in µW.
+    pub fn total_uw(&self) -> f64 {
+        self.power_uw.iter().sum()
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bin edge in mm.
+    pub fn bin_mm(&self) -> f64 {
+        self.bin_mm
+    }
+
+    /// Power of bin `(c, r)` in µW.
+    pub fn at(&self, c: usize, r: usize) -> f64 {
+        self.power_uw[r * self.cols + c]
+    }
+}
+
+/// Thermal parameters of the stack. All area resistances in K·mm²/W.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackConfig {
+    /// Ambient temperature in °C.
+    pub ambient_c: f64,
+    /// Die-to-heat-sink path (substrate + TIM + spreader) for the die
+    /// adjacent to the sink.
+    pub r_sink: f64,
+    /// Inter-die bond resistance: thinned silicon + µbumps for F2B.
+    pub r_bond: f64,
+    /// Die-to-board path below the bottom die.
+    pub r_board: f64,
+    /// Lateral sheet conductance of one die in W/K per square
+    /// (silicon k · thickness).
+    pub lateral_w_per_k: f64,
+    /// Gauss–Seidel iterations cap.
+    pub max_iters: usize,
+    /// Convergence threshold in K.
+    pub tolerance: f64,
+}
+
+impl StackConfig {
+    /// A 2D chip: one die straight under the heat sink.
+    pub fn single_die() -> Self {
+        Self {
+            ambient_c: 45.0,
+            r_sink: 150.0,
+            r_bond: 30.0, // unused with one die
+            r_board: 800.0,
+            lateral_w_per_k: 0.036, // 120 W/mK × 0.3 mm substrate
+            max_iters: 20_000,
+            tolerance: 1e-4,
+        }
+    }
+
+    /// A face-to-back two-tier stack: the inter-die path crosses the top
+    /// die's thinned substrate and the µbump layer.
+    pub fn f2b() -> Self {
+        Self {
+            r_bond: 30.0,
+            ..Self::single_die()
+        }
+    }
+
+    /// A face-to-face stack: the inter-die path crosses *two* BEOL
+    /// dielectric stacks — several times more resistive than F2B.
+    pub fn f2f() -> Self {
+        Self {
+            r_bond: 120.0,
+            ..Self::single_die()
+        }
+    }
+}
+
+/// Result of a thermal solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalReport {
+    /// Temperature per tier (same layout as the power maps), °C.
+    pub temps_c: Vec<Vec<f64>>,
+    /// Hottest temperature in the stack, °C.
+    pub max_c: f64,
+    /// Power-weighted average temperature, °C.
+    pub avg_c: f64,
+    /// Ambient used, °C.
+    pub ambient_c: f64,
+    /// Hotspot `(tier, col, row)`.
+    pub hotspot: (usize, usize, usize),
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+impl ThermalReport {
+    /// Hottest rise over ambient in K.
+    pub fn max_rise_k(&self) -> f64 {
+        self.max_c - self.ambient_c
+    }
+}
+
+/// Solves the steady-state temperature of a 1- or 2-tier stack.
+///
+/// `maps\[0\]` is the **bottom** die, `maps\[1\]` (if present) the **top**
+/// die; the heat sink sits above the topmost die, the board below the
+/// bottom one. All maps must share the same grid.
+///
+/// # Panics
+///
+/// Panics if `maps` is empty, holds more than two dies, or the grids
+/// disagree.
+pub fn solve_stack(maps: &[PowerMap], cfg: &StackConfig) -> ThermalReport {
+    assert!(
+        !maps.is_empty() && maps.len() <= 2,
+        "one or two dies supported, got {}",
+        maps.len()
+    );
+    let (cols, rows, bin) = (maps[0].cols, maps[0].rows, maps[0].bin_mm);
+    for m in maps {
+        assert_eq!((m.cols, m.rows), (cols, rows), "grids must match");
+        assert!((m.bin_mm - bin).abs() < 1e-12, "bin sizes must match");
+    }
+    let tiers = maps.len();
+    let bin_area = bin * bin; // mm²
+    // vertical conductances per node in W/K
+    let g_sink = bin_area / cfg.r_sink;
+    let g_bond = bin_area / cfg.r_bond;
+    let g_board = bin_area / cfg.r_board;
+    // lateral conductance between neighbouring nodes (square cells → per
+    // square sheet conductance applies directly)
+    let g_lat = cfg.lateral_w_per_k;
+
+    // temperatures in K above ambient
+    let mut t = vec![vec![0.0f64; cols * rows]; tiers];
+    // sources in W
+    let src: Vec<Vec<f64>> = maps
+        .iter()
+        .map(|m| m.power_uw.iter().map(|p| p * 1e-6).collect())
+        .collect();
+
+    let top = tiers - 1;
+    let mut iterations = 0;
+    for it in 0..cfg.max_iters {
+        iterations = it + 1;
+        let mut max_delta = 0.0f64;
+        for k in 0..tiers {
+            for r in 0..rows {
+                for c in 0..cols {
+                    let i = r * cols + c;
+                    let mut g_sum = 0.0;
+                    let mut flow = src[k][i];
+                    // lateral neighbours
+                    if c > 0 {
+                        g_sum += g_lat;
+                        flow += g_lat * t[k][i - 1];
+                    }
+                    if c + 1 < cols {
+                        g_sum += g_lat;
+                        flow += g_lat * t[k][i + 1];
+                    }
+                    if r > 0 {
+                        g_sum += g_lat;
+                        flow += g_lat * t[k][i - cols];
+                    }
+                    if r + 1 < rows {
+                        g_sum += g_lat;
+                        flow += g_lat * t[k][i + cols];
+                    }
+                    // vertical paths
+                    if k == top {
+                        g_sum += g_sink; // to ambient (t=0)
+                    }
+                    if k == 0 {
+                        g_sum += g_board; // to ambient
+                    }
+                    if tiers == 2 {
+                        let other = 1 - k;
+                        g_sum += g_bond;
+                        flow += g_bond * t[other][i];
+                    }
+                    let new = flow / g_sum;
+                    let delta = (new - t[k][i]).abs();
+                    if delta > max_delta {
+                        max_delta = delta;
+                    }
+                    // SOR acceleration
+                    t[k][i] += 1.5 * (new - t[k][i]);
+                }
+            }
+        }
+        if max_delta < cfg.tolerance {
+            break;
+        }
+    }
+
+    let mut max_c = f64::NEG_INFINITY;
+    let mut hotspot = (0, 0, 0);
+    let mut weighted = 0.0;
+    let mut total_p = 0.0;
+    for k in 0..tiers {
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                let temp = cfg.ambient_c + t[k][i];
+                if temp > max_c {
+                    max_c = temp;
+                    hotspot = (k, c, r);
+                }
+                weighted += temp * src[k][i];
+                total_p += src[k][i];
+            }
+        }
+    }
+    let avg_c = if total_p > 0.0 {
+        weighted / total_p
+    } else {
+        cfg.ambient_c
+    };
+    ThermalReport {
+        temps_c: t
+            .iter()
+            .map(|tier| tier.iter().map(|x| cfg.ambient_c + x).collect())
+            .collect(),
+        max_c,
+        avg_c,
+        ambient_c: cfg.ambient_c,
+        hotspot,
+        iterations,
+    }
+}
+
+/// Builds per-tier power maps from a floorplanned, analyzed design.
+///
+/// `per_block` supplies each block's total power (µW), as produced by the
+/// full-chip flow; the power is smeared uniformly over the block's chip
+/// rect on its tier(s) — folded blocks split theirs across both dies by
+/// instance-tier power share.
+pub fn chip_power_maps(
+    design: &Design,
+    tech: &Technology,
+    die: Rect,
+    per_block: &[(String, foldic_netlist::BlockKind, f64)],
+    tiers: usize,
+    bins: usize,
+) -> Vec<PowerMap> {
+    let bin_mm = (die.width().max(die.height()) * 1e-3 / bins as f64).max(1e-3);
+    let cols = ((die.width() * 1e-3 / bin_mm).ceil() as usize).max(1);
+    let rows = ((die.height() * 1e-3 / bin_mm).ceil() as usize).max(1);
+    let mut maps = vec![PowerMap::zero(cols, rows, bin_mm); tiers.clamp(1, 2)];
+    for (name, _, power_uw) in per_block {
+        let Some(id) = design.find_block(name) else {
+            continue;
+        };
+        let block = design.block(id);
+        // tier split: folded blocks by per-tier cell counts, unfolded all
+        // on their tier
+        let split = if block.folded && maps.len() == 2 {
+            let (mut bot, mut top) = (0usize, 0usize);
+            for (_, inst) in block.netlist.insts() {
+                if matches!(inst.master, InstMaster::Cell(_)) {
+                    match inst.tier {
+                        foldic_geom::Tier::Bottom => bot += 1,
+                        foldic_geom::Tier::Top => top += 1,
+                    }
+                }
+            }
+            let total = (bot + top).max(1) as f64;
+            vec![(0, bot as f64 / total), (1, top as f64 / total)]
+        } else {
+            let k = if maps.len() == 2 {
+                block.tier.index()
+            } else {
+                0
+            };
+            vec![(k, 1.0)]
+        };
+        let rect = block.chip_rect();
+        let _ = tech;
+        // deposit over a sub-grid of the block rect
+        let steps = 4usize;
+        for (tier_idx, frac) in split {
+            let per = power_uw * frac / (steps * steps) as f64;
+            for sx in 0..steps {
+                for sy in 0..steps {
+                    let x = rect.llx + (sx as f64 + 0.5) / steps as f64 * rect.width();
+                    let y = rect.lly + (sy as f64 + 0.5) / steps as f64 * rect.height();
+                    maps[tier_idx].deposit((x - die.llx) * 1e-3, (y - die.lly) * 1e-3, per);
+                }
+            }
+        }
+    }
+    maps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_balance_uniform_die() {
+        // 10 W over 64 mm² with sink 150 + board 800 in parallel:
+        // R_eq = 1/(1/150 + 1/800)/64 ≈ 126/64 ≈ 1.97 K/W → ~19.7 K rise.
+        let map = PowerMap::uniform(8, 8, 1.0, 10.0e6);
+        let rep = solve_stack(&[map], &StackConfig::single_die());
+        let expect = 10.0 / (64.0 / 150.0 + 64.0 / 800.0);
+        assert!(
+            (rep.max_rise_k() - expect).abs() < 0.2 * expect,
+            "rise {} vs analytic {expect}",
+            rep.max_rise_k()
+        );
+        // uniform power → essentially uniform temperature
+        let spread = rep.max_c - rep.avg_c;
+        assert!(spread < 0.5, "spread {spread}");
+    }
+
+    #[test]
+    fn hotspot_follows_the_power() {
+        let mut map = PowerMap::zero(16, 16, 0.5);
+        map.deposit(1.0, 7.0 * 0.5 + 0.1, 2.0e6); // hot bin near left edge
+        let rep = solve_stack(&[map], &StackConfig::single_die());
+        let (_, c, _) = rep.hotspot;
+        assert!(c <= 3, "hotspot drifted to column {c}");
+    }
+
+    #[test]
+    fn stacking_runs_hotter_than_2d_at_same_power() {
+        let total = 10.0e6;
+        // 2D: power over the full area
+        let flat = PowerMap::uniform(10, 10, 1.0, total);
+        let r2d = solve_stack(&[flat], &StackConfig::single_die());
+        // 3D: same power, half the footprint, two dies
+        let per_die = PowerMap::uniform(7, 7, 1.0, total / 2.0);
+        let r3d = solve_stack(&[per_die.clone(), per_die], &StackConfig::f2b());
+        assert!(
+            r3d.max_c > r2d.max_c + 1.0,
+            "3D {} must run hotter than 2D {}",
+            r3d.max_c,
+            r2d.max_c
+        );
+    }
+
+    #[test]
+    fn f2f_runs_hotter_than_f2b() {
+        let per_die = PowerMap::uniform(8, 8, 1.0, 5.0e6);
+        let f2b = solve_stack(&[per_die.clone(), per_die.clone()], &StackConfig::f2b());
+        let f2f = solve_stack(&[per_die.clone(), per_die], &StackConfig::f2f());
+        assert!(
+            f2f.max_c > f2b.max_c,
+            "F2F {} must run hotter than F2B {}",
+            f2f.max_c,
+            f2b.max_c
+        );
+        // and the bottom die (far from the sink) is the hot one
+        let (tier, _, _) = f2f.hotspot;
+        assert_eq!(tier, 0, "hotspot must sit on the bottom die");
+    }
+
+    #[test]
+    fn deposit_and_total_are_consistent() {
+        let mut m = PowerMap::zero(4, 4, 1.0);
+        m.deposit(0.5, 0.5, 100.0);
+        m.deposit(3.5, 3.5, 200.0);
+        m.deposit(99.0, 99.0, 50.0); // clamped into the corner bin
+        assert_eq!(m.total_uw(), 350.0);
+        assert_eq!(m.at(0, 0), 100.0);
+        assert_eq!(m.at(3, 3), 250.0);
+    }
+
+    #[test]
+    fn chip_maps_conserve_power() {
+        let (mut design, _tech) = foldic_t2::T2Config::tiny().generate();
+        // fake a floorplan: place blocks in a row
+        let mut x = 0.0;
+        let mut per_block = Vec::new();
+        let ids: Vec<_> = design.block_ids().collect();
+        for id in ids {
+            let b = design.block_mut(id);
+            b.pos = foldic_geom::Point::new(x, 0.0);
+            x += b.outline.width() + 10.0;
+            per_block.push((b.name.clone(), b.kind, 1000.0));
+        }
+        let die = Rect::new(0.0, 0.0, x, 2000.0);
+        let maps = chip_power_maps(&design, &_tech, die, &per_block, 1, 32);
+        let total: f64 = maps.iter().map(|m| m.total_uw()).sum();
+        assert!((total - 46_000.0).abs() < 1.0, "total {total}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Thermal-solver behaviour on structured stacks.
+
+use foldic_thermal::{solve_stack, PowerMap, StackConfig};
+
+#[test]
+fn superposition_holds_approximately() {
+    // the grid is linear: doubling the power doubles the rise
+    let map1 = PowerMap::uniform(12, 12, 1.0, 4.0e6);
+    let map2 = PowerMap::uniform(12, 12, 1.0, 8.0e6);
+    let cfg = StackConfig::single_die();
+    let r1 = solve_stack(&[map1], &cfg);
+    let r2 = solve_stack(&[map2], &cfg);
+    let ratio = r2.max_rise_k() / r1.max_rise_k();
+    assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+}
+
+#[test]
+fn top_die_power_runs_cooler_than_bottom_die_power() {
+    // the same heat on the die next to the sink must produce a smaller
+    // rise than on the die next to the board
+    let hot = PowerMap::uniform(10, 10, 1.0, 6.0e6);
+    let cold = PowerMap::zero(10, 10, 1.0);
+    let cfg = StackConfig::f2b();
+    let top_hot = solve_stack(&[cold.clone(), hot.clone()], &cfg);
+    let bottom_hot = solve_stack(&[hot, cold], &cfg);
+    assert!(
+        bottom_hot.max_c > top_hot.max_c,
+        "bottom-heated {} vs top-heated {}",
+        bottom_hot.max_c,
+        top_hot.max_c
+    );
+}
+
+#[test]
+fn lateral_conduction_spreads_hotspots() {
+    let mut concentrated = PowerMap::zero(16, 16, 1.0);
+    concentrated.deposit(8.0, 8.0, 5.0e6);
+    let spread = PowerMap::uniform(16, 16, 1.0, 5.0e6);
+    let cfg = StackConfig::single_die();
+    let hot = solve_stack(&[concentrated], &cfg);
+    let even = solve_stack(&[spread], &cfg);
+    // same energy: the concentrated map peaks higher
+    assert!(hot.max_c > even.max_c + 1.0);
+    // but lateral conduction keeps the peak bounded well below the
+    // no-spreading analytic value P·R/area_of_one_bin
+    let no_spread = 5.0 / (1.0 / cfg.r_sink + 1.0 / cfg.r_board);
+    assert!(hot.max_rise_k() < 0.8 * no_spread, "{} vs {no_spread}", hot.max_rise_k());
+}
+
+#[test]
+fn a_better_bond_cools_the_bottom_die() {
+    let per_die = PowerMap::uniform(10, 10, 1.0, 5.0e6);
+    let mut good = StackConfig::f2b();
+    good.r_bond = 10.0;
+    let mut bad = StackConfig::f2b();
+    bad.r_bond = 300.0;
+    let rg = solve_stack(&[per_die.clone(), per_die.clone()], &good);
+    let rb = solve_stack(&[per_die.clone(), per_die], &bad);
+    assert!(rg.max_c < rb.max_c);
+}
+
+#[test]
+fn zero_power_sits_at_ambient() {
+    let map = PowerMap::zero(8, 8, 1.0);
+    let r = solve_stack(&[map], &StackConfig::single_die());
+    assert!(r.max_rise_k().abs() < 1e-9);
+    assert_eq!(r.avg_c, r.ambient_c);
+}
+
+#[test]
+#[should_panic(expected = "grids must match")]
+fn mismatched_grids_panic() {
+    let a = PowerMap::zero(8, 8, 1.0);
+    let b = PowerMap::zero(9, 8, 1.0);
+    let _ = solve_stack(&[a, b], &StackConfig::f2b());
+}

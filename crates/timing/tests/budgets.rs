@@ -1,0 +1,123 @@
+//! Timing budgets and multi-domain behaviour.
+
+use foldic_route::BlockWiring;
+use foldic_t2::T2Config;
+use foldic_timing::{analyze, StaConfig, TimingBudgets};
+
+fn setup(name: &str) -> (foldic_netlist::Netlist, foldic_tech::Technology) {
+    let (design, tech) = T2Config::tiny().generate();
+    (design.block(design.find_block(name).unwrap()).netlist.clone(), tech)
+}
+
+#[test]
+fn tighter_input_budgets_monotonically_worsen_slack() {
+    let (nl, tech) = setup("mcu0");
+    let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None);
+    let mut prev_tns = -1.0;
+    for frac in [0.25, 0.5, 0.7, 0.9] {
+        let mut budgets = TimingBudgets::relaxed(&nl, &tech);
+        for a in &mut budgets.input_arrival_ps {
+            *a = *a / 0.25 * frac;
+        }
+        let rep = analyze(&nl, &tech, &wiring, &budgets, &StaConfig::default());
+        assert!(
+            rep.tns_ps >= prev_tns,
+            "frac {frac}: tns {} must not improve under pressure (prev {prev_tns})",
+            rep.tns_ps
+        );
+        prev_tns = rep.tns_ps;
+    }
+}
+
+#[test]
+fn tighter_output_budgets_create_endpoint_violations() {
+    let (nl, tech) = setup("mcu0");
+    let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None);
+    let relaxed = TimingBudgets::relaxed(&nl, &tech);
+    let base = analyze(&nl, &tech, &wiring, &relaxed, &StaConfig::default());
+    let mut tight = relaxed.clone();
+    for r in &mut tight.output_required_ps {
+        *r *= 0.05;
+    }
+    let rep = analyze(&nl, &tech, &wiring, &tight, &StaConfig::default());
+    assert!(rep.violations > base.violations);
+    assert!(rep.wns_ps > base.wns_ps);
+}
+
+#[test]
+fn io_domain_blocks_get_longer_periods() {
+    // RTX runs on the 250 MHz I/O clock: its relaxed output budgets must
+    // be twice the CPU-domain ones.
+    let (rtx, tech) = setup("rtx");
+    let (mcu, _) = setup("mcu0");
+    let brt = TimingBudgets::relaxed(&rtx, &tech);
+    let bmc = TimingBudgets::relaxed(&mcu, &tech);
+    let max_rtx = brt
+        .output_required_ps
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
+    let max_mcu = bmc
+        .output_required_ps
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
+    assert!(max_rtx >= 1.9 * max_mcu, "rtx {max_rtx} vs mcu {max_mcu}");
+}
+
+#[test]
+fn wire_detour_slows_arrivals() {
+    let (nl, tech) = setup("l2t0");
+    let budgets = TimingBudgets::relaxed(&nl, &tech);
+    let short = BlockWiring::analyze(&nl, &tech, 1.0, None);
+    let long = BlockWiring::analyze(&nl, &tech, 1.5, None);
+    let a = analyze(&nl, &tech, &short, &budgets, &StaConfig::default());
+    let b = analyze(&nl, &tech, &long, &budgets, &StaConfig::default());
+    assert!(b.max_arrival_ps > a.max_arrival_ps);
+}
+
+#[test]
+fn fewer_layers_mean_slower_wires() {
+    let (nl, tech) = setup("l2t0");
+    let budgets = TimingBudgets::relaxed(&nl, &tech);
+    let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None);
+    let m7 = analyze(
+        &nl,
+        &tech,
+        &wiring,
+        &budgets,
+        &StaConfig {
+            max_layer: 7,
+            via_kind: None,
+        },
+    );
+    let m9 = analyze(
+        &nl,
+        &tech,
+        &wiring,
+        &budgets,
+        &StaConfig {
+            max_layer: 9,
+            via_kind: None,
+        },
+    );
+    assert!(m9.max_arrival_ps < m7.max_arrival_ps);
+}
+
+#[test]
+fn slack_is_consistent_with_violation_count() {
+    let (nl, tech) = setup("rtx");
+    let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None);
+    let mut budgets = TimingBudgets::relaxed(&nl, &tech);
+    for r in &mut budgets.output_required_ps {
+        *r *= 0.3;
+    }
+    let rep = analyze(&nl, &tech, &wiring, &budgets, &StaConfig::default());
+    if rep.violations == 0 {
+        assert_eq!(rep.wns_ps, 0.0);
+        assert_eq!(rep.tns_ps, 0.0);
+    } else {
+        assert!(rep.wns_ps > 0.0);
+        assert!(rep.tns_ps >= rep.wns_ps);
+    }
+}

@@ -1,0 +1,75 @@
+//! Folding the cache crossbar (paper §4.3 / Fig. 2).
+//!
+//! The CCX splits naturally into the processor-to-cache crossbar (PCX) and
+//! the cache-to-processor crossbar (CPX), with no signal wiring between
+//! them. Placing PCX on one die and CPX on the other needs only a handful
+//! of TSVs; this example also sweeps degraded partitions to show that
+//! *more* 3D connections make the fold worse, not better.
+//!
+//! ```text
+//! cargo run --release --example fold_ccx
+//! ```
+
+use foldic::prelude::*;
+use foldic_timing::TimingBudgets;
+
+fn main() {
+    let (design, tech) = T2Config::small().generate();
+    let id = design.find_block("ccx").expect("ccx exists");
+
+    // 2D baseline
+    let mut d2 = design.clone();
+    let baseline = {
+        let block = d2.block_mut(id);
+        let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
+        run_block_flow(block, &tech, &budgets, &FlowConfig::default()).metrics
+    };
+    println!(
+        "CCX 2D: {:.3} mm2, {:.1} mW (net power {:.0}% — a wiring machine)",
+        baseline.footprint_mm2(),
+        baseline.power.total_uw() * 1e-3,
+        baseline.power.net_fraction() * 100.0
+    );
+
+    // Natural PCX/CPX fold
+    let mut d3 = design.clone();
+    let cfg = FoldConfig {
+        strategy: FoldStrategy::NaturalGroups(vec!["pcx".into()]),
+        aspect: FoldAspect::Square,
+        bonding: BondingStyle::FaceToBack,
+        ..FoldConfig::default()
+    };
+    let natural = fold_block(d3.block_mut(id), &tech, &cfg);
+    let pc = |b: f64, n: f64| (n / b - 1.0) * 100.0;
+    println!(
+        "\nnatural PCX/CPX fold: {} signal TSVs (paper: 4)",
+        natural.metrics.num_3d_connections
+    );
+    println!(
+        "  footprint {:+.1}%  wirelength {:+.1}%  buffers {:+.1}%  power {:+.1}%",
+        pc(baseline.footprint_um2, natural.metrics.footprint_um2),
+        pc(baseline.wirelength_um, natural.metrics.wirelength_um),
+        pc(baseline.num_buffers as f64, natural.metrics.num_buffers as f64),
+        pc(baseline.power.total_uw(), natural.metrics.power.total_uw()),
+    );
+
+    // TSV-count sweep: degrade the partition toward random
+    println!("\npartition sweep (more TSVs ≠ better):");
+    println!("{:>8} {:>7} {:>12} {:>12}", "quality", "TSVs", "power vs 2D", "fp vs 2D");
+    for q in [1.0, 0.6, 0.3, 0.0] {
+        let mut d = design.clone();
+        let cfg = FoldConfig {
+            strategy: FoldStrategy::Quality(q),
+            aspect: FoldAspect::Square,
+            bonding: BondingStyle::FaceToBack,
+            ..FoldConfig::default()
+        };
+        let f = fold_block(d.block_mut(id), &tech, &cfg);
+        println!(
+            "{q:>8.1} {:>7} {:>+11.1}% {:>+11.1}%",
+            f.metrics.num_3d_connections,
+            pc(baseline.power.total_uw(), f.metrics.power.total_uw()),
+            pc(baseline.footprint_um2, f.metrics.footprint_um2),
+        );
+    }
+}

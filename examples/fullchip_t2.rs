@@ -1,0 +1,49 @@
+//! Assembling the five full-chip design styles of Fig. 8.
+//!
+//! Builds the 2D chip, the two stacking styles and the two folded styles
+//! of the synthetic T2 at reduced size and prints the Fig. 8 summary —
+//! footprints, 3D connection counts and power relative to 2D.
+//!
+//! ```text
+//! cargo run --release --example fullchip_t2 [tiny|small|full]
+//! ```
+
+use foldic::prelude::*;
+
+fn main() {
+    let size = std::env::args().nth(1).unwrap_or_else(|| "tiny".into());
+    let cfg = match size.as_str() {
+        "full" => T2Config::full(),
+        "small" => T2Config::small(),
+        _ => T2Config::tiny(),
+    };
+    let (design, tech) = cfg.generate();
+    println!(
+        "synthetic T2 @ {size}: {} blocks, {} instances\n",
+        design.num_blocks(),
+        design.total_insts()
+    );
+
+    let fc = FullChipConfig::default();
+    let mut base_power = None;
+    println!(
+        "{:<18} {:>9} {:>10} {:>11} {:>11} {:>10}",
+        "style", "die mm2", "power W", "vs 2D", "3D conns", "interWL m"
+    );
+    for style in DesignStyle::ALL {
+        let mut d = design.clone();
+        let r = run_fullchip(&mut d, &tech, style, &fc);
+        let p = r.chip.power.total_w();
+        let base = *base_power.get_or_insert(p);
+        println!(
+            "{:<18} {:>9.2} {:>10.3} {:>+10.1}% {:>11} {:>10.2}",
+            style.label(),
+            r.chip.footprint_mm2(),
+            p,
+            (p / base - 1.0) * 100.0,
+            r.chip.num_3d_connections,
+            r.interblock_wl_um * 1e-6,
+        );
+    }
+    println!("\n(the paper's Fig. 8: 2D 71.1 mm2; stacked dies 38.4 mm2; folded 39.6 mm2;\n 3,263 / 7,606 / 69,091 TSVs and 112,308 F2F vias)");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: generate a reduced synthetic OpenSPARC T2, run the 2D block
+//! flow on one block, fold it, and compare the two designs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use foldic::prelude::*;
+use foldic_timing::TimingBudgets;
+
+fn main() {
+    // 1. A reduced synthetic T2 (46 blocks). `T2Config::full()` builds the
+    //    study-size design the paper reproduction uses.
+    let (design, tech) = T2Config::tiny().generate();
+    println!(
+        "generated {} blocks / {} instances",
+        design.num_blocks(),
+        design.total_insts()
+    );
+
+    // 2. Run the 2D physical-design flow on the L2-cache tag block:
+    //    placement, buffering, sizing, timing and power sign-off.
+    let mut d2 = design.clone();
+    let id = d2.find_block("l2t0").expect("l2t0 exists");
+    let baseline = {
+        let block = d2.block_mut(id);
+        let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
+        run_block_flow(block, &tech, &budgets, &FlowConfig::default())
+    };
+    println!(
+        "\nL2T 2D : {:.3} mm2, {:.0} mW, {} cells ({} buffers), wns {:.0} ps",
+        baseline.metrics.footprint_mm2(),
+        baseline.metrics.power.total_uw() * 1e-3,
+        baseline.metrics.num_cells,
+        baseline.metrics.num_buffers,
+        baseline.metrics.wns_ps
+    );
+
+    // 3. Fold the same block across the two dies of a face-to-face stack:
+    //    min-cut partition, per-tier placement, F2F-via placement,
+    //    re-optimization.
+    let mut d3 = design.clone();
+    let folded = fold_block(
+        d3.block_mut(id),
+        &tech,
+        &FoldConfig {
+            bonding: BondingStyle::FaceToFace,
+            ..FoldConfig::default()
+        },
+    );
+    println!(
+        "L2T F2F: {:.3} mm2, {:.0} mW, {} 3D connections (cut {})",
+        folded.metrics.footprint_mm2(),
+        folded.metrics.power.total_uw() * 1e-3,
+        folded.metrics.num_3d_connections,
+        folded.cut
+    );
+
+    // 4. Compare.
+    let cmp = Comparison::new("2D", baseline.metrics, "folded F2F", folded.metrics);
+    println!("\n{cmp}");
+}

@@ -1,0 +1,50 @@
+//! Thermal comparison of the five chip styles (the paper's §7 future work).
+//!
+//! Runs each full-chip style at reduced size, extracts its power map, and
+//! solves the stack temperatures: stacking concentrates power, and the
+//! face-to-face bond's dielectric heat path makes the F2F stack hottest.
+//!
+//! ```text
+//! cargo run --release --example thermal_styles
+//! ```
+
+use foldic::prelude::*;
+use foldic_thermal::{chip_power_maps, solve_stack, StackConfig};
+
+fn main() {
+    let (design, tech) = T2Config::tiny().generate();
+    println!(
+        "{:<18} {:>9} {:>8} {:>8} {:>9}",
+        "style", "power W", "Tmax C", "rise K", "hot tier"
+    );
+    for style in DesignStyle::ALL {
+        let mut d = design.clone();
+        let r = run_fullchip(&mut d, &tech, style, &FullChipConfig::fast());
+        let per_block: Vec<_> = r
+            .per_block
+            .iter()
+            .map(|(n, k, m)| (n.clone(), *k, m.power.total_uw()))
+            .collect();
+        let tiers = if style.is_3d() { 2 } else { 1 };
+        let maps = chip_power_maps(&d, &tech, r.die, &per_block, tiers, 48);
+        let cfg = match (style.is_3d(), style.bonding()) {
+            (false, _) => StackConfig::single_die(),
+            (true, BondingStyle::FaceToBack) => StackConfig::f2b(),
+            (true, BondingStyle::FaceToFace) => StackConfig::f2f(),
+        };
+        let rep = solve_stack(&maps, &cfg);
+        println!(
+            "{:<18} {:>9.2} {:>8.1} {:>8.1} {:>9}",
+            style.label(),
+            r.chip.power.total_w(),
+            rep.max_c,
+            rep.max_rise_k(),
+            if style.is_3d() {
+                if rep.hotspot.0 == 0 { "bottom" } else { "top" }
+            } else {
+                "-"
+            }
+        );
+    }
+    println!("\nPower wins thermally cost: the F2F stack that saves the most power\nruns the hottest — exactly the trade the paper defers to future work.");
+}

@@ -1,0 +1,3 @@
+#![warn(missing_docs)]
+//! Meta-crate bundling the `foldic` workspace for examples and tests.
+pub use foldic as core;

@@ -1,0 +1,96 @@
+//! Every stage of the reproduction must be bit-for-bit deterministic for
+//! a fixed seed — otherwise EXPERIMENTS.md would not be reproducible.
+
+use foldic::prelude::*;
+use foldic_partition::{bipartition, PartitionConfig};
+use foldic_place::{place_block, PlacerConfig};
+use foldic_route::BlockWiring;
+
+#[test]
+fn generator_is_deterministic_end_to_end() {
+    let (a, _) = T2Config::tiny().generate();
+    let (b, _) = T2Config::tiny().generate();
+    assert_eq!(a.total_insts(), b.total_insts());
+    assert_eq!(a.total_nets(), b.total_nets());
+    for (ba, bb) in a.blocks().zip(b.blocks()) {
+        assert_eq!(ba.1.name, bb.1.name);
+        assert_eq!(ba.1.outline, bb.1.outline);
+        for ((_, ia), (_, ib)) in ba.1.netlist.insts().zip(bb.1.netlist.insts()) {
+            assert_eq!(ia.pos, ib.pos, "{}", ia.name);
+            assert_eq!(ia.master, ib.master);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let (a, _) = T2Config::tiny().generate();
+    let mut cfg = T2Config::tiny();
+    cfg.seed ^= 0xABCD;
+    let (b, _) = cfg.generate();
+    // same structure scale, different wiring choices
+    assert_eq!(a.num_blocks(), b.num_blocks());
+    let pos = |d: &Design| {
+        let blk = d.block(d.find_block("mcu0").unwrap());
+        blk.netlist.insts().map(|(_, i)| i.pos).collect::<Vec<_>>()
+    };
+    assert_ne!(pos(&a), pos(&b));
+}
+
+#[test]
+fn placement_is_deterministic() {
+    let (d, tech) = T2Config::tiny().generate();
+    let id = d.find_block("ccu").unwrap();
+    let outline = d.block(id).outline;
+    let run = || {
+        let mut nl = d.block(id).netlist.clone();
+        place_block(&mut nl, &tech, outline, &PlacerConfig::fast());
+        nl.insts().map(|(_, i)| i.pos).collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn partition_is_deterministic() {
+    let (d, tech) = T2Config::tiny().generate();
+    let nl = &d.block(d.find_block("l2t0").unwrap()).netlist;
+    let a = bipartition(nl, &tech, &PartitionConfig::default());
+    let b = bipartition(nl, &tech, &PartitionConfig::default());
+    assert_eq!(a.cut, b.cut);
+    assert_eq!(a.tier_of, b.tier_of);
+}
+
+#[test]
+fn fold_flow_is_deterministic() {
+    let (d, tech) = T2Config::tiny().generate();
+    let run = || {
+        let mut dd = d.clone();
+        let id = dd.find_block("l2t0").unwrap();
+        let f = fold_block(
+            dd.block_mut(id),
+            &tech,
+            &FoldConfig {
+                bonding: BondingStyle::FaceToFace,
+                placer: PlacerConfig::fast(),
+                ..FoldConfig::default()
+            },
+        );
+        (
+            f.cut,
+            f.metrics.num_3d_connections,
+            f.metrics.wirelength_um.to_bits(),
+            f.metrics.power.total_uw().to_bits(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn wiring_analysis_is_pure() {
+    let (d, tech) = T2Config::tiny().generate();
+    let nl = &d.block(d.find_block("ncu").unwrap()).netlist;
+    let a = BlockWiring::analyze(nl, &tech, 1.1, None);
+    let b = BlockWiring::analyze(nl, &tech, 1.1, None);
+    assert_eq!(a.total_um.to_bits(), b.total_um.to_bits());
+    assert_eq!(a.long_wires, b.long_wires);
+}

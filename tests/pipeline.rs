@@ -1,0 +1,113 @@
+//! Cross-crate integration: the full block pipeline from generation to
+//! power sign-off, exercised crate by crate.
+
+use foldic::prelude::*;
+use foldic_netlist::NetlistStats;
+use foldic_partition::{bipartition, PartitionConfig};
+use foldic_place::{place_block, PlacerConfig};
+use foldic_power::{analyze_block, PowerConfig};
+use foldic_route::BlockWiring;
+use foldic_timing::{analyze, StaConfig, TimingBudgets};
+
+fn design() -> (Design, Technology) {
+    T2Config::tiny().generate()
+}
+
+#[test]
+fn generation_to_power_pipeline_is_consistent() {
+    let (mut d, tech) = design();
+    let id = d.find_block("l2t0").unwrap();
+    let outline = d.block(id).outline;
+    let block = d.block_mut(id);
+
+    // netlist sanity
+    block.netlist.check().expect("generated netlist is sound");
+    let stats = NetlistStats::collect(&block.netlist, &tech);
+    assert!(stats.num_cells > 0 && stats.num_macros > 0);
+
+    // placement keeps everything inside the outline
+    place_block(&mut block.netlist, &tech, outline, &PlacerConfig::fast());
+    for (_, inst) in block.netlist.insts() {
+        assert!(outline.inflated(1.0).contains(inst.pos), "{}", inst.name);
+    }
+
+    // wiring, timing, power
+    let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None);
+    assert!(wiring.total_um > 0.0);
+    assert_eq!(wiring.num_3d, 0, "unfolded block has no 3D nets");
+
+    let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
+    let sta = analyze(&block.netlist, &tech, &wiring, &budgets, &StaConfig::default());
+    assert!(sta.endpoints > 0);
+    assert!(sta.max_arrival_ps > 0.0 && sta.max_arrival_ps < 100_000.0);
+
+    let power = analyze_block(&block.netlist, &tech, &wiring, &PowerConfig::for_block(block));
+    assert!(power.total_uw() > 0.0);
+    assert!(power.net_fraction() > 0.05 && power.net_fraction() < 0.95);
+}
+
+#[test]
+fn block_flow_monotonicity_under_budget_pressure() {
+    // Tighter I/O budgets must never *reduce* the resources the optimizer
+    // spends: cells (buffers+upsizing) should not shrink.
+    let (d, tech) = design();
+    let id = d.find_block("mcu0").unwrap();
+
+    let run = |input_frac: f64| {
+        let mut dd = d.clone();
+        let block = dd.block_mut(id);
+        let mut budgets = TimingBudgets::relaxed(&block.netlist, &tech);
+        for a in &mut budgets.input_arrival_ps {
+            *a *= input_frac / 0.25;
+        }
+        foldic::flow::run_block_flow(block, &tech, &budgets, &FlowConfig::fast()).metrics
+    };
+    let relaxed = run(0.25);
+    let tight = run(0.60);
+    assert!(
+        tight.num_cells + 5 >= relaxed.num_cells,
+        "tight {} vs relaxed {}",
+        tight.num_cells,
+        relaxed.num_cells
+    );
+}
+
+#[test]
+fn partition_then_flow_preserves_netlist_invariants() {
+    let (mut d, tech) = design();
+    let id = d.find_block("rtx").unwrap();
+    let block = d.block_mut(id);
+    let part = bipartition(&block.netlist, &tech, &PartitionConfig::default());
+    assert!(part.balance(&block.netlist, &tech) <= 0.25);
+    let folded = fold_block(
+        block,
+        &tech,
+        &FoldConfig {
+            bonding: BondingStyle::FaceToFace,
+            placer: PlacerConfig::fast(),
+            ..FoldConfig::default()
+        },
+    );
+    block.netlist.check().expect("folded netlist is sound");
+    assert!(folded.metrics.num_3d_connections > 0);
+    // every via serves a real tier-crossing net
+    for via in folded.vias.iter() {
+        assert!(block.netlist.net_is_3d(via.net), "via on 2D net");
+    }
+}
+
+#[test]
+fn full_chip_metrics_roll_up_from_blocks() {
+    let (mut d, tech) = design();
+    let r = run_fullchip(&mut d, &tech, DesignStyle::Flat2d, &FullChipConfig::fast());
+    let sum_cells: usize = r.per_block.iter().map(|(_, _, m)| m.num_cells).sum();
+    // chip adds only inter-block repeaters on top of the blocks
+    assert!(r.chip.num_cells >= sum_cells);
+    let sum_power: f64 = r.per_block.iter().map(|(_, _, m)| m.power.total_uw()).sum();
+    assert!(r.chip.power.total_uw() >= sum_power);
+    assert!(r.chip.power.total_uw() < sum_power * 2.0, "chip adders dominate");
+    // die holds every block
+    for (_, b) in d.blocks() {
+        assert!(r.die.inflated(1.0).contains_rect(b.chip_rect()));
+    }
+}
