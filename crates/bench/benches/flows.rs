@@ -1,118 +1,137 @@
-//! Criterion benchmarks of the end-to-end flows behind each experiment.
+//! Benchmarks of the end-to-end flows behind each experiment.
 //!
 //! One bench per paper artifact class: the block-level flow (Tables 2/3),
 //! the folding flow under both bonding styles (Tables 4, Figs 2/6/7), the
 //! second-level SPC fold (Fig 3) and a full-chip assembly (Table 5 /
 //! Fig 8). All run on the reduced `tiny` design so `cargo bench` stays
 //! minutes-scale; the `repro` binary runs the full-size reproduction.
+//!
+//! Offline-first: a small built-in timing harness (median over a fixed
+//! sample count) instead of Criterion, which is a registry dependency.
+//! The full-chip benches also report the engine's parallel speedup.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use foldic::prelude::*;
 use foldic_timing::TimingBudgets;
 
-fn bench_flows(c: &mut Criterion) {
+const SAMPLES: usize = 10;
+
+fn bench(filter: &Option<String>, name: &str, mut f: impl FnMut()) {
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "{name:<32} median {:>10.3} ms   min {:>10.3} ms   max {:>10.3} ms",
+        times[times.len() / 2],
+        times[0],
+        times[times.len() - 1]
+    );
+}
+
+fn main() {
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
     let (design, tech) = T2Config::tiny().generate();
 
-    c.bench_function("block_flow_l2t_2d", |b| {
-        b.iter_batched(
-            || design.clone(),
-            |mut d| {
-                let id = d.find_block("l2t0").unwrap();
-                let block = d.block_mut(id);
-                let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
-                run_block_flow(block, &tech, &budgets, &FlowConfig::fast())
-                    .metrics
-                    .power
-                    .total_uw()
-            },
-            BatchSize::LargeInput,
+    bench(&filter, "block_flow_l2t_2d", || {
+        let mut d = design.clone();
+        let id = d.find_block("l2t0").unwrap();
+        let block = d.block_mut(id);
+        let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
+        black_box(
+            run_block_flow(block, &tech, &budgets, &FlowConfig::fast())
+                .metrics
+                .power
+                .total_uw(),
         );
     });
 
     for bonding in [BondingStyle::FaceToBack, BondingStyle::FaceToFace] {
-        c.bench_function(&format!("fold_l2t_{bonding}"), |b| {
-            b.iter_batched(
-                || design.clone(),
-                |mut d| {
-                    let id = d.find_block("l2t0").unwrap();
-                    let cfg = FoldConfig {
-                        bonding,
-                        placer: foldic_place::PlacerConfig::fast(),
-                        ..FoldConfig::default()
-                    };
-                    fold_block(d.block_mut(id), &tech, &cfg).metrics.power.total_uw()
-                },
-                BatchSize::LargeInput,
+        bench(&filter, &format!("fold_l2t_{bonding}"), || {
+            let mut d = design.clone();
+            let id = d.find_block("l2t0").unwrap();
+            let cfg = FoldConfig {
+                bonding,
+                placer: foldic_place::PlacerConfig::fast(),
+                ..FoldConfig::default()
+            };
+            black_box(
+                fold_block(d.block_mut(id), &tech, &cfg)
+                    .metrics
+                    .power
+                    .total_uw(),
             );
         });
     }
 
-    c.bench_function("fold_ccx_natural", |b| {
-        b.iter_batched(
-            || design.clone(),
-            |mut d| {
-                let id = d.find_block("ccx").unwrap();
-                let cfg = FoldConfig {
-                    strategy: FoldStrategy::NaturalGroups(vec!["pcx".into()]),
-                    aspect: FoldAspect::Square,
-                    bonding: BondingStyle::FaceToBack,
-                    placer: foldic_place::PlacerConfig::fast(),
-                    ..FoldConfig::default()
-                };
-                fold_block(d.block_mut(id), &tech, &cfg).cut
-            },
-            BatchSize::LargeInput,
+    bench(&filter, "fold_ccx_natural", || {
+        let mut d = design.clone();
+        let id = d.find_block("ccx").unwrap();
+        let cfg = FoldConfig {
+            strategy: FoldStrategy::NaturalGroups(vec!["pcx".into()]),
+            aspect: FoldAspect::Square,
+            bonding: BondingStyle::FaceToBack,
+            placer: foldic_place::PlacerConfig::fast(),
+            ..FoldConfig::default()
+        };
+        black_box(fold_block(d.block_mut(id), &tech, &cfg).cut);
+    });
+
+    bench(&filter, "fold_spc_second_level", || {
+        let mut d = design.clone();
+        let id = d.find_block("spc0").unwrap();
+        let cfg = FoldConfig {
+            bonding: BondingStyle::FaceToFace,
+            placer: foldic_place::PlacerConfig::fast(),
+            ..FoldConfig::default()
+        };
+        black_box(
+            fold_spc_second_level(d.block_mut(id), &tech, &cfg)
+                .metrics
+                .num_3d_connections,
         );
     });
 
-    c.bench_function("fold_spc_second_level", |b| {
-        b.iter_batched(
-            || design.clone(),
-            |mut d| {
-                let id = d.find_block("spc0").unwrap();
-                let cfg = FoldConfig {
-                    bonding: BondingStyle::FaceToFace,
-                    placer: foldic_place::PlacerConfig::fast(),
-                    ..FoldConfig::default()
-                };
-                fold_spc_second_level(d.block_mut(id), &tech, &cfg)
-                    .metrics
-                    .num_3d_connections
-            },
-            BatchSize::LargeInput,
-        );
-    });
-
-    c.bench_function("fullchip_2d_tiny", |b| {
-        b.iter_batched(
-            || design.clone(),
-            |mut d| {
-                run_fullchip(&mut d, &tech, DesignStyle::Flat2d, &FullChipConfig::fast())
+    // full-chip assembly at 1 thread and at the machine's parallelism —
+    // the headline numbers for the parallel execution engine
+    for threads in [1, foldic_exec::resolve_threads(None)] {
+        let cfg = FullChipConfig {
+            threads,
+            ..FullChipConfig::fast()
+        };
+        bench(&filter, &format!("fullchip_2d_tiny_t{threads}"), || {
+            let mut d = design.clone();
+            black_box(
+                run_fullchip(&mut d, &tech, DesignStyle::Flat2d, &cfg)
                     .chip
                     .power
-                    .total_uw()
+                    .total_uw(),
+            );
+        });
+        bench(
+            &filter,
+            &format!("fullchip_core_cache_tiny_t{threads}"),
+            || {
+                let mut d = design.clone();
+                black_box(
+                    run_fullchip(&mut d, &tech, DesignStyle::CoreCache, &cfg)
+                        .chip
+                        .power
+                        .total_uw(),
+                );
             },
-            BatchSize::LargeInput,
         );
-    });
-
-    c.bench_function("fullchip_core_cache_tiny", |b| {
-        b.iter_batched(
-            || design.clone(),
-            |mut d| {
-                run_fullchip(&mut d, &tech, DesignStyle::CoreCache, &FullChipConfig::fast())
-                    .chip
-                    .power
-                    .total_uw()
-            },
-            BatchSize::LargeInput,
-        );
-    });
+    }
 }
-
-criterion_group! {
-    name = flows;
-    config = Criterion::default().sample_size(10);
-    targets = bench_flows
-}
-criterion_main!(flows);

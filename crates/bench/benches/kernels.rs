@@ -1,6 +1,12 @@
-//! Criterion micro-benchmarks of the tool-chain kernels.
+//! Micro-benchmarks of the tool-chain kernels.
+//!
+//! Offline-first: a small built-in timing harness (median over a fixed
+//! sample count) instead of Criterion, which is a registry dependency.
+//! Run with `cargo bench --bench kernels [FILTER]`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use foldic_geom::{Point, Rect};
 use foldic_partition::{bipartition, PartitionConfig};
 use foldic_place::{place_block, PlacerConfig, QuadraticSystem};
@@ -9,46 +15,81 @@ use foldic_t2::T2Config;
 use foldic_tech::BondingStyle;
 use foldic_timing::{analyze, StaConfig, TimingBudgets};
 
-fn bench_kernels(c: &mut Criterion) {
+const SAMPLES: usize = 10;
+
+fn bench(filter: &Option<String>, name: &str, mut f: impl FnMut()) {
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "{name:<32} median {:>10.3} ms   min {:>10.3} ms   max {:>10.3} ms",
+        times[times.len() / 2],
+        times[0],
+        times[times.len() - 1]
+    );
+}
+
+fn main() {
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
     let (design, tech) = T2Config::tiny().generate();
     let l2t = design.block(design.find_block("l2t0").unwrap()).clone();
     let outline = l2t.outline;
 
-    c.bench_function("steiner_tree_16pin", |b| {
+    bench(&filter, "steiner_tree_16pin", || {
         let driver = Point::new(0.0, 0.0);
         let sinks: Vec<Point> = (0..16)
             .map(|i| Point::new((i * 37 % 100) as f64, (i * 53 % 100) as f64))
             .collect();
-        b.iter(|| SteinerTree::build(driver, &sinks).total_length());
+        black_box(SteinerTree::build(driver, &sinks).total_length());
     });
 
-    c.bench_function("fm_bipartition_l2t", |b| {
-        b.iter(|| bipartition(&l2t.netlist, &tech, &PartitionConfig::default()).cut);
+    bench(&filter, "fm_bipartition_l2t", || {
+        black_box(bipartition(&l2t.netlist, &tech, &PartitionConfig::default()).cut);
     });
 
-    c.bench_function("quadratic_system_build_l2t", |b| {
-        b.iter(|| QuadraticSystem::build(&l2t.netlist, outline).num_movable());
+    bench(&filter, "quadratic_system_build_l2t", || {
+        black_box(QuadraticSystem::build(&l2t.netlist, outline).num_movable());
     });
 
-    c.bench_function("placer_full_l2t", |b| {
-        b.iter_batched(
-            || l2t.netlist.clone(),
-            |mut nl| place_block(&mut nl, &tech, outline, &PlacerConfig::fast()),
-            BatchSize::LargeInput,
-        );
+    bench(&filter, "placer_full_l2t", || {
+        let mut nl = l2t.netlist.clone();
+        place_block(&mut nl, &tech, outline, &PlacerConfig::fast());
+        black_box(&nl);
     });
 
-    c.bench_function("wiring_analysis_l2t", |b| {
-        b.iter(|| BlockWiring::analyze(&l2t.netlist, &tech, 1.1, None).total_um);
+    bench(&filter, "wiring_analysis_l2t", || {
+        black_box(BlockWiring::analyze(&l2t.netlist, &tech, 1.1, None).total_um);
     });
 
-    c.bench_function("sta_l2t", |b| {
+    {
         let wiring = BlockWiring::analyze(&l2t.netlist, &tech, 1.1, None);
         let budgets = TimingBudgets::relaxed(&l2t.netlist, &tech);
-        b.iter(|| analyze(&l2t.netlist, &tech, &wiring, &budgets, &StaConfig::default()).tns_ps);
-    });
+        bench(&filter, "sta_l2t", || {
+            black_box(
+                analyze(
+                    &l2t.netlist,
+                    &tech,
+                    &wiring,
+                    &budgets,
+                    &StaConfig::default(),
+                )
+                .tns_ps,
+            );
+        });
+    }
 
-    c.bench_function("via_placement_f2f", |b| {
+    {
         // fold crudely so tier-crossing nets exist
         let mut nl = l2t.netlist.clone();
         let ids: Vec<_> = nl.inst_ids().collect();
@@ -57,46 +98,38 @@ fn bench_kernels(c: &mut Criterion) {
                 nl.inst_mut(id).tier = foldic_geom::Tier::Top;
             }
         }
-        b.iter(|| place_vias(&nl, &tech, outline, BondingStyle::FaceToFace).len());
+        bench(&filter, "via_placement_f2f", || {
+            black_box(place_vias(&nl, &tech, outline, BondingStyle::FaceToFace).len());
+        });
+    }
+
+    bench(&filter, "cts_rebuild_l2t", || {
+        let mut nl = l2t.netlist.clone();
+        black_box(foldic_opt::cts::synthesize_clock_tree(&mut nl, &tech).buffers);
     });
 
-    c.bench_function("cts_rebuild_l2t", |b| {
-        b.iter_batched(
-            || l2t.netlist.clone(),
-            |mut nl| foldic_opt::cts::synthesize_clock_tree(&mut nl, &tech).buffers,
-            BatchSize::LargeInput,
-        );
-    });
-
-    c.bench_function("thermal_solve_64x64x2", |b| {
+    bench(&filter, "thermal_solve_64x64x2", || {
         let map = foldic_thermal::PowerMap::uniform(64, 64, 0.125, 5.0e6);
         let cfg = foldic_thermal::StackConfig::f2f();
-        b.iter(|| foldic_thermal::solve_stack(&[map.clone(), map.clone()], &cfg).max_c);
+        black_box(foldic_thermal::solve_stack(&[map.clone(), map.clone()], &cfg).max_c);
     });
 
-    c.bench_function("power_census_l2t", |b| {
+    {
         let wiring = BlockWiring::analyze(&l2t.netlist, &tech, 1.1, None);
         let cfg = foldic_power::PowerConfig::for_block(&l2t);
-        b.iter(|| foldic_power::power_census(&l2t.netlist, &tech, &wiring, &cfg).total_uw());
-    });
-
-    c.bench_function("global_router_500nets", |b| {
-        b.iter(|| {
-            let mut r = GlobalRouter::new(Rect::new(0.0, 0.0, 5000.0, 5000.0), 100.0, 1.5);
-            let mut total = 0.0;
-            for i in 0..500u64 {
-                let a = Point::new((i * 97 % 5000) as f64, (i * 31 % 5000) as f64);
-                let bpt = Point::new((i * 53 % 5000) as f64, (i * 71 % 5000) as f64);
-                total += r.route(a, bpt, 1.0);
-            }
-            total
+        bench(&filter, "power_census_l2t", || {
+            black_box(foldic_power::power_census(&l2t.netlist, &tech, &wiring, &cfg).total_uw());
         });
+    }
+
+    bench(&filter, "global_router_500nets", || {
+        let mut r = GlobalRouter::new(Rect::new(0.0, 0.0, 5000.0, 5000.0), 100.0, 1.5);
+        let mut total = 0.0;
+        for i in 0..500u64 {
+            let a = Point::new((i * 97 % 5000) as f64, (i * 31 % 5000) as f64);
+            let bpt = Point::new((i * 53 % 5000) as f64, (i * 71 % 5000) as f64);
+            total += r.route(a, bpt, 1.0);
+        }
+        black_box(total);
     });
 }
-
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(10);
-    targets = bench_kernels
-}
-criterion_main!(kernels);

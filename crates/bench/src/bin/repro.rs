@@ -1,12 +1,17 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT...] [--size full|small|tiny]
+//! repro [EXPERIMENT...] [--size full|small|tiny] [--threads N] [--profile]
 //!
 //! EXPERIMENT: table1 table2 table3 table4 table5
 //!             fig2 fig3 fig5 fig6 fig7 fig8
 //!             all (default)
 //! ```
+//!
+//! `--threads N` fans the per-block loops and configuration sweeps out
+//! over N workers (default: `FOLDIC_THREADS` or all cores; 1 = serial).
+//! Reports are byte-identical for every thread count. `--profile` prints
+//! a per-stage wall-time/iteration table after each experiment.
 //!
 //! Output is printed to stdout; tee it into a file to archive a run.
 
@@ -17,6 +22,8 @@ use std::time::Instant;
 fn main() {
     let mut size = "full".to_owned();
     let mut picks: Vec<String> = Vec::new();
+    let mut threads: Option<usize> = None;
+    let mut profile = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -26,15 +33,34 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--threads needs a value");
+                    std::process::exit(2);
+                });
+                threads = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs a positive integer, got `{v}`");
+                    std::process::exit(2);
+                }));
+            }
+            "--profile" => profile = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [EXPERIMENT...] [--size full|small|tiny]\n\
+                    "usage: repro [EXPERIMENT...] [--size full|small|tiny] [--threads N] [--profile]\n\
                      experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6 fig7 fig8 thermal ablations layouts all"
                 );
                 return;
             }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`; see --help");
+                std::process::exit(2);
+            }
             other => picks.push(other.to_owned()),
         }
+    }
+    let threads = foldic_exec::resolve_threads(threads);
+    if profile {
+        foldic_exec::profile::set_enabled(true);
     }
     if picks.is_empty() {
         picks.push("all".to_owned());
@@ -50,11 +76,13 @@ fn main() {
     };
 
     println!(
-        "foldic repro — synthetic OpenSPARC T2 @ size={size} (seed {:#x}, cluster {}x)",
-        cfg.seed, cfg.cluster_size
+        "foldic repro — synthetic OpenSPARC T2 @ size={size} (seed {:#x}, cluster {}x, {threads} thread{})",
+        cfg.seed,
+        cfg.cluster_size,
+        if threads == 1 { "" } else { "s" }
     );
     let t0 = Instant::now();
-    let mut ctx = Ctx::new(cfg);
+    let mut ctx = Ctx::with_threads(cfg, threads);
     println!(
         "generated {} blocks, {} instances in {:?}\n",
         ctx.design.num_blocks(),
@@ -62,9 +90,7 @@ fn main() {
         t0.elapsed()
     );
 
-    let want = |name: &str, picks: &[String]| {
-        picks.iter().any(|p| p == name || p == "all")
-    };
+    let want = |name: &str, picks: &[String]| picks.iter().any(|p| p == name || p == "all");
     let mut ran = 0;
     macro_rules! run {
         ($name:literal, $body:expr) => {
@@ -72,6 +98,9 @@ fn main() {
                 let t = Instant::now();
                 let report = $body;
                 println!("{report}");
+                if profile {
+                    println!("-- profile: {} --\n{}", $name, foldic_exec::profile::take());
+                }
                 println!("[{} finished in {:?}]\n", $name, t.elapsed());
                 ran += 1;
             }

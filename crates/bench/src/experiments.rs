@@ -10,6 +10,9 @@ use foldic::prelude::*;
 use foldic_timing::TimingBudgets;
 use std::fmt::Write as _;
 
+/// A scalar extracted from a design's metrics, one table row each.
+type Metric = fn(&DesignMetrics) -> f64;
+
 /// Table 1: 3D interconnect settings from the electrical models.
 pub fn table1(tech: &Technology) -> String {
     let mut out = String::new();
@@ -41,11 +44,19 @@ pub fn table1(tech: &Technology) -> String {
 
 /// Table 2: 2D vs core/cache vs core/core block-level designs.
 pub fn table2(ctx: &mut Ctx) -> String {
+    ctx.warm(&[
+        (DesignStyle::Flat2d, false),
+        (DesignStyle::CoreCache, false),
+        (DesignStyle::CoreCore, false),
+    ]);
     let d2 = ctx.fullchip(DesignStyle::Flat2d, false).clone();
     let cc = ctx.fullchip(DesignStyle::CoreCache, false).clone();
     let co = ctx.fullchip(DesignStyle::CoreCore, false).clone();
     let mut out = String::new();
-    let _ = writeln!(out, "== Table 2: 2D vs 3D block-level designs (RVT, 500 MHz) ==");
+    let _ = writeln!(
+        out,
+        "== Table 2: 2D vs 3D block-level designs (RVT, 500 MHz) =="
+    );
     let _ = writeln!(
         out,
         "{:<18} {:>12} {:>12} {:>12}",
@@ -59,14 +70,44 @@ pub fn table2(ctx: &mut Ctx) -> String {
         cc.chip.footprint_mm2(),
         co.chip.footprint_mm2()
     );
-    let rows: [(&str, fn(&DesignMetrics) -> f64, [f64; 2], f64); 7] = [
+    let rows: [(&str, Metric, [f64; 2], f64); 7] = [
         ("# cells", |m| m.num_cells as f64, paper::table2::CELLS, 1.0),
-        ("# buffers", |m| m.num_buffers as f64, paper::table2::BUFFERS, 1.0),
-        ("wirelength (m)", |m| m.wirelength_m(), paper::table2::WIRELENGTH, 1.0),
-        ("total power (W)", |m| m.power.total_w(), paper::table2::TOTAL_POWER, 1.0),
-        ("cell power (W)", |m| m.power.cell_uw * 1e-6, paper::table2::CELL_POWER, 1.0),
-        ("net power (W)", |m| m.power.net_uw() * 1e-6, paper::table2::NET_POWER, 1.0),
-        ("leakage (W)", |m| m.power.leakage_uw * 1e-6, paper::table2::LEAKAGE, 1.0),
+        (
+            "# buffers",
+            |m| m.num_buffers as f64,
+            paper::table2::BUFFERS,
+            1.0,
+        ),
+        (
+            "wirelength (m)",
+            |m| m.wirelength_m(),
+            paper::table2::WIRELENGTH,
+            1.0,
+        ),
+        (
+            "total power (W)",
+            |m| m.power.total_w(),
+            paper::table2::TOTAL_POWER,
+            1.0,
+        ),
+        (
+            "cell power (W)",
+            |m| m.power.cell_uw * 1e-6,
+            paper::table2::CELL_POWER,
+            1.0,
+        ),
+        (
+            "net power (W)",
+            |m| m.power.net_uw() * 1e-6,
+            paper::table2::NET_POWER,
+            1.0,
+        ),
+        (
+            "leakage (W)",
+            |m| m.power.leakage_uw * 1e-6,
+            paper::table2::LEAKAGE,
+            1.0,
+        ),
     ];
     for (name, get, paper_deltas, _) in rows {
         let b = get(&d2.chip);
@@ -82,8 +123,14 @@ pub fn table2(ctx: &mut Ctx) -> String {
         "{:<18} {:>12.3} | cc {}  co {}",
         "footprint delta",
         d2.chip.footprint_mm2(),
-        fmt_delta(pct(d2.chip.footprint_um2, cc.chip.footprint_um2), paper::table2::FOOTPRINT),
-        fmt_delta(pct(d2.chip.footprint_um2, co.chip.footprint_um2), paper::table2::FOOTPRINT),
+        fmt_delta(
+            pct(d2.chip.footprint_um2, cc.chip.footprint_um2),
+            paper::table2::FOOTPRINT
+        ),
+        fmt_delta(
+            pct(d2.chip.footprint_um2, co.chip.footprint_um2),
+            paper::table2::FOOTPRINT
+        ),
     );
     let _ = writeln!(
         out,
@@ -99,7 +146,11 @@ pub fn table2(ctx: &mut Ctx) -> String {
             paper::table2::INTERBLOCK_WL[1]
         ),
     );
-    let _ = writeln!(out, "chip TSVs: core/cache {}, core/core {}", cc.chip_vias, co.chip_vias);
+    let _ = writeln!(
+        out,
+        "chip TSVs: core/cache {}, core/core {}",
+        cc.chip_vias, co.chip_vias
+    );
     out
 }
 
@@ -109,7 +160,10 @@ pub fn table3(ctx: &mut Ctx) -> String {
     let rows = fold_candidates(&d2.per_block);
     let scale = ctx.cfg.cluster_size;
     let mut out = String::new();
-    let _ = writeln!(out, "== Table 3: block census for folding-candidate selection (2D) ==");
+    let _ = writeln!(
+        out,
+        "== Table 3: block census for folding-candidate selection (2D) =="
+    );
     let _ = writeln!(
         out,
         "{:<6} {:>8} {:>8} {:>9} {:>10} {:<14} | paper (share, net%, longw)",
@@ -158,14 +212,20 @@ pub fn table4(ctx: &mut Ctx) -> String {
         "footprint   {:>9.3} mm2 -> {:>9.3} mm2  {}",
         b2.footprint_mm2(),
         m.footprint_mm2(),
-        fmt_delta(pct(b2.footprint_um2, m.footprint_um2), paper::table4::FOOTPRINT)
+        fmt_delta(
+            pct(b2.footprint_um2, m.footprint_um2),
+            paper::table4::FOOTPRINT
+        )
     );
     let _ = writeln!(
         out,
         "wirelength  {:>9.3} m   -> {:>9.3} m    {}",
         b2.wirelength_m(),
         m.wirelength_m(),
-        fmt_delta(pct(b2.wirelength_um, m.wirelength_um), paper::table4::WIRELENGTH)
+        fmt_delta(
+            pct(b2.wirelength_um, m.wirelength_um),
+            paper::table4::WIRELENGTH
+        )
     );
     let _ = writeln!(
         out,
@@ -182,7 +242,10 @@ pub fn table4(ctx: &mut Ctx) -> String {
         "total power {:>9.1} mW  -> {:>9.1} mW   {}",
         b2.power.total_uw() * 1e-3,
         m.power.total_uw() * 1e-3,
-        fmt_delta(pct(b2.power.total_uw(), m.power.total_uw()), paper::table4::TOTAL_POWER)
+        fmt_delta(
+            pct(b2.power.total_uw(), m.power.total_uw()),
+            paper::table4::TOTAL_POWER
+        )
     );
     let _ = writeln!(
         out,
@@ -196,6 +259,13 @@ pub fn table4(ctx: &mut Ctx) -> String {
 
 /// Table 5: full-chip dual-Vth comparison.
 pub fn table5(ctx: &mut Ctx) -> String {
+    ctx.warm(&[
+        (DesignStyle::Flat2d, true),
+        (DesignStyle::CoreCache, true),
+        (DesignStyle::FoldedF2f, true),
+        (DesignStyle::Flat2d, false),
+        (DesignStyle::FoldedF2f, false),
+    ]);
     let d2 = ctx.fullchip(DesignStyle::Flat2d, true).clone();
     let nf = ctx.fullchip(DesignStyle::CoreCache, true).clone();
     let fo = ctx.fullchip(DesignStyle::FoldedF2f, true).clone();
@@ -207,21 +277,51 @@ pub fn table5(ctx: &mut Ctx) -> String {
         out,
         "== Table 5: 2D vs 3D w/o folding (core/cache, F2B) vs 3D w/ folding (F2F), dual-Vth =="
     );
-    let rows: [(&str, fn(&DesignMetrics) -> f64, [f64; 2]); 7] = [
-        ("wirelength (m)", |m| m.wirelength_m(), paper::table5::WIRELENGTH),
+    let rows: [(&str, Metric, [f64; 2]); 7] = [
+        (
+            "wirelength (m)",
+            |m| m.wirelength_m(),
+            paper::table5::WIRELENGTH,
+        ),
         ("# cells", |m| m.num_cells as f64, paper::table5::CELLS),
-        ("# buffers", |m| m.num_buffers as f64, paper::table5::BUFFERS),
-        ("total power (W)", |m| m.power.total_w(), paper::table5::TOTAL_POWER),
-        ("cell power (W)", |m| m.power.cell_uw * 1e-6, paper::table5::CELL_POWER),
-        ("net power (W)", |m| m.power.net_uw() * 1e-6, paper::table5::NET_POWER),
-        ("leakage (W)", |m| m.power.leakage_uw * 1e-6, paper::table5::LEAKAGE),
+        (
+            "# buffers",
+            |m| m.num_buffers as f64,
+            paper::table5::BUFFERS,
+        ),
+        (
+            "total power (W)",
+            |m| m.power.total_w(),
+            paper::table5::TOTAL_POWER,
+        ),
+        (
+            "cell power (W)",
+            |m| m.power.cell_uw * 1e-6,
+            paper::table5::CELL_POWER,
+        ),
+        (
+            "net power (W)",
+            |m| m.power.net_uw() * 1e-6,
+            paper::table5::NET_POWER,
+        ),
+        (
+            "leakage (W)",
+            |m| m.power.leakage_uw * 1e-6,
+            paper::table5::LEAKAGE,
+        ),
     ];
     let _ = writeln!(
         out,
         "footprint (mm2)    {:>10.2} | w/o fold {}  w/ fold {}",
         d2.chip.footprint_mm2(),
-        fmt_delta(pct(d2.chip.footprint_um2, nf.chip.footprint_um2), paper::table5::FOOTPRINT[0]),
-        fmt_delta(pct(d2.chip.footprint_um2, fo.chip.footprint_um2), paper::table5::FOOTPRINT[1]),
+        fmt_delta(
+            pct(d2.chip.footprint_um2, nf.chip.footprint_um2),
+            paper::table5::FOOTPRINT[0]
+        ),
+        fmt_delta(
+            pct(d2.chip.footprint_um2, fo.chip.footprint_um2),
+            paper::table5::FOOTPRINT[1]
+        ),
     );
     for (name, get, p) in rows {
         let b = get(&d2.chip);
@@ -270,7 +370,10 @@ pub fn table5(ctx: &mut Ctx) -> String {
 pub fn fig2(ctx: &mut Ctx) -> String {
     let b2 = ctx.block_2d("ccx");
     let mut out = String::new();
-    let _ = writeln!(out, "== Fig. 2: folding CCX (PCX/CPX natural split, F2B) ==");
+    let _ = writeln!(
+        out,
+        "== Fig. 2: folding CCX (PCX/CPX natural split, F2B) =="
+    );
     let run = |strategy: FoldStrategy, bonding| {
         let mut d3 = ctx.design.clone();
         let id = d3.find_block("ccx").expect("ccx exists");
@@ -296,12 +399,18 @@ pub fn fig2(ctx: &mut Ctx) -> String {
     let _ = writeln!(
         out,
         "footprint  {}",
-        fmt_delta(pct(b2.footprint_um2, m.footprint_um2), paper::fig2::FOOTPRINT)
+        fmt_delta(
+            pct(b2.footprint_um2, m.footprint_um2),
+            paper::fig2::FOOTPRINT
+        )
     );
     let _ = writeln!(
         out,
         "wirelength {}",
-        fmt_delta(pct(b2.wirelength_um, m.wirelength_um), paper::fig2::WIRELENGTH)
+        fmt_delta(
+            pct(b2.wirelength_um, m.wirelength_um),
+            paper::fig2::WIRELENGTH
+        )
     );
     let _ = writeln!(
         out,
@@ -314,7 +423,10 @@ pub fn fig2(ctx: &mut Ctx) -> String {
     let _ = writeln!(
         out,
         "power      {}",
-        fmt_delta(pct(b2.power.total_uw(), m.power.total_uw()), paper::fig2::TOTAL_POWER)
+        fmt_delta(
+            pct(b2.power.total_uw(), m.power.total_uw()),
+            paper::fig2::TOTAL_POWER
+        )
     );
     let _ = writeln!(
         out,
@@ -322,9 +434,16 @@ pub fn fig2(ctx: &mut Ctx) -> String {
         paper::fig2::SWEEP_TSVS,
         -paper::fig2::SWEEP_POWER
     );
-    let _ = writeln!(out, "{:>8} {:>9} {:>12} {:>12}", "quality", "TSVs", "power vs 2D", "fp vs 2D");
-    for q in [1.0, 0.6, 0.3, 0.0] {
-        let f = run(FoldStrategy::Quality(q), BondingStyle::FaceToBack);
+    let _ = writeln!(
+        out,
+        "{:>8} {:>9} {:>12} {:>12}",
+        "quality", "TSVs", "power vs 2D", "fp vs 2D"
+    );
+    // independent fold configurations: one engine job per sweep point
+    let sweep = foldic_exec::par_map(ctx.threads, vec![1.0, 0.6, 0.3, 0.0], |_, q| {
+        (q, run(FoldStrategy::Quality(q), BondingStyle::FaceToBack))
+    });
+    for (q, f) in sweep {
         let _ = writeln!(
             out,
             "{q:>8.1} {:>9} {:>+11.1}% {:>+11.1}%",
@@ -368,17 +487,26 @@ pub fn fig3(ctx: &mut Ctx) -> String {
     let _ = writeln!(
         out,
         "vs flat min-cut fold : WL {}  buffers {}  power {}",
-        fmt_delta(pct(b3.wirelength_um, m.wirelength_um), paper::fig3::WIRELENGTH_VS_BLOCK3D),
+        fmt_delta(
+            pct(b3.wirelength_um, m.wirelength_um),
+            paper::fig3::WIRELENGTH_VS_BLOCK3D
+        ),
         fmt_delta(
             pct(b3.num_buffers as f64, m.num_buffers as f64),
             paper::fig3::BUFFERS_VS_BLOCK3D
         ),
-        fmt_delta(pct(b3.power.total_uw(), m.power.total_uw()), paper::fig3::POWER_VS_BLOCK3D),
+        fmt_delta(
+            pct(b3.power.total_uw(), m.power.total_uw()),
+            paper::fig3::POWER_VS_BLOCK3D
+        ),
     );
     let _ = writeln!(
         out,
         "vs 2D SPC            : power {}",
-        fmt_delta(pct(b2.power.total_uw(), m.power.total_uw()), paper::fig3::POWER_VS_2D)
+        fmt_delta(
+            pct(b2.power.total_uw(), m.power.total_uw()),
+            paper::fig3::POWER_VS_2D
+        )
     );
     let _ = writeln!(
         out,
@@ -409,7 +537,10 @@ pub fn fig5(ctx: &mut Ctx) -> String {
         .filter(|v| macros.iter().any(|m| m.contains(v.pos)))
         .count();
     let mut out = String::new();
-    let _ = writeln!(out, "== Fig. 4/5: F2F via placement by 3D-net routing (folded L2T) ==");
+    let _ = writeln!(
+        out,
+        "== Fig. 4/5: F2F via placement by 3D-net routing (folded L2T) =="
+    );
     let _ = writeln!(out, "3D nets routed: {}", f.vias.len());
     let _ = writeln!(
         out,
@@ -429,7 +560,10 @@ pub fn fig5(ctx: &mut Ctx) -> String {
 /// Fig. 6: bonding-style impact on folded placement (L2D and L2T).
 pub fn fig6(ctx: &mut Ctx) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Fig. 6: bonding-style impact on folded footprint ==");
+    let _ = writeln!(
+        out,
+        "== Fig. 6: bonding-style impact on folded footprint =="
+    );
     let run = |name: &str, strategy: FoldStrategy, aspect: FoldAspect, bonding| {
         let mut d3 = ctx.design.clone();
         let id = d3.find_block(name).expect("block exists");
@@ -442,7 +576,7 @@ pub fn fig6(ctx: &mut Ctx) -> String {
         let f = fold_block(d3.block_mut(id), &ctx.tech, &cfg);
         (d3.block(id).outline, f)
     };
-    for (name, strategy, aspect, paper_fp) in [
+    let blocks = [
         (
             "l2d0",
             FoldStrategy::MacroRows,
@@ -455,11 +589,24 @@ pub fn fig6(ctx: &mut Ctx) -> String {
             FoldAspect::Keep,
             paper::fig6::L2T_F2F_VS_F2B_FOOTPRINT,
         ),
-    ] {
-        let (o_f2b, f2b) = run(name, strategy.clone(), aspect, BondingStyle::FaceToBack);
-        let (o_f2f, f2f) = run(name, strategy, aspect, BondingStyle::FaceToFace);
-        let tsv_share =
-            f2b.vias.silicon_area_um2(&ctx.tech) / o_f2b.area() * 100.0;
+    ];
+    // 2 blocks x 2 bonding styles = 4 independent engine jobs
+    let jobs: Vec<(&str, FoldStrategy, FoldAspect, BondingStyle)> = blocks
+        .iter()
+        .flat_map(|(name, strategy, aspect, _)| {
+            [BondingStyle::FaceToBack, BondingStyle::FaceToFace]
+                .map(|bonding| (*name, strategy.clone(), *aspect, bonding))
+        })
+        .collect();
+    let mut results =
+        foldic_exec::par_map(ctx.threads, jobs, |_, (name, strategy, aspect, bonding)| {
+            run(name, strategy, aspect, bonding)
+        })
+        .into_iter();
+    for (name, _, _, paper_fp) in blocks {
+        let (o_f2b, f2b) = results.next().expect("one result per job");
+        let (o_f2f, f2f) = results.next().expect("one result per job");
+        let tsv_share = f2b.vias.silicon_area_um2(&ctx.tech) / o_f2b.area() * 100.0;
         let _ = writeln!(
             out,
             "{name}: F2B die {:.0}x{:.0}um ({} TSVs, {:.1}% TSV area; paper ~{:.0}%)",
@@ -485,7 +632,10 @@ pub fn fig6(ctx: &mut Ctx) -> String {
                     paper::fig6::L2T_F2F_VS_F2B_WIRELENGTH
                 ),
                 fmt_delta(
-                    pct(f2b.metrics.num_buffers as f64, f2f.metrics.num_buffers as f64),
+                    pct(
+                        f2b.metrics.num_buffers as f64,
+                        f2f.metrics.num_buffers as f64
+                    ),
                     paper::fig6::L2T_F2F_VS_F2B_BUFFERS
                 ),
                 fmt_delta(
@@ -502,32 +652,41 @@ pub fn fig6(ctx: &mut Ctx) -> String {
 pub fn fig7(ctx: &mut Ctx) -> String {
     let b2 = ctx.block_2d("l2t0");
     let mut out = String::new();
-    let _ = writeln!(out, "== Fig. 7: partition sweep, folded L2T, power normalized to 2D ==");
+    let _ = writeln!(
+        out,
+        "== Fig. 7: partition sweep, folded L2T, power normalized to 2D =="
+    );
     let _ = writeln!(
         out,
         "{:>5} {:>9} {:>10} {:>10} {:>12}",
         "case", "3D conns", "F2B", "F2F", "F2F vs F2B"
     );
     let qualities = [1.0, 0.75, 0.5, 0.25, 0.0];
+    // 5 partition qualities x 2 bonding styles = 10 independent engine jobs
+    let jobs: Vec<(f64, BondingStyle)> = qualities
+        .iter()
+        .flat_map(|&q| {
+            [BondingStyle::FaceToBack, BondingStyle::FaceToFace].map(|bonding| (q, bonding))
+        })
+        .collect();
+    let folds = foldic_exec::par_map(ctx.threads, jobs, |_, (q, bonding)| {
+        let mut d3 = ctx.design.clone();
+        let id = d3.find_block("l2t0").expect("l2t0 exists");
+        let cfg = FoldConfig {
+            strategy: FoldStrategy::Quality(q),
+            bonding,
+            ..FoldConfig::default()
+        };
+        let f = fold_block(d3.block_mut(id), &ctx.tech, &cfg);
+        (
+            f.metrics.power.total_uw() / b2.power.total_uw(),
+            f.metrics.num_3d_connections,
+        )
+    });
     let mut last_gap = 0.0;
-    for (k, &q) in qualities.iter().enumerate() {
-        let mut norm = [0.0; 2];
-        let mut vias = [0usize; 2];
-        for (i, bonding) in [BondingStyle::FaceToBack, BondingStyle::FaceToFace]
-            .into_iter()
-            .enumerate()
-        {
-            let mut d3 = ctx.design.clone();
-            let id = d3.find_block("l2t0").expect("l2t0 exists");
-            let cfg = FoldConfig {
-                strategy: FoldStrategy::Quality(q),
-                bonding,
-                ..FoldConfig::default()
-            };
-            let f = fold_block(d3.block_mut(id), &ctx.tech, &cfg);
-            norm[i] = f.metrics.power.total_uw() / b2.power.total_uw();
-            vias[i] = f.metrics.num_3d_connections;
-        }
+    for (k, _) in qualities.iter().enumerate() {
+        let norm = [folds[2 * k].0, folds[2 * k + 1].0];
+        let vias = [folds[2 * k].1, folds[2 * k + 1].1];
         last_gap = (norm[1] / norm[0] - 1.0) * 100.0;
         let _ = writeln!(
             out,
@@ -552,6 +711,7 @@ pub fn fig7(ctx: &mut Ctx) -> String {
 
 /// Fig. 8: the five full-chip styles.
 pub fn fig8(ctx: &mut Ctx) -> String {
+    ctx.warm(&DesignStyle::ALL.map(|s| (s, false)));
     let mut out = String::new();
     let _ = writeln!(out, "== Fig. 8: full-chip design styles ==");
     let _ = writeln!(
@@ -589,26 +749,29 @@ pub fn thermal(ctx: &mut Ctx) -> String {
         "{:<18} {:>9} {:>9} {:>9} {:>10} {:>12}",
         "style", "power W", "Tmax C", "Tavg C", "rise K", "hot tier"
     );
-    for style in DesignStyle::ALL {
-        let r = ctx.fullchip(style, false).clone();
+    ctx.warm(&DesignStyle::ALL.map(|s| (s, false)));
+    // one engine job per style: each rebuilds its floorplan and solves
+    // its own thermal stack
+    let shared: &Ctx = ctx;
+    let rows = foldic_exec::par_map(shared.threads, DesignStyle::ALL.to_vec(), |_, style| {
+        let r = shared.cached(style, false);
         let per_block: Vec<(String, foldic_netlist::BlockKind, f64)> = r
             .per_block
             .iter()
             .map(|(n, k, m)| (n.clone(), *k, m.power.total_uw()))
             .collect();
         // rebuild the floorplanned design to extract block rects
-        let mut d = ctx.design.clone();
-        let _ = run_fullchip(&mut d, &ctx.tech, style, &FullChipConfig::fast());
+        let mut d = shared.design.clone();
+        let _ = run_fullchip(&mut d, &shared.tech, style, &FullChipConfig::fast());
         let tiers = if style.is_3d() { 2 } else { 1 };
-        let maps = chip_power_maps(&d, &ctx.tech, r.die, &per_block, tiers, 48);
+        let maps = chip_power_maps(&d, &shared.tech, r.die, &per_block, tiers, 48);
         let stack_cfg = match (style.is_3d(), style.bonding()) {
             (false, _) => StackConfig::single_die(),
             (true, BondingStyle::FaceToBack) => StackConfig::f2b(),
             (true, BondingStyle::FaceToFace) => StackConfig::f2f(),
         };
         let rep = solve_stack(&maps, &stack_cfg);
-        let _ = writeln!(
-            out,
+        format!(
             "{:<18} {:>9.2} {:>9.1} {:>9.1} {:>10.1} {:>12}",
             style.label(),
             r.chip.power.total_w(),
@@ -616,11 +779,18 @@ pub fn thermal(ctx: &mut Ctx) -> String {
             rep.avg_c,
             rep.max_rise_k(),
             if style.is_3d() {
-                if rep.hotspot.0 == 0 { "bottom" } else { "top" }
+                if rep.hotspot.0 == 0 {
+                    "bottom"
+                } else {
+                    "top"
+                }
             } else {
                 "-"
             },
-        );
+        )
+    });
+    for row in rows {
+        let _ = writeln!(out, "{row}");
     }
     let _ = writeln!(
         out,
@@ -641,7 +811,10 @@ pub fn ablations(ctx: &mut Ctx) -> String {
     use foldic_route::{place_vias, BlockWiring};
 
     let mut out = String::new();
-    let _ = writeln!(out, "== Ablations: what each design choice is worth (folded L2T, F2B) ==");
+    let _ = writeln!(
+        out,
+        "== Ablations: what each design choice is worth (folded L2T, F2B) =="
+    );
 
     // Baseline fold.
     let base = {
@@ -661,9 +834,16 @@ pub fn ablations(ctx: &mut Ctx) -> String {
         base.metrics.num_3d_connections
     );
 
+    // sections (a)-(f) are independent studies: one engine job each,
+    // results appended in the fixed section order
+    let shared: &Ctx = ctx;
+    let base = &base;
+    type Section<'a> = Box<dyn FnOnce() -> String + Send + 'a>;
+
     // (a) no clock-leaf re-clustering: leaf buffers keep their pre-fold
     // flop assignments (α = 1 clock nets sprawl across both dies).
-    {
+    let section_a: Section = Box::new(move || {
+        let ctx = shared;
         let mut d = ctx.design.clone();
         let id = d.find_block("l2t0").expect("l2t0");
         let block = d.block_mut(id);
@@ -679,7 +859,13 @@ pub fn ablations(ctx: &mut Ctx) -> String {
             base.metrics.footprint_um2.sqrt(),
         );
         block.outline = outline;
-        place_folded(&mut block.netlist, &ctx.tech, outline, &PlacerConfig::quality(), &[]);
+        place_folded(
+            &mut block.netlist,
+            &ctx.tech,
+            outline,
+            &PlacerConfig::quality(),
+            &[],
+        );
         let vias = place_vias(&block.netlist, &ctx.tech, outline, BondingStyle::FaceToBack);
         let wiring = BlockWiring::analyze(&block.netlist, &ctx.tech, 1.1, Some(&vias));
         let clock_wl: f64 = block
@@ -696,18 +882,18 @@ pub fn ablations(ctx: &mut Ctx) -> String {
             .filter(|(_, n)| n.is_clock)
             .map(|(nid, _)| wiring2.net(nid).length_um)
             .sum();
-        let _ = writeln!(
-            out,
-            "no CTS recluster   : clock wl {:.3} m -> {:.3} m with reclustering ({:+.1}%)",
+        format!(
+            "no CTS recluster   : clock wl {:.3} m -> {:.3} m with reclustering ({:+.1}%)\n",
             clock_wl * 1e-6,
             clock_wl2 * 1e-6,
             (clock_wl2 / clock_wl.max(1.0) - 1.0) * 100.0
-        );
-    }
+        )
+    });
 
     // (b) fold without the TSV area/keep-out model (pretend TSVs are free
     // silicon like F2F vias): isolates the Fig. 6 cost.
-    {
+    let section_b: Section = Box::new(move || {
+        let ctx = shared;
         let mut d = ctx.design.clone();
         let id = d.find_block("l2t0").expect("l2t0");
         let block = d.block_mut(id);
@@ -722,16 +908,16 @@ pub fn ablations(ctx: &mut Ctx) -> String {
             },
             part,
         );
-        let _ = writeln!(
-            out,
-            "TSV cost removed   : wl {:>8.3} m  power {:>8.1} mW   (the F2B-vs-F2F gap is the TSV area+displacement cost)",
+        format!(
+            "TSV cost removed   : wl {:>8.3} m  power {:>8.1} mW   (the F2B-vs-F2F gap is the TSV area+displacement cost)\n",
             folded.metrics.wirelength_m(),
             folded.metrics.power.total_uw() * 1e-3
-        );
-    }
+        )
+    });
 
     // (c) partition quality: min-cut vs random balanced (what FM is worth).
-    {
+    let section_c: Section = Box::new(move || {
+        let ctx = shared;
         let cut_of = |q: f64| {
             let mut d = ctx.design.clone();
             let id = d.find_block("l2t0").expect("l2t0");
@@ -745,18 +931,18 @@ pub fn ablations(ctx: &mut Ctx) -> String {
         };
         let (v1, p1) = cut_of(1.0);
         let (v0, p0) = cut_of(0.0);
-        let _ = writeln!(
-            out,
-            "FM vs random part. : {} vs {} vias; power {:+.1}% if partitioning is random",
+        format!(
+            "FM vs random part. : {} vs {} vias; power {:+.1}% if partitioning is random\n",
             v1,
             v0,
             (p0 / p1 - 1.0) * 100.0
-        );
-    }
+        )
+    });
 
     // (d) TSV-to-wire coupling parasitic (§7 future work): re-price the
     // folded F2B block's net power with the coupling capacitance on.
-    {
+    let section_d: Section = Box::new(move || {
+        let ctx = shared;
         let mut d = ctx.design.clone();
         let id = d.find_block("l2t0").expect("l2t0");
         let block = d.block_mut(id);
@@ -771,18 +957,18 @@ pub fn ablations(ctx: &mut Ctx) -> String {
         let without = foldic_power::analyze_block(&block.netlist, &ctx.tech, &wiring, &pcfg);
         pcfg.tsv_coupling = true;
         let with = foldic_power::analyze_block(&block.netlist, &ctx.tech, &wiring, &pcfg);
-        let _ = writeln!(
-            out,
-            "TSV-wire coupling  : net power {:+.2}% when the coupling parasitic is priced in ({:.1} fF/TSV)",
+        format!(
+            "TSV-wire coupling  : net power {:+.2}% when the coupling parasitic is priced in ({:.1} fF/TSV)\n",
             (with.net_uw() / without.net_uw() - 1.0) * 100.0,
             ctx.tech.tsv.coupling_cap_ff()
-        );
-    }
+        )
+    });
 
     // (e) macro holes vs demand inflation (§4.2): place the macro-heavy
     // L2D both ways and compare wirelength.
-    {
+    let section_e: Section = Box::new(move || {
         use foldic_place::{place_block, MacroMode};
+        let ctx = shared;
         let run = |mode| {
             let mut d = ctx.design.clone();
             let id = d.find_block("l2d0").expect("l2d0");
@@ -795,18 +981,18 @@ pub fn ablations(ctx: &mut Ctx) -> String {
         };
         let hole = run(MacroMode::Hole);
         let halo = run(MacroMode::DemandInflation);
-        let _ = writeln!(
-            out,
-            "macro holes (4.2)  : wl {:.3} m with holes vs {:.3} m with halo-style demand inflation ({:+.1}%)",
+        format!(
+            "macro holes (4.2)  : wl {:.3} m with holes vs {:.3} m with halo-style demand inflation ({:+.1}%)\n",
             hole * 1e-6,
             halo * 1e-6,
             (halo / hole - 1.0) * 100.0
-        );
-    }
+        )
+    });
 
     // (f) CCX natural split vs blind min-cut (is domain structure worth
     // anything beyond FM?).
-    {
+    let section_f: Section = Box::new(move || {
+        let ctx = shared;
         let run = |strategy| {
             let mut d = ctx.design.clone();
             let id = d.find_block("ccx").expect("ccx");
@@ -820,14 +1006,20 @@ pub fn ablations(ctx: &mut Ctx) -> String {
         };
         let nat = run(FoldStrategy::NaturalGroups(vec!["pcx".into()]));
         let fm = run(FoldStrategy::MinCut);
-        let _ = writeln!(
-            out,
-            "CCX natural vs FM  : {} vs {} vias; power {:.1} vs {:.1} mW",
+        format!(
+            "CCX natural vs FM  : {} vs {} vias; power {:.1} vs {:.1} mW\n",
             nat.metrics.num_3d_connections,
             fm.metrics.num_3d_connections,
             nat.metrics.power.total_uw() * 1e-3,
             fm.metrics.power.total_uw() * 1e-3
-        );
+        )
+    });
+
+    let sections: Vec<Section> = vec![
+        section_a, section_b, section_c, section_d, section_e, section_f,
+    ];
+    for part in foldic_exec::par_map(shared.threads, sections, |_, section| section()) {
+        out.push_str(&part);
     }
     out
 }
@@ -838,16 +1030,24 @@ pub fn layouts(ctx: &mut Ctx, dir: &std::path::Path) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Layout shots (SVG) ==");
     std::fs::create_dir_all(dir).expect("create layout dir");
-    for (style, fname) in [
-        (DesignStyle::Flat2d, "fig8a_2d.svg"),
-        (DesignStyle::CoreCache, "fig8b_core_cache.svg"),
-        (DesignStyle::CoreCore, "fig8c_core_core.svg"),
-        (DesignStyle::FoldedF2b, "fig8d_folded_f2b.svg"),
-        (DesignStyle::FoldedF2f, "fig8e_folded_f2f.svg"),
-    ] {
-        let mut d = ctx.design.clone();
-        let r = run_fullchip(&mut d, &ctx.tech, style, &FullChipConfig::fast());
-        let svg = render_chip_svg(&d, r.die, 900.0 / r.die.width());
+    // one engine job per style shot; files are written serially after
+    let shared: &Ctx = ctx;
+    let shots = foldic_exec::par_map(
+        shared.threads,
+        vec![
+            (DesignStyle::Flat2d, "fig8a_2d.svg"),
+            (DesignStyle::CoreCache, "fig8b_core_cache.svg"),
+            (DesignStyle::CoreCore, "fig8c_core_core.svg"),
+            (DesignStyle::FoldedF2b, "fig8d_folded_f2b.svg"),
+            (DesignStyle::FoldedF2f, "fig8e_folded_f2f.svg"),
+        ],
+        |_, (style, fname)| {
+            let mut d = shared.design.clone();
+            let r = run_fullchip(&mut d, &shared.tech, style, &FullChipConfig::fast());
+            (fname, render_chip_svg(&d, r.die, 900.0 / r.die.width()))
+        },
+    );
+    for (fname, svg) in shots {
         let path = dir.join(fname);
         std::fs::write(&path, svg).expect("write svg");
         let _ = writeln!(out, "wrote {}", path.display());
@@ -876,11 +1076,7 @@ pub fn layouts(ctx: &mut Ctx, dir: &std::path::Path) -> String {
 
 /// Runs the 2D block flow and a fold for one block (shared by examples
 /// and ablation benches): returns `(2D metrics, folded result)`.
-pub fn fold_pair(
-    ctx: &Ctx,
-    name: &str,
-    cfg: &FoldConfig,
-) -> (DesignMetrics, FoldedBlock) {
+pub fn fold_pair(ctx: &Ctx, name: &str, cfg: &FoldConfig) -> (DesignMetrics, FoldedBlock) {
     let b2 = {
         let mut d = ctx.design.clone();
         let id = d.find_block(name).expect("known block");

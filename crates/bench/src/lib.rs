@@ -20,6 +20,12 @@ use std::collections::HashMap;
 
 /// Shared experiment context: one generated design plus cached full-chip
 /// runs (several experiments read the same runs).
+///
+/// `threads` fans both the per-block loops inside a full-chip run and the
+/// multi-configuration sweeps of the experiments out over the execution
+/// engine. Every reported number is identical for any thread count: jobs
+/// are independent, each seeds its own RNG stream, and the engine returns
+/// results in submission order.
 pub struct Ctx {
     /// The pristine generated design (cloned per run).
     pub design: Design,
@@ -27,17 +33,25 @@ pub struct Ctx {
     pub tech: Technology,
     /// Generation config used.
     pub cfg: T2Config,
+    /// Worker threads for full-chip runs and experiment sweeps.
+    pub threads: usize,
     cache: HashMap<(DesignStyle, bool), FullChipResult>,
 }
 
 impl Ctx {
-    /// Generates the design for `cfg`.
+    /// Generates the design for `cfg` (serial execution).
     pub fn new(cfg: T2Config) -> Self {
+        Self::with_threads(cfg, 1)
+    }
+
+    /// Generates the design for `cfg` with a worker-thread count.
+    pub fn with_threads(cfg: T2Config, threads: usize) -> Self {
         let (design, tech) = cfg.generate();
         Self {
             design,
             tech,
             cfg,
+            threads,
             cache: HashMap::new(),
         }
     }
@@ -48,12 +62,48 @@ impl Ctx {
             let mut design = self.design.clone();
             let cfg = FullChipConfig {
                 dual_vth,
+                threads: self.threads,
                 ..FullChipConfig::default()
             };
             let result = run_fullchip(&mut design, &self.tech, style, &cfg);
             self.cache.insert((style, dual_vth), result);
         }
         &self.cache[&(style, dual_vth)]
+    }
+
+    /// Fills the cache for several `(style, dual_vth)` configurations at
+    /// once, one engine job per missing configuration (the sweep-level
+    /// fan-out; each job runs its blocks serially). Results are identical
+    /// to filling the cache through [`Ctx::fullchip`].
+    pub fn warm(&mut self, runs: &[(DesignStyle, bool)]) {
+        let missing: Vec<(DesignStyle, bool)> = runs
+            .iter()
+            .copied()
+            .filter(|k| !self.cache.contains_key(k))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let design = &self.design;
+        let tech = &self.tech;
+        let results = foldic_exec::par_map(self.threads, missing, |_, (style, dual_vth)| {
+            let mut d = design.clone();
+            let cfg = FullChipConfig {
+                dual_vth,
+                threads: 1,
+                ..FullChipConfig::default()
+            };
+            ((style, dual_vth), run_fullchip(&mut d, tech, style, &cfg))
+        });
+        self.cache.extend(results);
+    }
+
+    /// Returns a previously computed full-chip run (panics when the
+    /// configuration has not been run; see [`Ctx::warm`]).
+    pub fn cached(&self, style: DesignStyle, dual_vth: bool) -> &FullChipResult {
+        self.cache
+            .get(&(style, dual_vth))
+            .expect("full-chip run cached via warm()/fullchip()")
     }
 
     /// Runs the plain 2D block flow on a clone of one block and returns

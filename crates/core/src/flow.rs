@@ -126,31 +126,49 @@ pub fn run_block_flow(
     let max_layer = block_max_layer(block, cfg.bonding, &cfg.policy);
 
     // 1. placement
-    place_block(&mut block.netlist, tech, outline, &cfg.placer);
+    foldic_exec::profile::stage("place", || {
+        place_block(&mut block.netlist, tech, outline, &cfg.placer)
+    });
 
     // 2. timing + power optimization
     let mut opt_cfg = cfg.opt.clone();
     opt_cfg.max_layer = max_layer;
     opt_cfg.via_kind = None;
     opt_cfg.dual_vth = cfg.dual_vth;
-    let opt = optimize_block_with_vias(&mut block.netlist, tech, budgets, &opt_cfg, None);
+    let opt = foldic_exec::profile::stage("opt", || {
+        optimize_block_with_vias(&mut block.netlist, tech, budgets, &opt_cfg, None)
+    });
 
     // 3. sign-off
-    let wiring = BlockWiring::analyze(&block.netlist, tech, opt_cfg.detour, None);
-    let sta = analyze(
-        &block.netlist,
-        tech,
-        &wiring,
-        budgets,
-        &StaConfig {
-            max_layer,
-            via_kind: None,
-        },
-    );
+    let wiring = foldic_exec::profile::stage("route", || {
+        BlockWiring::analyze(&block.netlist, tech, opt_cfg.detour, None)
+    });
+    let sta = foldic_exec::profile::stage("sta", || {
+        analyze(
+            &block.netlist,
+            tech,
+            &wiring,
+            budgets,
+            &StaConfig {
+                max_layer,
+                via_kind: None,
+            },
+        )
+    });
     let mut pw_cfg = PowerConfig::for_block(block);
     pw_cfg.max_layer = max_layer;
-    let power = analyze_block(&block.netlist, tech, &wiring, &pw_cfg);
-    let metrics = collect_metrics(&block.netlist, block, tech, &wiring, None, power, sta.wns_ps);
+    let power = foldic_exec::profile::stage("power", || {
+        analyze_block(&block.netlist, tech, &wiring, &pw_cfg)
+    });
+    let metrics = collect_metrics(
+        &block.netlist,
+        block,
+        tech,
+        &wiring,
+        None,
+        power,
+        sta.wns_ps,
+    );
     BlockResult { metrics, opt }
 }
 

@@ -23,8 +23,8 @@ use foldic_geom::{Point, Rect, Tier};
 use foldic_netlist::{Block, GroupId, InstId, Netlist, PinRef};
 use foldic_opt::{optimize_block_with_vias, OptStats};
 use foldic_partition::{
-    apply_partition, bipartition, bipartition_seeded, partition_by_groups,
-    partition_with_quality, Partition, PartitionConfig,
+    apply_partition, bipartition, bipartition_seeded, partition_by_groups, partition_with_quality,
+    Partition, PartitionConfig,
 };
 use foldic_place::{place_folded, Obstacle, PlacerConfig};
 use foldic_power::{analyze_block, PowerConfig};
@@ -545,12 +545,13 @@ pub fn fold_spc_second_level(
     }
 
     // folded FUBs: per-FUB min-cut on the induced sub-netlist
-    let mut total_cut = 0;
     for &(name, _, folded) in foldic_t2::SPC_FUBS.iter() {
         if !folded {
             continue;
         }
-        let Some(g) = group_of_name(name) else { continue };
+        let Some(g) = group_of_name(name) else {
+            continue;
+        };
         let members: Vec<InstId> = nl
             .insts()
             .filter(|(_, i)| i.group == Some(g))
@@ -558,17 +559,13 @@ pub fn fold_spc_second_level(
             .collect();
         let (sub, back) = induced_subnetlist(nl, &members);
         let part = bipartition(&sub, tech, &cfg.partition);
-        total_cut += part.cut;
         for (sub_idx, &orig) in back.iter().enumerate() {
             tier_of[orig.index()] = part.tier_of[sub_idx];
         }
     }
 
-    let mut part = Partition {
-        tier_of,
-        cut: 0,
-    };
-    part.cut = part.cut_size(nl) + 0 * total_cut;
+    let mut part = Partition { tier_of, cut: 0 };
+    part.cut = part.cut_size(nl);
     fold_with_partition(block, tech, &budgets, cfg, part)
 }
 
@@ -641,10 +638,14 @@ pub struct CandidateRow {
 /// Applies the folding criteria of §4.1 to per-block sign-off metrics:
 /// power share ≥ 1 %, a healthy net-power portion, and a long-wire count
 /// worth folding. Returns rows sorted by power share (largest first).
-pub fn fold_candidates(per_block: &[(String, foldic_netlist::BlockKind, DesignMetrics)]) -> Vec<CandidateRow> {
-    use std::collections::HashMap;
+pub fn fold_candidates(
+    per_block: &[(String, foldic_netlist::BlockKind, DesignMetrics)],
+) -> Vec<CandidateRow> {
+    // BTreeMap so equal power shares tie-break in a stable kind order —
+    // HashMap iteration order would make the sorted rows run-dependent
+    use std::collections::BTreeMap;
     let total: f64 = per_block.iter().map(|(_, _, m)| m.power.total_uw()).sum();
-    let mut agg: HashMap<foldic_netlist::BlockKind, (f64, f64, usize, usize)> = HashMap::new();
+    let mut agg: BTreeMap<foldic_netlist::BlockKind, (f64, f64, usize, usize)> = BTreeMap::new();
     for (_, kind, m) in per_block {
         let e = agg.entry(*kind).or_insert((0.0, 0.0, 0, 0));
         e.0 += m.power.total_uw();
@@ -847,6 +848,10 @@ mod tests {
         let ncu = rows.iter().find(|r| r.kind == Ncu).unwrap();
         assert!(!ncu.selected, "NCU is below the 1% criterion");
         let l2d = rows.iter().find(|r| r.kind == L2d).unwrap();
-        assert!((l2d.power_share - 0.021 / (0.021 * 8.0 + 0.058 * 8.0 + 0.028 + 0.036 + 0.005) * 1.0).abs() < 1.0);
+        assert!(
+            (l2d.power_share - 0.021 / (0.021 * 8.0 + 0.058 * 8.0 + 0.028 + 0.036 + 0.005) * 1.0)
+                .abs()
+                < 1.0
+        );
     }
 }

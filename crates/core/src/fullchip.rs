@@ -21,7 +21,7 @@ use crate::folding::{
 use crate::metrics::DesignMetrics;
 use foldic_floorplan::{floorplan_t2, plan_chip_tsvs, ChipPlan, FloorplanStyle};
 use foldic_geom::Point;
-use foldic_netlist::{BlockId, BlockKind, ClockDomain, Design};
+use foldic_netlist::{Block, BlockId, BlockKind, ClockDomain, Design};
 use foldic_opt::chip_repeater_spacing_um;
 use foldic_power::PowerReport;
 use foldic_route::GlobalRouter;
@@ -102,6 +102,10 @@ pub struct FullChipConfig {
     pub fold_rtx: bool,
     /// Enable dual-Vth everywhere.
     pub dual_vth: bool,
+    /// Worker threads for the per-block fan-out (1 = serial). Results are
+    /// identical for any thread count: blocks are independent and each
+    /// job's RNG stream is seeded from its own config.
+    pub threads: usize,
 }
 
 impl FullChipConfig {
@@ -111,6 +115,7 @@ impl FullChipConfig {
             flow: FlowConfig::fast(),
             fold_rtx: true,
             dual_vth: false,
+            threads: 1,
         }
     }
 }
@@ -121,6 +126,7 @@ impl Default for FullChipConfig {
             flow: FlowConfig::default(),
             fold_rtx: true,
             dual_vth: false,
+            threads: 1,
         }
     }
 }
@@ -171,35 +177,45 @@ pub fn run_fullchip(
             dual_vth: cfg.dual_vth,
             ..FoldConfig::default()
         };
-        let ids: Vec<BlockId> = design.block_ids().collect();
-        for id in ids {
-            let kind = design.block(id).kind;
-            let strategy = match kind {
-                BlockKind::Spc => None, // second-level handled below
-                BlockKind::Ccx => Some(FoldStrategy::NaturalGroups(vec!["pcx".into()])),
-                BlockKind::L2d => Some(FoldStrategy::MacroRows),
-                BlockKind::L2t => Some(FoldStrategy::MinCut),
-                BlockKind::Rtx if cfg.fold_rtx => Some(FoldStrategy::MinCut),
-                _ => None,
-            };
-            if kind == BlockKind::Spc {
-                let c = fold_cfg(FoldStrategy::MinCut, FoldAspect::Keep);
-                let folded = fold_spc_second_level(design.block_mut(id), tech, &c);
-                intra_block_vias += folded.metrics.num_3d_connections;
-                folded_results.insert(id, folded.metrics);
-            } else if let Some(strategy) = strategy {
-                let aspect = match kind {
-                    BlockKind::Ccx => FoldAspect::Square,
-                    BlockKind::L2d => FoldAspect::KeepWidth,
-                    _ => FoldAspect::Keep,
+        // one job per foldable block: blocks are disjoint, so handing out
+        // simultaneous `&mut Block` borrows is safe and the engine fans
+        // them out across workers
+        let jobs: Vec<(BlockId, &mut Block)> = design
+            .blocks_mut()
+            .filter(|(_, b)| {
+                matches!(
+                    b.kind,
+                    BlockKind::Spc | BlockKind::Ccx | BlockKind::L2d | BlockKind::L2t
+                ) || (b.kind == BlockKind::Rtx && cfg.fold_rtx)
+            })
+            .collect();
+        let results = foldic_exec::profile::stage("fold", || {
+            foldic_exec::par_map(cfg.threads, jobs, |_, (id, block)| {
+                let kind = block.kind;
+                let metrics = if kind == BlockKind::Spc {
+                    let c = fold_cfg(FoldStrategy::MinCut, FoldAspect::Keep);
+                    fold_spc_second_level(block, tech, &c).metrics
+                } else {
+                    let strategy = match kind {
+                        BlockKind::Ccx => FoldStrategy::NaturalGroups(vec!["pcx".into()]),
+                        BlockKind::L2d => FoldStrategy::MacroRows,
+                        _ => FoldStrategy::MinCut,
+                    };
+                    let aspect = match kind {
+                        BlockKind::Ccx => FoldAspect::Square,
+                        BlockKind::L2d => FoldAspect::KeepWidth,
+                        _ => FoldAspect::Keep,
+                    };
+                    let c = fold_cfg(strategy, aspect);
+                    let budgets = TimingBudgets::relaxed(&block.netlist, tech);
+                    fold_block_with_budgets(block, tech, &budgets, &c).metrics
                 };
-                let c = fold_cfg(strategy, aspect);
-                let budgets = TimingBudgets::relaxed(&design.block(id).netlist, tech);
-                let folded =
-                    fold_block_with_budgets(design.block_mut(id), tech, &budgets, &c);
-                intra_block_vias += folded.metrics.num_3d_connections;
-                folded_results.insert(id, folded.metrics);
-            }
+                (id, metrics)
+            })
+        });
+        for (id, m) in results {
+            intra_block_vias += m.num_3d_connections;
+            folded_results.insert(id, m);
         }
     }
 
@@ -211,7 +227,8 @@ pub fn run_fullchip(
         DesignStyle::CoreCache => FloorplanStyle::CoreCache,
         DesignStyle::CoreCore => FloorplanStyle::CoreCore,
     };
-    let mut plan: ChipPlan = floorplan_t2(design, fp_style, tech);
+    let mut plan: ChipPlan =
+        foldic_exec::profile::stage("floorplan", || floorplan_t2(design, fp_style, tech));
     if style.folded() {
         // folded blocks expose ports on both tiers: cross-die chip nets
         // exist even though the arrangement is single-layout
@@ -226,21 +243,34 @@ pub fn run_fullchip(
     let mut flow_cfg = cfg.flow.clone();
     flow_cfg.bonding = bonding;
     flow_cfg.dual_vth = cfg.dual_vth;
+    let order: Vec<BlockId> = design.block_ids().collect();
+    let jobs: Vec<(BlockId, &mut Block)> = design
+        .blocks_mut()
+        .filter(|(id, _)| !folded_results.contains_key(id))
+        .collect();
+    let flow_metrics: HashMap<BlockId, DesignMetrics> =
+        foldic_exec::profile::stage("block_flows", || {
+            foldic_exec::par_map(cfg.threads, jobs, |_, (id, block)| {
+                (
+                    id,
+                    run_block_flow(block, tech, &budgets[&id], &flow_cfg).metrics,
+                )
+            })
+        })
+        .into_iter()
+        .collect();
     let mut per_block = Vec::new();
-    let ids: Vec<BlockId> = design.block_ids().collect();
-    for id in ids {
-        let metrics = if let Some(m) = folded_results.get(&id) {
-            *m
-        } else {
-            let b = design.block_mut(id);
-            let budget = &budgets[&id];
-            run_block_flow(b, tech, budget, &flow_cfg).metrics
-        };
+    for id in order {
+        let metrics = folded_results
+            .get(&id)
+            .copied()
+            .unwrap_or_else(|| flow_metrics[&id]);
         let b = design.block(id);
         per_block.push((b.name.clone(), b.kind, metrics));
     }
 
     // ---- 5. inter-block routing and roll-up -----------------------------------
+    let chip_route_timer = foldic_exec::profile::StageTimer::start("chip_route");
     let top = tech.metal.top_layer();
     let tracks_per_um = 2.0 / top.pitch_um * TRACK_UTILIZATION;
     let mut router = GlobalRouter::new(plan.die, plan.die.width().max(64.0) / 32.0, tracks_per_um);
@@ -298,6 +328,7 @@ pub fn run_fullchip(
         chip_net_wire_cap_ghz += routed * net.bits as f64 * top.c_per_um * f;
     }
     let route_stats = router.stats();
+    drop(chip_route_timer);
     let interblock_wl_um = route_stats.routed_um;
 
     // chip-level repeaters on the inter-block wiring
@@ -322,10 +353,11 @@ pub fn run_fullchip(
     };
     let cross_nets = plan.tsvs.len();
     let chip_power = PowerReport {
-        cell_uw: chip_buffers as f64 * buf.internal_energy_fj * tech.cpu_clock_ghz
+        cell_uw: chip_buffers as f64
+            * buf.internal_energy_fj
+            * tech.cpu_clock_ghz
             * CHIP_NET_ACTIVITY,
-        net_wire_uw: (chip_net_wire_cap_ghz
-            + cross_nets as f64 * via_cap * tech.cpu_clock_ghz)
+        net_wire_uw: (chip_net_wire_cap_ghz + cross_nets as f64 * via_cap * tech.cpu_clock_ghz)
             * tech.vdd
             * tech.vdd
             * CHIP_NET_ACTIVITY,
@@ -457,7 +489,9 @@ pub fn chip_budgets(
                 .unwrap_or_else(|| pts[0].0.midpoint(pts[pts.len() - 1].0));
             pts.iter().map(|&(p, _)| p.manhattan(via)).sum::<f64>()
         } else {
-            pts.windows(2).map(|w| w[0].0.manhattan(w[1].0)).sum::<f64>()
+            pts.windows(2)
+                .map(|w| w[0].0.manhattan(w[1].0))
+                .sum::<f64>()
         };
         let delay = len * CHIP_DELAY_PS_PER_UM;
         let period = match net.domain {
@@ -488,7 +522,12 @@ mod tests {
     #[test]
     fn flat2d_fullchip_runs() {
         let (mut design, tech) = T2Config::tiny().generate();
-        let result = run_fullchip(&mut design, &tech, DesignStyle::Flat2d, &FullChipConfig::fast());
+        let result = run_fullchip(
+            &mut design,
+            &tech,
+            DesignStyle::Flat2d,
+            &FullChipConfig::fast(),
+        );
         assert_eq!(result.style, DesignStyle::Flat2d);
         assert_eq!(result.per_block.len(), 46);
         assert_eq!(result.chip_vias, 0);

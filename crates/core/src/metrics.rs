@@ -1,12 +1,11 @@
 //! Design metrics and comparisons — the rows of the paper's tables.
 
 use foldic_power::PowerReport;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Everything the paper's tables report about one design (a block or a
 /// full chip).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DesignMetrics {
     /// Footprint (die outline area) in µm². For a 3D design this is the
     /// area of *one* die, matching the paper's usage.
@@ -148,7 +147,11 @@ impl Comparison {
 
 impl fmt::Display for Comparison {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<22} {:>14} {:>14} {:>9}", "", self.base_label, self.new_label, "diff")?;
+        writeln!(
+            f,
+            "{:<22} {:>14} {:>14} {:>9}",
+            "", self.base_label, self.new_label, "diff"
+        )?;
         let row = |f: &mut fmt::Formatter<'_>, name: &str, b: f64, n: f64, unit: &str| {
             writeln!(
                 f,
@@ -156,10 +159,34 @@ impl fmt::Display for Comparison {
                 d = pct(b, n)
             )
         };
-        row(f, "footprint", self.base.footprint_mm2(), self.new.footprint_mm2(), "mm^2")?;
-        row(f, "wirelength", self.base.wirelength_m(), self.new.wirelength_m(), "m")?;
-        row(f, "# cells", self.base.num_cells as f64, self.new.num_cells as f64, "")?;
-        row(f, "# buffers", self.base.num_buffers as f64, self.new.num_buffers as f64, "")?;
+        row(
+            f,
+            "footprint",
+            self.base.footprint_mm2(),
+            self.new.footprint_mm2(),
+            "mm^2",
+        )?;
+        row(
+            f,
+            "wirelength",
+            self.base.wirelength_m(),
+            self.new.wirelength_m(),
+            "m",
+        )?;
+        row(
+            f,
+            "# cells",
+            self.base.num_cells as f64,
+            self.new.num_cells as f64,
+            "",
+        )?;
+        row(
+            f,
+            "# buffers",
+            self.base.num_buffers as f64,
+            self.new.num_buffers as f64,
+            "",
+        )?;
         row(
             f,
             "total power",
@@ -167,7 +194,13 @@ impl fmt::Display for Comparison {
             self.new.power.total_w(),
             "W",
         )?;
-        row(f, "cell power", self.base.power.cell_uw * 1e-6, self.new.power.cell_uw * 1e-6, "W")?;
+        row(
+            f,
+            "cell power",
+            self.base.power.cell_uw * 1e-6,
+            self.new.power.cell_uw * 1e-6,
+            "W",
+        )?;
         row(
             f,
             "net power",

@@ -78,7 +78,11 @@ pub fn render_chip_svg(design: &Design, die: Rect, scale: f64) -> String {
             let w = r.width() * scale;
             let h = r.height() * scale;
             let color = kind_color(b.kind);
-            let dash = if b.folded { r##" stroke-dasharray="3,2""## } else { "" };
+            let dash = if b.folded {
+                r##" stroke-dasharray="3,2""##
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 r##"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{color}" fill-opacity="0.75" stroke="#222" stroke-width="0.6"{dash}/>"##
@@ -129,7 +133,11 @@ pub fn render_block_svg(
             r##"<text x="{x0:.1}" y="{:.1}" font-size="11">{} {}</text>"##,
             margin + ph + 12.0,
             block.name,
-            if block.folded { tier.to_string() } else { String::new() }
+            if block.folded {
+                tier.to_string()
+            } else {
+                String::new()
+            }
         );
         for (_, inst) in block.netlist.insts() {
             if block.folded && inst.tier != tier {
@@ -148,7 +156,11 @@ pub fn render_block_svg(
                     r.height() * scale,
                 );
             } else {
-                let color = if block.folded && tier == Tier::Top { "#2bb3c0" } else { "#f2c14e" };
+                let color = if block.folded && tier == Tier::Top {
+                    "#2bb3c0"
+                } else {
+                    "#f2c14e"
+                };
                 let _ = writeln!(
                     out,
                     r##"<circle cx="{x:.1}" cy="{y:.1}" r="0.7" fill="{color}"/>"##
@@ -240,7 +252,8 @@ mod tests {
         let svg = render_chip_svg(&design, plan.die, 0.05);
         // every opened tag family is closed or self-closing
         assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
-        let opens = svg.matches("<rect").count() + svg.matches("<circle").count()
+        let opens = svg.matches("<rect").count()
+            + svg.matches("<circle").count()
             + svg.matches("<text").count();
         let closes = svg.matches("/>").count() + svg.matches("</text>").count();
         assert_eq!(opens, closes);

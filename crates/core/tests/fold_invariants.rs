@@ -32,9 +32,16 @@ fn every_strategy_produces_a_sound_two_tier_block() {
             let mut d = design.clone();
             let id = d.find_block(name).unwrap();
             let label = format!("{name}/{strategy:?}/{bonding}");
-            let folded = fold_block(d.block_mut(id), &tech, &fast_fold(strategy.clone(), bonding));
+            let folded = fold_block(
+                d.block_mut(id),
+                &tech,
+                &fast_fold(strategy.clone(), bonding),
+            );
             let block = d.block(id);
-            block.netlist.check().unwrap_or_else(|e| panic!("{label}: {e}"));
+            block
+                .netlist
+                .check()
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
             assert!(block.folded, "{label}");
             // both tiers populated
             let mut tiers = [0usize; 2];

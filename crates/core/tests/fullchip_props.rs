@@ -29,7 +29,11 @@ fn budgets_stay_inside_the_clock_period() {
         for (pid, port) in block.netlist.ports() {
             let period = port.domain.period_ps(&tech);
             let arr = b.input_arrival_ps[pid.index()];
-            assert!(arr >= 0.0 && arr <= 0.9 * period, "{}: arrival {arr}", port.name);
+            assert!(
+                arr >= 0.0 && arr <= 0.9 * period,
+                "{}: arrival {arr}",
+                port.name
+            );
             let req = b.output_required_ps[pid.index()];
             assert!(req > 0.1 * period, "{}: required {req}", port.name);
             assert!(req <= period, "{}: required {req} beyond period", port.name);
@@ -47,11 +51,11 @@ fn folded_styles_report_both_via_classes() {
         &FullChipConfig::fast(),
     );
     assert!(r.intra_block_vias > 0, "folded blocks must carry vias");
-    assert!(r.chip_vias > 0, "folded ports on both dies need chip-level connections");
-    assert_eq!(
-        r.chip.num_3d_connections,
-        r.chip_vias + r.intra_block_vias
+    assert!(
+        r.chip_vias > 0,
+        "folded ports on both dies need chip-level connections"
     );
+    assert_eq!(r.chip.num_3d_connections, r.chip_vias + r.intra_block_vias);
     // the five folded types are folded, everything else is not
     for (_, b) in design.blocks() {
         let should_fold = matches!(

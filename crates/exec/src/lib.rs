@@ -1,0 +1,261 @@
+#![warn(missing_docs)]
+//! Deterministic work-stealing parallel execution engine.
+//!
+//! The paper's study is embarrassingly parallel: every table and figure
+//! runs the §2.2 block flow over many independent (block, tier-count,
+//! bonding-style) configurations. This crate fans those jobs out over a
+//! small work-stealing thread pool built on [`std::thread::scope`] —
+//! zero external dependencies, so the workspace stays offline-first.
+//!
+//! # Determinism contract
+//!
+//! [`par_map`] returns results **in submission order**, regardless of
+//! which worker finished which job first. Combined with per-job RNG
+//! streams (each job seeds its own generator from a stable
+//! `(experiment, block, config)` key via `foldic_rng::derive_seed`),
+//! parallel output is byte-identical to serial output. `threads = 1`
+//! runs jobs inline on the caller's thread in submission order — the
+//! reference against which the parallel path is tested.
+//!
+//! # Panic safety
+//!
+//! A panicking job never deadlocks the pool: the panic is caught, the
+//! remaining jobs still run, and the first panic payload is re-raised on
+//! the calling thread after the pool drains.
+//!
+//! # Instrumentation
+//!
+//! The [`profile`] module wraps flow stages (place / route / STA / opt /
+//! power) in lightweight timers and iteration counters; the pool feeds
+//! queue-depth and steal statistics into the same report. See
+//! [`RunStats`] for the per-run numbers exposed programmatically.
+
+pub mod profile;
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Statistics of one [`par_map_stats`] run, exposed so benches and tests
+/// can assert on scheduling behavior.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of jobs executed (each exactly once).
+    pub jobs: usize,
+    /// Worker threads used (1 = inline serial execution).
+    pub threads: usize,
+    /// Jobs taken from another worker's queue.
+    pub steals: usize,
+    /// Largest backlog any worker's queue reached, sampled at dequeue.
+    pub peak_queue_depth: usize,
+    /// Wall time of the whole fan-out.
+    pub wall: Duration,
+}
+
+/// Resolves a requested worker count.
+///
+/// `Some(n > 0)` wins; otherwise the `FOLDIC_THREADS` environment
+/// variable; otherwise [`std::thread::available_parallelism`].
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        if n > 0 {
+            return n;
+        }
+    }
+    if let Ok(v) = std::env::var("FOLDIC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` on `threads` workers, returning results in
+/// submission order. See the crate docs for the determinism and panic
+/// contracts.
+pub fn par_map<I, R, F>(threads: usize, items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, I) -> R + Sync,
+{
+    par_map_stats(threads, items, f).0
+}
+
+/// [`par_map`] variant that also returns the run's [`RunStats`].
+pub fn par_map_stats<I, R, F>(threads: usize, items: Vec<I>, f: F) -> (Vec<R>, RunStats)
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, I) -> R + Sync,
+{
+    let t0 = Instant::now();
+    let n = items.len();
+    let workers = threads.max(1).min(n.max(1));
+    let mut stats = RunStats {
+        jobs: n,
+        threads: workers,
+        ..RunStats::default()
+    };
+
+    if workers <= 1 {
+        let results = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+        stats.wall = t0.elapsed();
+        profile::note_run(&stats);
+        return (results, stats);
+    }
+
+    // Per-worker deques, filled round-robin so early jobs start early on
+    // every worker. A worker pops its own queue from the front and steals
+    // from the back of the longest other queue.
+    let queues: Vec<Mutex<VecDeque<(usize, I)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        queues[i % workers].lock().unwrap().push_back((i, item));
+    }
+
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let steals = AtomicUsize::new(0);
+    let peak_depth = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let queues = &queues;
+            let results = &results;
+            let panic_payload = &panic_payload;
+            let steals = &steals;
+            let peak_depth = &peak_depth;
+            let f = &f;
+            scope.spawn(move || loop {
+                // own queue first
+                let mut job = {
+                    let mut q = queues[me].lock().unwrap();
+                    let depth = q.len();
+                    peak_depth.fetch_max(depth, Ordering::Relaxed);
+                    q.pop_front()
+                };
+                // then steal from the most loaded victim
+                if job.is_none() {
+                    let victim = (0..workers)
+                        .filter(|&w| w != me)
+                        .max_by_key(|&w| queues[w].lock().unwrap().len());
+                    if let Some(v) = victim {
+                        job = queues[v].lock().unwrap().pop_back();
+                        if job.is_some() {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                let Some((idx, item)) = job else {
+                    // Every queue was empty at the moment we looked. Jobs
+                    // cannot spawn jobs, so the set is fixed and emptiness
+                    // is terminal for this worker.
+                    break;
+                };
+                match catch_unwind(AssertUnwindSafe(|| f(idx, item))) {
+                    Ok(r) => results.lock().unwrap()[idx] = Some(r),
+                    Err(p) => {
+                        let mut slot = panic_payload.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(p);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(p) = panic_payload.into_inner().unwrap() {
+        resume_unwind(p);
+    }
+
+    stats.steals = steals.into_inner();
+    stats.peak_queue_depth = peak_depth.into_inner();
+    stats.wall = t0.elapsed();
+    let results = results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every job ran exactly once"))
+        .collect();
+    profile::note_run(&stats);
+    (results, stats)
+}
+
+/// Maps `f` over mutable borrows in parallel.
+///
+/// Convenience wrapper for the common "run the flow on every block in
+/// place" pattern: distinct `&mut T` are disjoint, so this is plain safe
+/// [`par_map`] over the borrow vector.
+pub fn par_map_mut<T, R, F>(threads: usize, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    par_map(threads, items.iter_mut().collect(), f)
+}
+
+/// A monotonically-increasing global counter handed to jobs that need a
+/// cheap unique id without threading state through closures.
+pub fn next_job_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_submission_order() {
+        let out = par_map(4, (0..64).collect::<Vec<i64>>(), |i, x| {
+            assert_eq!(i as i64, x);
+            x * 2
+        });
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..200).collect();
+        let f = |_: usize, x: u64| x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+        let serial = par_map(1, items.clone(), f);
+        let parallel = par_map(8, items, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn stats_count_jobs() {
+        let (_, stats) = par_map_stats(4, (0..40).collect::<Vec<usize>>(), |_, x| x);
+        assert_eq!(stats.jobs, 40);
+        assert_eq!(stats.threads, 4);
+        assert!(stats.peak_queue_depth >= 1);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_in_place() {
+        let mut v: Vec<usize> = (0..32).collect();
+        let doubled = par_map_mut(4, &mut v, |_, x| {
+            *x *= 2;
+            *x
+        });
+        assert_eq!(v, (0..32).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(doubled, v);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = par_map(4, Vec::<u8>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+}

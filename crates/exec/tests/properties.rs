@@ -1,0 +1,150 @@
+//! Property tests of the work-stealing engine's contract:
+//!
+//! * every submitted job executes exactly once, for any thread count;
+//! * results come back in submission order regardless of scheduling;
+//! * a panicking job propagates after the pool drains — no deadlock, and
+//!   the surviving jobs still ran;
+//! * output is identical for every thread count (the determinism
+//!   guarantee the experiments build on).
+//!
+//! Job durations are randomized from the workspace's seeded RNG so the
+//! schedule varies across cases while each failure stays reproducible.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rng_for(test: &str, case: u64) -> StdRng {
+    StdRng::seed_from_u64(rand::derive_seed(&[
+        "exec-properties",
+        test,
+        &case.to_string(),
+    ]))
+}
+
+/// Sleep long enough to force real interleaving, short enough to keep the
+/// suite fast.
+fn jitter(rng: &mut StdRng) -> Duration {
+    Duration::from_micros(rng.gen_range(0..800u64))
+}
+
+#[test]
+fn every_job_runs_exactly_once() {
+    for case in 0..8u64 {
+        let mut rng = rng_for("exactly-once", case);
+        let threads = rng.gen_range(1..9usize);
+        let jobs = rng.gen_range(0..65usize);
+        let delays: Vec<Duration> = (0..jobs).map(|_| jitter(&mut rng)).collect();
+        let counters: Vec<AtomicUsize> = (0..jobs).map(|_| AtomicUsize::new(0)).collect();
+        let out = foldic_exec::par_map(threads, (0..jobs).collect(), |_, i: usize| {
+            std::thread::sleep(delays[i]);
+            counters[i].fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(out.len(), jobs, "case {case}");
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::SeqCst),
+                1,
+                "case {case}: job {i} run count"
+            );
+        }
+    }
+}
+
+#[test]
+fn results_preserve_submission_order() {
+    for case in 0..8u64 {
+        let mut rng = rng_for("order", case);
+        let threads = rng.gen_range(2..9usize);
+        let jobs = rng.gen_range(1..80usize);
+        // reverse-biased delays so late submissions tend to finish first
+        let delays: Vec<Duration> = (0..jobs)
+            .map(|i| jitter(&mut rng) + Duration::from_micros(((jobs - i) * 20) as u64))
+            .collect();
+        let out = foldic_exec::par_map(threads, (0..jobs).collect(), |idx, i: usize| {
+            std::thread::sleep(delays[i]);
+            (idx, i * 3)
+        });
+        for (k, (idx, v)) in out.into_iter().enumerate() {
+            assert_eq!(idx, k, "case {case}: index passed to job");
+            assert_eq!(v, k * 3, "case {case}: slot {k} holds job {k}'s result");
+        }
+    }
+}
+
+#[test]
+fn panicking_job_does_not_deadlock_the_pool() {
+    for case in 0..4u64 {
+        let mut rng = rng_for("panic", case);
+        let threads = rng.gen_range(2..7usize);
+        let jobs = 24usize;
+        let victim = rng.gen_range(0..jobs);
+        let delays: Vec<Duration> = (0..jobs).map(|_| jitter(&mut rng)).collect();
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            foldic_exec::par_map(threads, (0..jobs).collect(), |_, i: usize| {
+                std::thread::sleep(delays[i]);
+                if i == victim {
+                    panic!("job {i} exploded");
+                }
+                ran.fetch_add(1, Ordering::SeqCst);
+                i
+            })
+        }));
+        // the panic propagates to the caller (after the pool drained)...
+        assert!(result.is_err(), "case {case}: panic must propagate");
+        // ...and every other job still executed
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            jobs - 1,
+            "case {case}: surviving jobs all ran"
+        );
+    }
+}
+
+#[test]
+fn output_is_identical_for_every_thread_count() {
+    for case in 0..4u64 {
+        let mut rng = rng_for("thread-count", case);
+        let jobs = rng.gen_range(1..48usize);
+        let delays: Vec<Duration> = (0..jobs).map(|_| jitter(&mut rng)).collect();
+        // each job owns a stream derived from a stable per-job key, the
+        // pattern every parallel experiment uses
+        let work = |_: usize, i: usize| {
+            std::thread::sleep(delays[i]);
+            let mut r = StdRng::seed_from_u64(rand::derive_seed(&[
+                "thread-count-job",
+                &case.to_string(),
+                &i.to_string(),
+            ]));
+            (0..16).map(|_| r.gen_range(0..1_000_000u64)).sum::<u64>()
+        };
+        let serial = foldic_exec::par_map(1, (0..jobs).collect(), work);
+        for threads in [2, 4, 8] {
+            let parallel = foldic_exec::par_map(threads, (0..jobs).collect(), work);
+            assert_eq!(serial, parallel, "case {case}: threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn par_map_mut_touches_each_item_exactly_once() {
+    for case in 0..4u64 {
+        let mut rng = rng_for("mut", case);
+        let threads = rng.gen_range(1..9usize);
+        let n = rng.gen_range(1..64usize);
+        let mut items: Vec<u64> = (0..n as u64).collect();
+        let sums = foldic_exec::par_map_mut(threads, &mut items, |i, x| {
+            *x += 1_000;
+            *x + i as u64
+        });
+        for (i, x) in items.iter().enumerate() {
+            assert_eq!(*x, i as u64 + 1_000, "case {case}: item {i} mutated once");
+        }
+        assert_eq!(sums.len(), n, "case {case}");
+    }
+}

@@ -183,7 +183,9 @@ pub fn interblock_wirelength_um(design: &Design, plan: &ChipPlan) -> f64 {
             });
             pts.iter().map(|&(p, _)| p.manhattan(via)).sum::<f64>()
         } else {
-            pts.windows(2).map(|w| w[0].0.manhattan(w[1].0)).sum::<f64>()
+            pts.windows(2)
+                .map(|w| w[0].0.manhattan(w[1].0))
+                .sum::<f64>()
         };
         total += len * net.bits as f64;
     }
@@ -221,7 +223,9 @@ mod tests {
                 for (_, b) in &blocks[i + 1..] {
                     if a.tier == b.tier {
                         assert!(
-                            !a.chip_rect().inflated(-0.5).overlaps(b.chip_rect().inflated(-0.5)),
+                            !a.chip_rect()
+                                .inflated(-0.5)
+                                .overlaps(b.chip_rect().inflated(-0.5)),
                             "{style:?}: {} overlaps {}",
                             a.name,
                             b.name
@@ -272,11 +276,7 @@ mod tests {
         assert!(!plan.tsvs.is_empty());
         for &p in &plan.tsvs {
             for (_, b) in design.blocks() {
-                assert!(
-                    !b.chip_rect().contains(p),
-                    "TSV at {p} inside {}",
-                    b.name
-                );
+                assert!(!b.chip_rect().contains(p), "TSV at {p} inside {}", b.name);
             }
             assert!(plan.die.contains(p));
         }
@@ -307,9 +307,6 @@ mod tests {
         let (d3, _, p3) = planned(FloorplanStyle::CoreCache);
         let wl2 = interblock_wirelength_um(&d2, &p2);
         let wl3 = interblock_wirelength_um(&d3, &p3);
-        assert!(
-            wl3 < wl2,
-            "3D inter-block WL {wl3} must beat 2D {wl2}"
-        );
+        assert!(wl3 < wl2, "3D inter-block WL {wl3} must beat 2D {wl2}");
     }
 }

@@ -107,11 +107,7 @@ impl SeqPair {
             w = w.max(x[i] + blocks[i].w);
             h = h.max(y[i] + blocks[i].h);
         }
-        (
-            (0..n).map(|i| Point::new(x[i], y[i])).collect(),
-            w,
-            h,
-        )
+        ((0..n).map(|i| Point::new(x[i], y[i])).collect(), w, h)
     }
 }
 
@@ -274,7 +270,10 @@ mod tests {
             let a = Rect::with_size(pos[i], blocks[i].w, blocks[i].h);
             for j in (i + 1)..blocks.len() {
                 let b = Rect::with_size(pos[j], blocks[j].w, blocks[j].h);
-                assert!(!a.inflated(-1e-9).overlaps(b.inflated(-1e-9)), "{i} overlaps {j}");
+                assert!(
+                    !a.inflated(-1e-9).overlaps(b.inflated(-1e-9)),
+                    "{i} overlaps {j}"
+                );
             }
         }
     }

@@ -16,11 +16,15 @@ fn rows_2d() -> Rows {
     vec![
         vec!["mac", "rdp", "tds", "rtx", "peu", "dmu"],
         vec!["spc4", "spc5", "spc6", "spc7"],
-        vec!["l2t4", "l2b4", "l2t5", "l2b5", "l2t6", "l2b6", "l2t7", "l2b7"],
+        vec![
+            "l2t4", "l2b4", "l2t5", "l2b5", "l2t6", "l2b6", "l2t7", "l2b7",
+        ],
         vec!["l2d4", "l2d5", "mcu2", "mcu3", "l2d6", "l2d7"],
         vec!["ncu", "ccu", "ccx", "siu"],
         vec!["l2d0", "l2d1", "mcu0", "mcu1", "l2d2", "l2d3"],
-        vec!["l2t0", "l2b0", "l2t1", "l2b1", "l2t2", "l2b2", "l2t3", "l2b3"],
+        vec![
+            "l2t0", "l2b0", "l2t1", "l2b1", "l2t2", "l2b2", "l2t3", "l2b3",
+        ],
         vec!["spc0", "spc1", "spc2", "spc3"],
     ]
 }
@@ -28,11 +32,15 @@ fn rows_2d() -> Rows {
 fn rows_core_cache() -> (Rows, Rows) {
     let bottom = vec![
         vec!["mac", "rdp", "tds", "rtx", "peu", "dmu"],
-        vec!["l2t4", "l2b4", "l2t5", "l2b5", "l2t6", "l2b6", "l2t7", "l2b7"],
+        vec![
+            "l2t4", "l2b4", "l2t5", "l2b5", "l2t6", "l2b6", "l2t7", "l2b7",
+        ],
         vec!["l2d4", "l2d5", "mcu2", "mcu3", "l2d6", "l2d7"],
         vec!["ncu", "ccu", "ccx", "siu"],
         vec!["l2d0", "l2d1", "mcu0", "mcu1", "l2d2", "l2d3"],
-        vec!["l2t0", "l2b0", "l2t1", "l2b1", "l2t2", "l2b2", "l2t3", "l2b3"],
+        vec![
+            "l2t0", "l2b0", "l2t1", "l2b1", "l2t2", "l2b2", "l2t3", "l2b3",
+        ],
     ];
     let top = vec![
         vec!["spc4", "spc5", "spc6", "spc7"],
@@ -47,14 +55,18 @@ fn rows_core_core() -> (Rows, Rows) {
     // drives the style's much higher TSV count in Fig. 8 (7,606 vs 3,263).
     let bottom = vec![
         vec!["mac", "rdp", "tds", "rtx"],
-        vec!["l2t0", "l2b0", "l2t1", "l2b1", "l2t2", "l2b2", "l2t3", "l2b3"],
+        vec![
+            "l2t0", "l2b0", "l2t1", "l2b1", "l2t2", "l2b2", "l2t3", "l2b3",
+        ],
         vec!["l2d4", "l2d5", "mcu2", "mcu3", "l2d6", "l2d7"],
         vec!["ncu", "ccu", "ccx", "siu"],
         vec!["spc0", "spc1", "spc2", "spc3"],
     ];
     let top = vec![
         vec!["peu", "dmu"],
-        vec!["l2t4", "l2b4", "l2t5", "l2b5", "l2t6", "l2b6", "l2t7", "l2b7"],
+        vec![
+            "l2t4", "l2b4", "l2t5", "l2b5", "l2t6", "l2b6", "l2t7", "l2b7",
+        ],
         vec!["l2d0", "l2d1", "mcu0", "mcu1", "l2d2", "l2d3"],
         vec!["spc4", "spc5", "spc6", "spc7"],
     ];

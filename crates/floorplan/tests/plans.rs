@@ -67,7 +67,11 @@ fn sa_floorplanner_handles_mixed_sizes() {
     let (pos, bb) = anneal_floorplan(&blocks, &Vec::new(), None, &SaConfig::default());
     let area_sum: f64 = blocks.iter().map(|b| b.w * b.h).sum();
     assert!(bb.area() >= area_sum);
-    assert!(bb.area() < 2.5 * area_sum, "bb {} vs blocks {area_sum}", bb.area());
+    assert!(
+        bb.area() < 2.5 * area_sum,
+        "bb {} vs blocks {area_sum}",
+        bb.area()
+    );
     for (i, p) in pos.iter().enumerate() {
         let a = foldic_geom::Rect::with_size(*p, blocks[i].w, blocks[i].h);
         for (j, q) in pos.iter().enumerate().skip(i + 1) {

@@ -1,5 +1,4 @@
 use crate::{BinGrid, Rect};
-use serde::{Deserialize, Serialize};
 
 /// The placer's supply/demand density map (Kraftwerk2-style).
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// dm.add_demand(Rect::new(40.0, 40.0, 60.0, 60.0), 400.0);
 /// assert!(dm.overflow() >= 0.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DensityMap {
     grid: BinGrid,
     supply: Vec<f64>,
@@ -68,10 +67,7 @@ impl DensityMap {
                 // Only bins mostly covered by the macro become holes;
                 // boundary bins keep their (reduced) supply.
                 let bin = self.grid.bin_rect(col, row);
-                let covered = r
-                    .intersection(bin)
-                    .map(|i| i.area())
-                    .unwrap_or(0.0);
+                let covered = r.intersection(bin).map(|i| i.area()).unwrap_or(0.0);
                 let idx = self.grid.flat(col, row);
                 if covered >= 0.5 * bin.area() {
                     self.hole[idx] = true;

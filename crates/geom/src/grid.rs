@@ -1,5 +1,4 @@
 use crate::{Point, Rect};
-use serde::{Deserialize, Serialize};
 
 /// A uniform rectangular bin grid over a region.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(g.bin_of(Point::new(15.0, 45.0)), (1, 4));
 /// assert_eq!(g.bin_count(), 50);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BinGrid {
     region: Rect,
     cols: usize,

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 
@@ -14,7 +13,7 @@ use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 /// assert_eq!(a.manhattan(b), 7.0);
 /// assert_eq!(a.dist(b), 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Horizontal coordinate in µm.
     pub x: f64,

@@ -1,5 +1,4 @@
 use crate::Point;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An axis-aligned rectangle in microns, stored as lower-left / upper-right
@@ -15,7 +14,7 @@ use std::fmt;
 /// let b = Rect::new(5.0, 5.0, 15.0, 15.0);
 /// assert_eq!(a.intersection(b).unwrap().area(), 25.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Rect {
     /// Lower-left x in µm.
     pub llx: f64,
@@ -34,7 +33,10 @@ impl Rect {
     ///
     /// Panics in debug builds if the rectangle is inverted.
     pub fn new(llx: f64, lly: f64, urx: f64, ury: f64) -> Self {
-        debug_assert!(llx <= urx && lly <= ury, "inverted rect {llx},{lly},{urx},{ury}");
+        debug_assert!(
+            llx <= urx && lly <= ury,
+            "inverted rect {llx},{lly},{urx},{ury}"
+        );
         Self { llx, lly, urx, ury }
     }
 
@@ -110,7 +112,10 @@ impl Rect {
 
     /// `true` when `other` lies entirely inside or on the boundary.
     pub fn contains_rect(&self, other: Rect) -> bool {
-        other.llx >= self.llx && other.urx <= self.urx && other.lly >= self.lly && other.ury <= self.ury
+        other.llx >= self.llx
+            && other.urx <= self.urx
+            && other.lly >= self.lly
+            && other.ury <= self.ury
     }
 
     /// `true` when the two rectangles share interior area (touching edges do
@@ -229,7 +234,11 @@ mod tests {
 
     #[test]
     fn bounding_box_of_points() {
-        let bb = Rect::bounding([Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(4.0, 4.0)]);
+        let bb = Rect::bounding([
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, 4.0),
+        ]);
         assert_eq!(bb, Rect::new(-2.0, 3.0, 4.0, 5.0));
         assert!(Rect::bounding(std::iter::empty()).is_empty());
     }

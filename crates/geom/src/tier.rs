@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A die (tier) of a two-tier 3D stack.
@@ -16,9 +15,10 @@ use std::fmt;
 /// assert_eq!(Tier::Top.other(), Tier::Bottom);
 /// assert_eq!(Tier::ALL.len(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Tier {
     /// The bottom die of the stack.
+    #[default]
     Bottom,
     /// The top die of the stack.
     Top,
@@ -57,12 +57,6 @@ impl Tier {
             1 => Tier::Top,
             _ => panic!("tier index {i} out of range (two-tier stack)"),
         }
-    }
-}
-
-impl Default for Tier {
-    fn default() -> Self {
-        Tier::Bottom
     }
 }
 

@@ -1,33 +1,52 @@
 //! Property-based tests of the geometric primitives.
+//!
+//! Offline-first: instead of `proptest` (a registry dependency), each
+//! property runs over a seeded stream of random cases from the
+//! workspace's own deterministic RNG. Failures print the case seed so a
+//! run can be reproduced exactly.
 
 use foldic_geom::{BinGrid, DensityMap, Point, Rect};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    /// Every point maps into a bin whose rect contains it (after
-    /// clamping), and flat indices are unique per (col, row).
-    #[test]
-    fn bin_of_is_consistent_with_bin_rect(
-        x in -50.0..150.0f64,
-        y in -50.0..150.0f64,
-        cols in 1usize..20,
-        rows in 1usize..20,
-    ) {
+fn rng_for(test: &str, case: u64) -> StdRng {
+    StdRng::seed_from_u64(rand::derive_seed(&[
+        "geom-properties",
+        test,
+        &case.to_string(),
+    ]))
+}
+
+/// Every point maps into a bin whose rect contains it (after clamping),
+/// and flat indices are unique per (col, row).
+#[test]
+fn bin_of_is_consistent_with_bin_rect() {
+    for case in 0..CASES {
+        let mut rng = rng_for("bin_of", case);
+        let x = rng.gen_range(-50.0..150.0);
+        let y = rng.gen_range(-50.0..150.0);
+        let cols = rng.gen_range(1..20usize);
+        let rows = rng.gen_range(1..20usize);
         let grid = BinGrid::new(Rect::new(0.0, 0.0, 100.0, 100.0), cols, rows);
         let p = Point::new(x, y);
         let (c, r) = grid.bin_of(p);
-        prop_assert!(c < cols && r < rows);
+        assert!(c < cols && r < rows, "case {case}");
         let rect = grid.bin_rect(c, r);
         let clamped = p.clamped(grid.region());
-        prop_assert!(rect.inflated(1e-9).contains(clamped));
-        prop_assert_eq!(grid.flat(c, r), r * cols + c);
+        assert!(rect.inflated(1e-9).contains(clamped), "case {case}");
+        assert_eq!(grid.flat(c, r), r * cols + c, "case {case}");
     }
+}
 
-    /// Bin rects tile the region exactly: areas sum to the region area.
-    #[test]
-    fn bins_tile_the_region(cols in 1usize..16, rows in 1usize..16) {
+/// Bin rects tile the region exactly: areas sum to the region area.
+#[test]
+fn bins_tile_the_region() {
+    for case in 0..CASES {
+        let mut rng = rng_for("tile", case);
+        let cols = rng.gen_range(1..16usize);
+        let rows = rng.gen_range(1..16usize);
         let region = Rect::new(3.0, 7.0, 103.0, 57.0);
         let grid = BinGrid::new(region, cols, rows);
         let mut sum = 0.0;
@@ -36,55 +55,72 @@ proptest! {
                 sum += grid.bin_rect(c, r).area();
             }
         }
-        prop_assert!((sum - region.area()).abs() < 1e-6);
+        assert!((sum - region.area()).abs() < 1e-6, "case {case}: {sum}");
     }
+}
 
-    /// Manhattan distance satisfies the triangle inequality and symmetry.
-    #[test]
-    fn manhattan_is_a_metric(
-        ax in -100.0..100.0f64, ay in -100.0..100.0f64,
-        bx in -100.0..100.0f64, by in -100.0..100.0f64,
-        cx in -100.0..100.0f64, cy in -100.0..100.0f64,
-    ) {
-        let a = Point::new(ax, ay);
-        let b = Point::new(bx, by);
-        let c = Point::new(cx, cy);
-        prop_assert!((a.manhattan(b) - b.manhattan(a)).abs() < 1e-9);
-        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c) + 1e-9);
-        prop_assert!(a.manhattan(b) >= a.dist(b) - 1e-9, "L1 >= L2");
+/// Manhattan distance satisfies the triangle inequality and symmetry.
+#[test]
+fn manhattan_is_a_metric() {
+    for case in 0..CASES {
+        let mut rng = rng_for("metric", case);
+        let mut pt = || Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0));
+        let (a, b, c) = (pt(), pt(), pt());
+        assert!(
+            (a.manhattan(b) - b.manhattan(a)).abs() < 1e-9,
+            "case {case}"
+        );
+        assert!(
+            a.manhattan(c) <= a.manhattan(b) + b.manhattan(c) + 1e-9,
+            "case {case}"
+        );
+        assert!(a.manhattan(b) >= a.dist(b) - 1e-9, "case {case}: L1 >= L2");
     }
+}
 
-    /// Punching holes never increases supply and never breaks demand
-    /// accounting outside them.
-    #[test]
-    fn holes_only_remove_supply(
-        hx in 0.0..80.0f64, hy in 0.0..80.0f64,
-        hw in 5.0..20.0f64, hh in 5.0..20.0f64,
-    ) {
+/// Punching holes never increases supply and never breaks demand
+/// accounting outside them.
+#[test]
+fn holes_only_remove_supply() {
+    for case in 0..CASES {
+        let mut rng = rng_for("holes", case);
+        let hx = rng.gen_range(0.0..80.0);
+        let hy = rng.gen_range(0.0..80.0);
+        let hw = rng.gen_range(5.0..20.0);
+        let hh = rng.gen_range(5.0..20.0);
         let grid = BinGrid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10, 10);
         let mut dm = DensityMap::new(grid, 0.8);
         let before = dm.total_supply();
         dm.punch_hole(Rect::new(hx, hy, hx + hw, hy + hh));
-        prop_assert!(dm.total_supply() <= before);
+        assert!(dm.total_supply() <= before, "case {case}");
         // demand added far away is fully accounted
         dm.add_demand(Rect::new(90.0, 90.0, 99.0, 99.0), 42.0);
-        prop_assert!((dm.total_demand() - 42.0).abs() < 1e-9
-            || (hx + hw > 90.0 && hy + hh > 90.0));
+        assert!(
+            (dm.total_demand() - 42.0).abs() < 1e-9 || (hx + hw > 90.0 && hy + hh > 90.0),
+            "case {case}"
+        );
     }
+}
 
-    /// Rect::bounding of translated points translates the box.
-    #[test]
-    fn bounding_box_is_translation_equivariant(
-        pts in prop::collection::vec((0.0..50.0f64, 0.0..50.0f64), 1..10),
-        dx in -20.0..20.0f64,
-        dy in -20.0..20.0f64,
-    ) {
-        let original: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+/// Rect::bounding of translated points translates the box.
+#[test]
+fn bounding_box_is_translation_equivariant() {
+    for case in 0..CASES {
+        let mut rng = rng_for("bounding", case);
+        let n = rng.gen_range(1..10usize);
+        let original: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)))
+            .collect();
+        let dx = rng.gen_range(-20.0..20.0);
+        let dy = rng.gen_range(-20.0..20.0);
         let moved: Vec<Point> = original.iter().map(|p| *p + Point::new(dx, dy)).collect();
         let a = Rect::bounding(original);
         let b = Rect::bounding(moved);
-        prop_assert!((b.llx - (a.llx + dx)).abs() < 1e-9);
-        prop_assert!((b.ury - (a.ury + dy)).abs() < 1e-9);
-        prop_assert!((a.half_perimeter() - b.half_perimeter()).abs() < 1e-9);
+        assert!((b.llx - (a.llx + dx)).abs() < 1e-9, "case {case}");
+        assert!((b.ury - (a.ury + dy)).abs() < 1e-9, "case {case}");
+        assert!(
+            (a.half_perimeter() - b.half_perimeter()).abs() < 1e-9,
+            "case {case}"
+        );
     }
 }

@@ -2,11 +2,10 @@
 
 use crate::netlist::{ClockDomain, Netlist};
 use foldic_geom::{Point, Rect, Tier};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Direction of a block boundary port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortDir {
     /// Signal enters the block.
     Input,
@@ -15,7 +14,7 @@ pub enum PortDir {
 }
 
 /// A block boundary pin.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Port {
     /// Port name.
     pub name: String,
@@ -32,7 +31,7 @@ pub struct Port {
 
 /// Functional identity of a T2 block, used for floorplan constraints,
 /// folding-candidate tables and reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BlockKind {
     /// SPARC core (8 copies).
     Spc,
@@ -117,7 +116,7 @@ impl fmt::Display for BlockKind {
 
 /// A design block: a gate-level netlist with a physical outline, placed on
 /// a die (or folded across both) at chip level.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Block {
     /// Instance name at chip level, e.g. `"spc0"`.
     pub name: String,

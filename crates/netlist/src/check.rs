@@ -1,7 +1,7 @@
 //! Structural invariant checking for netlists.
 
-use crate::netlist::{Netlist, PinRef};
 use crate::block::PortDir;
+use crate::netlist::{Netlist, PinRef};
 use std::fmt;
 
 /// A violated netlist invariant.
@@ -70,7 +70,9 @@ impl Netlist {
     pub fn check(&self) -> Result<(), CheckError> {
         for (_, net) in self.nets() {
             let name = || net.name.clone();
-            let driver = net.driver.ok_or_else(|| CheckError::UndrivenNet { net: name() })?;
+            let driver = net
+                .driver
+                .ok_or_else(|| CheckError::UndrivenNet { net: name() })?;
 
             for (k, pin) in net.pins().enumerate() {
                 match pin {

@@ -3,7 +3,6 @@
 use crate::block::Block;
 use crate::ids::{BlockId, PortId};
 use crate::netlist::ClockDomain;
-use serde::{Deserialize, Serialize};
 
 /// An inter-block bus at chip level.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// the bus width so the generator does not need to materialize thousands of
 /// identical scalar nets; wirelength and capacitance accounting multiply by
 /// it.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ChipNet {
     /// Bus name.
     pub name: String,
@@ -31,7 +30,7 @@ impl ChipNet {
 }
 
 /// A complete chip: blocks and the nets between them.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Design {
     /// Design name.
     pub name: String,

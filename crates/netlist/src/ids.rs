@@ -4,13 +4,11 @@
 //! typed `u32` newtypes, which keeps the hot physical-design loops free of
 //! pointer chasing while preventing index mix-ups at compile time.
 
-use serde::{Deserialize, Serialize};
-
 macro_rules! arena_id {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
         )]
         pub struct $name(pub u32);
 

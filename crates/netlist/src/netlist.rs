@@ -1,18 +1,17 @@
 //! Flat gate-level netlist: instances, nets, ports.
 
-use crate::{GroupId, InstId, NetId, PortId};
 use crate::block::{Port, PortDir};
+use crate::{GroupId, InstId, NetId, PortId};
 use foldic_geom::{Point, Tier};
-use foldic_tech::{MacroKind, Technology};
 use foldic_tech::cells::MasterId;
-use serde::{Deserialize, Serialize};
+use foldic_tech::{MacroKind, Technology};
 
 /// Clock domain of a net, port or block.
 ///
 /// The T2 has two domains relevant to the study: the CPU clock (500 MHz
 /// target) driving cores, caches and the crossbar, and the I/O clock
 /// (250 MHz) driving the network interface unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClockDomain {
     /// CPU clock domain (500 MHz in the study).
     Cpu,
@@ -36,7 +35,7 @@ impl ClockDomain {
 }
 
 /// What an instance instantiates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstMaster {
     /// A standard cell from the cell library.
     Cell(MasterId),
@@ -52,7 +51,7 @@ impl InstMaster {
 }
 
 /// A placed instance of a cell or macro.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Inst {
     /// Instance name.
     pub name: String,
@@ -102,7 +101,7 @@ impl Inst {
 
 /// A reference to one pin: an instance output, an instance input, or a
 /// block boundary port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PinRef {
     /// The (single) output pin of an instance.
     InstOut(InstId),
@@ -138,7 +137,7 @@ impl PinRef {
 }
 
 /// A signal net with a single driver and zero or more sinks.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Net {
     /// Net name.
     pub name: String,
@@ -165,7 +164,7 @@ impl Net {
 }
 
 /// A flat gate-level netlist.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Netlist {
     /// Netlist (module) name.
     pub name: String,
@@ -341,17 +340,26 @@ impl Netlist {
 
     /// Iterates over `(id, inst)` pairs.
     pub fn insts(&self) -> impl Iterator<Item = (InstId, &Inst)> {
-        self.insts.iter().enumerate().map(|(i, x)| (InstId::from(i), x))
+        self.insts
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (InstId::from(i), x))
     }
 
     /// Iterates over `(id, net)` pairs.
     pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
-        self.nets.iter().enumerate().map(|(i, x)| (NetId::from(i), x))
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (NetId::from(i), x))
     }
 
     /// Iterates over `(id, port)` pairs.
     pub fn ports(&self) -> impl Iterator<Item = (PortId, &Port)> {
-        self.ports.iter().enumerate().map(|(i, x)| (PortId::from(i), x))
+        self.ports
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (PortId::from(i), x))
     }
 
     /// All instance ids.

@@ -2,10 +2,9 @@
 
 use crate::netlist::{InstMaster, Netlist};
 use foldic_tech::{CellKind, Technology};
-use serde::{Deserialize, Serialize};
 
 /// Aggregate statistics of a netlist.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct NetlistStats {
     /// Total instance count (cells + macros).
     pub num_insts: usize,

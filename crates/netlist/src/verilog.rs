@@ -6,17 +6,18 @@
 //! interoperability (waveform-less equivalence checks, external tools)
 //! and for eyeballing generated designs; it is not re-imported.
 
-use crate::netlist::{InstMaster, Netlist, PinRef};
 use crate::block::PortDir;
+use crate::netlist::{InstMaster, Netlist, PinRef};
 use foldic_tech::Technology;
 use std::fmt::Write as _;
 
 /// Sanitizes an identifier for Verilog (escapes anything exotic).
 fn ident(name: &str) -> String {
-    if name
-        .chars()
-        .all(|c| c.is_ascii_alphanumeric() || c == '_')
-        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
     {
         name.to_owned()
     } else {
@@ -61,18 +62,26 @@ pub fn write_verilog(netlist: &Netlist, tech: &Technology) -> String {
     for (pid, port) in netlist.ports() {
         // find the net touching this port
         for (_, net) in netlist.nets() {
-            let on_net = net
-                .pins()
-                .any(|p| matches!(p, PinRef::Port(q) if q == pid));
+            let on_net = net.pins().any(|p| matches!(p, PinRef::Port(q) if q == pid));
             if !on_net {
                 continue;
             }
             match port.dir {
                 PortDir::Input => {
-                    let _ = writeln!(out, "  assign {} = {};", ident(&net.name), ident(&port.name));
+                    let _ = writeln!(
+                        out,
+                        "  assign {} = {};",
+                        ident(&net.name),
+                        ident(&port.name)
+                    );
                 }
                 PortDir::Output => {
-                    let _ = writeln!(out, "  assign {} = {};", ident(&port.name), ident(&net.name));
+                    let _ = writeln!(
+                        out,
+                        "  assign {} = {};",
+                        ident(&port.name),
+                        ident(&net.name)
+                    );
                 }
             }
         }
@@ -160,5 +169,4 @@ mod tests {
         assert_eq!(ident("n[3]"), "\\n[3] ");
         assert_eq!(ident("2bad"), "\\2bad ");
     }
-
 }

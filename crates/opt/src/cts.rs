@@ -70,9 +70,10 @@ pub fn synthesize_clock_tree(netlist: &mut Netlist, tech: &Technology) -> CtsSta
         netlist.net_mut(*nid).sinks.clear();
     }
     // keep the root input (clk port) net if one exists
-    let root_in = old_clock_nets.iter().copied().find(|&nid| {
-        matches!(netlist.net(*&nid).driver, Some(PinRef::Port(_)))
-    });
+    let root_in = old_clock_nets
+        .iter()
+        .copied()
+        .find(|&nid| matches!(netlist.net(nid).driver, Some(PinRef::Port(_))));
 
     // 3. per tier, recursively bisect the sink set
     let mut stats = CtsStats {
@@ -82,13 +83,13 @@ pub fn synthesize_clock_tree(netlist: &mut Netlist, tech: &Technology) -> CtsSta
         sinks: sinks.len(),
     };
     let buf_leaf = tech.cells.id_of(CellKind::ClkBuf, Drive::X8, VthClass::Rvt);
-    let buf_mid = tech.cells.id_of(CellKind::ClkBuf, Drive::X16, VthClass::Rvt);
+    let buf_mid = tech
+        .cells
+        .id_of(CellKind::ClkBuf, Drive::X16, VthClass::Rvt);
 
     // root buffer at the sink centroid of everything
-    let centroid_all = sinks
-        .iter()
-        .fold(Point::ORIGIN, |a, &(_, p, _)| a + p)
-        * (1.0 / sinks.len() as f64);
+    let centroid_all =
+        sinks.iter().fold(Point::ORIGIN, |a, &(_, p, _)| a + p) * (1.0 / sinks.len() as f64);
     let root = netlist.add_inst("cts_root", InstMaster::Cell(buf_mid));
     netlist.inst_mut(root).pos = centroid_all;
     stats.buffers += 1;
@@ -114,7 +115,6 @@ pub fn synthesize_clock_tree(netlist: &mut Netlist, tech: &Technology) -> CtsSta
         }
         let depth = bisect(
             netlist,
-            tech,
             &mut tier_sinks,
             tier,
             trunk,
@@ -134,7 +134,6 @@ pub fn synthesize_clock_tree(netlist: &mut Netlist, tech: &Technology) -> CtsSta
 #[allow(clippy::too_many_arguments)]
 fn bisect(
     netlist: &mut Netlist,
-    tech: &Technology,
     sinks: &mut [(PinRef, Point)],
     tier: Tier,
     parent_net: foldic_netlist::NetId,
@@ -144,10 +143,8 @@ fn bisect(
     stats: &mut CtsStats,
     level: usize,
 ) -> usize {
-    let centroid = sinks
-        .iter()
-        .fold(Point::ORIGIN, |a, &(_, p)| a + p)
-        * (1.0 / sinks.len() as f64);
+    let centroid =
+        sinks.iter().fold(Point::ORIGIN, |a, &(_, p)| a + p) * (1.0 / sinks.len() as f64);
     let leaf = sinks.len() <= LEAF_CAPACITY;
     let master = if leaf { buf_leaf } else { buf_mid };
     let name = format!("cts_{}_{}_{}", tier, level, stats.buffers);
@@ -183,8 +180,28 @@ fn bisect(
     }
     let mid = sinks.len() / 2;
     let (lo, hi) = sinks.split_at_mut(mid);
-    let d1 = bisect(netlist, tech, lo, tier, net, domain, buf_leaf, buf_mid, stats, level + 1);
-    let d2 = bisect(netlist, tech, hi, tier, net, domain, buf_leaf, buf_mid, stats, level + 1);
+    let d1 = bisect(
+        netlist,
+        lo,
+        tier,
+        net,
+        domain,
+        buf_leaf,
+        buf_mid,
+        stats,
+        level + 1,
+    );
+    let d2 = bisect(
+        netlist,
+        hi,
+        tier,
+        net,
+        domain,
+        buf_leaf,
+        buf_mid,
+        stats,
+        level + 1,
+    );
     d1.max(d2)
 }
 

@@ -170,7 +170,10 @@ pub fn insert_buffers(
                     dpos.x + (spos.x - dpos.x) * t,
                     dpos.y + (spos.y - dpos.y) * t,
                 );
-                let b = netlist.add_inst(format!("optbuf_{}_{}", nid.0, step), InstMaster::Cell(buf_master));
+                let b = netlist.add_inst(
+                    format!("optbuf_{}_{}", nid.0, step),
+                    InstMaster::Cell(buf_master),
+                );
                 {
                     let inst = netlist.inst_mut(b);
                     inst.pos = pos;
@@ -250,11 +253,7 @@ fn sta(
 }
 
 /// Upsizes drivers on violated paths; returns moves applied.
-pub fn upsize_critical(
-    netlist: &mut Netlist,
-    tech: &Technology,
-    report: &TimingReport,
-) -> usize {
+pub fn upsize_critical(netlist: &mut Netlist, tech: &Technology, report: &TimingReport) -> usize {
     let mut moves = 0;
     let ids: Vec<InstId> = netlist.inst_ids().collect();
     for id in ids {
@@ -419,10 +418,11 @@ pub fn optimize_block_with_vias(
     cfg: &OptConfig,
     vias: Option<&ViaPlacement>,
 ) -> OptStats {
-    let mut stats = OptStats::default();
-
     // 1. repeaters on long wires
-    stats.buffers_added = insert_buffers(netlist, tech, cfg, vias);
+    let mut stats = OptStats {
+        buffers_added: insert_buffers(netlist, tech, cfg, vias),
+        ..Default::default()
+    };
 
     // 2. timing recovery rounds
     let mut report = sta(netlist, tech, budgets, cfg, vias);
@@ -474,6 +474,7 @@ pub fn optimize_block_with_vias(
 
     stats.final_wns_ps = report.wns_ps;
     stats.final_violations = report.violations;
+    foldic_exec::profile::add_iters(stats.rounds as u64);
     stats
 }
 
@@ -532,8 +533,10 @@ mod tests {
     fn dvt_swap_cuts_leakage_without_breaking_timing() {
         let (mut nl, tech) = block("mcu0");
         let budgets = TimingBudgets::relaxed(&nl, &tech);
-        let mut cfg = OptConfig::default();
-        cfg.dual_vth = true;
+        let mut cfg = OptConfig {
+            dual_vth: true,
+            ..Default::default()
+        };
         let leak = |nl: &Netlist| -> f64 {
             nl.insts()
                 .filter_map(|(_, i)| match i.master {
@@ -568,6 +571,9 @@ mod tests {
         let down = downsize_with_slack(&mut nl, &tech, &report, &cfg, &wiring);
         // after downsizing the block must still meet timing
         let after = sta(&nl, &tech, &budgets, &cfg, None);
-        assert!(after.violations <= report.violations, "downsize moves {down}");
+        assert!(
+            after.violations <= report.violations,
+            "downsize moves {down}"
+        );
     }
 }

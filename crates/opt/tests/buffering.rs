@@ -2,9 +2,7 @@
 
 use foldic_geom::Point;
 use foldic_netlist::{InstMaster, Netlist, PinRef};
-use foldic_opt::{
-    insert_buffers, optimize_block, repeater_spacing_um, upsize_critical, OptConfig,
-};
+use foldic_opt::{insert_buffers, optimize_block, repeater_spacing_um, upsize_critical, OptConfig};
 use foldic_route::BlockWiring;
 use foldic_tech::{CellKind, Drive, Technology, VthClass};
 use foldic_timing::{analyze, StaConfig, TimingBudgets};
@@ -30,7 +28,10 @@ fn chain_splits_into_even_segments() {
     let (mut nl, tech) = two_point_net(len);
     let cfg = OptConfig::default();
     let added = insert_buffers(&mut nl, &tech, &cfg, None);
-    assert!(added >= 2, "expected a chain on a {len:.0} µm net, got {added}");
+    assert!(
+        added >= 2,
+        "expected a chain on a {len:.0} µm net, got {added}"
+    );
     nl.check().expect("sound after chaining");
     // total wirelength must stay ~the same (detour-free straight line)
     let wiring = BlockWiring::analyze(&nl, &tech, 1.0, None);
@@ -46,10 +47,7 @@ fn chain_splits_into_even_segments() {
     }
     // and no segment exceeds the spacing by much
     for (_, net) in nl.nets() {
-        let d = net
-            .pins()
-            .map(|p| nl.pin_pos(p))
-            .collect::<Vec<_>>();
+        let d = net.pins().map(|p| nl.pin_pos(p)).collect::<Vec<_>>();
         if d.len() == 2 {
             assert!(d[0].manhattan(d[1]) < spacing * 1.6);
         }

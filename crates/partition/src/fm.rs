@@ -122,11 +122,7 @@ fn build_hypergraph(netlist: &Netlist, tech: &Technology) -> Hypergraph {
         if net.is_clock {
             continue;
         }
-        let mut verts: Vec<u32> = net
-            .pins()
-            .filter_map(|p| p.inst())
-            .map(|i| i.0)
-            .collect();
+        let mut verts: Vec<u32> = net.pins().filter_map(|p| p.inst()).map(|i| i.0).collect();
         verts.sort_unstable();
         verts.dedup();
         if verts.len() < 2 || verts.len() > MAX_NET_DEGREE {
@@ -275,8 +271,8 @@ fn fm_refine(
 
         let mut stamp = vec![0u32; n];
         let mut heap: BinaryHeap<(i64, u32, u32)> = BinaryHeap::new();
-        for v in 0..n {
-            if locked[v].is_none() {
+        for (v, lock) in locked.iter().enumerate().take(n) {
+            if lock.is_none() {
                 heap.push((gain_of(v, side, &counts), 0, v as u32));
             }
         }
@@ -372,7 +368,7 @@ mod tests {
         let ids: Vec<InstId> = (0..2 * k)
             .map(|i| nl.add_inst(format!("u{i}"), master))
             .collect();
-        let mut wire = |a: InstId, b: InstId, name: String, nl: &mut Netlist| {
+        let wire = |a: InstId, b: InstId, name: String, nl: &mut Netlist| {
             let n = nl.add_net(name);
             nl.connect_driver(n, PinRef::output(a));
             nl.connect_sink(n, PinRef::input(b, 0));
@@ -381,7 +377,12 @@ mod tests {
             let base = c * k;
             for i in 0..k {
                 for j in (i + 1)..k {
-                    wire(ids[base + i], ids[base + j], format!("c{c}_{i}_{j}"), &mut nl);
+                    wire(
+                        ids[base + i],
+                        ids[base + j],
+                        format!("c{c}_{i}_{j}"),
+                        &mut nl,
+                    );
                 }
             }
         }

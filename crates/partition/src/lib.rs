@@ -54,10 +54,7 @@ pub fn partition_by_groups(netlist: &Netlist, top_groups: &[GroupId]) -> Partiti
             _ => Tier::Bottom,
         })
         .collect();
-    let mut p = Partition {
-        tier_of,
-        cut: 0,
-    };
+    let mut p = Partition { tier_of, cut: 0 };
     p.cut = p.cut_size(netlist);
     p
 }
@@ -79,7 +76,7 @@ pub fn partition_with_quality(
     if degrade <= 0.0 {
         return part;
     }
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF16_7);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF167);
     // collect movable ids per side
     let mut bottom = Vec::new();
     let mut top = Vec::new();
@@ -167,7 +164,12 @@ mod tests {
         // handful of 3D nets (the paper's CCX fold uses just 4 signal
         // TSVs). FM can do no better than the disconnected structure.
         assert!(natural.cut <= 8, "natural cut {} too big", natural.cut);
-        assert!(natural.cut <= fm.cut, "natural {} vs fm {}", natural.cut, fm.cut);
+        assert!(
+            natural.cut <= fm.cut,
+            "natural {} vs fm {}",
+            natural.cut,
+            fm.cut
+        );
     }
 
     #[test]

@@ -150,9 +150,10 @@ pub fn legalize_tier(
             None => {
                 // over-full block: clamp the footprint inside the outline
                 let half = w / 2.0;
-                let x = want
-                    .x
-                    .clamp(outline.llx + half, (outline.urx - half).max(outline.llx + half));
+                let x = want.x.clamp(
+                    outline.llx + half,
+                    (outline.urx - half).max(outline.llx + half),
+                );
                 let y = outline.lly + (want_row as f64 + 0.5) * row_h;
                 netlist.inst_mut(id).pos = Point::new(x, y);
             }

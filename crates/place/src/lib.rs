@@ -44,8 +44,8 @@ mod solver;
 mod spread;
 
 pub use legalize::legalize_tier;
-pub use spread::equalize_tier;
 pub use solver::QuadraticSystem;
+pub use spread::equalize_tier;
 
 use foldic_geom::{Rect, Tier};
 use foldic_netlist::Netlist;
@@ -170,6 +170,7 @@ pub fn place_with_obstacles(
     for &tier in tiers {
         legalize::legalize_tier(netlist, tech, outline, obstacles, tier);
     }
+    foldic_exec::profile::add_iters(cfg.iterations as u64);
 }
 
 #[cfg(test)]
@@ -308,11 +309,8 @@ mod tests {
         let id = design.find_block("l2t0").unwrap();
         let outline = design.block(id).outline;
         let nl = &mut design.block_mut(id).netlist;
-        let part = foldic_partition::bipartition(
-            nl,
-            &tech,
-            &foldic_partition::PartitionConfig::default(),
-        );
+        let part =
+            foldic_partition::bipartition(nl, &tech, &foldic_partition::PartitionConfig::default());
         foldic_partition::apply_partition(nl, &part);
         place_folded(nl, &tech, outline, &PlacerConfig::fast(), &[]);
         // both tiers hold cells, and all stay in the outline

@@ -52,7 +52,10 @@ impl QuadraticSystem {
                 let w = 1.0 / (pins.len() as f64 - 1.0);
                 for i in 0..pins.len() {
                     for j in (i + 1)..pins.len() {
-                        match (pin_var(netlist, &var_of, pins[i]), pin_var(netlist, &var_of, pins[j])) {
+                        match (
+                            pin_var(netlist, &var_of, pins[i]),
+                            pin_var(netlist, &var_of, pins[j]),
+                        ) {
                             (Var::Movable(a), Var::Movable(b)) => {
                                 if a != b {
                                     edges.push((a, b, w));
@@ -128,7 +131,11 @@ impl QuadraticSystem {
             }
         }
         // Spreading anchors at the current (post-equalization) positions.
-        let anchors: Vec<Point> = self.movable.iter().map(|&id| netlist.inst(id).pos).collect();
+        let anchors: Vec<Point> = self
+            .movable
+            .iter()
+            .map(|&id| netlist.inst(id).pos)
+            .collect();
         for (i, p) in anchors.iter().enumerate() {
             diag[i] += anchor_w;
             bx[i] += anchor_w * p.x;
@@ -228,7 +235,9 @@ mod tests {
         nl.port_mut(left).pos = Point::new(0.0, 50.0);
         nl.port_mut(right).pos = Point::new(100.0, 50.0);
         let k = 4;
-        let cells: Vec<InstId> = (0..k).map(|i| nl.add_inst(format!("c{i}"), master)).collect();
+        let cells: Vec<InstId> = (0..k)
+            .map(|i| nl.add_inst(format!("c{i}"), master))
+            .collect();
         let mut prev = PinRef::port(left);
         for (i, &c) in cells.iter().enumerate() {
             let net = nl.add_net(format!("n{i}"));

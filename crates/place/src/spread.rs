@@ -214,7 +214,8 @@ mod tests {
         let mut nl = Netlist::new("blob");
         for i in 0..400 {
             let id = nl.add_inst(format!("c{i}"), master);
-            nl.inst_mut(id).pos = Point::new(5.0 + (i % 7) as f64 * 0.3, 5.0 + (i / 7) as f64 * 0.2);
+            nl.inst_mut(id).pos =
+                Point::new(5.0 + (i % 7) as f64 * 0.3, 5.0 + (i / 7) as f64 * 0.2);
         }
         let cfg = PlacerConfig::fast();
         let overflow = |nl: &Netlist| {

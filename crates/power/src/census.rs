@@ -9,11 +9,10 @@
 use crate::PowerConfig;
 use foldic_netlist::{InstMaster, Netlist, PinRef};
 use foldic_tech::{CellClass, Technology};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Power attributed to one category, in µW.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CategoryPower {
     /// Switching (internal) power.
     pub dynamic_uw: f64,
@@ -29,7 +28,7 @@ impl CategoryPower {
 }
 
 /// A per-category power breakdown of one block.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PowerCensus {
     /// Plain combinational cells.
     pub combinational: CategoryPower,
@@ -115,7 +114,11 @@ pub fn power_census(
         match inst.master {
             InstMaster::Cell(m) => {
                 let master = tech.cells.master(m);
-                let alpha = if drives_clock[id.index()] { 1.0 } else { cfg.activity };
+                let alpha = if drives_clock[id.index()] {
+                    1.0
+                } else {
+                    cfg.activity
+                };
                 let dynamic = master.internal_energy_fj * domain_ghz[id.index()] * alpha;
                 let cat = if drives_clock[id.index()] || master.kind.class() == CellClass::ClockTree
                 {
@@ -206,7 +209,13 @@ mod tests {
     fn display_lists_all_rows() {
         let c = census_of("ccu");
         let s = c.to_string();
-        for key in ["combinational", "sequential", "clock tree", "macros", "total"] {
+        for key in [
+            "combinational",
+            "sequential",
+            "clock tree",
+            "macros",
+            "total",
+        ] {
             assert!(s.contains(key), "{key} missing");
         }
     }

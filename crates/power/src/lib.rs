@@ -36,7 +36,6 @@ pub use census::{power_census, CategoryPower, PowerCensus};
 
 use foldic_netlist::{Block, InstMaster, Netlist, PinRef};
 use foldic_tech::{Technology, Via3dKind};
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
 /// Per-analysis knobs.
@@ -92,7 +91,7 @@ impl Default for PowerConfig {
 }
 
 /// A power breakdown in µW.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PowerReport {
     /// Internal (cell + macro) switching power.
     pub cell_uw: f64,
@@ -155,6 +154,7 @@ pub fn analyze_block(
     wiring: &foldic_route::BlockWiring,
     cfg: &PowerConfig,
 ) -> PowerReport {
+    foldic_exec::profile::add_iters(netlist.num_nets() as u64);
     let mut report = PowerReport::default();
     let v2 = tech.vdd * tech.vdd;
     let c_um = tech.metal.effective_c_per_um(cfg.max_layer);
@@ -177,7 +177,11 @@ pub fn analyze_block(
             InstMaster::Cell(m) => {
                 let master = tech.cells.master(m);
                 report.leakage_uw += master.leakage_uw;
-                let alpha = if drives_clock[id.index()] { 1.0 } else { cfg.activity };
+                let alpha = if drives_clock[id.index()] {
+                    1.0
+                } else {
+                    cfg.activity
+                };
                 let e = master.internal_energy_fj * domain_ghz[id.index()] * alpha;
                 // split off the hidden intra-cluster net switching
                 let hidden = e * cfg.hidden_net_fraction;
@@ -188,8 +192,7 @@ pub fn analyze_block(
             InstMaster::Macro(k) => {
                 let m = tech.macros.get(k);
                 report.leakage_uw += m.leakage_uw;
-                report.cell_uw +=
-                    m.access_energy_fj * domain_ghz[id.index()] * cfg.macro_activity;
+                report.cell_uw += m.access_energy_fj * domain_ghz[id.index()] * cfg.macro_activity;
             }
         }
     }
@@ -243,7 +246,12 @@ mod tests {
         let id = design.find_block(name).unwrap();
         let block = design.block(id);
         let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None);
-        let p = analyze_block(&block.netlist, &tech, &wiring, &PowerConfig::for_block(block));
+        let p = analyze_block(
+            &block.netlist,
+            &tech,
+            &wiring,
+            &PowerConfig::for_block(block),
+        );
         (p, design, tech)
     }
 

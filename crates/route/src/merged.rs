@@ -200,9 +200,7 @@ pub fn parse_merged(text: &str) -> Result<MergedDesign, ParseMergedError> {
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
         match section {
-            Section::Head | Section::Nets | Section::Components
-                if toks[0] == "MERGEDDESIGN" =>
-            {
+            Section::Head | Section::Nets | Section::Components if toks[0] == "MERGEDDESIGN" => {
                 name = Some(
                     toks.get(1)
                         .ok_or_else(|| err(line_no, "missing design name"))?

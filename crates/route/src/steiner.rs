@@ -139,7 +139,11 @@ mod tests {
 
     #[test]
     fn chain_paths_accumulate() {
-        let sinks = [Point::new(10.0, 0.0), Point::new(20.0, 0.0), Point::new(30.0, 0.0)];
+        let sinks = [
+            Point::new(10.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(30.0, 0.0),
+        ];
         let t = SteinerTree::build(Point::new(0.0, 0.0), &sinks);
         assert_eq!(t.mst_length(), 30.0);
         assert_eq!(t.sink_path_length(2), 30.0);

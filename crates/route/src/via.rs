@@ -262,7 +262,11 @@ mod tests {
         let vp = place_vias(&nl, &tech, outline, BondingStyle::FaceToFace);
         assert_eq!(vp.len(), 10);
         // F2F pitch is sub-µm: everything lands within a pitch or two
-        assert!(vp.mean_displacement_um() < 5.0, "{}", vp.mean_displacement_um());
+        assert!(
+            vp.mean_displacement_um() < 5.0,
+            "{}",
+            vp.mean_displacement_um()
+        );
         assert_eq!(vp.silicon_area_um2(&tech), 0.0);
     }
 
@@ -305,8 +309,7 @@ mod tests {
     }
 
     #[test]
-    fn keepouts_only_for_tsv()
-    {
+    fn keepouts_only_for_tsv() {
         let (nl, tech, outline) = folded(3, false);
         let tsv = place_vias(&nl, &tech, outline, BondingStyle::FaceToBack);
         assert_eq!(tsv.keepouts(&tech).len(), 3);

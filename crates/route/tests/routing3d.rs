@@ -49,7 +49,11 @@ fn sink_paths_cover_every_sink() {
         assert_eq!(rec.sink_paths.len(), net.sinks.len(), "{}", net.name);
         for &p in &rec.sink_paths {
             assert!(p.is_finite() && p >= 0.0);
-            assert!(p <= rec.length_um * 1.5 + 1.0, "path {p} vs net {}", rec.length_um);
+            assert!(
+                p <= rec.length_um * 1.5 + 1.0,
+                "path {p} vs net {}",
+                rec.length_um
+            );
         }
     }
 }
@@ -84,11 +88,7 @@ fn tsv_assignment_monotone_in_congestion() {
 
 #[test]
 fn global_router_conserves_connection_count() {
-    let mut r = GlobalRouter::new(
-        foldic_geom::Rect::new(0.0, 0.0, 2000.0, 2000.0),
-        100.0,
-        1.0,
-    );
+    let mut r = GlobalRouter::new(foldic_geom::Rect::new(0.0, 0.0, 2000.0, 2000.0), 100.0, 1.0);
     for i in 0..64u64 {
         let a = foldic_geom::Point::new((i * 131 % 2000) as f64, (i * 17 % 2000) as f64);
         let b = foldic_geom::Point::new((i * 89 % 2000) as f64, (i * 241 % 2000) as f64);
@@ -118,9 +118,6 @@ fn folded_block_keeps_clock_vias() {
     }
     let outline = design.block(design.find_block("mcu0").unwrap()).outline;
     let vias = place_vias(&nl, &tech, outline, BondingStyle::FaceToBack);
-    let clock_vias = vias
-        .iter()
-        .filter(|v| nl.net(v.net).is_clock)
-        .count();
+    let clock_vias = vias.iter().filter(|v| nl.net(v.net).is_clock).count();
     assert!(clock_vias > 0, "clock distribution must cross the stack");
 }

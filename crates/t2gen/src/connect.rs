@@ -128,7 +128,12 @@ impl BlockIndex {
             }
         }
         let groups = (0..nl.num_groups())
-            .map(|g| (nl.group_name(GroupId(g as u32)).to_owned(), GroupId(g as u32)))
+            .map(|g| {
+                (
+                    nl.group_name(GroupId(g as u32)).to_owned(),
+                    GroupId(g as u32),
+                )
+            })
             .collect();
         Self {
             cells,
@@ -144,7 +149,11 @@ impl BlockIndex {
     /// by sampling candidates and keeping the closest.
     fn pick_near(&self, p: Point, group: Option<GroupId>, rng: &mut StdRng) -> InstId {
         let candidates: Vec<&(InstId, Point, Option<GroupId>)> = match group {
-            Some(g) => self.cells.iter().filter(|(_, _, cg)| *cg == Some(g)).collect(),
+            Some(g) => self
+                .cells
+                .iter()
+                .filter(|(_, _, cg)| *cg == Some(g))
+                .collect(),
             None => self.cells.iter().collect(),
         };
         let pool = if candidates.is_empty() {
@@ -177,7 +186,7 @@ impl BlockIndex {
         let cursor = self.pin_cursor.entry(peer.to_owned()).or_insert(0.0);
         let t = (base + *cursor) % perim;
         *cursor += 1.5; // pin pitch along the boundary in µm
-        // walk the perimeter: bottom, right, top, left
+                        // walk the perimeter: bottom, right, top, left
         if t < self.w {
             Point::new(t, 0.0)
         } else if t < self.w + self.h {
@@ -362,7 +371,11 @@ mod tests {
         for net in d.chip_nets() {
             if net.name.starts_with("rtx__") || net.name.contains("__rtx_") {
                 for &(bid, _) in &net.endpoints {
-                    assert!(allowed.contains(&d.block(bid).name.as_str()), "{}", net.name);
+                    assert!(
+                        allowed.contains(&d.block(bid).name.as_str()),
+                        "{}",
+                        net.name
+                    );
                 }
             }
         }

@@ -171,11 +171,7 @@ impl Buckets {
 /// Packs macros into legal fixed positions inside `outline`, returning
 /// their centre positions. Grid layout fills the block interior (L2D
 /// sub-arrays); ring layout lines the top and bottom edges.
-fn pack_macros(
-    layout: MacroLayout,
-    dims: &[(f64, f64)],
-    outline: Rect,
-) -> Vec<Point> {
+fn pack_macros(layout: MacroLayout, dims: &[(f64, f64)], outline: Rect) -> Vec<Point> {
     if dims.is_empty() {
         return Vec::new();
     }
@@ -225,10 +221,7 @@ fn pack_macros(
                         x_top = 4.0;
                         band_top += mh + 4.0;
                     }
-                    positions.push(Point::new(
-                        x_top + mw / 2.0,
-                        bh - band_top - mh / 2.0 - 2.0,
-                    ));
+                    positions.push(Point::new(x_top + mw / 2.0, bh - band_top - mh / 2.0 - 2.0));
                     x_top += mw + 4.0;
                 }
             }
@@ -294,7 +287,9 @@ pub fn synthesize_block(
 
     // ---- plan cells --------------------------------------------------------
     let n_cells = ((spec.cells as f64 * cfg.size).round() as usize).max(40);
-    let plans: Vec<CellPlan> = (0..n_cells).map(|_| sample_cell(&mut rng, spec.flop_frac)).collect();
+    let plans: Vec<CellPlan> = (0..n_cells)
+        .map(|_| sample_cell(&mut rng, spec.flop_frac))
+        .collect();
     let cell_area: f64 = plans
         .iter()
         .map(|p| tech.cells.get(p.kind, p.drive, VthClass::Rvt).area_um2)
@@ -306,7 +301,7 @@ pub fn synthesize_block(
         .iter()
         .flat_map(|&(kind, n)| {
             let m = tech.macros.get(kind);
-            std::iter::repeat((kind, m.width_um, m.height_um)).take(n)
+            std::iter::repeat_n((kind, m.width_um, m.height_um), n)
         })
         .collect();
     let macro_area: f64 = macro_dims.iter().map(|&(_, w, h)| w * h).sum();
@@ -343,7 +338,10 @@ pub fn synthesize_block(
     // ---- instantiate macros (fixed) -----------------------------------------
     let macro_centers = pack_macros(
         spec.macro_layout,
-        &macro_dims.iter().map(|&(_, w, h)| (w, h)).collect::<Vec<_>>(),
+        &macro_dims
+            .iter()
+            .map(|&(_, w, h)| (w, h))
+            .collect::<Vec<_>>(),
         outline,
     );
     let mut macro_insts: Vec<InstId> = Vec::new();
@@ -494,8 +492,8 @@ pub fn synthesize_block(
             InstMaster::Cell(_) => unreachable!(),
         };
         let master = tech.macros.get(kind);
-        let pins_used = ((master.pin_count as f64 * cfg.size).round() as usize)
-            .clamp(4, master.pin_count);
+        let pins_used =
+            ((master.pin_count as f64 * cfg.size).round() as usize).clamp(4, master.pin_count);
         let mpos = nl.inst(mid).pos;
         for p in 0..pins_used {
             let net = nl.add_net(format!("n_{name}_m{mi}_{p}"));
@@ -539,7 +537,9 @@ pub fn synthesize_block(
     if !flops.is_empty() {
         let clk_port = nl.add_port("clk", PortDir::Input, domain);
         nl.port_mut(clk_port).pos = Point::new(0.0, bh / 2.0);
-        let root_master = tech.cells.id_of(CellKind::ClkBuf, Drive::X16, VthClass::Rvt);
+        let root_master = tech
+            .cells
+            .id_of(CellKind::ClkBuf, Drive::X16, VthClass::Rvt);
         let root = nl.add_inst(format!("{name}_ckroot"), InstMaster::Cell(root_master));
         let root_group = cell_groups.first().copied();
         {
@@ -562,11 +562,15 @@ pub fn synthesize_block(
         let mut sorted = flops.clone();
         sorted.sort_by(|&a, &b| {
             let (pa, pb) = (positions[a], positions[b]);
-            (pa.y, pa.x).partial_cmp(&(pb.y, pb.x)).expect("finite coords")
+            (pa.y, pa.x)
+                .partial_cmp(&(pb.y, pb.x))
+                .expect("finite coords")
         });
         let leaf_master = tech.cells.id_of(CellKind::ClkBuf, Drive::X8, VthClass::Rvt);
         for (li, chunk) in sorted.chunks(32).enumerate() {
-            let centroid = chunk.iter().fold(Point::ORIGIN, |acc, &i| acc + positions[i])
+            let centroid = chunk
+                .iter()
+                .fold(Point::ORIGIN, |acc, &i| acc + positions[i])
                 * (1.0 / chunk.len() as f64);
             let leaf = nl.add_inst(format!("{name}_cklf{li}"), InstMaster::Cell(leaf_master));
             let leaf_group = cell_groups[chunk[0]];

@@ -108,76 +108,231 @@ pub fn block_specs() -> Vec<BlockSpec> {
         // The SPARC core: biggest, flop-rich, 14 FUBs, register files and
         // small arrays. Highest single power share (Table 3: 5.8 % each).
         spec(
-            Spc, 8, 20_000, 0.25,
+            Spc,
+            8,
+            20_000,
+            0.25,
             &[(RegFile, 8), (Sram4k, 4), (Cam, 2)],
-            MacroLayout::Ring, 1.0, 0.62, 0.050, 0.045, 0.036, GroupPlan::Fubs,
+            MacroLayout::Ring,
+            1.0,
+            0.62,
+            0.050,
+            0.045,
+            0.036,
+            GroupPlan::Fubs,
         ),
         // L2 data bank: 32× 16 KB SRAM grid, thin logic, memory-power
         // dominated (net power ≈ 29 %).
         spec(
-            L2d, 8, 1_200, 0.14,
+            L2d,
+            8,
+            1_200,
+            0.14,
             &[(Sram16k, 32)],
-            MacroLayout::Grid, 0.63, 0.78, 0.110, 0.035, 0.095, GroupPlan::Flat,
+            MacroLayout::Grid,
+            0.63,
+            0.78,
+            0.110,
+            0.035,
+            0.095,
+            GroupPlan::Flat,
         ),
         // L2 tag: tag SRAMs + CAMs, moderate logic.
         spec(
-            L2t, 8, 2_400, 0.20,
+            L2t,
+            8,
+            2_400,
+            0.20,
             &[(Sram8k, 8), (Cam, 2)],
-            MacroLayout::Ring, 0.875, 0.70, 0.085, 0.055, 0.185, GroupPlan::Flat,
+            MacroLayout::Ring,
+            0.875,
+            0.70,
+            0.085,
+            0.055,
+            0.185,
+            GroupPlan::Flat,
         ),
         // L2 miss buffer.
         spec(
-            L2b, 8, 1_500, 0.20,
+            L2b,
+            8,
+            1_500,
+            0.20,
             &[(Sram4k, 4)],
-            MacroLayout::Ring, 1.0, 0.70, 0.080, 0.040, 0.055, GroupPlan::Flat,
+            MacroLayout::Ring,
+            1.0,
+            0.70,
+            0.080,
+            0.040,
+            0.055,
+            GroupPlan::Flat,
         ),
         // Cache crossbar: pure wiring machine, tall-thin outline, PCX/CPX
         // halves, the highest net-power share (57.6 %).
         spec(
-            Ccx, 1, 4_500, 0.10,
+            Ccx,
+            1,
+            4_500,
+            0.10,
             &[],
-            MacroLayout::Ring, 4.2, 0.55, 0.200, 0.120, 0.053, GroupPlan::CcxSplit,
+            MacroLayout::Ring,
+            4.2,
+            0.55,
+            0.200,
+            0.120,
+            0.053,
+            GroupPlan::CcxSplit,
         ),
         // Memory controllers.
         spec(
-            Mcu, 4, 2_000, 0.20,
+            Mcu,
+            4,
+            2_000,
+            0.20,
             &[(Sram4k, 2)],
-            MacroLayout::Ring, 1.0, 0.70, 0.075, 0.030, 0.060, GroupPlan::Flat,
+            MacroLayout::Ring,
+            1.0,
+            0.70,
+            0.075,
+            0.030,
+            0.060,
+            GroupPlan::Flat,
         ),
         // NIU receive traffic engine: big I/O-clock block with very long
         // internal wiring (Table 3: 27.5 K long wires, 3.6 % power).
         spec(
-            Rtx, 1, 5_200, 0.20,
+            Rtx,
+            1,
+            5_200,
+            0.20,
             &[(Sram8k, 4)],
-            MacroLayout::Ring, 1.0, 0.65, 0.140, 0.160, 0.400, GroupPlan::Flat,
+            MacroLayout::Ring,
+            1.0,
+            0.65,
+            0.140,
+            0.160,
+            0.400,
+            GroupPlan::Flat,
         ),
         // NIU Ethernet MAC.
         spec(
-            Mac, 1, 2_900, 0.22,
+            Mac,
+            1,
+            2_900,
+            0.22,
             &[(Sram4k, 2)],
-            MacroLayout::Ring, 1.0, 0.70, 0.090, 0.070, 0.380, GroupPlan::Flat,
+            MacroLayout::Ring,
+            1.0,
+            0.70,
+            0.090,
+            0.070,
+            0.380,
+            GroupPlan::Flat,
         ),
         // NIU receive datapath.
         spec(
-            Rdp, 1, 3_400, 0.20,
+            Rdp,
+            1,
+            3_400,
+            0.20,
             &[(Sram8k, 2)],
-            MacroLayout::Ring, 1.0, 0.70, 0.095, 0.080, 0.440, GroupPlan::Flat,
+            MacroLayout::Ring,
+            1.0,
+            0.70,
+            0.095,
+            0.080,
+            0.440,
+            GroupPlan::Flat,
         ),
         // NIU transmit data store.
         spec(
-            Tds, 1, 2_900, 0.20,
+            Tds,
+            1,
+            2_900,
+            0.20,
             &[(Sram8k, 3)],
-            MacroLayout::Ring, 1.0, 0.70, 0.095, 0.075, 0.400, GroupPlan::Flat,
+            MacroLayout::Ring,
+            1.0,
+            0.70,
+            0.095,
+            0.075,
+            0.400,
+            GroupPlan::Flat,
         ),
         // Control units.
-        spec(Ncu, 1, 1_900, 0.20, &[], MacroLayout::Ring, 1.0, 0.70, 0.080, 0.030, 0.070, GroupPlan::Flat),
-        spec(Ccu, 1, 700, 0.25, &[], MacroLayout::Ring, 1.0, 0.70, 0.070, 0.020, 0.060, GroupPlan::Flat),
-        spec(Dmu, 1, 1_600, 0.20, &[(Sram4k, 1)], MacroLayout::Ring, 1.0, 0.70, 0.080, 0.030, 0.065, GroupPlan::Flat),
-        spec(Peu, 1, 1_900, 0.20, &[(Sram4k, 2)], MacroLayout::Ring, 1.0, 0.70, 0.080, 0.030, 0.065, GroupPlan::Flat),
+        spec(
+            Ncu,
+            1,
+            1_900,
+            0.20,
+            &[],
+            MacroLayout::Ring,
+            1.0,
+            0.70,
+            0.080,
+            0.030,
+            0.070,
+            GroupPlan::Flat,
+        ),
+        spec(
+            Ccu,
+            1,
+            700,
+            0.25,
+            &[],
+            MacroLayout::Ring,
+            1.0,
+            0.70,
+            0.070,
+            0.020,
+            0.060,
+            GroupPlan::Flat,
+        ),
+        spec(
+            Dmu,
+            1,
+            1_600,
+            0.20,
+            &[(Sram4k, 1)],
+            MacroLayout::Ring,
+            1.0,
+            0.70,
+            0.080,
+            0.030,
+            0.065,
+            GroupPlan::Flat,
+        ),
+        spec(
+            Peu,
+            1,
+            1_900,
+            0.20,
+            &[(Sram4k, 2)],
+            MacroLayout::Ring,
+            1.0,
+            0.70,
+            0.080,
+            0.030,
+            0.065,
+            GroupPlan::Flat,
+        ),
         // TCU is one of the seven dropped blocks in the paper's
         // implementation (test logic does not affect CPU performance), so
         // the inventory ends at 46 with SIU.
-        spec(Siu, 1, 1_500, 0.20, &[], MacroLayout::Ring, 1.0, 0.70, 0.080, 0.030, 0.065, GroupPlan::Flat),
+        spec(
+            Siu,
+            1,
+            1_500,
+            0.20,
+            &[],
+            MacroLayout::Ring,
+            1.0,
+            0.70,
+            0.080,
+            0.030,
+            0.065,
+            GroupPlan::Flat,
+        ),
     ]
 }
 

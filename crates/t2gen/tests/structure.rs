@@ -79,7 +79,11 @@ fn stats_are_self_consistent_per_block() {
         assert_eq!(s.num_insts, s.num_cells + s.num_macros, "{}", block.name);
         assert!(s.num_buffers <= s.num_cells);
         assert!(s.num_flops <= s.num_cells);
-        assert!(s.avg_fanout() > 0.5 && s.avg_fanout() < 10.0, "{}", block.name);
+        assert!(
+            s.avg_fanout() > 0.5 && s.avg_fanout() < 10.0,
+            "{}",
+            block.name
+        );
     }
 }
 

@@ -1,11 +1,10 @@
 //! Standard-cell library: kinds × drive strengths × Vth classes.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Logical function of a standard cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CellKind {
     /// Inverter.
     Inv,
@@ -97,7 +96,7 @@ impl fmt::Display for CellKind {
 
 /// Broad functional class of a cell, used in reports (the paper reports
 /// buffer counts separately from total cell counts).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CellClass {
     /// Plain combinational logic.
     Combinational,
@@ -110,7 +109,7 @@ pub enum CellClass {
 }
 
 /// Drive strength of a cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Drive {
     /// Unit drive.
     X1,
@@ -173,7 +172,7 @@ impl fmt::Display for Drive {
 /// The paper's dual-Vth study (§6.2) uses regular-Vth as the baseline and
 /// swaps positive-slack cells to high-Vth: "each HVT cell shows around 30 %
 /// slower, yet 50 % lower leakage and 5 % smaller cell power".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum VthClass {
     /// Regular threshold voltage (fast, leaky).
     Rvt,
@@ -220,11 +219,11 @@ impl fmt::Display for VthClass {
 }
 
 /// Identifier of a master cell inside a [`CellLibrary`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MasterId(pub u32);
 
 /// One characterized library cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MasterCell {
     /// Library name, e.g. `"NAND2X4_HVT"`.
     pub name: String,
@@ -331,10 +330,9 @@ mod base {
 /// assert!(hvt.leakage_uw < inv.leakage_uw);
 /// assert!(hvt.intrinsic_delay_ps > inv.intrinsic_delay_ps);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CellLibrary {
     masters: Vec<MasterCell>,
-    #[serde(skip)]
     index: HashMap<(CellKind, Drive, VthClass), MasterId>,
 }
 
@@ -359,7 +357,9 @@ impl CellLibrary {
                         width_um: area / base::ROW_HEIGHT_UM,
                         input_cap_ff: base::CAP_FF * prof.cap * x,
                         output_res_ohm: base::RES_OHM * prof.res / x * vth.delay_factor(),
-                        intrinsic_delay_ps: base::INTRINSIC_PS * prof.intrinsic * vth.delay_factor(),
+                        intrinsic_delay_ps: base::INTRINSIC_PS
+                            * prof.intrinsic
+                            * vth.delay_factor(),
                         internal_energy_fj: base::ENERGY_FJ * prof.energy * x * vth.energy_factor(),
                         leakage_uw: base::LEAK_UW * prof.leak * x * vth.leakage_factor(),
                     });
@@ -447,7 +447,11 @@ impl CellLibrary {
         for m in &mut self.masters {
             let key = (m.kind, m.drive, m.vth);
             f(m);
-            debug_assert_eq!(key, (m.kind, m.drive, m.vth), "scale_masters must not re-type cells");
+            debug_assert_eq!(
+                key,
+                (m.kind, m.drive, m.vth),
+                "scale_masters must not re-type cells"
+            );
         }
     }
 

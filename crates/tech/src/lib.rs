@@ -56,10 +56,8 @@ pub use metal::{MetalLayer, MetalStack};
 pub use policy::{BondingStyle, RoutingPolicy};
 pub use via3d::{F2fViaModel, TsvModel, Via3dKind};
 
-use serde::{Deserialize, Serialize};
-
 /// A complete process technology: libraries, interconnect and 3D options.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Technology {
     /// Human-readable node name, e.g. `"cmos28"`.
     pub name: String,

@@ -6,12 +6,11 @@
 //! small power win of the `scdata` fold (§4.4) — so macros carry their own
 //! internal/leakage power here, independent of the logic optimizer.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Kind of hard macro.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum MacroKind {
     /// 16 KB single-port SRAM bank (the `scdata` unit macro).
     Sram16k,
@@ -50,7 +49,7 @@ impl fmt::Display for MacroKind {
 }
 
 /// One characterized hard macro.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MacroMaster {
     /// Kind of the macro.
     pub kind: MacroKind,
@@ -91,7 +90,7 @@ impl MacroMaster {
 /// let sram = lib.get(MacroKind::Sram16k);
 /// assert!(sram.area_um2() > 10_000.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MacroLibrary {
     masters: HashMap<MacroKind, MacroMaster>,
 }
@@ -119,11 +118,61 @@ impl MacroLibrary {
         };
         for (k, v) in [
             // 16KB: 131072 bits * 0.12um2 / 0.5 eff ≈ 31,457 µm² → 210 × 150
-            m(MacroKind::Sram16k, 210.0, 150.0, 96, 2.5, 27_000.0, 300.0, 900.0, 450.0),
-            m(MacroKind::Sram8k, 150.0, 110.0, 80, 2.2, 5_200.0, 115.0, 950.0, 380.0),
-            m(MacroKind::Sram4k, 110.0, 80.0, 72, 2.0, 3_100.0, 62.0, 1000.0, 330.0),
-            m(MacroKind::RegFile, 90.0, 60.0, 140, 1.8, 2_400.0, 48.0, 800.0, 260.0),
-            m(MacroKind::Cam, 80.0, 70.0, 110, 2.1, 4_400.0, 75.0, 850.0, 300.0),
+            m(
+                MacroKind::Sram16k,
+                210.0,
+                150.0,
+                96,
+                2.5,
+                27_000.0,
+                300.0,
+                900.0,
+                450.0,
+            ),
+            m(
+                MacroKind::Sram8k,
+                150.0,
+                110.0,
+                80,
+                2.2,
+                5_200.0,
+                115.0,
+                950.0,
+                380.0,
+            ),
+            m(
+                MacroKind::Sram4k,
+                110.0,
+                80.0,
+                72,
+                2.0,
+                3_100.0,
+                62.0,
+                1000.0,
+                330.0,
+            ),
+            m(
+                MacroKind::RegFile,
+                90.0,
+                60.0,
+                140,
+                1.8,
+                2_400.0,
+                48.0,
+                800.0,
+                260.0,
+            ),
+            m(
+                MacroKind::Cam,
+                80.0,
+                70.0,
+                110,
+                2.1,
+                4_400.0,
+                75.0,
+                850.0,
+                300.0,
+            ),
         ] {
             masters.insert(k, v);
         }
@@ -195,6 +244,9 @@ mod tests {
         let lib = MacroLibrary::cmos28();
         let total = 32.0 * lib.get(MacroKind::Sram16k).area_um2();
         assert!(total < 0.9 * 910.0 * 1440.0, "macros {total} µm² too big");
-        assert!(total > 0.4 * 910.0 * 1440.0, "macros {total} µm² too small to dominate");
+        assert!(
+            total > 0.4 * 910.0 * 1440.0,
+            "macros {total} µm² too small to dominate"
+        );
     }
 }

@@ -1,9 +1,7 @@
 //! Nine-layer back-end-of-line metal stack with per-layer wire parasitics.
 
-use serde::{Deserialize, Serialize};
-
 /// One routing layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetalLayer {
     /// Layer name (`"M1"` … `"M9"`).
     pub name: String,
@@ -33,7 +31,7 @@ pub struct MetalLayer {
 /// // Upper layers are fatter and faster:
 /// assert!(stack.layer(9).r_per_um < stack.layer(2).r_per_um);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetalStack {
     layers: Vec<MetalLayer>,
 }

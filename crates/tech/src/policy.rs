@@ -1,11 +1,10 @@
 //! Bonding styles and the routing-layer usage policy of §2.2 / §6.1.
 
 use foldic_geom::Tier;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Die bonding style for the two-tier stack (paper Fig. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BondingStyle {
     /// Face-to-back: TSVs through the top die's substrate.
     FaceToBack,
@@ -45,7 +44,7 @@ impl fmt::Display for BondingStyle {
 /// * Folded blocks under F2F (§6.1): the F2F via sits on top of M9, so both
 ///   dies route through M9 and the folded block blocks over-the-block
 ///   routing on **both** dies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoutingPolicy {
     /// Highest metal layer for ordinary (non-SPC) unfolded blocks.
     pub block_max_layer: usize,
@@ -129,8 +128,14 @@ mod tests {
     #[test]
     fn f2b_folded_asymmetric_layers() {
         let p = RoutingPolicy::dac14();
-        assert_eq!(p.max_layer(false, BondingStyle::FaceToBack, Some(Tier::Top)), 9);
-        assert_eq!(p.max_layer(false, BondingStyle::FaceToBack, Some(Tier::Bottom)), 7);
+        assert_eq!(
+            p.max_layer(false, BondingStyle::FaceToBack, Some(Tier::Top)),
+            9
+        );
+        assert_eq!(
+            p.max_layer(false, BondingStyle::FaceToBack, Some(Tier::Bottom)),
+            7
+        );
         // the bottom die still allows over-the-block routing
         assert!(p.allows_over_the_block(false, BondingStyle::FaceToBack, Some(Tier::Bottom)));
     }

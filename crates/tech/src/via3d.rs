@@ -15,7 +15,6 @@
 //! the coaxial metal–oxide–semiconductor capacitance of the liner.
 
 use crate::metal::MetalStack;
-use serde::{Deserialize, Serialize};
 
 /// Copper resistivity in Ω·µm (1.68×10⁻⁸ Ω·m).
 const RHO_CU_OHM_UM: f64 = 1.68e-2;
@@ -25,7 +24,7 @@ const EPS0_FF_UM: f64 = 8.854e-3;
 const EPS_OX: f64 = 3.9;
 
 /// Which 3D interconnect element a connection uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Via3dKind {
     /// Through-silicon via (face-to-back bonding).
     Tsv,
@@ -45,7 +44,7 @@ pub enum Via3dKind {
 /// assert!(tsv.resistance_ohm() < 1.0);
 /// assert!(tsv.capacitance_ff() > 10.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TsvModel {
     /// Copper body diameter in µm.
     pub diameter_um: f64,
@@ -91,8 +90,7 @@ impl TsvModel {
         let r = self.diameter_um / 2.0;
         let shield = (self.pitch_um / 2.0).max(r * 1.2);
         let wire_fraction = 0.25;
-        2.0 * std::f64::consts::PI * EPS_OX * EPS0_FF_UM * self.height_um
-            / (shield / r).ln()
+        2.0 * std::f64::consts::PI * EPS_OX * EPS0_FF_UM * self.height_um / (shield / r).ln()
             * wire_fraction
     }
 }
@@ -115,7 +113,7 @@ impl Default for TsvModel {
 ///
 /// The paper sizes it "comparable to the top metal dimension, around twice
 /// the minimum top metal (M9) width".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct F2fViaModel {
     /// Square pad edge in µm.
     pub size_um: f64,
@@ -165,7 +163,7 @@ impl Default for F2fViaModel {
 }
 
 /// Electrical summary of a 3D interconnect element, for reports (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Via3dSummary {
     /// Which element this summarizes.
     pub kind: Via3dKind,

@@ -47,10 +47,9 @@
 use foldic_geom::Rect;
 use foldic_netlist::{Design, InstMaster};
 use foldic_tech::Technology;
-use serde::{Deserialize, Serialize};
 
 /// A per-bin power map of one die in µW.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerMap {
     cols: usize,
     rows: usize,
@@ -114,7 +113,7 @@ impl PowerMap {
 }
 
 /// Thermal parameters of the stack. All area resistances in K·mm²/W.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StackConfig {
     /// Ambient temperature in °C.
     pub ambient_c: f64,
@@ -168,7 +167,7 @@ impl StackConfig {
 }
 
 /// Result of a thermal solve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThermalReport {
     /// Temperature per tier (same layout as the power maps), °C.
     pub temps_c: Vec<Vec<f64>>,
@@ -214,7 +213,7 @@ pub fn solve_stack(maps: &[PowerMap], cfg: &StackConfig) -> ThermalReport {
     }
     let tiers = maps.len();
     let bin_area = bin * bin; // mm²
-    // vertical conductances per node in W/K
+                              // vertical conductances per node in W/K
     let g_sink = bin_area / cfg.r_sink;
     let g_bond = bin_area / cfg.r_bond;
     let g_board = bin_area / cfg.r_board;

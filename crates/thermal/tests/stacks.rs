@@ -44,7 +44,11 @@ fn lateral_conduction_spreads_hotspots() {
     // but lateral conduction keeps the peak bounded well below the
     // no-spreading analytic value P·R/area_of_one_bin
     let no_spread = 5.0 / (1.0 / cfg.r_sink + 1.0 / cfg.r_board);
-    assert!(hot.max_rise_k() < 0.8 * no_spread, "{} vs {no_spread}", hot.max_rise_k());
+    assert!(
+        hot.max_rise_k() < 0.8 * no_spread,
+        "{} vs {no_spread}",
+        hot.max_rise_k()
+    );
 }
 
 #[test]

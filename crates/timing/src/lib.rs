@@ -154,6 +154,7 @@ pub fn analyze(
     budgets: &TimingBudgets,
     cfg: &StaConfig,
 ) -> TimingReport {
+    foldic_exec::profile::add_iters(netlist.num_nets() as u64);
     let n_insts = netlist.num_insts();
     let (r_um, c_um) = wire_rc(tech, cfg.max_layer);
 
@@ -185,15 +186,8 @@ pub fn analyze(
         let rec = wiring.net(nid);
         // total load on the driver
         let wire_cap = rec.length_um * c_um;
-        let via = cfg
-            .via_kind
-            .filter(|_| rec.is_3d)
-            .map(|k| via_rc(tech, k));
-        let pins_cap: f64 = net
-            .sinks
-            .iter()
-            .map(|&s| sink_cap(netlist, tech, s))
-            .sum();
+        let via = cfg.via_kind.filter(|_| rec.is_3d).map(|k| via_rc(tech, k));
+        let pins_cap: f64 = net.sinks.iter().map(|&s| sink_cap(netlist, tech, s)).sum();
         let load = wire_cap + pins_cap + via.map(|(_, c)| c).unwrap_or(0.0);
 
         // driver delay and source node
@@ -229,7 +223,8 @@ pub fn analyze(
             let scap = sink_cap(netlist, tech, s);
             // Elmore along the path: distributed wire + sink pin, plus the
             // via resistance midway for 3D nets.
-            let mut wire_delay = (0.5 * r_um * path * (c_um * path) + r_um * path * scap) * RC_TO_PS;
+            let mut wire_delay =
+                (0.5 * r_um * path * (c_um * path) + r_um * path * scap) * RC_TO_PS;
             if let Some((rv, cv)) = via {
                 wire_delay += rv * (scap + 0.5 * c_um * path + 0.5 * cv) * RC_TO_PS;
             }
@@ -310,7 +305,9 @@ pub fn analyze(
     // NOTE: adj holds edge indices only for comb-driven edges; the
     // in-degree of each node counts *all* incoming edges, and
     // source-driven ones were resolved above.
-    let mut queue: Vec<u32> = (0..n_insts as u32).filter(|&i| indeg[i as usize] == 0).collect();
+    let mut queue: Vec<u32> = (0..n_insts as u32)
+        .filter(|&i| indeg[i as usize] == 0)
+        .collect();
     let mut head = 0;
     let mut processed = vec![false; n_insts];
     while head < queue.len() {
@@ -411,7 +408,12 @@ pub fn analyze_folded(
     budgets: &TimingBudgets,
     max_layer: usize,
 ) -> TimingReport {
-    let wiring = BlockWiring::analyze(netlist, tech, foldic_route::wiring::DEFAULT_DETOUR, Some(vias));
+    let wiring = BlockWiring::analyze(
+        netlist,
+        tech,
+        foldic_route::wiring::DEFAULT_DETOUR,
+        Some(vias),
+    );
     analyze(
         netlist,
         tech,

@@ -6,7 +6,13 @@ use foldic_timing::{analyze, StaConfig, TimingBudgets};
 
 fn setup(name: &str) -> (foldic_netlist::Netlist, foldic_tech::Technology) {
     let (design, tech) = T2Config::tiny().generate();
-    (design.block(design.find_block(name).unwrap()).netlist.clone(), tech)
+    (
+        design
+            .block(design.find_block(name).unwrap())
+            .netlist
+            .clone(),
+        tech,
+    )
 }
 
 #[test]

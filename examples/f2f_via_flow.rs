@@ -61,7 +61,12 @@ fn main() {
     );
 
     // Step 3: route the 3D nets → F2F via locations.
-    let vias = place_vias(&block.netlist, &tech, block.outline, BondingStyle::FaceToFace);
+    let vias = place_vias(
+        &block.netlist,
+        &tech,
+        block.outline,
+        BondingStyle::FaceToFace,
+    );
     println!(
         "placed {} F2F vias; mean displacement from ideal {:.2} µm (pitch {:.2} µm)",
         vias.len(),
@@ -84,7 +89,12 @@ fn main() {
         "{over} vias sit over memory macros ({:.1}%) — compare the TSV case:",
         over as f64 / vias.len().max(1) as f64 * 100.0
     );
-    let tsvs = place_vias(&block.netlist, &tech, block.outline, BondingStyle::FaceToBack);
+    let tsvs = place_vias(
+        &block.netlist,
+        &tech,
+        block.outline,
+        BondingStyle::FaceToBack,
+    );
     let tsv_over = tsvs
         .iter()
         .filter(|v| macros.iter().any(|m| m.contains(v.pos)))

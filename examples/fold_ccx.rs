@@ -49,13 +49,19 @@ fn main() {
         "  footprint {:+.1}%  wirelength {:+.1}%  buffers {:+.1}%  power {:+.1}%",
         pc(baseline.footprint_um2, natural.metrics.footprint_um2),
         pc(baseline.wirelength_um, natural.metrics.wirelength_um),
-        pc(baseline.num_buffers as f64, natural.metrics.num_buffers as f64),
+        pc(
+            baseline.num_buffers as f64,
+            natural.metrics.num_buffers as f64
+        ),
         pc(baseline.power.total_uw(), natural.metrics.power.total_uw()),
     );
 
     // TSV-count sweep: degrade the partition toward random
     println!("\npartition sweep (more TSVs ≠ better):");
-    println!("{:>8} {:>7} {:>12} {:>12}", "quality", "TSVs", "power vs 2D", "fp vs 2D");
+    println!(
+        "{:>8} {:>7} {:>12} {:>12}",
+        "quality", "TSVs", "power vs 2D", "fp vs 2D"
+    );
     for q in [1.0, 0.6, 0.3, 0.0] {
         let mut d = design.clone();
         let cfg = FoldConfig {

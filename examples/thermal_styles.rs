@@ -40,7 +40,11 @@ fn main() {
             rep.max_c,
             rep.max_rise_k(),
             if style.is_3d() {
-                if rep.hotspot.0 == 0 { "bottom" } else { "top" }
+                if rep.hotspot.0 == 0 {
+                    "bottom"
+                } else {
+                    "top"
+                }
             } else {
                 "-"
             }

@@ -94,3 +94,55 @@ fn wiring_analysis_is_pure() {
     assert_eq!(a.total_um.to_bits(), b.total_um.to_bits());
     assert_eq!(a.long_wires, b.long_wires);
 }
+
+/// The tentpole guarantee of the execution engine: a full experiment
+/// report is byte-identical whether the per-block loops and sweeps run
+/// serially or on a 4-worker pool — and two serial runs are identical to
+/// each other (no map-iteration-order or scheduling leakage anywhere).
+#[test]
+fn table2_report_is_identical_serial_and_parallel() {
+    let run = |threads: usize| {
+        let mut ctx = foldic_bench::Ctx::with_threads(T2Config::tiny(), threads);
+        foldic_bench::experiments::table2(&mut ctx)
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial, parallel,
+        "threads=4 must reproduce the serial report byte-for-byte"
+    );
+    let serial_again = run(1);
+    assert_eq!(
+        serial, serial_again,
+        "two serial runs must be byte-identical"
+    );
+}
+
+/// Same guarantee one level down: a single full-chip run with a parallel
+/// per-block fan-out reproduces the serial result exactly.
+#[test]
+fn fullchip_is_identical_for_any_thread_count() {
+    let (design, tech) = T2Config::tiny().generate();
+    let run = |threads: usize| {
+        let mut d = design.clone();
+        let cfg = FullChipConfig {
+            threads,
+            ..FullChipConfig::fast()
+        };
+        let r = run_fullchip(&mut d, &tech, DesignStyle::FoldedF2f, &cfg);
+        (
+            r.chip.power.total_uw().to_bits(),
+            r.chip.wirelength_um.to_bits(),
+            r.chip.num_cells,
+            r.chip_vias,
+            r.intra_block_vias,
+            r.per_block
+                .iter()
+                .map(|(n, _, m)| (n.clone(), m.power.total_uw().to_bits()))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(4), "threads=4");
+    assert_eq!(serial, run(7), "threads=7");
+}

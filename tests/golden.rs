@@ -1,0 +1,147 @@
+//! Golden regression tests: the experiment reports on the `tiny` design,
+//! pinned byte-for-byte under `tests/golden/`.
+//!
+//! Floats are normalized to 3 decimal places on both sides of the diff so
+//! the comparison is robust to formatting-width noise while still
+//! catching any real numeric drift.
+//!
+//! After an *intended* change to the flow or the models, regenerate the
+//! references with:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use foldic_bench::{experiments, Ctx};
+use foldic_t2::T2Config;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+/// One shared context so the full-chip cache is reused across tests
+/// (tests in one binary run concurrently on the same process).
+fn ctx() -> &'static Mutex<Ctx> {
+    static CTX: OnceLock<Mutex<Ctx>> = OnceLock::new();
+    CTX.get_or_init(|| {
+        Mutex::new(Ctx::with_threads(
+            T2Config::tiny(),
+            foldic_exec::resolve_threads(None),
+        ))
+    })
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// Rewrites every decimal literal as `{:.3}`; integers and text pass
+/// through untouched. A trailing `.` (sentence period) stays text.
+fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.char_indices().peekable();
+    while let Some(&(start, c)) = it.peek() {
+        if !c.is_ascii_digit() {
+            out.push(c);
+            it.next();
+            continue;
+        }
+        let mut end = start;
+        let mut has_dot = false;
+        while let Some(&(j, d)) = it.peek() {
+            if d.is_ascii_digit() || (d == '.' && !has_dot) {
+                has_dot |= d == '.';
+                end = j + d.len_utf8();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        let mut tok = &s[start..end];
+        let mut trailing_dot = false;
+        if tok.ends_with('.') {
+            tok = &tok[..tok.len() - 1];
+            trailing_dot = true;
+            has_dot = false;
+        }
+        if has_dot {
+            let v: f64 = tok.parse().expect("scanned decimal parses");
+            out.push_str(&format!("{v:.3}"));
+        } else {
+            out.push_str(tok);
+        }
+        if trailing_dot {
+            out.push('.');
+        }
+    }
+    out
+}
+
+fn check(name: &str, actual: &str) {
+    let norm = normalize(actual);
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, &norm).expect("write golden reference");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden reference {}; generate it with `BLESS=1 cargo test --test golden`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        norm, expected,
+        "report `{name}` drifted from tests/golden/{name}.txt; if the change \
+         is intended, regenerate with `BLESS=1 cargo test --test golden` and \
+         review the diff"
+    );
+}
+
+#[test]
+fn golden_table1() {
+    let c = ctx().lock().unwrap();
+    check("table1", &experiments::table1(&c.tech));
+}
+
+#[test]
+fn golden_table2() {
+    let mut c = ctx().lock().unwrap();
+    check("table2", &experiments::table2(&mut c));
+}
+
+#[test]
+fn golden_table3() {
+    let mut c = ctx().lock().unwrap();
+    check("table3", &experiments::table3(&mut c));
+}
+
+#[test]
+fn golden_table4() {
+    let mut c = ctx().lock().unwrap();
+    check("table4", &experiments::table4(&mut c));
+}
+
+#[test]
+fn golden_table5() {
+    let mut c = ctx().lock().unwrap();
+    check("table5", &experiments::table5(&mut c));
+}
+
+#[test]
+fn golden_fig2() {
+    let mut c = ctx().lock().unwrap();
+    check("fig2", &experiments::fig2(&mut c));
+}
+
+#[test]
+fn normalize_rewrites_decimals_only() {
+    assert_eq!(
+        normalize("wl 12.3456 m, 42 cells, x8, end."),
+        "wl 12.346 m, 42 cells, x8, end."
+    );
+    assert_eq!(normalize("-0.5% (paper +1.25%)"), "-0.500% (paper +1.250%)");
+}

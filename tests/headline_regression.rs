@@ -81,9 +81,12 @@ fn folding_is_the_bigger_lever() {
         dual_vth: true,
         ..FullChipConfig::default()
     };
-    let mut run = |style| {
+    let run = |style| {
         let mut d = design.clone();
-        run_fullchip(&mut d, &tech, style, &cfg).chip.power.total_uw()
+        run_fullchip(&mut d, &tech, style, &cfg)
+            .chip
+            .power
+            .total_uw()
     };
     let p2d = run(DesignStyle::Flat2d);
     let p3d = run(DesignStyle::CoreCache);

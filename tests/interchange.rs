@@ -45,8 +45,14 @@ fn folded_block_merged_design_roundtrips() {
     // only for routable 3D nets with >= 2 instance pins)
     assert!(merged.nets_3d.len() >= folded.vias.len() / 2);
     // both die suffixes present
-    assert!(merged.components.iter().any(|c| c.master.ends_with("_die_top")));
-    assert!(merged.components.iter().any(|c| c.master.ends_with("_die_bot")));
+    assert!(merged
+        .components
+        .iter()
+        .any(|c| c.master.ends_with("_die_top")));
+    assert!(merged
+        .components
+        .iter()
+        .any(|c| c.master.ends_with("_die_bot")));
     // Verilog export still works on the folded netlist
     let v = write_verilog(&block.netlist, &tech);
     assert!(v.contains("endmodule"));

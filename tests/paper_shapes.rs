@@ -13,12 +13,7 @@ fn block_2d(design: &Design, tech: &Technology, name: &str) -> DesignMetrics {
     run_block_flow(b, tech, &budgets, &FlowConfig::default()).metrics
 }
 
-fn fold(
-    design: &Design,
-    tech: &Technology,
-    name: &str,
-    cfg: FoldConfig,
-) -> (DesignMetrics, usize) {
+fn fold(design: &Design, tech: &Technology, name: &str, cfg: FoldConfig) -> (DesignMetrics, usize) {
     let mut d = design.clone();
     let id = d.find_block(name).unwrap();
     let f = fold_block(d.block_mut(id), tech, &cfg);
@@ -42,7 +37,10 @@ fn ccx_natural_fold_saves_power_with_few_tsvs() {
             ..FoldConfig::default()
         },
     );
-    assert!(cut <= 10, "natural split must cut almost nothing, got {cut}");
+    assert!(
+        cut <= 10,
+        "natural split must cut almost nothing, got {cut}"
+    );
     assert!(
         m.power.total_uw() < 0.85 * b2.power.total_uw(),
         "CCX fold power {:.1} vs 2D {:.1}",
@@ -127,7 +125,12 @@ fn l2d_fold_halves_footprint_modest_power() {
 #[test]
 fn census_selects_the_papers_fold_candidates() {
     let (mut design, tech) = T2Config::tiny().generate();
-    let r = run_fullchip(&mut design, &tech, DesignStyle::Flat2d, &FullChipConfig::fast());
+    let r = run_fullchip(
+        &mut design,
+        &tech,
+        DesignStyle::Flat2d,
+        &FullChipConfig::fast(),
+    );
     let rows = fold_candidates(&r.per_block);
     let selected: Vec<&str> = rows
         .iter()
@@ -170,8 +173,10 @@ fn dual_vth_swaps_most_cells_and_cuts_leakage() {
     let dvt = {
         let b = d.block_mut(id);
         let budgets = TimingBudgets::relaxed(&b.netlist, &tech);
-        let mut cfg = FlowConfig::default();
-        cfg.dual_vth = true;
+        let cfg = FlowConfig {
+            dual_vth: true,
+            ..Default::default()
+        };
         run_block_flow(b, &tech, &budgets, &cfg).metrics
     };
     assert!(dvt.hvt_fraction() > 0.5, "HVT share {}", dvt.hvt_fraction());

@@ -37,11 +37,22 @@ fn generation_to_power_pipeline_is_consistent() {
     assert_eq!(wiring.num_3d, 0, "unfolded block has no 3D nets");
 
     let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
-    let sta = analyze(&block.netlist, &tech, &wiring, &budgets, &StaConfig::default());
+    let sta = analyze(
+        &block.netlist,
+        &tech,
+        &wiring,
+        &budgets,
+        &StaConfig::default(),
+    );
     assert!(sta.endpoints > 0);
     assert!(sta.max_arrival_ps > 0.0 && sta.max_arrival_ps < 100_000.0);
 
-    let power = analyze_block(&block.netlist, &tech, &wiring, &PowerConfig::for_block(block));
+    let power = analyze_block(
+        &block.netlist,
+        &tech,
+        &wiring,
+        &PowerConfig::for_block(block),
+    );
     assert!(power.total_uw() > 0.0);
     assert!(power.net_fraction() > 0.05 && power.net_fraction() < 0.95);
 }
@@ -105,7 +116,10 @@ fn full_chip_metrics_roll_up_from_blocks() {
     assert!(r.chip.num_cells >= sum_cells);
     let sum_power: f64 = r.per_block.iter().map(|(_, _, m)| m.power.total_uw()).sum();
     assert!(r.chip.power.total_uw() >= sum_power);
-    assert!(r.chip.power.total_uw() < sum_power * 2.0, "chip adders dominate");
+    assert!(
+        r.chip.power.total_uw() < sum_power * 2.0,
+        "chip adders dominate"
+    );
     // die holds every block
     for (_, b) in d.blocks() {
         assert!(r.die.inflated(1.0).contains_rect(b.chip_rect()));
