@@ -2,9 +2,12 @@
 //!
 //! ```text
 //! repro [EXPERIMENT...] [--size full|small|tiny] [--threads N] [--profile]
+//!       [--trace out.json] [--events out.jsonl] [--manifest out.json]
+//! repro compare <baseline.json> <candidate.json> [--tol PCT]
 //!
 //! EXPERIMENT: table1 table2 table3 table4 table5
 //!             fig2 fig3 fig5 fig6 fig7 fig8
+//!             thermal ablations layouts
 //!             all (default)
 //! ```
 //!
@@ -13,54 +16,112 @@
 //! Reports are byte-identical for every thread count. `--profile` prints
 //! a per-stage wall-time/iteration table after each experiment.
 //!
+//! `--trace` writes a Chrome-trace JSON (load in `chrome://tracing` or
+//! <https://ui.perfetto.dev>), `--events` a JSONL event log, and
+//! `--manifest` a machine-readable run manifest (config, per-stage
+//! timings, metrics snapshot, per-experiment result digests). If the
+//! manifest path is an existing directory, the file is named
+//! `run-<experiments>-<size>.json` inside it. `repro compare` diffs two
+//! manifests (timing ignored) and exits nonzero when a metric moved more
+//! than `--tol` percent (default 0.5) or a result digest changed.
+//!
 //! Output is printed to stdout; tee it into a file to archive a run.
 
 use foldic::prelude::*;
 use foldic_bench::{experiments, Ctx};
+use foldic_obs::json::Json;
+use foldic_obs::manifest::{compare, CompareConfig, RunManifest};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+const USAGE: &str = "usage: repro [EXPERIMENT...] [--size full|small|tiny] [--threads N] [--profile]\n\
+       \x20            [--trace out.json] [--events out.jsonl] [--manifest out.json]\n\
+       repro compare <baseline.json> <candidate.json> [--tol PCT]\n\
+experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6 fig7 fig8 thermal ablations layouts all";
+
+fn usage_err(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("compare") {
+        std::process::exit(run_compare(&raw[1..]));
+    }
+
     let mut size = "full".to_owned();
     let mut picks: Vec<String> = Vec::new();
     let mut threads: Option<usize> = None;
     let mut profile = false;
-    let mut args = std::env::args().skip(1);
+    let mut trace_path: Option<PathBuf> = None;
+    let mut events_path: Option<PathBuf> = None;
+    let mut manifest_path: Option<PathBuf> = None;
+    let mut args = raw.into_iter();
+    // an output flag may appear once, and distinct outputs must not share
+    // a path — catch both before spending minutes computing
+    let path_flag = |slot: &mut Option<PathBuf>, flag: &str, value: Option<String>| {
+        let value = value.unwrap_or_else(|| usage_err(&format!("{flag} needs a path")));
+        if slot.is_some() {
+            usage_err(&format!("duplicate {flag}"));
+        }
+        *slot = Some(PathBuf::from(value));
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--size" => {
-                size = args.next().unwrap_or_else(|| {
-                    eprintln!("--size needs a value (full|small|tiny)");
-                    std::process::exit(2);
-                })
+                size = args
+                    .next()
+                    .unwrap_or_else(|| usage_err("--size needs a value (full|small|tiny)"))
             }
             "--threads" => {
-                let v = args.next().unwrap_or_else(|| {
-                    eprintln!("--threads needs a value");
-                    std::process::exit(2);
-                });
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_err("--threads needs a value"));
                 threads = Some(v.parse().unwrap_or_else(|_| {
-                    eprintln!("--threads needs a positive integer, got `{v}`");
-                    std::process::exit(2);
+                    usage_err(&format!("--threads needs a positive integer, got `{v}`"))
                 }));
             }
             "--profile" => profile = true,
+            "--trace" => path_flag(&mut trace_path, "--trace", args.next()),
+            "--events" => path_flag(&mut events_path, "--events", args.next()),
+            "--manifest" => path_flag(&mut manifest_path, "--manifest", args.next()),
             "--help" | "-h" => {
-                println!(
-                    "usage: repro [EXPERIMENT...] [--size full|small|tiny] [--threads N] [--profile]\n\
-                     experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6 fig7 fig8 thermal ablations layouts all"
-                );
+                println!("{USAGE}");
                 return;
             }
             other if other.starts_with('-') => {
-                eprintln!("unknown flag `{other}`; see --help");
-                std::process::exit(2);
+                usage_err(&format!("unknown flag `{other}`"));
             }
             other => picks.push(other.to_owned()),
         }
     }
+    let outputs = [
+        ("--trace", &trace_path),
+        ("--events", &events_path),
+        ("--manifest", &manifest_path),
+    ];
+    for (i, (fa, pa)) in outputs.iter().enumerate() {
+        for (fb, pb) in outputs.iter().skip(i + 1) {
+            if let (Some(pa), Some(pb)) = (pa, pb) {
+                if pa == pb {
+                    usage_err(&format!("{fa} and {fb} point at the same path {pa:?}"));
+                }
+            }
+        }
+    }
+
     let threads = foldic_exec::resolve_threads(threads);
-    if profile {
+    let tracing = trace_path.is_some() || events_path.is_some();
+    if profile || manifest_path.is_some() {
         foldic_exec::profile::set_enabled(true);
+    }
+    if tracing {
+        foldic_obs::trace::set_enabled(true);
+    }
+    if manifest_path.is_some() {
+        foldic_obs::metrics::set_enabled(true);
     }
     if picks.is_empty() {
         picks.push("all".to_owned());
@@ -69,11 +130,21 @@ fn main() {
         "full" => T2Config::full(),
         "small" => T2Config::small(),
         "tiny" => T2Config::tiny(),
-        other => {
-            eprintln!("unknown size `{other}` (full|small|tiny)");
-            std::process::exit(2);
-        }
+        other => usage_err(&format!("unknown size `{other}` (full|small|tiny)")),
     };
+
+    let mut manifest = RunManifest::default();
+    manifest.config.insert("size".into(), size.clone());
+    manifest
+        .config
+        .insert("seed".into(), format!("{:#x}", cfg.seed));
+    manifest
+        .config
+        .insert("cluster_size".into(), cfg.cluster_size.to_string());
+    // per-experiment wall clocks and pool stats go here — everything in
+    // this object may vary across thread counts and is stripped before
+    // determinism comparisons
+    let mut timing_experiments: BTreeMap<String, Json> = BTreeMap::new();
 
     println!(
         "foldic repro — synthetic OpenSPARC T2 @ size={size} (seed {:#x}, cluster {}x, {threads} thread{})",
@@ -91,18 +162,25 @@ fn main() {
     );
 
     let want = |name: &str, picks: &[String]| picks.iter().any(|p| p == name || p == "all");
-    let mut ran = 0;
+    let mut ran: Vec<String> = Vec::new();
     macro_rules! run {
         ($name:literal, $body:expr) => {
             if want($name, &picks) {
                 let t = Instant::now();
                 let report = $body;
-                println!("{report}");
+                let text = report.to_string();
+                println!("{text}");
+                let stage_report = foldic_exec::profile::take();
                 if profile {
-                    println!("-- profile: {} --\n{}", $name, foldic_exec::profile::take());
+                    println!("-- profile: {} --\n{}", $name, stage_report);
+                }
+                if manifest_path.is_some() {
+                    manifest.record_result($name, &text);
+                    timing_experiments
+                        .insert($name.to_owned(), timing_json(&stage_report, t.elapsed()));
                 }
                 println!("[{} finished in {:?}]\n", $name, t.elapsed());
-                ran += 1;
+                ran.push($name.to_owned());
             }
         };
     }
@@ -122,15 +200,151 @@ fn main() {
     run!("ablations", experiments::ablations(&mut ctx));
     if want("layouts", &picks) {
         let t = Instant::now();
-        let report = experiments::layouts(&mut ctx, std::path::Path::new("layouts"));
+        let report = experiments::layouts(&mut ctx, Path::new("layouts"));
         println!("{report}");
         println!("[layouts finished in {:?}]\n", t.elapsed());
-        ran += 1;
+        ran.push("layouts".to_owned());
     }
 
-    if ran == 0 {
+    if ran.is_empty() {
         eprintln!("no experiment matched {picks:?}; see --help");
         std::process::exit(2);
     }
     println!("total wall time {:?}", t0.elapsed());
+
+    if tracing {
+        foldic_obs::trace::set_enabled(false);
+        let events = foldic_obs::trace::take_events();
+        if let Some(path) = &trace_path {
+            write_or_die(path, &foldic_obs::trace::chrome_trace_json(&events));
+            println!("trace: {} events -> {}", events.len(), path.display());
+        }
+        if let Some(path) = &events_path {
+            write_or_die(path, &foldic_obs::trace::events_jsonl(&events));
+            println!("events: {} -> {}", events.len(), path.display());
+        }
+    }
+    if let Some(path) = manifest_path {
+        manifest.config.insert("experiments".into(), ran.join("+"));
+        manifest.metrics = foldic_obs::metrics::take();
+        foldic_obs::metrics::set_enabled(false);
+        manifest.timing = Json::obj([
+            ("threads".to_owned(), Json::Num(threads as f64)),
+            (
+                "total_wall_s".to_owned(),
+                Json::Num(t0.elapsed().as_secs_f64()),
+            ),
+            ("experiments".to_owned(), Json::Obj(timing_experiments)),
+        ]);
+        let path = if path.is_dir() {
+            path.join(format!("run-{}-{size}.json", ran.join("+")))
+        } else {
+            path
+        };
+        write_or_die(&path, &manifest.to_json_text());
+        println!("manifest: {}", path.display());
+    }
+}
+
+/// One experiment's wall-clock record for the manifest `timing` section.
+fn timing_json(report: &foldic_exec::profile::Report, wall: std::time::Duration) -> Json {
+    let stages = report
+        .stages
+        .iter()
+        .map(|(name, s)| {
+            (
+                name.clone(),
+                Json::obj([
+                    ("calls".to_owned(), Json::Num(s.calls as f64)),
+                    ("wall_ms".to_owned(), Json::Num(s.wall.as_secs_f64() * 1e3)),
+                    ("iters".to_owned(), Json::Num(s.iters as f64)),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj([
+        ("wall_s".to_owned(), Json::Num(wall.as_secs_f64())),
+        ("stages".to_owned(), Json::Obj(stages)),
+        (
+            "pool".to_owned(),
+            Json::obj([
+                ("jobs".to_owned(), Json::Num(report.jobs as f64)),
+                ("steals".to_owned(), Json::Num(report.steals as f64)),
+                ("runs".to_owned(), Json::Num(report.runs as f64)),
+                (
+                    "peak_queue_depth".to_owned(),
+                    Json::Num(report.peak_queue_depth as f64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn write_or_die(path: &Path, content: &str) {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+}
+
+/// `repro compare <baseline.json> <candidate.json> [--tol PCT]`.
+/// Exit code: 0 clean, 1 regression, 2 usage/parse error.
+fn run_compare(args: &[String]) -> i32 {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut cfg = CompareConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tol" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--tol needs a percentage"));
+                cfg.rel_tol_pct = v.parse().unwrap_or_else(|_| {
+                    usage_err(&format!("--tol needs a number (percent), got `{v}`"))
+                });
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other if other.starts_with('-') => usage_err(&format!("unknown flag `{other}`")),
+            other => paths.push(other),
+        }
+    }
+    let [base_path, cand_path] = paths[..] else {
+        usage_err("compare needs exactly <baseline.json> <candidate.json>");
+    };
+    let load = |p: &str| -> RunManifest {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {p}: {e}");
+            std::process::exit(2);
+        });
+        RunManifest::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = load(base_path);
+    let cand = load(cand_path);
+    let outcome = compare(&base, &cand, cfg);
+    for c in &outcome.changes {
+        println!("  ~ {c}");
+    }
+    for r in &outcome.regressions {
+        println!("  ! {r}");
+    }
+    println!(
+        "compare: {} values, {} in-tolerance changes, {} regressions (tol {}%)",
+        outcome.compared,
+        outcome.changes.len(),
+        outcome.regressions.len(),
+        cfg.rel_tol_pct
+    );
+    if outcome.is_ok() {
+        println!("OK: {cand_path} matches {base_path}");
+        0
+    } else {
+        println!("REGRESSION: {cand_path} deviates from {base_path}");
+        1
+    }
 }

@@ -122,6 +122,11 @@ pub fn run_block_flow(
     budgets: &TimingBudgets,
     cfg: &FlowConfig,
 ) -> BlockResult {
+    let _span = foldic_obs::span!(
+        "block_flow",
+        block = block.name.as_str(),
+        folded = block.folded,
+    );
     let outline = block.outline;
     let max_layer = block_max_layer(block, cfg.bonding, &cfg.policy);
 
@@ -169,6 +174,12 @@ pub fn run_block_flow(
         power,
         sta.wns_ps,
     );
+    if foldic_obs::metrics::is_enabled() {
+        foldic_obs::metrics::add("flow.blocks", 1);
+        foldic_obs::metrics::observe("flow.block_wns_ps", metrics.wns_ps);
+        foldic_obs::metrics::observe("flow.block_power_uw", metrics.power.total_uw());
+        foldic_obs::metrics::observe("flow.block_wirelength_um", metrics.wirelength_um);
+    }
     BlockResult { metrics, opt }
 }
 

@@ -90,6 +90,17 @@ impl DesignStyle {
             DesignStyle::FoldedF2f => "3D folded (F2F)",
         }
     }
+
+    /// Short machine-readable name used in metric keys and manifests.
+    pub fn slug(self) -> &'static str {
+        match self {
+            DesignStyle::Flat2d => "2d",
+            DesignStyle::CoreCache => "core_cache",
+            DesignStyle::CoreCore => "core_core",
+            DesignStyle::FoldedF2b => "folded_f2b",
+            DesignStyle::FoldedF2f => "folded_f2f",
+        }
+    }
 }
 
 /// Full-chip run configuration.
@@ -162,6 +173,7 @@ pub fn run_fullchip(
     style: DesignStyle,
     cfg: &FullChipConfig,
 ) -> FullChipResult {
+    let _span = foldic_obs::span!("fullchip", style = style.slug(), dual_vth = cfg.dual_vth,);
     let bonding = style.bonding();
 
     // ---- 1. fold the selected blocks --------------------------------------
@@ -366,6 +378,25 @@ pub fn run_fullchip(
     };
     chip.power += chip_power;
     chip.num_3d_connections = cross_nets + intra_block_vias;
+
+    // Per-style chip roll-up gauges. This runs serially once per
+    // (style, dual_vth) pair within a run, so last-write-wins is safe,
+    // and the values are pure functions of the deterministic flow — they
+    // land in manifests and must not vary across thread counts.
+    if foldic_obs::metrics::is_enabled() {
+        let key = |field: &str| {
+            let dvt = if cfg.dual_vth { ".dvt" } else { "" };
+            format!("fullchip.{}{dvt}.{field}", style.slug())
+        };
+        foldic_obs::metrics::set_gauge(&key("power_total_uw"), chip.power.total_uw());
+        foldic_obs::metrics::set_gauge(&key("power_cell_uw"), chip.power.cell_uw);
+        foldic_obs::metrics::set_gauge(&key("power_net_uw"), chip.power.net_uw());
+        foldic_obs::metrics::set_gauge(&key("power_leakage_uw"), chip.power.leakage_uw);
+        foldic_obs::metrics::set_gauge(&key("wirelength_um"), chip.wirelength_um);
+        foldic_obs::metrics::set_gauge(&key("footprint_um2"), chip.footprint_um2);
+        foldic_obs::metrics::set_gauge(&key("connections_3d"), chip.num_3d_connections as f64);
+        foldic_obs::metrics::set_gauge(&key("buffers"), chip.num_buffers as f64);
+    }
 
     FullChipResult {
         style,

@@ -106,12 +106,19 @@ where
         let results = items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| f(i, item))
+            .map(|(i, item)| {
+                let _span = foldic_obs::span!("job", idx = i, worker = 0usize);
+                f(i, item)
+            })
             .collect();
         stats.wall = t0.elapsed();
         profile::note_run(&stats);
         return (results, stats);
     }
+
+    // Capture the submitting span so jobs on pool workers (whose span
+    // stacks start empty) still attribute to it.
+    let parent_span = foldic_obs::trace::current_span();
 
     // Per-worker deques, filled round-robin so early jobs start early on
     // every worker. A worker pops its own queue from the front and steals
@@ -150,8 +157,18 @@ where
                         .max_by_key(|&w| queues[w].lock().unwrap().len());
                     if let Some(v) = victim {
                         job = queues[v].lock().unwrap().pop_back();
-                        if job.is_some() {
+                        if let Some((idx, _)) = &job {
                             steals.fetch_add(1, Ordering::Relaxed);
+                            if foldic_obs::trace::is_enabled() {
+                                foldic_obs::trace::instant(
+                                    "steal",
+                                    vec![
+                                        ("worker", me.into()),
+                                        ("victim", v.into()),
+                                        ("idx", (*idx).into()),
+                                    ],
+                                );
+                            }
                         }
                     }
                 }
@@ -161,7 +178,12 @@ where
                     // is terminal for this worker.
                     break;
                 };
-                match catch_unwind(AssertUnwindSafe(|| f(idx, item))) {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    foldic_obs::trace::run_with_parent(parent_span, || {
+                        let _span = foldic_obs::span!("job", idx = idx, worker = me);
+                        f(idx, item)
+                    })
+                })) {
                     Ok(r) => results.lock().unwrap()[idx] = Some(r),
                     Err(p) => {
                         let mut slot = panic_payload.lock().unwrap();
@@ -257,5 +279,36 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u8> = par_map(4, Vec::<u8>::new(), |_, x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_jobs_attribute_to_the_submitting_span() {
+        use foldic_obs::trace;
+        trace::set_enabled(true);
+        let submit_id = {
+            let submit = foldic_obs::span!("fanout_test");
+            let id = submit.id().unwrap();
+            let out = par_map(4, (0..16).collect::<Vec<usize>>(), |_, x| x * 3);
+            assert_eq!(out, (0..16).map(|x| x * 3).collect::<Vec<_>>());
+            id
+        };
+        trace::set_enabled(false);
+        let events = trace::take_events();
+        // Other tests may run par_map concurrently; only count jobs that
+        // claim *our* span as parent.
+        let mine: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.name == "job" && e.kind == trace::EventKind::Begin && e.parent == Some(submit_id)
+            })
+            .collect();
+        assert_eq!(mine.len(), 16, "every pool job inherits the fan-out span");
+        // jobs really ran on pool workers, not the submitting thread
+        let submit_tid = events
+            .iter()
+            .find(|e| e.name == "fanout_test")
+            .map(|e| e.tid)
+            .unwrap();
+        assert!(mine.iter().all(|e| e.tid != submit_tid));
     }
 }

@@ -61,29 +61,48 @@ impl Report {
     }
 }
 
+impl Report {
+    /// Total wall time across *top-level* stages (nested `outer/inner`
+    /// entries already count inside their parent's wall). This is the
+    /// denominator of the `share` column.
+    pub fn total_wall(&self) -> Duration {
+        self.stages
+            .iter()
+            .filter(|(name, _)| !name.contains('/'))
+            .map(|(_, s)| s.wall)
+            .sum()
+    }
+}
+
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<28} {:>8} {:>12} {:>14} {:>12}",
-            "stage", "calls", "wall ms", "iters", "ms/call"
+            "{:<28} {:>8} {:>12} {:>8} {:>14} {:>12}",
+            "stage", "calls", "wall ms", "share", "iters", "ms/call"
         )?;
+        let total = self.total_wall().as_secs_f64().max(1e-12);
         for (name, s) in &self.stages {
             let ms = s.wall.as_secs_f64() * 1e3;
             writeln!(
                 f,
-                "{:<28} {:>8} {:>12.2} {:>14} {:>12.3}",
+                "{:<28} {:>8} {:>12.2} {:>7.1}% {:>14} {:>12.3}",
                 name,
                 s.calls,
                 ms,
+                s.wall.as_secs_f64() / total * 100.0,
                 s.iters,
                 ms / s.calls.max(1) as f64
             )?;
         }
         writeln!(
             f,
-            "pool: {} jobs over {} fan-outs, {} steals, peak queue depth {}",
-            self.jobs, self.runs, self.steals, self.peak_queue_depth
+            "pool: {} jobs over {} fan-outs, {} steals ({:.3} steals/job), peak queue depth {}",
+            self.jobs,
+            self.runs,
+            self.steals,
+            self.steals as f64 / self.jobs.max(1) as f64,
+            self.peak_queue_depth
         )
     }
 }
@@ -110,9 +129,10 @@ pub fn take() -> Report {
         .unwrap_or_default()
 }
 
-/// Runs `f` as a named stage, recording wall time when profiling is on.
+/// Runs `f` as a named stage, recording wall time when profiling is on
+/// and a trace span when tracing is on.
 pub fn stage<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
-    if !is_enabled() {
+    if !is_enabled() && !foldic_obs::trace::is_enabled() {
         return f();
     }
     let _guard = StageTimer::start(name);
@@ -149,10 +169,12 @@ pub(crate) fn note_run(stats: &RunStats) {
 }
 
 /// RAII stage timer: records on drop, so early returns and panics inside
-/// the stage still count.
+/// the stage still count. Each stage doubles as a trace span, so
+/// `--trace` output shows the same names as `--profile`.
 pub struct StageTimer {
     name: &'static str,
     start: Instant,
+    _span: foldic_obs::trace::SpanGuard,
 }
 
 impl StageTimer {
@@ -162,6 +184,7 @@ impl StageTimer {
         Self {
             name,
             start: Instant::now(),
+            _span: foldic_obs::trace::SpanGuard::enter(name),
         }
     }
 }
@@ -176,8 +199,12 @@ impl Drop for StageTimer {
             a.pop();
             full
         });
-        if let Some(report) = GLOBAL.lock().unwrap().as_mut() {
-            report.merge_stage(full, wall, 0);
+        // stage() also opens timers for trace-only runs; only feed the
+        // profile report while profiling itself is on
+        if is_enabled() {
+            if let Some(report) = GLOBAL.lock().unwrap().as_mut() {
+                report.merge_stage(full, wall, 0);
+            }
         }
     }
 }
@@ -213,6 +240,28 @@ mod tests {
         stage("ghost", || ran = true);
         assert!(ran);
         assert!(take().stages.is_empty());
+    }
+
+    #[test]
+    fn report_header_has_share_column_and_steal_rate() {
+        let mut report = Report::default();
+        report.merge_stage("place".to_owned(), Duration::from_millis(30), 5);
+        report.merge_stage("route".to_owned(), Duration::from_millis(10), 0);
+        report.merge_stage("place/inner".to_owned(), Duration::from_millis(5), 0);
+        report.jobs = 8;
+        report.steals = 2;
+        let rendered = report.to_string();
+        let header = rendered.lines().next().unwrap();
+        for col in ["stage", "calls", "wall ms", "share", "iters", "ms/call"] {
+            assert!(header.contains(col), "header missing {col:?}: {header}");
+        }
+        // shares are percentages of top-level wall (30 + 10 ms)
+        let place = rendered.lines().find(|l| l.starts_with("place ")).unwrap();
+        assert!(place.contains("75.0%"), "{place}");
+        assert!(
+            rendered.contains("0.250 steals/job"),
+            "pool line reports steals/job: {rendered}"
+        );
     }
 
     #[test]

@@ -190,7 +190,11 @@ pub fn anneal_floorplan(
     let mut cur_cost = best_cost;
     let mut best_sp = sp.clone();
     let mut t = cfg.t0 * best_cost;
-    for _ in 0..cfg.steps {
+    let _span = foldic_obs::span!("floorplan_sa", blocks = n, steps = cfg.steps);
+    for step in 0..cfg.steps {
+        // Sampled observability: accumulate locally and flush once per
+        // temperature step — never a hook per move.
+        let mut accepts = 0u64;
         for _ in 0..cfg.moves_per_temp {
             let mut cand = sp.clone();
             let a = rng.gen_range(0..n);
@@ -209,6 +213,7 @@ pub fn anneal_floorplan(
                 rng.gen::<f64>() < (-d).exp()
             };
             if accept {
+                accepts += 1;
                 sp = cand;
                 cur_cost = c;
                 if c < best_cost {
@@ -219,6 +224,23 @@ pub fn anneal_floorplan(
                     bh = h;
                 }
             }
+        }
+        let ratio = accepts as f64 / cfg.moves_per_temp.max(1) as f64;
+        if foldic_obs::metrics::is_enabled() {
+            foldic_obs::metrics::add("floorplan.sa.steps", 1);
+            foldic_obs::metrics::add("floorplan.sa.moves", cfg.moves_per_temp as u64);
+            foldic_obs::metrics::add("floorplan.sa.accepts", accepts);
+            foldic_obs::metrics::observe("floorplan.sa.acceptance", ratio);
+        }
+        if foldic_obs::trace::is_enabled() && step % 16 == 0 {
+            foldic_obs::trace::instant(
+                "sa_temp",
+                vec![
+                    ("step", step.into()),
+                    ("t", t.into()),
+                    ("acceptance", ratio.into()),
+                ],
+            );
         }
         t *= cfg.cooling;
     }
@@ -293,6 +315,30 @@ mod tests {
             bb.width() <= 52.0 && bb.height() <= 52.0,
             "SA left {bb} outside the outline"
         );
+    }
+
+    #[test]
+    fn sa_reports_sampled_counters_when_metrics_enabled() {
+        let blocks = squares(6, 10.0);
+        let cfg = SaConfig {
+            steps: 10,
+            moves_per_temp: 8,
+            ..Default::default()
+        };
+        foldic_obs::metrics::set_enabled(true);
+        let _ = anneal_floorplan(&blocks, &Vec::new(), None, &cfg);
+        let snap = foldic_obs::metrics::take();
+        foldic_obs::metrics::set_enabled(false);
+        // other tests in this binary may anneal concurrently, so assert
+        // lower bounds, not equality
+        assert!(snap.counter("floorplan.sa.steps") >= 10);
+        assert!(snap.counter("floorplan.sa.moves") >= 80);
+        assert!(snap.counter("floorplan.sa.accepts") <= snap.counter("floorplan.sa.moves"));
+        let acc = snap
+            .histogram("floorplan.sa.acceptance")
+            .expect("histogram");
+        assert!(acc.count >= 10);
+        assert!(acc.max <= 1.0 && acc.min >= 0.0);
     }
 
     #[test]

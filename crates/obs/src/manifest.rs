@@ -1,0 +1,395 @@
+//! Run manifests and the `repro compare` regression gate.
+//!
+//! A [`RunManifest`] is the machine-readable record of one `repro` run:
+//! the configuration that produced it, per-stage wall-clock timings, a
+//! metrics-registry snapshot, and a digest + line count per experiment
+//! report. Manifests are written as pretty JSON with deterministically
+//! ordered keys, so two runs of the same build are byte-identical —
+//! *except* for the `timing` section, which holds everything wall-clock
+//! or scheduling dependent (stage seconds, steal counts, thread count).
+//! [`RunManifest::strip_timing`] removes exactly that section; what
+//! remains must not vary across `--threads` values.
+//!
+//! [`compare`] diffs two manifests with per-metric relative tolerances
+//! and reports regressions, which the `repro compare` subcommand turns
+//! into a nonzero exit code.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::metrics::{Metric, Snapshot};
+
+/// Manifest schema identifier, bumped on incompatible layout changes.
+pub const SCHEMA: &str = "foldic-run-manifest/1";
+
+/// Digest + shape of one experiment's report text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentResult {
+    /// FNV-1a 64 digest of the report text, `"fnv64:<16 hex>"`.
+    pub digest: String,
+    /// Number of lines in the report text.
+    pub lines: u64,
+}
+
+/// The structured record of one `repro` run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunManifest {
+    /// Key/value configuration (experiment names, size, seed, …).
+    /// Everything here participates in comparison.
+    pub config: BTreeMap<String, String>,
+    /// Wall-clock and scheduling data (per-stage seconds, thread count,
+    /// steal totals). Excluded from determinism digests and comparison.
+    pub timing: Json,
+    /// Metrics-registry snapshot at the end of the run.
+    pub metrics: Snapshot,
+    /// Experiment name → result digest.
+    pub results: BTreeMap<String, ExperimentResult>,
+}
+
+/// FNV-1a 64-bit digest of a report text, formatted `fnv64:<16 hex>`.
+pub fn digest_report(text: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("fnv64:{hash:016x}")
+}
+
+impl RunManifest {
+    /// Records one experiment's report text as a digest entry.
+    pub fn record_result(&mut self, experiment: &str, report_text: &str) {
+        self.results.insert(
+            experiment.to_owned(),
+            ExperimentResult {
+                digest: digest_report(report_text),
+                lines: report_text.lines().count() as u64,
+            },
+        );
+    }
+
+    /// Drops the wall-clock section; the remainder must be identical
+    /// across thread counts for the same build + config.
+    pub fn strip_timing(&mut self) {
+        self.timing = Json::Null;
+    }
+
+    /// Serializes to the JSON layout described by [`SCHEMA`].
+    pub fn to_json(&self) -> Json {
+        let config = self
+            .config
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+            .collect();
+        let results = self
+            .results
+            .iter()
+            .map(|(name, r)| {
+                (
+                    name.clone(),
+                    Json::obj([
+                        ("digest".to_owned(), Json::Str(r.digest.clone())),
+                        ("lines".to_owned(), Json::Num(r.lines as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::obj([
+            ("schema".to_owned(), Json::Str(SCHEMA.to_owned())),
+            ("config".to_owned(), Json::Obj(config)),
+            ("timing".to_owned(), self.timing.clone()),
+            ("metrics".to_owned(), self.metrics.to_json()),
+            ("results".to_owned(), Json::Obj(results)),
+        ])
+    }
+
+    /// Pretty JSON text of [`RunManifest::to_json`].
+    pub fn to_json_text(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Parses a manifest back from its JSON form.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        match json.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported manifest schema {other:?}")),
+            None => return Err("missing manifest schema".to_owned()),
+        }
+        let mut manifest = Self::default();
+        if let Some(Json::Obj(config)) = json.get("config") {
+            for (k, v) in config {
+                let v = v
+                    .as_str()
+                    .ok_or_else(|| format!("config.{k} is not a string"))?;
+                manifest.config.insert(k.clone(), v.to_owned());
+            }
+        }
+        manifest.timing = json.get("timing").cloned().unwrap_or(Json::Null);
+        if let Some(metrics) = json.get("metrics") {
+            manifest.metrics = Snapshot::from_json(metrics)?;
+        }
+        if let Some(Json::Obj(results)) = json.get("results") {
+            for (name, r) in results {
+                let digest = r
+                    .get("digest")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("results.{name}.digest missing"))?;
+                let lines = r.get("lines").and_then(Json::as_f64).unwrap_or(0.0);
+                manifest.results.insert(
+                    name.clone(),
+                    ExperimentResult {
+                        digest: digest.to_owned(),
+                        lines: lines as u64,
+                    },
+                );
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Parses manifest JSON text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
+/// Tolerances for [`compare`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// Maximum allowed relative delta, in percent, for numeric metrics
+    /// (counters, gauges, histogram count/sum).
+    pub rel_tol_pct: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        Self { rel_tol_pct: 0.5 }
+    }
+}
+
+/// Outcome of comparing a candidate manifest against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct CompareOutcome {
+    /// Deltas beyond tolerance, missing metrics/results, digest or
+    /// config mismatches. Non-empty ⇒ the gate fails.
+    pub regressions: Vec<String>,
+    /// In-tolerance deltas, reported for context.
+    pub changes: Vec<String>,
+    /// Number of metric/result values compared.
+    pub compared: usize,
+}
+
+impl CompareOutcome {
+    /// `true` when nothing regressed.
+    pub fn is_ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn rel_delta_pct(base: f64, cand: f64) -> f64 {
+    if base == cand {
+        return 0.0;
+    }
+    let denom = base.abs().max(1e-12);
+    (cand - base).abs() / denom * 100.0
+}
+
+/// Diffs `cand` against `base`. The `timing` sections are ignored;
+/// everything else is compared — config keys for equality, result
+/// digests for equality, and numeric metric values within
+/// `cfg.rel_tol_pct` percent. A metric or experiment present in the
+/// baseline but missing from the candidate is a regression; one only in
+/// the candidate is reported as an in-tolerance change (new telemetry
+/// must not fail old baselines).
+pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: CompareConfig) -> CompareOutcome {
+    let mut out = CompareOutcome::default();
+
+    for (key, bv) in &base.config {
+        match cand.config.get(key) {
+            Some(cv) if cv == bv => {}
+            Some(cv) => out
+                .regressions
+                .push(format!("config {key}: baseline {bv:?} vs candidate {cv:?}")),
+            None => out
+                .regressions
+                .push(format!("config {key}: missing from candidate")),
+        }
+        out.compared += 1;
+    }
+
+    for (name, br) in &base.results {
+        out.compared += 1;
+        match cand.results.get(name) {
+            None => out
+                .regressions
+                .push(format!("result {name}: missing from candidate")),
+            Some(cr) if cr.digest == br.digest => {}
+            Some(cr) => out.regressions.push(format!(
+                "result {name}: digest {} vs {} ({} vs {} lines)",
+                br.digest, cr.digest, br.lines, cr.lines
+            )),
+        }
+    }
+    for name in cand.results.keys() {
+        if !base.results.contains_key(name) {
+            out.changes.push(format!("result {name}: new in candidate"));
+        }
+    }
+
+    fn check(
+        out: &mut CompareOutcome,
+        tol_pct: f64,
+        name: &str,
+        what: &str,
+        base_v: f64,
+        cand_v: f64,
+    ) {
+        out.compared += 1;
+        let delta = rel_delta_pct(base_v, cand_v);
+        if delta > tol_pct {
+            out.regressions.push(format!(
+                "metric {name} {what}: {base_v} -> {cand_v} ({delta:.2}% > {tol_pct:.2}%)"
+            ));
+        } else if delta > 0.0 {
+            out.changes.push(format!(
+                "metric {name} {what}: {base_v} -> {cand_v} ({delta:.2}%)"
+            ));
+        }
+    }
+
+    let tol = cfg.rel_tol_pct;
+    for (name, bm) in &base.metrics.metrics {
+        match (bm, cand.metrics.metrics.get(name)) {
+            (_, None) => {
+                out.compared += 1;
+                out.regressions
+                    .push(format!("metric {name}: missing from candidate"));
+            }
+            (Metric::Counter(b), Some(Metric::Counter(c))) => {
+                check(&mut out, tol, name, "count", *b as f64, *c as f64);
+            }
+            (Metric::Gauge(b), Some(Metric::Gauge(c))) => {
+                check(&mut out, tol, name, "value", *b, *c);
+            }
+            (Metric::Histogram(b), Some(Metric::Histogram(c))) => {
+                check(&mut out, tol, name, "count", b.count as f64, c.count as f64);
+                check(&mut out, tol, name, "sum", b.sum(), c.sum());
+            }
+            (_, Some(other)) => {
+                out.compared += 1;
+                out.regressions
+                    .push(format!("metric {name}: kind changed to {other:?}"));
+            }
+        }
+    }
+    for name in cand.metrics.metrics.keys() {
+        if !base.metrics.metrics.contains_key(name) {
+            out.changes.push(format!("metric {name}: new in candidate"));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    fn sample() -> RunManifest {
+        let mut m = RunManifest::default();
+        m.config.insert("experiments".into(), "table2".into());
+        m.config.insert("size".into(), "tiny".into());
+        m.config.insert("seed".into(), "42".into());
+        m.timing = Json::obj([("wall_s".to_owned(), Json::Num(1.25))]);
+        m.metrics
+            .metrics
+            .insert("sa.moves".into(), Metric::Counter(7200));
+        m.metrics
+            .metrics
+            .insert("fullchip.2d.power_total_uw".into(), Metric::Gauge(1000.0));
+        let mut h = Histogram {
+            count: 3,
+            sum_fp: (30.0 * 65536.0) as i128,
+            min: 5.0,
+            max: 15.0,
+            ..Histogram::default()
+        };
+        h.buckets.insert(2, 1);
+        h.buckets.insert(3, 2);
+        m.metrics
+            .metrics
+            .insert("route.net_length_um".into(), Metric::Histogram(h));
+        m.record_result("table2", "Table 2\nrow a\nrow b\n");
+        m
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json_text() {
+        let m = sample();
+        let text = m.to_json_text();
+        let back = RunManifest::parse(&text).unwrap();
+        assert_eq!(back.config, m.config);
+        assert_eq!(back.results, m.results);
+        assert_eq!(back.metrics, m.metrics);
+        // serialization is deterministic
+        assert_eq!(back.to_json_text(), text);
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let d = digest_report("Table 2\nrow a\n");
+        assert!(d.starts_with("fnv64:") && d.len() == 6 + 16, "{d}");
+        assert_eq!(d, digest_report("Table 2\nrow a\n"));
+        assert_ne!(d, digest_report("Table 2\nrow b\n"));
+    }
+
+    #[test]
+    fn self_compare_is_clean_even_with_different_timing() {
+        let base = sample();
+        let mut cand = sample();
+        cand.timing = Json::obj([("wall_s".to_owned(), Json::Num(99.9))]);
+        let out = compare(&base, &cand, CompareConfig::default());
+        assert!(out.is_ok(), "{:?}", out.regressions);
+        assert!(out.compared > 0);
+    }
+
+    #[test]
+    fn perturbation_beyond_threshold_regresses_but_within_does_not() {
+        let base = sample();
+        let mut cand = sample();
+        cand.metrics
+            .metrics
+            .insert("fullchip.2d.power_total_uw".into(), Metric::Gauge(1020.0));
+        let out = compare(&base, &cand, CompareConfig { rel_tol_pct: 0.5 });
+        assert!(!out.is_ok(), "2% gauge drift must trip a 0.5% gate");
+        let loose = compare(&base, &cand, CompareConfig { rel_tol_pct: 5.0 });
+        assert!(loose.is_ok(), "{:?}", loose.regressions);
+        assert!(!loose.changes.is_empty(), "in-tolerance drift is reported");
+    }
+
+    #[test]
+    fn missing_metric_config_drift_and_digest_change_regress() {
+        let base = sample();
+
+        let mut cand = sample();
+        cand.metrics.metrics.remove("sa.moves");
+        assert!(!compare(&base, &cand, CompareConfig::default()).is_ok());
+
+        let mut cand = sample();
+        cand.config.insert("size".into(), "small".into());
+        assert!(!compare(&base, &cand, CompareConfig::default()).is_ok());
+
+        let mut cand = sample();
+        cand.record_result("table2", "Table 2\nrow a\nrow CHANGED\n");
+        assert!(!compare(&base, &cand, CompareConfig::default()).is_ok());
+
+        // extra metrics/results in the candidate are fine
+        let mut cand = sample();
+        cand.metrics
+            .metrics
+            .insert("new.metric".into(), Metric::Counter(1));
+        cand.record_result("fig2", "Fig 2\n");
+        assert!(compare(&base, &cand, CompareConfig::default()).is_ok());
+    }
+}

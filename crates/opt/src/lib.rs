@@ -424,9 +424,25 @@ pub fn optimize_block_with_vias(
         ..Default::default()
     };
 
+    // Per-round WNS trajectory, accumulated locally and flushed once at
+    // the end (sampled observability — no hook inside the fix loops).
+    let mut wns_traj: Vec<f64> = Vec::new();
+    let mut note = |round: usize, wns_ps: f64| {
+        if foldic_obs::metrics::is_enabled() {
+            wns_traj.push(wns_ps);
+        }
+        if foldic_obs::trace::is_enabled() {
+            foldic_obs::trace::instant(
+                "opt_round",
+                vec![("round", round.into()), ("wns_ps", wns_ps.into())],
+            );
+        }
+    };
+
     // 2. timing recovery rounds
     let mut report = sta(netlist, tech, budgets, cfg, vias);
     stats.rounds += 1;
+    note(stats.rounds, report.wns_ps);
     for _ in 0..cfg.rounds {
         if report.met() {
             break;
@@ -435,6 +451,7 @@ pub fn optimize_block_with_vias(
         stats.upsized += up;
         report = sta(netlist, tech, budgets, cfg, vias);
         stats.rounds += 1;
+        note(stats.rounds, report.wns_ps);
         if up == 0 {
             break;
         }
@@ -447,6 +464,7 @@ pub fn optimize_block_with_vias(
         stats.downsized += down;
         report = sta(netlist, tech, budgets, cfg, vias);
         stats.rounds += 1;
+        note(stats.rounds, report.wns_ps);
         if down == 0 {
             break;
         }
@@ -458,6 +476,7 @@ pub fn optimize_block_with_vias(
         stats.hvt_swapped = swap_to_hvt(netlist, tech, &report, cfg);
         report = sta(netlist, tech, budgets, cfg, vias);
         stats.rounds += 1;
+        note(stats.rounds, report.wns_ps);
         for _ in 0..2 {
             if report.met() {
                 break;
@@ -466,6 +485,7 @@ pub fn optimize_block_with_vias(
             stats.hvt_swapped = stats.hvt_swapped.saturating_sub(reverted);
             report = sta(netlist, tech, budgets, cfg, vias);
             stats.rounds += 1;
+            note(stats.rounds, report.wns_ps);
             if reverted == 0 {
                 break;
             }
@@ -475,6 +495,14 @@ pub fn optimize_block_with_vias(
     stats.final_wns_ps = report.wns_ps;
     stats.final_violations = report.violations;
     foldic_exec::profile::add_iters(stats.rounds as u64);
+    if foldic_obs::metrics::is_enabled() {
+        foldic_obs::metrics::add("opt.buffers_added", stats.buffers_added as u64);
+        foldic_obs::metrics::add("opt.upsized", stats.upsized as u64);
+        foldic_obs::metrics::add("opt.downsized", stats.downsized as u64);
+        foldic_obs::metrics::add("opt.hvt_swapped", stats.hvt_swapped as u64);
+        foldic_obs::metrics::add("opt.rounds", stats.rounds as u64);
+        foldic_obs::metrics::observe_all("opt.round_wns_ps", &wns_traj);
+    }
     stats
 }
 

@@ -171,6 +171,11 @@ pub fn place_with_obstacles(
         legalize::legalize_tier(netlist, tech, outline, obstacles, tier);
     }
     foldic_exec::profile::add_iters(cfg.iterations as u64);
+    if foldic_obs::metrics::is_enabled() {
+        foldic_obs::metrics::add("place.runs", 1);
+        foldic_obs::metrics::add("place.iterations", cfg.iterations as u64);
+        foldic_obs::metrics::add("place.movable_insts", system.num_movable() as u64);
+    }
 }
 
 #[cfg(test)]

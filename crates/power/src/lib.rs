@@ -232,6 +232,11 @@ pub fn analyze_block(
         report.net_wire_uw += wire_cap * v2 * f * alpha;
         report.net_pin_uw += pin_cap * v2 * f * alpha;
     }
+    if foldic_obs::metrics::is_enabled() {
+        foldic_obs::metrics::add("power.analyses", 1);
+        foldic_obs::metrics::observe("power.net_fraction", report.net_fraction());
+        foldic_obs::metrics::observe("power.total_uw", report.total_uw());
+    }
     report
 }
 

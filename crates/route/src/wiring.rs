@@ -55,6 +55,9 @@ impl BlockWiring {
         let mut long_wires = 0;
         let mut num_3d = 0;
         let threshold = tech.long_wire_threshold();
+        // batch the histogram: collect locally, flush under one lock
+        let obs_on = foldic_obs::metrics::is_enabled();
+        let mut lengths: Vec<f64> = Vec::new();
         for (nid, net) in netlist.nets() {
             let Some(driver) = net.driver else {
                 nets.push(NetLength {
@@ -93,12 +96,19 @@ impl BlockWiring {
                 long_wires += 1;
             }
             total += length;
+            if obs_on {
+                lengths.push(length);
+            }
             nets.push(NetLength {
                 net: nid,
                 length_um: length,
                 sink_paths,
                 is_3d,
             });
+        }
+        if obs_on {
+            foldic_obs::metrics::add("route.analyses", 1);
+            foldic_obs::metrics::observe_all("route.net_length_um", &lengths);
         }
         Self {
             nets,

@@ -155,6 +155,7 @@ pub fn analyze(
     cfg: &StaConfig,
 ) -> TimingReport {
     foldic_exec::profile::add_iters(netlist.num_nets() as u64);
+    foldic_obs::metrics::add("sta.runs", 1);
     let n_insts = netlist.num_insts();
     let (r_um, c_um) = wire_rc(tech, cfg.max_layer);
 
@@ -382,6 +383,7 @@ pub fn analyze(
     }
     let slack: Vec<f64> = (0..n_insts).map(|i| required[i] - arrival[i]).collect();
 
+    foldic_obs::metrics::observe("sta.wns_ps", wns);
     TimingReport {
         arrival_ps: arrival,
         slack_ps: slack,
