@@ -52,6 +52,7 @@ fn main() {
         let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
         black_box(
             run_block_flow(block, &tech, &budgets, &FlowConfig::fast())
+                .unwrap()
                 .metrics
                 .power
                 .total_uw(),
@@ -69,6 +70,7 @@ fn main() {
             };
             black_box(
                 fold_block(d.block_mut(id), &tech, &cfg)
+                    .unwrap()
                     .metrics
                     .power
                     .total_uw(),
@@ -86,7 +88,7 @@ fn main() {
             placer: foldic_place::PlacerConfig::fast(),
             ..FoldConfig::default()
         };
-        black_box(fold_block(d.block_mut(id), &tech, &cfg).cut);
+        black_box(fold_block(d.block_mut(id), &tech, &cfg).unwrap().cut);
     });
 
     bench(&filter, "fold_spc_second_level", || {
@@ -99,6 +101,7 @@ fn main() {
         };
         black_box(
             fold_spc_second_level(d.block_mut(id), &tech, &cfg)
+                .unwrap()
                 .metrics
                 .num_3d_connections,
         );
@@ -115,6 +118,7 @@ fn main() {
             let mut d = design.clone();
             black_box(
                 run_fullchip(&mut d, &tech, DesignStyle::Flat2d, &cfg)
+                    .unwrap()
                     .chip
                     .power
                     .total_uw(),
@@ -127,6 +131,7 @@ fn main() {
                 let mut d = design.clone();
                 black_box(
                     run_fullchip(&mut d, &tech, DesignStyle::CoreCache, &cfg)
+                        .unwrap()
                         .chip
                         .power
                         .total_uw(),

@@ -64,16 +64,20 @@ fn main() {
 
     bench(&filter, "placer_full_l2t", || {
         let mut nl = l2t.netlist.clone();
-        place_block(&mut nl, &tech, outline, &PlacerConfig::fast());
+        place_block(&mut nl, &tech, outline, &PlacerConfig::fast()).unwrap();
         black_box(&nl);
     });
 
     bench(&filter, "wiring_analysis_l2t", || {
-        black_box(BlockWiring::analyze(&l2t.netlist, &tech, 1.1, None).total_um);
+        black_box(
+            BlockWiring::analyze(&l2t.netlist, &tech, 1.1, None)
+                .unwrap()
+                .total_um,
+        );
     });
 
     {
-        let wiring = BlockWiring::analyze(&l2t.netlist, &tech, 1.1, None);
+        let wiring = BlockWiring::analyze(&l2t.netlist, &tech, 1.1, None).unwrap();
         let budgets = TimingBudgets::relaxed(&l2t.netlist, &tech);
         bench(&filter, "sta_l2t", || {
             black_box(
@@ -84,6 +88,7 @@ fn main() {
                     &budgets,
                     &StaConfig::default(),
                 )
+                .unwrap()
                 .tns_ps,
             );
         });
@@ -99,7 +104,11 @@ fn main() {
             }
         }
         bench(&filter, "via_placement_f2f", || {
-            black_box(place_vias(&nl, &tech, outline, BondingStyle::FaceToFace).len());
+            black_box(
+                place_vias(&nl, &tech, outline, BondingStyle::FaceToFace)
+                    .unwrap()
+                    .len(),
+            );
         });
     }
 
@@ -115,7 +124,7 @@ fn main() {
     });
 
     {
-        let wiring = BlockWiring::analyze(&l2t.netlist, &tech, 1.1, None);
+        let wiring = BlockWiring::analyze(&l2t.netlist, &tech, 1.1, None).unwrap();
         let cfg = foldic_power::PowerConfig::for_block(&l2t);
         bench(&filter, "power_census_l2t", || {
             black_box(foldic_power::power_census(&l2t.netlist, &tech, &wiring, &cfg).total_uw());

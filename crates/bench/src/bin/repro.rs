@@ -3,6 +3,7 @@
 //! ```text
 //! repro [EXPERIMENT...] [--size full|small|tiny] [--threads N] [--profile]
 //!       [--trace out.json] [--events out.jsonl] [--manifest out.json]
+//!       [--faults SPEC] [--retries N] [--resume ckpt.jsonl]
 //! repro compare <baseline.json> <candidate.json> [--tol PCT]
 //!
 //! EXPERIMENT: table1 table2 table3 table4 table5
@@ -25,9 +26,23 @@
 //! manifests (timing ignored) and exits nonzero when a metric moved more
 //! than `--tol` percent (default 0.5) or a result digest changed.
 //!
+//! `--faults SPEC` installs a deterministic fault-injection plan
+//! (`stage:block[:kind[:attempts]]`, comma-separated). Faulted blocks are
+//! retried with perturbed seeds and a progressively relaxed configuration
+//! (`--retries N` extra attempts on top of the first run, default 2;
+//! `--retries 0` disables retrying) and degrade to analytical estimates
+//! when every attempt fails. Recovered and degraded blocks show up in the
+//! report footers and in the manifest's `faults` section. `--resume
+//! ckpt.jsonl` records every finished block in a checkpoint file and
+//! replays it on the next run with the same file, skipping finished
+//! blocks while keeping the output byte-identical.
+//!
 //! Output is printed to stdout; tee it into a file to archive a run.
 
 use foldic::prelude::*;
+use foldic::{
+    install_fault_plan, take_fault_log, CheckpointStore, FaultPlan, FaultRecord, RetryPolicy,
+};
 use foldic_bench::{experiments, Ctx};
 use foldic_obs::json::Json;
 use foldic_obs::manifest::{compare, CompareConfig, RunManifest};
@@ -37,8 +52,11 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: repro [EXPERIMENT...] [--size full|small|tiny] [--threads N] [--profile]\n\
        \x20            [--trace out.json] [--events out.jsonl] [--manifest out.json]\n\
+       \x20            [--faults SPEC] [--retries N] [--resume ckpt.jsonl]\n\
        repro compare <baseline.json> <candidate.json> [--tol PCT]\n\
-experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6 fig7 fig8 thermal ablations layouts all";
+experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6 fig7 fig8 thermal ablations layouts all\n\
+fault spec:  stage:block[:kind[:attempts]],... e.g. route:ccx:panic or place:mcu0:error:1\n\
+             (stages: validate partition place opt route sta power floorplan; kinds: panic error slow)";
 
 fn usage_err(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -58,6 +76,9 @@ fn main() {
     let mut trace_path: Option<PathBuf> = None;
     let mut events_path: Option<PathBuf> = None;
     let mut manifest_path: Option<PathBuf> = None;
+    let mut faults_spec: Option<String> = None;
+    let mut retries: Option<u32> = None;
+    let mut resume_path: Option<PathBuf> = None;
     let mut args = raw.into_iter();
     // an output flag may appear once, and distinct outputs must not share
     // a path — catch both before spending minutes computing
@@ -87,6 +108,26 @@ fn main() {
             "--trace" => path_flag(&mut trace_path, "--trace", args.next()),
             "--events" => path_flag(&mut events_path, "--events", args.next()),
             "--manifest" => path_flag(&mut manifest_path, "--manifest", args.next()),
+            "--faults" => {
+                let v = args.next().unwrap_or_else(|| {
+                    usage_err("--faults needs a spec (stage:block[:kind[:attempts]],...)")
+                });
+                if faults_spec.is_some() {
+                    usage_err("duplicate --faults");
+                }
+                faults_spec = Some(v);
+            }
+            "--retries" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_err("--retries needs a value"));
+                retries = Some(v.parse().unwrap_or_else(|_| {
+                    usage_err(&format!(
+                        "--retries needs a non-negative integer, got `{v}`"
+                    ))
+                }));
+            }
+            "--resume" => path_flag(&mut resume_path, "--resume", args.next()),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -101,6 +142,7 @@ fn main() {
         ("--trace", &trace_path),
         ("--events", &events_path),
         ("--manifest", &manifest_path),
+        ("--resume", &resume_path),
     ];
     for (i, (fa, pa)) in outputs.iter().enumerate() {
         for (fb, pb) in outputs.iter().skip(i + 1) {
@@ -141,6 +183,15 @@ fn main() {
     manifest
         .config
         .insert("cluster_size".into(), cfg.cluster_size.to_string());
+    if let Some(spec) = &faults_spec {
+        let plan = FaultPlan::parse(spec).unwrap_or_else(|e| usage_err(&format!("--faults: {e}")));
+        // canonical spec: the plan participates in manifest comparison
+        manifest.config.insert("faults".into(), plan.to_spec());
+        install_fault_plan(plan);
+    }
+    if let Some(n) = retries {
+        manifest.config.insert("retries".into(), n.to_string());
+    }
     // per-experiment wall clocks and pool stats go here — everything in
     // this object may vary across thread counts and is stripped before
     // determinism comparisons
@@ -154,6 +205,24 @@ fn main() {
     );
     let t0 = Instant::now();
     let mut ctx = Ctx::with_threads(cfg, threads);
+    if let Some(n) = retries {
+        // `--retries N` counts the retries on top of the first attempt
+        ctx.retry = RetryPolicy::attempts(n.saturating_add(1));
+    }
+    if let Some(path) = &resume_path {
+        let store = CheckpointStore::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open checkpoint {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        if !store.is_empty() {
+            println!(
+                "resume: {} checkpointed block(s) in {}",
+                store.len(),
+                path.display()
+            );
+        }
+        ctx.checkpoint = Some(std::sync::Arc::new(store));
+    }
     println!(
         "generated {} blocks, {} instances in {:?}\n",
         ctx.design.num_blocks(),
@@ -211,6 +280,20 @@ fn main() {
         std::process::exit(2);
     }
     println!("total wall time {:?}", t0.elapsed());
+    let fault_log = take_fault_log();
+    if !fault_log.is_empty() {
+        println!(
+            "faults: {} block run(s) recovered or degraded (see report footers)",
+            fault_log.len()
+        );
+    }
+    if let Some(store) = &ctx.checkpoint {
+        println!(
+            "checkpoint: {} block(s) stored, {} replayed",
+            store.len(),
+            store.hits()
+        );
+    }
 
     if tracing {
         foldic_obs::trace::set_enabled(false);
@@ -226,6 +309,10 @@ fn main() {
     }
     if let Some(path) = manifest_path {
         manifest.config.insert("experiments".into(), ran.join("+"));
+        manifest.faults = fault_log
+            .iter()
+            .map(FaultRecord::to_manifest_entry)
+            .collect();
         manifest.metrics = foldic_obs::metrics::take();
         foldic_obs::metrics::set_enabled(false);
         manifest.timing = Json::obj([

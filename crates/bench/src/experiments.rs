@@ -5,7 +5,7 @@
 //! the seeded generator and seeded heuristics, so reports are
 //! reproducible bit-for-bit for a given `T2Config`.
 
-use crate::{fmt_delta, paper, pct, Ctx};
+use crate::{fault_footer, fmt_delta, paper, pct, Ctx};
 use foldic::prelude::*;
 use foldic_timing::TimingBudgets;
 use std::fmt::Write as _;
@@ -151,6 +151,7 @@ pub fn table2(ctx: &mut Ctx) -> String {
         "chip TSVs: core/cache {}, core/core {}",
         cc.chip_vias, co.chip_vias
     );
+    out.push_str(&fault_footer(&[&d2, &cc, &co]));
     out
 }
 
@@ -189,6 +190,7 @@ pub fn table3(ctx: &mut Ctx) -> String {
         out,
         "(long-wire counts are per synthetic net; x{scale:.0} column rescales to real-cell nets)"
     );
+    out.push_str(&fault_footer(&[&d2]));
     out
 }
 
@@ -203,7 +205,7 @@ pub fn table4(ctx: &mut Ctx) -> String {
         bonding: BondingStyle::FaceToBack,
         ..FoldConfig::default()
     };
-    let f = fold_block(d3.block_mut(id), &ctx.tech, &cfg);
+    let f = fold_block(d3.block_mut(id), &ctx.tech, &cfg).expect("fold");
     let m = &f.metrics;
     let mut out = String::new();
     let _ = writeln!(out, "== Table 4: 2D vs folded L2D (scdata), F2B ==");
@@ -363,6 +365,7 @@ pub fn table5(ctx: &mut Ctx) -> String {
             paper::table5::DVT_VS_RVT[1]
         ),
     );
+    out.push_str(&fault_footer(&[&d2, &nf, &fo, &d2_rvt, &fo_rvt]));
     out
 }
 
@@ -383,7 +386,7 @@ pub fn fig2(ctx: &mut Ctx) -> String {
             bonding,
             ..FoldConfig::default()
         };
-        fold_block(d3.block_mut(id), &ctx.tech, &cfg)
+        fold_block(d3.block_mut(id), &ctx.tech, &cfg).expect("fold")
     };
     let nat = run(
         FoldStrategy::NaturalGroups(vec!["pcx".into()]),
@@ -466,9 +469,9 @@ pub fn fig3(ctx: &mut Ctx) -> String {
             ..FoldConfig::default()
         };
         if second {
-            fold_spc_second_level(d3.block_mut(id), &ctx.tech, &cfg)
+            fold_spc_second_level(d3.block_mut(id), &ctx.tech, &cfg).expect("fold spc")
         } else {
-            fold_block(d3.block_mut(id), &ctx.tech, &cfg)
+            fold_block(d3.block_mut(id), &ctx.tech, &cfg).expect("fold")
         }
     };
     let block3d = run(false);
@@ -523,7 +526,7 @@ pub fn fig5(ctx: &mut Ctx) -> String {
         bonding: BondingStyle::FaceToFace,
         ..FoldConfig::default()
     };
-    let f = fold_block(d3.block_mut(id), &ctx.tech, &cfg);
+    let f = fold_block(d3.block_mut(id), &ctx.tech, &cfg).expect("fold");
     let block = d3.block(id);
     let macros: Vec<foldic_geom::Rect> = block
         .netlist
@@ -573,7 +576,7 @@ pub fn fig6(ctx: &mut Ctx) -> String {
             bonding,
             ..FoldConfig::default()
         };
-        let f = fold_block(d3.block_mut(id), &ctx.tech, &cfg);
+        let f = fold_block(d3.block_mut(id), &ctx.tech, &cfg).expect("fold");
         (d3.block(id).outline, f)
     };
     let blocks = [
@@ -677,7 +680,7 @@ pub fn fig7(ctx: &mut Ctx) -> String {
             bonding,
             ..FoldConfig::default()
         };
-        let f = fold_block(d3.block_mut(id), &ctx.tech, &cfg);
+        let f = fold_block(d3.block_mut(id), &ctx.tech, &cfg).expect("fold");
         (
             f.metrics.power.total_uw() / b2.power.total_uw(),
             f.metrics.num_3d_connections,
@@ -732,6 +735,11 @@ pub fn fig8(ctx: &mut Ctx) -> String {
             r.interblock_wl_um * 1e-6,
         );
     }
+    let runs: Vec<&FullChipResult> = DesignStyle::ALL
+        .iter()
+        .map(|s| ctx.cached(*s, false))
+        .collect();
+    out.push_str(&fault_footer(&runs));
     out
 }
 
@@ -762,7 +770,8 @@ pub fn thermal(ctx: &mut Ctx) -> String {
             .collect();
         // rebuild the floorplanned design to extract block rects
         let mut d = shared.design.clone();
-        let _ = run_fullchip(&mut d, &shared.tech, style, &FullChipConfig::fast());
+        let _ =
+            run_fullchip(&mut d, &shared.tech, style, &FullChipConfig::fast()).expect("fullchip");
         let tiers = if style.is_3d() { 2 } else { 1 };
         let maps = chip_power_maps(&d, &shared.tech, r.die, &per_block, tiers, 48);
         let stack_cfg = match (style.is_3d(), style.bonding()) {
@@ -824,7 +833,7 @@ pub fn ablations(ctx: &mut Ctx) -> String {
             bonding: BondingStyle::FaceToBack,
             ..FoldConfig::default()
         };
-        fold_block(d.block_mut(id), &ctx.tech, &cfg)
+        fold_block(d.block_mut(id), &ctx.tech, &cfg).expect("fold")
     };
     let _ = writeln!(
         out,
@@ -865,9 +874,12 @@ pub fn ablations(ctx: &mut Ctx) -> String {
             outline,
             &PlacerConfig::quality(),
             &[],
-        );
-        let vias = place_vias(&block.netlist, &ctx.tech, outline, BondingStyle::FaceToBack);
-        let wiring = BlockWiring::analyze(&block.netlist, &ctx.tech, 1.1, Some(&vias));
+        )
+        .expect("place");
+        let vias =
+            place_vias(&block.netlist, &ctx.tech, outline, BondingStyle::FaceToBack).expect("vias");
+        let wiring =
+            BlockWiring::analyze(&block.netlist, &ctx.tech, 1.1, Some(&vias)).expect("route");
         let clock_wl: f64 = block
             .netlist
             .nets()
@@ -875,7 +887,8 @@ pub fn ablations(ctx: &mut Ctx) -> String {
             .map(|(nid, _)| wiring.net(nid).length_um)
             .sum();
         recluster_clock_leaves(&mut block.netlist);
-        let wiring2 = BlockWiring::analyze(&block.netlist, &ctx.tech, 1.1, Some(&vias));
+        let wiring2 =
+            BlockWiring::analyze(&block.netlist, &ctx.tech, 1.1, Some(&vias)).expect("route");
         let clock_wl2: f64 = block
             .netlist
             .nets()
@@ -907,7 +920,8 @@ pub fn ablations(ctx: &mut Ctx) -> String {
                 ..FoldConfig::default()
             },
             part,
-        );
+        )
+        .expect("fold");
         format!(
             "TSV cost removed   : wl {:>8.3} m  power {:>8.1} mW   (the F2B-vs-F2F gap is the TSV area+displacement cost)\n",
             folded.metrics.wirelength_m(),
@@ -926,7 +940,7 @@ pub fn ablations(ctx: &mut Ctx) -> String {
                 bonding: BondingStyle::FaceToBack,
                 ..FoldConfig::default()
             };
-            let f = fold_block(d.block_mut(id), &ctx.tech, &cfg);
+            let f = fold_block(d.block_mut(id), &ctx.tech, &cfg).expect("fold");
             (f.metrics.num_3d_connections, f.metrics.power.total_uw())
         };
         let (v1, p1) = cut_of(1.0);
@@ -950,13 +964,16 @@ pub fn ablations(ctx: &mut Ctx) -> String {
             bonding: BondingStyle::FaceToBack,
             ..FoldConfig::default()
         };
-        let folded = fold_block(block, &ctx.tech, &fold_cfg);
-        let wiring = BlockWiring::analyze(&block.netlist, &ctx.tech, 1.1, Some(&folded.vias));
+        let folded = fold_block(block, &ctx.tech, &fold_cfg).expect("fold");
+        let wiring = BlockWiring::analyze(&block.netlist, &ctx.tech, 1.1, Some(&folded.vias))
+            .expect("route");
         let mut pcfg = foldic_power::PowerConfig::for_block(block);
         pcfg.via_kind = Some(foldic_tech::Via3dKind::Tsv);
-        let without = foldic_power::analyze_block(&block.netlist, &ctx.tech, &wiring, &pcfg);
+        let without =
+            foldic_power::analyze_block(&block.netlist, &ctx.tech, &wiring, &pcfg).expect("power");
         pcfg.tsv_coupling = true;
-        let with = foldic_power::analyze_block(&block.netlist, &ctx.tech, &wiring, &pcfg);
+        let with =
+            foldic_power::analyze_block(&block.netlist, &ctx.tech, &wiring, &pcfg).expect("power");
         format!(
             "TSV-wire coupling  : net power {:+.2}% when the coupling parasitic is priced in ({:.1} fF/TSV)\n",
             (with.net_uw() / without.net_uw() - 1.0) * 100.0,
@@ -976,8 +993,10 @@ pub fn ablations(ctx: &mut Ctx) -> String {
             let nl = &mut d.block_mut(id).netlist;
             let mut pcfg = PlacerConfig::quality();
             pcfg.macro_mode = mode;
-            place_block(nl, &ctx.tech, outline, &pcfg);
-            BlockWiring::analyze(nl, &ctx.tech, 1.1, None).total_um
+            place_block(nl, &ctx.tech, outline, &pcfg).expect("place");
+            BlockWiring::analyze(nl, &ctx.tech, 1.1, None)
+                .expect("route")
+                .total_um
         };
         let hole = run(MacroMode::Hole);
         let halo = run(MacroMode::DemandInflation);
@@ -1002,7 +1021,7 @@ pub fn ablations(ctx: &mut Ctx) -> String {
                 bonding: BondingStyle::FaceToBack,
                 ..FoldConfig::default()
             };
-            fold_block(d.block_mut(id), &ctx.tech, &cfg)
+            fold_block(d.block_mut(id), &ctx.tech, &cfg).expect("fold")
         };
         let nat = run(FoldStrategy::NaturalGroups(vec!["pcx".into()]));
         let fm = run(FoldStrategy::MinCut);
@@ -1043,7 +1062,8 @@ pub fn layouts(ctx: &mut Ctx, dir: &std::path::Path) -> String {
         ],
         |_, (style, fname)| {
             let mut d = shared.design.clone();
-            let r = run_fullchip(&mut d, &shared.tech, style, &FullChipConfig::fast());
+            let r = run_fullchip(&mut d, &shared.tech, style, &FullChipConfig::fast())
+                .expect("fullchip");
             (fname, render_chip_svg(&d, r.die, 900.0 / r.die.width()))
         },
     );
@@ -1065,7 +1085,8 @@ pub fn layouts(ctx: &mut Ctx, dir: &std::path::Path) -> String {
                 bonding: BondingStyle::FaceToBack,
                 ..FoldConfig::default()
             },
-        );
+        )
+        .expect("fold");
         let svg = render_block_svg(d.block(id), &ctx.tech, Some(&folded.vias), 0.6);
         let path = dir.join("fig2b_ccx_folded.svg");
         std::fs::write(&path, svg).expect("write svg");
@@ -1082,11 +1103,13 @@ pub fn fold_pair(ctx: &Ctx, name: &str, cfg: &FoldConfig) -> (DesignMetrics, Fol
         let id = d.find_block(name).expect("known block");
         let b = d.block_mut(id);
         let budgets = TimingBudgets::relaxed(&b.netlist, &ctx.tech);
-        foldic::flow::run_block_flow(b, &ctx.tech, &budgets, &FlowConfig::default()).metrics
+        foldic::flow::run_block_flow(b, &ctx.tech, &budgets, &FlowConfig::default())
+            .expect("2D flow")
+            .metrics
     };
     let mut d = ctx.design.clone();
     let id = d.find_block(name).expect("known block");
-    let folded = fold_block(d.block_mut(id), &ctx.tech, cfg);
+    let folded = fold_block(d.block_mut(id), &ctx.tech, cfg).expect("fold");
     (b2, folded)
 }
 

@@ -16,7 +16,10 @@ pub mod experiments;
 pub mod paper;
 
 use foldic::prelude::*;
+use foldic::{CheckpointStore, FaultRecord, RetryPolicy};
 use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Shared experiment context: one generated design plus cached full-chip
 /// runs (several experiments read the same runs).
@@ -35,6 +38,11 @@ pub struct Ctx {
     pub cfg: T2Config,
     /// Worker threads for full-chip runs and experiment sweeps.
     pub threads: usize,
+    /// Retry policy for faulted blocks inside full-chip runs.
+    pub retry: RetryPolicy,
+    /// Optional checkpoint store shared by every full-chip run: finished
+    /// blocks are recorded and replayed on resume.
+    pub checkpoint: Option<Arc<CheckpointStore>>,
     cache: HashMap<(DesignStyle, bool), FullChipResult>,
 }
 
@@ -52,6 +60,8 @@ impl Ctx {
             tech,
             cfg,
             threads,
+            retry: RetryPolicy::default(),
+            checkpoint: None,
             cache: HashMap::new(),
         }
     }
@@ -63,9 +73,12 @@ impl Ctx {
             let cfg = FullChipConfig {
                 dual_vth,
                 threads: self.threads,
+                retry: self.retry,
+                checkpoint: self.checkpoint.clone(),
                 ..FullChipConfig::default()
             };
-            let result = run_fullchip(&mut design, &self.tech, style, &cfg);
+            let result = run_fullchip(&mut design, &self.tech, style, &cfg)
+                .unwrap_or_else(|e| panic!("full-chip {} failed: {e}", style.label()));
             self.cache.insert((style, dual_vth), result);
         }
         &self.cache[&(style, dual_vth)]
@@ -86,14 +99,20 @@ impl Ctx {
         }
         let design = &self.design;
         let tech = &self.tech;
+        let retry = self.retry;
+        let checkpoint = &self.checkpoint;
         let results = foldic_exec::par_map(self.threads, missing, |_, (style, dual_vth)| {
             let mut d = design.clone();
             let cfg = FullChipConfig {
                 dual_vth,
                 threads: 1,
+                retry,
+                checkpoint: checkpoint.clone(),
                 ..FullChipConfig::default()
             };
-            ((style, dual_vth), run_fullchip(&mut d, tech, style, &cfg))
+            let result = run_fullchip(&mut d, tech, style, &cfg)
+                .unwrap_or_else(|e| panic!("full-chip {} failed: {e}", style.label()));
+            ((style, dual_vth), result)
         });
         self.cache.extend(results);
     }
@@ -113,8 +132,29 @@ impl Ctx {
         let id = d.find_block(name).expect("known block");
         let b = d.block_mut(id);
         let budgets = foldic_timing::TimingBudgets::relaxed(&b.netlist, &self.tech);
-        foldic::flow::run_block_flow(b, &self.tech, &budgets, &FlowConfig::default()).metrics
+        foldic::flow::run_block_flow(b, &self.tech, &budgets, &FlowConfig::default())
+            .unwrap_or_else(|e| panic!("2D flow for {name} failed: {e}"))
+            .metrics
     }
+}
+
+/// Formats the fault footer appended to reports whose full-chip runs
+/// recovered or degraded blocks. Empty for clean runs, so fault-free
+/// reports stay byte-identical to pre-fault-tolerance output. Records
+/// are sorted and deduplicated (several experiments share cached runs),
+/// so the footer is deterministic across thread counts.
+pub fn fault_footer(runs: &[&FullChipResult]) -> String {
+    let mut records: Vec<&FaultRecord> = runs.iter().flat_map(|r| r.faults.iter()).collect();
+    records.sort();
+    records.dedup();
+    if records.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("-- faults --\n");
+    for r in records {
+        let _ = writeln!(out, "!! {r}");
+    }
+    out
 }
 
 /// Percentage delta, `(new − base) / base × 100`.

@@ -6,6 +6,7 @@
 //! swap), and power sign-off.
 
 use crate::metrics::DesignMetrics;
+use foldic_fault::{fault_point, FlowError, FlowStage};
 use foldic_netlist::{Block, InstMaster, Netlist};
 use foldic_opt::{optimize_block_with_vias, OptConfig, OptStats};
 use foldic_place::{place_block, PlacerConfig};
@@ -27,6 +28,10 @@ pub struct FlowConfig {
     pub dual_vth: bool,
     /// Routing-layer policy.
     pub policy: RoutingPolicy,
+    /// Which retry attempt this configuration belongs to (`0` = the
+    /// first run). Addressed by the fault-injection harness and bumped
+    /// by [`Self::relaxed_for_retry`].
+    pub retry_attempt: u32,
 }
 
 impl FlowConfig {
@@ -36,6 +41,21 @@ impl FlowConfig {
             placer: PlacerConfig::fast(),
             ..Self::default()
         }
+    }
+
+    /// The configuration a retry runs under: attempt `0` is this config
+    /// unchanged; later attempts progressively relax the expensive
+    /// knobs (fewer placer iterations, fewer optimization rounds) so a
+    /// numerically marginal block gets an easier, different trajectory.
+    pub fn relaxed_for_retry(&self, attempt: u32) -> Self {
+        let mut cfg = self.clone();
+        cfg.retry_attempt = attempt;
+        if attempt > 0 {
+            let a = attempt as usize;
+            cfg.placer.iterations = cfg.placer.iterations.saturating_sub(a).max(2);
+            cfg.opt.rounds = cfg.opt.rounds.saturating_sub(a).max(1);
+        }
+        cfg
     }
 }
 
@@ -47,6 +67,7 @@ impl Default for FlowConfig {
             bonding: BondingStyle::FaceToBack,
             dual_vth: false,
             policy: RoutingPolicy::dac14(),
+            retry_attempt: 0,
         }
     }
 }
@@ -116,38 +137,63 @@ pub fn collect_metrics(
 /// Runs the full flow on an *unfolded* block in place: placement,
 /// optimization and sign-off. The block's netlist is mutated (placement,
 /// buffers, sizing, Vth).
+///
+/// # Errors
+///
+/// Returns [`FlowError`] when the block fails validation at entry
+/// ([`FaultCause::Invalid`](foldic_fault::FaultCause::Invalid), not
+/// retryable) or when a stage fails — organically or through an
+/// installed [`foldic_fault::FaultPlan`]. On error the block may be
+/// partially mutated; the caller restores it before retrying.
 pub fn run_block_flow(
     block: &mut Block,
     tech: &Technology,
     budgets: &TimingBudgets,
     cfg: &FlowConfig,
-) -> BlockResult {
+) -> Result<BlockResult, FlowError> {
     let _span = foldic_obs::span!(
         "block_flow",
         block = block.name.as_str(),
         folded = block.folded,
     );
+    let name = block.name.clone();
+    let attempt = cfg.retry_attempt;
+
+    // 0. validation: a malformed block fails the same way on every
+    //    attempt, so this is the one non-recoverable failure
+    fault_point(FlowStage::Validate, &name, attempt)?;
+    block
+        .validate(tech)
+        .map_err(|e| FlowError::invalid(FlowStage::Validate, e.to_string()).with_block(&name))?;
+
     let outline = block.outline;
     let max_layer = block_max_layer(block, cfg.bonding, &cfg.policy);
 
     // 1. placement
+    fault_point(FlowStage::Place, &name, attempt)?;
     foldic_exec::profile::stage("place", || {
         place_block(&mut block.netlist, tech, outline, &cfg.placer)
-    });
+    })
+    .map_err(|e| e.with_block(&name))?;
 
     // 2. timing + power optimization
+    fault_point(FlowStage::Opt, &name, attempt)?;
     let mut opt_cfg = cfg.opt.clone();
     opt_cfg.max_layer = max_layer;
     opt_cfg.via_kind = None;
     opt_cfg.dual_vth = cfg.dual_vth;
     let opt = foldic_exec::profile::stage("opt", || {
         optimize_block_with_vias(&mut block.netlist, tech, budgets, &opt_cfg, None)
-    });
+    })
+    .map_err(|e| e.with_block(&name))?;
 
     // 3. sign-off
+    fault_point(FlowStage::Route, &name, attempt)?;
     let wiring = foldic_exec::profile::stage("route", || {
         BlockWiring::analyze(&block.netlist, tech, opt_cfg.detour, None)
-    });
+    })
+    .map_err(|e| e.with_block(&name))?;
+    fault_point(FlowStage::Sta, &name, attempt)?;
     let sta = foldic_exec::profile::stage("sta", || {
         analyze(
             &block.netlist,
@@ -159,12 +205,15 @@ pub fn run_block_flow(
                 via_kind: None,
             },
         )
-    });
+    })
+    .map_err(|e| e.with_block(&name))?;
+    fault_point(FlowStage::Power, &name, attempt)?;
     let mut pw_cfg = PowerConfig::for_block(block);
     pw_cfg.max_layer = max_layer;
     let power = foldic_exec::profile::stage("power", || {
         analyze_block(&block.netlist, tech, &wiring, &pw_cfg)
-    });
+    })
+    .map_err(|e| e.with_block(&name))?;
     let metrics = collect_metrics(
         &block.netlist,
         block,
@@ -180,7 +229,7 @@ pub fn run_block_flow(
         foldic_obs::metrics::observe("flow.block_power_uw", metrics.power.total_uw());
         foldic_obs::metrics::observe("flow.block_wirelength_um", metrics.wirelength_um);
     }
-    BlockResult { metrics, opt }
+    Ok(BlockResult { metrics, opt })
 }
 
 #[cfg(test)]
@@ -199,7 +248,7 @@ mod tests {
             .insts()
             .filter(|(_, i)| !i.master.is_macro())
             .count();
-        let result = run_block_flow(block, &tech, &budgets, &FlowConfig::fast());
+        let result = run_block_flow(block, &tech, &budgets, &FlowConfig::fast()).unwrap();
         assert!(result.metrics.num_cells >= before_cells, "buffers only add");
         assert!(result.metrics.power.total_uw() > 0.0);
         assert!(result.metrics.wirelength_um > 0.0);
@@ -215,7 +264,7 @@ mod tests {
         let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
         let mut cfg = FlowConfig::fast();
         cfg.dual_vth = true;
-        let result = run_block_flow(block, &tech, &budgets, &cfg);
+        let result = run_block_flow(block, &tech, &budgets, &cfg).unwrap();
         assert!(result.metrics.num_hvt > 0);
         assert!(result.metrics.hvt_fraction() > 0.3);
     }

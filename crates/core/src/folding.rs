@@ -19,6 +19,7 @@
 
 use crate::flow::{block_max_layer, collect_metrics};
 use crate::metrics::DesignMetrics;
+use foldic_fault::{fault_point, FlowError, FlowStage};
 use foldic_geom::{Point, Rect, Tier};
 use foldic_netlist::{Block, GroupId, InstId, Netlist, PinRef};
 use foldic_opt::{optimize_block_with_vias, OptStats};
@@ -83,6 +84,10 @@ pub struct FoldConfig {
     pub dual_vth: bool,
     /// Routing-layer policy.
     pub policy: foldic_tech::RoutingPolicy,
+    /// Which retry attempt this configuration belongs to (`0` = the
+    /// first run). Addressed by the fault-injection harness and bumped
+    /// by [`Self::relaxed_for_retry`].
+    pub retry_attempt: u32,
 }
 
 impl Default for FoldConfig {
@@ -97,6 +102,7 @@ impl Default for FoldConfig {
             utilization: 0.70,
             dual_vth: false,
             policy: foldic_tech::RoutingPolicy::dac14(),
+            retry_attempt: 0,
         }
     }
 }
@@ -108,6 +114,25 @@ impl FoldConfig {
             placer: PlacerConfig::fast(),
             ..Self::default()
         }
+    }
+
+    /// The configuration a retry runs under: attempt `0` is this config
+    /// unchanged; later attempts deterministically perturb the
+    /// partitioner seed (so min-cut explores different initial
+    /// solutions) and relax the expensive knobs.
+    pub fn relaxed_for_retry(&self, attempt: u32) -> Self {
+        let mut cfg = self.clone();
+        cfg.retry_attempt = attempt;
+        if attempt > 0 {
+            cfg.partition.seed = cfg
+                .partition
+                .seed
+                .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let a = attempt as usize;
+            cfg.placer.iterations = cfg.placer.iterations.saturating_sub(a).max(2);
+            cfg.opt.rounds = cfg.opt.rounds.saturating_sub(a).max(1);
+        }
+        cfg
     }
 }
 
@@ -126,18 +151,39 @@ pub struct FoldedBlock {
 }
 
 /// Folds a block in place with the default per-port budgets.
-pub fn fold_block(block: &mut Block, tech: &Technology, cfg: &FoldConfig) -> FoldedBlock {
+///
+/// # Errors
+///
+/// See [`fold_block_with_budgets`].
+pub fn fold_block(
+    block: &mut Block,
+    tech: &Technology,
+    cfg: &FoldConfig,
+) -> Result<FoldedBlock, FlowError> {
     let budgets = TimingBudgets::relaxed(&block.netlist, tech);
     fold_block_with_budgets(block, tech, &budgets, cfg)
 }
 
 /// Folds a block in place against chip-supplied port budgets.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] when the block fails validation at entry (not
+/// retryable) or when a fold stage fails — organically or through an
+/// installed [`foldic_fault::FaultPlan`]. On error the block may be
+/// partially mutated; the caller restores it before retrying.
 pub fn fold_block_with_budgets(
     block: &mut Block,
     tech: &Technology,
     budgets: &TimingBudgets,
     cfg: &FoldConfig,
-) -> FoldedBlock {
+) -> Result<FoldedBlock, FlowError> {
+    let name = block.name.clone();
+    fault_point(FlowStage::Validate, &name, cfg.retry_attempt)?;
+    block
+        .validate(tech)
+        .map_err(|e| FlowError::invalid(FlowStage::Validate, e.to_string()).with_block(&name))?;
+    fault_point(FlowStage::Partition, &name, cfg.retry_attempt)?;
     let part = make_partition(&block.netlist, tech, cfg);
     fold_with_partition(block, tech, budgets, cfg, part)
 }
@@ -160,7 +206,7 @@ fn make_partition(netlist: &Netlist, tech: &Technology, cfg: &FoldConfig) -> Par
                 .filter(|(_, i)| i.master.is_macro())
                 .map(|(id, i)| (id, i.pos))
                 .collect();
-            macros.sort_by(|a, b| (a.1.y, a.1.x).partial_cmp(&(b.1.y, b.1.x)).expect("finite"));
+            macros.sort_by(|a, b| a.1.y.total_cmp(&b.1.y).then(a.1.x.total_cmp(&b.1.x)));
             let half = macros.len() / 2;
             let locks: std::collections::HashMap<InstId, Tier> = macros
                 .iter()
@@ -174,13 +220,20 @@ fn make_partition(netlist: &Netlist, tech: &Technology, cfg: &FoldConfig) -> Par
 }
 
 /// The shared fold pipeline, given a partition.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] when a fold stage fails — organically or
+/// through an installed [`foldic_fault::FaultPlan`].
 pub fn fold_with_partition(
     block: &mut Block,
     tech: &Technology,
     budgets: &TimingBudgets,
     cfg: &FoldConfig,
     part: Partition,
-) -> FoldedBlock {
+) -> Result<FoldedBlock, FlowError> {
+    let name = block.name.clone();
+    let attempt = cfg.retry_attempt;
     let cut = part.cut;
     apply_partition(&mut block.netlist, &part);
     block.folded = true;
@@ -211,12 +264,16 @@ pub fn fold_with_partition(
     }
 
     // --- macro re-packing and placement ----------------------------------
+    fault_point(FlowStage::Place, &name, attempt)?;
     repack_macros(&mut block.netlist, tech, outline);
-    place_folded(&mut block.netlist, tech, outline, &cfg.placer, &[]);
+    place_folded(&mut block.netlist, tech, outline, &cfg.placer, &[])
+        .map_err(|e| e.with_block(&name))?;
     // the fold scattered each clock leaf's flops across the dies: re-run
     // the leaf level of CTS per tier before committing 3D vias
     recluster_clock_leaves(&mut block.netlist);
-    let mut vias = place_vias(&block.netlist, tech, outline, cfg.bonding);
+    fault_point(FlowStage::Route, &name, attempt)?;
+    let mut vias =
+        place_vias(&block.netlist, tech, outline, cfg.bonding).map_err(|e| e.with_block(&name))?;
 
     // --- face-to-back: pay the TSV area and re-place ----------------------
     if cfg.bonding == BondingStyle::FaceToBack && !vias.is_empty() {
@@ -239,23 +296,30 @@ pub fn fold_with_partition(
             .into_iter()
             .map(|rect| Obstacle { rect, tier: None })
             .collect();
-        place_folded(&mut block.netlist, tech, outline, &cfg.placer, &obstacles);
-        vias = place_vias(&block.netlist, tech, outline, cfg.bonding);
+        place_folded(&mut block.netlist, tech, outline, &cfg.placer, &obstacles)
+            .map_err(|e| e.with_block(&name))?;
+        vias = place_vias(&block.netlist, tech, outline, cfg.bonding)
+            .map_err(|e| e.with_block(&name))?;
     }
     block.outline = outline;
 
     // --- optimization ------------------------------------------------------
+    fault_point(FlowStage::Opt, &name, attempt)?;
     let max_layer = block_max_layer(block, cfg.bonding, &cfg.policy);
     let mut opt_cfg = cfg.opt.clone();
     opt_cfg.max_layer = max_layer;
     opt_cfg.via_kind = Some(vias.kind());
     opt_cfg.dual_vth = cfg.dual_vth;
-    let opt = optimize_block_with_vias(&mut block.netlist, tech, budgets, &opt_cfg, Some(&vias));
+    let opt = optimize_block_with_vias(&mut block.netlist, tech, budgets, &opt_cfg, Some(&vias))
+        .map_err(|e| e.with_block(&name))?;
 
     // --- sign-off ------------------------------------------------------------
     // buffering re-shaped the nets: refresh the via assignment
-    let vias = place_vias(&block.netlist, tech, outline, cfg.bonding);
-    let wiring = BlockWiring::analyze(&block.netlist, tech, opt_cfg.detour, Some(&vias));
+    let vias =
+        place_vias(&block.netlist, tech, outline, cfg.bonding).map_err(|e| e.with_block(&name))?;
+    let wiring = BlockWiring::analyze(&block.netlist, tech, opt_cfg.detour, Some(&vias))
+        .map_err(|e| e.with_block(&name))?;
+    fault_point(FlowStage::Sta, &name, attempt)?;
     let sta = analyze(
         &block.netlist,
         tech,
@@ -265,11 +329,14 @@ pub fn fold_with_partition(
             max_layer,
             via_kind: Some(vias.kind()),
         },
-    );
+    )
+    .map_err(|e| e.with_block(&name))?;
+    fault_point(FlowStage::Power, &name, attempt)?;
     let mut pw_cfg = PowerConfig::for_block(block);
     pw_cfg.max_layer = max_layer;
     pw_cfg.via_kind = Some(vias.kind());
-    let power = analyze_block(&block.netlist, tech, &wiring, &pw_cfg);
+    let power =
+        analyze_block(&block.netlist, tech, &wiring, &pw_cfg).map_err(|e| e.with_block(&name))?;
     let metrics = collect_metrics(
         &block.netlist,
         block,
@@ -279,12 +346,12 @@ pub fn fold_with_partition(
         power,
         sta.wns_ps,
     );
-    FoldedBlock {
+    Ok(FoldedBlock {
         metrics,
         vias,
         opt,
         cut,
-    }
+    })
 }
 
 /// Re-runs the leaf level of clock-tree synthesis after a fold: the
@@ -329,9 +396,9 @@ pub fn recluster_clock_leaves(netlist: &mut Netlist) {
     all_sinks.sort_by(|&a, &b| {
         let (pa, ta) = (netlist.pin_pos(a), netlist.pin_tier(a));
         let (pb, tb) = (netlist.pin_pos(b), netlist.pin_tier(b));
-        (ta, pa.y, pa.x)
-            .partial_cmp(&(tb, pb.y, pb.x))
-            .expect("finite")
+        ta.cmp(&tb)
+            .then(pa.y.total_cmp(&pb.y))
+            .then(pa.x.total_cmp(&pb.x))
     });
     let per_leaf = all_sinks.len().div_ceil(leaf_nets.len());
     for (k, nid) in leaf_nets.iter().enumerate() {
@@ -419,7 +486,7 @@ pub fn repack_macros(netlist: &mut Netlist, tech: &Technology, outline: Rect) {
         macros.sort_by(|a, b| {
             let pa = netlist.inst(a.0).pos;
             let pb = netlist.inst(b.0).pos;
-            (pa.y, pa.x).partial_cmp(&(pb.y, pb.x)).expect("finite")
+            pa.y.total_cmp(&pb.y).then(pa.x.total_cmp(&pb.x))
         });
         if macros.is_empty() {
             continue;
@@ -517,11 +584,21 @@ const UNFOLDED_FUB_TIERS: [(&str, Tier); 8] = [
 /// Second-level folding: folds the six large FUBs of an SPC *individually*
 /// (each FUB's halves stack on top of each other) and assigns the eight
 /// small FUBs wholesale per Fig. 3, then runs the shared fold pipeline.
+///
+/// # Errors
+///
+/// See [`fold_block_with_budgets`].
 pub fn fold_spc_second_level(
     block: &mut Block,
     tech: &Technology,
     cfg: &FoldConfig,
-) -> FoldedBlock {
+) -> Result<FoldedBlock, FlowError> {
+    let name = block.name.clone();
+    fault_point(FlowStage::Validate, &name, cfg.retry_attempt)?;
+    block
+        .validate(tech)
+        .map_err(|e| FlowError::invalid(FlowStage::Validate, e.to_string()).with_block(&name))?;
+    fault_point(FlowStage::Partition, &name, cfg.retry_attempt)?;
     let budgets = TimingBudgets::relaxed(&block.netlist, tech);
     let nl = &block.netlist;
     let mut tier_of = vec![Tier::Bottom; nl.num_insts()];
@@ -673,7 +750,7 @@ pub fn fold_candidates(
             }
         })
         .collect();
-    rows.sort_by(|a, b| b.power_share.partial_cmp(&a.power_share).expect("finite"));
+    rows.sort_by(|a, b| b.power_share.total_cmp(&a.power_share));
     // §4.1: ≥1 % of system power, then favour net-power-heavy blocks with
     // many long wires
     let long_median = {
@@ -708,7 +785,7 @@ mod tests {
             bonding: BondingStyle::FaceToBack,
             ..FoldConfig::fast()
         };
-        let folded = fold_block(d.block_mut(id), &tech, &cfg);
+        let folded = fold_block(d.block_mut(id), &tech, &cfg).unwrap();
         // tiny cut (the paper reports 4 signal TSVs)
         assert!(folded.cut <= 8, "cut {}", folded.cut);
         // footprint roughly halves (−54.6 % in the paper)
@@ -730,7 +807,7 @@ mod tests {
             bonding: BondingStyle::FaceToBack,
             ..FoldConfig::fast()
         };
-        let _folded = fold_block(d.block_mut(id), &tech, &cfg);
+        let _folded = fold_block(d.block_mut(id), &tech, &cfg).unwrap();
         let nl = &d.block(id).netlist;
         let (bot, top): (Vec<_>, Vec<_>) = nl
             .insts()
@@ -761,7 +838,7 @@ mod tests {
                 bonding,
                 ..FoldConfig::fast()
             };
-            let folded = fold_block(d.block_mut(id), &tech, &cfg);
+            let folded = fold_block(d.block_mut(id), &tech, &cfg).unwrap();
             (d.block(id).outline.area(), folded)
         };
         let (fp_f2b, f2b) = run(BondingStyle::FaceToBack);
@@ -785,7 +862,7 @@ mod tests {
                 bonding: BondingStyle::FaceToFace,
                 ..FoldConfig::fast()
             };
-            fold_block(d.block_mut(id), &tech, &cfg).cut
+            fold_block(d.block_mut(id), &tech, &cfg).unwrap().cut
         };
         assert!(cut_at(0.0) > cut_at(1.0));
     }
@@ -798,7 +875,7 @@ mod tests {
             bonding: BondingStyle::FaceToFace,
             ..FoldConfig::fast()
         };
-        let folded = fold_spc_second_level(d.block_mut(id), &tech, &cfg);
+        let folded = fold_spc_second_level(d.block_mut(id), &tech, &cfg).unwrap();
         assert!(folded.metrics.num_3d_connections > 0);
         let nl = &d.block(id).netlist;
         // each folded FUB must have cells on both tiers

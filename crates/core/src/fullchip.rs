@@ -14,20 +14,26 @@
 //!    SPCs and F2F-folded blocks block them (§6.1) — and roll up chip
 //!    power, wirelength and via counts.
 
-use crate::flow::{run_block_flow, FlowConfig};
+use crate::flow::{block_max_layer, collect_metrics, run_block_flow, FlowConfig};
 use crate::folding::{
     fold_block_with_budgets, fold_spc_second_level, FoldAspect, FoldConfig, FoldStrategy,
 };
 use crate::metrics::DesignMetrics;
+use foldic_fault::{
+    fault_point, isolate, log_fault, CheckpointStore, Disposition, FaultRecord, FlowError,
+    FlowStage, RetryPolicy,
+};
 use foldic_floorplan::{floorplan_t2, plan_chip_tsvs, ChipPlan, FloorplanStyle};
-use foldic_geom::Point;
+use foldic_geom::{Point, Rect, Tier};
 use foldic_netlist::{Block, BlockId, BlockKind, ClockDomain, Design};
+use foldic_obs::json::Json;
 use foldic_opt::chip_repeater_spacing_um;
 use foldic_power::PowerReport;
 use foldic_route::GlobalRouter;
-use foldic_tech::{BondingStyle, CellKind, Drive, Technology, VthClass};
+use foldic_tech::{BondingStyle, CellKind, Drive, RoutingPolicy, Technology, VthClass};
 use foldic_timing::TimingBudgets;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Effective chip-net delay per µm of routed length in ps (a buffered
 /// top-metal wire).
@@ -117,6 +123,12 @@ pub struct FullChipConfig {
     /// identical for any thread count: blocks are independent and each
     /// job's RNG stream is seeded from its own config.
     pub threads: usize,
+    /// How often a failing block is retried (with a perturbed seed and a
+    /// relaxed config) before it degrades to analytical estimates.
+    pub retry: RetryPolicy,
+    /// When set, finished per-block results are written here and later
+    /// runs skip blocks whose key is already present (resume).
+    pub checkpoint: Option<Arc<CheckpointStore>>,
 }
 
 impl FullChipConfig {
@@ -124,9 +136,7 @@ impl FullChipConfig {
     pub fn fast() -> Self {
         Self {
             flow: FlowConfig::fast(),
-            fold_rtx: true,
-            dual_vth: false,
-            threads: 1,
+            ..Self::default()
         }
     }
 }
@@ -138,6 +148,8 @@ impl Default for FullChipConfig {
             fold_rtx: true,
             dual_vth: false,
             threads: 1,
+            retry: RetryPolicy::default(),
+            checkpoint: None,
         }
     }
 }
@@ -163,18 +175,230 @@ pub struct FullChipResult {
     pub interblock_detour: f64,
     /// Inter-block connections that crossed over-capacity regions.
     pub route_overflow: usize,
+    /// Faulted blocks of this run (sorted by block name): what failed,
+    /// how many attempts were spent, and whether the block recovered or
+    /// degraded to analytical estimates.
+    pub faults: Vec<FaultRecord>,
+}
+
+/// Stable scope label of a `(style, dual_vth)` run, used for fault
+/// records and checkpoint keys (e.g. `"core_cache"`, `"folded_f2b.dvt"`).
+fn run_scope(style: DesignStyle, dual_vth: bool) -> String {
+    if dual_vth {
+        format!("{}.dvt", style.slug())
+    } else {
+        style.slug().to_owned()
+    }
+}
+
+/// Runs one per-block job behind an isolation boundary: a panic or a
+/// recoverable [`FlowError`] restores the block from a pristine clone and
+/// retries with the attempt counter bumped (callers perturb seeds and
+/// relax configs off it); when every attempt fails — or immediately on a
+/// non-recoverable validation error — the block degrades to analytical
+/// estimates. Fault provenance is pushed to the global fault log and
+/// returned for the run's own `faults` table.
+fn run_block_isolated(
+    scope: &str,
+    block: &mut Block,
+    retry: RetryPolicy,
+    attempt_fn: impl Fn(&mut Block, u32) -> Result<DesignMetrics, FlowError>,
+    degrade_fn: impl FnOnce(&Block) -> DesignMetrics,
+) -> (DesignMetrics, Option<FaultRecord>) {
+    let pristine = block.clone();
+    let mut last_stage = FlowStage::Job;
+    let mut attempts = 0;
+    for attempt in 0..retry.max_attempts {
+        if attempt > 0 {
+            *block = pristine.clone();
+        }
+        attempts = attempt + 1;
+        match isolate(|| attempt_fn(block, attempt)) {
+            Ok(metrics) => {
+                if attempt == 0 {
+                    return (metrics, None);
+                }
+                let record = FaultRecord {
+                    scope: scope.to_owned(),
+                    block: block.name.clone(),
+                    stage: last_stage,
+                    attempts,
+                    disposition: Disposition::Recovered,
+                };
+                log_fault(record.clone());
+                return (metrics, Some(record));
+            }
+            Err(e) => {
+                last_stage = e.stage;
+                if !e.recoverable() {
+                    break; // invalid input fails identically every time
+                }
+            }
+        }
+    }
+    *block = pristine;
+    let metrics = degrade_fn(block);
+    let record = FaultRecord {
+        scope: scope.to_owned(),
+        block: block.name.clone(),
+        stage: last_stage,
+        attempts,
+        disposition: Disposition::Degraded,
+    };
+    log_fault(record.clone());
+    (metrics, Some(record))
+}
+
+/// Analytical stand-in metrics for a block whose flow never finished:
+/// wiring and power are estimated on the pristine (unoptimized) netlist,
+/// timing is not claimed (`wns_ps` = 0), and the result is marked
+/// [`degraded`](DesignMetrics::degraded).
+fn degraded_estimate(
+    block: &Block,
+    tech: &Technology,
+    bonding: BondingStyle,
+    policy: &RoutingPolicy,
+) -> DesignMetrics {
+    let max_layer = block_max_layer(block, bonding, policy);
+    let wiring = foldic_route::BlockWiring::analyze(
+        &block.netlist,
+        tech,
+        foldic_route::wiring::DEFAULT_DETOUR,
+        None,
+    );
+    let mut metrics = match wiring {
+        Ok(wiring) => {
+            let mut pw_cfg = foldic_power::PowerConfig::for_block(block);
+            pw_cfg.max_layer = max_layer;
+            let power = foldic_power::analyze_block(&block.netlist, tech, &wiring, &pw_cfg)
+                .unwrap_or_default();
+            collect_metrics(&block.netlist, block, tech, &wiring, None, power, 0.0)
+        }
+        // even the estimate failed: report the outline and nothing else
+        Err(_) => DesignMetrics {
+            footprint_um2: block.outline.area(),
+            ..Default::default()
+        },
+    };
+    metrics.degraded = true;
+    metrics
+}
+
+/// Serializes a finished block into a checkpoint value: its metrics plus
+/// the geometry downstream stages read back (outline, folded flag, port
+/// positions and tiers) and the block's fault record, if any. Netlist
+/// internals are *not* captured — resumed blocks skip their flow, so
+/// nothing downstream re-reads instance placement.
+fn snapshot_block(block: &Block, metrics: &DesignMetrics, fault: &Option<FaultRecord>) -> Json {
+    let mut pairs = vec![
+        ("metrics".to_owned(), metrics.to_json()),
+        (
+            "outline".to_owned(),
+            Json::Arr(vec![
+                Json::Num(block.outline.llx),
+                Json::Num(block.outline.lly),
+                Json::Num(block.outline.urx),
+                Json::Num(block.outline.ury),
+            ]),
+        ),
+        (
+            "folded".to_owned(),
+            Json::Num(if block.folded { 1.0 } else { 0.0 }),
+        ),
+        (
+            "ports".to_owned(),
+            Json::Arr(
+                block
+                    .netlist
+                    .ports()
+                    .map(|(_, p)| {
+                        Json::Arr(vec![
+                            Json::Num(p.pos.x),
+                            Json::Num(p.pos.y),
+                            Json::Num(if p.tier == Tier::Top { 1.0 } else { 0.0 }),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(record) = fault {
+        pairs.push(("fault".to_owned(), record.to_json()));
+    }
+    Json::obj(pairs)
+}
+
+/// Applies a checkpoint value written by [`snapshot_block`]. Everything
+/// is parsed and sanity-checked *before* the block is touched, so a
+/// stale or malformed entry leaves the block pristine and the caller
+/// re-runs the flow instead.
+fn restore_block(block: &mut Block, value: &Json) -> Option<(DesignMetrics, Option<FaultRecord>)> {
+    let metrics = DesignMetrics::from_json(value.get("metrics")?).ok()?;
+    let outline = value.get("outline")?.as_arr()?;
+    let [llx, lly, urx, ury] = [
+        outline.first()?.as_f64()?,
+        outline.get(1)?.as_f64()?,
+        outline.get(2)?.as_f64()?,
+        outline.get(3)?.as_f64()?,
+    ];
+    if !(llx.is_finite() && lly.is_finite() && llx <= urx && lly <= ury) {
+        return None;
+    }
+    let folded = value.get("folded")?.as_f64()? != 0.0;
+    let port_entries = value.get("ports")?.as_arr()?;
+    if port_entries.len() != block.netlist.num_ports() {
+        return None; // written against a different netlist
+    }
+    let mut ports = Vec::with_capacity(port_entries.len());
+    for entry in port_entries {
+        let a = entry.as_arr()?;
+        let (x, y) = (a.first()?.as_f64()?, a.get(1)?.as_f64()?);
+        if !(x.is_finite() && y.is_finite()) {
+            return None;
+        }
+        let tier = if a.get(2)?.as_f64()? != 0.0 {
+            Tier::Top
+        } else {
+            Tier::Bottom
+        };
+        ports.push((Point::new(x, y), tier));
+    }
+    let fault = match value.get("fault") {
+        Some(json) => Some(FaultRecord::from_json(json).ok()?),
+        None => None,
+    };
+    block.outline = Rect::new(llx, lly, urx, ury);
+    block.folded = folded;
+    for (idx, (pos, tier)) in ports.into_iter().enumerate() {
+        let port = block.netlist.port_mut(foldic_netlist::PortId::from(idx));
+        port.pos = pos;
+        port.tier = tier;
+    }
+    Some((metrics, fault))
 }
 
 /// Runs one full-chip style end to end. The design is consumed/mutated:
 /// pass a fresh clone per style.
+///
+/// Per-block failures (organic or injected) never abort the run: each
+/// block is retried under [`FullChipConfig::retry`] and degrades to
+/// analytical estimates on exhaustion, with provenance in
+/// [`FullChipResult::faults`].
+///
+/// # Errors
+///
+/// Returns [`FlowError`] only for chip-level failures (currently just an
+/// injected floorplan fault).
 pub fn run_fullchip(
     design: &mut Design,
     tech: &Technology,
     style: DesignStyle,
     cfg: &FullChipConfig,
-) -> FullChipResult {
+) -> Result<FullChipResult, FlowError> {
     let _span = foldic_obs::span!("fullchip", style = style.slug(), dual_vth = cfg.dual_vth,);
     let bonding = style.bonding();
+    let scope = run_scope(style, cfg.dual_vth);
+    let mut faults: Vec<FaultRecord> = Vec::new();
 
     // ---- 1. fold the selected blocks --------------------------------------
     let mut folded_results: HashMap<BlockId, DesignMetrics> = HashMap::new();
@@ -203,35 +427,60 @@ pub fn run_fullchip(
             .collect();
         let results = foldic_exec::profile::stage("fold", || {
             foldic_exec::par_map(cfg.threads, jobs, |_, (id, block)| {
+                let key = format!("{scope}/{}", block.name);
+                if let Some(store) = &cfg.checkpoint {
+                    if let Some(value) = store.get(&key) {
+                        if let Some((metrics, fault)) = restore_block(block, &value) {
+                            if let Some(record) = &fault {
+                                log_fault(record.clone());
+                            }
+                            return (id, metrics, fault);
+                        }
+                    }
+                }
                 let kind = block.kind;
-                let metrics = if kind == BlockKind::Spc {
-                    let c = fold_cfg(FoldStrategy::MinCut, FoldAspect::Keep);
-                    fold_spc_second_level(block, tech, &c).metrics
-                } else {
-                    let strategy = match kind {
-                        BlockKind::Ccx => FoldStrategy::NaturalGroups(vec!["pcx".into()]),
-                        BlockKind::L2d => FoldStrategy::MacroRows,
-                        _ => FoldStrategy::MinCut,
-                    };
-                    let aspect = match kind {
-                        BlockKind::Ccx => FoldAspect::Square,
-                        BlockKind::L2d => FoldAspect::KeepWidth,
-                        _ => FoldAspect::Keep,
-                    };
-                    let c = fold_cfg(strategy, aspect);
-                    let budgets = TimingBudgets::relaxed(&block.netlist, tech);
-                    fold_block_with_budgets(block, tech, &budgets, &c).metrics
-                };
-                (id, metrics)
+                let (metrics, fault) = run_block_isolated(
+                    &scope,
+                    block,
+                    cfg.retry,
+                    |b, attempt| {
+                        if kind == BlockKind::Spc {
+                            let c = fold_cfg(FoldStrategy::MinCut, FoldAspect::Keep)
+                                .relaxed_for_retry(attempt);
+                            Ok(fold_spc_second_level(b, tech, &c)?.metrics)
+                        } else {
+                            let strategy = match kind {
+                                BlockKind::Ccx => FoldStrategy::NaturalGroups(vec!["pcx".into()]),
+                                BlockKind::L2d => FoldStrategy::MacroRows,
+                                _ => FoldStrategy::MinCut,
+                            };
+                            let aspect = match kind {
+                                BlockKind::Ccx => FoldAspect::Square,
+                                BlockKind::L2d => FoldAspect::KeepWidth,
+                                _ => FoldAspect::Keep,
+                            };
+                            let c = fold_cfg(strategy, aspect).relaxed_for_retry(attempt);
+                            let budgets = TimingBudgets::relaxed(&b.netlist, tech);
+                            Ok(fold_block_with_budgets(b, tech, &budgets, &c)?.metrics)
+                        }
+                    },
+                    |b| degraded_estimate(b, tech, bonding, &cfg.flow.policy),
+                );
+                if let Some(store) = &cfg.checkpoint {
+                    store.put(&key, snapshot_block(block, &metrics, &fault));
+                }
+                (id, metrics, fault)
             })
         });
-        for (id, m) in results {
+        for (id, m, fault) in results {
             intra_block_vias += m.num_3d_connections;
             folded_results.insert(id, m);
+            faults.extend(fault);
         }
     }
 
     // ---- 2. floorplan -------------------------------------------------------
+    fault_point(FlowStage::Floorplan, "chip", 0)?;
     let fp_style = match style {
         DesignStyle::Flat2d | DesignStyle::FoldedF2b | DesignStyle::FoldedF2f => {
             FloorplanStyle::Flat2d
@@ -260,17 +509,45 @@ pub fn run_fullchip(
         .blocks_mut()
         .filter(|(id, _)| !folded_results.contains_key(id))
         .collect();
-    let flow_metrics: HashMap<BlockId, DesignMetrics> =
-        foldic_exec::profile::stage("block_flows", || {
-            foldic_exec::par_map(cfg.threads, jobs, |_, (id, block)| {
-                (
-                    id,
-                    run_block_flow(block, tech, &budgets[&id], &flow_cfg).metrics,
-                )
-            })
+    let flow_results = foldic_exec::profile::stage("block_flows", || {
+        foldic_exec::par_map(cfg.threads, jobs, |_, (id, block)| {
+            let key = format!("{scope}/{}", block.name);
+            if let Some(store) = &cfg.checkpoint {
+                if let Some(value) = store.get(&key) {
+                    if let Some((metrics, fault)) = restore_block(block, &value) {
+                        if let Some(record) = &fault {
+                            log_fault(record.clone());
+                        }
+                        return (id, metrics, fault);
+                    }
+                }
+            }
+            let (metrics, fault) = run_block_isolated(
+                &scope,
+                block,
+                cfg.retry,
+                |b, attempt| {
+                    Ok(run_block_flow(
+                        b,
+                        tech,
+                        &budgets[&id],
+                        &flow_cfg.relaxed_for_retry(attempt),
+                    )?
+                    .metrics)
+                },
+                |b| degraded_estimate(b, tech, bonding, &cfg.flow.policy),
+            );
+            if let Some(store) = &cfg.checkpoint {
+                store.put(&key, snapshot_block(block, &metrics, &fault));
+            }
+            (id, metrics, fault)
         })
-        .into_iter()
-        .collect();
+    });
+    let mut flow_metrics: HashMap<BlockId, DesignMetrics> = HashMap::new();
+    for (id, m, fault) in flow_results {
+        flow_metrics.insert(id, m);
+        faults.extend(fault);
+    }
     let mut per_block = Vec::new();
     for id in order {
         let metrics = folded_results
@@ -398,7 +675,8 @@ pub fn run_fullchip(
         foldic_obs::metrics::set_gauge(&key("buffers"), chip.num_buffers as f64);
     }
 
-    FullChipResult {
+    faults.sort();
+    Ok(FullChipResult {
         style,
         die: plan.die,
         chip,
@@ -408,7 +686,8 @@ pub fn run_fullchip(
         interblock_wl_um,
         interblock_detour: route_stats.detour(),
         route_overflow: route_stats.overflowed,
-    }
+        faults,
+    })
 }
 
 /// Re-assigns every unfolded block's port locations from the floorplan
@@ -531,14 +810,16 @@ pub fn chip_budgets(
         };
         // endpoints[0] drives, endpoints[1..] receive
         if let Some(&(bid, pid)) = net.endpoints.first() {
-            let b = budgets.get_mut(&bid).expect("all blocks budgeted");
-            let req = &mut b.output_required_ps[pid.index()];
-            *req = req.min((0.75 * period - delay).max(0.15 * period));
+            if let Some(b) = budgets.get_mut(&bid) {
+                let req = &mut b.output_required_ps[pid.index()];
+                *req = req.min((0.75 * period - delay).max(0.15 * period));
+            }
         }
         for &(bid, pid) in net.endpoints.iter().skip(1) {
-            let b = budgets.get_mut(&bid).expect("all blocks budgeted");
-            let arr = &mut b.input_arrival_ps[pid.index()];
-            *arr = arr.max((0.25 * period + delay).min(0.85 * period));
+            if let Some(b) = budgets.get_mut(&bid) {
+                let arr = &mut b.input_arrival_ps[pid.index()];
+                *arr = arr.max((0.25 * period + delay).min(0.85 * period));
+            }
         }
     }
     budgets
@@ -558,7 +839,8 @@ mod tests {
             &tech,
             DesignStyle::Flat2d,
             &FullChipConfig::fast(),
-        );
+        )
+        .unwrap();
         assert_eq!(result.style, DesignStyle::Flat2d);
         assert_eq!(result.per_block.len(), 46);
         assert_eq!(result.chip_vias, 0);
@@ -572,9 +854,9 @@ mod tests {
         let (design, tech) = T2Config::tiny().generate();
         let cfg = FullChipConfig::fast();
         let mut d2 = design.clone();
-        let r2 = run_fullchip(&mut d2, &tech, DesignStyle::Flat2d, &cfg);
+        let r2 = run_fullchip(&mut d2, &tech, DesignStyle::Flat2d, &cfg).unwrap();
         let mut d3 = design.clone();
-        let r3 = run_fullchip(&mut d3, &tech, DesignStyle::CoreCache, &cfg);
+        let r3 = run_fullchip(&mut d3, &tech, DesignStyle::CoreCache, &cfg).unwrap();
         assert!(r3.chip_vias > 0);
         assert!(
             r3.interblock_wl_um < r2.interblock_wl_um,

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! `foldic` — block folding and bonding styles for power reduction in
 //! two-tier 3D ICs.
 //!
@@ -35,7 +36,7 @@
 //!     bonding: BondingStyle::FaceToFace,
 //!     ..FoldConfig::default()
 //! };
-//! let folded = fold_block(design.block_mut(id), &tech, &cfg);
+//! let folded = fold_block(design.block_mut(id), &tech, &cfg).unwrap();
 //! println!("3D connections: {}", folded.metrics.num_3d_connections);
 //! ```
 
@@ -46,6 +47,10 @@ pub mod metrics;
 pub mod render;
 
 pub use flow::{run_block_flow, BlockResult, FlowConfig};
+pub use foldic_fault::{
+    clear_fault_plan, install_fault_plan, take_fault_log, CheckpointStore, Disposition, FaultPlan,
+    FaultRecord, FlowError, FlowStage, RetryPolicy,
+};
 pub use folding::{
     fold_block, fold_candidates, fold_spc_second_level, CandidateRow, FoldAspect, FoldConfig,
     FoldStrategy, FoldedBlock,

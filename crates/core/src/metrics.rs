@@ -1,5 +1,6 @@
 //! Design metrics and comparisons — the rows of the paper's tables.
 
+use foldic_obs::json::Json;
 use foldic_power::PowerReport;
 use std::fmt;
 
@@ -28,6 +29,10 @@ pub struct DesignMetrics {
     pub power: PowerReport,
     /// Worst negative slack in ps (0 when timing met).
     pub wns_ps: f64,
+    /// `true` when the flow failed on this design and the numbers are
+    /// analytical estimates instead of sign-off results. A roll-up
+    /// absorbing a degraded block is itself marked degraded.
+    pub degraded: bool,
 }
 
 impl DesignMetrics {
@@ -62,6 +67,73 @@ impl DesignMetrics {
         self.long_wires += other.long_wires;
         self.power += other.power;
         self.wns_ps = self.wns_ps.max(other.wns_ps);
+        self.degraded |= other.degraded;
+    }
+
+    /// JSON form used by the checkpoint store.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("footprint_um2".to_owned(), Json::Num(self.footprint_um2)),
+            ("wirelength_um".to_owned(), Json::Num(self.wirelength_um)),
+            ("num_cells".to_owned(), Json::Num(self.num_cells as f64)),
+            ("num_buffers".to_owned(), Json::Num(self.num_buffers as f64)),
+            ("num_macros".to_owned(), Json::Num(self.num_macros as f64)),
+            ("num_hvt".to_owned(), Json::Num(self.num_hvt as f64)),
+            (
+                "num_3d_connections".to_owned(),
+                Json::Num(self.num_3d_connections as f64),
+            ),
+            ("long_wires".to_owned(), Json::Num(self.long_wires as f64)),
+            ("power_cell_uw".to_owned(), Json::Num(self.power.cell_uw)),
+            (
+                "power_net_wire_uw".to_owned(),
+                Json::Num(self.power.net_wire_uw),
+            ),
+            (
+                "power_net_pin_uw".to_owned(),
+                Json::Num(self.power.net_pin_uw),
+            ),
+            (
+                "power_leakage_uw".to_owned(),
+                Json::Num(self.power.leakage_uw),
+            ),
+            ("wns_ps".to_owned(), Json::Num(self.wns_ps)),
+            (
+                "degraded".to_owned(),
+                Json::Num(if self.degraded { 1.0 } else { 0.0 }),
+            ),
+        ])
+    }
+
+    /// Parses the JSON form written by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a numeric field is missing or malformed.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let num = |key: &str| -> Result<f64, String> {
+            json.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("design metrics missing `{key}`"))
+        };
+        Ok(Self {
+            footprint_um2: num("footprint_um2")?,
+            wirelength_um: num("wirelength_um")?,
+            num_cells: num("num_cells")? as usize,
+            num_buffers: num("num_buffers")? as usize,
+            num_macros: num("num_macros")? as usize,
+            num_hvt: num("num_hvt")? as usize,
+            num_3d_connections: num("num_3d_connections")? as usize,
+            long_wires: num("long_wires")? as usize,
+            power: PowerReport {
+                cell_uw: num("power_cell_uw")?,
+                net_wire_uw: num("power_net_wire_uw")?,
+                net_pin_uw: num("power_net_pin_uw")?,
+                leakage_uw: num("power_leakage_uw")?,
+            },
+            wns_ps: num("wns_ps")?,
+            degraded: num("degraded")? != 0.0,
+        })
     }
 }
 
@@ -263,5 +335,22 @@ mod tests {
         assert_eq!(total.num_cells, 30);
         assert!((total.power.cell_uw - 3.0).abs() < 1e-12);
         assert_eq!(total.footprint_um2, 0.0, "footprint is never summed");
+    }
+
+    #[test]
+    fn degraded_flag_taints_rollups_and_roundtrips() {
+        let mut clean = m(10, 1.0);
+        clean.wns_ps = -3.25;
+        let mut bad = m(5, 0.5);
+        bad.degraded = true;
+        let mut total = DesignMetrics::default();
+        total.absorb(&clean);
+        assert!(!total.degraded);
+        total.absorb(&bad);
+        assert!(total.degraded, "absorb must propagate degradation");
+
+        let back = DesignMetrics::from_json(&clean.to_json()).unwrap();
+        assert_eq!(back, clean, "metrics JSON must round-trip exactly");
+        assert!(DesignMetrics::from_json(&bad.to_json()).unwrap().degraded);
     }
 }

@@ -232,7 +232,8 @@ mod tests {
                 placer: foldic_place::PlacerConfig::fast(),
                 ..FoldConfig::default()
             },
-        );
+        )
+        .unwrap();
         let svg = render_block_svg(design.block(id), &tech, Some(&folded.vias), 0.2);
         assert!(svg.contains("die_bot") && svg.contains("die_top"));
         // F2F vias rendered as dots

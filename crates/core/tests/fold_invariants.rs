@@ -36,7 +36,8 @@ fn every_strategy_produces_a_sound_two_tier_block() {
                 d.block_mut(id),
                 &tech,
                 &fast_fold(strategy.clone(), bonding),
-            );
+            )
+            .unwrap();
             let block = d.block(id);
             block
                 .netlist
@@ -90,7 +91,8 @@ fn folded_footprint_tracks_the_bigger_tier() {
         d.block_mut(id),
         &tech,
         &fast_fold(FoldStrategy::MinCut, BondingStyle::FaceToFace),
-    );
+    )
+    .unwrap();
     let block = d.block(id);
     // per-tier placed area must fit in the outline at sane utilization
     for tier in Tier::ALL {
@@ -119,7 +121,8 @@ fn f2b_outline_grows_with_via_count() {
             d.block_mut(id),
             &tech,
             &fast_fold(FoldStrategy::Quality(q), BondingStyle::FaceToBack),
-        );
+        )
+        .unwrap();
         (f.metrics.num_3d_connections, d.block(id).outline.area())
     };
     let (v_min, fp_min) = fp_of(1.0);
@@ -146,7 +149,8 @@ fn macro_rows_fold_keeps_macros_legal_and_disjoint() {
             placer: PlacerConfig::fast(),
             ..FoldConfig::default()
         },
-    );
+    )
+    .unwrap();
     let block = d.block(id);
     for tier in Tier::ALL {
         let rects: Vec<_> = block
@@ -174,7 +178,8 @@ fn second_level_fold_respects_unfolded_fub_assignment() {
         d.block_mut(id),
         &tech,
         &fast_fold(FoldStrategy::MinCut, BondingStyle::FaceToFace),
-    );
+    )
+    .unwrap();
     let nl = &d.block(id).netlist;
     // unfolded FUBs live on exactly one tier
     for name in ["pku", "dec", "mmu", "gkt"] {
@@ -210,7 +215,8 @@ fn fold_then_render_produces_consistent_panels() {
         d.block_mut(id),
         &tech,
         &fast_fold(FoldStrategy::MinCut, BondingStyle::FaceToBack),
-    );
+    )
+    .unwrap();
     let svg = foldic::render_block_svg(d.block(id), &tech, Some(&folded.vias), 0.3);
     assert!(svg.contains("die_bot") && svg.contains("die_top"));
     // TSVs drawn as dark squares

@@ -49,7 +49,8 @@ fn folded_styles_report_both_via_classes() {
         &tech,
         DesignStyle::FoldedF2f,
         &FullChipConfig::fast(),
-    );
+    )
+    .unwrap();
     assert!(r.intra_block_vias > 0, "folded blocks must carry vias");
     assert!(
         r.chip_vias > 0,
@@ -71,9 +72,9 @@ fn folded_chip_beats_plain_stacking_on_power() {
     let (design, tech) = T2Config::tiny().generate();
     let cfg = FullChipConfig::fast();
     let mut d1 = design.clone();
-    let stacked = run_fullchip(&mut d1, &tech, DesignStyle::CoreCache, &cfg);
+    let stacked = run_fullchip(&mut d1, &tech, DesignStyle::CoreCache, &cfg).unwrap();
     let mut d2 = design.clone();
-    let folded = run_fullchip(&mut d2, &tech, DesignStyle::FoldedF2f, &cfg);
+    let folded = run_fullchip(&mut d2, &tech, DesignStyle::FoldedF2f, &cfg).unwrap();
     assert!(
         folded.chip.power.total_uw() < stacked.chip.power.total_uw(),
         "folding {} must beat stacking {}",
@@ -90,9 +91,9 @@ fn over_the_block_blockage_raises_interblock_detour() {
     let (design, tech) = T2Config::tiny().generate();
     let cfg = FullChipConfig::fast();
     let mut d1 = design.clone();
-    let stacked = run_fullchip(&mut d1, &tech, DesignStyle::CoreCache, &cfg);
+    let stacked = run_fullchip(&mut d1, &tech, DesignStyle::CoreCache, &cfg).unwrap();
     let mut d2 = design.clone();
-    let folded = run_fullchip(&mut d2, &tech, DesignStyle::FoldedF2f, &cfg);
+    let folded = run_fullchip(&mut d2, &tech, DesignStyle::FoldedF2f, &cfg).unwrap();
     let worse = folded.route_overflow > stacked.route_overflow
         || folded.interblock_detour > stacked.interblock_detour
         || folded.interblock_wl_um > stacked.interblock_wl_um;
@@ -103,11 +104,11 @@ fn over_the_block_blockage_raises_interblock_detour() {
 fn dual_vth_fullchip_tracks_rvt_with_less_power() {
     let (design, tech) = T2Config::tiny().generate();
     let mut d1 = design.clone();
-    let rvt = run_fullchip(&mut d1, &tech, DesignStyle::Flat2d, &FullChipConfig::fast());
+    let rvt = run_fullchip(&mut d1, &tech, DesignStyle::Flat2d, &FullChipConfig::fast()).unwrap();
     let mut d2 = design.clone();
     let mut cfg = FullChipConfig::fast();
     cfg.dual_vth = true;
-    let dvt = run_fullchip(&mut d2, &tech, DesignStyle::Flat2d, &cfg);
+    let dvt = run_fullchip(&mut d2, &tech, DesignStyle::Flat2d, &cfg).unwrap();
     assert!(dvt.chip.num_hvt > 0);
     assert!(dvt.chip.hvt_fraction() > 0.5);
     assert!(dvt.chip.power.total_uw() < rvt.chip.power.total_uw());

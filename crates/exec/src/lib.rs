@@ -20,8 +20,12 @@
 //! # Panic safety
 //!
 //! A panicking job never deadlocks the pool: the panic is caught, the
-//! remaining jobs still run, and the first panic payload is re-raised on
-//! the calling thread after the pool drains.
+//! remaining jobs still run, and **every** payload is recorded at its
+//! job's slot. [`par_map_caught`] exposes the per-job outcomes as
+//! `Result<R, JobPanic>` — the API fault-tolerant callers build on —
+//! while [`par_map`] keeps the fail-fast contract by re-raising the
+//! payload of the **lowest-index** panicking job (deterministic across
+//! thread counts, unlike first-to-finish) after the pool drains.
 //!
 //! # Instrumentation
 //!
@@ -74,6 +78,47 @@ pub fn resolve_threads(requested: Option<usize>) -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// A panic captured at the job boundary by [`par_map_caught`] /
+/// [`run_caught`].
+pub struct JobPanic {
+    /// Submission index of the job that panicked.
+    pub index: usize,
+    /// The raw panic payload, as handed to `catch_unwind`.
+    pub payload: Box<dyn std::any::Any + Send>,
+}
+
+impl JobPanic {
+    /// A human-readable form of the payload (`&str` / `String` payloads
+    /// verbatim, anything else a placeholder). Typed payloads should be
+    /// recovered from [`JobPanic::payload`] by downcast instead.
+    pub fn message(&self) -> String {
+        self.payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| self.payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned())
+    }
+}
+
+impl std::fmt::Debug for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobPanic")
+            .field("index", &self.index)
+            .field("message", &self.message())
+            .finish()
+    }
+}
+
+/// Runs one closure behind the same unwind boundary the pool uses,
+/// returning the panic (if any) instead of propagating it.
+///
+/// # Errors
+///
+/// Returns the captured payload (index 0) when `f` panics.
+pub fn run_caught<R>(f: impl FnOnce() -> R) -> Result<R, JobPanic> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| JobPanic { index: 0, payload })
+}
+
 /// Maps `f` over `items` on `threads` workers, returning results in
 /// submission order. See the crate docs for the determinism and panic
 /// contracts.
@@ -87,7 +132,43 @@ where
 }
 
 /// [`par_map`] variant that also returns the run's [`RunStats`].
+///
+/// Panic contract: if any job panics, every job still runs, then the
+/// payload of the lowest-index panicking job is re-raised here.
 pub fn par_map_stats<I, R, F>(threads: usize, items: Vec<I>, f: F) -> (Vec<R>, RunStats)
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, I) -> R + Sync,
+{
+    let (caught, stats) = par_map_caught_stats(threads, items, f);
+    let results = caught
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p.payload),
+        })
+        .collect();
+    (results, stats)
+}
+
+/// [`par_map`] variant for fault-tolerant callers: panics are captured
+/// per job, so one failing job cannot take down its siblings' results.
+pub fn par_map_caught<I, R, F>(threads: usize, items: Vec<I>, f: F) -> Vec<Result<R, JobPanic>>
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, I) -> R + Sync,
+{
+    par_map_caught_stats(threads, items, f).0
+}
+
+/// [`par_map_caught`] variant that also returns the run's [`RunStats`].
+pub fn par_map_caught_stats<I, R, F>(
+    threads: usize,
+    items: Vec<I>,
+    f: F,
+) -> (Vec<Result<R, JobPanic>>, RunStats)
 where
     I: Send,
     R: Send,
@@ -107,8 +188,11 @@ where
             .into_iter()
             .enumerate()
             .map(|(i, item)| {
-                let _span = foldic_obs::span!("job", idx = i, worker = 0usize);
-                f(i, item)
+                catch_unwind(AssertUnwindSafe(|| {
+                    let _span = foldic_obs::span!("job", idx = i, worker = 0usize);
+                    f(i, item)
+                }))
+                .map_err(|payload| JobPanic { index: i, payload })
             })
             .collect();
         stats.wall = t0.elapsed();
@@ -129,8 +213,8 @@ where
         queues[i % workers].lock().unwrap().push_back((i, item));
     }
 
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let results: Mutex<Vec<Option<Result<R, JobPanic>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
     let steals = AtomicUsize::new(0);
     let peak_depth = AtomicUsize::new(0);
 
@@ -138,7 +222,6 @@ where
         for me in 0..workers {
             let queues = &queues;
             let results = &results;
-            let panic_payload = &panic_payload;
             let steals = &steals;
             let peak_depth = &peak_depth;
             let f = &f;
@@ -178,27 +261,20 @@ where
                     // is terminal for this worker.
                     break;
                 };
-                match catch_unwind(AssertUnwindSafe(|| {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
                     foldic_obs::trace::run_with_parent(parent_span, || {
                         let _span = foldic_obs::span!("job", idx = idx, worker = me);
                         f(idx, item)
                     })
-                })) {
-                    Ok(r) => results.lock().unwrap()[idx] = Some(r),
-                    Err(p) => {
-                        let mut slot = panic_payload.lock().unwrap();
-                        if slot.is_none() {
-                            *slot = Some(p);
-                        }
-                    }
-                }
+                }))
+                .map_err(|payload| JobPanic {
+                    index: idx,
+                    payload,
+                });
+                results.lock().unwrap()[idx] = Some(outcome);
             });
         }
     });
-
-    if let Some(p) = panic_payload.into_inner().unwrap() {
-        resume_unwind(p);
-    }
 
     stats.steals = steals.into_inner();
     stats.peak_queue_depth = peak_depth.into_inner();
@@ -273,6 +349,56 @@ mod tests {
         });
         assert_eq!(v, (0..32).map(|x| x * 2).collect::<Vec<_>>());
         assert_eq!(doubled, v);
+    }
+
+    #[test]
+    fn caught_map_records_every_outcome() {
+        for threads in [1, 4] {
+            let out = par_map_caught(threads, (0..16).collect::<Vec<usize>>(), |_, x| {
+                if x % 5 == 3 {
+                    panic!("job {x} failed");
+                }
+                x * 10
+            });
+            assert_eq!(out.len(), 16);
+            for (i, r) in out.iter().enumerate() {
+                if i % 5 == 3 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.index, i, "threads={threads}");
+                    assert_eq!(p.message(), format!("job {i} failed"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 10, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_reraises_lowest_index_panic() {
+        for threads in [1, 4] {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                par_map(threads, (0..32).collect::<Vec<usize>>(), |_, x| {
+                    if x == 7 || x == 21 {
+                        panic!("boom {x}");
+                    }
+                    x
+                })
+            }))
+            .unwrap_err();
+            let msg = caught.downcast_ref::<String>().cloned().unwrap();
+            assert_eq!(msg, "boom 7", "threads={threads}: deterministic re-raise");
+        }
+    }
+
+    #[test]
+    fn run_caught_returns_value_or_payload() {
+        assert_eq!(run_caught(|| 5).unwrap(), 5);
+        let p = run_caught(|| -> u8 { panic!("solo") }).unwrap_err();
+        assert_eq!(p.message(), "solo");
+        // typed payloads survive for downcast by the caller
+        let p = run_caught(|| std::panic::panic_any(42usize)).unwrap_err();
+        assert_eq!(p.payload.downcast_ref::<usize>(), Some(&42));
+        assert_eq!(p.message(), "non-string panic payload");
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Checkpoint/resume for long full-chip runs.
+//!
+//! A [`CheckpointStore`] persists completed per-block results as
+//! append-only JSONL: one header line naming the schema, then one
+//! compact-JSON line per entry (`{"key":…,"value":…}`). Appending after
+//! every completed block means an interrupted run loses at most the
+//! blocks that were in flight; a resumed run replays the finished ones
+//! from the store and recomputes only the rest. Values round-trip
+//! bit-exactly (the JSON writer uses shortest round-trip float
+//! formatting), which is what makes resumed output byte-identical to an
+//! uninterrupted run.
+//!
+//! Loading is tolerant of a torn tail: a process killed mid-append
+//! leaves a truncated final line, which is skipped (with everything
+//! after it) rather than rejected — those blocks are simply recomputed.
+
+use foldic_obs::json::Json;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Schema tag written as the first line of every checkpoint file.
+pub const CHECKPOINT_SCHEMA: &str = "foldic-checkpoint/1";
+
+/// An append-only key→JSON store backed by a JSONL file (or memory).
+///
+/// Keys are free-form strings; the flow uses `style_key/block` so one
+/// store covers every run scope of a full-chip experiment. Duplicate
+/// keys are last-wins, so re-running a block simply supersedes its
+/// earlier entry.
+pub struct CheckpointStore {
+    entries: Mutex<BTreeMap<String, Json>>,
+    sink: Mutex<Option<File>>,
+    path: Option<PathBuf>,
+    hits: AtomicU64,
+}
+
+impl std::fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointStore")
+            .field("path", &self.path)
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .finish()
+    }
+}
+
+impl CheckpointStore {
+    /// Opens (or creates) a checkpoint file, loading any entries already
+    /// in it. A truncated final line — the signature of a killed run —
+    /// is tolerated: reading stops there, the torn entry is dropped, and
+    /// the file is trimmed back to its last intact line so later appends
+    /// start on a clean boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file cannot be created/read or carries
+    /// a different schema tag.
+    pub fn open(path: &Path) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        // byte length of the valid prefix (complete, parseable lines)
+        let mut valid_end = 0u64;
+        if path.exists() {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+            let mut header_seen = false;
+            for line in text.split_inclusive('\n') {
+                if !line.ends_with('\n') {
+                    break; // torn tail from a killed append
+                }
+                let trimmed = line.trim();
+                if !header_seen && !trimmed.is_empty() {
+                    let header =
+                        Json::parse(trimmed).map_err(|e| format!("bad checkpoint header: {e}"))?;
+                    match header.get("schema").and_then(Json::as_str) {
+                        Some(CHECKPOINT_SCHEMA) => {}
+                        other => {
+                            return Err(format!(
+                            "checkpoint schema mismatch: want {CHECKPOINT_SCHEMA}, got {other:?}"
+                        ))
+                        }
+                    }
+                    header_seen = true;
+                } else if !trimmed.is_empty() {
+                    // An unparseable mid-file line means corruption; keep
+                    // the intact prefix and recompute the rest.
+                    let Ok(entry) = Json::parse(trimmed) else {
+                        break;
+                    };
+                    let (Some(key), Some(value)) =
+                        (entry.get("key").and_then(Json::as_str), entry.get("value"))
+                    else {
+                        break;
+                    };
+                    entries.insert(key.to_owned(), value.clone());
+                }
+                valid_end += line.len() as u64;
+            }
+        }
+        let mut sink = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("cannot open checkpoint {}: {e}", path.display()))?;
+        sink.set_len(valid_end)
+            .map_err(|e| format!("cannot trim checkpoint: {e}"))?;
+        sink.seek(SeekFrom::End(0))
+            .map_err(|e| format!("cannot seek checkpoint: {e}"))?;
+        if valid_end == 0 {
+            let header =
+                Json::obj([("schema".to_owned(), Json::Str(CHECKPOINT_SCHEMA.to_owned()))]);
+            writeln!(sink, "{}", header.to_compact())
+                .map_err(|e| format!("cannot write checkpoint header: {e}"))?;
+        }
+        Ok(Self {
+            entries: Mutex::new(entries),
+            sink: Mutex::new(Some(sink)),
+            path: Some(path.to_owned()),
+            hits: AtomicU64::new(0),
+        })
+    }
+
+    /// A store with no backing file (used by tests and `--resume`-less
+    /// runs that still want the replay API).
+    pub fn in_memory() -> Self {
+        Self {
+            entries: Mutex::new(BTreeMap::new()),
+            sink: Mutex::new(None),
+            path: None,
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The backing file, when there is one.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Looks up a completed entry; counts a resume hit when found.
+    pub fn get(&self, key: &str) -> Option<Json> {
+        let found = self
+            .entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Records a completed entry and appends it to the backing file
+    /// (flushed immediately, so a kill right after loses nothing).
+    pub fn put(&self, key: &str, value: Json) {
+        let line = Json::obj([
+            ("key".to_owned(), Json::Str(key.to_owned())),
+            ("value".to_owned(), value.clone()),
+        ])
+        .to_compact();
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key.to_owned(), value);
+        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(file) = sink.as_mut() {
+            // Checkpointing is best-effort: an unwritable disk degrades
+            // resume, it must not fail the run.
+            let _ = writeln!(file, "{line}");
+            let _ = file.flush();
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// `true` when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of [`CheckpointStore::get`] calls that found an entry —
+    /// i.e. blocks skipped on resume.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("foldic-fault-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn persists_and_reloads_bit_exact() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let value = Json::obj([
+            ("wl".to_owned(), Json::Num(1_234.567_890_123_4)),
+            ("pi".to_owned(), Json::Num(std::f64::consts::PI)),
+        ]);
+        {
+            let store = CheckpointStore::open(&path).unwrap();
+            store.put("flat2d/dec", value.clone());
+            store.put("flat2d/dec", value.clone()); // last-wins duplicate
+            store.put("folded/ccu", Json::Num(-1e-17));
+        }
+        let store = CheckpointStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("flat2d/dec"), Some(value));
+        assert_eq!(store.get("folded/ccu"), Some(Json::Num(-1e-17)));
+        assert_eq!(store.get("missing"), None);
+        assert_eq!(store.hits(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tolerates_torn_tail() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = CheckpointStore::open(&path).unwrap();
+            store.put("a", Json::Num(1.0));
+            store.put("b", Json::Num(2.0));
+        }
+        // simulate a kill mid-append: chop the last 7 bytes
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 7]).unwrap();
+        let store = CheckpointStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1, "torn entry dropped, intact entry kept");
+        assert_eq!(store.get("a"), Some(Json::Num(1.0)));
+        // the store stays appendable after a torn load
+        store.put("c", Json::Num(3.0));
+        let again = CheckpointStore::open(&path).unwrap();
+        assert_eq!(again.get("c"), Some(Json::Num(3.0)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let path = tmp("schema");
+        std::fs::write(&path, "{\"schema\":\"other/9\"}\n").unwrap();
+        assert!(CheckpointStore::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn in_memory_store_needs_no_disk() {
+        let store = CheckpointStore::in_memory();
+        assert!(store.is_empty());
+        store.put("k", Json::Bool(true));
+        assert_eq!(store.get("k"), Some(Json::Bool(true)));
+        assert_eq!(store.path(), None);
+    }
+}

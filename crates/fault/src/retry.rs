@@ -1,0 +1,242 @@
+//! Retry policy, panic isolation, and fault provenance records.
+
+use crate::{FlowError, FlowStage};
+use foldic_obs::json::Json;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// How often a failing block is retried before it degrades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (so `3` = one run + two
+    /// retries). Retries perturb the heuristic seeds and progressively
+    /// relax the stage configuration; `1` disables retrying.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `n` total attempts (clamped to ≥ 1).
+    pub fn attempts(n: u32) -> Self {
+        Self {
+            max_attempts: n.max(1),
+        }
+    }
+}
+
+/// Final outcome of a faulted block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Disposition {
+    /// A retry succeeded; the block's results are real flow results.
+    Recovered,
+    /// Every attempt failed; the block carries analytical estimates.
+    Degraded,
+}
+
+impl Disposition {
+    /// Stable lower-case label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Disposition::Recovered => "recovered",
+            Disposition::Degraded => "degraded",
+        }
+    }
+}
+
+impl fmt::Display for Disposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Provenance of one faulted block: where it failed, how often it was
+/// tried, and how it ended up. These records land in the run manifest's
+/// `faults` section and in the report footers of the result tables.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultRecord {
+    /// Run scope the fault occurred in (e.g. `"core_cache"` or
+    /// `"folded_f2b.dvt"`).
+    pub scope: String,
+    /// Block name.
+    pub block: String,
+    /// Stage of the *last* failure.
+    pub stage: FlowStage,
+    /// Attempts consumed (including the first run).
+    pub attempts: u32,
+    /// Final outcome.
+    pub disposition: Disposition,
+}
+
+impl fmt::Display for FaultRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} {} after {} attempt{}",
+            self.scope,
+            self.block,
+            self.stage,
+            self.disposition,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" }
+        )
+    }
+}
+
+impl FaultRecord {
+    /// JSON form for manifests and checkpoints.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("scope".to_owned(), Json::Str(self.scope.clone())),
+            ("block".to_owned(), Json::Str(self.block.clone())),
+            (
+                "stage".to_owned(),
+                Json::Str(self.stage.as_str().to_owned()),
+            ),
+            ("attempts".to_owned(), Json::Num(self.attempts as f64)),
+            (
+                "disposition".to_owned(),
+                Json::Str(self.disposition.as_str().to_owned()),
+            ),
+        ])
+    }
+
+    /// The manifest-side mirror of this record (plain strings, so
+    /// `foldic-obs` needs no knowledge of the flow's enums).
+    pub fn to_manifest_entry(&self) -> foldic_obs::manifest::FaultEntry {
+        foldic_obs::manifest::FaultEntry {
+            scope: self.scope.clone(),
+            block: self.block.clone(),
+            stage: self.stage.as_str().to_owned(),
+            attempts: u64::from(self.attempts),
+            disposition: self.disposition.as_str().to_owned(),
+        }
+    }
+
+    /// Parses the JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a field is missing or malformed.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let text = |key: &str| -> Result<String, String> {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("fault record missing `{key}`"))
+        };
+        let stage: FlowStage = text("stage")?.parse()?;
+        let disposition = match text("disposition")?.as_str() {
+            "recovered" => Disposition::Recovered,
+            "degraded" => Disposition::Degraded,
+            other => return Err(format!("unknown disposition `{other}`")),
+        };
+        Ok(Self {
+            scope: text("scope")?,
+            block: text("block")?,
+            stage,
+            attempts: json.get("attempts").and_then(Json::as_f64).unwrap_or(1.0) as u32,
+            disposition,
+        })
+    }
+}
+
+/// Runs `f` behind an unwind boundary, translating panics into
+/// [`FlowError`]s. Injected panics carry a `FlowError` payload and come
+/// back intact (stage and block preserved); organic panics are
+/// stringified and attributed to [`FlowStage::Job`].
+///
+/// # Errors
+///
+/// Propagates `f`'s own error, or the translated panic.
+pub fn isolate<R>(f: impl FnOnce() -> Result<R, FlowError>) -> Result<R, FlowError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(match payload.downcast::<FlowError>() {
+            Ok(e) => *e,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                FlowError::panic(msg)
+            }
+        }),
+    }
+}
+
+static LOG: Mutex<Vec<FaultRecord>> = Mutex::new(Vec::new());
+
+/// Appends a record to the process-global fault log.
+pub fn log_fault(record: FaultRecord) {
+    LOG.lock().unwrap_or_else(|e| e.into_inner()).push(record);
+}
+
+/// Drains the fault log, sorted into a stable order (scope, block,
+/// stage) so manifests are byte-identical across thread counts.
+pub fn take_fault_log() -> Vec<FaultRecord> {
+    let mut records = std::mem::take(&mut *LOG.lock().unwrap_or_else(|e| e.into_inner()));
+    records.sort();
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultCause;
+
+    #[test]
+    fn isolate_passes_results_and_translates_panics() {
+        assert_eq!(isolate(|| Ok(7)), Ok(7));
+        let e = isolate::<()>(|| panic!("organic {}", "boom")).unwrap_err();
+        assert_eq!(e.stage, FlowStage::Job);
+        assert_eq!(e.cause, FaultCause::Panic("organic boom".to_owned()));
+        // injected panics keep their typed payload
+        let injected = FlowError::injected(FlowStage::Route, "x").with_block("dec");
+        let back = isolate::<()>(|| std::panic::panic_any(injected.clone())).unwrap_err();
+        assert_eq!(back, injected);
+    }
+
+    #[test]
+    fn records_roundtrip_and_sort_stably() {
+        let r = FaultRecord {
+            scope: "core_cache".into(),
+            block: "dec".into(),
+            stage: FlowStage::Route,
+            attempts: 3,
+            disposition: Disposition::Degraded,
+        };
+        let back = FaultRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        assert!(r.to_string().contains("degraded after 3 attempts"));
+
+        log_fault(FaultRecord {
+            scope: "z".into(),
+            ..r.clone()
+        });
+        log_fault(r.clone());
+        let drained = take_fault_log();
+        // other tests may have logged concurrently; ours are ordered
+        let mine: Vec<&FaultRecord> = drained
+            .iter()
+            .filter(|x| x.block == "dec" && (x.scope == "core_cache" || x.scope == "z"))
+            .collect();
+        assert_eq!(mine.len(), 2);
+        assert!(mine[0].scope <= mine[1].scope);
+        assert!(take_fault_log()
+            .iter()
+            .all(|x| !(x.block == "dec" && x.scope == "core_cache")));
+    }
+
+    #[test]
+    fn retry_policy_clamps() {
+        assert_eq!(RetryPolicy::attempts(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::default().max_attempts, 3);
+    }
+}

@@ -1,8 +1,26 @@
-//! Structural invariant checking for netlists.
+//! Structural invariant checking for netlists and physical validation
+//! for blocks.
+//!
+//! [`Netlist::check`] guards the connectivity invariants the flow
+//! assumes; [`Block::validate`] adds the physical preconditions —
+//! sane outline, placeable utilization, ports inside the outline, tier
+//! assignments consistent with the fold state — that the placer and
+//! router would otherwise only discover as panics deep inside a stage.
+//! The fault-tolerant flow runs both at entry and maps violations to a
+//! non-recoverable `Invalid` error (retrying identical bad input is
+//! pointless).
 
-use crate::block::PortDir;
+use crate::block::{Block, PortDir};
 use crate::netlist::{Netlist, PinRef};
+use crate::stats::NetlistStats;
+use foldic_geom::Tier;
+use foldic_tech::Technology;
 use std::fmt;
+
+/// Widest block aspect ratio (long side over short side) the placer
+/// handles gracefully. T2 blocks are near-square; even a folded half
+/// stays far below this.
+pub const MAX_ASPECT_RATIO: f64 = 16.0;
 
 /// A violated netlist invariant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +52,45 @@ pub enum CheckError {
         /// Name of the offending net.
         net: String,
     },
+    /// A block outline with non-finite or non-positive dimensions.
+    DegenerateOutline {
+        /// Name of the offending block.
+        block: String,
+    },
+    /// Block aspect ratio beyond [`MAX_ASPECT_RATIO`].
+    ExtremeAspect {
+        /// Name of the offending block.
+        block: String,
+        /// Aspect ratio in tenths (`173` = 17.3 : 1).
+        ratio_tenths: u32,
+    },
+    /// Cell + macro area exceeds the outline area: the block cannot be
+    /// legalized at any utilization.
+    Overfilled {
+        /// Name of the offending block.
+        block: String,
+        /// Utilization in percent (> 100).
+        util_pct: u32,
+    },
+    /// A port placed outside the block outline.
+    PortOutsideOutline {
+        /// Name of the offending block.
+        block: String,
+        /// Name of the offending port.
+        port: String,
+    },
+    /// A port assigned to the top tier of an *unfolded* block.
+    TierMismatch {
+        /// Name of the offending block.
+        block: String,
+        /// Name of the offending port.
+        port: String,
+    },
+    /// Toggle activity that is not a finite non-negative number.
+    BadActivity {
+        /// Name of the offending block.
+        block: String,
+    },
 }
 
 impl fmt::Display for CheckError {
@@ -51,6 +108,32 @@ impl fmt::Display for CheckError {
             }
             CheckError::DuplicateSink { net } => {
                 write!(f, "net `{net}` lists the same sink pin twice")
+            }
+            CheckError::DegenerateOutline { block } => {
+                write!(f, "block `{block}` has a degenerate outline")
+            }
+            CheckError::ExtremeAspect {
+                block,
+                ratio_tenths,
+            } => write!(
+                f,
+                "block `{block}` aspect ratio {}.{} exceeds {MAX_ASPECT_RATIO}",
+                ratio_tenths / 10,
+                ratio_tenths % 10
+            ),
+            CheckError::Overfilled { block, util_pct } => write!(
+                f,
+                "block `{block}` is overfilled: {util_pct}% of outline area"
+            ),
+            CheckError::PortOutsideOutline { block, port } => {
+                write!(f, "block `{block}` port `{port}` lies outside the outline")
+            }
+            CheckError::TierMismatch { block, port } => write!(
+                f,
+                "unfolded block `{block}` has port `{port}` on the top tier"
+            ),
+            CheckError::BadActivity { block } => {
+                write!(f, "block `{block}` has a non-finite or negative activity")
             }
         }
     }
@@ -116,11 +199,79 @@ impl Netlist {
     }
 }
 
+impl Block {
+    /// Verifies the physical and structural preconditions of the block
+    /// flow, returning the first violation found.
+    ///
+    /// Covers, in order: outline sanity (finite, positive, aspect ratio
+    /// within [`MAX_ASPECT_RATIO`]), utilization (cell + macro area must
+    /// fit the outline), port geometry (inside the outline) and tier
+    /// assignment (no top-tier ports on an unfolded block), activity
+    /// sanity, then the [`Netlist::check`] connectivity invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckError`] describing the first violated invariant.
+    pub fn validate(&self, tech: &Technology) -> Result<(), CheckError> {
+        let name = || self.name.clone();
+        let (w, h) = (self.outline.width(), self.outline.height());
+        if !(w.is_finite() && h.is_finite()) || w <= 0.0 || h <= 0.0 {
+            return Err(CheckError::DegenerateOutline { block: name() });
+        }
+        let aspect = w.max(h) / w.min(h);
+        if aspect > MAX_ASPECT_RATIO {
+            return Err(CheckError::ExtremeAspect {
+                block: name(),
+                ratio_tenths: (aspect * 10.0).min(u32::MAX as f64) as u32,
+            });
+        }
+        let used = NetlistStats::collect(&self.netlist, tech).total_area_um2();
+        // A folded block keeps its full-content netlist but gets a
+        // half-footprint outline on each of two dies.
+        let capacity = if self.folded {
+            2.0 * self.outline.area()
+        } else {
+            self.outline.area()
+        };
+        if used > capacity * (1.0 + 1e-9) {
+            return Err(CheckError::Overfilled {
+                block: name(),
+                util_pct: (used / capacity * 100.0).min(u32::MAX as f64) as u32,
+            });
+        }
+        const EPS: f64 = 1e-6;
+        for (_, port) in self.netlist.ports() {
+            let p = port.pos;
+            let inside = p.x >= self.outline.llx - EPS
+                && p.x <= self.outline.urx + EPS
+                && p.y >= self.outline.lly - EPS
+                && p.y <= self.outline.ury + EPS;
+            if !inside {
+                return Err(CheckError::PortOutsideOutline {
+                    block: name(),
+                    port: port.name.clone(),
+                });
+            }
+            if !self.folded && port.tier == Tier::Top {
+                return Err(CheckError::TierMismatch {
+                    block: name(),
+                    port: port.name.clone(),
+                });
+            }
+        }
+        if !self.activity.is_finite() || self.activity < 0.0 {
+            return Err(CheckError::BadActivity { block: name() });
+        }
+        self.netlist.check()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::netlist::{InstMaster, Netlist};
-    use crate::ClockDomain;
+    use crate::{BlockKind, ClockDomain};
+    use foldic_geom::{Point, Rect};
     use foldic_tech::{CellKind, CellLibrary, Drive, VthClass};
 
     fn inv_master() -> InstMaster {
@@ -185,5 +336,121 @@ mod tests {
     fn errors_display_nonempty() {
         let e = CheckError::UndrivenNet { net: "x".into() };
         assert!(!e.to_string().is_empty());
+        let e = CheckError::ExtremeAspect {
+            block: "b".into(),
+            ratio_tenths: 173,
+        };
+        assert!(e.to_string().contains("17.3"), "{e}");
+    }
+
+    fn block_with(outline: Rect) -> Block {
+        let mut nl = Netlist::new("v");
+        let a = nl.add_inst("a", inv_master());
+        let b = nl.add_inst("b", inv_master());
+        let n = nl.add_net("n");
+        nl.connect_driver(n, PinRef::output(a));
+        nl.connect_sink(n, PinRef::input(b, 0));
+        Block::new("v0", BlockKind::Misc, nl, outline)
+    }
+
+    #[test]
+    fn valid_block_passes() {
+        let tech = foldic_tech::Technology::cmos28();
+        let b = block_with(Rect::new(0.0, 0.0, 50.0, 40.0));
+        assert_eq!(b.validate(&tech), Ok(()));
+    }
+
+    #[test]
+    fn outline_shape_is_checked() {
+        let tech = foldic_tech::Technology::cmos28();
+        let b = block_with(Rect::new(0.0, 0.0, 0.0, 40.0));
+        assert!(matches!(
+            b.validate(&tech),
+            Err(CheckError::DegenerateOutline { .. })
+        ));
+        let b = block_with(Rect {
+            llx: 0.0,
+            lly: 0.0,
+            urx: f64::NAN,
+            ury: 40.0,
+        });
+        assert!(matches!(
+            b.validate(&tech),
+            Err(CheckError::DegenerateOutline { .. })
+        ));
+        let b = block_with(Rect::new(0.0, 0.0, 1000.0, 10.0));
+        assert!(matches!(
+            b.validate(&tech),
+            Err(CheckError::ExtremeAspect {
+                ratio_tenths: 1000,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn overfill_is_checked() {
+        let tech = foldic_tech::Technology::cmos28();
+        let probe = block_with(Rect::new(0.0, 0.0, 10.0, 10.0));
+        let used = NetlistStats::collect(&probe.netlist, &tech).total_area_um2();
+        assert!(used > 0.0);
+        // outline with 75% of the required area: overfilled unfolded,
+        // but folding doubles the capacity and makes it fit
+        let side = (used * 0.75).sqrt();
+        let mut b = block_with(Rect::new(0.0, 0.0, side, side));
+        assert!(matches!(
+            b.validate(&tech),
+            Err(CheckError::Overfilled { .. })
+        ));
+        b.folded = true;
+        assert_eq!(b.validate(&tech), Ok(()));
+    }
+
+    #[test]
+    fn port_geometry_and_tier_are_checked() {
+        let tech = foldic_tech::Technology::cmos28();
+        let mut b = block_with(Rect::new(0.0, 0.0, 50.0, 40.0));
+        let p = b.netlist.add_port("in0", PortDir::Input, ClockDomain::Cpu);
+        b.netlist.port_mut(p).pos = Point::new(-5.0, 0.0);
+        assert!(matches!(
+            b.validate(&tech),
+            Err(CheckError::PortOutsideOutline { .. })
+        ));
+        b.netlist.port_mut(p).pos = Point::new(0.0, 10.0);
+        b.netlist.port_mut(p).tier = foldic_geom::Tier::Top;
+        assert!(matches!(
+            b.validate(&tech),
+            Err(CheckError::TierMismatch { .. })
+        ));
+        // folded blocks legitimately land ports on the top die
+        b.folded = true;
+        assert_eq!(b.validate(&tech), Ok(()));
+    }
+
+    #[test]
+    fn activity_is_checked() {
+        let tech = foldic_tech::Technology::cmos28();
+        let mut b = block_with(Rect::new(0.0, 0.0, 50.0, 40.0));
+        b.activity = f64::NAN;
+        assert!(matches!(
+            b.validate(&tech),
+            Err(CheckError::BadActivity { .. })
+        ));
+        b.activity = -0.1;
+        assert!(matches!(
+            b.validate(&tech),
+            Err(CheckError::BadActivity { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_includes_structural_check() {
+        let tech = foldic_tech::Technology::cmos28();
+        let mut b = block_with(Rect::new(0.0, 0.0, 50.0, 40.0));
+        let _ = b.netlist.add_net("floating");
+        assert!(matches!(
+            b.validate(&tech),
+            Err(CheckError::UndrivenNet { .. })
+        ));
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! A [`RunManifest`] is the machine-readable record of one `repro` run:
 //! the configuration that produced it, per-stage wall-clock timings, a
-//! metrics-registry snapshot, and a digest + line count per experiment
-//! report. Manifests are written as pretty JSON with deterministically
+//! metrics-registry snapshot, a digest + line count per experiment
+//! report, and the run's fault-handling events (blocks that were
+//! recovered by a retry or degraded to analytical estimates). Manifests are written as pretty JSON with deterministically
 //! ordered keys, so two runs of the same build are byte-identical —
 //! *except* for the `timing` section, which holds everything wall-clock
 //! or scheduling dependent (stage seconds, steal counts, thread count).
@@ -31,6 +32,33 @@ pub struct ExperimentResult {
     pub lines: u64,
 }
 
+/// One fault-handling event from the run's `faults` section: a block
+/// that failed mid-flow and was either recovered by a retry or degraded
+/// to analytical estimates.
+///
+/// This is the manifest-side mirror of the flow's fault records;
+/// `foldic-obs` sits at the bottom of the dependency graph, so the
+/// fields are plain strings rather than the flow's typed enums.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultEntry {
+    /// Run scope the fault occurred under (e.g. `"folded_f2b.dvt"`).
+    pub scope: String,
+    /// Block name.
+    pub block: String,
+    /// Flow stage of the last failure (e.g. `"route"`).
+    pub stage: String,
+    /// Attempts consumed, including the first run.
+    pub attempts: u64,
+    /// Final outcome: `"recovered"` or `"degraded"`.
+    pub disposition: String,
+}
+
+impl FaultEntry {
+    fn site(&self) -> String {
+        format!("{}/{}", self.scope, self.block)
+    }
+}
+
 /// The structured record of one `repro` run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunManifest {
@@ -44,6 +72,9 @@ pub struct RunManifest {
     pub metrics: Snapshot,
     /// Experiment name → result digest.
     pub results: BTreeMap<String, ExperimentResult>,
+    /// Fault-handling events, sorted. Empty for a clean run; manifests
+    /// written before this section existed parse as empty.
+    pub faults: Vec<FaultEntry>,
 }
 
 /// FNV-1a 64-bit digest of a report text, formatted `fnv64:<16 hex>`.
@@ -94,12 +125,26 @@ impl RunManifest {
                 )
             })
             .collect();
+        let faults = self
+            .faults
+            .iter()
+            .map(|f| {
+                Json::obj([
+                    ("scope".to_owned(), Json::Str(f.scope.clone())),
+                    ("block".to_owned(), Json::Str(f.block.clone())),
+                    ("stage".to_owned(), Json::Str(f.stage.clone())),
+                    ("attempts".to_owned(), Json::Num(f.attempts as f64)),
+                    ("disposition".to_owned(), Json::Str(f.disposition.clone())),
+                ])
+            })
+            .collect();
         Json::obj([
             ("schema".to_owned(), Json::Str(SCHEMA.to_owned())),
             ("config".to_owned(), Json::Obj(config)),
             ("timing".to_owned(), self.timing.clone()),
             ("metrics".to_owned(), self.metrics.to_json()),
             ("results".to_owned(), Json::Obj(results)),
+            ("faults".to_owned(), Json::Arr(faults)),
         ])
     }
 
@@ -143,6 +188,25 @@ impl RunManifest {
                     },
                 );
             }
+        }
+        // manifests predating the fault section simply have none
+        if let Some(Json::Arr(faults)) = json.get("faults") {
+            for (i, f) in faults.iter().enumerate() {
+                let text = |key: &str| -> Result<String, String> {
+                    f.get(key)
+                        .and_then(Json::as_str)
+                        .map(str::to_owned)
+                        .ok_or_else(|| format!("faults[{i}].{key} missing"))
+                };
+                manifest.faults.push(FaultEntry {
+                    scope: text("scope")?,
+                    block: text("block")?,
+                    stage: text("stage")?,
+                    attempts: f.get("attempts").and_then(Json::as_f64).unwrap_or(1.0) as u64,
+                    disposition: text("disposition")?,
+                });
+            }
+            manifest.faults.sort();
         }
         Ok(manifest)
     }
@@ -236,6 +300,48 @@ pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: CompareConfig) -> Co
         }
     }
 
+    // Fault gate: a block that newly degrades (relative to the baseline)
+    // is a regression — its numbers are estimates, not flow results. A
+    // fault that clears, or degrades into a mere recovery, is an
+    // improvement and reported as a change.
+    let base_faults: BTreeMap<String, &FaultEntry> =
+        base.faults.iter().map(|f| (f.site(), f)).collect();
+    let cand_faults: BTreeMap<String, &FaultEntry> =
+        cand.faults.iter().map(|f| (f.site(), f)).collect();
+    for (site, cf) in &cand_faults {
+        out.compared += 1;
+        let newly_degraded = cf.disposition == "degraded"
+            && base_faults
+                .get(site)
+                .is_none_or(|bf| bf.disposition != "degraded");
+        if newly_degraded {
+            out.regressions.push(format!(
+                "fault {site}: newly degraded at {} after {} attempts",
+                cf.stage, cf.attempts
+            ));
+        } else {
+            match base_faults.get(site) {
+                Some(bf) if *bf == *cf => {}
+                Some(bf) => out.changes.push(format!(
+                    "fault {site}: {} {} -> {} {}",
+                    bf.stage, bf.disposition, cf.stage, cf.disposition
+                )),
+                None => out.changes.push(format!(
+                    "fault {site}: new {} at {}",
+                    cf.disposition, cf.stage
+                )),
+            }
+        }
+    }
+    for (site, bf) in &base_faults {
+        if !cand_faults.contains_key(site) {
+            out.changes.push(format!(
+                "fault {site}: cleared (was {} at {})",
+                bf.disposition, bf.stage
+            ));
+        }
+    }
+
     fn check(
         out: &mut CompareOutcome,
         tol_pct: f64,
@@ -321,6 +427,13 @@ mod tests {
             .metrics
             .insert("route.net_length_um".into(), Metric::Histogram(h));
         m.record_result("table2", "Table 2\nrow a\nrow b\n");
+        m.faults.push(FaultEntry {
+            scope: "folded_f2b".into(),
+            block: "ccx".into(),
+            stage: "route".into(),
+            attempts: 2,
+            disposition: "recovered".into(),
+        });
         m
     }
 
@@ -332,8 +445,77 @@ mod tests {
         assert_eq!(back.config, m.config);
         assert_eq!(back.results, m.results);
         assert_eq!(back.metrics, m.metrics);
+        assert_eq!(back.faults, m.faults);
         // serialization is deterministic
         assert_eq!(back.to_json_text(), text);
+    }
+
+    #[test]
+    fn manifest_without_fault_section_parses_as_clean() {
+        // manifests from before the fault section existed (e.g. pinned
+        // CI baselines) must keep parsing
+        let mut m = sample();
+        m.faults.clear();
+        let mut json = m.to_json();
+        if let Json::Obj(obj) = &mut json {
+            obj.remove("faults");
+        }
+        let back = RunManifest::parse(&json.to_pretty()).unwrap();
+        assert!(back.faults.is_empty());
+        assert!(compare(&back, &m, CompareConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn newly_degraded_block_fails_the_gate_but_recovery_does_not() {
+        let base = sample();
+
+        // same fault in both runs: clean
+        let cand = sample();
+        assert!(compare(&base, &cand, CompareConfig::default()).is_ok());
+
+        // candidate-only recovered fault: informational change
+        let mut cand = sample();
+        cand.faults.push(FaultEntry {
+            scope: "core_cache".into(),
+            block: "spc0".into(),
+            stage: "place".into(),
+            attempts: 3,
+            disposition: "recovered".into(),
+        });
+        let out = compare(&base, &cand, CompareConfig::default());
+        assert!(out.is_ok(), "{:?}", out.regressions);
+        assert!(out.changes.iter().any(|c| c.contains("spc0")));
+
+        // candidate-only degraded fault: regression
+        let mut cand = sample();
+        cand.faults.push(FaultEntry {
+            scope: "core_cache".into(),
+            block: "spc0".into(),
+            stage: "place".into(),
+            attempts: 3,
+            disposition: "degraded".into(),
+        });
+        let out = compare(&base, &cand, CompareConfig::default());
+        assert!(!out.is_ok(), "newly degraded block must trip the gate");
+
+        // recovered -> degraded at the same site: also a regression
+        let mut cand = sample();
+        cand.faults[0].disposition = "degraded".into();
+        assert!(!compare(&base, &cand, CompareConfig::default()).is_ok());
+
+        // degraded in both runs: pinned by the baseline, clean
+        let mut base2 = sample();
+        base2.faults[0].disposition = "degraded".into();
+        let mut cand = sample();
+        cand.faults[0].disposition = "degraded".into();
+        assert!(compare(&base2, &cand, CompareConfig::default()).is_ok());
+
+        // fault cleared in the candidate: improvement, reported only
+        let mut cand = sample();
+        cand.faults.clear();
+        let out = compare(&base, &cand, CompareConfig::default());
+        assert!(out.is_ok(), "{:?}", out.regressions);
+        assert!(out.changes.iter().any(|c| c.contains("cleared")));
     }
 
     #[test]

@@ -174,9 +174,9 @@ fn bisect(
     // split along the wider axis at the median
     let bb = foldic_geom::Rect::bounding(sinks.iter().map(|&(_, p)| p));
     if bb.width() >= bb.height() {
-        sinks.sort_by(|a, b| a.1.x.partial_cmp(&b.1.x).expect("finite"));
+        sinks.sort_by(|a, b| a.1.x.total_cmp(&b.1.x));
     } else {
-        sinks.sort_by(|a, b| a.1.y.partial_cmp(&b.1.y).expect("finite"));
+        sinks.sort_by(|a, b| a.1.y.total_cmp(&b.1.y));
     }
     let mid = sinks.len() / 2;
     let (lo, hi) = sinks.split_at_mut(mid);
@@ -207,8 +207,16 @@ fn bisect(
 
 /// Estimated worst skew of the synthesized tree in ps: the spread of
 /// driver-to-sink Elmore delays over the leaf nets.
-pub fn estimate_skew_ps(netlist: &Netlist, tech: &Technology, max_layer: usize) -> f64 {
-    let wiring = foldic_route::BlockWiring::analyze(netlist, tech, 1.1, None);
+///
+/// # Errors
+///
+/// Propagates wiring-analysis failures.
+pub fn estimate_skew_ps(
+    netlist: &Netlist,
+    tech: &Technology,
+    max_layer: usize,
+) -> Result<f64, foldic_fault::FlowError> {
+    let wiring = foldic_route::BlockWiring::analyze(netlist, tech, 1.1, None)?;
     let r = tech.metal.effective_r_per_um(max_layer);
     let c = tech.metal.effective_c_per_um(max_layer);
     let mut min_d = f64::INFINITY;
@@ -225,11 +233,11 @@ pub fn estimate_skew_ps(netlist: &Netlist, tech: &Technology, max_layer: usize) 
             max_d = max_d.max(d);
         }
     }
-    if max_d.is_finite() {
+    Ok(if max_d.is_finite() {
         max_d - min_d
     } else {
         0.0
-    }
+    })
 }
 
 #[cfg(test)]
@@ -330,7 +338,7 @@ mod tests {
             .netlist
             .clone();
         synthesize_clock_tree(&mut nl, &tech);
-        let skew = estimate_skew_ps(&nl, &tech, 7);
+        let skew = estimate_skew_ps(&nl, &tech, 7).unwrap();
         assert!(skew >= 0.0);
         assert!(skew < 500.0, "skew {skew} ps is implausible");
     }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Timing and power optimization: buffer insertion, gate sizing, dual-Vth.
 //!
 //! Mirrors the paper's iterative optimization steps (§2.2: "block-level
@@ -35,12 +36,13 @@
 //! let id = design.find_block("ccu").unwrap();
 //! let block = design.block_mut(id);
 //! let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
-//! let stats = optimize_block(&mut block.netlist, &tech, &budgets, &OptConfig::default());
+//! let stats = optimize_block(&mut block.netlist, &tech, &budgets, &OptConfig::default()).unwrap();
 //! assert!(stats.rounds > 0);
 //! ```
 
 pub mod cts;
 
+use foldic_fault::FlowError;
 use foldic_geom::Point;
 use foldic_netlist::{InstId, InstMaster, NetId, Netlist, PinRef};
 use foldic_route::{BlockWiring, ViaPlacement};
@@ -126,14 +128,18 @@ pub fn chip_repeater_spacing_um(tech: &Technology) -> f64 {
 /// Two-terminal segments longer than the repeater spacing get an evenly
 /// spaced BUF X8 chain; nets with a far-away sink cluster get one buffer
 /// at the cluster's centroid driving the moved sinks.
+///
+/// # Errors
+///
+/// Propagates wiring-analysis failures.
 pub fn insert_buffers(
     netlist: &mut Netlist,
     tech: &Technology,
     cfg: &OptConfig,
     vias: Option<&ViaPlacement>,
-) -> usize {
+) -> Result<usize, FlowError> {
     let spacing = repeater_spacing_um(tech, cfg.max_layer);
-    let wiring = BlockWiring::analyze(netlist, tech, cfg.detour, vias);
+    let wiring = BlockWiring::analyze(netlist, tech, cfg.detour, vias)?;
     let buf_master = tech.cells.id_of(CellKind::Buf, Drive::X8, VthClass::Rvt);
     let mut added = 0;
 
@@ -229,7 +235,7 @@ pub fn insert_buffers(
             added += 1;
         }
     }
-    added
+    Ok(added)
 }
 
 fn sta(
@@ -238,8 +244,8 @@ fn sta(
     budgets: &TimingBudgets,
     cfg: &OptConfig,
     vias: Option<&ViaPlacement>,
-) -> TimingReport {
-    let wiring = BlockWiring::analyze(netlist, tech, cfg.detour, vias);
+) -> Result<TimingReport, FlowError> {
+    let wiring = BlockWiring::analyze(netlist, tech, cfg.detour, vias)?;
     analyze(
         netlist,
         tech,
@@ -401,26 +407,34 @@ pub fn revert_hvt_on_violations(
 }
 
 /// Runs the full optimization recipe on one block.
+///
+/// # Errors
+///
+/// Propagates wiring-analysis and STA failures from the inner rounds.
 pub fn optimize_block(
     netlist: &mut Netlist,
     tech: &Technology,
     budgets: &TimingBudgets,
     cfg: &OptConfig,
-) -> OptStats {
+) -> Result<OptStats, FlowError> {
     optimize_block_with_vias(netlist, tech, budgets, cfg, None)
 }
 
 /// [`optimize_block`] for folded blocks with a via placement.
+///
+/// # Errors
+///
+/// See [`optimize_block`].
 pub fn optimize_block_with_vias(
     netlist: &mut Netlist,
     tech: &Technology,
     budgets: &TimingBudgets,
     cfg: &OptConfig,
     vias: Option<&ViaPlacement>,
-) -> OptStats {
+) -> Result<OptStats, FlowError> {
     // 1. repeaters on long wires
     let mut stats = OptStats {
-        buffers_added: insert_buffers(netlist, tech, cfg, vias),
+        buffers_added: insert_buffers(netlist, tech, cfg, vias)?,
         ..Default::default()
     };
 
@@ -440,7 +454,7 @@ pub fn optimize_block_with_vias(
     };
 
     // 2. timing recovery rounds
-    let mut report = sta(netlist, tech, budgets, cfg, vias);
+    let mut report = sta(netlist, tech, budgets, cfg, vias)?;
     stats.rounds += 1;
     note(stats.rounds, report.wns_ps);
     for _ in 0..cfg.rounds {
@@ -449,7 +463,7 @@ pub fn optimize_block_with_vias(
         }
         let up = upsize_critical(netlist, tech, &report);
         stats.upsized += up;
-        report = sta(netlist, tech, budgets, cfg, vias);
+        report = sta(netlist, tech, budgets, cfg, vias)?;
         stats.rounds += 1;
         note(stats.rounds, report.wns_ps);
         if up == 0 {
@@ -459,10 +473,10 @@ pub fn optimize_block_with_vias(
 
     // 3. power recovery: downsizing
     for _ in 0..cfg.rounds.min(2) {
-        let wiring = BlockWiring::analyze(netlist, tech, cfg.detour, vias);
+        let wiring = BlockWiring::analyze(netlist, tech, cfg.detour, vias)?;
         let down = downsize_with_slack(netlist, tech, &report, cfg, &wiring);
         stats.downsized += down;
-        report = sta(netlist, tech, budgets, cfg, vias);
+        report = sta(netlist, tech, budgets, cfg, vias)?;
         stats.rounds += 1;
         note(stats.rounds, report.wns_ps);
         if down == 0 {
@@ -474,7 +488,7 @@ pub fn optimize_block_with_vias(
     //    STA proves critical (two refinement rounds)
     if cfg.dual_vth {
         stats.hvt_swapped = swap_to_hvt(netlist, tech, &report, cfg);
-        report = sta(netlist, tech, budgets, cfg, vias);
+        report = sta(netlist, tech, budgets, cfg, vias)?;
         stats.rounds += 1;
         note(stats.rounds, report.wns_ps);
         for _ in 0..2 {
@@ -483,7 +497,7 @@ pub fn optimize_block_with_vias(
             }
             let reverted = revert_hvt_on_violations(netlist, tech, &report);
             stats.hvt_swapped = stats.hvt_swapped.saturating_sub(reverted);
-            report = sta(netlist, tech, budgets, cfg, vias);
+            report = sta(netlist, tech, budgets, cfg, vias)?;
             stats.rounds += 1;
             note(stats.rounds, report.wns_ps);
             if reverted == 0 {
@@ -503,7 +517,7 @@ pub fn optimize_block_with_vias(
         foldic_obs::metrics::add("opt.rounds", stats.rounds as u64);
         foldic_obs::metrics::observe_all("opt.round_wns_ps", &wns_traj);
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -531,11 +545,11 @@ mod tests {
         let (mut nl, tech) = block("rtx");
         let budgets = TimingBudgets::relaxed(&nl, &tech);
         let cfg = OptConfig::default();
-        let before = sta(&nl, &tech, &budgets, &cfg, None);
-        let added = insert_buffers(&mut nl, &tech, &cfg, None);
+        let before = sta(&nl, &tech, &budgets, &cfg, None).unwrap();
+        let added = insert_buffers(&mut nl, &tech, &cfg, None).unwrap();
         assert!(added > 0, "RTX has long nets to buffer");
         nl.check().expect("buffering must keep the netlist sound");
-        let after = sta(&nl, &tech, &budgets, &cfg, None);
+        let after = sta(&nl, &tech, &budgets, &cfg, None).unwrap();
         assert!(
             after.max_arrival_ps < before.max_arrival_ps,
             "{} -> {}",
@@ -549,10 +563,10 @@ mod tests {
         let (mut nl, tech) = block("l2t0");
         let budgets = TimingBudgets::relaxed(&nl, &tech);
         let cfg = OptConfig::default();
-        let before = sta(&nl, &tech, &budgets, &cfg, None);
-        let stats = optimize_block(&mut nl, &tech, &budgets, &cfg);
+        let before = sta(&nl, &tech, &budgets, &cfg, None).unwrap();
+        let stats = optimize_block(&mut nl, &tech, &budgets, &cfg).unwrap();
         assert!(stats.rounds >= 1);
-        let after = sta(&nl, &tech, &budgets, &cfg, None);
+        let after = sta(&nl, &tech, &budgets, &cfg, None).unwrap();
         assert!(after.tns_ps <= before.tns_ps);
         nl.check().expect("netlist stays sound");
     }
@@ -575,13 +589,13 @@ mod tests {
         };
         // settle timing first so the swap is measured in isolation
         cfg.dual_vth = false;
-        optimize_block(&mut nl, &tech, &budgets, &cfg);
+        optimize_block(&mut nl, &tech, &budgets, &cfg).unwrap();
         let leak_before = leak(&nl);
-        let report = sta(&nl, &tech, &budgets, &cfg, None);
+        let report = sta(&nl, &tech, &budgets, &cfg, None).unwrap();
         let swapped = swap_to_hvt(&mut nl, &tech, &report, &cfg);
         assert!(swapped > 0);
         assert!(leak(&nl) < leak_before);
-        let after = sta(&nl, &tech, &budgets, &cfg, None);
+        let after = sta(&nl, &tech, &budgets, &cfg, None).unwrap();
         assert!(
             after.violations <= report.violations,
             "wns {}",
@@ -594,11 +608,11 @@ mod tests {
         let (mut nl, tech) = block("ccu");
         let budgets = TimingBudgets::relaxed(&nl, &tech);
         let cfg = OptConfig::default();
-        let report = sta(&nl, &tech, &budgets, &cfg, None);
-        let wiring = BlockWiring::analyze(&nl, &tech, cfg.detour, None);
+        let report = sta(&nl, &tech, &budgets, &cfg, None).unwrap();
+        let wiring = BlockWiring::analyze(&nl, &tech, cfg.detour, None).unwrap();
         let down = downsize_with_slack(&mut nl, &tech, &report, &cfg, &wiring);
         // after downsizing the block must still meet timing
-        let after = sta(&nl, &tech, &budgets, &cfg, None);
+        let after = sta(&nl, &tech, &budgets, &cfg, None).unwrap();
         assert!(
             after.violations <= report.violations,
             "downsize moves {down}"

@@ -27,14 +27,14 @@ fn chain_splits_into_even_segments() {
     let len = spacing * 3.5;
     let (mut nl, tech) = two_point_net(len);
     let cfg = OptConfig::default();
-    let added = insert_buffers(&mut nl, &tech, &cfg, None);
+    let added = insert_buffers(&mut nl, &tech, &cfg, None).unwrap();
     assert!(
         added >= 2,
         "expected a chain on a {len:.0} µm net, got {added}"
     );
     nl.check().expect("sound after chaining");
     // total wirelength must stay ~the same (detour-free straight line)
-    let wiring = BlockWiring::analyze(&nl, &tech, 1.0, None);
+    let wiring = BlockWiring::analyze(&nl, &tech, 1.0, None).unwrap();
     assert!(
         (wiring.total_um - len).abs() < 0.05 * len,
         "chain stretched the route: {} vs {len}",
@@ -58,7 +58,7 @@ fn chain_splits_into_even_segments() {
 fn short_nets_are_left_alone() {
     let (mut nl, tech) = two_point_net(20.0);
     let cfg = OptConfig::default();
-    let added = insert_buffers(&mut nl, &tech, &cfg, None);
+    let added = insert_buffers(&mut nl, &tech, &cfg, None).unwrap();
     assert_eq!(added, 0);
     assert_eq!(nl.num_insts(), 2);
 }
@@ -82,7 +82,7 @@ fn fanout_buffer_takes_only_far_sinks() {
         nl.connect_sink(n, PinRef::input(s, 0));
     }
     let cfg = OptConfig::default();
-    let added = insert_buffers(&mut nl, &tech, &cfg, None);
+    let added = insert_buffers(&mut nl, &tech, &cfg, None).unwrap();
     assert!(added >= 1);
     nl.check().expect("sound");
     // the near sink must still hang on the original net
@@ -98,8 +98,8 @@ fn upsizing_saturates_at_x16() {
     let budgets = TimingBudgets::relaxed(&nl, &tech);
     // hammer the upsizer many rounds; drives must cap at X16
     for _ in 0..10 {
-        let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None);
-        let rep = analyze(&nl, &tech, &wiring, &budgets, &StaConfig::default());
+        let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None).unwrap();
+        let rep = analyze(&nl, &tech, &wiring, &budgets, &StaConfig::default()).unwrap();
         upsize_critical(&mut nl, &tech, &rep);
     }
     for (_, inst) in nl.insts() {
@@ -118,7 +118,7 @@ fn optimize_block_never_leaves_dangling_nets() {
             .netlist
             .clone();
         let budgets = TimingBudgets::relaxed(&nl, &tech);
-        optimize_block(&mut nl, &tech, &budgets, &OptConfig::default());
+        optimize_block(&mut nl, &tech, &budgets, &OptConfig::default()).unwrap();
         nl.check().unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
@@ -132,9 +132,9 @@ fn second_optimization_pass_is_nearly_idempotent() {
         .clone();
     let budgets = TimingBudgets::relaxed(&nl, &tech);
     let cfg = OptConfig::default();
-    optimize_block(&mut nl, &tech, &budgets, &cfg);
+    optimize_block(&mut nl, &tech, &budgets, &cfg).unwrap();
     let cells_after_first = nl.num_insts();
-    let stats = optimize_block(&mut nl, &tech, &budgets, &cfg);
+    let stats = optimize_block(&mut nl, &tech, &budgets, &cfg).unwrap();
     // a settled design re-optimized must barely change
     assert!(
         stats.buffers_added * 20 <= cells_after_first,

@@ -73,7 +73,7 @@ pub fn legalize_tier(
             .filter(|b| b.overlaps(row_rect))
             .map(|b| (b.llx, b.urx))
             .collect();
-        cuts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        cuts.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut segs = Vec::new();
         let mut x = outline.llx;
         for (c0, c1) in cuts {
@@ -107,7 +107,7 @@ pub fn legalize_tier(
             (id, i.pos, w)
         })
         .collect();
-    cells.sort_by(|a, b| (a.1.x, a.1.y).partial_cmp(&(b.1.x, b.1.y)).expect("finite"));
+    cells.sort_by(|a, b| a.1.x.total_cmp(&b.1.x).then(a.1.y.total_cmp(&b.1.y)));
 
     for (id, want, w) in cells {
         let want_row = (((want.y - outline.lly) / row_h).floor() as isize)
@@ -167,8 +167,7 @@ pub fn legalize_tier(
             if seg.cells.is_empty() {
                 continue;
             }
-            seg.cells
-                .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            seg.cells.sort_by(|a, b| a.1.total_cmp(&b.1));
             let mut clusters: Vec<Cluster> = Vec::new();
             for (i, &(_, e, w)) in seg.cells.iter().enumerate() {
                 clusters.push(Cluster {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Mixed-size quadratic 3D placer with supply/demand spreading and macro
 //! holes.
 //!
@@ -32,7 +33,7 @@
 //! let id = design.find_block("mcu0").unwrap();
 //! let outline = design.block(id).outline;
 //! let block = design.block_mut(id);
-//! place_block(&mut block.netlist, &tech, outline, &PlacerConfig::fast());
+//! place_block(&mut block.netlist, &tech, outline, &PlacerConfig::fast()).unwrap();
 //! // every movable cell ends inside the outline
 //! for (_, inst) in block.netlist.insts() {
 //!     assert!(outline.inflated(1.0).contains(inst.pos));
@@ -47,6 +48,7 @@ pub use legalize::legalize_tier;
 pub use solver::QuadraticSystem;
 pub use spread::equalize_tier;
 
+use foldic_fault::{FlowError, FlowStage};
 use foldic_geom::{Rect, Tier};
 use foldic_netlist::Netlist;
 use foldic_tech::Technology;
@@ -124,23 +126,42 @@ impl Default for PlacerConfig {
 ///
 /// Fixed instances (pre-placed macros) and ports act as anchors. Instance
 /// positions are updated in place.
-pub fn place_block(netlist: &mut Netlist, tech: &Technology, outline: Rect, cfg: &PlacerConfig) {
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] at [`FlowStage::Place`] when the quadratic
+/// system diverges (non-finite positions) — a retry with perturbed
+/// settings may succeed.
+pub fn place_block(
+    netlist: &mut Netlist,
+    tech: &Technology,
+    outline: Rect,
+    cfg: &PlacerConfig,
+) -> Result<(), FlowError> {
     place_with_obstacles(netlist, tech, outline, cfg, &[], false)
 }
 
 /// Places a folded block: cells on both tiers share the wirelength system
 /// while spreading and legalization run per tier.
+///
+/// # Errors
+///
+/// See [`place_block`].
 pub fn place_folded(
     netlist: &mut Netlist,
     tech: &Technology,
     outline: Rect,
     cfg: &PlacerConfig,
     obstacles: &[Obstacle],
-) {
+) -> Result<(), FlowError> {
     place_with_obstacles(netlist, tech, outline, cfg, obstacles, true)
 }
 
 /// Full-control entry point: see [`place_block`] / [`place_folded`].
+///
+/// # Errors
+///
+/// See [`place_block`].
 pub fn place_with_obstacles(
     netlist: &mut Netlist,
     tech: &Technology,
@@ -148,7 +169,7 @@ pub fn place_with_obstacles(
     cfg: &PlacerConfig,
     obstacles: &[Obstacle],
     per_tier: bool,
-) {
+) -> Result<(), FlowError> {
     let tiers: &[Option<Tier>] = if per_tier {
         &[Some(Tier::Bottom), Some(Tier::Top)]
     } else {
@@ -157,7 +178,7 @@ pub fn place_with_obstacles(
 
     let mut system = solver::QuadraticSystem::build(netlist, outline);
     if system.num_movable() == 0 {
-        return;
+        return Ok(());
     }
 
     for iter in 0..cfg.iterations {
@@ -170,12 +191,25 @@ pub fn place_with_obstacles(
     for &tier in tiers {
         legalize::legalize_tier(netlist, tech, outline, obstacles, tier);
     }
+    // The CG solve has no step-size guard; a pathological system (e.g.
+    // near-singular from a degenerate anchor set) surfaces as NaN/Inf
+    // coordinates. Catch it here as a typed, retryable stage error
+    // instead of letting downstream geometry panic.
+    for (_, inst) in netlist.insts() {
+        if !(inst.pos.x.is_finite() && inst.pos.y.is_finite()) {
+            return Err(FlowError::stage(
+                FlowStage::Place,
+                format!("placement diverged: `{}` at non-finite position", inst.name),
+            ));
+        }
+    }
     foldic_exec::profile::add_iters(cfg.iterations as u64);
     if foldic_obs::metrics::is_enabled() {
         foldic_obs::metrics::add("place.runs", 1);
         foldic_obs::metrics::add("place.iterations", cfg.iterations as u64);
         foldic_obs::metrics::add("place.movable_insts", system.num_movable() as u64);
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -189,7 +223,7 @@ mod tests {
         let id = design.find_block(name).unwrap();
         let outline = design.block(id).outline;
         let nl = &mut design.block_mut(id).netlist;
-        place_block(nl, &tech, outline, &PlacerConfig::fast());
+        place_block(nl, &tech, outline, &PlacerConfig::fast()).unwrap();
         (nl.clone(), tech, outline)
     }
 
@@ -225,7 +259,7 @@ mod tests {
             );
         }
         let scrambled_wl = hpwl(nl);
-        place_block(nl, &tech, outline, &PlacerConfig::quality());
+        place_block(nl, &tech, outline, &PlacerConfig::quality()).unwrap();
         let after = hpwl(nl);
         // the placer must recover most of the structure the scramble lost
         assert!(
@@ -317,7 +351,7 @@ mod tests {
         let part =
             foldic_partition::bipartition(nl, &tech, &foldic_partition::PartitionConfig::default());
         foldic_partition::apply_partition(nl, &part);
-        place_folded(nl, &tech, outline, &PlacerConfig::fast(), &[]);
+        place_folded(nl, &tech, outline, &PlacerConfig::fast(), &[]).unwrap();
         // both tiers hold cells, and all stay in the outline
         let mut per_tier = [0usize; 2];
         for (_, inst) in nl.insts() {

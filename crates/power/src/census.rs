@@ -176,7 +176,7 @@ mod tests {
     fn census_of(name: &str) -> PowerCensus {
         let (design, tech) = T2Config::tiny().generate();
         let block = design.block(design.find_block(name).unwrap());
-        let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None);
+        let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None).unwrap();
         power_census(
             &block.netlist,
             &tech,
@@ -227,11 +227,11 @@ mod tests {
         // so totals match exactly only when that split is off.)
         let (design, tech) = T2Config::tiny().generate();
         let block = design.block(design.find_block("mcu0").unwrap());
-        let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None);
+        let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None).unwrap();
         let mut cfg = PowerConfig::for_block(block);
         cfg.hidden_net_fraction = 0.0;
         let census = power_census(&block.netlist, &tech, &wiring, &cfg);
-        let report = crate::analyze_block(&block.netlist, &tech, &wiring, &cfg);
+        let report = crate::analyze_block(&block.netlist, &tech, &wiring, &cfg).unwrap();
         let diff = (census.total_uw() - report.total_uw()).abs();
         assert!(
             diff < 1e-6 * report.total_uw().max(1.0),

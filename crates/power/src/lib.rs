@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Power analysis: cell, net (wire + pin) and leakage power.
 //!
 //! Reproduces the decomposition the paper reports in every table:
@@ -24,8 +25,8 @@
 //!
 //! let (design, tech) = T2Config::tiny().generate();
 //! let block = design.block(design.find_block("ccu").unwrap());
-//! let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None);
-//! let p = analyze_block(&block.netlist, &tech, &wiring, &PowerConfig::for_block(block));
+//! let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None).unwrap();
+//! let p = analyze_block(&block.netlist, &tech, &wiring, &PowerConfig::for_block(block)).unwrap();
 //! assert!(p.total_uw() > 0.0);
 //! assert!(p.leakage_uw > 0.0);
 //! ```
@@ -34,6 +35,7 @@ pub mod census;
 
 pub use census::{power_census, CategoryPower, PowerCensus};
 
+use foldic_fault::{FlowError, FlowStage};
 use foldic_netlist::{Block, InstMaster, Netlist, PinRef};
 use foldic_tech::{Technology, Via3dKind};
 use std::ops::{Add, AddAssign};
@@ -148,12 +150,17 @@ impl AddAssign for PowerReport {
 }
 
 /// Analyzes one placed block.
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] at [`FlowStage::Power`] when the report sums
+/// to a non-finite total (corrupt activity or wiring inputs).
 pub fn analyze_block(
     netlist: &Netlist,
     tech: &Technology,
     wiring: &foldic_route::BlockWiring,
     cfg: &PowerConfig,
-) -> PowerReport {
+) -> Result<PowerReport, FlowError> {
     foldic_exec::profile::add_iters(netlist.num_nets() as u64);
     let mut report = PowerReport::default();
     let v2 = tech.vdd * tech.vdd;
@@ -232,12 +239,18 @@ pub fn analyze_block(
         report.net_wire_uw += wire_cap * v2 * f * alpha;
         report.net_pin_uw += pin_cap * v2 * f * alpha;
     }
+    if !report.total_uw().is_finite() {
+        return Err(FlowError::stage(
+            FlowStage::Power,
+            "power analysis produced a non-finite total",
+        ));
+    }
     if foldic_obs::metrics::is_enabled() {
         foldic_obs::metrics::add("power.analyses", 1);
         foldic_obs::metrics::observe("power.net_fraction", report.net_fraction());
         foldic_obs::metrics::observe("power.total_uw", report.total_uw());
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -250,13 +263,14 @@ mod tests {
         let (design, tech) = T2Config::tiny().generate();
         let id = design.find_block(name).unwrap();
         let block = design.block(id);
-        let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None);
+        let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None).unwrap();
         let p = analyze_block(
             &block.netlist,
             &tech,
             &wiring,
             &PowerConfig::for_block(block),
-        );
+        )
+        .unwrap();
         (p, design, tech)
     }
 
@@ -289,10 +303,10 @@ mod tests {
         let id = design.find_block("l2t0").unwrap();
         let block = design.block(id);
         let cfg = PowerConfig::for_block(block);
-        let w1 = BlockWiring::analyze(&block.netlist, &tech, 1.0, None);
-        let w2 = BlockWiring::analyze(&block.netlist, &tech, 1.3, None);
-        let p1 = analyze_block(&block.netlist, &tech, &w1, &cfg);
-        let p2 = analyze_block(&block.netlist, &tech, &w2, &cfg);
+        let w1 = BlockWiring::analyze(&block.netlist, &tech, 1.0, None).unwrap();
+        let w2 = BlockWiring::analyze(&block.netlist, &tech, 1.3, None).unwrap();
+        let p1 = analyze_block(&block.netlist, &tech, &w1, &cfg).unwrap();
+        let p2 = analyze_block(&block.netlist, &tech, &w2, &cfg).unwrap();
         assert!(p2.net_wire_uw > p1.net_wire_uw);
         // pin and cell power don't depend on the detour
         assert!((p2.net_pin_uw - p1.net_pin_uw).abs() < 1e-9);
@@ -311,12 +325,12 @@ mod tests {
                 block.netlist.inst_mut(iid).tier = foldic_geom::Tier::Top;
             }
         }
-        let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None);
+        let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None).unwrap();
         let mut cfg = PowerConfig::for_block(&block);
         cfg.via_kind = Some(Via3dKind::Tsv);
-        let tsv = analyze_block(&block.netlist, &tech, &wiring, &cfg);
+        let tsv = analyze_block(&block.netlist, &tech, &wiring, &cfg).unwrap();
         cfg.via_kind = Some(Via3dKind::F2fVia);
-        let f2f = analyze_block(&block.netlist, &tech, &wiring, &cfg);
+        let f2f = analyze_block(&block.netlist, &tech, &wiring, &cfg).unwrap();
         assert!(tsv.net_wire_uw > f2f.net_wire_uw);
     }
 

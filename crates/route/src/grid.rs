@@ -101,6 +101,7 @@ impl GlobalRouter {
                 best = Some((bend, cost, worst));
             }
         }
+        #[allow(clippy::expect_used)] // `candidates` always holds >= 2 entries
         let (bend, _, worst) = best.expect("candidates are never empty");
         if worst > 0.0 {
             self.stats.overflowed += 1;

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Wirelength estimation, global routing and 3D-via placement.
 //!
 //! Four services the flow needs after placement:

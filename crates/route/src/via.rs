@@ -12,6 +12,7 @@
 //!   other on their coarse pitch grid — each conflict pushes the via away
 //!   from its ideal location and stretches the net (Fig. 6).
 
+use foldic_fault::{FlowError, FlowStage};
 use foldic_geom::{Point, Rect};
 use foldic_netlist::{NetId, Netlist};
 use foldic_tech::{BondingStyle, Technology, Via3dKind};
@@ -128,12 +129,17 @@ impl ViaPlacement {
 /// requests the Manhattan median of its net's pins, snapped to the
 /// element's pitch grid; occupied or illegal sites trigger an outward
 /// spiral search.
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] at [`FlowStage::Route`] when a 3D net's pins
+/// sit at non-finite coordinates (a diverged upstream placement).
 pub fn place_vias(
     netlist: &Netlist,
     tech: &Technology,
     outline: Rect,
     bonding: BondingStyle,
-) -> ViaPlacement {
+) -> Result<ViaPlacement, FlowError> {
     let kind = match bonding {
         BondingStyle::FaceToBack => Via3dKind::Tsv,
         BondingStyle::FaceToFace => Via3dKind::F2fVia,
@@ -179,9 +185,16 @@ pub fn place_vias(
         // ideal crossing point: Manhattan median of all pins
         let mut xs: Vec<f64> = net.pins().map(|p| netlist.pin_pos(p).x).collect();
         let mut ys: Vec<f64> = net.pins().map(|p| netlist.pin_pos(p).y).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let ideal = Point::new(xs[xs.len() / 2], ys[ys.len() / 2]).clamped(outline);
+        xs.sort_by(f64::total_cmp);
+        ys.sort_by(f64::total_cmp);
+        let median = Point::new(xs[xs.len() / 2], ys[ys.len() / 2]);
+        if !(median.x.is_finite() && median.y.is_finite()) {
+            return Err(FlowError::stage(
+                FlowStage::Route,
+                format!("3D net `{}` has pins at non-finite coordinates", net.name),
+            ));
+        }
+        let ideal = median.clamped(outline);
         let c0 = ((ideal.x - outline.llx) / pitch).floor() as i64;
         let r0 = ((ideal.y - outline.lly) / pitch).floor() as i64;
         // spiral outward for a free legal site
@@ -215,7 +228,7 @@ pub fn place_vias(
             displacement_um: pos.manhattan(ideal),
         });
     }
-    ViaPlacement { vias, by_net, kind }
+    Ok(ViaPlacement { vias, by_net, kind })
 }
 
 #[cfg(test)]
@@ -259,7 +272,7 @@ mod tests {
     #[test]
     fn f2f_vias_hit_their_ideal_sites() {
         let (nl, tech, outline) = folded(10, false);
-        let vp = place_vias(&nl, &tech, outline, BondingStyle::FaceToFace);
+        let vp = place_vias(&nl, &tech, outline, BondingStyle::FaceToFace).unwrap();
         assert_eq!(vp.len(), 10);
         // F2F pitch is sub-µm: everything lands within a pitch or two
         assert!(
@@ -273,7 +286,7 @@ mod tests {
     #[test]
     fn tsvs_collide_and_spread() {
         let (nl, tech, outline) = folded(10, false);
-        let vp = place_vias(&nl, &tech, outline, BondingStyle::FaceToBack);
+        let vp = place_vias(&nl, &tech, outline, BondingStyle::FaceToBack).unwrap();
         assert_eq!(vp.len(), 10);
         // ten TSVs wanting the same spot on a coarse pitch must spread out
         assert!(
@@ -297,11 +310,11 @@ mod tests {
             .find(|(_, i)| i.master.is_macro())
             .map(|(_, i)| i.rect(&tech))
             .unwrap();
-        let tsv = place_vias(&nl, &tech, outline, BondingStyle::FaceToBack);
+        let tsv = place_vias(&nl, &tech, outline, BondingStyle::FaceToBack).unwrap();
         for v in tsv.iter() {
             assert!(!mac_rect.contains(v.pos), "TSV at {} over macro", v.pos);
         }
-        let f2f = place_vias(&nl, &tech, outline, BondingStyle::FaceToFace);
+        let f2f = place_vias(&nl, &tech, outline, BondingStyle::FaceToFace).unwrap();
         // the ideal spots are inside the macro, and F2F may use them
         assert!(f2f.iter().any(|v| mac_rect.contains(v.pos)));
         // which makes the F2F assignment strictly closer to ideal
@@ -311,9 +324,9 @@ mod tests {
     #[test]
     fn keepouts_only_for_tsv() {
         let (nl, tech, outline) = folded(3, false);
-        let tsv = place_vias(&nl, &tech, outline, BondingStyle::FaceToBack);
+        let tsv = place_vias(&nl, &tech, outline, BondingStyle::FaceToBack).unwrap();
         assert_eq!(tsv.keepouts(&tech).len(), 3);
-        let f2f = place_vias(&nl, &tech, outline, BondingStyle::FaceToFace);
+        let f2f = place_vias(&nl, &tech, outline, BondingStyle::FaceToFace).unwrap();
         assert!(f2f.keepouts(&tech).is_empty());
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::steiner::SteinerTree;
 use crate::via::ViaPlacement;
+use foldic_fault::{FlowError, FlowStage};
 use foldic_geom::{Point, Tier};
 use foldic_netlist::{NetId, Netlist};
 use foldic_tech::Technology;
@@ -43,12 +44,18 @@ impl BlockWiring {
     /// tier-crossing nets are measured with an *ideal* 3D interconnect
     /// (pins treated as coplanar) — the assumption of the §5.1 flow's
     /// first pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] at [`FlowStage::Route`] when the analysis
+    /// produces a non-finite total length (NaN coordinates from an
+    /// upstream stage, or a non-finite `detour`).
     pub fn analyze(
         netlist: &Netlist,
         tech: &Technology,
         detour: f64,
         vias: Option<&ViaPlacement>,
-    ) -> Self {
+    ) -> Result<Self, FlowError> {
         foldic_exec::profile::add_iters(netlist.num_nets() as u64);
         let mut nets = Vec::with_capacity(netlist.num_nets());
         let mut total = 0.0;
@@ -106,16 +113,22 @@ impl BlockWiring {
                 is_3d,
             });
         }
+        if !total.is_finite() {
+            return Err(FlowError::stage(
+                FlowStage::Route,
+                "wiring analysis produced a non-finite total length",
+            ));
+        }
         if obs_on {
             foldic_obs::metrics::add("route.analyses", 1);
             foldic_obs::metrics::observe_all("route.net_length_um", &lengths);
         }
-        Self {
+        Ok(Self {
             nets,
             total_um: total,
             long_wires,
             num_3d,
-        }
+        })
     }
 
     /// The record of `net`.
@@ -198,7 +211,7 @@ mod tests {
     #[test]
     fn detour_scales_length() {
         let nl = two_cell_net(100.0);
-        let w = BlockWiring::analyze(&nl, &tech(), 1.1, None);
+        let w = BlockWiring::analyze(&nl, &tech(), 1.1, None).unwrap();
         assert!((w.total_um - 110.0).abs() < 1e-9);
         assert_eq!(w.nets[0].sink_paths.len(), 1);
     }
@@ -206,9 +219,9 @@ mod tests {
     #[test]
     fn long_wire_census_uses_threshold() {
         let t = tech();
-        let short = BlockWiring::analyze(&two_cell_net(50.0), &t, 1.0, None);
+        let short = BlockWiring::analyze(&two_cell_net(50.0), &t, 1.0, None).unwrap();
         assert_eq!(short.long_wires, 0);
-        let long = BlockWiring::analyze(&two_cell_net(150.0), &t, 1.0, None);
+        let long = BlockWiring::analyze(&two_cell_net(150.0), &t, 1.0, None).unwrap();
         assert_eq!(long.long_wires, 1);
     }
 
@@ -217,7 +230,7 @@ mod tests {
         let mut nl = two_cell_net(100.0);
         let b = foldic_netlist::InstId(1);
         nl.inst_mut(b).tier = Tier::Top;
-        let w = BlockWiring::analyze(&nl, &tech(), 1.0, None);
+        let w = BlockWiring::analyze(&nl, &tech(), 1.0, None).unwrap();
         assert_eq!(w.num_3d, 1);
         assert!((w.total_um - 100.0).abs() < 1e-9);
     }
@@ -233,7 +246,7 @@ mod tests {
             vec![(foldic_netlist::NetId(0), Point::new(50.0, 30.0))],
             foldic_tech::Via3dKind::F2fVia,
         );
-        let w = BlockWiring::analyze(&nl, &tech(), 1.0, Some(&vias));
+        let w = BlockWiring::analyze(&nl, &tech(), 1.0, Some(&vias)).unwrap();
         assert!((w.total_um - 160.0).abs() < 1e-9, "{}", w.total_um);
         // sink path = driver->via + via->sink
         assert!((w.nets[0].sink_paths[0] - 160.0).abs() < 1e-9);

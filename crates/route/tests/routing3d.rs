@@ -17,9 +17,9 @@ fn via_detours_never_shorten_nets() {
     let part = bipartition(&nl, &tech, &PartitionConfig::default());
     apply_partition(&mut nl, &part);
     let outline = design.block(design.find_block("l2t0").unwrap()).outline;
-    let ideal = BlockWiring::analyze(&nl, &tech, 1.0, None);
-    let vias = place_vias(&nl, &tech, outline, BondingStyle::FaceToFace);
-    let routed = BlockWiring::analyze(&nl, &tech, 1.0, Some(&vias));
+    let ideal = BlockWiring::analyze(&nl, &tech, 1.0, None).unwrap();
+    let vias = place_vias(&nl, &tech, outline, BondingStyle::FaceToFace).unwrap();
+    let routed = BlockWiring::analyze(&nl, &tech, 1.0, Some(&vias)).unwrap();
     // Per net, the via route cannot be dramatically shorter than the
     // coplanar estimate (both are Steiner *approximations*: a split pair
     // of exact small trees may beat the 0.85-ratio MST estimate by a
@@ -43,7 +43,7 @@ fn via_detours_never_shorten_nets() {
 fn sink_paths_cover_every_sink() {
     let (design, tech) = T2Config::tiny().generate();
     let nl = &design.block(design.find_block("rtx").unwrap()).netlist;
-    let wiring = BlockWiring::analyze(nl, &tech, 1.1, None);
+    let wiring = BlockWiring::analyze(nl, &tech, 1.1, None).unwrap();
     for (nid, net) in nl.nets() {
         let rec = wiring.net(nid);
         assert_eq!(rec.sink_paths.len(), net.sinks.len(), "{}", net.name);
@@ -74,7 +74,7 @@ fn tsv_assignment_monotone_in_congestion() {
             quality,
         );
         apply_partition(&mut nl, &part);
-        let vias = place_vias(&nl, &tech, outline, BondingStyle::FaceToBack);
+        let vias = place_vias(&nl, &tech, outline, BondingStyle::FaceToBack).unwrap();
         (vias.len(), vias.mean_displacement_um())
     };
     let (n_few, d_few) = displacement(1.0);
@@ -117,7 +117,7 @@ fn folded_block_keeps_clock_vias() {
         }
     }
     let outline = design.block(design.find_block("mcu0").unwrap()).outline;
-    let vias = place_vias(&nl, &tech, outline, BondingStyle::FaceToBack);
+    let vias = place_vias(&nl, &tech, outline, BondingStyle::FaceToBack).unwrap();
     let clock_vias = vias.iter().filter(|v| nl.net(v.net).is_clock).count();
     assert!(clock_vias > 0, "clock distribution must cross the stack");
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Multi-clock static timing analysis with Elmore wire delay.
 //!
 //! A graph STA over one block's netlist, mirroring what the paper's flow
@@ -29,12 +30,13 @@
 //!
 //! let (design, tech) = T2Config::tiny().generate();
 //! let block = design.block(design.find_block("ccu").unwrap());
-//! let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None);
+//! let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None).unwrap();
 //! let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
-//! let report = analyze(&block.netlist, &tech, &wiring, &budgets, &StaConfig::default());
+//! let report = analyze(&block.netlist, &tech, &wiring, &budgets, &StaConfig::default()).unwrap();
 //! assert!(report.max_arrival_ps > 0.0);
 //! ```
 
+use foldic_fault::{FlowError, FlowStage};
 use foldic_netlist::{InstMaster, Netlist, PinRef};
 use foldic_route::{BlockWiring, ViaPlacement};
 use foldic_tech::units::RC_TO_PS;
@@ -147,13 +149,18 @@ fn sink_cap(netlist: &Netlist, tech: &Technology, pin: PinRef) -> f64 {
 /// placement state (it supplies routed per-sink path lengths); pass the
 /// via placement through `wiring` for folded blocks and set
 /// `cfg.via_kind` so tier-crossing nets get their via RC.
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] at [`FlowStage::Sta`] when delay propagation
+/// produces a non-finite worst slack (broken RC inputs upstream).
 pub fn analyze(
     netlist: &Netlist,
     tech: &Technology,
     wiring: &BlockWiring,
     budgets: &TimingBudgets,
     cfg: &StaConfig,
-) -> TimingReport {
+) -> Result<TimingReport, FlowError> {
     foldic_exec::profile::add_iters(netlist.num_nets() as u64);
     foldic_obs::metrics::add("sta.runs", 1);
     let n_insts = netlist.num_insts();
@@ -383,8 +390,14 @@ pub fn analyze(
     }
     let slack: Vec<f64> = (0..n_insts).map(|i| required[i] - arrival[i]).collect();
 
+    if !wns.is_finite() {
+        return Err(FlowError::stage(
+            FlowStage::Sta,
+            "timing analysis produced a non-finite worst slack",
+        ));
+    }
     foldic_obs::metrics::observe("sta.wns_ps", wns);
-    TimingReport {
+    Ok(TimingReport {
         arrival_ps: arrival,
         slack_ps: slack,
         wns_ps: wns,
@@ -392,7 +405,7 @@ pub fn analyze(
         violations,
         endpoints: endpoints.len(),
         max_arrival_ps: max_arrival,
-    }
+    })
 }
 
 /// Helper kept for readability of the source-edge resolution above: a
@@ -403,19 +416,23 @@ fn adj_push_resolved(indeg: &mut [u32], to: u32) {
 }
 
 /// Convenience: analyze a folded block with its via placement.
+///
+/// # Errors
+///
+/// Propagates wiring-analysis and STA failures (see [`analyze`]).
 pub fn analyze_folded(
     netlist: &Netlist,
     tech: &Technology,
     vias: &ViaPlacement,
     budgets: &TimingBudgets,
     max_layer: usize,
-) -> TimingReport {
+) -> Result<TimingReport, FlowError> {
     let wiring = BlockWiring::analyze(
         netlist,
         tech,
         foldic_route::wiring::DEFAULT_DETOUR,
         Some(vias),
-    );
+    )?;
     analyze(
         netlist,
         tech,
@@ -467,9 +484,9 @@ mod tests {
     }
 
     fn run(nl: &Netlist, t: &Technology) -> TimingReport {
-        let wiring = BlockWiring::analyze(nl, t, 1.0, None);
+        let wiring = BlockWiring::analyze(nl, t, 1.0, None).unwrap();
         let budgets = TimingBudgets::relaxed(nl, t);
-        analyze(nl, t, &wiring, &budgets, &StaConfig::default())
+        analyze(nl, t, &wiring, &budgets, &StaConfig::default()).unwrap()
     }
 
     #[test]
@@ -533,7 +550,7 @@ mod tests {
         let (mut nl, t) = chain(500.0);
         nl.inst_mut(InstId(1)).tier = foldic_geom::Tier::Top;
         nl.inst_mut(InstId(2)).tier = foldic_geom::Tier::Top;
-        let wiring = BlockWiring::analyze(&nl, &t, 1.0, None);
+        let wiring = BlockWiring::analyze(&nl, &t, 1.0, None).unwrap();
         let budgets = TimingBudgets::relaxed(&nl, &t);
         let tsv = analyze(
             &nl,
@@ -544,7 +561,8 @@ mod tests {
                 max_layer: 7,
                 via_kind: Some(Via3dKind::Tsv),
             },
-        );
+        )
+        .unwrap();
         let f2f = analyze(
             &nl,
             &t,
@@ -554,7 +572,8 @@ mod tests {
                 max_layer: 9,
                 via_kind: Some(Via3dKind::F2fVia),
             },
-        );
+        )
+        .unwrap();
         assert!(tsv.max_arrival_ps > f2f.max_arrival_ps);
     }
 }

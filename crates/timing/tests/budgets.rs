@@ -18,14 +18,14 @@ fn setup(name: &str) -> (foldic_netlist::Netlist, foldic_tech::Technology) {
 #[test]
 fn tighter_input_budgets_monotonically_worsen_slack() {
     let (nl, tech) = setup("mcu0");
-    let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None);
+    let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None).unwrap();
     let mut prev_tns = -1.0;
     for frac in [0.25, 0.5, 0.7, 0.9] {
         let mut budgets = TimingBudgets::relaxed(&nl, &tech);
         for a in &mut budgets.input_arrival_ps {
             *a = *a / 0.25 * frac;
         }
-        let rep = analyze(&nl, &tech, &wiring, &budgets, &StaConfig::default());
+        let rep = analyze(&nl, &tech, &wiring, &budgets, &StaConfig::default()).unwrap();
         assert!(
             rep.tns_ps >= prev_tns,
             "frac {frac}: tns {} must not improve under pressure (prev {prev_tns})",
@@ -38,14 +38,14 @@ fn tighter_input_budgets_monotonically_worsen_slack() {
 #[test]
 fn tighter_output_budgets_create_endpoint_violations() {
     let (nl, tech) = setup("mcu0");
-    let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None);
+    let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None).unwrap();
     let relaxed = TimingBudgets::relaxed(&nl, &tech);
-    let base = analyze(&nl, &tech, &wiring, &relaxed, &StaConfig::default());
+    let base = analyze(&nl, &tech, &wiring, &relaxed, &StaConfig::default()).unwrap();
     let mut tight = relaxed.clone();
     for r in &mut tight.output_required_ps {
         *r *= 0.05;
     }
-    let rep = analyze(&nl, &tech, &wiring, &tight, &StaConfig::default());
+    let rep = analyze(&nl, &tech, &wiring, &tight, &StaConfig::default()).unwrap();
     assert!(rep.violations > base.violations);
     assert!(rep.wns_ps > base.wns_ps);
 }
@@ -75,10 +75,10 @@ fn io_domain_blocks_get_longer_periods() {
 fn wire_detour_slows_arrivals() {
     let (nl, tech) = setup("l2t0");
     let budgets = TimingBudgets::relaxed(&nl, &tech);
-    let short = BlockWiring::analyze(&nl, &tech, 1.0, None);
-    let long = BlockWiring::analyze(&nl, &tech, 1.5, None);
-    let a = analyze(&nl, &tech, &short, &budgets, &StaConfig::default());
-    let b = analyze(&nl, &tech, &long, &budgets, &StaConfig::default());
+    let short = BlockWiring::analyze(&nl, &tech, 1.0, None).unwrap();
+    let long = BlockWiring::analyze(&nl, &tech, 1.5, None).unwrap();
+    let a = analyze(&nl, &tech, &short, &budgets, &StaConfig::default()).unwrap();
+    let b = analyze(&nl, &tech, &long, &budgets, &StaConfig::default()).unwrap();
     assert!(b.max_arrival_ps > a.max_arrival_ps);
 }
 
@@ -86,7 +86,7 @@ fn wire_detour_slows_arrivals() {
 fn fewer_layers_mean_slower_wires() {
     let (nl, tech) = setup("l2t0");
     let budgets = TimingBudgets::relaxed(&nl, &tech);
-    let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None);
+    let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None).unwrap();
     let m7 = analyze(
         &nl,
         &tech,
@@ -96,7 +96,8 @@ fn fewer_layers_mean_slower_wires() {
             max_layer: 7,
             via_kind: None,
         },
-    );
+    )
+    .unwrap();
     let m9 = analyze(
         &nl,
         &tech,
@@ -106,19 +107,20 @@ fn fewer_layers_mean_slower_wires() {
             max_layer: 9,
             via_kind: None,
         },
-    );
+    )
+    .unwrap();
     assert!(m9.max_arrival_ps < m7.max_arrival_ps);
 }
 
 #[test]
 fn slack_is_consistent_with_violation_count() {
     let (nl, tech) = setup("rtx");
-    let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None);
+    let wiring = BlockWiring::analyze(&nl, &tech, 1.1, None).unwrap();
     let mut budgets = TimingBudgets::relaxed(&nl, &tech);
     for r in &mut budgets.output_required_ps {
         *r *= 0.3;
     }
-    let rep = analyze(&nl, &tech, &wiring, &budgets, &StaConfig::default());
+    let rep = analyze(&nl, &tech, &wiring, &budgets, &StaConfig::default()).unwrap();
     if rep.violations == 0 {
         assert_eq!(rep.wns_ps, 0.0);
         assert_eq!(rep.tns_ps, 0.0);

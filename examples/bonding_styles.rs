@@ -19,7 +19,9 @@ fn main() {
     let baseline = {
         let block = d2.block_mut(id);
         let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
-        run_block_flow(block, &tech, &budgets, &FlowConfig::default()).metrics
+        run_block_flow(block, &tech, &budgets, &FlowConfig::default())
+            .unwrap()
+            .metrics
     };
     println!(
         "L2T 2D: {:.3} mm2, {:.1} mW",
@@ -37,7 +39,7 @@ fn main() {
             bonding,
             ..FoldConfig::default()
         };
-        let f = fold_block(d3.block_mut(id), &tech, &cfg);
+        let f = fold_block(d3.block_mut(id), &tech, &cfg).unwrap();
         let pc = |b: f64, n: f64| (n / b - 1.0) * 100.0;
         println!(
             "{:>6} {:>5} {:>7.3} {:>+9.1}% {:>+9.1}% {:>8.1}um2 {:>11.2}um",

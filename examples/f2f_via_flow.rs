@@ -30,7 +30,8 @@ fn main() {
             bonding: BondingStyle::FaceToFace,
             ..FoldConfig::default()
         },
-    );
+    )
+    .unwrap();
     let block = design.block(id);
     println!(
         "folded {}: {} instances, {} tier-crossing nets",
@@ -66,7 +67,8 @@ fn main() {
         &tech,
         block.outline,
         BondingStyle::FaceToFace,
-    );
+    )
+    .unwrap();
     println!(
         "placed {} F2F vias; mean displacement from ideal {:.2} µm (pitch {:.2} µm)",
         vias.len(),
@@ -94,7 +96,8 @@ fn main() {
         &tech,
         block.outline,
         BondingStyle::FaceToBack,
-    );
+    )
+    .unwrap();
     let tsv_over = tsvs
         .iter()
         .filter(|v| macros.iter().any(|m| m.contains(v.pos)))

@@ -22,7 +22,9 @@ fn main() {
     let baseline = {
         let block = d2.block_mut(id);
         let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
-        run_block_flow(block, &tech, &budgets, &FlowConfig::default()).metrics
+        run_block_flow(block, &tech, &budgets, &FlowConfig::default())
+            .unwrap()
+            .metrics
     };
     println!(
         "CCX 2D: {:.3} mm2, {:.1} mW (net power {:.0}% — a wiring machine)",
@@ -39,7 +41,7 @@ fn main() {
         bonding: BondingStyle::FaceToBack,
         ..FoldConfig::default()
     };
-    let natural = fold_block(d3.block_mut(id), &tech, &cfg);
+    let natural = fold_block(d3.block_mut(id), &tech, &cfg).unwrap();
     let pc = |b: f64, n: f64| (n / b - 1.0) * 100.0;
     println!(
         "\nnatural PCX/CPX fold: {} signal TSVs (paper: 4)",
@@ -70,7 +72,7 @@ fn main() {
             bonding: BondingStyle::FaceToBack,
             ..FoldConfig::default()
         };
-        let f = fold_block(d.block_mut(id), &tech, &cfg);
+        let f = fold_block(d.block_mut(id), &tech, &cfg).unwrap();
         println!(
             "{q:>8.1} {:>7} {:>+11.1}% {:>+11.1}%",
             f.metrics.num_3d_connections,

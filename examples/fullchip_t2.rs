@@ -32,7 +32,7 @@ fn main() {
     );
     for style in DesignStyle::ALL {
         let mut d = design.clone();
-        let r = run_fullchip(&mut d, &tech, style, &fc);
+        let r = run_fullchip(&mut d, &tech, style, &fc).unwrap();
         let p = r.chip.power.total_w();
         let base = *base_power.get_or_insert(p);
         println!(

@@ -25,7 +25,7 @@ fn main() {
     let baseline = {
         let block = d2.block_mut(id);
         let budgets = TimingBudgets::relaxed(&block.netlist, &tech);
-        run_block_flow(block, &tech, &budgets, &FlowConfig::default())
+        run_block_flow(block, &tech, &budgets, &FlowConfig::default()).unwrap()
     };
     println!(
         "\nL2T 2D : {:.3} mm2, {:.0} mW, {} cells ({} buffers), wns {:.0} ps",
@@ -47,7 +47,8 @@ fn main() {
             bonding: BondingStyle::FaceToFace,
             ..FoldConfig::default()
         },
-    );
+    )
+    .unwrap();
     println!(
         "L2T F2F: {:.3} mm2, {:.0} mW, {} 3D connections (cut {})",
         folded.metrics.footprint_mm2(),

@@ -19,7 +19,7 @@ fn main() {
     );
     for style in DesignStyle::ALL {
         let mut d = design.clone();
-        let r = run_fullchip(&mut d, &tech, style, &FullChipConfig::fast());
+        let r = run_fullchip(&mut d, &tech, style, &FullChipConfig::fast()).unwrap();
         let per_block: Vec<_> = r
             .per_block
             .iter()

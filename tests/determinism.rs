@@ -44,7 +44,7 @@ fn placement_is_deterministic() {
     let outline = d.block(id).outline;
     let run = || {
         let mut nl = d.block(id).netlist.clone();
-        place_block(&mut nl, &tech, outline, &PlacerConfig::fast());
+        place_block(&mut nl, &tech, outline, &PlacerConfig::fast()).unwrap();
         nl.insts().map(|(_, i)| i.pos).collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
@@ -74,7 +74,8 @@ fn fold_flow_is_deterministic() {
                 placer: PlacerConfig::fast(),
                 ..FoldConfig::default()
             },
-        );
+        )
+        .unwrap();
         (
             f.cut,
             f.metrics.num_3d_connections,
@@ -89,8 +90,8 @@ fn fold_flow_is_deterministic() {
 fn wiring_analysis_is_pure() {
     let (d, tech) = T2Config::tiny().generate();
     let nl = &d.block(d.find_block("ncu").unwrap()).netlist;
-    let a = BlockWiring::analyze(nl, &tech, 1.1, None);
-    let b = BlockWiring::analyze(nl, &tech, 1.1, None);
+    let a = BlockWiring::analyze(nl, &tech, 1.1, None).unwrap();
+    let b = BlockWiring::analyze(nl, &tech, 1.1, None).unwrap();
     assert_eq!(a.total_um.to_bits(), b.total_um.to_bits());
     assert_eq!(a.long_wires, b.long_wires);
 }
@@ -129,7 +130,7 @@ fn fullchip_is_identical_for_any_thread_count() {
             threads,
             ..FullChipConfig::fast()
         };
-        let r = run_fullchip(&mut d, &tech, DesignStyle::FoldedF2f, &cfg);
+        let r = run_fullchip(&mut d, &tech, DesignStyle::FoldedF2f, &cfg).unwrap();
         (
             r.chip.power.total_uw().to_bits(),
             r.chip.wirelength_um.to_bits(),

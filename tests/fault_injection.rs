@@ -1,0 +1,153 @@
+//! Fault-tolerance integration tests: deterministic injection through the
+//! full-chip flow, per-block isolation with retry/degradation, thread
+//! invariance of faulted runs, and checkpoint/resume equivalence.
+//!
+//! The fault plan and the fault log are process-global, so every test
+//! serializes on one mutex, installs its plan inside the critical
+//! section, and clears both before leaving it.
+
+use foldic::prelude::*;
+use foldic::{
+    clear_fault_plan, install_fault_plan, take_fault_log, CheckpointStore, Disposition, FaultPlan,
+    FlowStage, RetryPolicy,
+};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Enters the critical section with clean global fault state.
+fn exclusive() -> MutexGuard<'static, ()> {
+    let guard = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    clear_fault_plan();
+    let _ = take_fault_log();
+    guard
+}
+
+fn run(
+    style: DesignStyle,
+    threads: usize,
+    checkpoint: Option<Arc<CheckpointStore>>,
+) -> FullChipResult {
+    let (mut design, tech) = T2Config::tiny().generate();
+    let cfg = FullChipConfig {
+        threads,
+        checkpoint,
+        ..FullChipConfig::default()
+    };
+    run_fullchip(&mut design, &tech, style, &cfg).unwrap()
+}
+
+/// Full result equality, floats compared bit-exactly.
+fn assert_same(a: &FullChipResult, b: &FullChipResult) {
+    assert_eq!(a.per_block, b.per_block);
+    assert_eq!(a.chip, b.chip);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.chip_vias, b.chip_vias);
+    assert_eq!(a.intra_block_vias, b.intra_block_vias);
+    assert_eq!(a.interblock_wl_um.to_bits(), b.interblock_wl_um.to_bits());
+    assert_eq!(a.route_overflow, b.route_overflow);
+}
+
+#[test]
+fn injected_route_failure_degrades_only_that_block() {
+    let _g = exclusive();
+    install_fault_plan(FaultPlan::parse("route:ccx:error").unwrap());
+    let result = run(DesignStyle::Flat2d, 1, None);
+    clear_fault_plan();
+
+    assert_eq!(result.faults.len(), 1, "exactly one faulted block");
+    let f = &result.faults[0];
+    assert_eq!(f.scope, "2d");
+    assert_eq!(f.block, "ccx");
+    assert_eq!(f.stage, FlowStage::Route);
+    assert_eq!(f.attempts, RetryPolicy::default().max_attempts);
+    assert_eq!(f.disposition, Disposition::Degraded);
+    for (name, _, m) in &result.per_block {
+        assert_eq!(m.degraded, name == "ccx", "only ccx may degrade");
+    }
+    // the degraded analytical estimate still rolls up into chip totals
+    assert!(result.chip.power.total_w() > 0.0);
+    assert!(result.chip.footprint_um2 > 0.0);
+    // provenance also landed in the global log, in the same shape
+    assert_eq!(take_fault_log(), result.faults);
+}
+
+#[test]
+fn injected_panic_recovers_on_the_first_retry() {
+    let _g = exclusive();
+    // `:1` fires on attempt 0 only: the panic unwinds through the
+    // isolation boundary, the retry runs clean and recovers the block
+    install_fault_plan(FaultPlan::parse("place:ccx:panic:1").unwrap());
+    let result = run(DesignStyle::Flat2d, 1, None);
+    clear_fault_plan();
+    let _ = take_fault_log();
+
+    assert_eq!(result.faults.len(), 1);
+    let f = &result.faults[0];
+    assert_eq!(f.block, "ccx");
+    assert_eq!(f.stage, FlowStage::Place);
+    assert_eq!(f.attempts, 2, "first run + one retry");
+    assert_eq!(f.disposition, Disposition::Recovered);
+    assert!(
+        result.per_block.iter().all(|(_, _, m)| !m.degraded),
+        "a recovered block carries real flow results"
+    );
+}
+
+#[test]
+fn faulted_runs_are_thread_invariant() {
+    let _g = exclusive();
+    // one permanent panic (degrades) plus one transient error (recovers)
+    let plan = FaultPlan::parse("route:ccx:panic,sta:mcu0:error:1").unwrap();
+    install_fault_plan(plan.clone());
+    let serial = run(DesignStyle::CoreCache, 1, None);
+    let _ = take_fault_log();
+    install_fault_plan(plan);
+    let parallel = run(DesignStyle::CoreCache, 4, None);
+    clear_fault_plan();
+    let _ = take_fault_log();
+
+    assert_eq!(serial.faults.len(), 2);
+    assert_same(&serial, &parallel);
+}
+
+#[test]
+fn checkpoint_resume_replays_blocks_byte_identically() {
+    let _g = exclusive();
+    let store = Arc::new(CheckpointStore::in_memory());
+    let first = run(DesignStyle::CoreCache, 1, Some(store.clone()));
+    assert_eq!(store.len(), first.per_block.len(), "every block stored");
+    assert_eq!(store.hits(), 0, "a cold store replays nothing");
+
+    // resume with a different thread count: every block replays
+    let resumed = run(DesignStyle::CoreCache, 4, Some(store.clone()));
+    assert_eq!(store.hits() as usize, first.per_block.len());
+    assert_same(&first, &resumed);
+}
+
+#[test]
+fn torn_checkpoint_tail_is_recomputed_on_resume() {
+    let _g = exclusive();
+    let path =
+        std::env::temp_dir().join(format!("foldic-fault-itest-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let first = {
+        let store = Arc::new(CheckpointStore::open(&path).unwrap());
+        run(DesignStyle::Flat2d, 2, Some(store))
+    };
+
+    // simulate a kill mid-append: chop into the last entry
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 40]).unwrap();
+
+    let store = Arc::new(CheckpointStore::open(&path).unwrap());
+    let loaded = store.len();
+    assert!(
+        loaded < first.per_block.len(),
+        "the torn entry must be dropped"
+    );
+    let resumed = run(DesignStyle::Flat2d, 1, Some(store.clone()));
+    assert_eq!(store.hits() as usize, loaded, "intact entries replay");
+    assert_same(&first, &resumed);
+    let _ = std::fs::remove_file(&path);
+}

@@ -23,7 +23,9 @@ fn ccx_fold_saves_about_thirty_percent() {
     let baseline = {
         let b = d2.block_mut(id);
         let budgets = TimingBudgets::relaxed(&b.netlist, &tech);
-        run_block_flow(b, &tech, &budgets, &FlowConfig::default()).metrics
+        run_block_flow(b, &tech, &budgets, &FlowConfig::default())
+            .unwrap()
+            .metrics
     };
     let mut d3 = design.clone();
     let folded = fold_block(
@@ -35,7 +37,8 @@ fn ccx_fold_saves_about_thirty_percent() {
             bonding: BondingStyle::FaceToBack,
             ..FoldConfig::default()
         },
-    );
+    )
+    .unwrap();
     let delta = pct(baseline.power.total_uw(), folded.metrics.power.total_uw());
     assert!(
         (-45.0..=-15.0).contains(&delta),
@@ -52,11 +55,11 @@ fn stacking_saves_single_digit_percent() {
     let (design, tech) = T2Config::small().generate();
     let cfg = FullChipConfig::default();
     let mut d = design.clone();
-    let r2 = run_fullchip(&mut d, &tech, DesignStyle::Flat2d, &cfg);
+    let r2 = run_fullchip(&mut d, &tech, DesignStyle::Flat2d, &cfg).unwrap();
     let mut deltas = Vec::new();
     for style in [DesignStyle::CoreCache, DesignStyle::CoreCore] {
         let mut d3 = design.clone();
-        let r3 = run_fullchip(&mut d3, &tech, style, &cfg);
+        let r3 = run_fullchip(&mut d3, &tech, style, &cfg).unwrap();
         let delta = pct(r2.chip.power.total_uw(), r3.chip.power.total_uw());
         assert!(
             (-15.0..0.0).contains(&delta),
@@ -84,6 +87,7 @@ fn folding_is_the_bigger_lever() {
     let run = |style| {
         let mut d = design.clone();
         run_fullchip(&mut d, &tech, style, &cfg)
+            .unwrap()
             .chip
             .power
             .total_uw()

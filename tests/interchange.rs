@@ -36,7 +36,8 @@ fn folded_block_merged_design_roundtrips() {
             placer: foldic_place::PlacerConfig::fast(),
             ..FoldConfig::default()
         },
-    );
+    )
+    .unwrap();
     let block = design.block(id);
     let text = write_merged(&block.netlist, &tech, block.outline, "l2t0_fold");
     let merged = parse_merged(&text).expect("roundtrip");

@@ -10,13 +10,15 @@ fn block_2d(design: &Design, tech: &Technology, name: &str) -> DesignMetrics {
     let id = d.find_block(name).unwrap();
     let b = d.block_mut(id);
     let budgets = TimingBudgets::relaxed(&b.netlist, tech);
-    run_block_flow(b, tech, &budgets, &FlowConfig::default()).metrics
+    run_block_flow(b, tech, &budgets, &FlowConfig::default())
+        .unwrap()
+        .metrics
 }
 
 fn fold(design: &Design, tech: &Technology, name: &str, cfg: FoldConfig) -> (DesignMetrics, usize) {
     let mut d = design.clone();
     let id = d.find_block(name).unwrap();
-    let f = fold_block(d.block_mut(id), tech, &cfg);
+    let f = fold_block(d.block_mut(id), tech, &cfg).unwrap();
     (f.metrics, f.cut)
 }
 
@@ -130,7 +132,8 @@ fn census_selects_the_papers_fold_candidates() {
         &tech,
         DesignStyle::Flat2d,
         &FullChipConfig::fast(),
-    );
+    )
+    .unwrap();
     let rows = fold_candidates(&r.per_block);
     let selected: Vec<&str> = rows
         .iter()
@@ -153,9 +156,9 @@ fn stacking_reduces_interblock_wiring_and_power() {
     let (design, tech) = T2Config::tiny().generate();
     let cfg = FullChipConfig::fast();
     let mut d2 = design.clone();
-    let r2 = run_fullchip(&mut d2, &tech, DesignStyle::Flat2d, &cfg);
+    let r2 = run_fullchip(&mut d2, &tech, DesignStyle::Flat2d, &cfg).unwrap();
     let mut d3 = design.clone();
-    let r3 = run_fullchip(&mut d3, &tech, DesignStyle::CoreCache, &cfg);
+    let r3 = run_fullchip(&mut d3, &tech, DesignStyle::CoreCache, &cfg).unwrap();
     assert!(r3.interblock_wl_um < r2.interblock_wl_um);
     assert!(r3.chip.footprint_um2 < r2.chip.footprint_um2);
     assert!(r3.chip.power.total_uw() <= r2.chip.power.total_uw() * 1.01);
@@ -177,7 +180,7 @@ fn dual_vth_swaps_most_cells_and_cuts_leakage() {
             dual_vth: true,
             ..Default::default()
         };
-        run_block_flow(b, &tech, &budgets, &cfg).metrics
+        run_block_flow(b, &tech, &budgets, &cfg).unwrap().metrics
     };
     assert!(dvt.hvt_fraction() > 0.5, "HVT share {}", dvt.hvt_fraction());
     assert!(dvt.power.leakage_uw < 0.8 * rvt.power.leakage_uw);

@@ -26,13 +26,13 @@ fn generation_to_power_pipeline_is_consistent() {
     assert!(stats.num_cells > 0 && stats.num_macros > 0);
 
     // placement keeps everything inside the outline
-    place_block(&mut block.netlist, &tech, outline, &PlacerConfig::fast());
+    place_block(&mut block.netlist, &tech, outline, &PlacerConfig::fast()).unwrap();
     for (_, inst) in block.netlist.insts() {
         assert!(outline.inflated(1.0).contains(inst.pos), "{}", inst.name);
     }
 
     // wiring, timing, power
-    let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None);
+    let wiring = BlockWiring::analyze(&block.netlist, &tech, 1.1, None).unwrap();
     assert!(wiring.total_um > 0.0);
     assert_eq!(wiring.num_3d, 0, "unfolded block has no 3D nets");
 
@@ -43,7 +43,8 @@ fn generation_to_power_pipeline_is_consistent() {
         &wiring,
         &budgets,
         &StaConfig::default(),
-    );
+    )
+    .unwrap();
     assert!(sta.endpoints > 0);
     assert!(sta.max_arrival_ps > 0.0 && sta.max_arrival_ps < 100_000.0);
 
@@ -52,7 +53,8 @@ fn generation_to_power_pipeline_is_consistent() {
         &tech,
         &wiring,
         &PowerConfig::for_block(block),
-    );
+    )
+    .unwrap();
     assert!(power.total_uw() > 0.0);
     assert!(power.net_fraction() > 0.05 && power.net_fraction() < 0.95);
 }
@@ -71,7 +73,9 @@ fn block_flow_monotonicity_under_budget_pressure() {
         for a in &mut budgets.input_arrival_ps {
             *a *= input_frac / 0.25;
         }
-        foldic::flow::run_block_flow(block, &tech, &budgets, &FlowConfig::fast()).metrics
+        foldic::flow::run_block_flow(block, &tech, &budgets, &FlowConfig::fast())
+            .unwrap()
+            .metrics
     };
     let relaxed = run(0.25);
     let tight = run(0.60);
@@ -98,7 +102,8 @@ fn partition_then_flow_preserves_netlist_invariants() {
             placer: PlacerConfig::fast(),
             ..FoldConfig::default()
         },
-    );
+    )
+    .unwrap();
     block.netlist.check().expect("folded netlist is sound");
     assert!(folded.metrics.num_3d_connections > 0);
     // every via serves a real tier-crossing net
@@ -110,7 +115,7 @@ fn partition_then_flow_preserves_netlist_invariants() {
 #[test]
 fn full_chip_metrics_roll_up_from_blocks() {
     let (mut d, tech) = design();
-    let r = run_fullchip(&mut d, &tech, DesignStyle::Flat2d, &FullChipConfig::fast());
+    let r = run_fullchip(&mut d, &tech, DesignStyle::Flat2d, &FullChipConfig::fast()).unwrap();
     let sum_cells: usize = r.per_block.iter().map(|(_, _, m)| m.num_cells).sum();
     // chip adds only inter-block repeaters on top of the blocks
     assert!(r.chip.num_cells >= sum_cells);
