@@ -4,6 +4,7 @@
 //! repro [EXPERIMENT...] [--size full|small|tiny] [--threads N] [--profile]
 //!       [--trace out.json] [--events out.jsonl] [--manifest out.json]
 //!       [--faults SPEC] [--retries N] [--resume ckpt.jsonl]
+//!       [--deadline SECS] [--stage-timeout STAGE=SECS,...]
 //! repro compare <baseline.json> <candidate.json> [--tol PCT]
 //!
 //! EXPERIMENT: table1 table2 table3 table4 table5
@@ -37,26 +38,38 @@
 //! replays it on the next run with the same file, skipping finished
 //! blocks while keeping the output byte-identical.
 //!
+//! `--deadline SECS` bounds the whole run's wall clock: a watchdog trips
+//! a cancellation token on expiry, in-flight blocks stop at their next
+//! cooperative checkpoint and degrade, and not-yet-started blocks are
+//! skipped (also degraded). `--stage-timeout STAGE=SECS,...` bounds
+//! individual flow stages per block; a timed-out stage takes the normal
+//! retry → degrade path, with each retry given a larger share of the
+//! remaining budget. Timed-out runs land in the manifest's `timeouts`
+//! section, gated by `repro compare` like `faults`.
+//!
 //! Output is printed to stdout; tee it into a file to archive a run.
 
 use foldic::prelude::*;
 use foldic::{
-    install_fault_plan, take_fault_log, CheckpointStore, FaultPlan, FaultRecord, RetryPolicy,
+    clear_deadline, install_deadline, install_fault_plan, take_fault_log, CheckpointStore,
+    Deadline, DeadlinePolicy, FaultPlan, FaultRecord, FlowStage, RetryPolicy, Watchdog,
 };
 use foldic_bench::{experiments, Ctx};
 use foldic_obs::json::Json;
 use foldic_obs::manifest::{compare, CompareConfig, RunManifest};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: repro [EXPERIMENT...] [--size full|small|tiny] [--threads N] [--profile]\n\
        \x20            [--trace out.json] [--events out.jsonl] [--manifest out.json]\n\
        \x20            [--faults SPEC] [--retries N] [--resume ckpt.jsonl]\n\
+       \x20            [--deadline SECS] [--stage-timeout STAGE=SECS,...]\n\
        repro compare <baseline.json> <candidate.json> [--tol PCT]\n\
 experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6 fig7 fig8 thermal ablations layouts all\n\
 fault spec:  stage:block[:kind[:attempts]],... e.g. route:ccx:panic or place:mcu0:error:1\n\
-             (stages: validate partition place opt route sta power floorplan; kinds: panic error slow)";
+             (stages: validate partition place opt route sta power floorplan; kinds: panic error slow)\n\
+deadlines:   --deadline 30 bounds the whole run; --stage-timeout route=0.5,opt=2 bounds stages per block";
 
 fn usage_err(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -79,6 +92,8 @@ fn main() {
     let mut faults_spec: Option<String> = None;
     let mut retries: Option<u32> = None;
     let mut resume_path: Option<PathBuf> = None;
+    let mut deadline_secs: Option<f64> = None;
+    let mut stage_timeout_spec: Option<String> = None;
     let mut args = raw.into_iter();
     // an output flag may appear once, and distinct outputs must not share
     // a path — catch both before spending minutes computing
@@ -128,6 +143,30 @@ fn main() {
                 }));
             }
             "--resume" => path_flag(&mut resume_path, "--resume", args.next()),
+            "--deadline" => {
+                let v = args.next().unwrap_or_else(|| {
+                    usage_err("--deadline needs a wall-clock budget in seconds")
+                });
+                if deadline_secs.is_some() {
+                    usage_err("duplicate --deadline");
+                }
+                let secs: f64 = v.parse().unwrap_or_else(|_| {
+                    usage_err(&format!("--deadline needs a number of seconds, got `{v}`"))
+                });
+                if !(secs.is_finite() && secs > 0.0) {
+                    usage_err(&format!("--deadline needs a positive budget, got `{v}`"));
+                }
+                deadline_secs = Some(secs);
+            }
+            "--stage-timeout" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_err("--stage-timeout needs a spec (STAGE=SECS,...)"));
+                if stage_timeout_spec.is_some() {
+                    usage_err("duplicate --stage-timeout");
+                }
+                stage_timeout_spec = Some(v);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -191,6 +230,29 @@ fn main() {
     }
     if let Some(n) = retries {
         manifest.config.insert("retries".into(), n.to_string());
+    }
+    let mut deadline_policy = DeadlinePolicy::default();
+    if let Some(secs) = deadline_secs {
+        deadline_policy.overall = Some(Duration::from_secs_f64(secs));
+        manifest.config.insert("deadline".into(), format!("{secs}"));
+    }
+    if let Some(spec) = &stage_timeout_spec {
+        deadline_policy.stage_budgets = parse_stage_timeouts(spec);
+        let canonical: Vec<String> = deadline_policy
+            .stage_budgets
+            .iter()
+            .map(|(s, d)| format!("{s}={}", d.as_secs_f64()))
+            .collect();
+        manifest
+            .config
+            .insert("stage_timeouts".into(), canonical.join(","));
+    }
+    let mut watchdog = None;
+    if !deadline_policy.is_empty() {
+        let token = install_deadline(&deadline_policy);
+        if let Some(overall) = deadline_policy.overall {
+            watchdog = Some(Watchdog::spawn(Deadline::new(overall), token, Some("run")));
+        }
     }
     // per-experiment wall clocks and pool stats go here — everything in
     // this object may vary across thread counts and is stripped before
@@ -280,12 +342,24 @@ fn main() {
         std::process::exit(2);
     }
     println!("total wall time {:?}", t0.elapsed());
-    let fault_log = take_fault_log();
+    let deadline_tripped = watchdog.is_some_and(Watchdog::disarm);
+    clear_deadline();
+    let (timeout_log, fault_log): (Vec<FaultRecord>, Vec<FaultRecord>) =
+        take_fault_log().into_iter().partition(|r| r.timed_out);
     if !fault_log.is_empty() {
         println!(
             "faults: {} block run(s) recovered or degraded (see report footers)",
             fault_log.len()
         );
+    }
+    if !timeout_log.is_empty() {
+        println!(
+            "timeouts: {} run(s) hit a wall-clock budget and degraded (see report footers)",
+            timeout_log.len()
+        );
+    }
+    if deadline_tripped {
+        println!("deadline: overall budget expired before the run finished");
     }
     if let Some(store) = &ctx.checkpoint {
         println!(
@@ -310,6 +384,10 @@ fn main() {
     if let Some(path) = manifest_path {
         manifest.config.insert("experiments".into(), ran.join("+"));
         manifest.faults = fault_log
+            .iter()
+            .map(FaultRecord::to_manifest_entry)
+            .collect();
+        manifest.timeouts = timeout_log
             .iter()
             .map(FaultRecord::to_manifest_entry)
             .collect();
@@ -365,6 +443,47 @@ fn timing_json(report: &foldic_exec::profile::Report, wall: std::time::Duration)
             ]),
         ),
     ])
+}
+
+/// Parses a `--stage-timeout` spec (`STAGE=SECS,...`) into per-stage
+/// budgets; exits with a usage error on an unknown stage, a bad number,
+/// or a duplicate stage. A zero budget is allowed and times the stage
+/// out at entry (useful for skipping a stage class wholesale).
+fn parse_stage_timeouts(spec: &str) -> Vec<(FlowStage, Duration)> {
+    let mut budgets: Vec<(FlowStage, Duration)> = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let Some((stage, secs)) = entry.split_once('=') else {
+            usage_err(&format!(
+                "--stage-timeout entry `{entry}` is not STAGE=SECS"
+            ));
+        };
+        let stage: FlowStage = stage
+            .trim()
+            .parse()
+            .unwrap_or_else(|e: String| usage_err(&format!("--stage-timeout: {e}")));
+        let secs: f64 = secs.trim().parse().unwrap_or_else(|_| {
+            usage_err(&format!(
+                "--stage-timeout: `{entry}` needs a number of seconds"
+            ))
+        });
+        if !(secs.is_finite() && secs >= 0.0) {
+            usage_err(&format!(
+                "--stage-timeout: `{entry}` needs a non-negative budget"
+            ));
+        }
+        if budgets.iter().any(|(s, _)| *s == stage) {
+            usage_err(&format!("--stage-timeout: duplicate stage `{stage}`"));
+        }
+        budgets.push((stage, Duration::from_secs_f64(secs)));
+    }
+    if budgets.is_empty() {
+        usage_err("--stage-timeout spec is empty");
+    }
+    budgets
 }
 
 fn write_or_die(path: &Path, content: &str) {

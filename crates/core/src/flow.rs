@@ -6,6 +6,7 @@
 //! swap), and power sign-off.
 
 use crate::metrics::DesignMetrics;
+use foldic_fault::deadline::stage_scope;
 use foldic_fault::{fault_point, FlowError, FlowStage};
 use foldic_netlist::{Block, InstMaster, Netlist};
 use foldic_opt::{optimize_block_with_vias, OptConfig, OptStats};
@@ -161,59 +162,77 @@ pub fn run_block_flow(
 
     // 0. validation: a malformed block fails the same way on every
     //    attempt, so this is the one non-recoverable failure
-    fault_point(FlowStage::Validate, &name, attempt)?;
-    block
-        .validate(tech)
-        .map_err(|e| FlowError::invalid(FlowStage::Validate, e.to_string()).with_block(&name))?;
+    {
+        let _scope = stage_scope(FlowStage::Validate, &name, attempt)?;
+        fault_point(FlowStage::Validate, &name, attempt)?;
+        block.validate(tech).map_err(|e| {
+            FlowError::invalid(FlowStage::Validate, e.to_string()).with_block(&name)
+        })?;
+    }
 
     let outline = block.outline;
     let max_layer = block_max_layer(block, cfg.bonding, &cfg.policy);
 
     // 1. placement
-    fault_point(FlowStage::Place, &name, attempt)?;
-    foldic_exec::profile::stage("place", || {
-        place_block(&mut block.netlist, tech, outline, &cfg.placer)
-    })
-    .map_err(|e| e.with_block(&name))?;
+    {
+        let _scope = stage_scope(FlowStage::Place, &name, attempt)?;
+        fault_point(FlowStage::Place, &name, attempt)?;
+        foldic_exec::profile::stage("place", || {
+            place_block(&mut block.netlist, tech, outline, &cfg.placer)
+        })
+        .map_err(|e| e.with_block(&name))?;
+    }
 
     // 2. timing + power optimization
-    fault_point(FlowStage::Opt, &name, attempt)?;
     let mut opt_cfg = cfg.opt.clone();
     opt_cfg.max_layer = max_layer;
     opt_cfg.via_kind = None;
     opt_cfg.dual_vth = cfg.dual_vth;
-    let opt = foldic_exec::profile::stage("opt", || {
-        optimize_block_with_vias(&mut block.netlist, tech, budgets, &opt_cfg, None)
-    })
-    .map_err(|e| e.with_block(&name))?;
+    let opt = {
+        let _scope = stage_scope(FlowStage::Opt, &name, attempt)?;
+        fault_point(FlowStage::Opt, &name, attempt)?;
+        foldic_exec::profile::stage("opt", || {
+            optimize_block_with_vias(&mut block.netlist, tech, budgets, &opt_cfg, None)
+        })
+        .map_err(|e| e.with_block(&name))?
+    };
 
     // 3. sign-off
-    fault_point(FlowStage::Route, &name, attempt)?;
-    let wiring = foldic_exec::profile::stage("route", || {
-        BlockWiring::analyze(&block.netlist, tech, opt_cfg.detour, None)
-    })
-    .map_err(|e| e.with_block(&name))?;
-    fault_point(FlowStage::Sta, &name, attempt)?;
-    let sta = foldic_exec::profile::stage("sta", || {
-        analyze(
-            &block.netlist,
-            tech,
-            &wiring,
-            budgets,
-            &StaConfig {
-                max_layer,
-                via_kind: None,
-            },
-        )
-    })
-    .map_err(|e| e.with_block(&name))?;
-    fault_point(FlowStage::Power, &name, attempt)?;
+    let wiring = {
+        let _scope = stage_scope(FlowStage::Route, &name, attempt)?;
+        fault_point(FlowStage::Route, &name, attempt)?;
+        foldic_exec::profile::stage("route", || {
+            BlockWiring::analyze(&block.netlist, tech, opt_cfg.detour, None)
+        })
+        .map_err(|e| e.with_block(&name))?
+    };
+    let sta = {
+        let _scope = stage_scope(FlowStage::Sta, &name, attempt)?;
+        fault_point(FlowStage::Sta, &name, attempt)?;
+        foldic_exec::profile::stage("sta", || {
+            analyze(
+                &block.netlist,
+                tech,
+                &wiring,
+                budgets,
+                &StaConfig {
+                    max_layer,
+                    via_kind: None,
+                },
+            )
+        })
+        .map_err(|e| e.with_block(&name))?
+    };
     let mut pw_cfg = PowerConfig::for_block(block);
     pw_cfg.max_layer = max_layer;
-    let power = foldic_exec::profile::stage("power", || {
-        analyze_block(&block.netlist, tech, &wiring, &pw_cfg)
-    })
-    .map_err(|e| e.with_block(&name))?;
+    let power = {
+        let _scope = stage_scope(FlowStage::Power, &name, attempt)?;
+        fault_point(FlowStage::Power, &name, attempt)?;
+        foldic_exec::profile::stage("power", || {
+            analyze_block(&block.netlist, tech, &wiring, &pw_cfg)
+        })
+        .map_err(|e| e.with_block(&name))?
+    };
     let metrics = collect_metrics(
         &block.netlist,
         block,

@@ -19,6 +19,7 @@
 
 use crate::flow::{block_max_layer, collect_metrics};
 use crate::metrics::DesignMetrics;
+use foldic_fault::deadline::stage_scope;
 use foldic_fault::{fault_point, FlowError, FlowStage};
 use foldic_geom::{Point, Rect, Tier};
 use foldic_netlist::{Block, GroupId, InstId, Netlist, PinRef};
@@ -179,12 +180,18 @@ pub fn fold_block_with_budgets(
     cfg: &FoldConfig,
 ) -> Result<FoldedBlock, FlowError> {
     let name = block.name.clone();
-    fault_point(FlowStage::Validate, &name, cfg.retry_attempt)?;
-    block
-        .validate(tech)
-        .map_err(|e| FlowError::invalid(FlowStage::Validate, e.to_string()).with_block(&name))?;
-    fault_point(FlowStage::Partition, &name, cfg.retry_attempt)?;
-    let part = make_partition(&block.netlist, tech, cfg);
+    {
+        let _scope = stage_scope(FlowStage::Validate, &name, cfg.retry_attempt)?;
+        fault_point(FlowStage::Validate, &name, cfg.retry_attempt)?;
+        block.validate(tech).map_err(|e| {
+            FlowError::invalid(FlowStage::Validate, e.to_string()).with_block(&name)
+        })?;
+    }
+    let part = {
+        let _scope = stage_scope(FlowStage::Partition, &name, cfg.retry_attempt)?;
+        fault_point(FlowStage::Partition, &name, cfg.retry_attempt)?;
+        make_partition(&block.netlist, tech, cfg)
+    };
     fold_with_partition(block, tech, budgets, cfg, part)
 }
 
@@ -264,79 +271,98 @@ pub fn fold_with_partition(
     }
 
     // --- macro re-packing and placement ----------------------------------
-    fault_point(FlowStage::Place, &name, attempt)?;
-    repack_macros(&mut block.netlist, tech, outline);
-    place_folded(&mut block.netlist, tech, outline, &cfg.placer, &[])
-        .map_err(|e| e.with_block(&name))?;
-    // the fold scattered each clock leaf's flops across the dies: re-run
-    // the leaf level of CTS per tier before committing 3D vias
-    recluster_clock_leaves(&mut block.netlist);
-    fault_point(FlowStage::Route, &name, attempt)?;
-    let mut vias =
-        place_vias(&block.netlist, tech, outline, cfg.bonding).map_err(|e| e.with_block(&name))?;
-
-    // --- face-to-back: pay the TSV area and re-place ----------------------
-    if cfg.bonding == BondingStyle::FaceToBack && !vias.is_empty() {
-        let tsv_area = vias.silicon_area_um2(tech);
-        let grown = (a_bot.max(a_top) + tsv_area) / cfg.utilization;
-        let prev = outline;
-        outline = if cfg.aspect == FoldAspect::KeepWidth {
-            let w = prev.width();
-            Rect::new(0.0, 0.0, w, grown / w)
-        } else {
-            sized_outline(grown, aspect)
-        };
-        for tier in Tier::ALL {
-            rescale_tier_geometry(&mut block.netlist, tier, prev, outline);
-        }
+    {
+        let _scope = stage_scope(FlowStage::Place, &name, attempt)?;
+        fault_point(FlowStage::Place, &name, attempt)?;
         repack_macros(&mut block.netlist, tech, outline);
-        // first re-place against the old via keep-outs, then refresh them
-        let obstacles: Vec<Obstacle> = vias
-            .keepouts(tech)
-            .into_iter()
-            .map(|rect| Obstacle { rect, tier: None })
-            .collect();
-        place_folded(&mut block.netlist, tech, outline, &cfg.placer, &obstacles)
+        place_folded(&mut block.netlist, tech, outline, &cfg.placer, &[])
             .map_err(|e| e.with_block(&name))?;
-        vias = place_vias(&block.netlist, tech, outline, cfg.bonding)
-            .map_err(|e| e.with_block(&name))?;
+        // the fold scattered each clock leaf's flops across the dies:
+        // re-run the leaf level of CTS per tier before committing 3D vias
+        recluster_clock_leaves(&mut block.netlist);
     }
+    let vias = {
+        let _scope = stage_scope(FlowStage::Route, &name, attempt)?;
+        fault_point(FlowStage::Route, &name, attempt)?;
+        let mut vias = place_vias(&block.netlist, tech, outline, cfg.bonding)
+            .map_err(|e| e.with_block(&name))?;
+
+        // --- face-to-back: pay the TSV area and re-place ------------------
+        if cfg.bonding == BondingStyle::FaceToBack && !vias.is_empty() {
+            let tsv_area = vias.silicon_area_um2(tech);
+            let grown = (a_bot.max(a_top) + tsv_area) / cfg.utilization;
+            let prev = outline;
+            outline = if cfg.aspect == FoldAspect::KeepWidth {
+                let w = prev.width();
+                Rect::new(0.0, 0.0, w, grown / w)
+            } else {
+                sized_outline(grown, aspect)
+            };
+            for tier in Tier::ALL {
+                rescale_tier_geometry(&mut block.netlist, tier, prev, outline);
+            }
+            repack_macros(&mut block.netlist, tech, outline);
+            // first re-place against the old via keep-outs, then refresh
+            let obstacles: Vec<Obstacle> = vias
+                .keepouts(tech)
+                .into_iter()
+                .map(|rect| Obstacle { rect, tier: None })
+                .collect();
+            place_folded(&mut block.netlist, tech, outline, &cfg.placer, &obstacles)
+                .map_err(|e| e.with_block(&name))?;
+            vias = place_vias(&block.netlist, tech, outline, cfg.bonding)
+                .map_err(|e| e.with_block(&name))?;
+        }
+        vias
+    };
     block.outline = outline;
 
     // --- optimization ------------------------------------------------------
-    fault_point(FlowStage::Opt, &name, attempt)?;
     let max_layer = block_max_layer(block, cfg.bonding, &cfg.policy);
     let mut opt_cfg = cfg.opt.clone();
     opt_cfg.max_layer = max_layer;
     opt_cfg.via_kind = Some(vias.kind());
     opt_cfg.dual_vth = cfg.dual_vth;
-    let opt = optimize_block_with_vias(&mut block.netlist, tech, budgets, &opt_cfg, Some(&vias))
-        .map_err(|e| e.with_block(&name))?;
+    let opt = {
+        let _scope = stage_scope(FlowStage::Opt, &name, attempt)?;
+        fault_point(FlowStage::Opt, &name, attempt)?;
+        optimize_block_with_vias(&mut block.netlist, tech, budgets, &opt_cfg, Some(&vias))
+            .map_err(|e| e.with_block(&name))?
+    };
 
     // --- sign-off ------------------------------------------------------------
     // buffering re-shaped the nets: refresh the via assignment
-    let vias =
-        place_vias(&block.netlist, tech, outline, cfg.bonding).map_err(|e| e.with_block(&name))?;
-    let wiring = BlockWiring::analyze(&block.netlist, tech, opt_cfg.detour, Some(&vias))
-        .map_err(|e| e.with_block(&name))?;
-    fault_point(FlowStage::Sta, &name, attempt)?;
-    let sta = analyze(
-        &block.netlist,
-        tech,
-        &wiring,
-        budgets,
-        &StaConfig {
-            max_layer,
-            via_kind: Some(vias.kind()),
-        },
-    )
-    .map_err(|e| e.with_block(&name))?;
-    fault_point(FlowStage::Power, &name, attempt)?;
+    let (vias, wiring) = {
+        let _scope = stage_scope(FlowStage::Route, &name, attempt)?;
+        let vias = place_vias(&block.netlist, tech, outline, cfg.bonding)
+            .map_err(|e| e.with_block(&name))?;
+        let wiring = BlockWiring::analyze(&block.netlist, tech, opt_cfg.detour, Some(&vias))
+            .map_err(|e| e.with_block(&name))?;
+        (vias, wiring)
+    };
+    let sta = {
+        let _scope = stage_scope(FlowStage::Sta, &name, attempt)?;
+        fault_point(FlowStage::Sta, &name, attempt)?;
+        analyze(
+            &block.netlist,
+            tech,
+            &wiring,
+            budgets,
+            &StaConfig {
+                max_layer,
+                via_kind: Some(vias.kind()),
+            },
+        )
+        .map_err(|e| e.with_block(&name))?
+    };
     let mut pw_cfg = PowerConfig::for_block(block);
     pw_cfg.max_layer = max_layer;
     pw_cfg.via_kind = Some(vias.kind());
-    let power =
-        analyze_block(&block.netlist, tech, &wiring, &pw_cfg).map_err(|e| e.with_block(&name))?;
+    let power = {
+        let _scope = stage_scope(FlowStage::Power, &name, attempt)?;
+        fault_point(FlowStage::Power, &name, attempt)?;
+        analyze_block(&block.netlist, tech, &wiring, &pw_cfg).map_err(|e| e.with_block(&name))?
+    };
     let metrics = collect_metrics(
         &block.netlist,
         block,
@@ -594,10 +620,14 @@ pub fn fold_spc_second_level(
     cfg: &FoldConfig,
 ) -> Result<FoldedBlock, FlowError> {
     let name = block.name.clone();
-    fault_point(FlowStage::Validate, &name, cfg.retry_attempt)?;
-    block
-        .validate(tech)
-        .map_err(|e| FlowError::invalid(FlowStage::Validate, e.to_string()).with_block(&name))?;
+    {
+        let _scope = stage_scope(FlowStage::Validate, &name, cfg.retry_attempt)?;
+        fault_point(FlowStage::Validate, &name, cfg.retry_attempt)?;
+        block.validate(tech).map_err(|e| {
+            FlowError::invalid(FlowStage::Validate, e.to_string()).with_block(&name)
+        })?;
+    }
+    let part_scope = stage_scope(FlowStage::Partition, &name, cfg.retry_attempt)?;
     fault_point(FlowStage::Partition, &name, cfg.retry_attempt)?;
     let budgets = TimingBudgets::relaxed(&block.netlist, tech);
     let nl = &block.netlist;
@@ -643,6 +673,7 @@ pub fn fold_spc_second_level(
 
     let mut part = Partition { tier_of, cut: 0 };
     part.cut = part.cut_size(nl);
+    drop(part_scope);
     fold_with_partition(block, tech, &budgets, cfg, part)
 }
 

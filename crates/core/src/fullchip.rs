@@ -19,6 +19,7 @@ use crate::folding::{
     fold_block_with_budgets, fold_spc_second_level, FoldAspect, FoldConfig, FoldStrategy,
 };
 use crate::metrics::DesignMetrics;
+use foldic_fault::deadline::{backoff_wait, has_stage_override, run_token, stage_scope};
 use foldic_fault::{
     fault_point, isolate, log_fault, CheckpointStore, Disposition, FaultRecord, FlowError,
     FlowStage, RetryPolicy,
@@ -206,11 +207,19 @@ fn run_block_isolated(
     degrade_fn: impl FnOnce(&Block) -> DesignMetrics,
 ) -> (DesignMetrics, Option<FaultRecord>) {
     let pristine = block.clone();
+    let token = run_token();
     let mut last_stage = FlowStage::Job;
+    let mut last_timed_out = false;
     let mut attempts = 0;
     for attempt in 0..retry.max_attempts {
         if attempt > 0 {
             *block = pristine.clone();
+            // a cancelled run stops retrying and degrades right away; a
+            // backoff wait is likewise cut short by cancellation
+            if token.is_cancelled() || !backoff_wait(retry.backoff, &token) {
+                last_timed_out = true;
+                break;
+            }
         }
         attempts = attempt + 1;
         match isolate(|| attempt_fn(block, attempt)) {
@@ -224,12 +233,14 @@ fn run_block_isolated(
                     stage: last_stage,
                     attempts,
                     disposition: Disposition::Recovered,
+                    timed_out: last_timed_out,
                 };
                 log_fault(record.clone());
                 return (metrics, Some(record));
             }
             Err(e) => {
                 last_stage = e.stage;
+                last_timed_out = e.is_timeout();
                 if !e.recoverable() {
                     break; // invalid input fails identically every time
                 }
@@ -244,6 +255,7 @@ fn run_block_isolated(
         stage: last_stage,
         attempts,
         disposition: Disposition::Degraded,
+        timed_out: last_timed_out,
     };
     log_fault(record.clone());
     (metrics, Some(record))
@@ -399,6 +411,24 @@ pub fn run_fullchip(
     let bonding = style.bonding();
     let scope = run_scope(style, cfg.dual_vth);
     let mut faults: Vec<FaultRecord> = Vec::new();
+    // the run's cancel token (never cancelled when no deadline policy is
+    // installed): fan-outs stop handing out jobs once it trips, and each
+    // skipped block degrades to analytical estimates
+    let token = run_token();
+    let degrade_skipped = |(id, block): (BlockId, &mut Block), faults: &mut Vec<FaultRecord>| {
+        let metrics = degraded_estimate(block, tech, bonding, &cfg.flow.policy);
+        let record = FaultRecord {
+            scope: scope.clone(),
+            block: block.name.clone(),
+            stage: FlowStage::Job,
+            attempts: 0,
+            disposition: Disposition::Degraded,
+            timed_out: true,
+        };
+        log_fault(record.clone());
+        faults.push(record);
+        (id, metrics)
+    };
 
     // ---- 1. fold the selected blocks --------------------------------------
     let mut folded_results: HashMap<BlockId, DesignMetrics> = HashMap::new();
@@ -426,7 +456,7 @@ pub fn run_fullchip(
             })
             .collect();
         let results = foldic_exec::profile::stage("fold", || {
-            foldic_exec::par_map(cfg.threads, jobs, |_, (id, block)| {
+            foldic_exec::run_cancellable(cfg.threads, jobs, token.flag(), |_, (id, block)| {
                 let key = format!("{scope}/{}", block.name);
                 if let Some(store) = &cfg.checkpoint {
                     if let Some(value) = store.get(&key) {
@@ -472,15 +502,23 @@ pub fn run_fullchip(
                 (id, metrics, fault)
             })
         });
-        for (id, m, fault) in results {
+        for outcome in results {
+            let (id, m) = match outcome {
+                foldic_exec::JobOutcome::Done((id, m, fault)) => {
+                    faults.extend(fault);
+                    (id, m)
+                }
+                foldic_exec::JobOutcome::Skipped(job) => degrade_skipped(job, &mut faults),
+            };
             intra_block_vias += m.num_3d_connections;
             folded_results.insert(id, m);
-            faults.extend(fault);
         }
     }
 
     // ---- 2. floorplan -------------------------------------------------------
-    fault_point(FlowStage::Floorplan, "chip", 0)?;
+    // the chip floorplan is serial and non-retryable: it only opts into a
+    // wall-clock scope on an explicit `--stage-timeout floorplan=…`, and a
+    // trip aborts the run like any other chip-level fault
     let fp_style = match style {
         DesignStyle::Flat2d | DesignStyle::FoldedF2b | DesignStyle::FoldedF2f => {
             FloorplanStyle::Flat2d
@@ -488,8 +526,17 @@ pub fn run_fullchip(
         DesignStyle::CoreCache => FloorplanStyle::CoreCache,
         DesignStyle::CoreCore => FloorplanStyle::CoreCore,
     };
-    let mut plan: ChipPlan =
-        foldic_exec::profile::stage("floorplan", || floorplan_t2(design, fp_style, tech));
+    let mut plan: ChipPlan = isolate(|| {
+        let _scope = if has_stage_override(FlowStage::Floorplan) {
+            Some(stage_scope(FlowStage::Floorplan, "chip", 0)?)
+        } else {
+            None
+        };
+        fault_point(FlowStage::Floorplan, "chip", 0)?;
+        Ok(foldic_exec::profile::stage("floorplan", || {
+            floorplan_t2(design, fp_style, tech)
+        }))
+    })?;
     if style.folded() {
         // folded blocks expose ports on both tiers: cross-die chip nets
         // exist even though the arrangement is single-layout
@@ -510,7 +557,7 @@ pub fn run_fullchip(
         .filter(|(id, _)| !folded_results.contains_key(id))
         .collect();
     let flow_results = foldic_exec::profile::stage("block_flows", || {
-        foldic_exec::par_map(cfg.threads, jobs, |_, (id, block)| {
+        foldic_exec::run_cancellable(cfg.threads, jobs, token.flag(), |_, (id, block)| {
             let key = format!("{scope}/{}", block.name);
             if let Some(store) = &cfg.checkpoint {
                 if let Some(value) = store.get(&key) {
@@ -544,9 +591,15 @@ pub fn run_fullchip(
         })
     });
     let mut flow_metrics: HashMap<BlockId, DesignMetrics> = HashMap::new();
-    for (id, m, fault) in flow_results {
+    for outcome in flow_results {
+        let (id, m) = match outcome {
+            foldic_exec::JobOutcome::Done((id, m, fault)) => {
+                faults.extend(fault);
+                (id, m)
+            }
+            foldic_exec::JobOutcome::Skipped(job) => degrade_skipped(job, &mut faults),
+        };
         flow_metrics.insert(id, m);
-        faults.extend(fault);
     }
     let mut per_block = Vec::new();
     for id in order {

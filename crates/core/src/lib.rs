@@ -48,8 +48,9 @@ pub mod render;
 
 pub use flow::{run_block_flow, BlockResult, FlowConfig};
 pub use foldic_fault::{
-    clear_fault_plan, install_fault_plan, take_fault_log, CheckpointStore, Disposition, FaultPlan,
-    FaultRecord, FlowError, FlowStage, RetryPolicy,
+    clear_deadline, clear_fault_plan, install_deadline, install_fault_plan, take_fault_log,
+    CancelToken, CheckpointStore, Deadline, DeadlinePolicy, Disposition, FaultPlan, FaultRecord,
+    FlowError, FlowStage, RetryPolicy, Watchdog,
 };
 pub use folding::{
     fold_block, fold_candidates, fold_spc_second_level, CandidateRow, FoldAspect, FoldConfig,

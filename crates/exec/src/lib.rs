@@ -152,6 +152,60 @@ where
     (results, stats)
 }
 
+/// Outcome of one job under cooperative cancellation
+/// ([`run_cancellable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome<R, I> {
+    /// The job ran to completion.
+    Done(R),
+    /// The cancel flag was set before the job body started; the input is
+    /// handed back untouched so the caller can degrade or requeue it
+    /// explicitly — no item is ever silently dropped.
+    Skipped(I),
+}
+
+impl<R, I> JobOutcome<R, I> {
+    /// The result, when the job ran.
+    pub fn done(self) -> Option<R> {
+        match self {
+            JobOutcome::Done(r) => Some(r),
+            JobOutcome::Skipped(_) => None,
+        }
+    }
+}
+
+/// [`par_map`] with cooperative cancellation: workers observe `cancel`
+/// between jobs — the flag is checked on the worker thread immediately
+/// before each job body — so once it is set, every not-yet-started job
+/// comes back as [`JobOutcome::Skipped`] with its input intact (still in
+/// submission order). In-flight jobs are *not* interrupted; they are
+/// expected to poll the same flag at their own coarse-grained
+/// checkpoints (see `foldic-fault::deadline`).
+///
+/// The flag is a plain [`AtomicBool`] rather than a token type so this
+/// crate stays dependency-free; `CancelToken::flag()` hands one over.
+/// The panic contract matches [`par_map`]: every job runs (or is
+/// skipped), then the lowest-index panic is re-raised.
+pub fn run_cancellable<I, R, F>(
+    threads: usize,
+    items: Vec<I>,
+    cancel: &std::sync::atomic::AtomicBool,
+    f: F,
+) -> Vec<JobOutcome<R, I>>
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, I) -> R + Sync,
+{
+    par_map(threads, items, |index, item| {
+        if cancel.load(Ordering::Relaxed) {
+            JobOutcome::Skipped(item)
+        } else {
+            JobOutcome::Done(f(index, item))
+        }
+    })
+}
+
 /// [`par_map`] variant for fault-tolerant callers: panics are captured
 /// per job, so one failing job cannot take down its siblings' results.
 pub fn par_map_caught<I, R, F>(threads: usize, items: Vec<I>, f: F) -> Vec<Result<R, JobPanic>>
@@ -405,6 +459,53 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u8> = par_map(4, Vec::<u8>::new(), |_, x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pre_cancelled_run_skips_every_job_in_order() {
+        use std::sync::atomic::AtomicBool;
+        for threads in [1, 4] {
+            let cancel = AtomicBool::new(true);
+            let out = run_cancellable(threads, (0..12).collect::<Vec<usize>>(), &cancel, |_, x| {
+                x * 2
+            });
+            assert_eq!(out.len(), 12, "threads={threads}");
+            for (i, o) in out.into_iter().enumerate() {
+                assert_eq!(o, JobOutcome::Skipped(i), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_mid_run_skips_the_remaining_jobs() {
+        use std::sync::atomic::AtomicBool;
+        // inline (threads=1) runs jobs strictly in order, so cancelling
+        // inside job 2 deterministically skips jobs 3 and up
+        let cancel = AtomicBool::new(false);
+        let out = run_cancellable(1, (0..8).collect::<Vec<usize>>(), &cancel, |i, x| {
+            if i == 2 {
+                cancel.store(true, Ordering::Relaxed);
+            }
+            x * 10
+        });
+        for (i, o) in out.into_iter().enumerate() {
+            if i <= 2 {
+                assert_eq!(o, JobOutcome::Done(i * 10));
+                assert_eq!(o.done(), Some(i * 10));
+            } else {
+                assert_eq!(o, JobOutcome::Skipped(i));
+                assert_eq!(o.done(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn uncancelled_run_matches_par_map() {
+        use std::sync::atomic::AtomicBool;
+        let cancel = AtomicBool::new(false);
+        let out = run_cancellable(4, (0..32).collect::<Vec<u64>>(), &cancel, |_, x| x + 1);
+        let expect: Vec<JobOutcome<u64, u64>> = (0..32).map(|x| JobOutcome::Done(x + 1)).collect();
+        assert_eq!(out, expect);
     }
 
     #[test]

@@ -25,6 +25,57 @@ use std::sync::Mutex;
 /// Schema tag written as the first line of every checkpoint file.
 pub const CHECKPOINT_SCHEMA: &str = "foldic-checkpoint/1";
 
+/// Why a checkpoint file was rejected at load time. Torn tails and
+/// mid-file corruption are *not* errors (the intact prefix loads and the
+/// rest recomputes); these are the cases where silently proceeding would
+/// corrupt a resumed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The file could not be read, created, trimmed, or appended to.
+    Io {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// The underlying I/O error, stringified.
+        message: String,
+    },
+    /// The first line is not parseable JSON.
+    BadHeader(String),
+    /// The header names a different schema (a store written by an
+    /// incompatible version must not be replayed).
+    SchemaMismatch {
+        /// The schema this build writes and accepts.
+        want: &'static str,
+        /// The schema found in the file, when any.
+        got: Option<String>,
+    },
+    /// The same key appears twice with *different* values — two runs
+    /// with different configurations shared the file; replaying either
+    /// value silently would corrupt the resume. (Identical duplicates
+    /// are fine: re-running a block legitimately re-appends its entry.)
+    ConflictingDuplicate(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { path, message } => {
+                write!(f, "checkpoint {}: {message}", path.display())
+            }
+            CheckpointError::BadHeader(msg) => write!(f, "bad checkpoint header: {msg}"),
+            CheckpointError::SchemaMismatch { want, got } => {
+                write!(f, "checkpoint schema mismatch: want {want}, got {got:?}")
+            }
+            CheckpointError::ConflictingDuplicate(key) => write!(
+                f,
+                "checkpoint key `{key}` appears twice with different values; \
+                 refusing to replay an ambiguous store"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
 /// An append-only key→JSON store backed by a JSONL file (or memory).
 ///
 /// Keys are free-form strings; the flow uses `style_key/block` so one
@@ -57,15 +108,20 @@ impl CheckpointStore {
     ///
     /// # Errors
     ///
-    /// Returns a message when the file cannot be created/read or carries
-    /// a different schema tag.
-    pub fn open(path: &Path) -> Result<Self, String> {
-        let mut entries = BTreeMap::new();
+    /// Returns a typed [`CheckpointError`] when the file cannot be
+    /// created/read, carries a different schema tag, or holds the same
+    /// key twice with conflicting values.
+    pub fn open(path: &Path) -> Result<Self, CheckpointError> {
+        let io = |message: String| CheckpointError::Io {
+            path: path.to_owned(),
+            message,
+        };
+        let mut entries: BTreeMap<String, Json> = BTreeMap::new();
         // byte length of the valid prefix (complete, parseable lines)
         let mut valid_end = 0u64;
         if path.exists() {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| io(format!("cannot read: {e}")))?;
             let mut header_seen = false;
             for line in text.split_inclusive('\n') {
                 if !line.ends_with('\n') {
@@ -73,14 +129,15 @@ impl CheckpointStore {
                 }
                 let trimmed = line.trim();
                 if !header_seen && !trimmed.is_empty() {
-                    let header =
-                        Json::parse(trimmed).map_err(|e| format!("bad checkpoint header: {e}"))?;
+                    let header = Json::parse(trimmed)
+                        .map_err(|e| CheckpointError::BadHeader(e.to_string()))?;
                     match header.get("schema").and_then(Json::as_str) {
                         Some(CHECKPOINT_SCHEMA) => {}
                         other => {
-                            return Err(format!(
-                            "checkpoint schema mismatch: want {CHECKPOINT_SCHEMA}, got {other:?}"
-                        ))
+                            return Err(CheckpointError::SchemaMismatch {
+                                want: CHECKPOINT_SCHEMA,
+                                got: other.map(str::to_owned),
+                            })
                         }
                     }
                     header_seen = true;
@@ -95,6 +152,9 @@ impl CheckpointStore {
                     else {
                         break;
                     };
+                    if entries.get(key).is_some_and(|prev| prev != value) {
+                        return Err(CheckpointError::ConflictingDuplicate(key.to_owned()));
+                    }
                     entries.insert(key.to_owned(), value.clone());
                 }
                 valid_end += line.len() as u64;
@@ -105,16 +165,16 @@ impl CheckpointStore {
             .truncate(false)
             .write(true)
             .open(path)
-            .map_err(|e| format!("cannot open checkpoint {}: {e}", path.display()))?;
+            .map_err(|e| io(format!("cannot open: {e}")))?;
         sink.set_len(valid_end)
-            .map_err(|e| format!("cannot trim checkpoint: {e}"))?;
+            .map_err(|e| io(format!("cannot trim: {e}")))?;
         sink.seek(SeekFrom::End(0))
-            .map_err(|e| format!("cannot seek checkpoint: {e}"))?;
+            .map_err(|e| io(format!("cannot seek: {e}")))?;
         if valid_end == 0 {
             let header =
                 Json::obj([("schema".to_owned(), Json::Str(CHECKPOINT_SCHEMA.to_owned()))]);
             writeln!(sink, "{}", header.to_compact())
-                .map_err(|e| format!("cannot write checkpoint header: {e}"))?;
+                .map_err(|e| io(format!("cannot write header: {e}")))?;
         }
         Ok(Self {
             entries: Mutex::new(entries),
@@ -251,8 +311,70 @@ mod tests {
     fn rejects_wrong_schema() {
         let path = tmp("schema");
         std::fs::write(&path, "{\"schema\":\"other/9\"}\n").unwrap();
-        assert!(CheckpointStore::open(&path).is_err());
+        assert_eq!(
+            CheckpointStore::open(&path).unwrap_err(),
+            CheckpointError::SchemaMismatch {
+                want: CHECKPOINT_SCHEMA,
+                got: Some("other/9".to_owned())
+            }
+        );
+        std::fs::write(&path, "{\"version\":1}\n").unwrap();
+        assert_eq!(
+            CheckpointStore::open(&path).unwrap_err(),
+            CheckpointError::SchemaMismatch {
+                want: CHECKPOINT_SCHEMA,
+                got: None
+            }
+        );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_unparseable_header() {
+        let path = tmp("badheader");
+        std::fs::write(&path, "not json at all\n").unwrap();
+        assert!(matches!(
+            CheckpointStore::open(&path).unwrap_err(),
+            CheckpointError::BadHeader(_)
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_conflicting_duplicate_but_keeps_identical_rewrites() {
+        let path = tmp("dup");
+        let _ = std::fs::remove_file(&path);
+        let header = format!("{{\"schema\":\"{CHECKPOINT_SCHEMA}\"}}\n");
+        // identical re-append (a legitimately re-run block): loads fine
+        std::fs::write(
+            &path,
+            format!("{header}{{\"key\":\"a\",\"value\":1}}\n{{\"key\":\"a\",\"value\":1}}\n"),
+        )
+        .unwrap();
+        assert_eq!(CheckpointStore::open(&path).unwrap().len(), 1);
+        // same key, different value: two incompatible runs shared the
+        // file — refuse to replay either
+        std::fs::write(
+            &path,
+            format!("{header}{{\"key\":\"a\",\"value\":1}}\n{{\"key\":\"a\",\"value\":2}}\n"),
+        )
+        .unwrap();
+        assert_eq!(
+            CheckpointStore::open(&path).unwrap_err(),
+            CheckpointError::ConflictingDuplicate("a".to_owned())
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn io_errors_are_typed() {
+        let dir = std::env::temp_dir().join("foldic-fault-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        // opening a directory as a checkpoint file fails with Io
+        assert!(matches!(
+            CheckpointStore::open(&dir).unwrap_err(),
+            CheckpointError::Io { .. }
+        ));
     }
 
     #[test]

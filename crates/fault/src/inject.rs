@@ -14,8 +14,81 @@
 //! [`fault_point`] at every stage boundary.
 
 use crate::{FaultCause, FlowError, FlowStage};
+use std::fmt;
 use std::str::FromStr;
 use std::sync::RwLock;
+
+/// Why a fault spec was rejected. Typed (rather than a bare message) so
+/// callers can distinguish operator typos from structural problems and
+/// tests can assert on the exact rejection path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// An entry does not have 2–4 `:`-separated parts.
+    Malformed(String),
+    /// The stage name is not one of [`FlowStage::ALL`].
+    UnknownStage {
+        /// The offending entry.
+        entry: String,
+        /// The unrecognized stage name.
+        stage: String,
+    },
+    /// An entry names an empty block pattern.
+    EmptyBlock(String),
+    /// The kind is not `panic`, `error`, or `slow`.
+    UnknownKind {
+        /// The offending entry.
+        entry: String,
+        /// The unrecognized kind name.
+        kind: String,
+    },
+    /// The attempts bound is not a non-negative integer.
+    BadAttempts(String),
+    /// Two entries target the same `(stage, block)` site; the second
+    /// would be dead (first match fires) and is almost certainly a typo.
+    Duplicate(String),
+    /// The spec contains no entries at all.
+    Empty,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Malformed(entry) => {
+                write!(
+                    f,
+                    "malformed fault `{entry}` (want stage:block[:kind[:attempts]])"
+                )
+            }
+            PlanError::UnknownStage { entry, stage } => {
+                write!(f, "fault `{entry}`: unknown flow stage `{stage}`")
+            }
+            PlanError::EmptyBlock(entry) => {
+                write!(f, "fault `{entry}` has an empty block pattern")
+            }
+            PlanError::UnknownKind { entry, kind } => {
+                write!(
+                    f,
+                    "fault `{entry}`: unknown fault kind `{kind}` (panic|error|slow)"
+                )
+            }
+            PlanError::BadAttempts(entry) => {
+                write!(
+                    f,
+                    "fault `{entry}`: attempts must be a non-negative integer"
+                )
+            }
+            PlanError::Duplicate(entry) => {
+                write!(
+                    f,
+                    "fault `{entry}` duplicates an earlier entry for the same stage and block"
+                )
+            }
+            PlanError::Empty => f.write_str("empty fault spec"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// What an injected fault does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,8 +97,12 @@ pub enum FaultKind {
     Panic,
     /// Return `Err(FlowError)` from the stage (exercises typed errors).
     Error,
-    /// Sleep briefly, then succeed (exercises scheduling independence —
-    /// a slow block must not change any result).
+    /// Stall the stage. Without an active stage deadline this is a brief
+    /// fixed sleep that then succeeds (exercises scheduling independence
+    /// — a slow block must not change any result). Under an active stage
+    /// budget it models a *hung* kernel: the stall lasts until the
+    /// deadline layer cancels it, deterministically producing a
+    /// `TimedOut` failure — the e2e fixture for deadline testing.
     Slow,
 }
 
@@ -102,32 +179,42 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed entry.
-    pub fn parse(spec: &str) -> Result<Self, String> {
-        let mut faults = Vec::new();
+    /// Returns a typed [`PlanError`] describing the first rejected
+    /// entry: malformed shape, unknown stage or kind, empty block,
+    /// non-integer attempts, or a duplicate `(stage, block)` site.
+    pub fn parse(spec: &str) -> Result<Self, PlanError> {
+        let mut faults: Vec<InjectedFault> = Vec::new();
         for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
-            let parts: Vec<&str> = entry.trim().split(':').collect();
+            let entry = entry.trim();
+            let parts: Vec<&str> = entry.split(':').collect();
             if parts.len() < 2 || parts.len() > 4 {
-                return Err(format!(
-                    "malformed fault `{entry}` (want stage:block[:kind[:attempts]])"
-                ));
+                return Err(PlanError::Malformed(entry.to_owned()));
             }
-            let stage = FlowStage::from_str(parts[0])?;
+            let stage = FlowStage::from_str(parts[0]).map_err(|_| PlanError::UnknownStage {
+                entry: entry.to_owned(),
+                stage: parts[0].to_owned(),
+            })?;
             let block = parts[1];
             if block.is_empty() {
-                return Err(format!("fault `{entry}` has an empty block pattern"));
+                return Err(PlanError::EmptyBlock(entry.to_owned()));
             }
             let kind = match parts.get(2) {
-                Some(k) => FaultKind::from_str(k)?,
+                Some(k) => FaultKind::from_str(k).map_err(|_| PlanError::UnknownKind {
+                    entry: entry.to_owned(),
+                    kind: (*k).to_owned(),
+                })?,
                 None => FaultKind::Error,
             };
             let attempts = match parts.get(3) {
                 Some(n) => Some(
                     n.parse::<u32>()
-                        .map_err(|_| format!("fault `{entry}`: attempts must be a number"))?,
+                        .map_err(|_| PlanError::BadAttempts(entry.to_owned()))?,
                 ),
                 None => None,
             };
+            if faults.iter().any(|f| f.stage == stage && f.block == block) {
+                return Err(PlanError::Duplicate(entry.to_owned()));
+            }
             faults.push(InjectedFault {
                 stage,
                 block: block.to_owned(),
@@ -136,7 +223,7 @@ impl FaultPlan {
             });
         }
         if faults.is_empty() {
-            return Err("empty fault spec".to_owned());
+            return Err(PlanError::Empty);
         }
         Ok(Self { faults })
     }
@@ -256,7 +343,9 @@ pub fn fault_plan_active() -> bool {
 /// # Errors
 ///
 /// Returns `Err(FlowError)` with [`FaultCause::Injected`] when an
-/// `error`-kind fault fires at this site.
+/// `error`-kind fault fires at this site, or with
+/// [`FaultCause::TimedOut`] when a `slow`-kind fault stalls past an
+/// active stage deadline.
 ///
 /// # Panics
 ///
@@ -271,8 +360,7 @@ pub fn fault_point(stage: FlowStage, block: &str, attempt: u32) -> Result<(), Fl
         None => Ok(()),
         Some(FaultKind::Slow) => {
             drop(guard);
-            std::thread::sleep(std::time::Duration::from_millis(25));
-            Ok(())
+            crate::deadline::injected_slow_stall()
         }
         Some(FaultKind::Error) => Err(FlowError {
             stage,
@@ -306,6 +394,66 @@ mod tests {
         assert!(FaultPlan::parse("route:").is_err());
         assert!(FaultPlan::parse("").is_err());
         assert!(FaultPlan::parse("route:x:panic:abc").is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_typed_per_rejection_path() {
+        use PlanError::*;
+        assert_eq!(
+            FaultPlan::parse("route").unwrap_err(),
+            Malformed("route".to_owned())
+        );
+        assert_eq!(
+            FaultPlan::parse("a:b:c:d:e").unwrap_err(),
+            Malformed("a:b:c:d:e".to_owned())
+        );
+        assert_eq!(
+            FaultPlan::parse("warp:dec").unwrap_err(),
+            UnknownStage {
+                entry: "warp:dec".to_owned(),
+                stage: "warp".to_owned()
+            }
+        );
+        assert_eq!(
+            FaultPlan::parse("route:").unwrap_err(),
+            EmptyBlock("route:".to_owned())
+        );
+        assert_eq!(
+            FaultPlan::parse("route:dec:hang").unwrap_err(),
+            UnknownKind {
+                entry: "route:dec:hang".to_owned(),
+                kind: "hang".to_owned()
+            }
+        );
+        for bad in [
+            "route:dec:panic:-1",
+            "route:dec:panic:1.5",
+            "route:dec:panic:x",
+        ] {
+            assert_eq!(
+                FaultPlan::parse(bad).unwrap_err(),
+                BadAttempts(bad.to_owned()),
+                "{bad}"
+            );
+        }
+        assert_eq!(
+            FaultPlan::parse("route:dec:panic,route:dec:error").unwrap_err(),
+            Duplicate("route:dec:error".to_owned())
+        );
+        // same block at a different stage is not a duplicate
+        assert!(FaultPlan::parse("route:dec:panic,sta:dec:error").is_ok());
+        assert_eq!(FaultPlan::parse(" , ,").unwrap_err(), Empty);
+        // every variant renders a human-readable message
+        for spec in [
+            "route",
+            "warp:dec",
+            "route:",
+            "route:dec:hang",
+            "route:d:p:9.1",
+            "",
+        ] {
+            assert!(!FaultPlan::parse(spec).unwrap_err().to_string().is_empty());
+        }
     }
 
     #[test]

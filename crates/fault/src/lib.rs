@@ -28,11 +28,18 @@
 //! before they reach any comparison.
 
 pub mod checkpoint;
+pub mod deadline;
 pub mod inject;
 pub mod retry;
 
-pub use checkpoint::CheckpointStore;
-pub use inject::{clear_fault_plan, fault_point, install_fault_plan, FaultKind, FaultPlan};
+pub use checkpoint::{CheckpointError, CheckpointStore};
+pub use deadline::{
+    clear_deadline, deadline_active, install_deadline, BudgetSplit, CancelToken, Deadline,
+    DeadlinePolicy, Watchdog,
+};
+pub use inject::{
+    clear_fault_plan, fault_point, install_fault_plan, FaultKind, FaultPlan, PlanError,
+};
 pub use retry::{isolate, log_fault, take_fault_log, Disposition, FaultRecord, RetryPolicy};
 
 use std::fmt;
@@ -120,6 +127,11 @@ pub enum FaultCause {
     /// A stage reported an internal failure (numerical breakdown,
     /// resource exhaustion, …) that a perturbed retry may avoid.
     Stage(String),
+    /// The stage overran its wall-clock budget (or the run was
+    /// cancelled) and was cooperatively stopped at a poll point. A retry
+    /// gets a larger share of the remaining budget, so this is
+    /// recoverable.
+    TimedOut(String),
 }
 
 impl FaultCause {
@@ -129,7 +141,8 @@ impl FaultCause {
             FaultCause::Invalid(m)
             | FaultCause::Injected(m)
             | FaultCause::Panic(m)
-            | FaultCause::Stage(m) => m,
+            | FaultCause::Stage(m)
+            | FaultCause::TimedOut(m) => m,
         }
     }
 
@@ -140,6 +153,7 @@ impl FaultCause {
             FaultCause::Injected(_) => "injected",
             FaultCause::Panic(_) => "panic",
             FaultCause::Stage(_) => "stage",
+            FaultCause::TimedOut(_) => "timed_out",
         }
     }
 }
@@ -191,6 +205,20 @@ impl FlowError {
             block: None,
             cause: FaultCause::Panic(msg.into()),
         }
+    }
+
+    /// A wall-clock timeout (recoverable — retries get a larger budget).
+    pub fn timed_out(stage: FlowStage, msg: impl Into<String>) -> Self {
+        Self {
+            stage,
+            block: None,
+            cause: FaultCause::TimedOut(msg.into()),
+        }
+    }
+
+    /// `true` when the failure was a wall-clock timeout.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self.cause, FaultCause::TimedOut(_))
     }
 
     /// Attributes the error to a block (keeps an existing attribution).
@@ -249,6 +277,9 @@ mod tests {
         assert!(FlowError::stage(FlowStage::Place, "diverged").recoverable());
         assert!(FlowError::injected(FlowStage::Route, "x").recoverable());
         assert!(FlowError::panic("boom").recoverable());
+        let timeout = FlowError::timed_out(FlowStage::Route, "budget spent");
+        assert!(timeout.recoverable() && timeout.is_timeout());
+        assert_eq!(timeout.cause.label(), "timed_out");
         assert!(!FlowError::invalid(FlowStage::Validate, "bad outline").recoverable());
     }
 

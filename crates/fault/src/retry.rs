@@ -5,6 +5,7 @@ use foldic_obs::json::Json;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// How often a failing block is retried before it degrades.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,11 +14,19 @@ pub struct RetryPolicy {
     /// retries). Retries perturb the heuristic seeds and progressively
     /// relax the stage configuration; `1` disables retrying.
     pub max_attempts: u32,
+    /// Wait between attempts. The wait is cancellable: when the run's
+    /// deadline token trips mid-backoff the block stops retrying and
+    /// degrades instead of sleeping past the budget. Zero (the default)
+    /// retries immediately.
+    pub backoff: Duration,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        Self { max_attempts: 3 }
+        Self {
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+        }
     }
 }
 
@@ -26,7 +35,14 @@ impl RetryPolicy {
     pub fn attempts(n: u32) -> Self {
         Self {
             max_attempts: n.max(1),
+            ..Self::default()
         }
+    }
+
+    /// The same policy with a backoff between attempts.
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
     }
 }
 
@@ -71,27 +87,35 @@ pub struct FaultRecord {
     pub attempts: u32,
     /// Final outcome.
     pub disposition: Disposition,
+    /// `true` when the last failure was a wall-clock timeout
+    /// ([`FaultCause::TimedOut`](crate::FaultCause::TimedOut)); such
+    /// records land in the manifest's `timeouts` section instead of
+    /// `faults`.
+    pub timed_out: bool,
 }
 
 impl fmt::Display for FaultRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}/{}: {} {} after {} attempt{}",
+            "{}/{}: {} {} after {} attempt{}{}",
             self.scope,
             self.block,
             self.stage,
             self.disposition,
             self.attempts,
-            if self.attempts == 1 { "" } else { "s" }
+            if self.attempts == 1 { "" } else { "s" },
+            if self.timed_out { " (timed out)" } else { "" }
         )
     }
 }
 
 impl FaultRecord {
-    /// JSON form for manifests and checkpoints.
+    /// JSON form for manifests and checkpoints. The `timed_out` key is
+    /// only written when set, so records from runs without deadlines
+    /// serialize byte-identically to the pre-deadline format.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("scope".to_owned(), Json::Str(self.scope.clone())),
             ("block".to_owned(), Json::Str(self.block.clone())),
             (
@@ -103,7 +127,11 @@ impl FaultRecord {
                 "disposition".to_owned(),
                 Json::Str(self.disposition.as_str().to_owned()),
             ),
-        ])
+        ];
+        if self.timed_out {
+            fields.push(("timed_out".to_owned(), Json::Bool(true)));
+        }
+        Json::obj(fields)
     }
 
     /// The manifest-side mirror of this record (plain strings, so
@@ -122,7 +150,9 @@ impl FaultRecord {
     ///
     /// # Errors
     ///
-    /// Returns a message when a field is missing or malformed.
+    /// Returns a message when a field is missing or malformed —
+    /// including a non-numeric, negative, fractional, or out-of-range
+    /// `attempts` count, which older versions silently truncated.
     pub fn from_json(json: &Json) -> Result<Self, String> {
         let text = |key: &str| -> Result<String, String> {
             json.get(key)
@@ -136,12 +166,30 @@ impl FaultRecord {
             "degraded" => Disposition::Degraded,
             other => return Err(format!("unknown disposition `{other}`")),
         };
+        let attempts = match json.get("attempts") {
+            None => 1,
+            Some(v) => {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| "fault record `attempts` is not a number".to_owned())?;
+                if !n.is_finite() || n < 0.0 || n.fract() != 0.0 || n > f64::from(u32::MAX) {
+                    return Err(format!("fault record `attempts` out of range: {n}"));
+                }
+                n as u32
+            }
+        };
+        let timed_out = match json.get("timed_out") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err("fault record `timed_out` is not a bool".to_owned()),
+        };
         Ok(Self {
             scope: text("scope")?,
             block: text("block")?,
             stage,
-            attempts: json.get("attempts").and_then(Json::as_f64).unwrap_or(1.0) as u32,
+            attempts,
             disposition,
+            timed_out,
         })
     }
 }
@@ -211,6 +259,7 @@ mod tests {
             stage: FlowStage::Route,
             attempts: 3,
             disposition: Disposition::Degraded,
+            timed_out: false,
         };
         let back = FaultRecord::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
@@ -238,5 +287,68 @@ mod tests {
     fn retry_policy_clamps() {
         assert_eq!(RetryPolicy::attempts(0).max_attempts, 1);
         assert_eq!(RetryPolicy::default().max_attempts, 3);
+        assert_eq!(RetryPolicy::default().backoff, Duration::ZERO);
+        let with = RetryPolicy::attempts(2).with_backoff(Duration::from_millis(10));
+        assert_eq!(with.backoff, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn timed_out_records_mark_display_and_json_but_stay_backward_compatible() {
+        let mut r = FaultRecord {
+            scope: "2d".into(),
+            block: "ccx".into(),
+            stage: FlowStage::Route,
+            attempts: 2,
+            disposition: Disposition::Degraded,
+            timed_out: true,
+        };
+        assert!(r.to_string().ends_with("after 2 attempts (timed out)"));
+        let back = FaultRecord::from_json(&r.to_json()).unwrap();
+        assert!(back.timed_out);
+        // a plain record's JSON has no timed_out key at all, so old
+        // checkpoints and manifests are byte-identical
+        r.timed_out = false;
+        assert!(!r.to_json().to_compact().contains("timed_out"));
+        assert!(!r.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_attempts_and_flags() {
+        let base = FaultRecord {
+            scope: "s".into(),
+            block: "b".into(),
+            stage: FlowStage::Sta,
+            attempts: 1,
+            disposition: Disposition::Recovered,
+            timed_out: false,
+        };
+        let with = |key: &str, value: Json| {
+            let mut json = base.to_json();
+            if let Some(obj) = json.as_obj_mut() {
+                obj.insert(key.to_owned(), value);
+            }
+            json
+        };
+        for bad in [
+            Json::Num(-1.0),
+            Json::Num(1.5),
+            Json::Num(f64::NAN),
+            Json::Num(f64::INFINITY),
+            Json::Num(5e12),
+            Json::Str("three".into()),
+        ] {
+            let json = with("attempts", bad.clone());
+            assert!(
+                FaultRecord::from_json(&json).is_err(),
+                "attempts {bad:?} must be rejected"
+            );
+        }
+        assert!(FaultRecord::from_json(&with("timed_out", Json::Num(1.0))).is_err());
+        // a missing attempts key still defaults to 1 (legacy records)
+        let mut json = base.to_json();
+        if let Some(obj) = json.as_obj_mut() {
+            obj.remove("attempts");
+        }
+        assert_eq!(FaultRecord::from_json(&json).unwrap().attempts, 1);
     }
 }

@@ -1,0 +1,251 @@
+//! Adversarial property tests for the fault-layer parsers: the
+//! `--faults` spec grammar, the fault-record JSON schema, and the
+//! checkpoint store's file loader. All three ingest operator-typed or
+//! on-disk input, so the property under test is the same everywhere:
+//! arbitrary input yields `Ok` or a typed `Err`, never a panic.
+//!
+//! Seeding matches `crates/obs/tests/json_fuzz.rs`: `FOLDIC_FUZZ_SEED`
+//! (decimal u64) when set, a fixed default otherwise.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use foldic_fault::{CheckpointStore, FaultPlan, FaultRecord, FlowStage};
+use foldic_obs::json::Json;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ITERS: usize = 10_000;
+
+fn fuzz_seed() -> u64 {
+    std::env::var("FOLDIC_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xDAC1_4F00D)
+}
+
+const KINDS: &[&str] = &["panic", "error", "slow"];
+
+/// Spec soup biased toward the grammar's own tokens, so inputs routinely
+/// get past the stage name and into the kind/attempts tail.
+fn random_spec(rng: &mut StdRng) -> String {
+    let mut spec = String::new();
+    for i in 0..rng.gen_range(0..6usize) {
+        if i > 0 {
+            spec.push(',');
+        }
+        for _ in 0..rng.gen_range(0..5usize) {
+            if rng.gen_bool(0.6) {
+                let word = match rng.gen_range(0..4u32) {
+                    0 => FlowStage::ALL[rng.gen_range(0..FlowStage::ALL.len())].as_str(),
+                    1 => KINDS[rng.gen_range(0..KINDS.len())],
+                    2 => "*",
+                    _ => "ccx",
+                };
+                spec.push_str(word);
+            } else {
+                const BYTES: &[u8] = br#":,* -18xq\t"#;
+                spec.push(BYTES[rng.gen_range(0..BYTES.len())] as char);
+            }
+            if rng.gen_bool(0.5) {
+                spec.push(':');
+            }
+        }
+    }
+    spec
+}
+
+#[test]
+fn fault_plan_parse_never_panics() {
+    let mut rng = StdRng::seed_from_u64(fuzz_seed());
+    for i in 0..ITERS {
+        let spec = random_spec(&mut rng);
+        let result = std::panic::catch_unwind(|| FaultPlan::parse(&spec).is_ok());
+        assert!(
+            result.is_ok(),
+            "FaultPlan::parse panicked on iteration {i} (seed {}): {spec:?}",
+            fuzz_seed()
+        );
+    }
+}
+
+#[test]
+fn fault_plan_spec_round_trips() {
+    // A canonical spec (what `to_spec` prints: `stage:block:kind[:n]`
+    // with unique `(stage, block)` sites) must survive parse → to_spec
+    // byte-identically — that string lands in run manifests.
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x706C_616E);
+    const BLOCKS: &[&str] = &["ccx", "spc*", "*", "mcu0", "l2b", "dec"];
+    for i in 0..ITERS {
+        let mut sites = Vec::new();
+        let mut seen = Vec::new();
+        for _ in 0..rng.gen_range(1..5usize) {
+            let stage = FlowStage::ALL[rng.gen_range(0..FlowStage::ALL.len())];
+            let block = BLOCKS[rng.gen_range(0..BLOCKS.len())];
+            if seen.contains(&(stage, block)) {
+                continue; // duplicate sites are a parse error by design
+            }
+            seen.push((stage, block));
+            let mut entry = format!("{stage}:{block}:{}", KINDS[rng.gen_range(0..KINDS.len())]);
+            if rng.gen() {
+                entry.push_str(&format!(":{}", rng.gen_range(0..9u32)));
+            }
+            sites.push(entry);
+        }
+        let spec = sites.join(",");
+        let plan = FaultPlan::parse(&spec)
+            .unwrap_or_else(|e| panic!("canonical spec rejected on iteration {i}: {e}\n{spec}"));
+        assert_eq!(plan.to_spec(), spec, "iteration {i} (seed {})", fuzz_seed());
+    }
+}
+
+/// Random JSON in the neighborhood of the fault-record schema: right
+/// keys with wrong types, missing keys, junk keys, wrong enum strings.
+fn random_record_json(rng: &mut StdRng) -> Json {
+    let mut map = BTreeMap::new();
+    for key in [
+        "scope",
+        "block",
+        "stage",
+        "attempts",
+        "disposition",
+        "timed_out",
+    ] {
+        if rng.gen_bool(0.8) {
+            let value = match rng.gen_range(0..5u32) {
+                0 => Json::Str(
+                    ["route", "degraded", "ccx", "recovered", "bogus", ""]
+                        [rng.gen_range(0..6usize)]
+                    .to_owned(),
+                ),
+                1 => Json::Num(match rng.gen_range(0..5u32) {
+                    0 => f64::from(rng.gen_range(-3..10i32)),
+                    1 => 2.5,
+                    2 => f64::NAN,
+                    3 => f64::INFINITY,
+                    _ => 1e300,
+                }),
+                2 => Json::Bool(rng.gen()),
+                3 => Json::Null,
+                _ => Json::Arr(vec![Json::Num(1.0)]),
+            };
+            map.insert(key.to_owned(), value);
+        }
+    }
+    Json::Obj(map)
+}
+
+#[test]
+fn fault_record_from_json_never_panics_and_round_trips() {
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x7265_636F);
+    for i in 0..ITERS {
+        // schema-shaped junk: typed error or a valid record, no unwind
+        let junk = random_record_json(&mut rng);
+        let result = std::panic::catch_unwind(|| FaultRecord::from_json(&junk).is_ok());
+        assert!(
+            result.is_ok(),
+            "from_json panicked on iteration {i} (seed {}): {}",
+            fuzz_seed(),
+            junk.to_compact()
+        );
+        // a real record must survive to_json → from_json exactly
+        let record = FaultRecord {
+            scope: ["2d", "core_cache", "folded_f2b.dvt"][rng.gen_range(0..3usize)].to_owned(),
+            block: "ccx".to_owned(),
+            stage: FlowStage::ALL[rng.gen_range(0..FlowStage::ALL.len())],
+            attempts: rng.gen_range(0..5u32),
+            disposition: if rng.gen() {
+                foldic_fault::Disposition::Recovered
+            } else {
+                foldic_fault::Disposition::Degraded
+            },
+            timed_out: rng.gen(),
+        };
+        assert_eq!(
+            FaultRecord::from_json(&record.to_json()),
+            Ok(record),
+            "iteration {i} (seed {})",
+            fuzz_seed()
+        );
+    }
+}
+
+fn scratch_file(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "foldic-parser-fuzz-{}-{tag}.jsonl",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn checkpoint_open_never_panics_on_corrupt_files() {
+    // Fewer iterations than the pure parsers: every round touches disk.
+    // Each input is a corrupted derivative of a real store file, which
+    // exercises the header check, torn-tail trim and duplicate scan far
+    // more often than raw noise would.
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x636B_7074);
+    let path = scratch_file("corrupt");
+    let valid = {
+        let _ = std::fs::remove_file(&path);
+        let store = CheckpointStore::open(&path).expect("fresh store opens");
+        store.put("2d/ccx", Json::Num(1.0));
+        store.put("core_cache/ccx", Json::Str("ok".to_owned()));
+        drop(store);
+        std::fs::read(&path).expect("store file readable")
+    };
+    for i in 0..1_000 {
+        let mut bytes = valid.clone();
+        match rng.gen_range(0..4u32) {
+            // truncate anywhere, including mid-line (a killed append)
+            0 => bytes.truncate(rng.gen_range(0..bytes.len() + 1)),
+            // flip a byte
+            1 => {
+                let pos = rng.gen_range(0..bytes.len());
+                bytes[pos] = (rng.gen::<u64>() & 0xff) as u8;
+            }
+            // splice in a junk line
+            2 => {
+                let pos = rng.gen_range(0..bytes.len());
+                let mut junk = random_spec(&mut rng).into_bytes();
+                junk.push(b'\n');
+                bytes.splice(pos..pos, junk);
+            }
+            // pure noise
+            _ => {
+                bytes = (0..rng.gen_range(0..128usize))
+                    .map(|_| (rng.gen::<u64>() & 0xff) as u8)
+                    .collect();
+            }
+        }
+        std::fs::write(&path, &bytes).expect("write corrupt candidate");
+        let result = std::panic::catch_unwind(|| CheckpointStore::open(&path).is_ok());
+        assert!(
+            result.is_ok(),
+            "CheckpointStore::open panicked on iteration {i} (seed {}): {} bytes",
+            fuzz_seed(),
+            bytes.len()
+        );
+        // `open` may have trimmed the file; restore a pristine copy of
+        // the valid image for the next round's corruption.
+        std::fs::write(&path, &valid).expect("restore valid image");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_survives_torn_tail_and_replays_intact_prefix() {
+    let path = scratch_file("torn");
+    let _ = std::fs::remove_file(&path);
+    {
+        let store = CheckpointStore::open(&path).expect("fresh store opens");
+        store.put("2d/ccx", Json::Num(42.0));
+        store.put("2d/dec", Json::Num(7.0));
+    }
+    // chop the last line mid-entry, as a kill during append would
+    let bytes = std::fs::read(&path).expect("readable");
+    std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("tear tail");
+    let store = CheckpointStore::open(&path).expect("torn store still opens");
+    assert_eq!(store.get("2d/ccx"), Some(Json::Num(42.0)));
+    assert_eq!(store.get("2d/dec"), None, "torn entry must be dropped");
+    let _ = std::fs::remove_file(&path);
+}

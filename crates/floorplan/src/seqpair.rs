@@ -192,6 +192,10 @@ pub fn anneal_floorplan(
     let mut t = cfg.t0 * best_cost;
     let _span = foldic_obs::span!("floorplan_sa", blocks = n, steps = cfg.steps);
     for step in 0..cfg.steps {
+        // cooperative deadline checkpoint, once per temperature step —
+        // never per move; SA is infallible, so a trip unwinds to the
+        // caller's isolate boundary
+        foldic_fault::deadline::poll_unwind();
         // Sampled observability: accumulate locally and flush once per
         // temperature step — never a hook per move.
         let mut accepts = 0u64;

@@ -159,6 +159,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -199,9 +200,17 @@ fn write_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Deepest container nesting [`Json::parse`] accepts. The parser is
+/// recursive descent, so without a bound adversarial input like
+/// `"[[[[…"` overflows the stack instead of returning an error. Real
+/// manifests/checkpoints nest a handful of levels; 128 is far above any
+/// legitimate document and far below stack exhaustion.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -226,6 +235,17 @@ impl<'a> Parser<'a> {
         } else {
             Err(format!("expected `{}` at byte {}", b as char, self.pos))
         }
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
     }
 
     fn value(&mut self) -> Result<Json, String> {
@@ -324,11 +344,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -339,6 +361,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
@@ -347,11 +370,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
         loop {
@@ -367,6 +392,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(map));
                 }
                 _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
@@ -434,5 +460,31 @@ mod tests {
     fn parses_unicode_and_escapes() {
         let v = Json::parse(r#"{"s": "µm \u00b5 ok"}"#).unwrap();
         assert_eq!(v.get("s").unwrap().as_str().unwrap(), "µm µ ok");
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // exactly at the limit: fine
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(Json::parse(&ok).is_ok());
+        // one past the limit: a typed error, not a crash
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH + 1),
+            "]".repeat(MAX_PARSE_DEPTH + 1)
+        );
+        assert!(Json::parse(&over).unwrap_err().contains("nesting"));
+        // adversarial megabyte-deep input must not overflow the stack
+        for open in ["[", "{\"k\":"] {
+            let bomb = open.repeat(200_000);
+            assert!(Json::parse(&bomb).unwrap_err().contains("nesting"));
+        }
+        // depth resets between siblings: wide-but-shallow stays fine
+        let wide = format!("[{}]", vec!["[1]"; 1000].join(","));
+        assert!(Json::parse(&wide).is_ok());
     }
 }

@@ -75,6 +75,11 @@ pub struct RunManifest {
     /// Fault-handling events, sorted. Empty for a clean run; manifests
     /// written before this section existed parse as empty.
     pub faults: Vec<FaultEntry>,
+    /// Wall-clock timeout events (stages cancelled by a deadline),
+    /// sorted. Same shape as `faults` but gated separately. Pay-for-use:
+    /// the key is omitted from the JSON when empty, so runs without
+    /// deadline flags serialize byte-identically to older manifests.
+    pub timeouts: Vec<FaultEntry>,
 }
 
 /// FNV-1a 64-bit digest of a report text, formatted `fnv64:<16 hex>`.
@@ -125,27 +130,32 @@ impl RunManifest {
                 )
             })
             .collect();
-        let faults = self
-            .faults
-            .iter()
-            .map(|f| {
-                Json::obj([
-                    ("scope".to_owned(), Json::Str(f.scope.clone())),
-                    ("block".to_owned(), Json::Str(f.block.clone())),
-                    ("stage".to_owned(), Json::Str(f.stage.clone())),
-                    ("attempts".to_owned(), Json::Num(f.attempts as f64)),
-                    ("disposition".to_owned(), Json::Str(f.disposition.clone())),
-                ])
-            })
-            .collect();
-        Json::obj([
+        let entries = |list: &[FaultEntry]| -> Vec<Json> {
+            list.iter()
+                .map(|f| {
+                    Json::obj([
+                        ("scope".to_owned(), Json::Str(f.scope.clone())),
+                        ("block".to_owned(), Json::Str(f.block.clone())),
+                        ("stage".to_owned(), Json::Str(f.stage.clone())),
+                        ("attempts".to_owned(), Json::Num(f.attempts as f64)),
+                        ("disposition".to_owned(), Json::Str(f.disposition.clone())),
+                    ])
+                })
+                .collect()
+        };
+        let mut fields = vec![
             ("schema".to_owned(), Json::Str(SCHEMA.to_owned())),
             ("config".to_owned(), Json::Obj(config)),
             ("timing".to_owned(), self.timing.clone()),
             ("metrics".to_owned(), self.metrics.to_json()),
             ("results".to_owned(), Json::Obj(results)),
-            ("faults".to_owned(), Json::Arr(faults)),
-        ])
+            ("faults".to_owned(), Json::Arr(entries(&self.faults))),
+        ];
+        // pay-for-use: deadline-less runs keep the pre-timeouts layout
+        if !self.timeouts.is_empty() {
+            fields.push(("timeouts".to_owned(), Json::Arr(entries(&self.timeouts))));
+        }
+        Json::obj(fields)
     }
 
     /// Pretty JSON text of [`RunManifest::to_json`].
@@ -189,25 +199,31 @@ impl RunManifest {
                 );
             }
         }
-        // manifests predating the fault section simply have none
-        if let Some(Json::Arr(faults)) = json.get("faults") {
-            for (i, f) in faults.iter().enumerate() {
-                let text = |key: &str| -> Result<String, String> {
-                    f.get(key)
-                        .and_then(Json::as_str)
-                        .map(str::to_owned)
-                        .ok_or_else(|| format!("faults[{i}].{key} missing"))
-                };
-                manifest.faults.push(FaultEntry {
-                    scope: text("scope")?,
-                    block: text("block")?,
-                    stage: text("stage")?,
-                    attempts: f.get("attempts").and_then(Json::as_f64).unwrap_or(1.0) as u64,
-                    disposition: text("disposition")?,
-                });
+        // manifests predating the fault/timeout sections simply have none
+        let read_entries = |section: &str| -> Result<Vec<FaultEntry>, String> {
+            let mut out = Vec::new();
+            if let Some(Json::Arr(list)) = json.get(section) {
+                for (i, f) in list.iter().enumerate() {
+                    let text = |key: &str| -> Result<String, String> {
+                        f.get(key)
+                            .and_then(Json::as_str)
+                            .map(str::to_owned)
+                            .ok_or_else(|| format!("{section}[{i}].{key} missing"))
+                    };
+                    out.push(FaultEntry {
+                        scope: text("scope")?,
+                        block: text("block")?,
+                        stage: text("stage")?,
+                        attempts: f.get("attempts").and_then(Json::as_f64).unwrap_or(1.0) as u64,
+                        disposition: text("disposition")?,
+                    });
+                }
+                out.sort();
             }
-            manifest.faults.sort();
-        }
+            Ok(out)
+        };
+        manifest.faults = read_entries("faults")?;
+        manifest.timeouts = read_entries("timeouts")?;
         Ok(manifest)
     }
 
@@ -303,44 +319,54 @@ pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: CompareConfig) -> Co
     // Fault gate: a block that newly degrades (relative to the baseline)
     // is a regression — its numbers are estimates, not flow results. A
     // fault that clears, or degrades into a mere recovery, is an
-    // improvement and reported as a change.
-    let base_faults: BTreeMap<String, &FaultEntry> =
-        base.faults.iter().map(|f| (f.site(), f)).collect();
-    let cand_faults: BTreeMap<String, &FaultEntry> =
-        cand.faults.iter().map(|f| (f.site(), f)).collect();
-    for (site, cf) in &cand_faults {
-        out.compared += 1;
-        let newly_degraded = cf.disposition == "degraded"
-            && base_faults
-                .get(site)
-                .is_none_or(|bf| bf.disposition != "degraded");
-        if newly_degraded {
-            out.regressions.push(format!(
-                "fault {site}: newly degraded at {} after {} attempts",
-                cf.stage, cf.attempts
-            ));
-        } else {
-            match base_faults.get(site) {
-                Some(bf) if *bf == *cf => {}
-                Some(bf) => out.changes.push(format!(
-                    "fault {site}: {} {} -> {} {}",
-                    bf.stage, bf.disposition, cf.stage, cf.disposition
-                )),
-                None => out.changes.push(format!(
-                    "fault {site}: new {} at {}",
-                    cf.disposition, cf.stage
-                )),
+    // improvement and reported as a change. The `timeouts` section is
+    // gated by the same rule under its own label.
+    fn gate_entries(
+        out: &mut CompareOutcome,
+        label: &str,
+        base: &[FaultEntry],
+        cand: &[FaultEntry],
+    ) {
+        let base_entries: BTreeMap<String, &FaultEntry> =
+            base.iter().map(|f| (f.site(), f)).collect();
+        let cand_entries: BTreeMap<String, &FaultEntry> =
+            cand.iter().map(|f| (f.site(), f)).collect();
+        for (site, cf) in &cand_entries {
+            out.compared += 1;
+            let newly_degraded = cf.disposition == "degraded"
+                && base_entries
+                    .get(site)
+                    .is_none_or(|bf| bf.disposition != "degraded");
+            if newly_degraded {
+                out.regressions.push(format!(
+                    "{label} {site}: newly degraded at {} after {} attempts",
+                    cf.stage, cf.attempts
+                ));
+            } else {
+                match base_entries.get(site) {
+                    Some(bf) if *bf == *cf => {}
+                    Some(bf) => out.changes.push(format!(
+                        "{label} {site}: {} {} -> {} {}",
+                        bf.stage, bf.disposition, cf.stage, cf.disposition
+                    )),
+                    None => out.changes.push(format!(
+                        "{label} {site}: new {} at {}",
+                        cf.disposition, cf.stage
+                    )),
+                }
+            }
+        }
+        for (site, bf) in &base_entries {
+            if !cand_entries.contains_key(site) {
+                out.changes.push(format!(
+                    "{label} {site}: cleared (was {} at {})",
+                    bf.disposition, bf.stage
+                ));
             }
         }
     }
-    for (site, bf) in &base_faults {
-        if !cand_faults.contains_key(site) {
-            out.changes.push(format!(
-                "fault {site}: cleared (was {} at {})",
-                bf.disposition, bf.stage
-            ));
-        }
-    }
+    gate_entries(&mut out, "fault", &base.faults, &cand.faults);
+    gate_entries(&mut out, "timeout", &base.timeouts, &cand.timeouts);
 
     fn check(
         out: &mut CompareOutcome,
@@ -516,6 +542,46 @@ mod tests {
         let out = compare(&base, &cand, CompareConfig::default());
         assert!(out.is_ok(), "{:?}", out.regressions);
         assert!(out.changes.iter().any(|c| c.contains("cleared")));
+    }
+
+    #[test]
+    fn timeouts_section_is_pay_for_use_and_gated_like_faults() {
+        // no timeouts: the key is absent, so the JSON is byte-identical
+        // to the pre-deadline layout
+        let m = sample();
+        assert!(m.timeouts.is_empty());
+        assert!(!m.to_json_text().contains("\"timeouts\""));
+
+        // with timeouts: round-trips and serializes deterministically
+        let mut t = sample();
+        t.timeouts.push(FaultEntry {
+            scope: "2d".into(),
+            block: "ccx".into(),
+            stage: "route".into(),
+            attempts: 2,
+            disposition: "degraded".into(),
+        });
+        let text = t.to_json_text();
+        assert!(text.contains("\"timeouts\""));
+        let back = RunManifest::parse(&text).unwrap();
+        assert_eq!(back.timeouts, t.timeouts);
+        assert_eq!(back.to_json_text(), text);
+
+        // a newly timed-out degrade is a regression, like a fault
+        let out = compare(&m, &t, CompareConfig::default());
+        assert!(!out.is_ok(), "newly timed-out block must trip the gate");
+        assert!(out.regressions.iter().any(|r| r.starts_with("timeout ")));
+
+        // the same timeout pinned in the baseline compares clean
+        assert!(compare(&t, &t, CompareConfig::default()).is_ok());
+
+        // cleared timeout: improvement, reported only
+        let out = compare(&t, &m, CompareConfig::default());
+        assert!(out.is_ok(), "{:?}", out.regressions);
+        assert!(out
+            .changes
+            .iter()
+            .any(|c| c.starts_with("timeout ") && c.contains("cleared")));
     }
 
     #[test]

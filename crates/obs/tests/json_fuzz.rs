@@ -1,0 +1,195 @@
+//! Adversarial property tests for the hand-rolled JSON parser.
+//!
+//! Two properties, each checked over 10 000 seeded iterations:
+//!
+//! 1. **Never panics**: `Json::parse` returns `Ok` or `Err` on arbitrary
+//!    input — random bytes, mutated valid documents, pathological nesting —
+//!    but never unwinds. The parser feeds on manifests and checkpoints
+//!    that may be truncated or corrupted on disk, so a panic here would
+//!    take down a resume instead of degrading it.
+//! 2. **Round-trips**: for any value the writer can produce,
+//!    `parse(serialize(v)) == v` in both compact and pretty form.
+//!
+//! The iteration stream is deterministic: seeded from `FOLDIC_FUZZ_SEED`
+//! (decimal u64) when set, a fixed default otherwise, so CI failures
+//! reproduce locally by exporting the same seed.
+
+use std::collections::BTreeMap;
+
+use foldic_obs::json::{Json, MAX_PARSE_DEPTH};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ITERS: usize = 10_000;
+
+fn fuzz_seed() -> u64 {
+    std::env::var("FOLDIC_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xDAC1_4F00D)
+}
+
+/// Random byte soup, biased toward JSON structural characters so the
+/// parser gets past the first byte often enough to exercise deep paths.
+fn random_input(rng: &mut StdRng) -> String {
+    const STRUCTURAL: &[u8] = br#"{}[]",:.-+eE0123456789truefalsn\ "#;
+    let len = rng.gen_range(0..256usize);
+    let bytes: Vec<u8> = (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.7) {
+                STRUCTURAL[rng.gen_range(0..STRUCTURAL.len())]
+            } else {
+                (rng.gen::<u64>() & 0xff) as u8
+            }
+        })
+        .collect();
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Random JSON value with container depth at most `depth` — everything
+/// the deterministic writer can emit, including the characters it must
+/// escape and keys that collide.
+fn random_value(rng: &mut StdRng, depth: usize) -> Json {
+    let top = if depth == 0 { 4 } else { 6 };
+    match rng.gen_range(0..top as u32) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen()),
+        2 => {
+            // finite floats only: the writer turns NaN/Inf into `null`,
+            // which deliberately does not round-trip as a number
+            let v = match rng.gen_range(0..4u32) {
+                0 => f64::from(rng.gen_range(-1_000_000..1_000_000i32)),
+                1 => rng.gen::<f64>() * 1e300,
+                2 => rng.gen::<f64>() * 1e-300,
+                _ => -rng.gen::<f64>(),
+            };
+            Json::Num(v)
+        }
+        3 => Json::Str(random_string(rng)),
+        4 => {
+            let n = rng.gen_range(0..5usize);
+            Json::Arr((0..n).map(|_| random_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0..5usize);
+            let mut map = BTreeMap::new();
+            for _ in 0..n {
+                map.insert(random_string(rng), random_value(rng, depth - 1));
+            }
+            Json::Obj(map)
+        }
+    }
+}
+
+fn random_string(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0..24usize);
+    (0..len)
+        .map(|_| {
+            // cover the escape table, raw control chars and multi-byte UTF-8
+            const POOL: &[char] = &[
+                'a', 'b', 'z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{8}', '\u{c}',
+                '\u{1}', '\u{1f}', 'µ', '縦', '🦀', '\u{fffd}',
+            ];
+            POOL[rng.gen_range(0..POOL.len())]
+        })
+        .collect()
+}
+
+#[test]
+fn parse_never_panics_on_random_bytes() {
+    let mut rng = StdRng::seed_from_u64(fuzz_seed());
+    for i in 0..ITERS {
+        let input = random_input(&mut rng);
+        let result = std::panic::catch_unwind(|| Json::parse(&input).is_ok());
+        assert!(
+            result.is_ok(),
+            "parse panicked on iteration {i} (seed {}): {input:?}",
+            fuzz_seed()
+        );
+    }
+}
+
+#[test]
+fn parse_never_panics_on_mutated_documents() {
+    // Mutations of a valid document get much deeper into the parser than
+    // byte soup: most inputs reach strings, numbers and nested containers
+    // before the flipped byte derails them.
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x6D75_7461);
+    for i in 0..ITERS {
+        let doc = random_value(&mut rng, 3);
+        let mut text = if rng.gen() {
+            doc.to_compact()
+        } else {
+            doc.to_pretty()
+        }
+        .into_bytes();
+        if !text.is_empty() {
+            for _ in 0..rng.gen_range(1..4usize) {
+                let pos = rng.gen_range(0..text.len());
+                match rng.gen_range(0..3u32) {
+                    0 => text[pos] = (rng.gen::<u64>() & 0xff) as u8,
+                    1 => {
+                        text.remove(pos);
+                    }
+                    _ => text.insert(pos, b"{}[],:\"\\"[rng.gen_range(0..8usize)]),
+                }
+                if text.is_empty() {
+                    break;
+                }
+            }
+        }
+        let input = String::from_utf8_lossy(&text).into_owned();
+        let result = std::panic::catch_unwind(|| Json::parse(&input).is_ok());
+        assert!(
+            result.is_ok(),
+            "parse panicked on mutated doc, iteration {i} (seed {}): {input:?}",
+            fuzz_seed()
+        );
+    }
+}
+
+#[test]
+fn serialize_parse_round_trips() {
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x726F_756E64);
+    for i in 0..ITERS {
+        let doc = random_value(&mut rng, 3);
+        for text in [doc.to_compact(), doc.to_pretty()] {
+            match Json::parse(&text) {
+                Ok(back) => assert_eq!(
+                    back,
+                    doc,
+                    "round-trip mismatch on iteration {i} (seed {}): {text}",
+                    fuzz_seed()
+                ),
+                Err(e) => panic!(
+                    "writer output rejected on iteration {i} (seed {}): {e}\n{text}",
+                    fuzz_seed()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn nesting_bombs_error_at_every_depth_past_the_limit() {
+    // Sweep random depths across the boundary: at or under the limit the
+    // document parses, past it the parser reports nesting instead of
+    // overflowing the recursion stack.
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x6465_6570);
+    for _ in 0..200 {
+        let depth = rng.gen_range(1..4 * MAX_PARSE_DEPTH);
+        let (open, close) = if rng.gen() {
+            ("[", "]")
+        } else {
+            ("{\"k\":", "}")
+        };
+        let doc = format!("{}0{}", open.repeat(depth), close.repeat(depth));
+        let parsed = Json::parse(&doc);
+        if depth <= MAX_PARSE_DEPTH {
+            assert!(parsed.is_ok(), "depth {depth} should parse");
+        } else {
+            let err = parsed.expect_err("past-limit depth must error");
+            assert!(err.contains("nesting"), "depth {depth}: {err}");
+        }
+    }
+}

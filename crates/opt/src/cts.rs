@@ -105,6 +105,9 @@ pub fn synthesize_clock_tree(netlist: &mut Netlist, tech: &Technology) -> CtsSta
     netlist.connect_driver(trunk, PinRef::output(root));
 
     for tier in Tier::ALL {
+        // cooperative deadline checkpoint, once per tier; CTS is
+        // infallible, so a trip unwinds to the caller's isolate boundary
+        foldic_fault::deadline::poll_unwind();
         let mut tier_sinks: Vec<(PinRef, Point)> = sinks
             .iter()
             .filter(|&&(_, _, t)| t == tier)

@@ -144,7 +144,11 @@ pub fn insert_buffers(
     let mut added = 0;
 
     let net_ids: Vec<NetId> = netlist.net_ids().collect();
-    for nid in net_ids {
+    for (k, nid) in net_ids.into_iter().enumerate() {
+        // cooperative deadline checkpoint, every 256 nets
+        if k % 256 == 0 {
+            foldic_fault::deadline::poll()?;
+        }
         let net = netlist.net(nid);
         if net.is_clock || net.sinks.is_empty() {
             continue;
@@ -458,6 +462,8 @@ pub fn optimize_block_with_vias(
     stats.rounds += 1;
     note(stats.rounds, report.wns_ps);
     for _ in 0..cfg.rounds {
+        // cooperative deadline checkpoint, once per recovery round
+        foldic_fault::deadline::poll()?;
         if report.met() {
             break;
         }
@@ -473,6 +479,7 @@ pub fn optimize_block_with_vias(
 
     // 3. power recovery: downsizing
     for _ in 0..cfg.rounds.min(2) {
+        foldic_fault::deadline::poll()?;
         let wiring = BlockWiring::analyze(netlist, tech, cfg.detour, vias)?;
         let down = downsize_with_slack(netlist, tech, &report, cfg, &wiring);
         stats.downsized += down;

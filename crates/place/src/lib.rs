@@ -182,6 +182,8 @@ pub fn place_with_obstacles(
     }
 
     for iter in 0..cfg.iterations {
+        // cooperative deadline checkpoint, once per solver iteration
+        foldic_fault::deadline::poll()?;
         let anchor_w = cfg.anchor_growth * (iter as f64 + 0.3);
         system.solve(netlist, outline, cfg.cg_iterations, anchor_w);
         for &tier in tiers {

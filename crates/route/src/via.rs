@@ -182,6 +182,11 @@ pub fn place_vias(
         if !netlist.net_is_3d(nid) {
             continue;
         }
+        // cooperative deadline checkpoint, every 64 placed vias (the ring
+        // search below is the expensive part)
+        if vias.len() % 64 == 0 {
+            foldic_fault::deadline::poll()?;
+        }
         // ideal crossing point: Manhattan median of all pins
         let mut xs: Vec<f64> = net.pins().map(|p| netlist.pin_pos(p).x).collect();
         let mut ys: Vec<f64> = net.pins().map(|p| netlist.pin_pos(p).y).collect();

@@ -66,6 +66,10 @@ impl BlockWiring {
         let obs_on = foldic_obs::metrics::is_enabled();
         let mut lengths: Vec<f64> = Vec::new();
         for (nid, net) in netlist.nets() {
+            // cooperative deadline checkpoint, every 256 nets
+            if nid.index() % 256 == 0 {
+                foldic_fault::deadline::poll()?;
+            }
             let Some(driver) = net.driver else {
                 nets.push(NetLength {
                     net: nid,
