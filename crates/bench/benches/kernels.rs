@@ -7,6 +7,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use foldic_floorplan::seqpair::{anneal_floorplan, FpBlock, Packer, SaConfig, SeqPair};
 use foldic_geom::{Point, Rect};
 use foldic_partition::{bipartition, PartitionConfig};
 use foldic_place::{place_block, PlacerConfig, QuadraticSystem};
@@ -45,6 +46,35 @@ fn main() {
     let (design, tech) = T2Config::tiny().generate();
     let l2t = design.block(design.find_block("l2t0").unwrap()).clone();
     let outline = l2t.outline;
+
+    {
+        // the SA inner-loop kernel: one FAST-SP pack at the paper's block
+        // count, scratch reused across calls like the annealer does
+        let blocks: Vec<FpBlock> = (0..46)
+            .map(|i| FpBlock {
+                w: 5.0 + (i * 37 % 120) as f64,
+                h: 5.0 + (i * 53 % 120) as f64,
+            })
+            .collect();
+        let sp = SeqPair {
+            pos: (0..46).map(|i| (i * 29) % 46).collect(),
+            neg: (0..46).map(|i| (i * 17) % 46).collect(),
+        };
+        let mut packer = Packer::new();
+        bench(&filter, "seqpair_pack_n46_x100", || {
+            for _ in 0..100 {
+                black_box(packer.pack(&sp, &blocks));
+            }
+        });
+        bench(&filter, "floorplan_sa_n46", || {
+            black_box(anneal_floorplan(
+                &blocks,
+                &Vec::new(),
+                Some((300.0, 300.0)),
+                &SaConfig::default(),
+            ));
+        });
+    }
 
     bench(&filter, "steiner_tree_16pin", || {
         let driver = Point::new(0.0, 0.0);

@@ -6,6 +6,7 @@
 //!       [--faults SPEC] [--retries N] [--resume ckpt.jsonl]
 //!       [--deadline SECS] [--stage-timeout STAGE=SECS,...]
 //! repro compare <baseline.json> <candidate.json> [--tol PCT]
+//! repro bench [FILTER] [--json out.json]
 //!
 //! EXPERIMENT: table1 table2 table3 table4 table5
 //!             fig2 fig3 fig5 fig6 fig7 fig8
@@ -38,6 +39,12 @@
 //! replays it on the next run with the same file, skipping finished
 //! blocks while keeping the output byte-identical.
 //!
+//! `repro bench` times the hot kernels (sequence-pair packing at
+//! n = 14/46/128, one SA temperature step, one quadratic-system solve)
+//! with the built-in median-of-samples harness; `--json` writes a
+//! `foldic-kernel-bench/1` document for the CI gate and the perf
+//! trajectory baseline (`BENCH_kernels.json`).
+//!
 //! `--deadline SECS` bounds the whole run's wall clock: a watchdog trips
 //! a cancellation token on expiry, in-flight blocks stop at their next
 //! cooperative checkpoint and degrade, and not-yet-started blocks are
@@ -66,6 +73,7 @@ const USAGE: &str = "usage: repro [EXPERIMENT...] [--size full|small|tiny] [--th
        \x20            [--faults SPEC] [--retries N] [--resume ckpt.jsonl]\n\
        \x20            [--deadline SECS] [--stage-timeout STAGE=SECS,...]\n\
        repro compare <baseline.json> <candidate.json> [--tol PCT]\n\
+       repro bench [FILTER] [--json out.json]\n\
 experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6 fig7 fig8 thermal ablations layouts all\n\
 fault spec:  stage:block[:kind[:attempts]],... e.g. route:ccx:panic or place:mcu0:error:1\n\
              (stages: validate partition place opt route sta power floorplan; kinds: panic error slow)\n\
@@ -80,6 +88,9 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("compare") {
         std::process::exit(run_compare(&raw[1..]));
+    }
+    if raw.first().map(String::as_str) == Some("bench") {
+        std::process::exit(run_bench(&raw[1..]));
     }
 
     let mut size = "full".to_owned();
@@ -491,6 +502,50 @@ fn write_or_die(path: &Path, content: &str) {
         eprintln!("cannot write {}: {e}", path.display());
         std::process::exit(2);
     }
+}
+
+/// `repro bench [FILTER] [--json out.json]`.
+/// Exit code: 0 on success (even when the filter matches nothing — the
+/// JSON then carries an empty kernel map), 2 on usage errors.
+fn run_bench(args: &[String]) -> i32 {
+    let mut filter: Option<String> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--json needs a path"));
+                if json_path.is_some() {
+                    usage_err("duplicate --json");
+                }
+                json_path = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other if other.starts_with('-') => usage_err(&format!("unknown flag `{other}`")),
+            other => {
+                if filter.is_some() {
+                    usage_err("bench takes at most one FILTER");
+                }
+                filter = Some(other.to_owned());
+            }
+        }
+    }
+    let results = foldic_bench::kernels::run_kernels(&filter);
+    if results.is_empty() {
+        if let Some(pat) = &filter {
+            println!("no kernel matched `{pat}`");
+        }
+    }
+    if let Some(path) = json_path {
+        write_or_die(&path, &foldic_bench::kernels::to_json(&results).to_pretty());
+        println!("bench: {} kernel(s) -> {}", results.len(), path.display());
+    }
+    0
 }
 
 /// `repro compare <baseline.json> <candidate.json> [--tol PCT]`.

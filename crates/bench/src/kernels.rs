@@ -1,0 +1,194 @@
+//! Kernel microbenchmarks behind `repro bench`.
+//!
+//! Times the three hot kernels of the flow — sequence-pair packing (the
+//! SA inner loop), one SA temperature step, and one quadratic-system
+//! solve — with the same built-in harness the `cargo bench` targets use
+//! (fixed sample count, median/min/max; Criterion is a registry
+//! dependency and this workspace is offline-first). `--json` emits a
+//! `foldic-kernel-bench/1` document so CI can gate on the run completing
+//! with well-formed output; wall-time thresholds are deliberately not
+//! enforced (the reference container has one core and shares it).
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use foldic_floorplan::seqpair::{anneal_floorplan, FpBlock, Packer, SaConfig, SeqPair};
+use foldic_obs::json::Json;
+use foldic_place::QuadraticSystem;
+use foldic_t2::T2Config;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Timing samples per kernel.
+const SAMPLES: usize = 10;
+
+/// One timed kernel: wall times are per *sample*, each sample running the
+/// kernel body `iters` times back to back (sub-µs kernels need batching
+/// for a stable clock read).
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Kernel name (stable key in the JSON document).
+    pub name: String,
+    /// Median wall time of one sample, ms.
+    pub median_ms: f64,
+    /// Fastest sample, ms.
+    pub min_ms: f64,
+    /// Slowest sample, ms.
+    pub max_ms: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Kernel executions per sample.
+    pub iters: u64,
+}
+
+fn time_kernel(
+    filter: &Option<String>,
+    name: &str,
+    iters: u64,
+    mut f: impl FnMut(),
+) -> Option<KernelResult> {
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return None;
+        }
+    }
+    let mut run = || {
+        for _ in 0..iters {
+            f();
+        }
+    };
+    run(); // warm-up
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Some(KernelResult {
+        name: name.to_owned(),
+        median_ms: times[times.len() / 2],
+        min_ms: times[0],
+        max_ms: times[times.len() - 1],
+        samples: SAMPLES,
+        iters,
+    })
+}
+
+/// Deterministic random blocks for the packing kernels (dims in the range
+/// the study's floorplans see).
+fn random_blocks(rng: &mut StdRng, n: usize) -> Vec<FpBlock> {
+    (0..n)
+        .map(|_| FpBlock {
+            w: rng.gen::<f64>() * 120.0 + 5.0,
+            h: rng.gen::<f64>() * 120.0 + 5.0,
+        })
+        .collect()
+}
+
+/// A deterministic random permutation pair over `n` blocks.
+fn random_seq_pair(rng: &mut StdRng, n: usize) -> SeqPair {
+    let mut sp = SeqPair::identity(n);
+    for i in (1..n).rev() {
+        sp.pos.swap(i, rng.gen_range(0..i + 1));
+        sp.neg.swap(i, rng.gen_range(0..i + 1));
+    }
+    sp
+}
+
+/// Runs every kernel matching `filter` (substring; `None` = all) and
+/// returns the results in execution order.
+pub fn run_kernels(filter: &Option<String>) -> Vec<KernelResult> {
+    let mut results = Vec::new();
+    let mut push = |r: Option<KernelResult>| {
+        if let Some(r) = r {
+            println!(
+                "{:<24} median {:>10.3} ms   min {:>10.3} ms   max {:>10.3} ms   ({} iters/sample)",
+                r.name, r.median_ms, r.min_ms, r.max_ms, r.iters
+            );
+            results.push(r);
+        }
+    };
+
+    // Sequence-pair packing at the paper-relevant sizes: 14 top-level
+    // units, 46 blocks (the study's block count), 128 as the stress size.
+    // Batched because a single pack is sub-µs after the FAST-SP rewrite.
+    for (n, iters) in [(14usize, 400u64), (46, 200), (128, 100)] {
+        let mut rng = StdRng::seed_from_u64(0xDAC2_0140 + n as u64);
+        let blocks = random_blocks(&mut rng, n);
+        let sp = random_seq_pair(&mut rng, n);
+        let mut packer = Packer::new();
+        push(time_kernel(filter, &format!("pack_n{n}"), iters, || {
+            black_box(packer.pack(&sp, &blocks));
+        }));
+    }
+
+    // One SA temperature step over 46 blocks inside a fixed outline: the
+    // per-step cost the annealer pays `steps` times per floorplan.
+    {
+        let mut rng = StdRng::seed_from_u64(0xDAC2_0146);
+        let blocks = random_blocks(&mut rng, 46);
+        let cfg = SaConfig {
+            steps: 1,
+            ..Default::default()
+        };
+        push(time_kernel(filter, "sa_temp_step_n46", 1, || {
+            black_box(anneal_floorplan(
+                &blocks,
+                &Vec::new(),
+                Some((300.0, 300.0)),
+                &cfg,
+            ));
+        }));
+    }
+
+    // One quadratic-system solve on the tiny T2's l2t0 block (the solve
+    // the placer repeats `iterations` times per block).
+    {
+        let (design, _tech) = T2Config::tiny().generate();
+        let l2t = design
+            .find_block("l2t0")
+            .map(|id| design.block(id))
+            .unwrap_or_else(|| {
+                eprintln!("tiny T2 design lost its l2t0 block");
+                std::process::exit(2);
+            });
+        let outline = l2t.outline;
+        let mut nl = l2t.netlist.clone();
+        let mut sys = QuadraticSystem::build(&nl, outline);
+        push(time_kernel(filter, "quadratic_solve_l2t", 10, || {
+            sys.solve(&mut nl, outline, 60, 0.1);
+            black_box(sys.num_movable());
+        }));
+    }
+
+    results
+}
+
+/// Serializes results as a `foldic-kernel-bench/1` document.
+pub fn to_json(results: &[KernelResult]) -> Json {
+    let kernels: BTreeMap<String, Json> = results
+        .iter()
+        .map(|r| {
+            (
+                r.name.clone(),
+                Json::obj([
+                    ("median_ms".to_owned(), Json::Num(r.median_ms)),
+                    ("min_ms".to_owned(), Json::Num(r.min_ms)),
+                    ("max_ms".to_owned(), Json::Num(r.max_ms)),
+                    ("samples".to_owned(), Json::Num(r.samples as f64)),
+                    ("iters".to_owned(), Json::Num(r.iters as f64)),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj([
+        (
+            "schema".to_owned(),
+            Json::Str("foldic-kernel-bench/1".to_owned()),
+        ),
+        ("kernels".to_owned(), Json::Obj(kernels)),
+    ])
+}

@@ -13,6 +13,7 @@
 //! design wins, by roughly what factor, and where the crossovers fall.
 
 pub mod experiments;
+pub mod kernels;
 pub mod paper;
 
 use foldic::prelude::*;

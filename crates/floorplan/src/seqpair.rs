@@ -5,7 +5,9 @@
 //! floorplan is encoded as a *sequence pair* `(Γ⁺, Γ⁻)`: block `a` is left
 //! of `b` iff `a` precedes `b` in both sequences, and above `b` iff it
 //! precedes in `Γ⁺` but follows in `Γ⁻`. Packing evaluates the two
-//! implied constraint graphs by longest path.
+//! implied constraint graphs by longest path, using the FAST-SP
+//! longest-common-subsequence formulation ([`Packer`]) — O(n log n) per
+//! evaluation with zero allocations in the annealer's inner loop.
 
 use foldic_geom::{Point, Rect};
 use rand::rngs::StdRng;
@@ -40,7 +42,21 @@ impl SeqPair {
 
     /// Packs the blocks: returns lower-left positions and the bounding
     /// `(width, height)`.
+    ///
+    /// Convenience wrapper allocating a fresh [`Packer`]; evaluation
+    /// loops should hold one `Packer` and call [`Packer::pack`] so the
+    /// scratch buffers are reused across evaluations.
     pub fn pack(&self, blocks: &[FpBlock]) -> (Vec<Point>, f64, f64) {
+        let mut packer = Packer::new();
+        let (w, h) = packer.pack(self, blocks);
+        (packer.positions().collect(), w, h)
+    }
+
+    /// The original O(n²)+fixpoint evaluation, kept verbatim as the
+    /// oracle the property tests compare [`Packer::pack`] against bit
+    /// for bit.
+    #[cfg(test)]
+    fn pack_naive(&self, blocks: &[FpBlock]) -> (Vec<Point>, f64, f64) {
         let n = blocks.len();
         debug_assert_eq!(self.pos.len(), n);
         // rank of each block in each sequence
@@ -52,9 +68,6 @@ impl SeqPair {
         for (i, &b) in self.neg.iter().enumerate() {
             rank_neg[b] = i;
         }
-        // x: longest path over "left-of" (precedes in both sequences).
-        // Process in Γ⁻ order with a Fenwick-style scan over Γ⁺ ranks; for
-        // the modest n here an O(n²) scan is fine and simpler.
         let mut x = vec![0.0f64; n];
         let mut y = vec![0.0f64; n];
         for i in 0..n {
@@ -72,8 +85,7 @@ impl SeqPair {
                 }
             }
         }
-        // longest-path needs topological order; iterate to fixpoint (≤ n
-        // rounds, usually 2–3)
+        // longest-path needs topological order; iterate to fixpoint
         loop {
             let mut changed = false;
             for i in 0..n {
@@ -111,6 +123,130 @@ impl SeqPair {
     }
 }
 
+/// A Fenwick (binary-indexed) tree over sequence ranks supporting point
+/// *raise* and prefix *maximum*, the data structure behind the FAST-SP
+/// evaluation. Slots rest at `0.0`, the same baseline the longest-path
+/// recurrence starts coordinates from, so an empty prefix query returns
+/// exactly the oracle's initial value.
+#[derive(Debug, Clone, Default)]
+struct PrefixMax {
+    /// 1-based implicit tree; `tree[0]` is unused padding.
+    tree: Vec<f64>,
+}
+
+impl PrefixMax {
+    /// Resets to `n` zeroed slots.
+    fn reset(&mut self, n: usize) {
+        self.tree.clear();
+        self.tree.resize(n + 1, 0.0);
+    }
+
+    /// Raises slot `i` (0-based) to at least `v`.
+    fn raise(&mut self, i: usize, v: f64) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].max(v);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Maximum over the first `i` slots (0-based exclusive prefix),
+    /// merged with the `0.0` baseline.
+    fn prefix_max(&self, mut i: usize) -> f64 {
+        let mut m = 0.0f64;
+        while i > 0 {
+            m = m.max(self.tree[i]);
+            i &= i - 1; // drop the lowest set bit
+        }
+        m
+    }
+}
+
+/// Allocation-free sequence-pair evaluator (FAST-SP).
+///
+/// Processing blocks in Γ⁻ order visits both constraint graphs in
+/// topological order (every left-of or below predecessor comes earlier in
+/// Γ⁻), so each longest-path coordinate is final when computed — no
+/// fixpoint loop. The predecessor maxima are prefix-maximum queries over
+/// Γ⁺ ranks (reversed ranks for the vertical graph), answered by two
+/// Fenwick trees in O(log n): O(n log n) per evaluation overall.
+///
+/// The result is **bit-identical** to the naive O(n²) longest-path
+/// relaxation: both compute `max(0, max_j (x_j + w_j))` over the same
+/// predecessor set, every term is the same single f64 addition, and
+/// `f64::max` over a fixed multiset is order-independent (no NaNs for
+/// finite dims; `-0.0 < +0.0` is defined). The retired implementation
+/// survives as a `#[cfg(test)]` oracle that the 10k-case property test
+/// compares against bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct Packer {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    rank_pos: Vec<u32>,
+    fx: PrefixMax,
+    fy: PrefixMax,
+}
+
+impl Packer {
+    /// An empty packer; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packs `sp` over `blocks`: fills [`Packer::x`]/[`Packer::y`] with
+    /// lower-left coordinates and returns the bounding `(width, height)`.
+    pub fn pack(&mut self, sp: &SeqPair, blocks: &[FpBlock]) -> (f64, f64) {
+        let n = blocks.len();
+        debug_assert_eq!(sp.pos.len(), n);
+        debug_assert_eq!(sp.neg.len(), n);
+        self.x.clear();
+        self.x.resize(n, 0.0);
+        self.y.clear();
+        self.y.resize(n, 0.0);
+        self.rank_pos.clear();
+        self.rank_pos.resize(n, 0);
+        for (i, &b) in sp.pos.iter().enumerate() {
+            self.rank_pos[b] = i as u32;
+        }
+        self.fx.reset(n);
+        self.fy.reset(n);
+        for &b in &sp.neg {
+            let p = self.rank_pos[b] as usize;
+            // left-of predecessors: Γ⁺ rank < p among already-processed
+            // (= smaller Γ⁻ rank) blocks
+            let xb = self.fx.prefix_max(p);
+            // below predecessors: Γ⁺ rank > p, i.e. reversed rank < n-1-p
+            let yb = self.fy.prefix_max(n - 1 - p);
+            self.x[b] = xb;
+            self.y[b] = yb;
+            self.fx.raise(p, xb + blocks[b].w);
+            self.fy.raise(n - 1 - p, yb + blocks[b].h);
+        }
+        let mut w = 0.0f64;
+        let mut h = 0.0f64;
+        for (b, (&x, &y)) in blocks.iter().zip(self.x.iter().zip(&self.y)) {
+            w = w.max(x + b.w);
+            h = h.max(y + b.h);
+        }
+        (w, h)
+    }
+
+    /// Lower-left x coordinates of the last [`Packer::pack`].
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Lower-left y coordinates of the last [`Packer::pack`].
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Lower-left positions of the last [`Packer::pack`].
+    pub fn positions(&self) -> impl Iterator<Item = Point> + '_ {
+        self.x.iter().zip(&self.y).map(|(&x, &y)| Point::new(x, y))
+    }
+}
+
 /// Annealing parameters.
 #[derive(Debug, Clone)]
 pub struct SaConfig {
@@ -145,6 +281,173 @@ impl Default for SaConfig {
 /// weight (bus width).
 pub type FpNets = Vec<(Vec<usize>, f64)>;
 
+/// Incremental cost evaluator for the annealer: owns the [`Packer`]
+/// scratch plus a per-net HPWL term cache, so a move evaluation allocates
+/// nothing and recomputes only the net terms whose blocks actually moved
+/// in the repack.
+///
+/// The cached terms keep the cost bit-identical to a from-scratch
+/// evaluation: a cached term was produced by the very same expression
+/// from bit-equal positions, and the total is re-summed over all nets in
+/// net order every evaluation, so the accumulation order never changes.
+struct SaEval<'a> {
+    blocks: &'a [FpBlock],
+    nets: &'a FpNets,
+    outline: Option<(f64, f64)>,
+    wl_weight: f64,
+    packer: Packer,
+    /// Bounding box of the last evaluation.
+    w: f64,
+    /// Bounding box of the last evaluation.
+    h: f64,
+    /// `true` when the wirelength term participates in the cost.
+    wl_enabled: bool,
+    /// block → incident net ids
+    nets_of: Vec<Vec<u32>>,
+    /// accepted per-net HPWL terms
+    terms: Vec<f64>,
+    /// accepted position bits (NaN bits before the first evaluation, so
+    /// everything starts dirty)
+    last_x: Vec<u64>,
+    last_y: Vec<u64>,
+    /// candidate terms recomputed by the last evaluation
+    dirty_terms: Vec<(u32, f64)>,
+    dirty: Vec<bool>,
+    touched: Vec<u32>,
+    /// packs since the last metrics flush
+    packs: u64,
+}
+
+impl<'a> SaEval<'a> {
+    fn new(
+        blocks: &'a [FpBlock],
+        nets: &'a FpNets,
+        outline: Option<(f64, f64)>,
+        wl_weight: f64,
+    ) -> Self {
+        let n = blocks.len();
+        let wl_enabled = wl_weight > 0.0 && !nets.is_empty();
+        let mut nets_of = Vec::new();
+        if wl_enabled {
+            nets_of = vec![Vec::new(); n];
+            for (k, (members, _)) in nets.iter().enumerate() {
+                for &m in members {
+                    nets_of[m].push(k as u32);
+                }
+            }
+        }
+        Self {
+            blocks,
+            nets,
+            outline,
+            wl_weight,
+            packer: Packer::new(),
+            w: 0.0,
+            h: 0.0,
+            wl_enabled,
+            nets_of,
+            terms: vec![0.0; if wl_enabled { nets.len() } else { 0 }],
+            last_x: vec![f64::NAN.to_bits(); if wl_enabled { n } else { 0 }],
+            last_y: vec![f64::NAN.to_bits(); if wl_enabled { n } else { 0 }],
+            dirty_terms: Vec::new(),
+            dirty: vec![false; if wl_enabled { nets.len() } else { 0 }],
+            touched: Vec::new(),
+            packs: 0,
+        }
+    }
+
+    /// Packs `sp` and returns its cost; positions stay in `self.packer`.
+    fn eval(&mut self, sp: &SeqPair) -> f64 {
+        let (w, h) = self.packer.pack(sp, self.blocks);
+        self.packs += 1;
+        self.w = w;
+        self.h = h;
+        let mut c = w * h;
+        if let Some((ow, oh)) = self.outline {
+            // quadratic penalty outside the fixed outline
+            let ex = (w - ow).max(0.0);
+            let ey = (h - oh).max(0.0);
+            c += 4.0 * (ex * ex + ey * ey) + 4.0 * (ex * oh + ey * ow);
+        }
+        if self.wl_enabled {
+            // mark nets of moved blocks dirty (bit compare: a bit-equal
+            // position yields a bit-equal term, so staleness is exact)
+            self.dirty_terms.clear();
+            let (xs, ys) = (self.packer.x(), self.packer.y());
+            for i in 0..self.blocks.len() {
+                if xs[i].to_bits() != self.last_x[i] || ys[i].to_bits() != self.last_y[i] {
+                    for &k in &self.nets_of[i] {
+                        if !self.dirty[k as usize] {
+                            self.dirty[k as usize] = true;
+                            self.touched.push(k);
+                        }
+                    }
+                }
+            }
+            // re-sum in net order (identical accumulation order every
+            // evaluation), recomputing only the dirty terms
+            let mut wl = 0.0;
+            for (k, (members, weight)) in self.nets.iter().enumerate() {
+                let term = if self.dirty[k] {
+                    let mut bb = Rect::empty();
+                    for &m in members {
+                        bb.expand_to(Point::new(
+                            xs[m] + self.blocks[m].w / 2.0,
+                            ys[m] + self.blocks[m].h / 2.0,
+                        ));
+                    }
+                    let term = bb.half_perimeter() * weight;
+                    self.dirty_terms.push((k as u32, term));
+                    term
+                } else {
+                    self.terms[k]
+                };
+                wl += term;
+            }
+            for &k in &self.touched {
+                self.dirty[k as usize] = false;
+            }
+            self.touched.clear();
+            c += self.wl_weight * wl * (w * h).sqrt() / 1000.0;
+        }
+        c
+    }
+
+    /// Accepts the last evaluation: the candidate terms and positions
+    /// become the cache baseline.
+    fn commit(&mut self) {
+        if !self.wl_enabled {
+            return;
+        }
+        for &(k, t) in &self.dirty_terms {
+            self.terms[k as usize] = t;
+        }
+        self.dirty_terms.clear();
+        let (xs, ys) = (self.packer.x(), self.packer.y());
+        for i in 0..self.last_x.len() {
+            self.last_x[i] = xs[i].to_bits();
+            self.last_y[i] = ys[i].to_bits();
+        }
+    }
+
+    /// Drains the packs-since-last-flush counter.
+    fn take_packs(&mut self) -> u64 {
+        std::mem::take(&mut self.packs)
+    }
+}
+
+/// Applies (or, being an involution, undoes) one SA move to `sp`.
+fn apply_move(sp: &mut SeqPair, kind: i32, a: usize, b: usize) {
+    match kind {
+        0 => sp.pos.swap(a, b),
+        1 => sp.neg.swap(a, b),
+        _ => {
+            sp.pos.swap(a, b);
+            sp.neg.swap(a, b);
+        }
+    }
+}
+
 /// Anneals a floorplan minimizing `area + wl_weight · HPWL`, optionally
 /// inside a fixed outline (packing beyond it is penalized).
 ///
@@ -161,34 +464,13 @@ pub fn anneal_floorplan(
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut sp = SeqPair::identity(n);
-    let cost = |sp: &SeqPair| -> (f64, Vec<Point>, f64, f64) {
-        let (pos, w, h) = sp.pack(blocks);
-        let mut c = w * h;
-        if let Some((ow, oh)) = outline {
-            // quadratic penalty outside the fixed outline
-            let ex = (w - ow).max(0.0);
-            let ey = (h - oh).max(0.0);
-            c += 4.0 * (ex * ex + ey * ey) + 4.0 * (ex * oh + ey * ow);
-        }
-        if cfg.wl_weight > 0.0 && !nets.is_empty() {
-            let mut wl = 0.0;
-            for (members, weight) in nets {
-                let mut bb = Rect::empty();
-                for &m in members {
-                    bb.expand_to(Point::new(
-                        pos[m].x + blocks[m].w / 2.0,
-                        pos[m].y + blocks[m].h / 2.0,
-                    ));
-                }
-                wl += bb.half_perimeter() * weight;
-            }
-            c += cfg.wl_weight * wl * (w * h).sqrt() / 1000.0;
-        }
-        (c, pos, w, h)
-    };
-    let (mut best_cost, mut best_pos, mut bw, mut bh) = cost(&sp);
-    let mut cur_cost = best_cost;
-    let mut best_sp = sp.clone();
+    let mut eval = SaEval::new(blocks, nets, outline, cfg.wl_weight);
+    let mut cur_cost = eval.eval(&sp);
+    eval.commit();
+    let mut best_cost = cur_cost;
+    let mut best_x: Vec<f64> = eval.packer.x().to_vec();
+    let mut best_y: Vec<f64> = eval.packer.y().to_vec();
+    let (mut bw, mut bh) = (eval.w, eval.h);
     let mut t = cfg.t0 * best_cost;
     let _span = foldic_obs::span!("floorplan_sa", blocks = n, steps = cfg.steps);
     for step in 0..cfg.steps {
@@ -200,33 +482,30 @@ pub fn anneal_floorplan(
         // temperature step — never a hook per move.
         let mut accepts = 0u64;
         for _ in 0..cfg.moves_per_temp {
-            let mut cand = sp.clone();
             let a = rng.gen_range(0..n);
             let b = rng.gen_range(0..n);
-            match rng.gen_range(0..3) {
-                0 => cand.pos.swap(a, b),
-                1 => cand.neg.swap(a, b),
-                _ => {
-                    cand.pos.swap(a, b);
-                    cand.neg.swap(a, b);
-                }
-            }
-            let (c, pos, w, h) = cost(&cand);
+            let kind: i32 = rng.gen_range(0..3);
+            // apply in place — no candidate clone; a rejected move is
+            // undone by re-applying the same swaps
+            apply_move(&mut sp, kind, a, b);
+            let c = eval.eval(&sp);
             let accept = c < cur_cost || {
                 let d = (c - cur_cost) / t.max(1e-9);
                 rng.gen::<f64>() < (-d).exp()
             };
             if accept {
                 accepts += 1;
-                sp = cand;
                 cur_cost = c;
+                eval.commit();
                 if c < best_cost {
                     best_cost = c;
-                    best_sp = sp.clone();
-                    best_pos = pos;
-                    bw = w;
-                    bh = h;
+                    best_x.copy_from_slice(eval.packer.x());
+                    best_y.copy_from_slice(eval.packer.y());
+                    bw = eval.w;
+                    bh = eval.h;
                 }
+            } else {
+                apply_move(&mut sp, kind, a, b);
             }
         }
         let ratio = accepts as f64 / cfg.moves_per_temp.max(1) as f64;
@@ -234,6 +513,7 @@ pub fn anneal_floorplan(
             foldic_obs::metrics::add("floorplan.sa.steps", 1);
             foldic_obs::metrics::add("floorplan.sa.moves", cfg.moves_per_temp as u64);
             foldic_obs::metrics::add("floorplan.sa.accepts", accepts);
+            foldic_obs::metrics::add("floorplan.sa.packs", eval.take_packs());
             foldic_obs::metrics::observe("floorplan.sa.acceptance", ratio);
         }
         if foldic_obs::trace::is_enabled() && step % 16 == 0 {
@@ -248,8 +528,16 @@ pub fn anneal_floorplan(
         }
         t *= cfg.cooling;
     }
-    let _ = best_sp;
-    (best_pos, Rect::new(0.0, 0.0, bw, bh))
+    // the best positions were captured directly on every improvement, so
+    // the best sequence pair itself never needs to be kept or repacked
+    (
+        best_x
+            .iter()
+            .zip(&best_y)
+            .map(|(&x, &y)| Point::new(x, y))
+            .collect(),
+        Rect::new(0.0, 0.0, bw, bh),
+    )
 }
 
 #[cfg(test)]
@@ -338,6 +626,8 @@ mod tests {
         assert!(snap.counter("floorplan.sa.steps") >= 10);
         assert!(snap.counter("floorplan.sa.moves") >= 80);
         assert!(snap.counter("floorplan.sa.accepts") <= snap.counter("floorplan.sa.moves"));
+        // every move packs once, plus the pre-loop evaluation
+        assert!(snap.counter("floorplan.sa.packs") > 80);
         let acc = snap
             .histogram("floorplan.sa.acceptance")
             .expect("histogram");
@@ -357,5 +647,96 @@ mod tests {
         let (pos, _) = anneal_floorplan(&blocks, &nets, None, &cfg);
         let d = pos[0].manhattan(pos[7]);
         assert!(d <= 22.0, "connected blocks {d} µm apart");
+    }
+
+    // ---- fast-pack vs naive-oracle property tests -----------------------
+
+    fn fuzz_seed() -> u64 {
+        std::env::var("FOLDIC_FUZZ_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xDAC1_4F00D)
+    }
+
+    fn random_seq_pair(rng: &mut StdRng, n: usize) -> SeqPair {
+        let mut sp = SeqPair::identity(n);
+        for i in (1..n).rev() {
+            sp.pos.swap(i, rng.gen_range(0..i + 1));
+            sp.neg.swap(i, rng.gen_range(0..i + 1));
+        }
+        sp
+    }
+
+    /// 10k random cases: the FAST-SP evaluation must match the retired
+    /// O(n²)+fixpoint oracle bit for bit — positions, width and height.
+    /// Covers n = 0, n = 1 and duplicate dims; seeded via
+    /// `FOLDIC_FUZZ_SEED` like the parser fuzz suites.
+    #[test]
+    fn fast_pack_matches_naive_oracle_bitwise() {
+        const ITERS: usize = 10_000;
+        let mut rng = StdRng::seed_from_u64(fuzz_seed());
+        let mut packer = Packer::new();
+        for iter in 0..ITERS {
+            // bias toward the degenerate sizes, include the paper's n=46
+            let n = match iter % 16 {
+                0 => 0,
+                1 => 1,
+                2 => 2,
+                3 => 46,
+                _ => rng.gen_range(3..24usize),
+            };
+            let blocks: Vec<FpBlock> = (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.3) {
+                        // duplicate dims: snap to a coarse grid so exact
+                        // f64 ties are common
+                        FpBlock {
+                            w: rng.gen_range(1..4u32) as f64 * 5.0,
+                            h: rng.gen_range(1..4u32) as f64 * 5.0,
+                        }
+                    } else {
+                        FpBlock {
+                            w: rng.gen::<f64>() * 40.0 + 0.5,
+                            h: rng.gen::<f64>() * 40.0 + 0.5,
+                        }
+                    }
+                })
+                .collect();
+            let sp = random_seq_pair(&mut rng, n);
+            let (naive_pos, nw, nh) = sp.pack_naive(&blocks);
+            // exercise scratch reuse across iterations (the annealer's
+            // usage pattern), not a fresh packer per case
+            let (fw, fh) = packer.pack(&sp, &blocks);
+            assert_eq!(nw.to_bits(), fw.to_bits(), "width differs at iter {iter}");
+            assert_eq!(nh.to_bits(), fh.to_bits(), "height differs at iter {iter}");
+            for (i, np) in naive_pos.iter().enumerate() {
+                assert_eq!(
+                    (np.x.to_bits(), np.y.to_bits()),
+                    (packer.x()[i].to_bits(), packer.y()[i].to_bits()),
+                    "block {i} differs at iter {iter} (n={n})"
+                );
+            }
+        }
+    }
+
+    /// `SeqPair::pack` (fresh packer) and a reused packer agree even when
+    /// the problem size shrinks between calls — the scratch resize path.
+    #[test]
+    fn packer_scratch_survives_size_changes() {
+        let mut packer = Packer::new();
+        let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x5e9);
+        for n in [12usize, 5, 0, 17, 1, 12] {
+            let blocks: Vec<FpBlock> = (0..n)
+                .map(|i| FpBlock {
+                    w: 3.0 + (i % 5) as f64,
+                    h: 2.0 + (i % 3) as f64,
+                })
+                .collect();
+            let sp = random_seq_pair(&mut rng, n);
+            let (pos, w, h) = sp.pack(&blocks);
+            let (rw, rh) = packer.pack(&sp, &blocks);
+            assert_eq!((w.to_bits(), h.to_bits()), (rw.to_bits(), rh.to_bits()));
+            assert_eq!(pos, packer.positions().collect::<Vec<_>>());
+        }
     }
 }

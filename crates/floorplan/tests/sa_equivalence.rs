@@ -1,0 +1,118 @@
+//! SA rewrite equivalence gate.
+//!
+//! The incremental annealer (in-place moves, reused `Packer` scratch,
+//! cached HPWL terms) must reproduce the pre-rewrite clone-per-move
+//! annealer **byte for byte**. These fixtures were captured from the
+//! retired implementation at the default seed before the rewrite landed;
+//! any drift in the RNG draw order, packing arithmetic, or cost
+//! accumulation order flips at least one bit here.
+
+use foldic_floorplan::seqpair::{anneal_floorplan, FpBlock, FpNets, SaConfig};
+
+fn blocks12() -> Vec<FpBlock> {
+    (0..12)
+        .map(|i| FpBlock {
+            w: 5.0 + (i % 4) as f64 * 7.0,
+            h: 4.0 + (i % 3) as f64 * 9.0,
+        })
+        .collect()
+}
+
+fn assert_bits(
+    label: &str,
+    got: (&[foldic_geom::Point], foldic_geom::Rect),
+    want_pos: &[(u64, u64)],
+    want_bb: (u64, u64),
+) {
+    let (pos, bb) = got;
+    assert_eq!(
+        (bb.width().to_bits(), bb.height().to_bits()),
+        want_bb,
+        "{label}: bounding box drifted"
+    );
+    assert_eq!(pos.len(), want_pos.len(), "{label}: position count");
+    for (i, (p, &(wx, wy))) in pos.iter().zip(want_pos).enumerate() {
+        assert_eq!(
+            (p.x.to_bits(), p.y.to_bits()),
+            (wx, wy),
+            "{label}: block {i} position drifted"
+        );
+    }
+}
+
+/// Area-only annealing at the default seed (config A of the captured
+/// fixtures).
+#[test]
+fn default_seed_area_only_is_byte_identical_to_pre_rewrite() {
+    let blocks = blocks12();
+    let (pos, bb) = anneal_floorplan(&blocks, &Vec::new(), None, &SaConfig::default());
+    let want: [(u64, u64); 12] = [
+        (0x4043000000000000, 0x4041800000000000),
+        (0x0000000000000000, 0x403a000000000000),
+        (0x0000000000000000, 0x0000000000000000),
+        (0x4028000000000000, 0x4036000000000000),
+        (0x4043000000000000, 0x4036000000000000),
+        (0x4046800000000000, 0x0000000000000000),
+        (0x4045800000000000, 0x4041800000000000),
+        (0x4028000000000000, 0x403a000000000000),
+        (0x404c800000000000, 0x0000000000000000),
+        (0x0000000000000000, 0x4036000000000000),
+        (0x4045800000000000, 0x4036000000000000),
+        (0x4033000000000000, 0x0000000000000000),
+    ];
+    assert_bits(
+        "area-only",
+        (&pos, bb),
+        &want,
+        (0x404f000000000000, 0x4043800000000000),
+    );
+}
+
+/// Wirelength + outline annealing (config B): exercises the HPWL term
+/// cache and the outline penalty on the same RNG stream.
+#[test]
+fn default_seed_with_nets_and_outline_is_byte_identical_to_pre_rewrite() {
+    let blocks = blocks12();
+    let nets: FpNets = vec![(vec![0, 7], 50.0), (vec![1, 2, 3], 8.0)];
+    let cfg = SaConfig {
+        wl_weight: 2.0,
+        ..Default::default()
+    };
+    let (pos, bb) = anneal_floorplan(&blocks, &nets, Some((60.0, 60.0)), &cfg);
+    let want: [(u64, u64); 12] = [
+        (0x4045800000000000, 0x403a000000000000),
+        (0x4046800000000000, 0x4041800000000000),
+        (0x4028000000000000, 0x0000000000000000),
+        (0x0000000000000000, 0x4036000000000000),
+        (0x403a000000000000, 0x4036000000000000),
+        (0x0000000000000000, 0x0000000000000000),
+        (0x403a000000000000, 0x4041800000000000),
+        (0x403f000000000000, 0x0000000000000000),
+        (0x4049000000000000, 0x402a000000000000),
+        (0x403f000000000000, 0x403a000000000000),
+        (0x403f000000000000, 0x402a000000000000),
+        (0x0000000000000000, 0x403a000000000000),
+    ];
+    assert_bits(
+        "nets+outline",
+        (&pos, bb),
+        &want,
+        (0x404c800000000000, 0x4048000000000000),
+    );
+}
+
+/// Two runs at the same seed are bitwise identical (the annealer holds no
+/// hidden state across calls).
+#[test]
+fn same_seed_runs_are_bitwise_identical() {
+    let blocks = blocks12();
+    let nets: FpNets = vec![(vec![0, 5, 9], 12.0)];
+    let cfg = SaConfig {
+        steps: 40,
+        ..Default::default()
+    };
+    let (p1, b1) = anneal_floorplan(&blocks, &nets, Some((70.0, 70.0)), &cfg);
+    let (p2, b2) = anneal_floorplan(&blocks, &nets, Some((70.0, 70.0)), &cfg);
+    assert_eq!(p1, p2);
+    assert_eq!(b1, b2);
+}

@@ -154,6 +154,22 @@ pub fn set_gauge(name: &str, v: f64) {
     }
 }
 
+/// Raises the gauge `name` to at least `v` (max-merge). Unlike
+/// [`set_gauge`], max is commutative and associative, so concurrent
+/// writers from pool jobs converge to the same value regardless of
+/// scheduling — safe for keys written inside parallel flows (e.g.
+/// high-water scratch-reuse counts).
+pub fn set_gauge_max(name: &str, v: f64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap();
+    match reg.entry(name.to_owned()).or_insert(Metric::Gauge(v)) {
+        Metric::Gauge(g) => *g = g.max(v),
+        other => debug_assert!(false, "{name} is not a gauge: {other:?}"),
+    }
+}
+
 /// Records one observation into the histogram `name`.
 pub fn observe(name: &str, v: f64) {
     observe_all(name, std::slice::from_ref(&v));
@@ -419,6 +435,28 @@ mod tests {
         assert_eq!(h.count, 5);
         assert_eq!(h.buckets[&Histogram::UNDERFLOW], 1);
         assert!((h.sum() - (0.1 + 2.5 + 1e6 + 3.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gauge_max_merge_commutes_across_writers() {
+        let _gate = lock();
+        let run = |values: &[f64]| {
+            set_enabled(true);
+            for &v in values {
+                set_gauge_max("scratch.reuse", v);
+            }
+            let snap = take();
+            set_enabled(false);
+            snap
+        };
+        let fwd = run(&[1.0, 9.0, 4.0]);
+        let rev = run(&[4.0, 1.0, 9.0]);
+        assert_eq!(fwd, rev, "max-merge must commute");
+        assert_eq!(fwd.gauge("scratch.reuse"), Some(9.0));
+        // disabled hook records nothing
+        set_enabled(false);
+        set_gauge_max("scratch.reuse", 99.0);
+        assert!(take().metrics.is_empty());
     }
 
     #[test]

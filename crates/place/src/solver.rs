@@ -1,4 +1,14 @@
 //! Quadratic wirelength system and conjugate-gradient solver.
+//!
+//! The system is built once per placement and solved many times with
+//! growing anchor weights, so everything that does not depend on live
+//! positions is precomputed at build: the clique adjacency lives in a
+//! flat CSR layout, the base diagonal and right-hand sides (clique +
+//! fixed springs) are baked into `base_*` vectors, and star-net pins are
+//! pre-resolved to variable indices. Each `solve` then only copies the
+//! bases, layers the position-dependent star/anchor contributions on top,
+//! and runs CG entirely in scratch buffers owned by the system — zero
+//! allocations after the first solve.
 
 use foldic_geom::{Point, Rect};
 use foldic_netlist::{InstId, Netlist, PinRef};
@@ -7,20 +17,57 @@ use foldic_netlist::{InstId, Netlist, PinRef};
 /// centroid (star) springs recomputed every solve.
 const CLIQUE_LIMIT: usize = 8;
 
+/// Star-net pin sentinel for "fixed pin" in [`QuadraticSystem::star_var`].
+const FIXED_PIN: u32 = u32::MAX;
+
+/// Reusable per-solve buffers. Held by the system so repeated solves (the
+/// placer runs `iterations` of them per block) never reallocate.
+#[derive(Debug, Default)]
+struct SolveScratch {
+    diag: Vec<f64>,
+    bx: Vec<f64>,
+    by: Vec<f64>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    anchors: Vec<Point>,
+    // CG work vectors
+    r: Vec<f64>,
+    z: Vec<f64>,
+    dir: Vec<f64>,
+    ap: Vec<f64>,
+}
+
 /// The quadratic placement system: static clique edges plus per-solve
 /// centroid springs and spreading anchors.
 #[derive(Debug)]
 pub struct QuadraticSystem {
     movable: Vec<InstId>,
-    var_of: Vec<Option<u32>>,
-    /// movable–movable springs `(a, b, w)`
-    edges: Vec<(u32, u32, f64)>,
-    /// movable–fixed springs `(a, fixed position, w)`
-    fixed_springs: Vec<(u32, Point, f64)>,
-    /// star nets: pin lists for centroid springs
-    star_nets: Vec<(Vec<PinRef>, f64)>,
-    /// adjacency (CSR-ish) built from `edges`
-    nbr_index: Vec<Vec<(u32, f64)>>,
+    /// CSR offsets into `nbr`: neighbors of variable `i` are
+    /// `nbr[nbr_off[i]..nbr_off[i+1]]`, in the exact order the retired
+    /// `Vec<Vec<…>>` adjacency pushed them (edge order), so the CG
+    /// `mat_vec` accumulates in the same order and stays bit-identical.
+    nbr_off: Vec<u32>,
+    /// Packed `(neighbor, weight)` pairs.
+    nbr: Vec<(u32, f64)>,
+    /// Position-independent diagonal: `1e-6` + clique edges + fixed
+    /// springs, accumulated at build time in the retired per-solve order.
+    base_diag: Vec<f64>,
+    /// Position-independent right-hand sides (fixed-spring pulls).
+    base_bx: Vec<f64>,
+    base_by: Vec<f64>,
+    /// Star nets flattened: pins of net `k` are
+    /// `star_pins[star_off[k]..star_off[k+1]]`.
+    star_off: Vec<u32>,
+    star_pins: Vec<PinRef>,
+    /// Pre-resolved variable per star pin ([`FIXED_PIN`] when the pin is
+    /// on a fixed instance or a port — movability is static, only the
+    /// centroid needs live positions).
+    star_var: Vec<u32>,
+    /// Per-net star weight.
+    star_w: Vec<f64>,
+    scratch: SolveScratch,
+    /// Solves since build — drives the scratch-reuse gauge.
+    solves: u64,
 }
 
 impl QuadraticSystem {
@@ -39,7 +86,10 @@ impl QuadraticSystem {
         }
         let mut edges = Vec::new();
         let mut fixed_springs = Vec::new();
-        let mut star_nets = Vec::new();
+        let mut star_off = vec![0u32];
+        let mut star_pins = Vec::new();
+        let mut star_var = Vec::new();
+        let mut star_w = Vec::new();
         for (_, net) in netlist.nets() {
             if net.is_clock {
                 continue;
@@ -69,21 +119,69 @@ impl QuadraticSystem {
                     }
                 }
             } else {
-                star_nets.push((pins.clone(), 2.0 / pins.len() as f64));
+                star_w.push(2.0 / pins.len() as f64);
+                for &p in &pins {
+                    star_var.push(match pin_var(netlist, &var_of, p) {
+                        Var::Movable(a) => a,
+                        Var::Fixed(_) => FIXED_PIN,
+                    });
+                }
+                star_pins.extend(pins);
+                star_off.push(star_pins.len() as u32);
             }
         }
-        let mut nbr_index = vec![Vec::new(); movable.len()];
+        let nv = movable.len();
+        // CSR adjacency: count degrees, prefix-sum, then fill in edge
+        // order — reproducing the per-node neighbor order of the retired
+        // Vec-of-Vecs exactly.
+        let mut degree = vec![0u32; nv];
+        for &(a, b, _) in &edges {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut nbr_off = vec![0u32; nv + 1];
+        for i in 0..nv {
+            nbr_off[i + 1] = nbr_off[i] + degree[i];
+        }
+        let mut cursor: Vec<u32> = nbr_off[..nv].to_vec();
+        let mut nbr = vec![(0u32, 0.0f64); nbr_off[nv] as usize];
         for &(a, b, w) in &edges {
-            nbr_index[a as usize].push((b, w));
-            nbr_index[b as usize].push((a, w));
+            nbr[cursor[a as usize] as usize] = (b, w);
+            cursor[a as usize] += 1;
+            nbr[cursor[b as usize] as usize] = (a, w);
+            cursor[b as usize] += 1;
+        }
+        // Base diagonal and right-hand sides, accumulated in the order the
+        // retired per-solve loops used (init, edges, fixed springs) so a
+        // solve that copies these bases is bit-identical to one that
+        // rebuilds them.
+        let mut base_diag = vec![1e-6; nv];
+        for &(a, b, w) in &edges {
+            base_diag[a as usize] += w;
+            base_diag[b as usize] += w;
+        }
+        for &(a, _, w) in &fixed_springs {
+            base_diag[a as usize] += w;
+        }
+        let mut base_bx = vec![0.0; nv];
+        let mut base_by = vec![0.0; nv];
+        for &(a, p, w) in &fixed_springs {
+            base_bx[a as usize] += w * p.x;
+            base_by[a as usize] += w * p.y;
         }
         Self {
             movable,
-            var_of,
-            edges,
-            fixed_springs,
-            star_nets,
-            nbr_index,
+            nbr_off,
+            nbr,
+            base_diag,
+            base_bx,
+            base_by,
+            star_off,
+            star_pins,
+            star_var,
+            star_w,
+            scratch: SolveScratch::default(),
+            solves: 0,
         }
     }
 
@@ -100,30 +198,44 @@ impl QuadraticSystem {
         if n == 0 {
             return;
         }
-        // Base diagonal from clique + fixed springs.
-        let mut diag = vec![1e-6; n];
-        for &(a, b, w) in &self.edges {
-            diag[a as usize] += w;
-            diag[b as usize] += w;
-        }
-        for &(a, _, w) in &self.fixed_springs {
-            diag[a as usize] += w;
-        }
-        let mut bx = vec![0.0; n];
-        let mut by = vec![0.0; n];
-        for &(a, p, w) in &self.fixed_springs {
-            bx[a as usize] += w * p.x;
-            by[a as usize] += w * p.y;
-        }
+        // Split borrows: scratch is mutated while the static system parts
+        // are read.
+        let Self {
+            movable,
+            nbr_off,
+            nbr,
+            base_diag,
+            base_bx,
+            base_by,
+            star_off,
+            star_pins,
+            star_var,
+            star_w,
+            scratch,
+            solves,
+        } = self;
+        // Copy the precomputed bases (clique + fixed-spring terms).
+        scratch.diag.clear();
+        scratch.diag.extend_from_slice(base_diag);
+        scratch.bx.clear();
+        scratch.bx.extend_from_slice(base_bx);
+        scratch.by.clear();
+        scratch.by.extend_from_slice(base_by);
+        let diag = &mut scratch.diag;
+        let bx = &mut scratch.bx;
+        let by = &mut scratch.by;
         // Star springs at the current net centroids.
-        for (pins, w) in &self.star_nets {
+        for k in 0..star_w.len() {
+            let lo = star_off[k] as usize;
+            let hi = star_off[k + 1] as usize;
+            let w = star_w[k];
             let mut c = Point::ORIGIN;
-            for &p in pins {
+            for &p in &star_pins[lo..hi] {
                 c += netlist.pin_pos(p);
             }
-            let c = c * (1.0 / pins.len() as f64);
-            for &p in pins {
-                if let Var::Movable(a) = pin_var(netlist, &self.var_of, p) {
+            let c = c * (1.0 / (hi - lo) as f64);
+            for &a in &star_var[lo..hi] {
+                if a != FIXED_PIN {
                     diag[a as usize] += w;
                     bx[a as usize] += w * c.x;
                     by[a as usize] += w * c.y;
@@ -131,74 +243,120 @@ impl QuadraticSystem {
             }
         }
         // Spreading anchors at the current (post-equalization) positions.
-        let anchors: Vec<Point> = self
-            .movable
-            .iter()
-            .map(|&id| netlist.inst(id).pos)
-            .collect();
-        for (i, p) in anchors.iter().enumerate() {
+        scratch.anchors.clear();
+        scratch
+            .anchors
+            .extend(movable.iter().map(|&id| netlist.inst(id).pos));
+        for (i, p) in scratch.anchors.iter().enumerate() {
             diag[i] += anchor_w;
             bx[i] += anchor_w * p.x;
             by[i] += anchor_w * p.y;
         }
 
-        let x0: Vec<f64> = anchors.iter().map(|p| p.x).collect();
-        let y0: Vec<f64> = anchors.iter().map(|p| p.y).collect();
-        let xs = self.cg(&diag, &bx, x0, cg_iters);
-        let ys = self.cg(&diag, &by, y0, cg_iters);
-        for (i, &id) in self.movable.iter().enumerate() {
-            let p = Point::new(xs[i], ys[i]).clamped(outline);
-            netlist.inst_mut(id).pos = if p.is_finite() { p } else { anchors[i] };
+        scratch.xs.clear();
+        scratch.xs.extend(scratch.anchors.iter().map(|p| p.x));
+        scratch.ys.clear();
+        scratch.ys.extend(scratch.anchors.iter().map(|p| p.y));
+        cg(
+            nbr_off,
+            nbr,
+            diag,
+            bx,
+            &mut scratch.xs,
+            cg_iters,
+            &mut scratch.r,
+            &mut scratch.z,
+            &mut scratch.dir,
+            &mut scratch.ap,
+        );
+        cg(
+            nbr_off,
+            nbr,
+            diag,
+            by,
+            &mut scratch.ys,
+            cg_iters,
+            &mut scratch.r,
+            &mut scratch.z,
+            &mut scratch.dir,
+            &mut scratch.ap,
+        );
+        for (i, &id) in movable.iter().enumerate() {
+            let p = Point::new(scratch.xs[i], scratch.ys[i]).clamped(outline);
+            netlist.inst_mut(id).pos = if p.is_finite() { p } else { scratch.anchors[i] };
+        }
+        *solves += 1;
+        if foldic_obs::metrics::is_enabled() {
+            // High-water count of solves that reused this system's scratch
+            // (max-merge: deterministic across pool threads).
+            foldic_obs::metrics::set_gauge_max("place.solve.scratch_reuse", (*solves - 1) as f64);
         }
     }
+}
 
-    /// Jacobi-preconditioned conjugate gradient for `A v = b` where
-    /// `A = diag − offdiag(edges)` (a weighted Laplacian plus anchors).
-    fn cg(&self, diag: &[f64], b: &[f64], mut v: Vec<f64>, iters: usize) -> Vec<f64> {
-        let n = v.len();
-        let mat_vec = |v: &[f64], out: &mut [f64]| {
-            for i in 0..n {
-                let mut s = diag[i] * v[i];
-                for &(j, w) in &self.nbr_index[i] {
-                    s -= w * v[j as usize];
-                }
-                out[i] = s;
-            }
-        };
-        let mut r = vec![0.0; n];
-        mat_vec(&v, &mut r);
+/// Jacobi-preconditioned conjugate gradient for `A v = b` where
+/// `A = diag − offdiag(nbr)` (a weighted Laplacian plus anchors). `v`
+/// holds the initial guess and receives the solution; `r`/`z`/`dir`/`ap`
+/// are caller-owned work vectors resized here.
+#[allow(clippy::too_many_arguments)]
+fn cg(
+    nbr_off: &[u32],
+    nbr: &[(u32, f64)],
+    diag: &[f64],
+    b: &[f64],
+    v: &mut [f64],
+    iters: usize,
+    r: &mut Vec<f64>,
+    z: &mut Vec<f64>,
+    dir: &mut Vec<f64>,
+    ap: &mut Vec<f64>,
+) {
+    let n = v.len();
+    let mat_vec = |v: &[f64], out: &mut [f64]| {
         for i in 0..n {
-            r[i] = b[i] - r[i];
+            let mut s = diag[i] * v[i];
+            for &(j, w) in &nbr[nbr_off[i] as usize..nbr_off[i + 1] as usize] {
+                s -= w * v[j as usize];
+            }
+            out[i] = s;
         }
-        let mut z: Vec<f64> = r.iter().zip(diag).map(|(ri, di)| ri / di).collect();
-        let mut p = z.clone();
-        let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
-        let mut ap = vec![0.0; n];
-        for _ in 0..iters {
-            if rz.abs() < 1e-12 {
-                break;
-            }
-            mat_vec(&p, &mut ap);
-            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
-            if pap.abs() < 1e-18 {
-                break;
-            }
-            let alpha = rz / pap;
-            for i in 0..n {
-                v[i] += alpha * p[i];
-                r[i] -= alpha * ap[i];
-            }
-            for i in 0..n {
-                z[i] = r[i] / diag[i];
-            }
-            let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
-            let beta = rz_new / rz;
-            rz = rz_new;
-            for i in 0..n {
-                p[i] = z[i] + beta * p[i];
-            }
+    };
+    r.clear();
+    r.resize(n, 0.0);
+    mat_vec(v, r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    z.clear();
+    z.extend(r.iter().zip(diag).map(|(ri, di)| ri / di));
+    dir.clear();
+    dir.extend_from_slice(z);
+    let mut rz: f64 = r.iter().zip(z.iter()).map(|(a, b)| a * b).sum();
+    ap.clear();
+    ap.resize(n, 0.0);
+    for _ in 0..iters {
+        if rz.abs() < 1e-12 {
+            break;
         }
-        v
+        mat_vec(dir, ap);
+        let pap: f64 = dir.iter().zip(ap.iter()).map(|(a, b)| a * b).sum();
+        if pap.abs() < 1e-18 {
+            break;
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            v[i] += alpha * dir[i];
+            r[i] -= alpha * ap[i];
+        }
+        for i in 0..n {
+            z[i] = r[i] / diag[i];
+        }
+        let rz_new: f64 = r.iter().zip(z.iter()).map(|(a, b)| a * b).sum();
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            dir[i] = z[i] + beta * dir[i];
+        }
     }
 }
 
@@ -280,5 +438,58 @@ mod tests {
         sys.solve(&mut nl, outline, 50, 0.5);
         let p = nl.inst(a).pos;
         assert!((p.x - 30.0).abs() < 1e-3 && (p.y - 70.0).abs() < 1e-3);
+    }
+
+    /// A solve on warm scratch (second and later solves of one system)
+    /// must be bitwise identical to the same solve on a freshly built
+    /// system — the scratch-reuse path cannot leak state.
+    #[test]
+    fn scratch_reuse_matches_fresh_build_bitwise() {
+        let lib = CellLibrary::cmos28();
+        let master = InstMaster::Cell(lib.id_of(CellKind::Buf, Drive::X2, VthClass::Rvt));
+        let mut nl = Netlist::new("star");
+        let anchor = nl.add_port("in", PortDir::Input, foldic_netlist::ClockDomain::Cpu);
+        nl.port_mut(anchor).pos = Point::new(10.0, 10.0);
+        // a wide net (star) plus a small clique net
+        let cells: Vec<InstId> = (0..12)
+            .map(|i| {
+                let c = nl.add_inst(format!("s{i}"), master);
+                nl.inst_mut(c).pos = Point::new(5.0 * i as f64, 3.0 * (i % 5) as f64);
+                c
+            })
+            .collect();
+        let wide = nl.add_net("wide");
+        nl.connect_driver(wide, PinRef::port(anchor));
+        for &c in &cells {
+            nl.connect_sink(wide, PinRef::input(c, 0));
+        }
+        let pair = nl.add_net("pair");
+        nl.connect_driver(pair, PinRef::output(cells[0]));
+        nl.connect_sink(pair, PinRef::input(cells[7], 1));
+
+        let outline = Rect::new(0.0, 0.0, 80.0, 80.0);
+        // warm path: one system solved three times
+        let mut warm_nl = nl.clone();
+        let mut warm = QuadraticSystem::build(&warm_nl, outline);
+        for i in 0..3 {
+            warm.solve(&mut warm_nl, outline, 40, 0.1 * (i + 1) as f64);
+        }
+        // fresh path: rebuild the system before every solve (scratch is
+        // always cold), driving the netlist through the same states
+        let mut fresh_nl = nl.clone();
+        for i in 0..3 {
+            let mut fresh = QuadraticSystem::build(&fresh_nl, outline);
+            fresh.solve(&mut fresh_nl, outline, 40, 0.1 * (i + 1) as f64);
+        }
+        for &c in &cells {
+            let w = warm_nl.inst(c).pos;
+            let f = fresh_nl.inst(c).pos;
+            assert_eq!(
+                (w.x.to_bits(), w.y.to_bits()),
+                (f.x.to_bits(), f.y.to_bits()),
+                "scratch reuse drifted for {}",
+                warm_nl.inst(c).name
+            );
+        }
     }
 }
