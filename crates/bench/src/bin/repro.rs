@@ -7,6 +7,9 @@
 //!       [--deadline SECS] [--stage-timeout STAGE=SECS,...]
 //! repro compare <baseline.json> <candidate.json> [--tol PCT]
 //! repro bench [FILTER] [--json out.json]
+//! repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--port-file PATH]
+//! repro loadgen --addr HOST:PORT [--jobs N] [--clients N] [--seed S] [--mix SPEC]
+//!               [--experiments a+b] [--size S] [--json out.json] [--gate] [--shutdown]
 //!
 //! EXPERIMENT: table1 table2 table3 table4 table5
 //!             fig2 fig3 fig5 fig6 fig7 fig8
@@ -45,6 +48,18 @@
 //! `foldic-kernel-bench/1` document for the CI gate and the perf
 //! trajectory baseline (`BENCH_kernels.json`).
 //!
+//! `repro serve` boots the batch design-study daemon (`foldic-serve`):
+//! an HTTP/1.1 job API with a bounded queue and a content-addressed
+//! result cache keyed on the canonical manifest config. `--addr` defaults
+//! to `127.0.0.1:0` (ephemeral port; the bound address is printed and,
+//! with `--port-file`, written to a file for scripts). The daemon runs
+//! until `POST /shutdown`, then drains in-flight jobs and exits. `repro
+//! loadgen` replays a seeded mix of hit/miss/cancel/deadline jobs against
+//! a running daemon and emits a `foldic-serve-bench/1` report; `--gate`
+//! exits nonzero when the run violated an invariant (client errors,
+//! failed jobs, rejected submissions, planned hits that missed), and
+//! `--shutdown` asks the daemon to drain afterwards.
+//!
 //! `--deadline SECS` bounds the whole run's wall clock: a watchdog trips
 //! a cancellation token on expiry, in-flight blocks stop at their next
 //! cooperative checkpoint and degrade, and not-yet-started blocks are
@@ -74,6 +89,9 @@ const USAGE: &str = "usage: repro [EXPERIMENT...] [--size full|small|tiny] [--th
        \x20            [--deadline SECS] [--stage-timeout STAGE=SECS,...]\n\
        repro compare <baseline.json> <candidate.json> [--tol PCT]\n\
        repro bench [FILTER] [--json out.json]\n\
+       repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--port-file PATH]\n\
+       repro loadgen --addr HOST:PORT [--jobs N] [--clients N] [--seed S] [--mix SPEC]\n\
+       \x20             [--experiments a+b] [--size S] [--json out.json] [--gate] [--shutdown]\n\
 experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6 fig7 fig8 thermal ablations layouts all\n\
 fault spec:  stage:block[:kind[:attempts]],... e.g. route:ccx:panic or place:mcu0:error:1\n\
              (stages: validate partition place opt route sta power floorplan; kinds: panic error slow)\n\
@@ -91,6 +109,12 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("bench") {
         std::process::exit(run_bench(&raw[1..]));
+    }
+    if raw.first().map(String::as_str) == Some("serve") {
+        std::process::exit(run_serve(&raw[1..]));
+    }
+    if raw.first().map(String::as_str) == Some("loadgen") {
+        std::process::exit(run_loadgen(&raw[1..]));
     }
 
     let mut size = "full".to_owned();
@@ -546,6 +570,252 @@ fn run_bench(args: &[String]) -> i32 {
         println!("bench: {} kernel(s) -> {}", results.len(), path.display());
     }
     0
+}
+
+/// `repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+/// [--port-file PATH]`. Runs until `POST /shutdown`, then drains.
+/// Exit code: 0 after a clean drain, 2 on usage/bind errors.
+fn run_serve(args: &[String]) -> i32 {
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut cfg = foldic_serve::ServerConfig::default();
+    let mut port_file: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--addr needs HOST:PORT"))
+                    .clone();
+            }
+            "--workers" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--workers needs a value"));
+                cfg.workers = v.parse().unwrap_or_else(|_| {
+                    usage_err(&format!("--workers needs a positive integer, got `{v}`"))
+                });
+                if cfg.workers == 0 {
+                    usage_err("--workers must be at least 1");
+                }
+            }
+            "--queue-cap" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--queue-cap needs a value"));
+                cfg.queue_capacity = v.parse().unwrap_or_else(|_| {
+                    usage_err(&format!("--queue-cap needs a positive integer, got `{v}`"))
+                });
+                if cfg.queue_capacity == 0 {
+                    usage_err("--queue-cap must be at least 1");
+                }
+            }
+            "--port-file" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--port-file needs a path"));
+                port_file = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other => usage_err(&format!("unknown serve argument `{other}`")),
+        }
+    }
+    let server = match foldic_serve::Server::bind(
+        &addr,
+        std::sync::Arc::new(foldic_bench::serve::BenchRunner),
+        cfg,
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            return 2;
+        }
+    };
+    let bound = server.local_addr();
+    println!(
+        "serve: listening on {bound} ({} worker(s), queue capacity {})",
+        cfg.workers, cfg.queue_capacity
+    );
+    if let Some(path) = port_file {
+        // The port file is how scripts learn an ephemeral port; written
+        // after the listener is live so its existence means "ready".
+        write_or_die(&path, &bound.to_string());
+        println!("serve: address written to {}", path.display());
+    }
+    server.wait_shutdown();
+    println!("serve: drained, exiting");
+    0
+}
+
+/// `repro loadgen --addr HOST:PORT [...]`. Exit code: 0 on success (and a
+/// passing gate when `--gate` is set), 1 on gate failure, 2 on usage or
+/// transport errors.
+fn run_loadgen(args: &[String]) -> i32 {
+    let mut addr: Option<std::net::SocketAddr> = None;
+    let mut jobs: Option<usize> = None;
+    let mut clients: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut mix: Option<foldic_serve::loadgen::MixWeights> = None;
+    let mut experiments: Option<Vec<String>> = None;
+    let mut size: Option<String> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut gate = false;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--addr needs HOST:PORT"));
+                addr =
+                    Some(v.parse().unwrap_or_else(|_| {
+                        usage_err(&format!("--addr needs HOST:PORT, got `{v}`"))
+                    }));
+            }
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--jobs needs a value"));
+                jobs = Some(v.parse().unwrap_or_else(|_| {
+                    usage_err(&format!("--jobs needs a positive integer, got `{v}`"))
+                }));
+            }
+            "--clients" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--clients needs a value"));
+                clients = Some(v.parse().unwrap_or_else(|_| {
+                    usage_err(&format!("--clients needs a positive integer, got `{v}`"))
+                }));
+            }
+            "--seed" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--seed needs a value"));
+                seed = Some(parse_u64_maybe_hex(v).unwrap_or_else(|| {
+                    usage_err(&format!(
+                        "--seed needs an integer (decimal or 0x hex), got `{v}`"
+                    ))
+                }));
+            }
+            "--mix" => {
+                let v = it.next().unwrap_or_else(|| {
+                    usage_err("--mix needs hit=..,miss=..,cancel=..,deadline=..")
+                });
+                mix = Some(
+                    foldic_serve::loadgen::MixWeights::parse(v)
+                        .unwrap_or_else(|e| usage_err(&format!("--mix: {e}"))),
+                );
+            }
+            "--experiments" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--experiments needs a +-separated list"));
+                experiments = Some(v.split('+').map(str::to_owned).collect());
+            }
+            "--size" => {
+                size = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_err("--size needs a value (full|small|tiny)"))
+                        .clone(),
+                );
+            }
+            "--json" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--json needs a path"));
+                json_path = Some(PathBuf::from(v));
+            }
+            "--gate" => gate = true,
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other => usage_err(&format!("unknown loadgen argument `{other}`")),
+        }
+    }
+    let Some(addr) = addr else {
+        usage_err("loadgen needs --addr HOST:PORT");
+    };
+    let mut cfg = foldic_serve::loadgen::LoadConfig::new(addr);
+    if let Some(jobs) = jobs {
+        cfg.jobs = jobs;
+    }
+    if let Some(clients) = clients {
+        cfg.clients = clients;
+    }
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    if let Some(mix) = mix {
+        cfg.mix = mix;
+    }
+    if let Some(experiments) = experiments {
+        cfg.experiments = experiments;
+    }
+    if let Some(size) = size {
+        cfg.size = size;
+    }
+
+    let report = match foldic_serve::loadgen::run(&cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "loadgen: {} job(s) x {} client(s), seed {} — {} done, {} cancelled, {} failed, {} rejected, {} error(s)",
+        report.jobs,
+        report.clients,
+        report.seed,
+        report.done,
+        report.cancelled,
+        report.failed,
+        report.rejected,
+        report.errors.len()
+    );
+    println!(
+        "loadgen: hit ratio {:.2}, throughput {:.1} jobs/s, latency p50/p90/p99/max = {:.1}/{:.1}/{:.1}/{:.1} ms",
+        report.hit_ratio,
+        report.throughput_jps,
+        report.latency_ms.get("p50").copied().unwrap_or(0.0),
+        report.latency_ms.get("p90").copied().unwrap_or(0.0),
+        report.latency_ms.get("p99").copied().unwrap_or(0.0),
+        report.latency_ms.get("max").copied().unwrap_or(0.0),
+    );
+    if let Some(path) = json_path {
+        write_or_die(&path, &report.to_json().to_pretty());
+        println!("loadgen: report -> {}", path.display());
+    }
+    if shutdown {
+        match foldic_serve::client::post(addr, "/shutdown", std::time::Duration::from_secs(10)) {
+            Ok(_) => println!("loadgen: asked {addr} to shut down"),
+            Err(e) => eprintln!("loadgen: shutdown request failed: {e}"),
+        }
+    }
+    if gate {
+        if let Err(problems) = report.gate() {
+            eprintln!("loadgen: GATE FAILED: {problems}");
+            return 1;
+        }
+        println!("loadgen: gate passed");
+    }
+    0
+}
+
+/// Parses `123` or `0x7b`.
+fn parse_u64_maybe_hex(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
 }
 
 /// `repro compare <baseline.json> <candidate.json> [--tol PCT]`.

@@ -15,6 +15,7 @@
 pub mod experiments;
 pub mod kernels;
 pub mod paper;
+pub mod serve;
 
 use foldic::prelude::*;
 use foldic::{CheckpointStore, FaultRecord, RetryPolicy};

@@ -1,0 +1,241 @@
+//! The real [`StudyRunner`] behind `repro serve`: executes paper
+//! experiments and emits `foldic-run-manifest/1` bodies.
+//!
+//! The canonical config this runner resolves a job to is **byte-for-byte
+//! the map the one-shot `repro --manifest` CLI writes** (`size`, hex
+//! `seed`, `cluster_size`, `experiments` in the fixed run order, plus
+//! `deadline` when bounded). That equality is what makes the daemon's
+//! content-addressed cache interoperate with offline manifests: a served
+//! result and a CLI run of the same study digest-compare clean with
+//! `repro compare`, and the serve cache key is a pure function of the
+//! same bytes. The e2e gate (`crates/bench/tests/serve_gate.rs`) pins it.
+//!
+//! Serve jobs keep the manifest's `timing` section `Null` and its
+//! `metrics` snapshot empty: both are process-global observations that
+//! would race between concurrent jobs, and both are excluded from
+//! comparison anyway. Deadline-bounded jobs ride the process-global
+//! deadline layer, so the scheduler dispatches them exclusively; this
+//! runner additionally serializes the install → run → drain → clear
+//! window behind a static mutex so even direct (non-scheduler) use
+//! cannot interleave two deadline installations.
+
+use crate::{experiments, Ctx};
+use foldic::{
+    clear_deadline, install_deadline, take_fault_log, Deadline, DeadlinePolicy, FaultRecord,
+    Watchdog,
+};
+use foldic_obs::manifest::RunManifest;
+use foldic_serve::queue::StudyRunner;
+use foldic_serve::JobSpec;
+use foldic_t2::T2Config;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Experiments the daemon serves, in the fixed `repro` run order.
+/// `layouts` (writes files) and the `all` alias are deliberately not
+/// servable: a job names its studies explicitly.
+pub const SERVABLE: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table5",
+    "thermal",
+    "ablations",
+];
+
+/// Guards the process-global deadline window (see module docs).
+static DEADLINE_WINDOW: Mutex<()> = Mutex::new(());
+
+/// Executes `foldic-bench` experiments for the serve scheduler.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BenchRunner;
+
+/// A resolved, runnable study.
+struct Resolved {
+    cfg: T2Config,
+    names: Vec<&'static str>,
+    config: BTreeMap<String, String>,
+}
+
+fn resolve_spec(spec: &JobSpec) -> Result<Resolved, String> {
+    let mut cfg = match spec.size.as_str() {
+        "full" => T2Config::full(),
+        "small" => T2Config::small(),
+        "tiny" => T2Config::tiny(),
+        other => return Err(format!("unknown size `{other}` (full|small|tiny)")),
+    };
+    if let Some(seed) = spec.seed {
+        cfg.seed = seed;
+    }
+    for name in &spec.experiments {
+        if !SERVABLE.contains(&name.as_str()) {
+            return Err(format!(
+                "experiment `{name}` is not servable (servable: {})",
+                SERVABLE.join(" ")
+            ));
+        }
+    }
+    // Canonical order + dedup: the run order is fixed, so two jobs naming
+    // the same set of studies resolve to the same config — and the same
+    // cache entry — regardless of how the client ordered them.
+    let names: Vec<&'static str> = SERVABLE
+        .iter()
+        .copied()
+        .filter(|name| spec.experiments.iter().any(|e| e == name))
+        .collect();
+
+    let mut config = BTreeMap::new();
+    config.insert("size".to_owned(), spec.size.clone());
+    config.insert("seed".to_owned(), format!("{:#x}", cfg.seed));
+    config.insert("cluster_size".to_owned(), cfg.cluster_size.to_string());
+    config.insert("experiments".to_owned(), names.join("+"));
+    if let Some(secs) = spec.deadline_secs {
+        config.insert("deadline".to_owned(), format!("{secs}"));
+    }
+    Ok(Resolved { cfg, names, config })
+}
+
+fn run_experiments(ctx: &mut Ctx, names: &[&'static str], manifest: &mut RunManifest) {
+    for name in names {
+        let text = match *name {
+            "table1" => experiments::table1(&ctx.tech),
+            "table2" => experiments::table2(ctx),
+            "table3" => experiments::table3(ctx),
+            "table4" => experiments::table4(ctx),
+            "fig2" => experiments::fig2(ctx),
+            "fig3" => experiments::fig3(ctx),
+            "fig5" => experiments::fig5(ctx),
+            "fig6" => experiments::fig6(ctx),
+            "fig7" => experiments::fig7(ctx),
+            "fig8" => experiments::fig8(ctx),
+            "table5" => experiments::table5(ctx),
+            "thermal" => experiments::thermal(ctx),
+            "ablations" => experiments::ablations(ctx),
+            other => unreachable!("unservable experiment `{other}` past resolve"),
+        };
+        manifest.record_result(name, &text);
+    }
+}
+
+impl StudyRunner for BenchRunner {
+    fn resolve(&self, spec: &JobSpec) -> Result<BTreeMap<String, String>, String> {
+        Ok(resolve_spec(spec)?.config)
+    }
+
+    fn run(&self, spec: &JobSpec) -> Result<String, String> {
+        let resolved = resolve_spec(spec)?;
+        let mut manifest = RunManifest {
+            config: resolved.config,
+            ..RunManifest::default()
+        };
+        let mut ctx = Ctx::with_threads(resolved.cfg, spec.threads.max(1));
+
+        if let Some(secs) = spec.deadline_secs {
+            let window = DEADLINE_WINDOW.lock().unwrap_or_else(|e| e.into_inner());
+            // Drop fault-log residue so this job's timeout provenance is
+            // its own (clean non-deadline runs never drain the log).
+            let _ = take_fault_log();
+            let overall = Duration::from_secs_f64(secs);
+            let policy = DeadlinePolicy {
+                overall: Some(overall),
+                ..Default::default()
+            };
+            let token = install_deadline(&policy);
+            let watchdog = Watchdog::spawn(Deadline::new(overall), token, Some("serve"));
+            let caught = foldic_exec::run_caught(std::panic::AssertUnwindSafe(|| {
+                run_experiments(&mut ctx, &resolved.names, &mut manifest);
+            }));
+            watchdog.disarm();
+            clear_deadline();
+            let (timeouts, faults): (Vec<FaultRecord>, Vec<FaultRecord>) =
+                take_fault_log().into_iter().partition(|r| r.timed_out);
+            drop(window);
+            caught.map_err(|p| format!("job panicked: {}", p.message()))?;
+            manifest.faults = faults.iter().map(FaultRecord::to_manifest_entry).collect();
+            manifest.timeouts = timeouts
+                .iter()
+                .map(FaultRecord::to_manifest_entry)
+                .collect();
+        } else {
+            run_experiments(&mut ctx, &resolved.names, &mut manifest);
+        }
+        Ok(manifest.to_json_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(names: &[&str], size: &str) -> JobSpec {
+        JobSpec {
+            experiments: names.iter().map(|s| (*s).to_owned()).collect(),
+            size: size.to_owned(),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn resolve_canonicalizes_order_and_dedups() {
+        let runner = BenchRunner;
+        let a = runner
+            .resolve(&spec(&["fig2", "table1", "fig2"], "tiny"))
+            .unwrap();
+        let b = runner.resolve(&spec(&["table1", "fig2"], "tiny")).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.get("experiments").unwrap(), "table1+fig2");
+        assert_eq!(a.get("size").unwrap(), "tiny");
+        assert_eq!(
+            a.get("seed").unwrap(),
+            &format!("{:#x}", T2Config::tiny().seed)
+        );
+        assert_eq!(
+            a.get("cluster_size").unwrap(),
+            &T2Config::tiny().cluster_size.to_string()
+        );
+    }
+
+    #[test]
+    fn resolve_rejects_unservable_and_unknown() {
+        let runner = BenchRunner;
+        for bad in ["layouts", "all", "bogus"] {
+            let err = runner.resolve(&spec(&[bad], "tiny")).unwrap_err();
+            assert!(err.contains("not servable"), "{bad}: {err}");
+        }
+        assert!(runner
+            .resolve(&spec(&["table1"], "huge"))
+            .unwrap_err()
+            .contains("unknown size"));
+    }
+
+    #[test]
+    fn seed_override_lands_in_the_config() {
+        let runner = BenchRunner;
+        let mut s = spec(&["table1"], "tiny");
+        s.seed = Some(0xBEEF);
+        let config = runner.resolve(&s).unwrap();
+        assert_eq!(config.get("seed").unwrap(), "0xbeef");
+    }
+
+    #[test]
+    fn run_emits_a_parseable_manifest_with_results() {
+        let runner = BenchRunner;
+        let body = runner.run(&spec(&["table1"], "tiny")).unwrap();
+        let manifest = RunManifest::parse(&body).unwrap();
+        assert_eq!(manifest.config.get("experiments").unwrap(), "table1");
+        assert!(manifest.results.contains_key("table1"));
+        assert!(manifest.faults.is_empty());
+        assert!(manifest.timeouts.is_empty());
+        // determinism: identical spec, identical bytes
+        let again = runner.run(&spec(&["table1"], "tiny")).unwrap();
+        assert_eq!(body, again);
+    }
+}

@@ -1,0 +1,329 @@
+//! End-to-end gate for the serve stack: a real daemon on an ephemeral
+//! port, concurrent HTTP submissions, and the interop contract — a served
+//! result is byte-for-byte the manifest the one-shot `repro` CLI writes
+//! for the same study (modulo the timing/metrics observations that are
+//! excluded from comparison), an identical resubmit is a cache hit with
+//! an identical body, a one-field config delta is a miss, and a
+//! deadline-bounded job degrades with `timed_out` provenance instead of
+//! being served stale from the cache.
+
+use foldic_bench::serve::BenchRunner;
+use foldic_obs::json::Json;
+use foldic_obs::manifest::RunManifest;
+use foldic_serve::client;
+use foldic_serve::{JobSpec, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("foldic-serve-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn boot() -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        Arc::new(BenchRunner),
+        ServerConfig::default(),
+    )
+    .expect("ephemeral bind")
+}
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+/// Debug-build experiment runs are slow; polls get a generous ceiling.
+const POLL: Duration = Duration::from_secs(600);
+
+fn spec(experiments: &[&str]) -> JobSpec {
+    JobSpec {
+        experiments: experiments.iter().map(|s| (*s).to_owned()).collect(),
+        size: "tiny".to_owned(),
+        ..JobSpec::default()
+    }
+}
+
+/// Submits over HTTP and returns `(status, response document)`.
+fn submit(addr: SocketAddr, spec: &JobSpec) -> (u16, Json) {
+    let response = client::post_json(addr, "/jobs", &spec.to_json(), TIMEOUT).expect("submit");
+    let doc = response.body_json().expect("submit response is JSON");
+    (response.status, doc)
+}
+
+/// Polls a job to `done` and returns its result body.
+fn await_result(addr: SocketAddr, id: u64) -> String {
+    let deadline = Instant::now() + POLL;
+    loop {
+        let doc = client::get(addr, &format!("/jobs/{id}"), TIMEOUT)
+            .expect("status")
+            .body_json()
+            .expect("status is JSON");
+        match doc.get("state").and_then(Json::as_str) {
+            Some("done") => break,
+            Some("failed") | Some("cancelled") => {
+                panic!("job {id} ended {:?}", doc.get("state"))
+            }
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let result = client::get(addr, &format!("/jobs/{id}/result"), TIMEOUT).expect("result");
+    assert_eq!(result.status, 200);
+    String::from_utf8(result.body).expect("manifest is UTF-8")
+}
+
+#[test]
+fn served_manifest_matches_the_one_shot_cli_run() {
+    let server = boot();
+    let addr = server.local_addr();
+
+    let (status, doc) = submit(addr, &spec(&["table1"]));
+    assert_eq!(status, 202, "first submission computes: {doc:?}");
+    let id = doc.get("job").and_then(Json::as_f64).unwrap() as u64;
+    let served_text = await_result(addr, id);
+    let served = RunManifest::parse(&served_text).expect("served body is a manifest");
+
+    // One-shot CLI run of the same study.
+    let manifest_path = tmp("oneshot-table1.json");
+    let out = repro()
+        .args([
+            "table1",
+            "--size",
+            "tiny",
+            "--manifest",
+            manifest_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let oneshot = RunManifest::parse(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+
+    // The identity part of the manifests is equal: config and digests.
+    assert_eq!(served.config, oneshot.config, "canonical config differs");
+    assert_eq!(served.results, oneshot.results, "result digests differ");
+
+    // And `repro compare` agrees: the one-shot run (extra metrics are
+    // mere changes) compares clean against the served baseline.
+    let served_path = tmp("served-table1.json");
+    std::fs::write(&served_path, &served_text).unwrap();
+    let out = repro()
+        .args([
+            "compare",
+            served_path.to_str().unwrap(),
+            manifest_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("compare runs");
+    assert!(
+        out.status.success(),
+        "compare regressed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn identical_resubmit_hits_and_delta_misses() {
+    let server = boot();
+    let addr = server.local_addr();
+
+    let study = spec(&["table1"]);
+    let (status, doc) = submit(addr, &study);
+    assert_eq!(status, 202);
+    let first = await_result(addr, doc.get("job").and_then(Json::as_f64).unwrap() as u64);
+
+    // Identical resubmit: answered instantly from the cache.
+    let (status, doc) = submit(addr, &study);
+    assert_eq!(status, 200, "resubmit must hit: {doc:?}");
+    assert_eq!(doc.get("cache").and_then(Json::as_str), Some("hit"));
+    let id = doc.get("job").and_then(Json::as_f64).unwrap() as u64;
+    let cached = await_result(addr, id);
+    assert_eq!(cached, first, "cache hit body must be byte-identical");
+
+    // The job status records the hit and carries the cache key…
+    let status_doc = client::get(addr, &format!("/jobs/{id}"), TIMEOUT)
+        .unwrap()
+        .body_json()
+        .unwrap();
+    let key = status_doc
+        .get("cache_key")
+        .and_then(Json::as_str)
+        .expect("cacheable job exposes its key")
+        .to_owned();
+    // …and the cache endpoint serves the entry's provenance.
+    let prov = client::get(addr, &format!("/cache/{key}"), TIMEOUT)
+        .unwrap()
+        .body_json()
+        .unwrap();
+    assert_eq!(
+        prov.get("config")
+            .and_then(|c| c.get("experiments"))
+            .and_then(Json::as_str),
+        Some("table1")
+    );
+    assert!(prov.get("hits").and_then(Json::as_f64).unwrap() >= 1.0);
+
+    // /stats sees exactly one insertion and at least one hit.
+    let stats = client::get(addr, "/stats", TIMEOUT)
+        .unwrap()
+        .body_json()
+        .unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("insertions").and_then(Json::as_f64), Some(1.0));
+    assert!(cache.get("hits").and_then(Json::as_f64).unwrap() >= 1.0);
+
+    // A one-field delta (seed override) is a miss and recomputes.
+    let mut delta = study;
+    delta.seed = Some(0xD_E17A);
+    let (status, doc) = submit(addr, &delta);
+    assert_eq!(status, 202, "delta must miss: {doc:?}");
+    let other = await_result(addr, doc.get("job").and_then(Json::as_f64).unwrap() as u64);
+    assert_ne!(other, first, "different seed, different manifest");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_submissions_converge_on_one_cached_body() {
+    let server = boot();
+    let addr = server.local_addr();
+
+    // Several client threads race the same study plus a few distinct
+    // ones; every same-study body must come out byte-identical.
+    let bodies: Vec<(bool, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut study = spec(&["table1"]);
+                    let same = i % 2 == 0;
+                    if !same {
+                        study.seed = Some(0x5EED_0000 + i as u64);
+                    }
+                    let (status, doc) = submit(addr, &study);
+                    assert!(status == 200 || status == 202, "submit {i}: {doc:?}");
+                    let id = doc.get("job").and_then(Json::as_f64).unwrap() as u64;
+                    (same, await_result(addr, id))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let same_bodies: Vec<&String> = bodies
+        .iter()
+        .filter(|(same, _)| *same)
+        .map(|(_, b)| b)
+        .collect();
+    assert!(same_bodies.len() >= 2);
+    for body in &same_bodies[1..] {
+        assert_eq!(*body, same_bodies[0], "same study, same bytes");
+    }
+    for (_, body) in &bodies {
+        RunManifest::parse(body).expect("every body is a manifest");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn deadline_job_degrades_with_timed_out_provenance_and_skips_the_cache() {
+    let server = boot();
+    let addr = server.local_addr();
+
+    // A budget far smaller than a tiny table2 run: the watchdog trips,
+    // blocks degrade cooperatively, and the job still completes `done`.
+    let mut study = spec(&["table2"]);
+    study.deadline_secs = Some(0.15);
+    let (status, doc) = submit(addr, &study);
+    assert_eq!(status, 202, "deadline jobs always compute: {doc:?}");
+    let body = await_result(addr, doc.get("job").and_then(Json::as_f64).unwrap() as u64);
+    let manifest = RunManifest::parse(&body).unwrap();
+    assert_eq!(
+        manifest.config.get("deadline").map(String::as_str),
+        Some("0.15")
+    );
+    assert!(
+        !manifest.timeouts.is_empty(),
+        "expired budget must surface as timed-out provenance"
+    );
+
+    // Resubmitting the identical deadline job computes again — deadline
+    // results are wall-clock-dependent and must never be cached.
+    let (status, _) = submit(addr, &study);
+    assert_eq!(status, 202, "deadline jobs never hit the cache");
+    server.shutdown();
+}
+
+#[test]
+fn loadgen_report_parses_and_gates_against_a_live_daemon() {
+    let server = boot();
+    let addr = server.local_addr();
+
+    let mut cfg = foldic_serve::loadgen::LoadConfig::new(addr);
+    cfg.jobs = 8;
+    cfg.clients = 2;
+    cfg.poll_timeout = POLL;
+    let report = foldic_serve::loadgen::run(&cfg).expect("loadgen runs");
+    let text = report.to_json().to_pretty();
+    let parsed = foldic_serve::loadgen::LoadReport::parse(&text).expect("report round-trips");
+    assert_eq!(parsed, report);
+    parsed.gate().expect("loadgen gate");
+    assert!(parsed.hits >= parsed.planned.get("hit").copied().unwrap_or(0));
+    server.shutdown();
+}
+
+#[test]
+fn http_error_paths_are_typed() {
+    let server = boot();
+    let addr = server.local_addr();
+
+    let cases = [
+        ("GET", "/jobs/999", None, 404),
+        ("GET", "/jobs/notanumber", None, 400),
+        ("GET", "/nope", None, 404),
+        ("DELETE", "/jobs", None, 405),
+        ("POST", "/jobs", Some("this is not json"), 400),
+        ("POST", "/jobs", Some(r#"{"size": "tiny"}"#), 400),
+        (
+            "POST",
+            "/jobs",
+            Some(r#"{"experiments": ["layouts"], "size": "tiny"}"#),
+            400,
+        ),
+        ("GET", "/cache/fnv64:0000000000000000", None, 404),
+    ];
+    for (method, path, body, expect) in cases {
+        let response = client::request(addr, method, path, body, TIMEOUT).unwrap();
+        assert_eq!(
+            response.status,
+            expect,
+            "{method} {path}: {:?}",
+            response.body_text()
+        );
+        // every error body is a JSON document with an `error` field
+        if expect >= 400 {
+            let doc = response.body_json().unwrap();
+            assert!(doc.get("error").is_some(), "{method} {path}");
+        }
+    }
+    // a queued-then-unfinished job's result is a 409 conflict
+    let (status, doc) = submit(addr, &spec(&["fig2"]));
+    assert_eq!(status, 202);
+    let id = doc.get("job").and_then(Json::as_f64).unwrap() as u64;
+    let result = client::get(addr, &format!("/jobs/{id}/result"), TIMEOUT).unwrap();
+    assert!(
+        result.status == 409 || result.status == 200,
+        "pending result must be 409 (or 200 if it already finished)"
+    );
+    let _ = await_result(addr, id);
+    server.shutdown();
+}

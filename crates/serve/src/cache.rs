@@ -1,0 +1,175 @@
+//! The content-addressed result cache.
+//!
+//! Keys are [`crate::job::cache_key`] digests of the canonical manifest
+//! config; values are the exact serialized manifest bodies returned to
+//! clients, so a cache hit is byte-identical to the recompute it
+//! replaces. Entries carry full provenance — the canonical config map
+//! that produced the body — so `GET /cache/<key>` can answer "what study
+//! is this?" without re-parsing the manifest. Nothing is ever evicted:
+//! the daemon serves a bounded universe of study configs (this is a
+//! design-study service, not a general object store), and an entry that
+//! stops being requested merely stops being read.
+
+use foldic_obs::json::Json;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One cached study result.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The serialized manifest body, exactly as first computed.
+    pub body: Arc<str>,
+    /// Canonical config that produced the body (manifest provenance).
+    pub config: BTreeMap<String, String>,
+    /// Times this entry satisfied a submission.
+    pub hits: u64,
+}
+
+/// Aggregate cache counters, snapshotted for `/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently stored.
+    pub entries: u64,
+    /// Submissions answered from the cache.
+    pub hits: u64,
+    /// Cacheable submissions that had to compute.
+    pub misses: u64,
+    /// Bodies inserted (≤ misses: failed jobs insert nothing).
+    pub insertions: u64,
+}
+
+/// Thread-safe content-addressed store of study results.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    map: Mutex<HashMap<String, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `key`, counting a hit (and bumping the entry's own hit
+    /// counter) or a miss.
+    pub fn lookup(&self, key: &str) -> Option<Arc<str>> {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get_mut(key) {
+            Some(entry) => {
+                entry.hits += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.body))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Reads an entry without touching any counter (introspection).
+    pub fn peek(&self, key: &str) -> Option<CacheEntry> {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    /// Stores a computed body under `key` with its provenance. The first
+    /// writer wins: a concurrent duplicate computation of the same study
+    /// produced a byte-identical body anyway (determinism contract), so
+    /// the existing entry — and its hit counter — is kept.
+    pub fn insert(&self, key: &str, config: BTreeMap<String, String>, body: Arc<str>) {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(key.to_owned()).or_insert_with(|| {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+            CacheEntry {
+                body,
+                config,
+                hits: 0,
+            }
+        });
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.map.lock().unwrap_or_else(|e| e.into_inner()).len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Provenance document for one entry (`GET /cache/<key>`).
+    pub fn provenance_json(&self, key: &str) -> Option<Json> {
+        let entry = self.peek(key)?;
+        Some(Json::obj([
+            ("key".to_owned(), Json::Str(key.to_owned())),
+            (
+                "config".to_owned(),
+                Json::Obj(
+                    entry
+                        .config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            ("hits".to_owned(), Json::Num(entry.hits as f64)),
+            ("bytes".to_owned(), Json::Num(entry.body.len() as f64)),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(size: &str) -> BTreeMap<String, String> {
+        let mut c = BTreeMap::new();
+        c.insert("size".to_owned(), size.to_owned());
+        c
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = ResultCache::new();
+        assert!(cache.lookup("fnv64:00").is_none());
+        cache.insert("fnv64:00", config("tiny"), Arc::from("body"));
+        assert_eq!(cache.lookup("fnv64:00").unwrap().as_ref(), "body");
+        assert_eq!(cache.lookup("fnv64:00").unwrap().as_ref(), "body");
+        let s = cache.stats();
+        assert_eq!((s.entries, s.hits, s.misses, s.insertions), (1, 2, 1, 1));
+        assert_eq!(cache.peek("fnv64:00").unwrap().hits, 2);
+    }
+
+    #[test]
+    fn first_writer_wins_on_duplicate_insert() {
+        let cache = ResultCache::new();
+        cache.insert("k", config("tiny"), Arc::from("first"));
+        cache.insert("k", config("tiny"), Arc::from("second"));
+        assert_eq!(cache.lookup("k").unwrap().as_ref(), "first");
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn provenance_reports_config_and_hit_count() {
+        let cache = ResultCache::new();
+        cache.insert("k", config("small"), Arc::from("{}"));
+        cache.lookup("k");
+        let p = cache.provenance_json("k").unwrap();
+        assert_eq!(
+            p.get("config").unwrap().get("size").unwrap().as_str(),
+            Some("small")
+        );
+        assert_eq!(p.get("hits").unwrap().as_f64(), Some(1.0));
+        assert!(cache.provenance_json("nope").is_none());
+    }
+}

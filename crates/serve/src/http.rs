@@ -1,0 +1,460 @@
+//! Bounded, typed HTTP/1.1 request parsing and response writing.
+//!
+//! The daemon feeds on whatever bytes arrive on a TCP socket, so the
+//! parser is written like `foldic_obs::json::Json::parse`: every
+//! malformed, truncated or oversized input maps to a *typed* error (which
+//! the server turns into a 4xx response) — never a panic, and never an
+//! unbounded read. All limits are explicit constants so the fuzz suite
+//! can probe exactly one byte past each of them.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line (`METHOD SP TARGET SP VERSION\r\n`).
+pub const MAX_REQUEST_LINE: usize = 4096;
+/// Longest accepted single header line.
+pub const MAX_HEADER_LINE: usize = 4096;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A typed request-handling failure, mapped to an HTTP status code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a single byte —
+    /// not a protocol error, the server just drops the connection.
+    Closed,
+    /// Malformed syntax, truncated request, bad content length… (400).
+    BadRequest(String),
+    /// Request target longer than [`MAX_REQUEST_LINE`] allows (414).
+    UriTooLong(String),
+    /// A header line or the header count blew its limit (431).
+    HeadersTooLarge(String),
+    /// Declared or actual body larger than [`MAX_BODY_BYTES`] (413).
+    PayloadTooLarge(String),
+    /// The socket read timed out mid-request — a torn write the peer
+    /// never finished (408).
+    Timeout(String),
+    /// A feature this server deliberately does not implement, e.g.
+    /// chunked transfer encoding (501).
+    NotImplemented(String),
+}
+
+impl HttpError {
+    /// The HTTP status code this error maps to (0 for [`HttpError::Closed`],
+    /// which produces no response at all).
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Closed => 0,
+            HttpError::BadRequest(_) => 400,
+            HttpError::Timeout(_) => 408,
+            HttpError::PayloadTooLarge(_) => 413,
+            HttpError::UriTooLong(_) => 414,
+            HttpError::HeadersTooLarge(_) => 431,
+            HttpError::NotImplemented(_) => 501,
+        }
+    }
+
+    /// The human-readable detail carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            HttpError::Closed => "connection closed",
+            HttpError::BadRequest(m)
+            | HttpError::UriTooLong(m)
+            | HttpError::HeadersTooLarge(m)
+            | HttpError::PayloadTooLarge(m)
+            | HttpError::Timeout(m)
+            | HttpError::NotImplemented(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status(), self.message())
+    }
+}
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path, no scheme/authority).
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one line (up to and including `\n`) with a hard byte cap.
+/// Returns the line without its `\r\n` / `\n` terminator.
+fn read_line_capped(
+    reader: &mut dyn BufRead,
+    cap: usize,
+    what: &str,
+) -> Result<Option<String>, HttpError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None); // clean EOF at a line boundary
+                }
+                return Err(HttpError::BadRequest(format!("truncated {what}")));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let line = String::from_utf8(buf)
+                        .map_err(|_| HttpError::BadRequest(format!("{what} is not UTF-8")))?;
+                    return Ok(Some(line));
+                }
+                buf.push(byte[0]);
+                if buf.len() > cap {
+                    return Err(match what {
+                        "request line" => {
+                            HttpError::UriTooLong(format!("request line exceeds {cap} bytes"))
+                        }
+                        _ => HttpError::HeadersTooLarge(format!("{what} exceeds {cap} bytes")),
+                    });
+                }
+            }
+            Err(e) if is_timeout(&e) => {
+                return Err(HttpError::Timeout(format!("read timed out in {what}")));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::BadRequest(format!("read error in {what}: {e}"))),
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads and parses one request from `reader`.
+///
+/// # Errors
+///
+/// [`HttpError::Closed`] when the peer sent nothing at all; otherwise a
+/// typed 4xx/5xx error for every way the request can be malformed,
+/// truncated, oversized or stalled. Never panics; every read is bounded
+/// by a byte cap, so a hostile peer cannot make this allocate or loop
+/// without limit (the caller bounds wall time via socket read timeouts).
+pub fn read_request(reader: &mut dyn BufRead) -> Result<Request, HttpError> {
+    let Some(line) = read_line_capped(reader, MAX_REQUEST_LINE, "request line")? else {
+        return Err(HttpError::Closed);
+    };
+    if line.is_empty() {
+        return Err(HttpError::BadRequest("empty request line".to_owned()));
+    }
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line `{}`",
+                line.chars().take(80).collect::<String>()
+            )))
+        }
+    };
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest(format!("bad method `{method}`")));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::BadRequest(format!("bad target `{path}`")));
+    }
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let Some(line) = read_line_capped(reader, MAX_HEADER_LINE, "header")? else {
+            return Err(HttpError::BadRequest("truncated headers".to_owned()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadersTooLarge(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!(
+                "header without colon `{}`",
+                line.chars().take(80).collect::<String>()
+            )));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest(format!("bad header name `{name}`")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let mut request = Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::NotImplemented(
+            "transfer-encoding is not supported; send Content-Length".to_owned(),
+        ));
+    }
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length `{len}`")))?;
+        if len > MAX_BODY_BYTES {
+            return Err(HttpError::PayloadTooLarge(format!(
+                "body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            )));
+        }
+        let mut body = vec![0u8; len];
+        let mut read = 0;
+        while read < len {
+            match reader.read(&mut body[read..]) {
+                Ok(0) => {
+                    return Err(HttpError::BadRequest(format!(
+                        "truncated body ({read} of {len} bytes)"
+                    )))
+                }
+                Ok(n) => read += n,
+                Err(e) if is_timeout(&e) => {
+                    return Err(HttpError::Timeout(format!(
+                        "read timed out in body ({read} of {len} bytes)"
+                    )));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(HttpError::BadRequest(format!("read error in body: {e}"))),
+            }
+        }
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// Standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond the automatic `Content-Length`,
+    /// `Content-Type` and `Connection: close`.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// `Content-Type` value (defaults to `application/json`).
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response from a `foldic_obs` value.
+    pub fn json(status: u16, value: &foldic_obs::json::Json) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: value.to_pretty().into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A JSON response whose body is pre-serialized text (used to return
+    /// cached manifest bodies byte-identically).
+    pub fn json_text(status: u16, body: &str) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A JSON error body `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let value = foldic_obs::json::Json::obj([(
+            "error".to_owned(),
+            foldic_obs::json::Json::Str(message.to_owned()),
+        )]);
+        Self::json(status, &value)
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_owned(), value));
+        self
+    }
+
+    /// Serializes the response (status line, headers, body) to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to(&self, w: &mut dyn Write) -> std::io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        write!(w, "Content-Type: {}\r\n", self.content_type)?;
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        write!(w, "Connection: close\r\n")?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(bytes.to_vec()))
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let r = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_bare_lf_lines() {
+        let r = parse(b"POST /jobs HTTP/1.1\nContent-Length: 4\n\nabcd").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn empty_connection_is_closed_not_an_error_response() {
+        assert_eq!(parse(b"").unwrap_err(), HttpError::Closed);
+    }
+
+    #[test]
+    fn truncated_requests_are_bad_requests() {
+        for bytes in [
+            &b"GET /x HTTP/1.1"[..],                                   // no line end
+            &b"GET /x HTTP/1.1\r\nHost: y"[..],                        // headers never finish
+            &b"GET /x HTTP/1.1\r\nHost: y\r\n"[..],                    // no blank line
+            &b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"[..], // short body
+        ] {
+            let err = parse(bytes).unwrap_err();
+            assert_eq!(err.status(), 400, "{bytes:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn limits_map_to_their_own_status_codes() {
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        assert_eq!(parse(long_target.as_bytes()).unwrap_err().status(), 414);
+
+        let big_header = format!(
+            "GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "b".repeat(MAX_HEADER_LINE)
+        );
+        assert_eq!(parse(big_header.as_bytes()).unwrap_err().status(), 431);
+
+        let many_headers = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            (0..=MAX_HEADERS)
+                .map(|i| format!("X-{i}: v\r\n"))
+                .collect::<String>()
+        );
+        assert_eq!(parse(many_headers.as_bytes()).unwrap_err().status(), 431);
+
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse(huge_body.as_bytes()).unwrap_err().status(), 413);
+
+        let chunked = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert_eq!(parse(chunked).unwrap_err().status(), 501);
+    }
+
+    #[test]
+    fn malformed_syntax_is_rejected() {
+        for bytes in [
+            &b"GET\r\n\r\n"[..],
+            &b"GET /x\r\n\r\n"[..],
+            &b"GET /x HTTP/2\r\n\r\n"[..],
+            &b"get /x HTTP/1.1\r\n\r\n"[..],
+            &b"GET x HTTP/1.1\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1 extra\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nContent-Length: NaN\r\n\r\n"[..],
+            &b"\r\n\r\n"[..],
+        ] {
+            let err = parse(bytes).unwrap_err();
+            assert_eq!(err.status(), 400, "{bytes:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::error(429, "queue full")
+            .with_header("Retry-After", "1".to_owned())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        assert!(text.contains(&format!("Content-Length: {}\r\n", body.len())));
+        assert!(body.contains("queue full"));
+    }
+}

@@ -1,0 +1,753 @@
+//! Bounded FIFO job queue, admission control and the worker pool.
+//!
+//! The scheduler is deliberately boring: strict FIFO dispatch from a
+//! bounded queue, a fixed worker pool, and four hard rules.
+//!
+//! 1. **Admission**: a submission that finds the queue full is rejected
+//!    immediately with a `Retry-After` hint (the server turns it into a
+//!    429). Nothing ever blocks a client on a full queue.
+//! 2. **Cache first**: a cacheable submission whose content address is
+//!    already stored completes instantly — the job record is born `done`
+//!    with the cached, byte-identical body, and no worker is involved.
+//! 3. **Cancel-before-start is absolute**: a queued job that is
+//!    cancelled never reaches a worker; the runner never sees its spec.
+//!    Cancelling a running job does not interrupt it (runs are the
+//!    expensive thing being served; interruption is the deadline layer's
+//!    job) — the cancel call just reports the current state.
+//! 4. **Deadline jobs run exclusively**: the `foldic-fault` deadline
+//!    layer is process-global, so a deadline-bounded job must not share
+//!    the process with other running jobs (they would observe its stage
+//!    budgets). FIFO order is kept: when a deadline job reaches the head
+//!    of the queue, dispatch waits for running jobs to drain, runs it
+//!    alone, then resumes normal concurrency. No starvation in either
+//!    direction, because the head of the queue always dispatches next.
+//!
+//! Shutdown drains: in-flight jobs run to completion, still-queued jobs
+//! are cancelled, workers are joined. The property tests in
+//! `tests/queue_props.rs` pin all four rules plus drain-without-deadlock.
+
+use crate::cache::ResultCache;
+use crate::job::{cache_key, JobSpec};
+use foldic_obs::json::Json;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Executes studies for the scheduler. Implementations live outside this
+/// crate (the real one, in `foldic-bench`, runs paper experiments and
+/// returns manifest text) so the serving layer stays flow-free.
+pub trait StudyRunner: Send + Sync {
+    /// Validates a spec and returns its canonical manifest config — the
+    /// cache identity. Must be cheap and side-effect free; called at
+    /// submission time.
+    ///
+    /// # Errors
+    ///
+    /// A message describing why the spec is not servable (mapped to 400).
+    fn resolve(&self, spec: &JobSpec) -> Result<BTreeMap<String, String>, String>;
+
+    /// Runs the study to completion and returns the serialized manifest
+    /// body. Deterministic for cacheable specs: the same spec must
+    /// produce byte-identical output on every call.
+    ///
+    /// # Errors
+    ///
+    /// A message describing the failure (the job lands in `failed`).
+    fn run(&self, spec: &JobSpec) -> Result<String, String>;
+}
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the FIFO queue.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished with a result body.
+    Done,
+    /// Finished with an error.
+    Failed,
+    /// Cancelled before a worker picked it up.
+    Cancelled,
+}
+
+impl JobState {
+    /// Stable lower-case name used in the HTTP API.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// `true` once the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// Outcome of a submission attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submission {
+    /// Served from the content-addressed cache; the job is already done.
+    Hit {
+        /// Id of the (already terminal) job record.
+        id: u64,
+    },
+    /// Admitted to the queue.
+    Queued {
+        /// Id of the queued job.
+        id: u64,
+    },
+    /// Queue full — retry after the hinted number of seconds (429).
+    Rejected {
+        /// `Retry-After` hint in seconds.
+        retry_after_secs: u32,
+    },
+    /// The scheduler is shutting down (503).
+    Draining,
+    /// The spec failed validation (400).
+    Invalid(String),
+}
+
+/// Snapshot of one job for the status endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: u64,
+    /// Current state.
+    pub state: JobState,
+    /// Whether the result came from the cache.
+    pub cache_hit: bool,
+    /// Content address of the study (cacheable jobs only).
+    pub cache_key: Option<String>,
+    /// Canonical config the job resolved to.
+    pub config: BTreeMap<String, String>,
+    /// Failure message, for `failed` jobs.
+    pub error: Option<String>,
+    /// Result body, for `done` jobs.
+    pub body: Option<Arc<str>>,
+}
+
+impl JobStatus {
+    /// The status document returned by `GET /jobs/<id>`.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("job".to_owned(), Json::Num(self.id as f64)),
+            (
+                "state".to_owned(),
+                Json::Str(self.state.as_str().to_owned()),
+            ),
+            (
+                "cache".to_owned(),
+                Json::Str(if self.cache_hit { "hit" } else { "miss" }.to_owned()),
+            ),
+            (
+                "config".to_owned(),
+                Json::Obj(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(key) = &self.cache_key {
+            fields.push(("cache_key".to_owned(), Json::Str(key.clone())));
+        }
+        if let Some(error) = &self.error {
+            fields.push(("error".to_owned(), Json::Str(error.clone())));
+        }
+        Json::obj(fields)
+    }
+}
+
+struct Job {
+    spec: JobSpec,
+    status: JobStatus,
+    exclusive: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    rejected: u64,
+}
+
+struct State {
+    jobs: HashMap<u64, Job>,
+    queue: VecDeque<u64>,
+    /// Jobs currently in [`JobState::Queued`] (admission bound; `queue`
+    /// may also hold ids of already-cancelled jobs, skipped at dispatch).
+    queued: usize,
+    running: usize,
+    exclusive_active: bool,
+    next_id: u64,
+    draining: bool,
+    counters: Counters,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for dispatchable work.
+    work: Condvar,
+    /// Status watchers wait here for state changes.
+    changed: Condvar,
+    cache: ResultCache,
+    runner: Arc<dyn StudyRunner>,
+    cfg: SchedulerConfig,
+}
+
+/// Scheduler tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Most jobs that may wait in the queue at once.
+    pub queue_capacity: usize,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// `Retry-After` hint handed out on admission rejection.
+    pub retry_after_secs: u32,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            workers: 2,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// The bounded FIFO scheduler plus its worker pool.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Creates the scheduler and spawns its workers.
+    pub fn new(runner: Arc<dyn StudyRunner>, cfg: SchedulerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                queued: 0,
+                running: 0,
+                exclusive_active: false,
+                next_id: 1,
+                draining: false,
+                counters: Counters::default(),
+            }),
+            work: Condvar::new(),
+            changed: Condvar::new(),
+            cache: ResultCache::new(),
+            runner,
+            cfg,
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("foldic-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .filter_map(Result::ok)
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The result cache (stats and introspection endpoints).
+    pub fn cache(&self) -> &ResultCache {
+        &self.shared.cache
+    }
+
+    /// Submits a job: validates, consults the cache, then queues.
+    pub fn submit(&self, spec: JobSpec) -> Submission {
+        let config = match self.shared.runner.resolve(&spec) {
+            Ok(config) => config,
+            Err(msg) => return Submission::Invalid(msg),
+        };
+        let key = cache_key(&config);
+        let cacheable = spec.cacheable();
+
+        let mut state = self.lock();
+        if state.draining {
+            return Submission::Draining;
+        }
+        state.counters.submitted += 1;
+        if cacheable {
+            // Cache consultation happens under the state lock so the
+            // hit/miss counters observed by a status probe are always
+            // consistent with the job table.
+            if let Some(body) = self.shared.cache.lookup(&key) {
+                let id = state.next_id;
+                state.next_id += 1;
+                state.counters.completed += 1;
+                state.jobs.insert(
+                    id,
+                    Job {
+                        spec,
+                        status: JobStatus {
+                            id,
+                            state: JobState::Done,
+                            cache_hit: true,
+                            cache_key: Some(key),
+                            config,
+                            error: None,
+                            body: Some(body),
+                        },
+                        exclusive: false,
+                    },
+                );
+                self.shared.changed.notify_all();
+                return Submission::Hit { id };
+            }
+        }
+        if state.queued >= self.shared.cfg.queue_capacity {
+            state.counters.submitted -= 1;
+            state.counters.rejected += 1;
+            return Submission::Rejected {
+                retry_after_secs: self.shared.cfg.retry_after_secs,
+            };
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        let exclusive = spec.deadline_secs.is_some();
+        state.jobs.insert(
+            id,
+            Job {
+                spec,
+                status: JobStatus {
+                    id,
+                    state: JobState::Queued,
+                    cache_hit: false,
+                    cache_key: cacheable.then(|| key.clone()),
+                    config,
+                    error: None,
+                    body: None,
+                },
+                exclusive,
+            },
+        );
+        state.queue.push_back(id);
+        state.queued += 1;
+        drop(state);
+        self.shared.work.notify_all();
+        Submission::Queued { id }
+    }
+
+    /// Snapshot of one job.
+    pub fn status(&self, id: u64) -> Option<JobStatus> {
+        self.lock().jobs.get(&id).map(|j| j.status.clone())
+    }
+
+    /// Cancels a job. Queued jobs become [`JobState::Cancelled`] and
+    /// will never execute; jobs in any other state are left untouched.
+    /// Returns the state after the call (`None`: unknown id).
+    pub fn cancel(&self, id: u64) -> Option<JobState> {
+        let mut state = self.lock();
+        let job = state.jobs.get_mut(&id)?;
+        if job.status.state == JobState::Queued {
+            job.status.state = JobState::Cancelled;
+            state.queued -= 1;
+            state.counters.cancelled += 1;
+            self.shared.work.notify_all();
+            self.shared.changed.notify_all();
+            return Some(JobState::Cancelled);
+        }
+        Some(job.status.state)
+    }
+
+    /// Blocks until job `id` reaches a terminal state, with a timeout.
+    /// Returns the terminal state, or the current state on timeout
+    /// (`None`: unknown id).
+    pub fn wait_terminal(&self, id: u64, timeout: Duration) -> Option<JobState> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            let current = state.jobs.get(&id)?.status.state;
+            if current.is_terminal() {
+                return Some(current);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Some(current);
+            }
+            state = self
+                .shared
+                .changed
+                .wait_timeout(state, left)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// The `/stats` document: job counts by state, queue occupancy,
+    /// cache counters. Everything here is a counter, not a wall-clock
+    /// reading, so two probes of an idle daemon return identical bytes.
+    pub fn stats_json(&self) -> Json {
+        let state = self.lock();
+        let mut by_state: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
+            by_state.insert(s.as_str(), 0);
+        }
+        for job in state.jobs.values() {
+            *by_state.entry(job.status.state.as_str()).or_default() += 1;
+        }
+        let cache = self.shared.cache.stats();
+        Json::obj([
+            (
+                "schema".to_owned(),
+                Json::Str("foldic-serve-stats/1".to_owned()),
+            ),
+            (
+                "jobs".to_owned(),
+                Json::Obj(
+                    by_state
+                        .into_iter()
+                        .map(|(k, v)| (k.to_owned(), Json::Num(v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "queue".to_owned(),
+                Json::obj([
+                    ("depth".to_owned(), Json::Num(state.queued as f64)),
+                    (
+                        "capacity".to_owned(),
+                        Json::Num(self.shared.cfg.queue_capacity as f64),
+                    ),
+                    (
+                        "rejected".to_owned(),
+                        Json::Num(state.counters.rejected as f64),
+                    ),
+                ]),
+            ),
+            (
+                "counters".to_owned(),
+                Json::obj([
+                    (
+                        "submitted".to_owned(),
+                        Json::Num(state.counters.submitted as f64),
+                    ),
+                    (
+                        "completed".to_owned(),
+                        Json::Num(state.counters.completed as f64),
+                    ),
+                    ("failed".to_owned(), Json::Num(state.counters.failed as f64)),
+                    (
+                        "cancelled".to_owned(),
+                        Json::Num(state.counters.cancelled as f64),
+                    ),
+                ]),
+            ),
+            (
+                "cache".to_owned(),
+                Json::obj([
+                    ("entries".to_owned(), Json::Num(cache.entries as f64)),
+                    ("hits".to_owned(), Json::Num(cache.hits as f64)),
+                    ("misses".to_owned(), Json::Num(cache.misses as f64)),
+                    ("insertions".to_owned(), Json::Num(cache.insertions as f64)),
+                ]),
+            ),
+            (
+                "workers".to_owned(),
+                Json::Num(self.shared.cfg.workers as f64),
+            ),
+        ])
+    }
+
+    /// Drains and stops: no new submissions, queued jobs cancelled,
+    /// in-flight jobs run to completion, workers joined. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.lock();
+            state.draining = true;
+            let ids: Vec<u64> = state.queue.iter().copied().collect();
+            for id in ids {
+                if let Some(job) = state.jobs.get_mut(&id) {
+                    if job.status.state == JobState::Queued {
+                        job.status.state = JobState::Cancelled;
+                        state.queued -= 1;
+                        state.counters.cancelled += 1;
+                    }
+                }
+            }
+            state.queue.clear();
+        }
+        self.shared.work.notify_all();
+        self.shared.changed.notify_all();
+        let workers: Vec<_> = {
+            let mut guard = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+            guard.drain(..).collect()
+        };
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: strict-FIFO dispatch honoring the exclusivity rule, then
+/// execution outside the lock, then completion bookkeeping.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (id, spec, cacheable_key, config, exclusive) = {
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                // Drop already-cancelled heads so they never block FIFO.
+                while let Some(&head) = state.queue.front() {
+                    let gone = state
+                        .jobs
+                        .get(&head)
+                        .is_none_or(|j| j.status.state != JobState::Queued);
+                    if gone {
+                        state.queue.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                let dispatchable = state.queue.front().and_then(|&head| {
+                    let job = state.jobs.get(&head)?;
+                    let ok = if job.exclusive {
+                        state.running == 0
+                    } else {
+                        !state.exclusive_active
+                    };
+                    ok.then_some(head)
+                });
+                if let Some(id) = dispatchable {
+                    state.queue.pop_front();
+                    state.queued -= 1;
+                    state.running += 1;
+                    let job = match state.jobs.get_mut(&id) {
+                        Some(job) => job,
+                        None => {
+                            state.running -= 1;
+                            continue;
+                        }
+                    };
+                    job.status.state = JobState::Running;
+                    let picked = (
+                        id,
+                        job.spec.clone(),
+                        job.status.cache_key.clone(),
+                        job.status.config.clone(),
+                        job.exclusive,
+                    );
+                    if picked.4 {
+                        state.exclusive_active = true;
+                    }
+                    shared.changed.notify_all();
+                    break picked;
+                }
+                if state.draining && state.queue.is_empty() {
+                    return;
+                }
+                state = shared.work.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+
+        // Execute outside the lock. A panicking runner must not take the
+        // worker down — it becomes a failed job, same as a runner error.
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| shared.runner.run(&spec))).unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "runner panicked".to_owned());
+                Err(format!("runner panicked: {msg}"))
+            });
+
+        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.running -= 1;
+        if exclusive {
+            state.exclusive_active = false;
+        }
+        if let Some(job) = state.jobs.get_mut(&id) {
+            match outcome {
+                Ok(body) => {
+                    let body: Arc<str> = Arc::from(body);
+                    if let Some(key) = &cacheable_key {
+                        shared.cache.insert(key, config, Arc::clone(&body));
+                    }
+                    job.status.state = JobState::Done;
+                    job.status.body = Some(body);
+                    state.counters.completed += 1;
+                }
+                Err(msg) => {
+                    job.status.state = JobState::Failed;
+                    job.status.error = Some(msg);
+                    state.counters.failed += 1;
+                }
+            }
+        }
+        drop(state);
+        shared.work.notify_all();
+        shared.changed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A runner that echoes its config as the body.
+    struct EchoRunner;
+    impl StudyRunner for EchoRunner {
+        fn resolve(&self, spec: &JobSpec) -> Result<BTreeMap<String, String>, String> {
+            if spec.size == "bogus" {
+                return Err("unknown size `bogus`".to_owned());
+            }
+            let mut config = BTreeMap::new();
+            config.insert("experiments".to_owned(), spec.experiments.join("+"));
+            config.insert("size".to_owned(), spec.size.clone());
+            if let Some(seed) = spec.seed {
+                config.insert("seed".to_owned(), format!("{seed:#x}"));
+            }
+            Ok(config)
+        }
+        fn run(&self, spec: &JobSpec) -> Result<String, String> {
+            if spec.experiments.iter().any(|e| e == "explode") {
+                panic!("kaboom");
+            }
+            if spec.experiments.iter().any(|e| e == "fail") {
+                return Err("synthetic failure".to_owned());
+            }
+            Ok(format!("result for {}", spec.experiments.join("+")))
+        }
+    }
+
+    fn spec(names: &[&str]) -> JobSpec {
+        JobSpec {
+            experiments: names.iter().map(|s| (*s).to_owned()).collect(),
+            size: "tiny".to_owned(),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn submit_run_and_cache_hit_round_trip() {
+        let sched = Scheduler::new(Arc::new(EchoRunner), SchedulerConfig::default());
+        let Submission::Queued { id } = sched.submit(spec(&["table1"])) else {
+            panic!("first submission must queue");
+        };
+        assert_eq!(
+            sched.wait_terminal(id, Duration::from_secs(10)),
+            Some(JobState::Done)
+        );
+        let first = sched.status(id).unwrap();
+        assert!(!first.cache_hit);
+        let body1 = first.body.unwrap();
+
+        let Submission::Hit { id: id2 } = sched.submit(spec(&["table1"])) else {
+            panic!("identical resubmission must hit the cache");
+        };
+        let second = sched.status(id2).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.state, JobState::Done);
+        assert_eq!(second.body.unwrap(), body1, "hit body is byte-identical");
+
+        // a one-field delta misses
+        let mut delta = spec(&["table1"]);
+        delta.seed = Some(7);
+        assert!(matches!(
+            delta_submit(&sched, delta),
+            Submission::Queued { .. }
+        ));
+        sched.shutdown();
+    }
+
+    fn delta_submit(sched: &Scheduler, spec: JobSpec) -> Submission {
+        sched.submit(spec)
+    }
+
+    #[test]
+    fn invalid_specs_and_failures_are_typed() {
+        let sched = Scheduler::new(Arc::new(EchoRunner), SchedulerConfig::default());
+        let mut bad = spec(&["table1"]);
+        bad.size = "bogus".to_owned();
+        assert!(matches!(sched.submit(bad), Submission::Invalid(_)));
+
+        let Submission::Queued { id } = sched.submit(spec(&["fail"])) else {
+            panic!("queued");
+        };
+        assert_eq!(
+            sched.wait_terminal(id, Duration::from_secs(10)),
+            Some(JobState::Failed)
+        );
+        let status = sched.status(id).unwrap();
+        assert!(status.error.unwrap().contains("synthetic failure"));
+
+        // a panicking runner becomes a failed job, not a dead worker
+        let Submission::Queued { id } = sched.submit(spec(&["explode"])) else {
+            panic!("queued");
+        };
+        assert_eq!(
+            sched.wait_terminal(id, Duration::from_secs(10)),
+            Some(JobState::Failed)
+        );
+        assert!(sched.status(id).unwrap().error.unwrap().contains("kaboom"));
+        // pool still works
+        let Submission::Queued { id } = sched.submit(spec(&["table2"])) else {
+            panic!("queued");
+        };
+        assert_eq!(
+            sched.wait_terminal(id, Duration::from_secs(10)),
+            Some(JobState::Done)
+        );
+        sched.shutdown();
+    }
+
+    #[test]
+    fn stats_document_has_the_expected_shape() {
+        let sched = Scheduler::new(Arc::new(EchoRunner), SchedulerConfig::default());
+        let Submission::Queued { id } = sched.submit(spec(&["table1"])) else {
+            panic!("queued");
+        };
+        sched.wait_terminal(id, Duration::from_secs(10));
+        let stats = sched.stats_json();
+        assert_eq!(
+            stats.get("schema").unwrap().as_str(),
+            Some("foldic-serve-stats/1")
+        );
+        assert_eq!(
+            stats.get("jobs").unwrap().get("done").unwrap().as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            stats
+                .get("counters")
+                .unwrap()
+                .get("submitted")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        sched.shutdown();
+    }
+}

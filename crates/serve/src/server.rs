@@ -1,0 +1,365 @@
+//! The TCP daemon: accept loop, routing, graceful shutdown.
+//!
+//! One thread accepts connections; each connection is handled on its own
+//! thread, one request per connection (`Connection: close` — clients of a
+//! batch service submit a handful of jobs, not thousands of pipelined
+//! requests, and closed connections make the torn-write story simple).
+//! Shutdown is graceful on both layers: the accept loop stops, in-flight
+//! connections finish their single request, and the scheduler drains its
+//! running jobs before workers are joined.
+//!
+//! Routes:
+//!
+//! | Method + path            | Purpose                                   |
+//! |--------------------------|-------------------------------------------|
+//! | `GET /healthz`           | liveness probe                            |
+//! | `GET /stats`             | scheduler + cache counters                |
+//! | `POST /jobs`             | submit a job (`foldic-serve-job/1` body)  |
+//! | `GET /jobs/<id>`         | job status                                |
+//! | `GET /jobs/<id>/result`  | manifest body of a finished job           |
+//! | `POST /jobs/<id>/cancel` | cancel a queued job                       |
+//! | `GET /cache/<key>`       | provenance of a cached study              |
+//! | `POST /shutdown`         | ask the daemon to drain and exit          |
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::job::JobSpec;
+use crate::queue::{JobState, Scheduler, SchedulerConfig, StudyRunner, Submission};
+use foldic_obs::json::Json;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Daemon tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Most jobs that may wait in the queue at once.
+    pub queue_capacity: usize,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Socket read timeout — bounds how long a torn write can hold a
+    /// connection thread (the request then fails with 408).
+    pub read_timeout: Duration,
+    /// `Retry-After` hint handed out with 429 responses.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            workers: 2,
+            read_timeout: Duration::from_secs(5),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+struct Inner {
+    scheduler: Scheduler,
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    /// Set once a shutdown has been requested (endpoint or programmatic).
+    signal: Mutex<bool>,
+    signal_cv: Condvar,
+    /// Open connection threads, drained before the scheduler stops.
+    active: Mutex<usize>,
+    active_cv: Condvar,
+}
+
+/// The running daemon.
+pub struct Server {
+    inner: Arc<Inner>,
+    accept: Mutex<Option<std::thread::JoinHandle<()>>>,
+    done: Mutex<bool>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), spawns the
+    /// scheduler workers and the accept loop, and returns the handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(
+        addr: &str,
+        runner: Arc<dyn StudyRunner>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            scheduler: Scheduler::new(
+                runner,
+                SchedulerConfig {
+                    queue_capacity: cfg.queue_capacity,
+                    workers: cfg.workers,
+                    retry_after_secs: cfg.retry_after_secs,
+                },
+            ),
+            cfg,
+            addr: local,
+            stop: AtomicBool::new(false),
+            signal: Mutex::new(false),
+            signal_cv: Condvar::new(),
+            active: Mutex::new(0),
+            active_cv: Condvar::new(),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("foldic-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_inner))?;
+        Ok(Self {
+            inner,
+            accept: Mutex::new(Some(accept)),
+            done: Mutex::new(false),
+        })
+    }
+
+    /// The address the daemon actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// The scheduler (direct submissions in tests, stats probes).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.inner.scheduler
+    }
+
+    /// Blocks until a shutdown is requested (`POST /shutdown` or a
+    /// concurrent [`Server::shutdown`] call), then drains and stops.
+    pub fn wait_shutdown(&self) {
+        let mut signalled = self.inner.signal.lock().unwrap_or_else(|e| e.into_inner());
+        while !*signalled {
+            signalled = self
+                .inner
+                .signal_cv
+                .wait(signalled)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        drop(signalled);
+        self.shutdown();
+    }
+
+    /// Drains and stops: accept loop closed, open connections finished,
+    /// scheduler drained, workers joined. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+            if *done {
+                return;
+            }
+            *done = true;
+        }
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.signal_shutdown();
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.inner.addr);
+        let handle = {
+            let mut guard = self.accept.lock().unwrap_or_else(|e| e.into_inner());
+            guard.take()
+        };
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        // Let in-flight connections write their responses.
+        let mut active = self.inner.active.lock().unwrap_or_else(|e| e.into_inner());
+        while *active > 0 {
+            active = self
+                .inner
+                .active_cv
+                .wait(active)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        drop(active);
+        self.inner.scheduler.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    fn signal_shutdown(&self) {
+        let mut signalled = self.signal.lock().unwrap_or_else(|e| e.into_inner());
+        *signalled = true;
+        self.signal_cv.notify_all();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut active = inner.active.lock().unwrap_or_else(|e| e.into_inner());
+            *active += 1;
+        }
+        let conn_inner = Arc::clone(inner);
+        let spawned = std::thread::Builder::new()
+            .name("foldic-serve-conn".to_owned())
+            .spawn(move || {
+                handle_connection(stream, &conn_inner);
+                let mut active = conn_inner.active.lock().unwrap_or_else(|e| e.into_inner());
+                *active -= 1;
+                conn_inner.active_cv.notify_all();
+            });
+        if spawned.is_err() {
+            let mut active = inner.active.lock().unwrap_or_else(|e| e.into_inner());
+            *active -= 1;
+            inner.active_cv.notify_all();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
+    let _ = stream.set_read_timeout(Some(inner.cfg.read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    let response = match read_request(&mut reader) {
+        Ok(request) => route(&request, inner),
+        Err(HttpError::Closed) => return,
+        Err(e) => Response::error(e.status(), e.message()),
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+/// Dispatches one parsed request to its handler.
+fn route(request: &Request, inner: &Arc<Inner>) -> Response {
+    let path = request.path.as_str();
+    let method = request.method.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => {
+            Response::json(200, &Json::obj([("ok".to_owned(), Json::Bool(true))]))
+        }
+        ("GET", "/stats") => Response::json(200, &inner.scheduler.stats_json()),
+        ("POST", "/jobs") => submit(request, inner),
+        ("POST", "/shutdown") => {
+            inner.signal_shutdown();
+            Response::json(
+                200,
+                &Json::obj([
+                    ("ok".to_owned(), Json::Bool(true)),
+                    ("draining".to_owned(), Json::Bool(true)),
+                ]),
+            )
+        }
+        (_, "/healthz" | "/stats" | "/jobs" | "/shutdown") => {
+            Response::error(405, &format!("method {method} not allowed on {path}"))
+        }
+        _ => {
+            if let Some(rest) = path.strip_prefix("/jobs/") {
+                return job_route(method, rest, inner);
+            }
+            if let Some(key) = path.strip_prefix("/cache/") {
+                if method != "GET" {
+                    return Response::error(405, "cache entries are read-only");
+                }
+                return match inner.scheduler.cache().provenance_json(key) {
+                    Some(doc) => Response::json(200, &doc),
+                    None => Response::error(404, &format!("no cache entry `{key}`")),
+                };
+            }
+            Response::error(404, &format!("no route for {path}"))
+        }
+    }
+}
+
+/// `POST /jobs`: parse, validate, submit, map the outcome to a response.
+fn submit(request: &Request, inner: &Arc<Inner>) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let json = match Json::parse(text) {
+        Ok(json) => json,
+        Err(e) => return Response::error(400, &format!("body is not valid JSON: {e}")),
+    };
+    let spec = match JobSpec::from_json(&json) {
+        Ok(spec) => spec,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    match inner.scheduler.submit(spec) {
+        Submission::Hit { id } => Response::json(
+            200,
+            &Json::obj([
+                ("job".to_owned(), Json::Num(id as f64)),
+                ("state".to_owned(), Json::Str("done".to_owned())),
+                ("cache".to_owned(), Json::Str("hit".to_owned())),
+            ]),
+        ),
+        Submission::Queued { id } => Response::json(
+            202,
+            &Json::obj([
+                ("job".to_owned(), Json::Num(id as f64)),
+                ("state".to_owned(), Json::Str("queued".to_owned())),
+                ("cache".to_owned(), Json::Str("miss".to_owned())),
+            ]),
+        ),
+        Submission::Rejected { retry_after_secs } => {
+            Response::error(429, "queue full; retry later")
+                .with_header("Retry-After", retry_after_secs.to_string())
+        }
+        Submission::Draining => Response::error(503, "daemon is draining"),
+        Submission::Invalid(msg) => Response::error(400, &msg),
+    }
+}
+
+/// `/jobs/<id>`, `/jobs/<id>/result`, `/jobs/<id>/cancel`.
+fn job_route(method: &str, rest: &str, inner: &Arc<Inner>) -> Response {
+    let (id_text, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, Some(tail)),
+        None => (rest, None),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, &format!("bad job id `{id_text}`"));
+    };
+    match (method, tail) {
+        ("GET", None) => match inner.scheduler.status(id) {
+            Some(status) => Response::json(200, &status.to_json()),
+            None => Response::error(404, &format!("no job {id}")),
+        },
+        ("GET", Some("result")) => match inner.scheduler.status(id) {
+            None => Response::error(404, &format!("no job {id}")),
+            Some(status) => match status.state {
+                JobState::Done => match status.body {
+                    Some(body) => Response::json_text(200, &body),
+                    None => Response::error(500, "done job has no body"),
+                },
+                JobState::Failed => {
+                    Response::error(500, status.error.as_deref().unwrap_or("job failed"))
+                }
+                state => Response::error(409, &format!("job {id} is {}, not done", state.as_str())),
+            },
+        },
+        ("POST", Some("cancel")) => match inner.scheduler.cancel(id) {
+            Some(state) => Response::json(
+                200,
+                &Json::obj([
+                    ("job".to_owned(), Json::Num(id as f64)),
+                    ("state".to_owned(), Json::Str(state.as_str().to_owned())),
+                ]),
+            ),
+            None => Response::error(404, &format!("no job {id}")),
+        },
+        _ => Response::error(405, &format!("no {method} on /jobs/{rest}")),
+    }
+}

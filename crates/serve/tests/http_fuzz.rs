@@ -1,0 +1,355 @@
+//! Adversarial property tests for the HTTP request parser and the job
+//! submission schema, 10 000 seeded iterations each.
+//!
+//! Properties:
+//!
+//! 1. **The parser never panics or hangs**: arbitrary byte soup, mutated
+//!    and truncated valid requests, torn writes (bytes arriving one at a
+//!    time, or a socket timing out mid-request), oversized request lines,
+//!    headers and bodies — every input yields `Ok` or a *typed*
+//!    [`HttpError`] with a 4xx/5xx status. The daemon feeds on raw TCP
+//!    bytes, so a panic here is a remote crash.
+//! 2. **Valid requests round-trip** through serialization and parsing,
+//!    even when delivered in 1-byte chunks.
+//! 3. **The job schema never panics**: arbitrary JSON documents —
+//!    including nesting bombs near the parser's depth limit — are either
+//!    a valid [`JobSpec`] or a typed error message, and every valid spec
+//!    survives `to_json` → `from_json` unchanged.
+//!
+//! The iteration stream is deterministic: seeded from `FOLDIC_FUZZ_SEED`
+//! (decimal u64) when set, a fixed default otherwise, so CI failures
+//! reproduce locally by exporting the same seed.
+
+use foldic_obs::json::Json;
+use foldic_serve::http::{read_request, HttpError, Request, MAX_BODY_BYTES};
+use foldic_serve::JobSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, Read};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const ITERS: usize = 10_000;
+
+fn fuzz_seed() -> u64 {
+    std::env::var("FOLDIC_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xDAC1_4F00D)
+}
+
+/// A reader that hands out at most `chunk` bytes per `read` call — a
+/// torn write in slow motion.
+struct ChunkedReader {
+    bytes: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = buf
+            .len()
+            .min(self.chunk.max(1))
+            .min(self.bytes.len() - self.pos);
+        buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl BufRead for ChunkedReader {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        let end = (self.pos + self.chunk.max(1)).min(self.bytes.len());
+        Ok(&self.bytes[self.pos..end])
+    }
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.bytes.len());
+    }
+}
+
+/// A reader that times out (`WouldBlock`) after `good` bytes — a peer
+/// that stops writing mid-request and holds the socket open.
+struct StallingReader {
+    bytes: Vec<u8>,
+    pos: usize,
+    good: usize,
+}
+
+impl Read for StallingReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.good || self.pos >= self.bytes.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "stalled",
+            ));
+        }
+        let n = buf.len().min(1);
+        buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl BufRead for StallingReader {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if self.pos >= self.good || self.pos >= self.bytes.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "stalled",
+            ));
+        }
+        Ok(&self.bytes[self.pos..self.pos + 1])
+    }
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.bytes.len());
+    }
+}
+
+fn parse_bytes(bytes: &[u8]) -> Result<Request, HttpError> {
+    read_request(&mut std::io::Cursor::new(bytes.to_vec()))
+}
+
+/// Asserts the universal parser contract: no panic, and every error is
+/// typed with a real status (or `Closed`).
+fn assert_parses_or_types(bytes: &[u8], seed: u64, iter: usize) {
+    let result = catch_unwind(AssertUnwindSafe(|| parse_bytes(bytes)));
+    let result =
+        result.unwrap_or_else(|_| panic!("parser panicked (seed {seed}, iter {iter}): {bytes:?}"));
+    if let Err(e) = result {
+        assert!(
+            e == HttpError::Closed || matches!(e.status(), 400 | 408 | 413 | 414 | 431 | 501),
+            "untyped error {e:?} (seed {seed}, iter {iter})"
+        );
+    }
+}
+
+/// A structurally valid request with fuzzed method/path/headers/body.
+fn random_valid_request(rng: &mut StdRng) -> Vec<u8> {
+    let method = ["GET", "POST", "PUT", "DELETE", "HEAD"][rng.gen_range(0..5usize)];
+    let depth = rng.gen_range(1..6usize);
+    let path: String = std::iter::once("".to_owned())
+        .chain((0..depth).map(|_| {
+            let len = rng.gen_range(1..12usize);
+            (0..len)
+                .map(|_| (b'a' + (rng.gen::<u64>() % 26) as u8) as char)
+                .collect()
+        }))
+        .collect::<Vec<_>>()
+        .join("/");
+    let body_len = rng.gen_range(0..512usize);
+    let body: Vec<u8> = (0..body_len)
+        .map(|_| b' ' + (rng.gen::<u64>() % 94) as u8)
+        .collect();
+    let mut text = format!("{method} {path} HTTP/1.1\r\n");
+    for i in 0..rng.gen_range(0..8usize) {
+        text.push_str(&format!(
+            "X-Fuzz-{i}: value-{}\r\n",
+            rng.gen::<u64>() % 1000
+        ));
+    }
+    text.push_str(&format!("Content-Length: {body_len}\r\n\r\n"));
+    let mut bytes = text.into_bytes();
+    bytes.extend_from_slice(&body);
+    bytes
+}
+
+#[test]
+fn parser_survives_random_byte_soup() {
+    let seed = fuzz_seed();
+    let mut rng = StdRng::seed_from_u64(seed);
+    const SOUP: &[u8] = b"GET POST / HTTP/1.1\r\n\x00\xff: ,;Content-Length0123456789 abc";
+    for iter in 0..ITERS {
+        let len = rng.gen_range(0..512usize);
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.7) {
+                    SOUP[rng.gen_range(0..SOUP.len())]
+                } else {
+                    (rng.gen::<u64>() & 0xff) as u8
+                }
+            })
+            .collect();
+        assert_parses_or_types(&bytes, seed, iter);
+    }
+}
+
+#[test]
+fn parser_survives_truncation_and_mutation_of_valid_requests() {
+    let seed = fuzz_seed();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    for iter in 0..ITERS {
+        let mut bytes = random_valid_request(&mut rng);
+        match rng.gen_range(0..3u32) {
+            0 => {
+                // truncate anywhere, including inside the body
+                bytes.truncate(rng.gen_range(0..bytes.len().max(1)));
+            }
+            1 => {
+                // flip one byte
+                if !bytes.is_empty() {
+                    let at = rng.gen_range(0..bytes.len());
+                    bytes[at] = (rng.gen::<u64>() & 0xff) as u8;
+                }
+            }
+            _ => {
+                // duplicate a slice (tears + replays)
+                if bytes.len() > 4 {
+                    let at = rng.gen_range(0..bytes.len() - 2);
+                    let end = rng.gen_range(at + 1..bytes.len());
+                    let slice: Vec<u8> = bytes[at..end].to_vec();
+                    bytes.extend_from_slice(&slice);
+                }
+            }
+        }
+        assert_parses_or_types(&bytes, seed, iter);
+    }
+}
+
+#[test]
+fn valid_requests_round_trip_even_in_one_byte_chunks() {
+    let seed = fuzz_seed();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+    for iter in 0..1000 {
+        let bytes = random_valid_request(&mut rng);
+        let whole = parse_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("valid request rejected ({e}) at iter {iter}"));
+        let chunk = rng.gen_range(1..8usize);
+        let torn = read_request(&mut ChunkedReader {
+            bytes: bytes.clone(),
+            pos: 0,
+            chunk,
+        })
+        .unwrap_or_else(|e| panic!("chunked parse failed ({e}) at iter {iter}"));
+        assert_eq!(whole, torn, "chunk size {chunk} changed the parse");
+    }
+}
+
+#[test]
+fn stalled_peers_get_a_timeout_not_a_hang() {
+    let seed = fuzz_seed();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(3));
+    for iter in 0..1000 {
+        let bytes = random_valid_request(&mut rng);
+        // stall strictly before the full request arrives
+        let good = rng.gen_range(0..bytes.len());
+        let result = read_request(&mut StallingReader {
+            bytes: bytes.clone(),
+            pos: 0,
+            good,
+        });
+        // stalling inside a body the request didn't declare is fine:
+        // everything needed already arrived (the Ok case)
+        if let Err(e) = result {
+            assert_eq!(
+                e.status(),
+                408,
+                "stall after {good} bytes gave {e:?} at iter {iter}"
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_inputs_map_to_their_limit_statuses() {
+    let seed = fuzz_seed();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(4));
+    for iter in 0..200 {
+        // oversized body declarations never allocate the declared size
+        let declared = MAX_BODY_BYTES + 1 + rng.gen_range(0..1_000_000usize);
+        let request = format!("POST /jobs HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        assert_eq!(
+            parse_bytes(request.as_bytes()).unwrap_err().status(),
+            413,
+            "iter {iter}"
+        );
+        let line = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(5000 + iter));
+        assert_eq!(parse_bytes(line.as_bytes()).unwrap_err().status(), 414);
+    }
+}
+
+/// Random JSON that leans on the fields the job schema reads.
+fn random_job_doc(rng: &mut StdRng, depth: usize) -> Json {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0..5u32) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen()),
+            2 => Json::Num(f64::from_bits(rng.gen::<u64>())),
+            3 => Json::Num(rng.gen_range(-10.0..100.0)),
+            _ => Json::Str(
+                ["table1", "tiny", "", "x", "foldic-serve-job/1"][rng.gen_range(0..5usize)]
+                    .to_owned(),
+            ),
+        };
+    }
+    let keys = [
+        "experiments",
+        "size",
+        "seed",
+        "threads",
+        "deadline_secs",
+        "schema",
+        "bogus",
+    ];
+    match rng.gen_range(0..3u32) {
+        0 => Json::Arr(
+            (0..rng.gen_range(0..4usize))
+                .map(|_| random_job_doc(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Json::obj(
+            (0..rng.gen_range(0..5usize))
+                .map(|_| {
+                    (
+                        keys[rng.gen_range(0..keys.len())].to_owned(),
+                        random_job_doc(rng, depth - 1),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        ),
+    }
+}
+
+#[test]
+fn job_schema_never_panics_and_valid_specs_round_trip() {
+    let seed = fuzz_seed();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(5));
+    for iter in 0..ITERS {
+        let doc = random_job_doc(&mut rng, 4);
+        let result = catch_unwind(AssertUnwindSafe(|| JobSpec::from_json(&doc)));
+        let result = result
+            .unwrap_or_else(|_| panic!("schema panicked (seed {seed}, iter {iter}): {doc:?}"));
+        if let Ok(spec) = result {
+            let back = JobSpec::from_json(&spec.to_json())
+                .unwrap_or_else(|e| panic!("round trip rejected ({e}) at iter {iter}"));
+            assert_eq!(back, spec, "iter {iter}");
+        }
+    }
+}
+
+#[test]
+fn job_schema_survives_nesting_bombs() {
+    // A body of deeply nested arrays: the JSON parser's depth limit must
+    // reject it as a typed error long before the stack is at risk, and
+    // the schema must reject whatever shallow variants do parse.
+    for depth in [8, 64, 127, 128, 200, 4000] {
+        let text = format!("{}{}", "[".repeat(depth), "]".repeat(depth));
+        let parsed = catch_unwind(AssertUnwindSafe(|| Json::parse(&text)))
+            .unwrap_or_else(|_| panic!("Json::parse panicked at depth {depth}"));
+        if let Ok(doc) = parsed {
+            let spec = catch_unwind(AssertUnwindSafe(|| JobSpec::from_json(&doc)))
+                .unwrap_or_else(|_| panic!("schema panicked at depth {depth}"));
+            assert!(spec.is_err(), "an array is not a job");
+        }
+        // the same bomb wrapped in a plausible submission
+        let wrapped = format!(
+            r#"{{"experiments": {}{}, "size": "tiny"}}"#,
+            "[".repeat(depth),
+            "]".repeat(depth)
+        );
+        if let Ok(doc) = Json::parse(&wrapped) {
+            let spec = catch_unwind(AssertUnwindSafe(|| JobSpec::from_json(&doc)))
+                .unwrap_or_else(|_| panic!("schema panicked on wrapped depth {depth}"));
+            assert!(spec.is_err());
+        }
+    }
+}

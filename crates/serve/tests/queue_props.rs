@@ -1,0 +1,290 @@
+//! Property tests for the scheduler's four hard rules, driven through a
+//! controllable stub runner:
+//!
+//! * admission control — a full queue rejects with a `Retry-After` hint
+//!   and never blocks the submitter;
+//! * cancel-before-start — a cancelled queued job never reaches the
+//!   runner;
+//! * exclusive dispatch — a deadline-bounded job runs alone, and FIFO
+//!   order is preserved around it;
+//! * drain-on-shutdown — in-flight jobs finish, queued jobs cancel, and
+//!   shutdown returns without deadlock.
+
+use foldic_serve::queue::{JobState, Scheduler, SchedulerConfig, StudyRunner, Submission};
+use foldic_serve::JobSpec;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Runner whose jobs block until released, recording everything it runs.
+#[derive(Default)]
+struct GateRunner {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    /// Job names whose `run` has been entered, in entry order.
+    started: Vec<String>,
+    /// Job names currently inside `run`.
+    running: Vec<String>,
+    /// Job names allowed to return from `run`.
+    released: Vec<String>,
+}
+
+impl GateRunner {
+    fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Lets `name` (already running or arriving later) finish.
+    fn release(&self, name: &str) {
+        let mut state = self.state.lock().unwrap();
+        state.released.push(name.to_owned());
+        self.cv.notify_all();
+    }
+
+    /// Blocks until `name` has entered `run`, failing after `timeout`.
+    fn await_started(&self, name: &str, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap();
+        while !state.started.iter().any(|s| s == name) {
+            let left = deadline.saturating_duration_since(Instant::now());
+            assert!(
+                !left.is_zero(),
+                "`{name}` never started: {:?}",
+                state.started
+            );
+            state = self.cv.wait_timeout(state, left).unwrap().0;
+        }
+    }
+
+    fn started(&self) -> Vec<String> {
+        self.state.lock().unwrap().started.clone()
+    }
+
+    fn running_now(&self) -> Vec<String> {
+        self.state.lock().unwrap().running.clone()
+    }
+}
+
+impl StudyRunner for GateRunner {
+    fn resolve(&self, spec: &JobSpec) -> Result<BTreeMap<String, String>, String> {
+        let mut config = BTreeMap::new();
+        config.insert("experiments".to_owned(), spec.experiments.join("+"));
+        config.insert("size".to_owned(), spec.size.clone());
+        if let Some(seed) = spec.seed {
+            config.insert("seed".to_owned(), format!("{seed:#x}"));
+        }
+        if let Some(secs) = spec.deadline_secs {
+            config.insert("deadline".to_owned(), format!("{secs}"));
+        }
+        Ok(config)
+    }
+
+    fn run(&self, spec: &JobSpec) -> Result<String, String> {
+        let name = spec.experiments.join("+");
+        let mut state = self.state.lock().unwrap();
+        state.started.push(name.clone());
+        state.running.push(name.clone());
+        self.cv.notify_all();
+        while !state.released.iter().any(|r| r == &name) {
+            let (next, timed_out) = self
+                .cv
+                .wait_timeout(state, Duration::from_secs(30))
+                .unwrap();
+            state = next;
+            assert!(!timed_out.timed_out(), "job `{name}` never released");
+        }
+        state.running.retain(|r| r != &name);
+        self.cv.notify_all();
+        Ok(format!("body:{name}"))
+    }
+}
+
+fn spec(name: &str) -> JobSpec {
+    JobSpec {
+        experiments: vec![name.to_owned()],
+        size: "tiny".to_owned(),
+        ..JobSpec::default()
+    }
+}
+
+fn queued(sub: Submission) -> u64 {
+    match sub {
+        Submission::Queued { id } => id,
+        other => panic!("expected Queued, got {other:?}"),
+    }
+}
+
+const WAIT: Duration = Duration::from_secs(20);
+
+#[test]
+fn full_queue_rejects_with_retry_after_and_recovers() {
+    let runner = GateRunner::new();
+    let sched = Scheduler::new(
+        runner.clone(),
+        SchedulerConfig {
+            queue_capacity: 2,
+            workers: 1,
+            retry_after_secs: 7,
+        },
+    );
+    // `a` occupies the only worker; `b` and `c` fill the queue.
+    let a = queued(sched.submit(spec("a")));
+    runner.await_started("a", WAIT);
+    let b = queued(sched.submit(spec("b")));
+    let c = queued(sched.submit(spec("c")));
+    // The queue is full: the next submission is rejected immediately,
+    // carrying the configured hint — and is NOT recorded as a job.
+    match sched.submit(spec("d")) {
+        Submission::Rejected { retry_after_secs } => assert_eq!(retry_after_secs, 7),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    // Draining one slot re-admits.
+    for name in ["a", "b", "c", "d"] {
+        runner.release(name);
+    }
+    assert_eq!(sched.wait_terminal(a, WAIT), Some(JobState::Done));
+    assert_eq!(sched.wait_terminal(b, WAIT), Some(JobState::Done));
+    assert_eq!(sched.wait_terminal(c, WAIT), Some(JobState::Done));
+    let d = queued(sched.submit(spec("d")));
+    assert_eq!(sched.wait_terminal(d, WAIT), Some(JobState::Done));
+    sched.shutdown();
+}
+
+#[test]
+fn cancel_before_start_never_reaches_the_runner() {
+    let runner = GateRunner::new();
+    let sched = Scheduler::new(
+        runner.clone(),
+        SchedulerConfig {
+            queue_capacity: 8,
+            workers: 1,
+            retry_after_secs: 1,
+        },
+    );
+    let a = queued(sched.submit(spec("a")));
+    runner.await_started("a", WAIT);
+    let b = queued(sched.submit(spec("b")));
+    let c = queued(sched.submit(spec("c")));
+    // `b` is cancelled while queued: terminal immediately…
+    assert_eq!(sched.cancel(b), Some(JobState::Cancelled));
+    assert_eq!(sched.status(b).unwrap().state, JobState::Cancelled);
+    // …and cancelling again (or after the fact) is a no-op.
+    assert_eq!(sched.cancel(b), Some(JobState::Cancelled));
+    runner.release("a");
+    runner.release("c");
+    assert_eq!(sched.wait_terminal(a, WAIT), Some(JobState::Done));
+    assert_eq!(sched.wait_terminal(c, WAIT), Some(JobState::Done));
+    // the runner saw `a` and `c`, never `b`
+    assert_eq!(runner.started(), ["a", "c"]);
+    // cancelling a running or done job reports its state unchanged
+    assert_eq!(sched.cancel(a), Some(JobState::Done));
+    assert_eq!(sched.cancel(999), None);
+    sched.shutdown();
+}
+
+#[test]
+fn deadline_jobs_dispatch_exclusively_in_fifo_order() {
+    let runner = GateRunner::new();
+    let sched = Scheduler::new(
+        runner.clone(),
+        SchedulerConfig {
+            queue_capacity: 8,
+            workers: 2,
+            retry_after_secs: 1,
+        },
+    );
+    let a = queued(sched.submit(spec("a")));
+    runner.await_started("a", WAIT);
+    // `d` is deadline-bounded (exclusive); `b` follows it in the queue.
+    let mut dspec = spec("d");
+    dspec.deadline_secs = Some(30.0);
+    let d = queued(sched.submit(dspec));
+    let b = queued(sched.submit(spec("b")));
+    // Two workers are available, but neither `d` (exclusive, `a` still
+    // running) nor `b` (FIFO: behind `d`) may start.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(runner.running_now(), ["a"]);
+    assert_eq!(sched.status(d).unwrap().state, JobState::Queued);
+    assert_eq!(sched.status(b).unwrap().state, JobState::Queued);
+    // `a` finishes → `d` runs alone; `b` still held back.
+    runner.release("a");
+    runner.await_started("d", WAIT);
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(runner.running_now(), ["d"]);
+    assert_eq!(sched.status(b).unwrap().state, JobState::Queued);
+    // `d` finishes → normal concurrency resumes.
+    runner.release("d");
+    runner.await_started("b", WAIT);
+    runner.release("b");
+    for id in [a, d, b] {
+        assert_eq!(sched.wait_terminal(id, WAIT), Some(JobState::Done));
+    }
+    assert_eq!(runner.started(), ["a", "d", "b"]);
+    sched.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_and_cancels_queued_without_deadlock() {
+    let runner = GateRunner::new();
+    let sched = Arc::new(Scheduler::new(
+        runner.clone(),
+        SchedulerConfig {
+            queue_capacity: 8,
+            workers: 1,
+            retry_after_secs: 1,
+        },
+    ));
+    let a = queued(sched.submit(spec("a")));
+    runner.await_started("a", WAIT);
+    let b = queued(sched.submit(spec("b")));
+    // Release the in-flight job shortly after shutdown begins waiting on
+    // it — if shutdown deadlocked, the test harness would hang here.
+    let releaser = {
+        let runner = runner.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            runner.release("a");
+        })
+    };
+    sched.shutdown();
+    releaser.join().unwrap();
+    // in-flight drained to done, queued cancelled, nothing else ran
+    assert_eq!(sched.status(a).unwrap().state, JobState::Done);
+    assert_eq!(sched.status(b).unwrap().state, JobState::Cancelled);
+    assert_eq!(runner.started(), ["a"]);
+    // post-shutdown submissions are refused
+    assert!(matches!(sched.submit(spec("c")), Submission::Draining));
+    // shutdown is idempotent
+    sched.shutdown();
+}
+
+#[test]
+fn fifo_order_is_preserved_on_a_single_worker() {
+    let runner = GateRunner::new();
+    let sched = Scheduler::new(
+        runner.clone(),
+        SchedulerConfig {
+            queue_capacity: 16,
+            workers: 1,
+            retry_after_secs: 1,
+        },
+    );
+    let names: Vec<String> = (0..8).map(|i| format!("job{i}")).collect();
+    let ids: Vec<u64> = names
+        .iter()
+        .map(|name| {
+            // pre-release so each job returns as soon as it starts
+            runner.release(name);
+            queued(sched.submit(spec(name)))
+        })
+        .collect();
+    for id in ids {
+        assert_eq!(sched.wait_terminal(id, WAIT), Some(JobState::Done));
+    }
+    assert_eq!(runner.started(), names);
+    sched.shutdown();
+}
