@@ -53,12 +53,18 @@
 //! result cache keyed on the canonical manifest config. `--addr` defaults
 //! to `127.0.0.1:0` (ephemeral port; the bound address is printed and,
 //! with `--port-file`, written to a file for scripts). The daemon runs
-//! until `POST /shutdown`, then drains in-flight jobs and exits. `repro
-//! loadgen` replays a seeded mix of hit/miss/cancel/deadline jobs against
-//! a running daemon and emits a `foldic-serve-bench/1` report; `--gate`
-//! exits nonzero when the run violated an invariant (client errors,
-//! failed jobs, rejected submissions, planned hits that missed), and
-//! `--shutdown` asks the daemon to drain afterwards.
+//! until `POST /shutdown`, then drains in-flight jobs and exits. The
+//! daemon traces every request (`GET /jobs/<id>/trace` serves a job's
+//! span tree), exposes Prometheus-style counters on `GET /metrics`, and
+//! with `--log PATH` appends a structured JSONL access+app log
+//! (`--log-level` filters severities). `repro loadgen` replays a seeded
+//! mix of hit/miss/cancel/deadline jobs against a running daemon and
+//! emits a `foldic-serve-bench/2` report that embeds the daemon's own
+//! `/metrics` counter deltas; `--gate` exits nonzero when the run
+//! violated an invariant (client errors, failed jobs, rejected
+//! submissions, planned hits that missed, or server counters that
+//! disagree with the client view), and `--shutdown` asks the daemon to
+//! drain afterwards.
 //!
 //! `--deadline SECS` bounds the whole run's wall clock: a watchdog trips
 //! a cancellation token on expiry, in-flight blocks stop at their next
@@ -90,8 +96,10 @@ const USAGE: &str = "usage: repro [EXPERIMENT...] [--size full|small|tiny] [--th
        repro compare <baseline.json> <candidate.json> [--tol PCT]\n\
        repro bench [FILTER] [--json out.json]\n\
        repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--port-file PATH]\n\
+       \x20           [--log PATH] [--log-level debug|info|warn|error]\n\
        repro loadgen --addr HOST:PORT [--jobs N] [--clients N] [--seed S] [--mix SPEC]\n\
        \x20             [--experiments a+b] [--size S] [--json out.json] [--gate] [--shutdown]\n\
+       repro probe --addr HOST:PORT [--submit a+b] [--size S] [--seed S] [--shutdown]\n\
 experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6 fig7 fig8 thermal ablations layouts all\n\
 fault spec:  stage:block[:kind[:attempts]],... e.g. route:ccx:panic or place:mcu0:error:1\n\
              (stages: validate partition place opt route sta power floorplan; kinds: panic error slow)\n\
@@ -115,6 +123,9 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("loadgen") {
         std::process::exit(run_loadgen(&raw[1..]));
+    }
+    if raw.first().map(String::as_str) == Some("probe") {
+        std::process::exit(run_probe(&raw[1..]));
     }
 
     let mut size = "full".to_owned();
@@ -573,15 +584,30 @@ fn run_bench(args: &[String]) -> i32 {
 }
 
 /// `repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
-/// [--port-file PATH]`. Runs until `POST /shutdown`, then drains.
-/// Exit code: 0 after a clean drain, 2 on usage/bind errors.
+/// [--port-file PATH] [--log PATH] [--log-level LEVEL]`. Runs until
+/// `POST /shutdown`, then drains. Exit code: 0 after a clean drain, 2 on
+/// usage/bind errors.
 fn run_serve(args: &[String]) -> i32 {
     let mut addr = "127.0.0.1:0".to_owned();
     let mut cfg = foldic_serve::ServerConfig::default();
     let mut port_file: Option<PathBuf> = None;
+    let mut log_path: Option<PathBuf> = None;
+    let mut log_level = foldic_obs::log::Level::Info;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--log" => {
+                let v = it.next().unwrap_or_else(|| usage_err("--log needs a path"));
+                log_path = Some(PathBuf::from(v));
+            }
+            "--log-level" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--log-level needs debug|info|warn|error"));
+                log_level = foldic_obs::log::Level::parse(v).unwrap_or_else(|| {
+                    usage_err(&format!("unknown log level `{v}` (debug|info|warn|error)"))
+                });
+            }
             "--addr" => {
                 addr = it
                     .next()
@@ -623,10 +649,23 @@ fn run_serve(args: &[String]) -> i32 {
             other => usage_err(&format!("unknown serve argument `{other}`")),
         }
     }
-    let server = match foldic_serve::Server::bind(
+    let log = match &log_path {
+        Some(path) => match foldic_obs::log::LogSink::to_file(path, log_level) {
+            Ok(sink) => Some(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!("serve: cannot open log {}: {e}", path.display());
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let telemetry =
+        foldic_serve::Telemetry::new(foldic_serve::TelemetryConfig { trace: true, log });
+    let server = match foldic_serve::Server::bind_with_telemetry(
         &addr,
         std::sync::Arc::new(foldic_bench::serve::BenchRunner),
         cfg,
+        telemetry,
     ) {
         Ok(server) => server,
         Err(e) => {
@@ -639,6 +678,13 @@ fn run_serve(args: &[String]) -> i32 {
         "serve: listening on {bound} ({} worker(s), queue capacity {})",
         cfg.workers, cfg.queue_capacity
     );
+    if let Some(path) = &log_path {
+        println!(
+            "serve: structured log -> {} ({})",
+            path.display(),
+            log_level.as_str()
+        );
+    }
     if let Some(path) = port_file {
         // The port file is how scripts learn an ephemeral port; written
         // after the listener is live so its existence means "ready".
@@ -807,6 +853,244 @@ fn run_loadgen(args: &[String]) -> i32 {
         println!("loadgen: gate passed");
     }
     0
+}
+
+/// `repro probe --addr HOST:PORT [--submit a+b] [--size S] [--seed S]
+/// [--shutdown]`. A diagnostic client that validates a daemon's
+/// telemetry surface with the in-repo parsers: `/healthz` liveness
+/// fields, a `/metrics` scrape parsed as an exposition with the
+/// contract series present, and (with `--submit`) one computed job
+/// whose `/jobs/<id>/trace` loads as Chrome-trace JSON with the
+/// `http.request → queue.wait → job.run` span chain. Exit code: 0 when
+/// every probe passes, 1 on a telemetry contract violation, 2 on
+/// usage errors.
+fn run_probe(args: &[String]) -> i32 {
+    let mut addr: Option<std::net::SocketAddr> = None;
+    let mut submit: Option<Vec<String>> = None;
+    let mut size = "tiny".to_owned();
+    let mut seed: Option<u64> = None;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--addr needs HOST:PORT"));
+                addr =
+                    Some(v.parse().unwrap_or_else(|_| {
+                        usage_err(&format!("--addr needs HOST:PORT, got `{v}`"))
+                    }));
+            }
+            "--submit" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--submit needs a +-separated list"));
+                submit = Some(v.split('+').map(str::to_owned).collect());
+            }
+            "--size" => {
+                size = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--size needs a value (full|small|tiny)"))
+                    .clone();
+            }
+            "--seed" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--seed needs a value"));
+                seed = Some(parse_u64_maybe_hex(v).unwrap_or_else(|| {
+                    usage_err(&format!(
+                        "--seed needs an integer (decimal or 0x hex), got `{v}`"
+                    ))
+                }));
+            }
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other => usage_err(&format!("unknown probe argument `{other}`")),
+        }
+    }
+    let Some(addr) = addr else {
+        usage_err("probe needs --addr HOST:PORT");
+    };
+    match probe(addr, submit, &size, seed, shutdown) {
+        Ok(()) => {
+            println!("probe: ok");
+            0
+        }
+        Err(e) => {
+            eprintln!("probe: FAILED: {e}");
+            1
+        }
+    }
+}
+
+fn probe(
+    addr: std::net::SocketAddr,
+    submit: Option<Vec<String>>,
+    size: &str,
+    seed: Option<u64>,
+    shutdown: bool,
+) -> Result<(), String> {
+    use foldic_serve::{client, telemetry};
+    const T: Duration = Duration::from_secs(30);
+    const POLL: Duration = Duration::from_secs(600);
+
+    let health = client::get(addr, "/healthz", T).map_err(|e| format!("healthz: {e}"))?;
+    if health.status != 200 {
+        return Err(format!("healthz returned {}", health.status));
+    }
+    let doc = health.body_json()?;
+    if doc.get("ok") != Some(&Json::Bool(true)) {
+        return Err("healthz body lacks ok=true".to_owned());
+    }
+    let version = doc
+        .get("version")
+        .and_then(Json::as_str)
+        .ok_or("healthz lacks a version")?
+        .to_owned();
+    let uptime = doc
+        .get("uptime_seconds")
+        .and_then(Json::as_f64)
+        .ok_or("healthz lacks uptime_seconds")?;
+    println!("probe: healthz ok — version {version}, up {uptime:.1}s");
+
+    let mut traced_job = None;
+    if let Some(experiments) = submit {
+        let spec = foldic_serve::JobSpec {
+            experiments,
+            size: size.to_owned(),
+            seed,
+            ..foldic_serve::JobSpec::default()
+        };
+        let response = client::post_json(addr, "/jobs", &spec.to_json(), T)
+            .map_err(|e| format!("submit: {e}"))?;
+        match response.status {
+            202 => {}
+            // A hit never dispatches, so its trace has no execution
+            // spans; the probe needs a config the daemon hasn't seen.
+            200 => {
+                return Err(
+                    "submitted config was already cached; probe with a fresh --seed".to_owned(),
+                )
+            }
+            status => {
+                return Err(format!(
+                    "submit returned {status}: {}",
+                    response.body_text().unwrap_or("<binary>")
+                ))
+            }
+        }
+        let id = response
+            .body_json()?
+            .get("job")
+            .and_then(Json::as_f64)
+            .ok_or("submit body lacks a job id")? as u64;
+        let deadline = Instant::now() + POLL;
+        loop {
+            let doc = client::get(addr, &format!("/jobs/{id}"), T)
+                .map_err(|e| format!("status poll: {e}"))?
+                .body_json()?;
+            match doc.get("state").and_then(Json::as_str) {
+                Some("done") => break,
+                Some(terminal @ ("failed" | "cancelled")) => {
+                    return Err(format!("job {id} ended {terminal}"))
+                }
+                _ => {}
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("job {id} never finished"));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        let trace = client::get(addr, &format!("/jobs/{id}/trace"), T)
+            .map_err(|e| format!("trace fetch: {e}"))?;
+        if trace.status != 200 {
+            return Err(format!("trace returned {}", trace.status));
+        }
+        let doc = Json::parse(trace.body_text()?)?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .ok_or("trace lacks a traceEvents array")?;
+        let mut spans: BTreeMap<u64, (String, Option<u64>)> = BTreeMap::new();
+        for event in events {
+            if event.get("ph").and_then(Json::as_str) != Some("B") {
+                continue;
+            }
+            let name = event
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("begin event lacks a name")?
+                .to_owned();
+            let args = event.get("args").ok_or("begin event lacks args")?;
+            let span = args
+                .get("span")
+                .and_then(Json::as_f64)
+                .ok_or("begin event lacks a span id")? as u64;
+            let parent = args.get("parent").and_then(Json::as_f64).map(|p| p as u64);
+            spans.insert(span, (name, parent));
+        }
+        let lookup = |want: &str| -> Result<(u64, Option<u64>), String> {
+            spans
+                .iter()
+                .find(|(_, (name, _))| name == want)
+                .map(|(span, (_, parent))| (*span, *parent))
+                .ok_or_else(|| format!("trace lacks a `{want}` span"))
+        };
+        let (http_span, _) = lookup("http.request")?;
+        let (qwait_span, qwait_parent) = lookup("queue.wait")?;
+        let (run_span, run_parent) = lookup("job.run")?;
+        if qwait_parent != Some(http_span) || run_parent != Some(qwait_span) {
+            return Err(
+                "trace spans are not nested http.request → queue.wait → job.run".to_owned(),
+            );
+        }
+        println!(
+            "probe: job {id} trace ok — {} begin span(s), root span {run_span} chain intact",
+            spans.len()
+        );
+        traced_job = Some(id);
+    }
+
+    let scrape = client::get(addr, "/metrics", T).map_err(|e| format!("metrics: {e}"))?;
+    if scrape.status != 200 {
+        return Err(format!("metrics returned {}", scrape.status));
+    }
+    let samples = foldic_obs::expo::parse_exposition(scrape.body_text()?)?;
+    for series in [
+        telemetry::requests_series("healthz", "GET", 200),
+        telemetry::SERIES_JOBS_SUBMITTED.to_owned(),
+        "foldic_serve_uptime_seconds".to_owned(),
+        "foldic_serve_workers".to_owned(),
+    ] {
+        if !samples.contains_key(&series) {
+            return Err(format!("/metrics lacks required series {series}"));
+        }
+    }
+    if traced_job.is_some()
+        && samples
+            .get(&telemetry::jobs_state_series("done"))
+            .copied()
+            .unwrap_or(0.0)
+            < 1.0
+    {
+        return Err("/metrics does not count the probe job as done".to_owned());
+    }
+    println!(
+        "probe: metrics ok — {} series ({})",
+        samples.len(),
+        telemetry::METRICS_SCHEMA
+    );
+
+    if shutdown {
+        client::post(addr, "/shutdown", T).map_err(|e| format!("shutdown: {e}"))?;
+        println!("probe: asked {addr} to shut down");
+    }
+    Ok(())
 }
 
 /// Parses `123` or `0x7b`.

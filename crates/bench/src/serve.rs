@@ -24,6 +24,8 @@ use foldic::{
     clear_deadline, install_deadline, take_fault_log, Deadline, DeadlinePolicy, FaultRecord,
     Watchdog,
 };
+use foldic_obs::flight;
+use foldic_obs::json::Json;
 use foldic_obs::manifest::RunManifest;
 use foldic_serve::queue::StudyRunner;
 use foldic_serve::JobSpec;
@@ -143,6 +145,20 @@ impl StudyRunner for BenchRunner {
             // Drop fault-log residue so this job's timeout provenance is
             // its own (clean non-deadline runs never drain the log).
             let _ = take_fault_log();
+            // This thread is the scheduler worker, so records land in
+            // the worker's flight ring and a degraded job's status
+            // payload carries them as provenance.
+            flight::record(
+                "job.start",
+                [
+                    ("deadline_secs".to_owned(), Json::Num(secs)),
+                    (
+                        "experiments".to_owned(),
+                        Json::Str(resolved.names.join("+")),
+                    ),
+                    ("size".to_owned(), Json::Str(spec.size.clone())),
+                ],
+            );
             let overall = Duration::from_secs_f64(secs);
             let policy = DeadlinePolicy {
                 overall: Some(overall),
@@ -158,6 +174,43 @@ impl StudyRunner for BenchRunner {
             let (timeouts, faults): (Vec<FaultRecord>, Vec<FaultRecord>) =
                 take_fault_log().into_iter().partition(|r| r.timed_out);
             drop(window);
+            let flight_fields = |record: &FaultRecord| {
+                [
+                    ("block".to_owned(), Json::Str(record.block.clone())),
+                    (
+                        "disposition".to_owned(),
+                        Json::Str(record.disposition.as_str().to_owned()),
+                    ),
+                    ("scope".to_owned(), Json::Str(record.scope.clone())),
+                    (
+                        "stage".to_owned(),
+                        Json::Str(record.stage.as_str().to_owned()),
+                    ),
+                ]
+            };
+            for record in &timeouts {
+                flight::record("stage.timeout", flight_fields(record));
+            }
+            for record in &faults {
+                flight::record("stage.fault", flight_fields(record));
+            }
+            if let Err(panic) = &caught {
+                flight::record(
+                    "job.panic",
+                    [("message".to_owned(), Json::Str(panic.message().to_owned()))],
+                );
+            }
+            flight::record(
+                "job.end",
+                [
+                    ("faults".to_owned(), Json::Num(faults.len() as f64)),
+                    (
+                        "outcome".to_owned(),
+                        Json::Str(if caught.is_ok() { "ok" } else { "panicked" }.to_owned()),
+                    ),
+                    ("timeouts".to_owned(), Json::Num(timeouts.len() as f64)),
+                ],
+            );
             caught.map_err(|p| format!("job panicked: {}", p.message()))?;
             manifest.faults = faults.iter().map(FaultRecord::to_manifest_entry).collect();
             manifest.timeouts = timeouts

@@ -245,7 +245,8 @@ fn deadline_job_degrades_with_timed_out_provenance_and_skips_the_cache() {
     study.deadline_secs = Some(0.15);
     let (status, doc) = submit(addr, &study);
     assert_eq!(status, 202, "deadline jobs always compute: {doc:?}");
-    let body = await_result(addr, doc.get("job").and_then(Json::as_f64).unwrap() as u64);
+    let id = doc.get("job").and_then(Json::as_f64).unwrap() as u64;
+    let body = await_result(addr, id);
     let manifest = RunManifest::parse(&body).unwrap();
     assert_eq!(
         manifest.config.get("deadline").map(String::as_str),
@@ -254,6 +255,30 @@ fn deadline_job_degrades_with_timed_out_provenance_and_skips_the_cache() {
     assert!(
         !manifest.timeouts.is_empty(),
         "expired budget must surface as timed-out provenance"
+    );
+
+    // The degraded job's status payload carries the worker's flight
+    // recorder, and the dump names the stage that timed out.
+    let status_doc = client::get(addr, &format!("/jobs/{id}"), TIMEOUT)
+        .unwrap()
+        .body_json()
+        .unwrap();
+    let flight = status_doc
+        .get("flight_recorder")
+        .and_then(Json::as_arr)
+        .expect("degraded job attaches a flight-recorder dump");
+    assert!(!flight.is_empty(), "flight dump must not be empty");
+    let timed_out = flight
+        .iter()
+        .find(|r| r.get("name").and_then(Json::as_str) == Some("stage.timeout"))
+        .expect("dump records the timed-out stage");
+    assert!(
+        timed_out
+            .get("fields")
+            .and_then(|f| f.get("stage"))
+            .and_then(Json::as_str)
+            .is_some(),
+        "stage.timeout record names its stage: {timed_out:?}"
     );
 
     // Resubmitting the identical deadline job computes again — deadline
@@ -326,4 +351,257 @@ fn http_error_paths_are_typed() {
     );
     let _ = await_result(addr, id);
     server.shutdown();
+}
+
+#[test]
+fn metrics_are_deterministic_across_worker_counts() {
+    // Counter series must not depend on scheduling: the same seeded
+    // traffic replayed against a 1-worker and a 4-worker daemon yields
+    // byte-identical expositions once the documented volatile families
+    // are filtered out. The mix is cancel-free (a cancel legitimately
+    // races its own completion, splitting done/cancelled differently
+    // run to run) and single-client (concurrent clients race the
+    // hit/miss split).
+    let run = |workers: usize| -> String {
+        let cfg = ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", Arc::new(BenchRunner), cfg).expect("bind");
+        let addr = server.local_addr();
+        let mut lc = foldic_serve::loadgen::LoadConfig::new(addr);
+        lc.jobs = 8;
+        lc.clients = 1;
+        lc.mix = foldic_serve::loadgen::MixWeights {
+            hit: 5.0,
+            miss: 2.0,
+            cancel: 0.0,
+            deadline: 1.0,
+        };
+        lc.poll_timeout = POLL;
+        let report = foldic_serve::loadgen::run(&lc).expect("loadgen runs");
+        report.gate().expect("gate cross-checks server counters");
+        assert!(
+            report.server.is_some(),
+            "bench/2 reports embed the final scrape"
+        );
+        let scrape = client::get(addr, "/metrics", TIMEOUT)
+            .expect("metrics scrape")
+            .body_text()
+            .expect("exposition is text")
+            .to_owned();
+        server.shutdown();
+        foldic_serve::telemetry::deterministic_subset(&scrape)
+    };
+    let narrow = run(1);
+    let wide = run(4);
+    assert_eq!(
+        narrow, wide,
+        "worker count leaked into the deterministic metric subset"
+    );
+}
+
+/// Kills the daemon subprocess if the test panics before shutdown.
+struct KillOnDrop(std::process::Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn daemon_serves_traces_metrics_logs_and_health() {
+    use std::collections::BTreeMap;
+
+    // A dedicated daemon process: trace assertions need sole ownership
+    // of the process-global trace buffer (in-process servers in this
+    // test binary would absorb each other's events on ingest and drop
+    // them as strays).
+    let port_file = tmp("telemetry.port");
+    let log_file = tmp("telemetry.log.jsonl");
+    let _ = std::fs::remove_file(&port_file);
+    let _ = std::fs::remove_file(&log_file);
+    let child = repro()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--log",
+            log_file.to_str().unwrap(),
+            "--log-level",
+            "debug",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let mut child = KillOnDrop(child);
+    let deadline = Instant::now() + TIMEOUT;
+    let addr: SocketAddr = loop {
+        match std::fs::read_to_string(&port_file)
+            .ok()
+            .and_then(|t| t.trim().parse().ok())
+        {
+            Some(addr) => break addr,
+            None => {
+                assert!(
+                    Instant::now() < deadline,
+                    "daemon never wrote its port file"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+
+    // /healthz: liveness plus version, uptime and build profile.
+    let health = client::get(addr, "/healthz", TIMEOUT).unwrap();
+    assert_eq!(health.status, 200);
+    let doc = health.body_json().unwrap();
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        doc.get("version").and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(doc.get("uptime_seconds").and_then(Json::as_f64).is_some());
+    assert!(matches!(
+        doc.get("profile").and_then(Json::as_str),
+        Some("debug" | "release")
+    ));
+
+    // A client-provided `x-request-id` is honored and echoed back.
+    let spec_json = spec(&["fig2"]).to_json().to_compact();
+    let submit = client::request_with_headers(
+        addr,
+        "POST",
+        "/jobs",
+        &[("x-request-id", "req-gate-1")],
+        Some(&spec_json),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(submit.status, 202, "{:?}", submit.body_text());
+    assert_eq!(submit.header("x-request-id"), Some("req-gate-1"));
+    let id = submit
+        .body_json()
+        .unwrap()
+        .get("job")
+        .and_then(Json::as_f64)
+        .unwrap() as u64;
+
+    // Error bodies embed the (allocated) request id that the header
+    // carries.
+    let err = client::get(addr, "/nope", TIMEOUT).unwrap();
+    assert_eq!(err.status, 404);
+    let err_id = err
+        .body_json()
+        .unwrap()
+        .get("request_id")
+        .and_then(Json::as_str)
+        .expect("error body embeds its request id")
+        .to_owned();
+    assert_eq!(err.header("x-request-id"), Some(err_id.as_str()));
+
+    let _ = await_result(addr, id);
+
+    // /jobs/<id>/trace: Chrome-trace JSON with the submit request's
+    // HTTP span at the root, the synthesized queue wait beneath it, the
+    // job execution beneath that, and flow spans nested further down.
+    let trace = client::get(addr, &format!("/jobs/{id}/trace"), TIMEOUT).unwrap();
+    assert_eq!(trace.status, 200, "{:?}", trace.body_text());
+    let trace_doc = Json::parse(trace.body_text().unwrap()).expect("trace is JSON");
+    let events = trace_doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("trace has a traceEvents array");
+    let mut spans: BTreeMap<u64, (String, Option<u64>)> = BTreeMap::new();
+    for event in events {
+        if event.get("ph").and_then(Json::as_str) != Some("B") {
+            continue;
+        }
+        let name = event.get("name").and_then(Json::as_str).unwrap().to_owned();
+        let args = event.get("args").expect("begin events carry args");
+        let span = args.get("span").and_then(Json::as_f64).unwrap() as u64;
+        let parent = args.get("parent").and_then(Json::as_f64).map(|p| p as u64);
+        spans.insert(span, (name, parent));
+    }
+    let find = |want: &str| -> (u64, Option<u64>) {
+        spans
+            .iter()
+            .find(|(_, (name, _))| name == want)
+            .map(|(span, (_, parent))| (*span, *parent))
+            .unwrap_or_else(|| panic!("span `{want}` missing from trace:\n{spans:?}"))
+    };
+    let (http_span, http_parent) = find("http.request");
+    assert_eq!(http_parent, None, "the submit request is the trace root");
+    let (qwait_span, qwait_parent) = find("queue.wait");
+    assert_eq!(qwait_parent, Some(http_span));
+    let (run_span, run_parent) = find("job.run");
+    assert_eq!(run_parent, Some(qwait_span));
+    let nested_under_run = spans.iter().any(|(_, (_, parent))| {
+        let mut cursor = *parent;
+        while let Some(p) = cursor {
+            if p == run_span {
+                return true;
+            }
+            cursor = spans.get(&p).and_then(|(_, grandparent)| *grandparent);
+        }
+        false
+    });
+    assert!(
+        nested_under_run,
+        "no flow spans nest under job.run:\n{spans:?}"
+    );
+
+    // /metrics: the contract series parse and carry this traffic.
+    use foldic_serve::telemetry;
+    let scrape = client::get(addr, "/metrics", TIMEOUT).unwrap();
+    assert_eq!(scrape.status, 200);
+    let samples =
+        foldic_obs::expo::parse_exposition(scrape.body_text().unwrap()).expect("exposition parses");
+    assert_eq!(
+        samples.get(&telemetry::requests_series("submit", "POST", 202)),
+        Some(&1.0)
+    );
+    assert_eq!(
+        samples.get(&telemetry::jobs_state_series("done")),
+        Some(&1.0)
+    );
+    assert_eq!(samples.get(telemetry::SERIES_CACHE_MISSES), Some(&1.0));
+    assert_eq!(samples.get("foldic_serve_workers"), Some(&1.0));
+
+    // Clean shutdown, then the structured log: every line parses, the
+    // access log carries the caller's request id, and the job lifecycle
+    // events reference it too.
+    let down = client::post(addr, "/shutdown", TIMEOUT).unwrap();
+    assert_eq!(down.status, 200);
+    let status = child.0.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit: {status:?}");
+    let log_text = std::fs::read_to_string(&log_file).expect("log file exists");
+    let mut events_seen = Vec::new();
+    for line in log_text.lines() {
+        let (_, event, fields) = foldic_obs::log::parse_line(line)
+            .unwrap_or_else(|e| panic!("bad log line: {e}\n{line}"));
+        events_seen.push((event, fields));
+    }
+    let with_our_id = |event: &str| {
+        events_seen.iter().any(|(e, fields)| {
+            e == event && fields.get("request_id").and_then(Json::as_str) == Some("req-gate-1")
+        })
+    };
+    assert!(with_our_id("request"), "access log line for the submit");
+    assert!(
+        with_our_id("job.queued"),
+        "job.queued carries the request id"
+    );
+    assert!(with_our_id("job.done"), "job.done carries the request id");
+    assert!(
+        events_seen.iter().any(|(e, _)| e == "scheduler.drained"),
+        "shutdown drain is logged"
+    );
 }

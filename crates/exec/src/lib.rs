@@ -255,8 +255,11 @@ where
     }
 
     // Capture the submitting span so jobs on pool workers (whose span
-    // stacks start empty) still attribute to it.
+    // stacks start empty) still attribute to it, and the fan-out
+    // timestamp so each job span carries its queue wait (`wait_us`) —
+    // scheduling delay stays distinguishable from execution time.
     let parent_span = foldic_obs::trace::current_span();
+    let fanout_ns = foldic_obs::trace::now_ns();
 
     // Per-worker deques, filled round-robin so early jobs start early on
     // every worker. A worker pops its own queue from the front and steals
@@ -317,7 +320,12 @@ where
                 };
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     foldic_obs::trace::run_with_parent(parent_span, || {
-                        let _span = foldic_obs::span!("job", idx = idx, worker = me);
+                        let _span = foldic_obs::span!(
+                            "job",
+                            idx = idx,
+                            worker = me,
+                            wait_us = foldic_obs::trace::now_ns().saturating_sub(fanout_ns) / 1_000,
+                        );
                         f(idx, item)
                     })
                 }))

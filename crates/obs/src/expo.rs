@@ -1,0 +1,377 @@
+//! Prometheus-style text exposition for metrics [`Snapshot`]s.
+//!
+//! The registry key *is* the series name: a plain name (`up`) or a name
+//! with a label set in Prometheus syntax (`requests_total{endpoint="submit",
+//! method="POST",status="202"}`). The renderer groups keys into families
+//! (the name before the label braces), emits one `# TYPE` comment per
+//! family, and expands histograms into the conventional cumulative
+//! `_bucket{le=…}` / `_sum` / `_count` series. Because snapshots keep
+//! their keys in a `BTreeMap`, the rendered body is a pure function of
+//! the snapshot: same metrics in, same bytes out.
+//!
+//! [`parse_exposition`] is the matching reader — used by the loadgen
+//! gate, the CI smoke and the fuzz harness — and [`filter_exposition`]
+//! drops series (and orphaned `# TYPE` comments) by predicate, which is
+//! how the determinism tests exclude the documented timing-class series.
+//!
+//! # Histogram bucket bounds
+//!
+//! [`Histogram`] buckets are binary-exponent buckets: bucket `k` holds
+//! `[2^k, 2^(k+1))`, so the exposition renders bucket `k` with
+//! `le="2^(k+1)"` in decimal. The [`Histogram::UNDERFLOW`] bucket (zero,
+//! negative and non-finite observations) renders as `le="0"`. Bounds are
+//! exact: every `2^k` has a finite decimal expansion.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use crate::metrics::{Histogram, Metric, Snapshot};
+
+/// Formats a sample value the way the renderer writes it: integers
+/// without a fraction, everything else via Rust's shortest round-trip
+/// float formatting, non-finite values in Prometheus spelling.
+pub fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else if v == v.trunc() && v.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Splits a registry key into `(family, labels)` — `labels` is the text
+/// inside the braces, empty when the key has none.
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(open) if key.ends_with('}') => (&key[..open], &key[open + 1..key.len() - 1]),
+        _ => (key, ""),
+    }
+}
+
+/// Joins a family name, an optional inherited label set and an optional
+/// extra label into a full series string.
+fn series(family: &str, suffix: &str, labels: &str, extra: &str) -> String {
+    let mut out = String::with_capacity(family.len() + suffix.len() + labels.len() + extra.len());
+    out.push_str(family);
+    out.push_str(suffix);
+    if labels.is_empty() && extra.is_empty() {
+        return out;
+    }
+    out.push('{');
+    out.push_str(labels);
+    if !labels.is_empty() && !extra.is_empty() {
+        out.push(',');
+    }
+    out.push_str(extra);
+    out.push('}');
+    out
+}
+
+/// Renders a snapshot as a Prometheus text exposition body.
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut typed: BTreeSet<String> = BTreeSet::new();
+    for (key, metric) in &snapshot.metrics {
+        let (family, labels) = split_key(key);
+        let kind = match metric {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        };
+        if typed.insert(family.to_owned()) {
+            let _ = writeln!(out, "# TYPE {family} {kind}");
+        }
+        match metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "{key} {c}");
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "{key} {}", format_value(*g));
+            }
+            Metric::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (&exp, &count) in &h.buckets {
+                    cumulative += count;
+                    let le = if exp == Histogram::UNDERFLOW {
+                        "le=\"0\"".to_owned()
+                    } else {
+                        format!("le=\"{}\"", format_value(2f64.powi(exp + 1)))
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{} {cumulative}",
+                        series(family, "_bucket", labels, &le)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    series(family, "_bucket", labels, "le=\"+Inf\""),
+                    h.count
+                );
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    series(family, "_sum", labels, ""),
+                    format_value(h.sum())
+                );
+                let _ = writeln!(out, "{} {}", series(family, "_count", labels, ""), h.count);
+            }
+        }
+    }
+    out
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit()
+}
+
+/// Parses one sample line's series portion starting at `line`; returns
+/// `(series, rest)` where `series` includes the label braces verbatim.
+fn parse_series(line: &str) -> Result<(&str, &str), String> {
+    let mut chars = line.char_indices();
+    match chars.next() {
+        Some((_, c)) if is_name_start(c) => {}
+        _ => return Err(format!("bad metric name start: {line:?}")),
+    }
+    let mut name_end = line.len();
+    for (i, c) in chars {
+        if !is_name_char(c) {
+            name_end = i;
+            break;
+        }
+    }
+    let rest = &line[name_end..];
+    if !rest.starts_with('{') {
+        return Ok((&line[..name_end], rest));
+    }
+    // scan the label block, honoring escapes inside quoted values
+    let bytes = rest.as_bytes();
+    let mut i = 1;
+    let mut in_str = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'}' if !in_str => {
+                let end = name_end + i + 1;
+                return Ok((&line[..end], &line[end..]));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Err(format!("unterminated label block: {line:?}"))
+}
+
+/// Parses a text exposition body into `series → value`. Comment (`#`)
+/// and blank lines are skipped; any malformed sample line is an error.
+/// Never panics — this is the parser the fuzz harness hammers.
+pub fn parse_exposition(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut samples = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, rest) = parse_series(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let value_text = rest.trim();
+        if value_text.is_empty() || value_text.contains(|c: char| c.is_whitespace()) {
+            return Err(format!(
+                "line {}: expected `series value`, got {line:?}",
+                lineno + 1
+            ));
+        }
+        let value = match value_text {
+            "NaN" => f64::NAN,
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            other => other
+                .parse::<f64>()
+                .map_err(|e| format!("line {}: bad value {other:?}: {e}", lineno + 1))?,
+        };
+        if samples.insert(series.to_owned(), value).is_some() {
+            return Err(format!("line {}: duplicate series {series:?}", lineno + 1));
+        }
+    }
+    Ok(samples)
+}
+
+/// The family a sample series belongs to: its name with any histogram
+/// `_bucket` / `_sum` / `_count` suffix stripped.
+pub fn family_of(series: &str) -> &str {
+    let name = split_key(series).0;
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            if !stripped.is_empty() {
+                return stripped;
+            }
+        }
+    }
+    name
+}
+
+/// Rewrites an exposition body keeping only the sample lines for which
+/// `keep(series)` holds (the predicate sees the full series string,
+/// labels included). `# TYPE` comments survive only while at least one
+/// of their family's samples does, so the filtered body is itself a
+/// well-formed exposition. Other comment lines are dropped.
+pub fn filter_exposition(text: &str, keep: &dyn Fn(&str) -> bool) -> String {
+    let mut kept_families: BTreeSet<String> = BTreeSet::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Ok((series, _)) = parse_series(line) {
+            if keep(series) {
+                kept_families.insert(family_of(series).to_owned());
+            }
+        }
+    }
+    let mut out = String::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            if words.next() == Some("TYPE") {
+                if let Some(family) = words.next() {
+                    if kept_families.contains(family) {
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
+            }
+            continue;
+        }
+        match parse_series(line) {
+            Ok((series, _)) if keep(series) => {
+                out.push_str(line);
+                out.push('\n');
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        reg.add(
+            "requests_total{endpoint=\"submit\",method=\"POST\",status=\"202\"}",
+            7,
+        );
+        reg.add(
+            "requests_total{endpoint=\"stats\",method=\"GET\",status=\"200\"}",
+            2,
+        );
+        reg.set_gauge("queue_depth", 3.0);
+        reg.observe_all("latency_ms{endpoint=\"submit\"}", &[0.5, 1.5, 3.0, 0.0]);
+        reg.take()
+    }
+
+    #[test]
+    fn renders_families_once_and_counters_as_integers() {
+        let text = to_prometheus(&sample_snapshot());
+        assert_eq!(text.matches("# TYPE requests_total counter").count(), 1);
+        assert_eq!(text.matches("# TYPE latency_ms histogram").count(), 1);
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(
+            text.contains("requests_total{endpoint=\"submit\",method=\"POST\",status=\"202\"} 7")
+        );
+        assert!(text.contains("queue_depth 3\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_binary_bounds() {
+        let text = to_prometheus(&sample_snapshot());
+        // 0.0 → underflow (le="0"); 0.5 → [2^-1,2^0) le="1"; 1.5 → le="2"; 3.0 → le="4"
+        assert!(text.contains("latency_ms_bucket{endpoint=\"submit\",le=\"0\"} 1"));
+        assert!(text.contains("latency_ms_bucket{endpoint=\"submit\",le=\"1\"} 2"));
+        assert!(text.contains("latency_ms_bucket{endpoint=\"submit\",le=\"2\"} 3"));
+        assert!(text.contains("latency_ms_bucket{endpoint=\"submit\",le=\"4\"} 4"));
+        assert!(text.contains("latency_ms_bucket{endpoint=\"submit\",le=\"+Inf\"} 4"));
+        assert!(text.contains("latency_ms_sum{endpoint=\"submit\"} 5"));
+        assert!(text.contains("latency_ms_count{endpoint=\"submit\"} 4"));
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let snap = sample_snapshot();
+        let text = to_prometheus(&snap);
+        let samples = parse_exposition(&text).expect("rendered body parses");
+        assert_eq!(
+            samples["requests_total{endpoint=\"submit\",method=\"POST\",status=\"202\"}"],
+            7.0
+        );
+        assert_eq!(samples["queue_depth"], 3.0);
+        assert_eq!(samples["latency_ms_count{endpoint=\"submit\"}"], 4.0);
+        assert_eq!(
+            samples["latency_ms_bucket{endpoint=\"submit\",le=\"+Inf\"}"],
+            4.0
+        );
+        // byte determinism: same snapshot, same bytes
+        assert_eq!(text, to_prometheus(&snap));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "1name 2",
+            "name",
+            "name{unterminated=\"x 1",
+            "name 1 2 3",
+            "name nope",
+            "dup 1\ndup 2",
+        ] {
+            assert!(parse_exposition(bad).is_err(), "{bad:?} should fail");
+        }
+        // special values and comments are fine
+        let ok = parse_exposition("# HELP x y\nx NaN\ny +Inf\nz -Inf\n").unwrap();
+        assert!(ok["x"].is_nan());
+        assert_eq!(ok["y"], f64::INFINITY);
+        assert_eq!(ok["z"], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn filter_drops_series_and_orphaned_type_comments() {
+        let text = to_prometheus(&sample_snapshot());
+        let kept = filter_exposition(&text, &|series| !series.starts_with("latency_ms"));
+        assert!(!kept.contains("latency_ms"));
+        assert!(!kept.contains("# TYPE latency_ms"));
+        assert!(kept.contains("# TYPE requests_total counter"));
+        assert!(kept.contains("queue_depth 3"));
+        // the filtered body is itself parseable
+        parse_exposition(&kept).expect("filtered body parses");
+        // label-level filtering keeps the family's TYPE line
+        let partial = filter_exposition(&text, &|series| !series.contains("endpoint=\"stats\""));
+        assert!(partial.contains("# TYPE requests_total counter"));
+        assert!(partial.contains("endpoint=\"submit\""));
+        assert!(!partial.contains("endpoint=\"stats\""));
+    }
+
+    #[test]
+    fn family_of_strips_histogram_suffixes() {
+        assert_eq!(family_of("latency_ms_bucket{le=\"1\"}"), "latency_ms");
+        assert_eq!(family_of("latency_ms_sum"), "latency_ms");
+        assert_eq!(family_of("latency_ms_count"), "latency_ms");
+        assert_eq!(family_of("requests_total{a=\"b\"}"), "requests_total");
+        assert_eq!(family_of("_count"), "_count");
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-worker flight recorder: a fixed-size ring of recent records.
+//!
+//! The serve daemon needs a "why" attached to every degraded result: a
+//! job that times out, faults or panics should carry the last things the
+//! worker saw — which stage was running, which blocks retried, what the
+//! watchdog cancelled — without paying for full tracing on every job.
+//! The recorder is **thread-local**: each scheduler worker owns one ring,
+//! the study runner records into it from inside the job, and the worker
+//! drains it right after the run, so records never race across workers
+//! and no global lock sits on the job path.
+//!
+//! The ring is fixed-size (default [`DEFAULT_CAPACITY`]): when full, the
+//! oldest record is evicted and a dropped counter ticks, so a pathological
+//! job can't grow memory — the dump always says how much history it lost.
+//! Timestamps come from [`crate::trace::now_ns`], the same clock spans
+//! use, so a dump lines up with a trace of the same job.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::json::Json;
+
+/// Default ring capacity per worker thread. Sized for the worst
+/// realistic dump: a deadline job over every experiment leaves one
+/// record per faulted stage/block plus bracketing start/end records —
+/// tens of entries — while staying a bounded few KiB per worker.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// One recorded entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecord {
+    /// Per-thread sequence number (monotone, never reused).
+    pub seq: u64,
+    /// Nanoseconds since the process trace epoch ([`crate::trace::now_ns`]).
+    pub ts_ns: u64,
+    /// What happened (`job.start`, `fault`, `panic`, `job.end`, …).
+    pub name: String,
+    /// Structured payload, deterministically ordered.
+    pub fields: BTreeMap<String, Json>,
+}
+
+impl FlightRecord {
+    /// JSON object form: `ts_ns`/`seq`/`name` plus the payload under
+    /// `fields` (key order is alphabetical, hence deterministic).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("fields".to_owned(), Json::Obj(self.fields.clone())),
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            ("seq".to_owned(), Json::Num(self.seq as f64)),
+            ("ts_ns".to_owned(), Json::Num(self.ts_ns as f64)),
+        ])
+    }
+}
+
+struct Ring {
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+    records: VecDeque<FlightRecord>,
+}
+
+impl Ring {
+    const fn new() -> Self {
+        Self {
+            cap: DEFAULT_CAPACITY,
+            next_seq: 0,
+            dropped: 0,
+            records: VecDeque::new(),
+        }
+    }
+}
+
+thread_local! {
+    static RING: RefCell<Ring> = const { RefCell::new(Ring::new()) };
+}
+
+/// Sets this thread's ring capacity (min 1). Existing excess records are
+/// evicted oldest-first and counted as dropped.
+pub fn configure(capacity: usize) {
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        ring.cap = capacity.max(1);
+        while ring.records.len() > ring.cap {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+    });
+}
+
+/// Appends a record to this thread's ring, evicting the oldest when full.
+pub fn record(name: &str, fields: impl IntoIterator<Item = (String, Json)>) {
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        if ring.records.len() == ring.cap {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        let rec = FlightRecord {
+            seq,
+            ts_ns: crate::trace::now_ns(),
+            name: name.to_owned(),
+            fields: fields.into_iter().collect(),
+        };
+        ring.records.push_back(rec);
+    });
+}
+
+/// Drains this thread's ring: `(records, dropped)` in record order, with
+/// the count of records evicted since the last drain. Both reset.
+pub fn take() -> (Vec<FlightRecord>, u64) {
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        let dropped = std::mem::take(&mut ring.dropped);
+        (std::mem::take(&mut ring.records).into(), dropped)
+    })
+}
+
+/// Renders a drained dump as JSONL: one record object per line, with a
+/// final `{"dropped":n,"name":"flight.truncated",...}` line when the
+/// ring evicted history.
+pub fn dump_jsonl(records: &[FlightRecord], dropped: u64) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&rec.to_json().to_compact());
+        out.push('\n');
+    }
+    if dropped > 0 {
+        out.push_str(
+            &Json::obj([
+                ("dropped".to_owned(), Json::Num(dropped as f64)),
+                ("name".to_owned(), Json::Str("flight.truncated".to_owned())),
+            ])
+            .to_compact(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(k: &str, v: i64) -> (String, Json) {
+        (k.to_owned(), Json::Num(v as f64))
+    }
+
+    #[test]
+    fn records_drain_in_order_and_reset() {
+        configure(DEFAULT_CAPACITY);
+        let _ = take();
+        record("job.start", [field("id", 1)]);
+        record("fault", [field("attempts", 2)]);
+        record("job.end", []);
+        let (records, dropped) = take();
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            records.iter().map(|r| r.name.as_str()).collect::<Vec<_>>(),
+            ["job.start", "fault", "job.end"]
+        );
+        assert!(records.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(records.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        let (empty, _) = take();
+        assert!(empty.is_empty(), "take drains");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        configure(3);
+        let _ = take();
+        for i in 0..5 {
+            record("tick", [field("i", i)]);
+        }
+        let (records, dropped) = take();
+        assert_eq!(records.len(), 3);
+        assert_eq!(dropped, 2);
+        assert_eq!(records[0].fields["i"], Json::Num(2.0));
+        assert_eq!(records[2].fields["i"], Json::Num(4.0));
+        let jsonl = dump_jsonl(&records, dropped);
+        assert_eq!(jsonl.lines().count(), 4, "3 records + truncation marker");
+        for line in jsonl.lines() {
+            Json::parse(line).expect("dump line parses");
+        }
+        assert!(jsonl.contains("flight.truncated"));
+        configure(DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn threads_have_independent_rings() {
+        configure(DEFAULT_CAPACITY);
+        let _ = take();
+        record("mine", []);
+        let other = std::thread::spawn(|| {
+            record("theirs", []);
+            take().0.len()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 1);
+        let (records, _) = take();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "mine");
+    }
+}

@@ -1,0 +1,250 @@
+//! Leveled JSONL logging: one compact JSON object per line.
+//!
+//! The serve daemon writes an access+app log — one line per HTTP request
+//! and per job transition — that downstream tooling greps and parses.
+//! Lines are plain [`Json`] objects with the reserved keys `level` and
+//! `event` merged into the caller's fields; because objects serialize
+//! from a `BTreeMap`, field order is alphabetical and therefore
+//! **deterministic**: the same logical line always renders the same
+//! bytes. Timestamps are deliberately not part of the line format —
+//! callers that need one add their own field (e.g. `latency_ms`), which
+//! keeps the deterministic/volatile split explicit.
+//!
+//! A [`LogSink`] is an owned handle, not a global: the server clones an
+//! `Arc<LogSink>` into its connection and worker threads. Each `log`
+//! call writes and flushes one line under a mutex, so concurrent lines
+//! never interleave mid-line.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Log severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Diagnostic detail (per-request timings, cache keys).
+    Debug,
+    /// Normal operation (requests, job transitions).
+    Info,
+    /// Degraded but serving (rejections, timeouts).
+    Warn,
+    /// Faults (panicked jobs, I/O errors).
+    Error,
+}
+
+impl Level {
+    /// The lowercase name used on the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses a lowercase level name.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+/// Formats one log line (without the trailing newline): the caller's
+/// fields plus reserved `level` and `event` keys, serialized compactly
+/// with alphabetical field order. Caller fields named `level`/`event`
+/// are overwritten by the reserved values.
+pub fn format_line(
+    level: Level,
+    event: &str,
+    fields: impl IntoIterator<Item = (String, Json)>,
+) -> String {
+    let mut obj: BTreeMap<String, Json> = fields.into_iter().collect();
+    obj.insert("level".to_owned(), Json::Str(level.as_str().to_owned()));
+    obj.insert("event".to_owned(), Json::Str(event.to_owned()));
+    Json::Obj(obj).to_compact()
+}
+
+/// Parses a log line back into `(level, event, fields)` — the reserved
+/// keys are removed from the returned field map. Used by tests, the CI
+/// smoke and the fuzz harness; never panics.
+pub fn parse_line(line: &str) -> Result<(Level, String, BTreeMap<String, Json>), String> {
+    let json = Json::parse(line)?;
+    let Json::Obj(mut obj) = json else {
+        return Err("log line is not an object".to_owned());
+    };
+    let level = match obj.remove("level") {
+        Some(Json::Str(s)) => Level::parse(&s).ok_or_else(|| format!("unknown log level {s:?}"))?,
+        _ => return Err("log line missing string `level`".to_owned()),
+    };
+    let event = match obj.remove("event") {
+        Some(Json::Str(s)) => s,
+        _ => return Err("log line missing string `event`".to_owned()),
+    };
+    Ok((level, event, obj))
+}
+
+/// A leveled JSONL writer.
+pub struct LogSink {
+    level: Level,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for LogSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogSink")
+            .field("level", &self.level)
+            .finish()
+    }
+}
+
+impl LogSink {
+    /// A sink over an arbitrary writer, dropping lines below `level`.
+    pub fn new(writer: Box<dyn Write + Send>, level: Level) -> Self {
+        Self {
+            level,
+            out: Mutex::new(writer),
+        }
+    }
+
+    /// A sink appending to the file at `path` (created if absent).
+    pub fn to_file(path: &Path, level: Level) -> io::Result<Self> {
+        let file = File::options().create(true).append(true).open(path)?;
+        Ok(Self::new(Box::new(BufWriter::new(file)), level))
+    }
+
+    /// A sink writing to stderr.
+    pub fn stderr(level: Level) -> Self {
+        Self::new(Box::new(io::stderr()), level)
+    }
+
+    /// The minimum level this sink writes.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// `true` when a line at `level` would be written — check before
+    /// building expensive field sets.
+    pub fn enabled(&self, level: Level) -> bool {
+        level >= self.level
+    }
+
+    /// Writes one line (and flushes, so logs survive an abrupt exit).
+    /// Write errors are swallowed: logging must never take down serving.
+    pub fn log(&self, level: Level, event: &str, fields: impl IntoIterator<Item = (String, Json)>) {
+        if !self.enabled(level) {
+            return;
+        }
+        let line = format_line(level, event, fields);
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A writer the test can read back.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn f(k: &str, v: &str) -> (String, Json) {
+        (k.to_owned(), Json::Str(v.to_owned()))
+    }
+
+    #[test]
+    fn levels_order_and_round_trip() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        for level in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::parse("INFO"), None);
+        assert_eq!(Level::parse("trace"), None);
+    }
+
+    #[test]
+    fn lines_have_deterministic_field_order_and_parse_back() {
+        let a = format_line(
+            Level::Info,
+            "request",
+            [f("request_id", "req-1"), f("endpoint", "submit")],
+        );
+        let b = format_line(
+            Level::Info,
+            "request",
+            [f("endpoint", "submit"), f("request_id", "req-1")],
+        );
+        assert_eq!(a, b, "field insertion order must not matter");
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        let (level, event, fields) = parse_line(&a).unwrap();
+        assert_eq!(level, Level::Info);
+        assert_eq!(event, "request");
+        assert_eq!(fields["endpoint"], Json::Str("submit".to_owned()));
+        assert_eq!(fields["request_id"], Json::Str("req-1".to_owned()));
+        // reserved keys win over caller fields of the same name
+        let clash = format_line(
+            Level::Warn,
+            "real",
+            [f("event", "fake"), f("level", "fake")],
+        );
+        let (level, event, fields) = parse_line(&clash).unwrap();
+        assert_eq!((level, event.as_str()), (Level::Warn, "real"));
+        assert!(fields.is_empty());
+    }
+
+    #[test]
+    fn sink_filters_below_threshold_and_writes_jsonl() {
+        let buf = Shared::default();
+        let sink = LogSink::new(Box::new(buf.clone()), Level::Info);
+        assert!(!sink.enabled(Level::Debug));
+        assert!(sink.enabled(Level::Warn));
+        sink.log(Level::Debug, "dropped", []);
+        sink.log(Level::Info, "kept", [f("k", "v")]);
+        sink.log(Level::Error, "also_kept", []);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kept\""));
+        let (level, event, _) = parse_line(lines[1]).unwrap();
+        assert_eq!((level, event.as_str()), (Level::Error, "also_kept"));
+    }
+
+    #[test]
+    fn parse_line_rejects_malformed_input() {
+        for bad in [
+            "not json",
+            "[1,2]",
+            "{}",
+            "{\"level\":\"info\"}",
+            "{\"event\":\"x\",\"level\":\"loud\"}",
+            "{\"event\":3,\"level\":\"info\"}",
+        ] {
+            assert!(parse_line(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

@@ -33,22 +33,141 @@ use crate::json::Json;
 /// Fixed-point scale for histogram sums: 2⁻¹⁶ resolution.
 const FP_ONE: f64 = 65536.0;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
-static REGISTRY: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
+/// The process-global registry the free functions below record into.
+static GLOBAL: Registry = Registry::new();
 
-/// Turns metric recording on or off. Turning it on clears the registry.
-pub fn set_enabled(on: bool) {
-    if on {
-        REGISTRY.lock().unwrap().clear();
-    }
-    ENABLED.store(on, Ordering::Relaxed);
+/// An instantiable metrics registry.
+///
+/// Flow code records into the process-global registry through the free
+/// functions ([`add`], [`observe`], …), which manifests snapshot and
+/// drain. Long-lived components that must not perturb manifest bytes —
+/// the serve daemon's `/metrics` endpoint, most prominently — own a
+/// `Registry` of their own instead, with the same recording semantics
+/// and the same determinism contract.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    metrics: Mutex<BTreeMap<String, Metric>>,
 }
 
-/// `true` while recording — one relaxed load, the cost of every disabled
-/// hook.
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A fresh, disabled registry (usable in `static` position).
+    pub const fn new() -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Turns recording on or off. Turning it on clears the registry.
+    pub fn set_enabled(&self, on: bool) {
+        if on {
+            self.metrics.lock().unwrap().clear();
+        }
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// `true` while recording — one relaxed load, the cost of every
+    /// disabled hook.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Adds `n` to the counter `name` (created at 0).
+    pub fn add(&self, name: &str, n: u64) {
+        if !self.is_enabled() || n == 0 {
+            return;
+        }
+        let mut reg = self.metrics.lock().unwrap();
+        match reg.entry(name.to_owned()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(c) => *c += n,
+            other => debug_assert!(false, "{name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the gauge `name`. Call from serial code or under per-job keys
+    /// — concurrent writers to one key would race the final value.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut reg = self.metrics.lock().unwrap();
+        match reg.entry(name.to_owned()).or_insert(Metric::Gauge(0.0)) {
+            Metric::Gauge(g) => *g = v,
+            other => debug_assert!(false, "{name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Raises the gauge `name` to at least `v` (max-merge, commutative —
+    /// safe for concurrent writers).
+    pub fn set_gauge_max(&self, name: &str, v: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut reg = self.metrics.lock().unwrap();
+        match reg.entry(name.to_owned()).or_insert(Metric::Gauge(v)) {
+            Metric::Gauge(g) => *g = g.max(v),
+            other => debug_assert!(false, "{name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records one observation into the histogram `name`.
+    pub fn observe(&self, name: &str, v: f64) {
+        self.observe_all(name, std::slice::from_ref(&v));
+    }
+
+    /// Records a batch of observations under one registry lock.
+    pub fn observe_all(&self, name: &str, values: &[f64]) {
+        if !self.is_enabled() || values.is_empty() {
+            return;
+        }
+        let mut reg = self.metrics.lock().unwrap();
+        match reg
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => {
+                for &v in values {
+                    h.observe(v);
+                }
+            }
+            other => debug_assert!(false, "{name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Copies the registry without clearing it.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            metrics: self.metrics.lock().unwrap().clone(),
+        }
+    }
+
+    /// Drains the registry, leaving it empty.
+    pub fn take(&self) -> Snapshot {
+        Snapshot {
+            metrics: std::mem::take(&mut *self.metrics.lock().unwrap()),
+        }
+    }
+}
+
+/// Turns global metric recording on or off. Turning it on clears the
+/// registry.
+pub fn set_enabled(on: bool) {
+    GLOBAL.set_enabled(on);
+}
+
+/// `true` while the global registry records — one relaxed load, the cost
+/// of every disabled hook.
 #[inline]
 pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    GLOBAL.is_enabled()
 }
 
 /// A log-bucketed histogram with order-independent accumulators.
@@ -129,70 +248,35 @@ pub enum Metric {
     Histogram(Histogram),
 }
 
-/// Adds `n` to the counter `name` (created at 0).
+/// Adds `n` to the global counter `name` (created at 0).
 pub fn add(name: &str, n: u64) {
-    if !is_enabled() || n == 0 {
-        return;
-    }
-    let mut reg = REGISTRY.lock().unwrap();
-    match reg.entry(name.to_owned()).or_insert(Metric::Counter(0)) {
-        Metric::Counter(c) => *c += n,
-        other => debug_assert!(false, "{name} is not a counter: {other:?}"),
-    }
+    GLOBAL.add(name, n);
 }
 
-/// Sets the gauge `name`. Call from serial code or under per-job keys —
-/// concurrent writers to one key would race the final value.
+/// Sets the global gauge `name`. Call from serial code or under per-job
+/// keys — concurrent writers to one key would race the final value.
 pub fn set_gauge(name: &str, v: f64) {
-    if !is_enabled() {
-        return;
-    }
-    let mut reg = REGISTRY.lock().unwrap();
-    match reg.entry(name.to_owned()).or_insert(Metric::Gauge(0.0)) {
-        Metric::Gauge(g) => *g = v,
-        other => debug_assert!(false, "{name} is not a gauge: {other:?}"),
-    }
+    GLOBAL.set_gauge(name, v);
 }
 
-/// Raises the gauge `name` to at least `v` (max-merge). Unlike
+/// Raises the global gauge `name` to at least `v` (max-merge). Unlike
 /// [`set_gauge`], max is commutative and associative, so concurrent
 /// writers from pool jobs converge to the same value regardless of
 /// scheduling — safe for keys written inside parallel flows (e.g.
 /// high-water scratch-reuse counts).
 pub fn set_gauge_max(name: &str, v: f64) {
-    if !is_enabled() {
-        return;
-    }
-    let mut reg = REGISTRY.lock().unwrap();
-    match reg.entry(name.to_owned()).or_insert(Metric::Gauge(v)) {
-        Metric::Gauge(g) => *g = g.max(v),
-        other => debug_assert!(false, "{name} is not a gauge: {other:?}"),
-    }
+    GLOBAL.set_gauge_max(name, v);
 }
 
-/// Records one observation into the histogram `name`.
+/// Records one observation into the global histogram `name`.
 pub fn observe(name: &str, v: f64) {
-    observe_all(name, std::slice::from_ref(&v));
+    GLOBAL.observe(name, v);
 }
 
 /// Records a batch of observations under one registry lock — the shape
 /// instrumented loops should use (compute locally, flush once).
 pub fn observe_all(name: &str, values: &[f64]) {
-    if !is_enabled() || values.is_empty() {
-        return;
-    }
-    let mut reg = REGISTRY.lock().unwrap();
-    match reg
-        .entry(name.to_owned())
-        .or_insert_with(|| Metric::Histogram(Histogram::new()))
-    {
-        Metric::Histogram(h) => {
-            for &v in values {
-                h.observe(v);
-            }
-        }
-        other => debug_assert!(false, "{name} is not a histogram: {other:?}"),
-    }
+    GLOBAL.observe_all(name, values);
 }
 
 /// A point-in-time copy of the registry.
@@ -202,18 +286,14 @@ pub struct Snapshot {
     pub metrics: BTreeMap<String, Metric>,
 }
 
-/// Copies the registry without clearing it.
+/// Copies the global registry without clearing it.
 pub fn snapshot() -> Snapshot {
-    Snapshot {
-        metrics: REGISTRY.lock().unwrap().clone(),
-    }
+    GLOBAL.snapshot()
 }
 
-/// Drains the registry, leaving it empty.
+/// Drains the global registry, leaving it empty.
 pub fn take() -> Snapshot {
-    Snapshot {
-        metrics: std::mem::take(&mut *REGISTRY.lock().unwrap()),
-    }
+    GLOBAL.take()
 }
 
 impl Snapshot {
@@ -457,6 +537,32 @@ mod tests {
         set_enabled(false);
         set_gauge_max("scratch.reuse", 99.0);
         assert!(take().metrics.is_empty());
+    }
+
+    #[test]
+    fn instance_registries_are_independent_of_the_global() {
+        let _gate = lock();
+        set_enabled(false);
+        let _ = take();
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        reg.add("local.counter", 3);
+        reg.observe("local.hist", 2.0);
+        reg.set_gauge("local.gauge", 1.5);
+        reg.set_gauge_max("local.gauge", 4.0);
+        // nothing leaked into the process-global registry
+        assert!(take().metrics.is_empty(), "global must stay untouched");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("local.counter"), 3);
+        assert_eq!(snap.gauge("local.gauge"), Some(4.0));
+        assert_eq!(snap.histogram("local.hist").unwrap().count, 1);
+        let drained = reg.take();
+        assert_eq!(drained, snap);
+        assert!(reg.take().metrics.is_empty(), "take drains");
+        // a disabled instance records nothing
+        reg.set_enabled(false);
+        reg.add("local.counter", 1);
+        assert!(reg.snapshot().metrics.is_empty());
     }
 
     #[test]

@@ -162,8 +162,44 @@ pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-fn now_ns() -> u64 {
+/// Nanoseconds since the process trace epoch (the first call wins the
+/// epoch). Public so callers can timestamp *synthesized* events — e.g.
+/// the serve scheduler marks a job's submit instant, then builds a
+/// `queue.wait` span at dispatch — on the same clock as recorded spans.
+pub fn now_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Allocates a fresh span id from the same sequence [`SpanGuard`] draws
+/// from, for synthesized spans (see [`synthetic_event`]).
+pub fn alloc_span_id() -> SpanId {
+    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Builds an [`Event`] stamped with a fresh global sequence number and
+/// this thread's id, without touching the span stack or the shard
+/// buffers. Callers that reconstruct spans after the fact (the serve
+/// queue synthesizes `queue.wait` Begin/End pairs from stored submit
+/// timestamps) use this so their events interleave correctly with
+/// recorded ones when sorted by `(ts_ns, seq)`.
+pub fn synthetic_event(
+    kind: EventKind,
+    name: &'static str,
+    span: SpanId,
+    parent: Option<SpanId>,
+    ts_ns: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+) -> Event {
+    Event {
+        seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+        ts_ns,
+        tid: TID.with(|t| *t),
+        kind,
+        name,
+        span,
+        parent,
+        attrs,
+    }
 }
 
 fn record(event: Event) {

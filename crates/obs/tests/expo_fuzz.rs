@@ -1,0 +1,312 @@
+//! Adversarial property tests for the telemetry text formats added for
+//! serving: the Prometheus-style exposition (`expo`) and the structured
+//! JSONL log line (`log`).
+//!
+//! Properties, each checked over seeded iterations:
+//!
+//! 1. **Exposition parse never panics** on arbitrary input — byte soup
+//!    biased toward exposition syntax, and mutations of well-formed
+//!    bodies. `/metrics` scrapes cross a process boundary (CI smoke,
+//!    loadgen cross-checks), so the parser must degrade to `Err`.
+//! 2. **Exposition round-trips**: for any registry contents the
+//!    renderer can produce, `parse_exposition(to_prometheus(snapshot))`
+//!    succeeds, recovers every counter and gauge exactly, and yields
+//!    self-consistent histogram series (monotone cumulative buckets,
+//!    `+Inf` bucket == `_count`). Filtering with a keep-all predicate
+//!    is a no-op at the sample level.
+//! 3. **Log lines round-trip**: `parse_line(format_line(...))` returns
+//!    the original level, event and fields, and parse never panics on
+//!    mutated lines.
+//!
+//! The iteration stream is deterministic: seeded from `FOLDIC_FUZZ_SEED`
+//! (decimal u64) when set, a fixed default otherwise, so CI failures
+//! reproduce locally by exporting the same seed.
+
+use std::collections::BTreeMap;
+
+use foldic_obs::expo::{family_of, filter_exposition, parse_exposition, to_prometheus};
+use foldic_obs::json::Json;
+use foldic_obs::log::{format_line, parse_line, Level};
+use foldic_obs::metrics::Registry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SOUP_ITERS: usize = 10_000;
+const ROUND_TRIP_ITERS: usize = 2_000;
+
+fn fuzz_seed() -> u64 {
+    std::env::var("FOLDIC_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xDAC1_4F00D)
+}
+
+/// Random byte soup biased toward exposition syntax so the parser gets
+/// past the metric-name check often enough to reach labels and values.
+fn random_exposition_input(rng: &mut StdRng) -> String {
+    const STRUCTURAL: &[u8] = br##"{}="\,# TYPEabz_:0123456789.+-eInfNa "##;
+    let lines = rng.gen_range(0..6usize);
+    let mut out = String::new();
+    for _ in 0..lines {
+        let len = rng.gen_range(0..48usize);
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.8) {
+                    STRUCTURAL[rng.gen_range(0..STRUCTURAL.len())]
+                } else {
+                    (rng.gen::<u64>() & 0xff) as u8
+                }
+            })
+            .collect();
+        out.push_str(&String::from_utf8_lossy(&bytes));
+        out.push('\n');
+    }
+    out
+}
+
+/// A well-formed series string: family from a disjoint per-kind pool
+/// (so families never collide across metric kinds) plus an optional
+/// label block.
+fn random_series(rng: &mut StdRng, kind: char, idx: usize) -> String {
+    let family = format!("{kind}{idx}_metric");
+    match rng.gen_range(0..3u32) {
+        0 => family,
+        1 => format!("{family}{{endpoint=\"e{}\"}}", rng.gen_range(0..4u32)),
+        _ => format!(
+            "{family}{{method=\"m{}\",status=\"{}\"}}",
+            rng.gen_range(0..3u32),
+            200 + rng.gen_range(0..5u32)
+        ),
+    }
+}
+
+/// Finite gauge values spanning the integer fast path, shortest-float
+/// formatting, and signed extremes. NaN is excluded: it renders and
+/// parses, but `NaN != NaN` would fail the equality check trivially.
+fn random_gauge(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0..5u32) {
+        0 => f64::from(rng.gen_range(-1_000_000..1_000_000i32)),
+        1 => rng.gen::<f64>() * 1e300,
+        2 => rng.gen::<f64>() * 1e-300,
+        3 => -rng.gen::<f64>(),
+        _ => {
+            if rng.gen() {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            }
+        }
+    }
+}
+
+#[test]
+fn exposition_parse_never_panics_on_random_bytes() {
+    let mut rng = StdRng::seed_from_u64(fuzz_seed());
+    for i in 0..SOUP_ITERS {
+        let input = random_exposition_input(&mut rng);
+        let result = std::panic::catch_unwind(|| parse_exposition(&input).is_ok());
+        assert!(
+            result.is_ok(),
+            "parse_exposition panicked on iteration {i} (seed {}): {input:?}",
+            fuzz_seed()
+        );
+    }
+}
+
+#[test]
+fn exposition_parse_never_panics_on_mutated_bodies() {
+    // Mutations of a rendered body get much deeper than soup: most
+    // inputs carry valid names, label blocks and values before the
+    // flipped byte derails them.
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x6578_706F);
+    for i in 0..ROUND_TRIP_ITERS {
+        let registry = random_registry(&mut rng);
+        let mut text = to_prometheus(&registry.snapshot()).into_bytes();
+        if !text.is_empty() {
+            for _ in 0..rng.gen_range(1..5usize) {
+                let pos = rng.gen_range(0..text.len());
+                match rng.gen_range(0..3u32) {
+                    0 => text[pos] = (rng.gen::<u64>() & 0xff) as u8,
+                    1 => {
+                        text.remove(pos);
+                    }
+                    _ => text.insert(pos, b"{}=\"\n# x"[rng.gen_range(0..8usize)]),
+                }
+                if text.is_empty() {
+                    break;
+                }
+            }
+        }
+        let input = String::from_utf8_lossy(&text).into_owned();
+        let result = std::panic::catch_unwind(|| parse_exposition(&input).is_ok());
+        assert!(
+            result.is_ok(),
+            "parse_exposition panicked on mutated body, iteration {i} (seed {}): {input:?}",
+            fuzz_seed()
+        );
+    }
+}
+
+/// Builds a registry with random counters, gauges and histograms, and
+/// returns it alongside the exact expected counter/gauge samples.
+fn random_registry(rng: &mut StdRng) -> Registry {
+    let registry = Registry::new();
+    registry.set_enabled(true);
+    for i in 0..rng.gen_range(0..4usize) {
+        // cap below 2^53 so the u64 survives the f64 sample space
+        registry.add(
+            &random_series(rng, 'c', i),
+            rng.gen::<u64>() & ((1 << 53) - 1),
+        );
+    }
+    for i in 0..rng.gen_range(0..4usize) {
+        registry.set_gauge(&random_series(rng, 'g', i), random_gauge(rng));
+    }
+    for i in 0..rng.gen_range(0..3usize) {
+        let series = random_series(rng, 'h', i);
+        for _ in 0..rng.gen_range(1..12usize) {
+            registry.observe(&series, rng.gen::<f64>() * 1e4);
+        }
+    }
+    registry
+}
+
+#[test]
+fn exposition_round_trips_counters_gauges_and_histograms() {
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x726F_756E64);
+    for i in 0..ROUND_TRIP_ITERS {
+        let registry = random_registry(&mut rng);
+        let snapshot = registry.snapshot();
+        let text = to_prometheus(&snapshot);
+        let samples = match parse_exposition(&text) {
+            Ok(s) => s,
+            Err(e) => panic!(
+                "renderer output rejected on iteration {i} (seed {}): {e}\n{text}",
+                fuzz_seed()
+            ),
+        };
+        // Every scalar metric comes back exactly; histograms come back
+        // as a self-consistent bucket/sum/count family.
+        for (key, metric) in &snapshot.metrics {
+            match metric {
+                foldic_obs::metrics::Metric::Counter(c) => {
+                    assert_eq!(
+                        samples.get(key),
+                        Some(&(*c as f64)),
+                        "counter {key}\n{text}"
+                    );
+                }
+                foldic_obs::metrics::Metric::Gauge(g) => {
+                    assert_eq!(samples.get(key), Some(g), "gauge {key}\n{text}");
+                }
+                foldic_obs::metrics::Metric::Histogram(h) => {
+                    let family = family_of(key);
+                    let mut bucket_counts: Vec<f64> = samples
+                        .iter()
+                        .filter(|(series, _)| {
+                            family_of(series) == family && series.contains("_bucket")
+                        })
+                        .map(|(_, &v)| v)
+                        .collect();
+                    bucket_counts.sort_by(f64::total_cmp);
+                    assert!(
+                        bucket_counts.windows(2).all(|w| w[0] <= w[1]),
+                        "buckets of {key} not cumulative\n{text}"
+                    );
+                    assert_eq!(
+                        bucket_counts.last().copied(),
+                        Some(h.count as f64),
+                        "+Inf bucket of {key} != count\n{text}"
+                    );
+                    let count_series = samples
+                        .iter()
+                        .find(|(series, _)| {
+                            family_of(series) == family && series.contains("_count")
+                        })
+                        .map(|(_, &v)| v);
+                    assert_eq!(count_series, Some(h.count as f64), "{key} _count\n{text}");
+                }
+            }
+        }
+        // keep-all filtering preserves every sample
+        let filtered = filter_exposition(&text, &|_| true);
+        assert_eq!(
+            parse_exposition(&filtered).expect("filtered body must parse"),
+            samples,
+            "keep-all filter changed the sample set on iteration {i} (seed {})",
+            fuzz_seed()
+        );
+    }
+}
+
+fn random_log_fields(rng: &mut StdRng) -> BTreeMap<String, Json> {
+    let mut fields = BTreeMap::new();
+    for _ in 0..rng.gen_range(0..6usize) {
+        let key: String = (0..rng.gen_range(1..10usize))
+            .map(|_| {
+                const POOL: &[char] = &['a', 'b', '_', '0', '9', 'z', 'µ', '縦', '"', '\\', '\n'];
+                POOL[rng.gen_range(0..POOL.len())]
+            })
+            .collect();
+        // reserved keys are overwritten by format_line, so they cannot
+        // round-trip as caller fields
+        if key == "level" || key == "event" {
+            continue;
+        }
+        let value = match rng.gen_range(0..4u32) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen()),
+            2 => Json::Num(f64::from(rng.gen_range(-1_000_000..1_000_000i32))),
+            _ => Json::Str(format!("v{}", rng.gen_range(0..1_000u32))),
+        };
+        fields.insert(key, value);
+    }
+    fields
+}
+
+#[test]
+fn log_lines_round_trip() {
+    const LEVELS: &[Level] = &[Level::Debug, Level::Info, Level::Warn, Level::Error];
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x6C6F_6721);
+    for i in 0..ROUND_TRIP_ITERS {
+        let level = LEVELS[rng.gen_range(0..LEVELS.len())];
+        let event = format!("event.{}", rng.gen_range(0..1_000u32));
+        let fields = random_log_fields(&mut rng);
+        let line = format_line(level, &event, fields.clone());
+        assert!(!line.contains('\n'), "log line must be one line: {line:?}");
+        let (back_level, back_event, back_fields) = parse_line(&line)
+            .unwrap_or_else(|e| panic!("own line rejected on iteration {i}: {e}\n{line}"));
+        assert_eq!(back_level, level, "{line}");
+        assert_eq!(back_event, event, "{line}");
+        assert_eq!(back_fields, fields, "{line}");
+    }
+}
+
+#[test]
+fn log_parse_never_panics_on_mutated_lines() {
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x6C6F_676D);
+    for i in 0..SOUP_ITERS {
+        let fields = random_log_fields(&mut rng);
+        let mut text = format_line(Level::Info, "fuzz", fields).into_bytes();
+        for _ in 0..rng.gen_range(1..4usize) {
+            if text.is_empty() {
+                break;
+            }
+            let pos = rng.gen_range(0..text.len());
+            match rng.gen_range(0..3u32) {
+                0 => text[pos] = (rng.gen::<u64>() & 0xff) as u8,
+                1 => {
+                    text.remove(pos);
+                }
+                _ => text.insert(pos, b"{}[],:\"\\"[rng.gen_range(0..8usize)]),
+            }
+        }
+        let input = String::from_utf8_lossy(&text).into_owned();
+        let result = std::panic::catch_unwind(|| parse_line(&input).is_ok());
+        assert!(
+            result.is_ok(),
+            "parse_line panicked on iteration {i} (seed {}): {input:?}",
+            fuzz_seed()
+        );
+    }
+}

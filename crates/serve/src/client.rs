@@ -103,16 +103,33 @@ pub fn request(
     body: Option<&str>,
     timeout: Duration,
 ) -> std::io::Result<HttpResponse> {
+    request_with_headers(addr, method, path, &[], body, timeout)
+}
+
+/// Like [`request`], with extra request headers — e.g. an
+/// `x-request-id` the daemon echoes through its telemetry.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<HttpResponse> {
     let stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     let mut writer = stream.try_clone()?;
     let body_bytes = body.map(str::as_bytes).unwrap_or_default();
-    write!(
-        writer,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n",
-        body_bytes.len()
-    )?;
+    write!(writer, "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n")?;
+    for (name, value) in headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "Content-Length: {}\r\n\r\n", body_bytes.len())?;
     writer.write_all(body_bytes)?;
     writer.flush()?;
 

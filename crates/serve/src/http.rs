@@ -323,6 +323,25 @@ impl Response {
         Self::json(status, &value)
     }
 
+    /// Tags a JSON-object body with the request id (so error bodies say
+    /// which request they belong to). Non-JSON and non-object bodies are
+    /// left untouched.
+    #[must_use]
+    pub fn with_request_id(mut self, request_id: &str) -> Self {
+        if let Ok(text) = std::str::from_utf8(&self.body) {
+            if let Ok(mut doc) = foldic_obs::json::Json::parse(text) {
+                if let Some(obj) = doc.as_obj_mut() {
+                    obj.insert(
+                        "request_id".to_owned(),
+                        foldic_obs::json::Json::Str(request_id.to_owned()),
+                    );
+                    self.body = doc.to_pretty().into_bytes();
+                }
+            }
+        }
+        self
+    }
+
     /// Adds a header.
     #[must_use]
     pub fn with_header(mut self, name: &str, value: String) -> Self {

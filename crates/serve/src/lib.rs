@@ -28,8 +28,13 @@
 //!   generator;
 //! * [`loadgen`] — a seeded multi-client load generator replaying
 //!   hit/miss/cancel/deadline job mixes and emitting a
-//!   `foldic-serve-bench/1` report (throughput, latency percentiles, hit
-//!   ratio), so "heavy traffic" is a tested property.
+//!   `foldic-serve-bench/2` report (throughput, latency percentiles, hit
+//!   ratio, server-side counter deltas), so "heavy traffic" is a tested
+//!   property;
+//! * [`telemetry`] — the live-telemetry hub: the
+//!   `foldic-serve-metrics/1` exposition contract behind `GET /metrics`,
+//!   request-id allocation, structured-log plumbing and the per-job
+//!   trace mux behind `GET /jobs/<id>/trace`.
 //!
 //! The daemon is generic over a [`queue::StudyRunner`]; the real runner
 //! (which executes `foldic-bench` experiments and emits run manifests)
@@ -42,8 +47,10 @@ pub mod job;
 pub mod loadgen;
 pub mod queue;
 pub mod server;
+pub mod telemetry;
 
 pub use cache::ResultCache;
 pub use job::JobSpec;
 pub use queue::{Scheduler, SchedulerConfig, StudyRunner, Submission};
 pub use server::{Server, ServerConfig};
+pub use telemetry::{Telemetry, TelemetryConfig};

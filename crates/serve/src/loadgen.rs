@@ -21,9 +21,18 @@
 //! from the observed outcome so gates can check invariants (no errors, no
 //! failed jobs, every planned hit actually hit) without asserting on
 //! timing.
+//!
+//! Since `foldic-serve-bench/2` the report also embeds the **server
+//! side**: `/metrics` is scraped right after warmup and again after
+//! measurement, the final exposition text is stored verbatim, and the
+//! counter deltas between the two scrapes ride along — so the gate can
+//! check that the daemon's own accounting (terminal-state counts, cache
+//! hits/misses, submit statuses) agrees *exactly* with what the clients
+//! observed.
 
 use crate::client;
 use crate::job::JobSpec;
+use crate::telemetry;
 use foldic_obs::json::Json;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -32,7 +41,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Schema identifier of the load report.
-pub const REPORT_SCHEMA: &str = "foldic-serve-bench/1";
+pub const REPORT_SCHEMA: &str = "foldic-serve-bench/2";
 
 /// Relative weights of the four job kinds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -350,6 +359,16 @@ fn drive(cfg: &LoadConfig, job: &Planned, out: &Mutex<Outcome>) {
     }
 }
 
+/// The daemon's own accounting of the measured window, from `/metrics`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSide {
+    /// Counter-series deltas (final minus post-warmup baseline) for
+    /// every `*_total` series present in the final scrape.
+    pub deltas: BTreeMap<String, u64>,
+    /// The final `/metrics` exposition body, verbatim.
+    pub scrape: String,
+}
+
 /// The measured result of one load run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
@@ -383,6 +402,9 @@ pub struct LoadReport {
     pub throughput_jps: f64,
     /// Measurement wall time, seconds.
     pub wall_s: f64,
+    /// Server-side counter deltas and final exposition (absent in
+    /// reports from tooling that never scraped `/metrics`).
+    pub server: Option<ServerSide>,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -403,7 +425,7 @@ impl LoadReport {
                     .collect(),
             )
         };
-        Json::obj([
+        let mut doc = Json::obj([
             ("schema".to_owned(), Json::Str(REPORT_SCHEMA.to_owned())),
             ("jobs".to_owned(), Json::Num(self.jobs as f64)),
             ("clients".to_owned(), Json::Num(self.clients as f64)),
@@ -443,7 +465,28 @@ impl LoadReport {
             ),
             ("throughput_jps".to_owned(), Json::Num(self.throughput_jps)),
             ("wall_s".to_owned(), Json::Num(self.wall_s)),
-        ])
+        ]);
+        if let Some(server) = &self.server {
+            if let Some(obj) = doc.as_obj_mut() {
+                obj.insert(
+                    "server".to_owned(),
+                    Json::obj([
+                        (
+                            "deltas".to_owned(),
+                            Json::Obj(
+                                server
+                                    .deltas
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                                    .collect(),
+                            ),
+                        ),
+                        ("scrape".to_owned(), Json::Str(server.scrape.clone())),
+                    ]),
+                );
+            }
+        }
+        doc
     }
 
     /// Parses and schema-checks a serialized report.
@@ -512,6 +555,16 @@ impl LoadReport {
                 .unwrap_or_default(),
             throughput_jps: num("throughput_jps")?,
             wall_s: num("wall_s")?,
+            server: doc.get("server").and_then(|server| {
+                let deltas = server
+                    .get("deltas")
+                    .and_then(Json::as_obj)?
+                    .iter()
+                    .filter_map(|(k, v)| v.as_f64().map(|v| (k.clone(), v as u64)))
+                    .collect();
+                let scrape = server.get("scrape").and_then(Json::as_str)?.to_owned();
+                Some(ServerSide { deltas, scrape })
+            }),
         })
     }
 
@@ -553,6 +606,68 @@ impl LoadReport {
                 self.rejected, self.jobs
             ));
         }
+        // Server-side cross-check: the daemon's own counters over the
+        // measured window must agree exactly with the client view.
+        if let Some(server) = &self.server {
+            let delta = |series: &str| server.deltas.get(series).copied().unwrap_or(0);
+            let checks: [(&str, String, u64); 5] = [
+                ("done jobs", telemetry::jobs_state_series("done"), self.done),
+                (
+                    "cancelled jobs",
+                    telemetry::jobs_state_series("cancelled"),
+                    self.cancelled,
+                ),
+                (
+                    "failed jobs",
+                    telemetry::jobs_state_series("failed"),
+                    self.failed,
+                ),
+                (
+                    "rejections",
+                    telemetry::SERIES_JOBS_REJECTED.to_owned(),
+                    self.rejected,
+                ),
+                (
+                    "cache hits",
+                    telemetry::SERIES_CACHE_HITS.to_owned(),
+                    self.hits,
+                ),
+            ];
+            for (what, series, client_count) in checks {
+                let server_count = delta(&series);
+                if server_count != client_count {
+                    problems.push(format!(
+                        "server counted {server_count} {what}, clients saw {client_count}"
+                    ));
+                }
+            }
+            if self.rejected == 0 {
+                // With no rejections the submit-status split and the
+                // cache-miss count are exact functions of the plan.
+                let planned_deadline = self.planned.get("deadline").copied().unwrap_or(0);
+                let expected_misses = (self.jobs as u64) - self.hits - planned_deadline;
+                let misses = delta(telemetry::SERIES_CACHE_MISSES);
+                if misses != expected_misses {
+                    problems.push(format!(
+                        "server counted {misses} cache misses, expected {expected_misses}"
+                    ));
+                }
+                let submits_200 = delta(&telemetry::requests_series("submit", "POST", 200));
+                if submits_200 != self.hits {
+                    problems.push(format!(
+                        "server counted {submits_200} hit submits, clients saw {}",
+                        self.hits
+                    ));
+                }
+                let submits_202 = delta(&telemetry::requests_series("submit", "POST", 202));
+                let expected_202 = (self.jobs as u64) - self.hits;
+                if submits_202 != expected_202 {
+                    problems.push(format!(
+                        "server counted {submits_202} queued submits, expected {expected_202}"
+                    ));
+                }
+            }
+        }
         if problems.is_empty() {
             Ok(())
         } else {
@@ -561,14 +676,48 @@ impl LoadReport {
     }
 }
 
+/// Scrapes `/metrics`, returning the raw exposition text and its parsed
+/// series map.
+fn scrape_metrics(cfg: &LoadConfig) -> Result<(String, BTreeMap<String, f64>), String> {
+    let response = client::get(cfg.addr, "/metrics", cfg.timeout)
+        .map_err(|e| format!("metrics scrape failed: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("metrics scrape returned {}", response.status));
+    }
+    let text = response
+        .body_text()
+        .map_err(|e| format!("metrics body is not text: {e}"))?
+        .to_owned();
+    let series = foldic_obs::expo::parse_exposition(&text)
+        .map_err(|e| format!("metrics scrape does not parse: {e}"))?;
+    Ok((text, series))
+}
+
+/// Counter deltas between two scrapes: every `*_total` series present in
+/// `after`, minus its `before` value (0 when newly appeared).
+fn counter_deltas(
+    before: &BTreeMap<String, f64>,
+    after: &BTreeMap<String, f64>,
+) -> BTreeMap<String, u64> {
+    after
+        .iter()
+        .filter(|(series, _)| foldic_obs::expo::family_of(series).ends_with("_total"))
+        .map(|(series, &value)| {
+            let base = before.get(series).copied().unwrap_or(0.0);
+            (series.clone(), (value - base).max(0.0) as u64)
+        })
+        .collect()
+}
+
 /// Runs the load: warms the pool, replays the plan from `clients`
 /// threads, aggregates the report.
 ///
 /// # Errors
 ///
 /// A message when warmup cannot complete (daemon unreachable, warm jobs
-/// not finishing). Measurement-phase problems are *recorded* in the
-/// report instead, so the gate can see them.
+/// not finishing) or `/metrics` cannot be scraped. Measurement-phase
+/// problems are *recorded* in the report instead, so the gate can see
+/// them.
 pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
     let (pool, planned) = plan(cfg);
 
@@ -612,6 +761,10 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         }
     }
 
+    // Post-warmup baseline: deltas from here cover exactly the
+    // measurement window.
+    let (_, baseline) = scrape_metrics(cfg)?;
+
     // Measurement: split the plan round-robin across client threads.
     let out = Mutex::new(Outcome::default());
     let started = Instant::now();
@@ -630,6 +783,14 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         }
     });
     let wall_s = started.elapsed().as_secs_f64();
+
+    // Final scrape: every driven job is terminal by now (drive() polls
+    // to a terminal state), so the deltas are settled.
+    let (scrape, final_series) = scrape_metrics(cfg)?;
+    let server = Some(ServerSide {
+        deltas: counter_deltas(&baseline, &final_series),
+        scrape,
+    });
 
     let mut outcome = out.into_inner().unwrap_or_else(|e| e.into_inner());
     outcome.latencies_ms.sort_by(|a, b| a.total_cmp(b));
@@ -676,6 +837,7 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
             0.0
         },
         wall_s,
+        server,
     })
 }
 
@@ -748,6 +910,7 @@ mod tests {
                 .collect(),
             throughput_jps: 100.0,
             wall_s: 0.1,
+            server: None,
         };
         let text = report.to_json().to_pretty();
         let back = LoadReport::parse(&text).unwrap();
@@ -766,5 +929,110 @@ mod tests {
 
         assert!(LoadReport::parse("{}").is_err());
         assert!(LoadReport::parse("not json").is_err());
+    }
+
+    #[test]
+    fn server_side_deltas_round_trip_and_cross_check() {
+        let mut report = LoadReport {
+            jobs: 10,
+            clients: 2,
+            seed: "0xf01d1c5e".to_owned(),
+            planned: [("hit", 6u64), ("miss", 2), ("cancel", 1), ("deadline", 1)]
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+            hits: 6,
+            done: 9,
+            cancelled: 1,
+            failed: 0,
+            rejected: 0,
+            errors: Vec::new(),
+            bytes: 12345,
+            hit_ratio: 0.6,
+            latency_ms: BTreeMap::new(),
+            throughput_jps: 100.0,
+            wall_s: 0.1,
+            server: None,
+        };
+        // A server view that agrees exactly with the client view.
+        let deltas: BTreeMap<String, u64> = [
+            (telemetry::jobs_state_series("done"), 9),
+            (telemetry::jobs_state_series("cancelled"), 1),
+            (telemetry::jobs_state_series("failed"), 0),
+            (telemetry::SERIES_JOBS_REJECTED.to_owned(), 0),
+            (telemetry::SERIES_CACHE_HITS.to_owned(), 6),
+            (telemetry::SERIES_CACHE_MISSES.to_owned(), 3),
+            (telemetry::requests_series("submit", "POST", 200), 6),
+            (telemetry::requests_series("submit", "POST", 202), 4),
+        ]
+        .into_iter()
+        .collect();
+        report.server = Some(ServerSide {
+            deltas,
+            scrape: "# TYPE foldic_serve_jobs_total counter\n".to_owned(),
+        });
+        let text = report.to_json().to_pretty();
+        let back = LoadReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+        assert!(back.gate().is_ok(), "{:?}", back.gate());
+
+        // A drifted server counter must fail the gate.
+        let mut drifted = report.clone();
+        if let Some(server) = &mut drifted.server {
+            server
+                .deltas
+                .insert(telemetry::SERIES_CACHE_HITS.to_owned(), 5);
+        }
+        assert!(drifted.gate().unwrap_err().contains("cache hits"));
+        let mut drifted = report;
+        if let Some(server) = &mut drifted.server {
+            server
+                .deltas
+                .insert(telemetry::SERIES_CACHE_MISSES.to_owned(), 7);
+        }
+        assert!(drifted.gate().unwrap_err().contains("cache misses"));
+    }
+
+    #[test]
+    fn counter_deltas_keep_total_series_only() {
+        let before: BTreeMap<String, f64> = [
+            ("foldic_serve_cache_hits_total".to_owned(), 4.0),
+            ("foldic_serve_queue_depth".to_owned(), 2.0),
+        ]
+        .into_iter()
+        .collect();
+        let after: BTreeMap<String, f64> = [
+            ("foldic_serve_cache_hits_total".to_owned(), 10.0),
+            ("foldic_serve_cache_misses_total".to_owned(), 3.0),
+            ("foldic_serve_queue_depth".to_owned(), 0.0),
+            (
+                "foldic_serve_requests_total{endpoint=\"submit\",method=\"POST\",status=\"202\"}"
+                    .to_owned(),
+                3.0,
+            ),
+            (
+                "foldic_serve_request_latency_ms_sum{endpoint=\"submit\"}".to_owned(),
+                9.0,
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let deltas = counter_deltas(&before, &after);
+        assert_eq!(deltas.get("foldic_serve_cache_hits_total"), Some(&6));
+        assert_eq!(deltas.get("foldic_serve_cache_misses_total"), Some(&3));
+        assert_eq!(
+            deltas.get(
+                "foldic_serve_requests_total{endpoint=\"submit\",method=\"POST\",status=\"202\"}"
+            ),
+            Some(&3)
+        );
+        assert!(
+            !deltas.contains_key("foldic_serve_queue_depth"),
+            "gauges excluded"
+        );
+        assert!(
+            !deltas.keys().any(|k| k.contains("latency")),
+            "histogram series excluded"
+        );
     }
 }

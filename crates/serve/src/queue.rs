@@ -25,10 +25,23 @@
 //! Shutdown drains: in-flight jobs run to completion, still-queued jobs
 //! are cancelled, workers are joined. The property tests in
 //! `tests/queue_props.rs` pin all four rules plus drain-without-deadlock.
+//!
+//! The scheduler is telemetry-aware ([`Scheduler::with_telemetry`]): a
+//! traced submission carries its request's `http.request` span, dispatch
+//! synthesizes a `queue.wait` span covering the time in queue, the run
+//! executes under a `job.run` span (so the flow/stage spans the study
+//! runner opens nest beneath it), workers drain the per-thread flight
+//! recorder into degraded jobs' status payloads, and every transition
+//! writes a structured log line.
 
 use crate::cache::ResultCache;
 use crate::job::{cache_key, JobSpec};
+use crate::telemetry::{self, field_num, field_str, Telemetry};
 use foldic_obs::json::Json;
+use foldic_obs::log::Level;
+use foldic_obs::metrics::Metric;
+use foldic_obs::trace::{self, AttrValue, EventKind, SpanId};
+use foldic_obs::{flight, span};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -134,6 +147,11 @@ pub struct JobStatus {
     pub error: Option<String>,
     /// Result body, for `done` jobs.
     pub body: Option<Arc<str>>,
+    /// Flight-recorder dump (array of record objects, possibly ending in
+    /// a truncation marker) — attached when the worker's ring was
+    /// non-empty after the run, i.e. the job degraded, faulted or timed
+    /// out.
+    pub flight: Option<Json>,
 }
 
 impl JobStatus {
@@ -165,14 +183,33 @@ impl JobStatus {
         if let Some(error) = &self.error {
             fields.push(("error".to_owned(), Json::Str(error.clone())));
         }
+        if let Some(flight) = &self.flight {
+            fields.push(("flight_recorder".to_owned(), flight.clone()));
+        }
         Json::obj(fields)
     }
+}
+
+/// Tracing/logging context a traced submission hands to the scheduler.
+#[derive(Debug, Clone)]
+pub struct SubmitCtx {
+    /// The originating request's id (echoed into job log lines).
+    pub request_id: String,
+    /// The request's `http.request` span — the root the job's
+    /// `queue.wait`/`job.run` spans nest under.
+    pub parent_span: Option<SpanId>,
 }
 
 struct Job {
     spec: JobSpec,
     status: JobStatus,
     exclusive: bool,
+    /// Originating request id, for log lines.
+    request_id: Option<String>,
+    /// The request span the job's trace nests under.
+    parent_span: Option<SpanId>,
+    /// [`trace::now_ns`] at admission — start of the queue wait.
+    submit_ns: u64,
 }
 
 #[derive(Default)]
@@ -190,6 +227,8 @@ struct State {
     /// Jobs currently in [`JobState::Queued`] (admission bound; `queue`
     /// may also hold ids of already-cancelled jobs, skipped at dispatch).
     queued: usize,
+    /// Deepest the queue has ever been (gauge on `/metrics`, `/stats`).
+    queue_high_water: usize,
     running: usize,
     exclusive_active: bool,
     next_id: u64,
@@ -206,6 +245,7 @@ struct Shared {
     cache: ResultCache,
     runner: Arc<dyn StudyRunner>,
     cfg: SchedulerConfig,
+    telemetry: Arc<Telemetry>,
 }
 
 /// Scheduler tuning.
@@ -236,13 +276,25 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Creates the scheduler and spawns its workers.
+    /// Creates the scheduler and spawns its workers, with tracing and
+    /// logging off (metrics still record into a private registry).
     pub fn new(runner: Arc<dyn StudyRunner>, cfg: SchedulerConfig) -> Self {
+        Self::with_telemetry(runner, cfg, Telemetry::disabled())
+    }
+
+    /// Creates the scheduler wired to a telemetry hub (shared with the
+    /// server that fronts it).
+    pub fn with_telemetry(
+        runner: Arc<dyn StudyRunner>,
+        cfg: SchedulerConfig,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 jobs: HashMap::new(),
                 queue: VecDeque::new(),
                 queued: 0,
+                queue_high_water: 0,
                 running: 0,
                 exclusive_active: false,
                 next_id: 1,
@@ -254,6 +306,7 @@ impl Scheduler {
             cache: ResultCache::new(),
             runner,
             cfg,
+            telemetry,
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -279,14 +332,30 @@ impl Scheduler {
         &self.shared.cache
     }
 
+    /// The telemetry hub this scheduler reports into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.telemetry
+    }
+
     /// Submits a job: validates, consults the cache, then queues.
     pub fn submit(&self, spec: JobSpec) -> Submission {
+        self.submit_traced(spec, None)
+    }
+
+    /// [`Scheduler::submit`] carrying the originating request's tracing
+    /// context: the job's span tree is rooted under the request span and
+    /// its log lines carry the request id.
+    pub fn submit_traced(&self, spec: JobSpec, ctx: Option<SubmitCtx>) -> Submission {
+        let tele = &self.shared.telemetry;
         let config = match self.shared.runner.resolve(&spec) {
             Ok(config) => config,
             Err(msg) => return Submission::Invalid(msg),
         };
         let key = cache_key(&config);
         let cacheable = spec.cacheable();
+        let experiments = config.get("experiments").cloned().unwrap_or_default();
+        let request_id = ctx.as_ref().map(|c| c.request_id.clone());
+        let rid = request_id.as_deref().unwrap_or("-");
 
         let mut state = self.lock();
         if state.draining {
@@ -309,13 +378,34 @@ impl Scheduler {
                             id,
                             state: JobState::Done,
                             cache_hit: true,
-                            cache_key: Some(key),
+                            cache_key: Some(key.clone()),
                             config,
                             error: None,
                             body: Some(body),
+                            flight: None,
                         },
                         exclusive: false,
+                        request_id: request_id.clone(),
+                        parent_span: None,
+                        submit_ns: trace::now_ns(),
                     },
+                );
+                drop(state);
+                // A hit job's trace is just the request span: seed it so
+                // `/jobs/<id>/trace` still resolves.
+                if let Some(span) = ctx.as_ref().and_then(|c| c.parent_span) {
+                    tele.seed_job_span(id, span);
+                }
+                tele.log(
+                    Level::Info,
+                    "job.hit",
+                    vec![
+                        field_str("cache", "hit"),
+                        field_str("cache_key", &key),
+                        field_str("experiments", &experiments),
+                        field_num("job", id as f64),
+                        field_str("request_id", rid),
+                    ],
                 );
                 self.shared.changed.notify_all();
                 return Submission::Hit { id };
@@ -324,6 +414,18 @@ impl Scheduler {
         if state.queued >= self.shared.cfg.queue_capacity {
             state.counters.submitted -= 1;
             state.counters.rejected += 1;
+            drop(state);
+            tele.log(
+                Level::Warn,
+                "job.rejected",
+                vec![
+                    field_num(
+                        "retry_after_secs",
+                        f64::from(self.shared.cfg.retry_after_secs),
+                    ),
+                    field_str("request_id", rid),
+                ],
+            );
             return Submission::Rejected {
                 retry_after_secs: self.shared.cfg.retry_after_secs,
             };
@@ -331,6 +433,7 @@ impl Scheduler {
         let id = state.next_id;
         state.next_id += 1;
         let exclusive = spec.deadline_secs.is_some();
+        let parent_span = ctx.as_ref().and_then(|c| c.parent_span);
         state.jobs.insert(
             id,
             Job {
@@ -343,13 +446,31 @@ impl Scheduler {
                     config,
                     error: None,
                     body: None,
+                    flight: None,
                 },
                 exclusive,
+                request_id: request_id.clone(),
+                parent_span,
+                submit_ns: trace::now_ns(),
             },
         );
         state.queue.push_back(id);
         state.queued += 1;
+        state.queue_high_water = state.queue_high_water.max(state.queued);
         drop(state);
+        if let Some(span) = parent_span {
+            tele.seed_job_span(id, span);
+        }
+        tele.log(
+            Level::Info,
+            "job.queued",
+            vec![
+                field_str("cache", "miss"),
+                field_str("experiments", &experiments),
+                field_num("job", id as f64),
+                field_str("request_id", rid),
+            ],
+        );
         self.shared.work.notify_all();
         Submission::Queued { id }
     }
@@ -367,8 +488,18 @@ impl Scheduler {
         let job = state.jobs.get_mut(&id)?;
         if job.status.state == JobState::Queued {
             job.status.state = JobState::Cancelled;
+            let request_id = job.request_id.clone().unwrap_or_else(|| "-".to_owned());
             state.queued -= 1;
             state.counters.cancelled += 1;
+            drop(state);
+            self.shared.telemetry.log(
+                Level::Info,
+                "job.cancelled",
+                vec![
+                    field_num("job", id as f64),
+                    field_str("request_id", &request_id),
+                ],
+            );
             self.shared.work.notify_all();
             self.shared.changed.notify_all();
             return Some(JobState::Cancelled);
@@ -401,8 +532,9 @@ impl Scheduler {
     }
 
     /// The `/stats` document: job counts by state, queue occupancy,
-    /// cache counters. Everything here is a counter, not a wall-clock
-    /// reading, so two probes of an idle daemon return identical bytes.
+    /// cache counters, plus uptime. Everything except `uptime_seconds`
+    /// is a counter, not a wall-clock reading, so two probes of an idle
+    /// daemon agree on every other field.
     pub fn stats_json(&self) -> Json {
         let state = self.lock();
         let mut by_state: BTreeMap<&'static str, u64> = BTreeMap::new();
@@ -442,6 +574,10 @@ impl Scheduler {
                         Json::Num(self.shared.cfg.queue_capacity as f64),
                     ),
                     (
+                        "high_water".to_owned(),
+                        Json::Num(state.queue_high_water as f64),
+                    ),
+                    (
                         "rejected".to_owned(),
                         Json::Num(state.counters.rejected as f64),
                     ),
@@ -475,30 +611,124 @@ impl Scheduler {
                 ]),
             ),
             (
+                "uptime_seconds".to_owned(),
+                Json::Num(self.shared.telemetry.uptime_secs() as f64),
+            ),
+            (
                 "workers".to_owned(),
                 Json::Num(self.shared.cfg.workers as f64),
             ),
         ])
     }
 
+    /// The `/metrics` exposition body: the live request/latency registry
+    /// plus series synthesized from the scheduler's own counters and
+    /// gauges, rendered per the `foldic-serve-metrics/1` contract
+    /// documented in [`crate::telemetry`].
+    pub fn metrics_text(&self) -> String {
+        self.shared.telemetry.ingest();
+        let mut snap = self.shared.telemetry.registry().snapshot();
+        let cache = self.shared.cache.stats();
+        let (counters, queued, high_water, running) = {
+            let state = self.lock();
+            (
+                Counters {
+                    submitted: state.counters.submitted,
+                    completed: state.counters.completed,
+                    failed: state.counters.failed,
+                    cancelled: state.counters.cancelled,
+                    rejected: state.counters.rejected,
+                },
+                state.queued,
+                state.queue_high_water,
+                state.running,
+            )
+        };
+        let m = &mut snap.metrics;
+        let counter = |v: u64| Metric::Counter(v);
+        let gauge = |v: f64| Metric::Gauge(v);
+        m.insert(
+            telemetry::jobs_state_series("done"),
+            counter(counters.completed),
+        );
+        m.insert(
+            telemetry::jobs_state_series("failed"),
+            counter(counters.failed),
+        );
+        m.insert(
+            telemetry::jobs_state_series("cancelled"),
+            counter(counters.cancelled),
+        );
+        m.insert(
+            telemetry::SERIES_JOBS_SUBMITTED.to_owned(),
+            counter(counters.submitted),
+        );
+        m.insert(
+            telemetry::SERIES_JOBS_REJECTED.to_owned(),
+            counter(counters.rejected),
+        );
+        m.insert(telemetry::SERIES_CACHE_HITS.to_owned(), counter(cache.hits));
+        m.insert(
+            telemetry::SERIES_CACHE_MISSES.to_owned(),
+            counter(cache.misses),
+        );
+        m.insert(
+            telemetry::SERIES_CACHE_INSERTIONS.to_owned(),
+            counter(cache.insertions),
+        );
+        m.insert(telemetry::SERIES_CACHE_EVICTIONS.to_owned(), counter(0));
+        m.insert(
+            "foldic_serve_cache_entries".to_owned(),
+            gauge(cache.entries as f64),
+        );
+        m.insert("foldic_serve_queue_depth".to_owned(), gauge(queued as f64));
+        m.insert(
+            "foldic_serve_queue_high_water".to_owned(),
+            gauge(high_water as f64),
+        );
+        m.insert(
+            "foldic_serve_queue_capacity".to_owned(),
+            gauge(self.shared.cfg.queue_capacity as f64),
+        );
+        m.insert(
+            "foldic_serve_workers".to_owned(),
+            gauge(self.shared.cfg.workers as f64),
+        );
+        m.insert(
+            "foldic_serve_workers_busy".to_owned(),
+            gauge(running as f64),
+        );
+        m.insert(
+            "foldic_serve_uptime_seconds".to_owned(),
+            gauge(self.shared.telemetry.uptime_secs() as f64),
+        );
+        foldic_obs::expo::to_prometheus(&snap)
+    }
+
     /// Drains and stops: no new submissions, queued jobs cancelled,
-    /// in-flight jobs run to completion, workers joined. Idempotent.
+    /// in-flight jobs run to completion, workers joined, and the trace
+    /// buffer flushed into the per-job mux — spans recorded between the
+    /// last export and the shutdown request are preserved, not dropped.
+    /// Idempotent.
     pub fn shutdown(&self) {
-        {
+        let drained = {
             let mut state = self.lock();
             state.draining = true;
             let ids: Vec<u64> = state.queue.iter().copied().collect();
+            let mut drained = 0u64;
             for id in ids {
                 if let Some(job) = state.jobs.get_mut(&id) {
                     if job.status.state == JobState::Queued {
                         job.status.state = JobState::Cancelled;
                         state.queued -= 1;
                         state.counters.cancelled += 1;
+                        drained += 1;
                     }
                 }
             }
             state.queue.clear();
-        }
+            drained
+        };
         self.shared.work.notify_all();
         self.shared.changed.notify_all();
         let workers: Vec<_> = {
@@ -508,14 +738,23 @@ impl Scheduler {
         for handle in workers {
             let _ = handle.join();
         }
+        // Final trace flush: everything workers recorded up to their
+        // exit is now assigned to its job, so traces survive shutdown.
+        self.shared.telemetry.ingest();
+        self.shared.telemetry.log(
+            Level::Info,
+            "scheduler.drained",
+            vec![field_num("cancelled_queued", drained as f64)],
+        );
     }
 }
 
 /// One worker: strict-FIFO dispatch honoring the exclusivity rule, then
 /// execution outside the lock, then completion bookkeeping.
 fn worker_loop(shared: &Shared) {
+    let tele = &shared.telemetry;
     loop {
-        let (id, spec, cacheable_key, config, exclusive) = {
+        let (id, spec, cacheable_key, config, exclusive, request_id, parent_span, submit_ns) = {
             let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 // Drop already-cancelled heads so they never block FIFO.
@@ -557,6 +796,9 @@ fn worker_loop(shared: &Shared) {
                         job.status.cache_key.clone(),
                         job.status.config.clone(),
                         job.exclusive,
+                        job.request_id.clone(),
+                        job.parent_span,
+                        job.submit_ns,
                     );
                     if picked.4 {
                         state.exclusive_active = true;
@@ -571,9 +813,46 @@ fn worker_loop(shared: &Shared) {
             }
         };
 
-        // Execute outside the lock. A panicking runner must not take the
-        // worker down — it becomes a failed job, same as a runner error.
-        let outcome =
+        // Synthesize the queue-wait span: it covers admission → dispatch
+        // and sits between the request span and the job.run span, so the
+        // rendered trace shows where the time went before execution.
+        let dispatch_ns = trace::now_ns();
+        let wait_ms = (dispatch_ns.saturating_sub(submit_ns)) as f64 / 1e6;
+        let qwait_span = if trace::is_enabled() && parent_span.is_some() {
+            let span = trace::alloc_span_id();
+            tele.push_job_event(
+                id,
+                trace::synthetic_event(
+                    EventKind::Begin,
+                    "queue.wait",
+                    span,
+                    parent_span,
+                    submit_ns,
+                    vec![("job", AttrValue::from(id))],
+                ),
+            );
+            tele.push_job_event(
+                id,
+                trace::synthetic_event(
+                    EventKind::End,
+                    "queue.wait",
+                    span,
+                    None,
+                    dispatch_ns,
+                    vec![],
+                ),
+            );
+            Some(span)
+        } else {
+            None
+        };
+
+        // Execute outside the lock, under a job.run span parented to the
+        // queue-wait span (the runner's flow/stage spans nest beneath it
+        // via the thread-local stack and pool inheritance). A panicking
+        // runner must not take the worker down — it becomes a failed
+        // job, same as a runner error.
+        let run = || {
             catch_unwind(AssertUnwindSafe(|| shared.runner.run(&spec))).unwrap_or_else(|payload| {
                 let msg = payload
                     .downcast_ref::<&str>()
@@ -581,14 +860,47 @@ fn worker_loop(shared: &Shared) {
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "runner panicked".to_owned());
                 Err(format!("runner panicked: {msg}"))
-            });
+            })
+        };
+        let outcome = if qwait_span.is_some() {
+            trace::run_with_parent(qwait_span, || {
+                let _span = span!("job.run", job = id);
+                run()
+            })
+        } else {
+            run()
+        };
+        let run_ms = (trace::now_ns().saturating_sub(dispatch_ns)) as f64 / 1e6;
+        tele.registry().observe("foldic_serve_job_wait_ms", wait_ms);
+        tele.registry().observe("foldic_serve_job_run_ms", run_ms);
+
+        // Anything the runner put in this worker's flight recorder
+        // becomes provenance on the job's status payload.
+        let flight_dump = {
+            let (records, dropped) = flight::take();
+            if records.is_empty() && dropped == 0 {
+                None
+            } else {
+                let mut items: Vec<Json> =
+                    records.iter().map(flight::FlightRecord::to_json).collect();
+                if dropped > 0 {
+                    items.push(Json::obj([
+                        ("dropped".to_owned(), Json::Num(dropped as f64)),
+                        ("name".to_owned(), Json::Str("flight.truncated".to_owned())),
+                    ]));
+                }
+                Some(Json::Arr(items))
+            }
+        };
 
         let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
         state.running -= 1;
         if exclusive {
             state.exclusive_active = false;
         }
+        let mut log_line: Option<(Level, &'static str, Option<String>)> = None;
         if let Some(job) = state.jobs.get_mut(&id) {
+            job.status.flight = flight_dump;
             match outcome {
                 Ok(body) => {
                     let body: Arc<str> = Arc::from(body);
@@ -598,15 +910,33 @@ fn worker_loop(shared: &Shared) {
                     job.status.state = JobState::Done;
                     job.status.body = Some(body);
                     state.counters.completed += 1;
+                    log_line = Some((Level::Info, "job.done", None));
                 }
                 Err(msg) => {
                     job.status.state = JobState::Failed;
-                    job.status.error = Some(msg);
+                    job.status.error = Some(msg.clone());
                     state.counters.failed += 1;
+                    log_line = Some((Level::Error, "job.failed", Some(msg)));
                 }
             }
         }
         drop(state);
+        if let Some((level, event, error)) = log_line {
+            let mut fields = vec![
+                field_str("cache", "miss"),
+                field_num("job", id as f64),
+                field_str("request_id", request_id.as_deref().unwrap_or("-")),
+                field_num("run_ms", run_ms),
+                field_num("wait_ms", wait_ms),
+            ];
+            if let Some(error) = error {
+                fields.push(field_str("error", &error));
+            }
+            tele.log(level, event, fields);
+        }
+        // Move this job's freshly recorded spans into the mux promptly,
+        // keeping the global buffer small between scrapes.
+        tele.ingest();
         shared.work.notify_all();
         shared.changed.notify_all();
     }

@@ -12,24 +12,35 @@
 //!
 //! | Method + path            | Purpose                                   |
 //! |--------------------------|-------------------------------------------|
-//! | `GET /healthz`           | liveness probe                            |
+//! | `GET /healthz`           | liveness: version, uptime, build profile  |
 //! | `GET /stats`             | scheduler + cache counters                |
+//! | `GET /metrics`           | `foldic-serve-metrics/1` text exposition  |
 //! | `POST /jobs`             | submit a job (`foldic-serve-job/1` body)  |
 //! | `GET /jobs/<id>`         | job status                                |
 //! | `GET /jobs/<id>/result`  | manifest body of a finished job           |
+//! | `GET /jobs/<id>/trace`   | the job's span tree as Chrome-trace JSON  |
 //! | `POST /jobs/<id>/cancel` | cancel a queued job                       |
 //! | `GET /cache/<key>`       | provenance of a cached study              |
 //! | `POST /shutdown`         | ask the daemon to drain and exit          |
+//!
+//! Every request is assigned a **request id** — taken from a
+//! well-formed `X-Request-Id` header, freshly allocated otherwise —
+//! echoed back in the `X-Request-Id` response header, stamped into every
+//! 4xx/5xx JSON body as `request_id`, written on the access-log line,
+//! and (for submissions) threaded into the scheduler so the job's span
+//! tree roots under this request's `http.request` span.
 
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::job::JobSpec;
-use crate::queue::{JobState, Scheduler, SchedulerConfig, StudyRunner, Submission};
+use crate::queue::{JobState, Scheduler, SchedulerConfig, StudyRunner, Submission, SubmitCtx};
+use crate::telemetry::{endpoint_class, Telemetry, TelemetryConfig};
 use foldic_obs::json::Json;
+use foldic_obs::trace::{AttrValue, SpanGuard, SpanId};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon tuning.
 #[derive(Debug, Clone, Copy)]
@@ -58,6 +69,7 @@ impl Default for ServerConfig {
 
 struct Inner {
     scheduler: Scheduler,
+    telemetry: Arc<Telemetry>,
     cfg: ServerConfig,
     addr: SocketAddr,
     stop: AtomicBool,
@@ -79,6 +91,8 @@ pub struct Server {
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port), spawns the
     /// scheduler workers and the accept loop, and returns the handle.
+    /// Tracing is on (so `/jobs/<id>/trace` serves span trees); no log
+    /// sink is attached. Use [`Server::bind_with_telemetry`] to choose.
     ///
     /// # Errors
     ///
@@ -88,17 +102,42 @@ impl Server {
         runner: Arc<dyn StudyRunner>,
         cfg: ServerConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_with_telemetry(
+            addr,
+            runner,
+            cfg,
+            Telemetry::new(TelemetryConfig {
+                trace: true,
+                log: None,
+            }),
+        )
+    }
+
+    /// [`Server::bind`] with an explicit telemetry hub (tracing choice,
+    /// structured-log sink).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind_with_telemetry(
+        addr: &str,
+        runner: Arc<dyn StudyRunner>,
+        cfg: ServerConfig,
+        telemetry: Arc<Telemetry>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let inner = Arc::new(Inner {
-            scheduler: Scheduler::new(
+            scheduler: Scheduler::with_telemetry(
                 runner,
                 SchedulerConfig {
                     queue_capacity: cfg.queue_capacity,
                     workers: cfg.workers,
                     retry_after_secs: cfg.retry_after_secs,
                 },
+                Arc::clone(&telemetry),
             ),
+            telemetry,
             cfg,
             addr: local,
             stop: AtomicBool::new(false),
@@ -227,6 +266,31 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
     }
 }
 
+/// Per-request context handed down the routing tree.
+struct RequestCtx {
+    /// The request id (client-supplied or allocated).
+    request_id: String,
+    /// The `http.request` span, when tracing is on.
+    span: Option<SpanId>,
+}
+
+/// The request id for `request`: a well-formed `X-Request-Id` header
+/// (1–64 chars of `[A-Za-z0-9._-]`) is honored, anything else replaced
+/// with a freshly allocated id.
+fn request_id_for(request: &Request, telemetry: &Telemetry) -> String {
+    if let Some(supplied) = request.header("x-request-id") {
+        let ok = !supplied.is_empty()
+            && supplied.len() <= 64
+            && supplied
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'));
+        if ok {
+            return supplied.to_owned();
+        }
+    }
+    telemetry.next_request_id()
+}
+
 fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
     let _ = stream.set_read_timeout(Some(inner.cfg.read_timeout));
     let mut reader = BufReader::new(match stream.try_clone() {
@@ -234,24 +298,93 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
         Err(_) => return,
     });
     let mut stream = stream;
-    let response = match read_request(&mut reader) {
-        Ok(request) => route(&request, inner),
+    let started = Instant::now();
+    let telemetry = &inner.telemetry;
+    let (mut response, endpoint, method, request_id) = match read_request(&mut reader) {
+        Ok(request) => {
+            let request_id = request_id_for(&request, telemetry);
+            let endpoint = endpoint_class(&request.method, &request.path);
+            // The request span roots the whole tree: queue wait, run and
+            // flow/stage spans of a submitted job all nest beneath it.
+            let span = if telemetry.trace_enabled() {
+                SpanGuard::begin(
+                    "http.request",
+                    vec![
+                        ("method", AttrValue::from(request.method.clone())),
+                        ("path", AttrValue::from(request.path.clone())),
+                        ("request_id", AttrValue::from(request_id.clone())),
+                    ],
+                )
+            } else {
+                SpanGuard::disabled()
+            };
+            let ctx = RequestCtx {
+                request_id: request_id.clone(),
+                span: span.id(),
+            };
+            let response = route(&request, inner, &ctx);
+            drop(span);
+            (response, endpoint, request.method.clone(), request_id)
+        }
         Err(HttpError::Closed) => return,
-        Err(e) => Response::error(e.status(), e.message()),
+        Err(e) => (
+            Response::error(e.status(), e.message()),
+            "invalid",
+            "-".to_owned(),
+            telemetry.next_request_id(),
+        ),
     };
+    if response.status >= 400 {
+        response = response.with_request_id(&request_id);
+    }
+    let response = response.with_header("X-Request-Id", request_id.clone());
+    let latency_ms = started.elapsed().as_secs_f64() * 1e3;
+    telemetry.record_request(endpoint, &method, response.status, latency_ms, &request_id);
     let _ = response.write_to(&mut stream);
 }
 
 /// Dispatches one parsed request to its handler.
-fn route(request: &Request, inner: &Arc<Inner>) -> Response {
+fn route(request: &Request, inner: &Arc<Inner>, ctx: &RequestCtx) -> Response {
     let path = request.path.as_str();
     let method = request.method.as_str();
     match (method, path) {
-        ("GET", "/healthz") => {
-            Response::json(200, &Json::obj([("ok".to_owned(), Json::Bool(true))]))
-        }
+        ("GET", "/healthz") => Response::json(
+            200,
+            &Json::obj([
+                ("ok".to_owned(), Json::Bool(true)),
+                (
+                    "profile".to_owned(),
+                    Json::Str(
+                        if cfg!(debug_assertions) {
+                            "debug"
+                        } else {
+                            "release"
+                        }
+                        .to_owned(),
+                    ),
+                ),
+                (
+                    "schema".to_owned(),
+                    Json::Str("foldic-serve-health/1".to_owned()),
+                ),
+                (
+                    "uptime_seconds".to_owned(),
+                    Json::Num(inner.telemetry.uptime_secs() as f64),
+                ),
+                (
+                    "version".to_owned(),
+                    Json::Str(env!("CARGO_PKG_VERSION").to_owned()),
+                ),
+            ]),
+        ),
         ("GET", "/stats") => Response::json(200, &inner.scheduler.stats_json()),
-        ("POST", "/jobs") => submit(request, inner),
+        ("GET", "/metrics") => Response {
+            status: 200,
+            headers: Vec::new(),
+            body: inner.scheduler.metrics_text().into_bytes(),
+            content_type: "text/plain; version=0.0.4",
+        },
+        ("POST", "/jobs") => submit(request, inner, ctx),
         ("POST", "/shutdown") => {
             inner.signal_shutdown();
             Response::json(
@@ -262,7 +395,7 @@ fn route(request: &Request, inner: &Arc<Inner>) -> Response {
                 ]),
             )
         }
-        (_, "/healthz" | "/stats" | "/jobs" | "/shutdown") => {
+        (_, "/healthz" | "/stats" | "/metrics" | "/jobs" | "/shutdown") => {
             Response::error(405, &format!("method {method} not allowed on {path}"))
         }
         _ => {
@@ -284,7 +417,7 @@ fn route(request: &Request, inner: &Arc<Inner>) -> Response {
 }
 
 /// `POST /jobs`: parse, validate, submit, map the outcome to a response.
-fn submit(request: &Request, inner: &Arc<Inner>) -> Response {
+fn submit(request: &Request, inner: &Arc<Inner>, ctx: &RequestCtx) -> Response {
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => return Response::error(400, "body is not UTF-8"),
@@ -297,7 +430,11 @@ fn submit(request: &Request, inner: &Arc<Inner>) -> Response {
         Ok(spec) => spec,
         Err(msg) => return Response::error(400, &msg),
     };
-    match inner.scheduler.submit(spec) {
+    let submit_ctx = SubmitCtx {
+        request_id: ctx.request_id.clone(),
+        parent_span: ctx.span,
+    };
+    match inner.scheduler.submit_traced(spec, Some(submit_ctx)) {
         Submission::Hit { id } => Response::json(
             200,
             &Json::obj([
@@ -323,7 +460,8 @@ fn submit(request: &Request, inner: &Arc<Inner>) -> Response {
     }
 }
 
-/// `/jobs/<id>`, `/jobs/<id>/result`, `/jobs/<id>/cancel`.
+/// `/jobs/<id>`, `/jobs/<id>/result`, `/jobs/<id>/trace`,
+/// `/jobs/<id>/cancel`.
 fn job_route(method: &str, rest: &str, inner: &Arc<Inner>) -> Response {
     let (id_text, tail) = match rest.split_once('/') {
         Some((id, tail)) => (id, Some(tail)),
@@ -350,6 +488,15 @@ fn job_route(method: &str, rest: &str, inner: &Arc<Inner>) -> Response {
                 state => Response::error(409, &format!("job {id} is {}, not done", state.as_str())),
             },
         },
+        ("GET", Some("trace")) => {
+            if inner.scheduler.status(id).is_none() {
+                return Response::error(404, &format!("no job {id}"));
+            }
+            match inner.telemetry.job_trace_json(id) {
+                Some(doc) => Response::json_text(200, &doc),
+                None => Response::error(404, &format!("no trace recorded for job {id}")),
+            }
+        }
         ("POST", Some("cancel")) => match inner.scheduler.cancel(id) {
             Some(state) => Response::json(
                 200,
