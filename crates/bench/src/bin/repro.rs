@@ -97,8 +97,10 @@ const USAGE: &str = "usage: repro [EXPERIMENT...] [--size full|small|tiny] [--th
        repro bench [FILTER] [--json out.json]\n\
        repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--port-file PATH]\n\
        \x20           [--log PATH] [--log-level debug|info|warn|error]\n\
+       \x20           [--journal PATH] [--cache-dir DIR] [--breaker FAILURES[:COOLDOWN_SECS]]\n\
        repro loadgen --addr HOST:PORT [--jobs N] [--clients N] [--seed S] [--mix SPEC]\n\
        \x20             [--experiments a+b] [--size S] [--json out.json] [--gate] [--shutdown]\n\
+       repro loadgen --chaos SEED [--jobs N] [--experiments a+b] [--size S] [--json out.json] [--gate]\n\
        repro probe --addr HOST:PORT [--submit a+b] [--size S] [--seed S] [--shutdown]\n\
 experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6 fig7 fig8 thermal ablations layouts all\n\
 fault spec:  stage:block[:kind[:attempts]],... e.g. route:ccx:panic or place:mcu0:error:1\n\
@@ -584,9 +586,11 @@ fn run_bench(args: &[String]) -> i32 {
 }
 
 /// `repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
-/// [--port-file PATH] [--log PATH] [--log-level LEVEL]`. Runs until
+/// [--port-file PATH] [--log PATH] [--log-level LEVEL] [--journal PATH]
+/// [--cache-dir DIR] [--breaker FAILURES[:COOLDOWN_SECS]]`. Runs until
 /// `POST /shutdown`, then drains. Exit code: 0 after a clean drain, 2 on
-/// usage/bind errors.
+/// usage/bind errors (including an unreadable journal or cache dir: a
+/// daemon that cannot honor its durability configuration must not boot).
 fn run_serve(args: &[String]) -> i32 {
     let mut addr = "127.0.0.1:0".to_owned();
     let mut cfg = foldic_serve::ServerConfig::default();
@@ -642,6 +646,48 @@ fn run_serve(args: &[String]) -> i32 {
                     .unwrap_or_else(|| usage_err("--port-file needs a path"));
                 port_file = Some(PathBuf::from(v));
             }
+            "--journal" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--journal needs a path"));
+                cfg.journal = Some(PathBuf::from(v));
+            }
+            "--cache-dir" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--cache-dir needs a directory"));
+                cfg.cache_dir = Some(PathBuf::from(v));
+            }
+            "--breaker" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--breaker needs FAILURES[:COOLDOWN_SECS]"));
+                let (fails, cooldown) = match v.split_once(':') {
+                    Some((f, c)) => (f, Some(c)),
+                    None => (v.as_str(), None),
+                };
+                let failure_threshold: u32 = fails.parse().unwrap_or_else(|_| {
+                    usage_err(&format!(
+                        "--breaker needs a positive failure count, got `{v}`"
+                    ))
+                });
+                if failure_threshold == 0 {
+                    usage_err("--breaker failure count must be at least 1");
+                }
+                let default = foldic_fault::supervise::BreakerConfig::default();
+                let cooldown = match cooldown {
+                    Some(c) => std::time::Duration::from_secs(c.parse().unwrap_or_else(|_| {
+                        usage_err(&format!(
+                            "--breaker cooldown needs an integer number of seconds, got `{v}`"
+                        ))
+                    })),
+                    None => default.cooldown,
+                };
+                cfg.breaker = Some(foldic_fault::supervise::BreakerConfig {
+                    failure_threshold,
+                    cooldown,
+                });
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return 0;
@@ -664,7 +710,7 @@ fn run_serve(args: &[String]) -> i32 {
     let server = match foldic_serve::Server::bind_with_telemetry(
         &addr,
         std::sync::Arc::new(foldic_bench::serve::BenchRunner),
-        cfg,
+        cfg.clone(),
         telemetry,
     ) {
         Ok(server) => server,
@@ -678,6 +724,19 @@ fn run_serve(args: &[String]) -> i32 {
         "serve: listening on {bound} ({} worker(s), queue capacity {})",
         cfg.workers, cfg.queue_capacity
     );
+    if let Some(path) = &cfg.journal {
+        println!("serve: job journal -> {}", path.display());
+    }
+    if let Some(dir) = &cfg.cache_dir {
+        println!("serve: persistent result cache -> {}", dir.display());
+    }
+    if let Some(breaker) = &cfg.breaker {
+        println!(
+            "serve: circuit breaker armed ({} failure(s), {}s cooldown)",
+            breaker.failure_threshold,
+            breaker.cooldown.as_secs()
+        );
+    }
     if let Some(path) = &log_path {
         println!(
             "serve: structured log -> {} ({})",
@@ -710,6 +769,7 @@ fn run_loadgen(args: &[String]) -> i32 {
     let mut json_path: Option<PathBuf> = None;
     let mut gate = false;
     let mut shutdown = false;
+    let mut chaos: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -778,6 +838,16 @@ fn run_loadgen(args: &[String]) -> i32 {
             }
             "--gate" => gate = true,
             "--shutdown" => shutdown = true,
+            "--chaos" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--chaos needs a seed"));
+                chaos = Some(parse_u64_maybe_hex(v).unwrap_or_else(|| {
+                    usage_err(&format!(
+                        "--chaos needs an integer seed (decimal or 0x hex), got `{v}`"
+                    ))
+                }));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return 0;
@@ -785,8 +855,11 @@ fn run_loadgen(args: &[String]) -> i32 {
             other => usage_err(&format!("unknown loadgen argument `{other}`")),
         }
     }
+    if let Some(chaos_seed) = chaos {
+        return run_chaos(chaos_seed, jobs, experiments, size, json_path, gate);
+    }
     let Some(addr) = addr else {
-        usage_err("loadgen needs --addr HOST:PORT");
+        usage_err("loadgen needs --addr HOST:PORT (or --chaos SEED for the crash harness)");
     };
     let mut cfg = foldic_serve::loadgen::LoadConfig::new(addr);
     if let Some(jobs) = jobs {
@@ -851,6 +924,85 @@ fn run_loadgen(args: &[String]) -> i32 {
             return 1;
         }
         println!("loadgen: gate passed");
+    }
+    0
+}
+
+/// `repro loadgen --chaos SEED [...]`: the deterministic crash harness.
+/// Boots this same binary as `repro serve --journal --cache-dir` in a
+/// scratch directory, drives seeded load (including slow-loris headers
+/// and mid-request disconnects), SIGKILLs the daemon mid-flight, then
+/// restarts it twice to assert that no acknowledged job is lost,
+/// recovered bodies are byte-identical, and journal replay is
+/// idempotent. Exit code: 0 on a passing gate, 1 on a durability
+/// violation, 2 on harness errors.
+fn run_chaos(
+    seed: u64,
+    jobs: Option<usize>,
+    experiments: Option<Vec<String>>,
+    size: Option<String>,
+    json_path: Option<PathBuf>,
+    gate: bool,
+) -> i32 {
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe.display().to_string(),
+        Err(e) => {
+            eprintln!("loadgen: cannot locate own executable for --chaos: {e}");
+            return 2;
+        }
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "foldic-chaos-{seed:x}-{pid}",
+        pid = std::process::id()
+    ));
+    let cfg = foldic_serve::chaos::ChaosConfig {
+        serve_cmd: vec![exe, "serve".to_owned()],
+        seed,
+        jobs: jobs.unwrap_or(12),
+        experiments: experiments.unwrap_or_else(|| vec!["table1".to_owned(), "table2".to_owned()]),
+        size: size.unwrap_or_else(|| "tiny".to_owned()),
+        dir: dir.clone(),
+        timeout: std::time::Duration::from_secs(120),
+    };
+    println!(
+        "chaos: seed {seed}, {} job(s), scratch {}",
+        cfg.jobs,
+        dir.display()
+    );
+    let report = match foldic_serve::chaos::run(&cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "chaos: {} acked ({} done pre-kill), {} slow-loris, {} disconnect(s); lost {}, unrecovered {}, mismatched {}, replay re-enqueued {}",
+        report.acked,
+        report.done_before_kill,
+        report.slowloris,
+        report.disconnects,
+        report.lost.len(),
+        report.unrecovered.len(),
+        report.mismatched.len(),
+        report.reenqueued_after_clean
+    );
+    if let Some(path) = json_path {
+        write_or_die(&path, &report.to_json().to_pretty());
+        println!("chaos: report -> {}", path.display());
+    }
+    let verdict = report.gate();
+    if verdict.is_ok() {
+        // Keep the scratch directory around on failure so the journal
+        // and cache can be inspected; a passing run cleans up.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if gate {
+        if let Err(problems) = verdict {
+            eprintln!("chaos: GATE FAILED: {}", problems.join("; "));
+            return 1;
+        }
+        println!("chaos: gate passed");
     }
     0
 }

@@ -1,0 +1,213 @@
+//! End-to-end crash-safety gates for the serve stack, driven through the
+//! real `repro` binary:
+//!
+//! * a hand-rolled crash-recovery smoke — boot with `--journal` and
+//!   `--cache-dir`, compute a job, SIGKILL the daemon, restart on the
+//!   same state, and require the recovered result byte-identical plus
+//!   the restored lifetime counters in `/stats`;
+//! * the deterministic chaos harness itself ([`foldic_serve::chaos`]) —
+//!   seeded load with slow-loris headers and mid-request disconnects, a
+//!   mid-flight SIGKILL, and the no-acked-job-lost / byte-identical /
+//!   idempotent-replay gate.
+
+use foldic_obs::json::Json;
+use foldic_serve::client;
+use foldic_serve::JobSpec;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+/// Debug-build experiment runs are slow; completion polls get a
+/// generous ceiling.
+const POLL: Duration = Duration::from_secs(600);
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("foldic-chaos-gate-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Kills the daemon subprocess if the test panics before shutdown.
+struct KillOnDrop(std::process::Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Boots `repro serve --journal --cache-dir` against `dir` and waits for
+/// its port file.
+fn boot(dir: &Path, boot_index: u32) -> (KillOnDrop, SocketAddr) {
+    let port_file = dir.join(format!("addr-{boot_index}.txt"));
+    let _ = std::fs::remove_file(&port_file);
+    let child = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--journal",
+            dir.join("journal.jsonl").to_str().unwrap(),
+            "--cache-dir",
+            dir.join("cache").to_str().unwrap(),
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let mut child = KillOnDrop(child);
+    let deadline = Instant::now() + TIMEOUT;
+    let addr = loop {
+        if let Some(addr) = std::fs::read_to_string(&port_file)
+            .ok()
+            .and_then(|t| t.trim().parse().ok())
+        {
+            break addr;
+        }
+        assert!(
+            child.0.try_wait().expect("wait").is_none(),
+            "daemon exited before writing its port file"
+        );
+        assert!(
+            Instant::now() < deadline,
+            "daemon never wrote its port file"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (child, addr)
+}
+
+fn await_result(addr: SocketAddr, id: u64) -> String {
+    let deadline = Instant::now() + POLL;
+    loop {
+        let doc = client::get(addr, &format!("/jobs/{id}"), TIMEOUT)
+            .expect("status")
+            .body_json()
+            .expect("status is JSON");
+        match doc.get("state").and_then(Json::as_str) {
+            Some("done") => break,
+            Some("failed") | Some("cancelled") => panic!("job {id} ended {:?}", doc.get("state")),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let result = client::get(addr, &format!("/jobs/{id}/result"), TIMEOUT).expect("result");
+    assert_eq!(result.status, 200);
+    String::from_utf8(result.body).expect("manifest is UTF-8")
+}
+
+#[test]
+fn sigkilled_daemon_restarts_with_identical_bytes_and_restored_counters() {
+    let dir = tmp_dir("smoke");
+    let (child, addr) = boot(&dir, 1);
+
+    let spec = JobSpec {
+        experiments: vec!["fig2".to_owned()],
+        size: "tiny".to_owned(),
+        ..JobSpec::default()
+    };
+    let response = client::post_json(addr, "/jobs", &spec.to_json(), TIMEOUT).expect("submit");
+    assert_eq!(response.status, 202, "{:?}", response.body_text());
+    let id = response
+        .body_json()
+        .unwrap()
+        .get("job")
+        .and_then(Json::as_f64)
+        .unwrap() as u64;
+    let body = await_result(addr, id);
+
+    // SIGKILL: no drain, no flush beyond what the journal already
+    // fsync'd before acks.
+    drop(child);
+
+    let (child, addr) = boot(&dir, 2);
+    // The finished job survives with byte-identical bytes…
+    assert_eq!(
+        client::get(addr, &format!("/jobs/{id}"), TIMEOUT)
+            .unwrap()
+            .body_json()
+            .unwrap()
+            .get("state")
+            .and_then(Json::as_str),
+        Some("done"),
+        "terminal state must survive the crash"
+    );
+    assert_eq!(
+        await_result(addr, id),
+        body,
+        "recovered result must be byte-identical"
+    );
+    // …an identical resubmit is a cache hit served from disk…
+    let response = client::post_json(addr, "/jobs", &spec.to_json(), TIMEOUT).expect("resubmit");
+    assert_eq!(response.status, 200, "{:?}", response.body_text());
+    assert_eq!(
+        response
+            .body_json()
+            .unwrap()
+            .get("cache")
+            .and_then(Json::as_str),
+        Some("hit")
+    );
+    // …and /stats reports the replayed lifetime counters instead of
+    // starting from zero.
+    let stats = client::get(addr, "/stats", TIMEOUT)
+        .unwrap()
+        .body_json()
+        .unwrap();
+    let num = |path: &[&str]| -> f64 {
+        let mut cursor = &stats;
+        for key in path {
+            cursor = cursor
+                .get(key)
+                .unwrap_or_else(|| panic!("stats missing {}", path.join(".")));
+        }
+        cursor.as_f64().unwrap()
+    };
+    assert!(num(&["counters", "submitted"]) >= 2.0);
+    assert!(num(&["counters", "completed"]) >= 1.0);
+    assert!(num(&["durability", "journal", "replayed_jobs"]) >= 1.0);
+    assert_eq!(num(&["durability", "journal", "reenqueued"]), 0.0);
+    assert!(num(&["cache", "insertions"]) >= 1.0, "insertions restored");
+
+    let down = client::post(addr, "/shutdown", TIMEOUT).unwrap();
+    assert_eq!(down.status, 200);
+    let mut child = child;
+    let status = child.0.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit: {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_harness_gate_holds_under_seeded_kill() {
+    let dir = tmp_dir("harness");
+    let cfg = foldic_serve::chaos::ChaosConfig {
+        serve_cmd: vec![env!("CARGO_BIN_EXE_repro").to_owned(), "serve".to_owned()],
+        seed: 42,
+        jobs: 5,
+        experiments: vec!["fig2".to_owned()],
+        size: "tiny".to_owned(),
+        dir: dir.clone(),
+        timeout: POLL,
+    };
+    let report = foldic_serve::chaos::run(&cfg).expect("chaos harness runs");
+    assert!(report.acked >= 5, "harness acked {} jobs", report.acked);
+    if let Err(problems) = report.gate() {
+        panic!("chaos gate failed: {}", problems.join("; "));
+    }
+    // The report document round-trips through the obs JSON layer.
+    let doc = report.to_json();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(foldic_serve::chaos::CHAOS_REPORT_SCHEMA)
+    );
+    assert_eq!(doc.get("pass"), Some(&Json::Bool(true)));
+    let _ = std::fs::remove_dir_all(&dir);
+}

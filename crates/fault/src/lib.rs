@@ -21,7 +21,11 @@
 //!   in run manifests via a process-global [`take_fault_log`];
 //! * checkpoint/resume — [`CheckpointStore`] persists completed per-block
 //!   results as append-only JSONL so an interrupted full-chip run can be
-//!   resumed byte-identically.
+//!   resumed byte-identically;
+//! * worker supervision — [`PoisonLedger`] quarantines spec digests whose
+//!   runs keep panicking and [`CircuitBreaker`] sheds load while the
+//!   worker pool is unhealthy, both as pure clock-explicit state machines
+//!   the serve scheduler drives under its own lock.
 //!
 //! Everything here is deterministic: injection decisions are pure
 //! functions of `(site, attempt)`, and log/checkpoint contents are sorted
@@ -31,6 +35,7 @@ pub mod checkpoint;
 pub mod deadline;
 pub mod inject;
 pub mod retry;
+pub mod supervise;
 
 pub use checkpoint::{CheckpointError, CheckpointStore};
 pub use deadline::{
@@ -41,6 +46,9 @@ pub use inject::{
     clear_fault_plan, fault_point, install_fault_plan, FaultKind, FaultPlan, PlanError,
 };
 pub use retry::{isolate, log_fault, take_fault_log, Disposition, FaultRecord, RetryPolicy};
+pub use supervise::{
+    Admission, BreakerConfig, BreakerState, CircuitBreaker, PoisonLedger, DEFAULT_POISON_THRESHOLD,
+};
 
 use std::fmt;
 

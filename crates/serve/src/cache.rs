@@ -1,4 +1,4 @@
-//! The content-addressed result cache.
+//! The content-addressed result cache, optionally spilled to disk.
 //!
 //! Keys are [`crate::job::cache_key`] digests of the canonical manifest
 //! config; values are the exact serialized manifest bodies returned to
@@ -9,12 +9,30 @@
 //! the daemon serves a bounded universe of study configs (this is a
 //! design-study service, not a general object store), and an entry that
 //! stops being requested merely stops being read.
+//!
+//! With a cache directory ([`ResultCache::with_dir`]) every insertion is
+//! also written to `<dir>/<digest-hex>.json` (`foldic-serve-cache/1`,
+//! written to a temp file, fsync'd, then renamed so a crash never leaves
+//! a half-written entry under the real name). Loading re-verifies each
+//! entry end to end — the body digest recorded at write time must match
+//! the body, and the config must re-digest to the entry's key — and an
+//! entry that fails any check is **quarantined**: renamed to
+//! `<name>.corrupt`, counted, and recomputed on next request instead of
+//! served. Serving detectably wrong bytes is the one unrecoverable sin
+//! of a byte-identity cache.
 
 use foldic_obs::json::Json;
+use foldic_obs::manifest::digest_report;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Schema tag inside every persisted cache entry file.
+pub const CACHE_ENTRY_SCHEMA: &str = "foldic-serve-cache/1";
 
 /// One cached study result.
 #[derive(Debug, Clone)]
@@ -36,23 +54,76 @@ pub struct CacheStats {
     pub hits: u64,
     /// Cacheable submissions that had to compute.
     pub misses: u64,
-    /// Bodies inserted (≤ misses: failed jobs insert nothing).
+    /// Bodies inserted (≤ misses: failed jobs insert nothing). Includes
+    /// entries reloaded from a cache directory — they were inserted in a
+    /// previous process life, and `/stats` reports lifetime totals.
     pub insertions: u64,
+    /// Entries reloaded from the cache directory at startup.
+    pub loaded: u64,
+    /// Persisted entries quarantined (`.corrupt`) for failing
+    /// verification at load.
+    pub corrupt: u64,
 }
 
 /// Thread-safe content-addressed store of study results.
 #[derive(Debug, Default)]
 pub struct ResultCache {
     map: Mutex<HashMap<String, CacheEntry>>,
+    dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
+    loaded: AtomicU64,
+    corrupt: AtomicU64,
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty in-memory cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cache persisted under `dir`: existing entries are loaded (and
+    /// verified — corrupt ones quarantined), future insertions spilled.
+    ///
+    /// # Errors
+    ///
+    /// Only when `dir` cannot be created or listed. Individual bad
+    /// entries are never errors; they are quarantined and recomputed.
+    pub fn with_dir(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let cache = Self {
+            dir: Some(dir.to_owned()),
+            ..Self::default()
+        };
+        let mut map = HashMap::new();
+        for entry in std::fs::read_dir(dir)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            match load_entry(&path) {
+                Some((key, cached)) => {
+                    cache.loaded.fetch_add(1, Ordering::Relaxed);
+                    map.insert(key, cached);
+                }
+                None => {
+                    quarantine(&path);
+                    cache.corrupt.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Reloaded entries count as (prior-life) insertions so lifetime
+        // totals survive a restart.
+        cache.insertions.store(map.len() as u64, Ordering::Relaxed);
+        *cache.map.lock().unwrap_or_else(|e| e.into_inner()) = map;
+        Ok(cache)
+    }
+
+    /// The backing directory, when persistence is on.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
     }
 
     /// Looks up `key`, counting a hit (and bumping the entry's own hit
@@ -81,20 +152,32 @@ impl ResultCache {
             .cloned()
     }
 
-    /// Stores a computed body under `key` with its provenance. The first
+    /// Stores a computed body under `key` with its provenance, spilling
+    /// it to the cache directory when one is configured. The first
     /// writer wins: a concurrent duplicate computation of the same study
     /// produced a byte-identical body anyway (determinism contract), so
     /// the existing entry — and its hit counter — is kept.
     pub fn insert(&self, key: &str, config: BTreeMap<String, String>, body: Arc<str>) {
-        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
-        map.entry(key.to_owned()).or_insert_with(|| {
-            self.insertions.fetch_add(1, Ordering::Relaxed);
-            CacheEntry {
-                body,
-                config,
-                hits: 0,
+        let mut inserted = false;
+        {
+            let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            map.entry(key.to_owned()).or_insert_with(|| {
+                self.insertions.fetch_add(1, Ordering::Relaxed);
+                inserted = true;
+                CacheEntry {
+                    body: Arc::clone(&body),
+                    config: config.clone(),
+                    hits: 0,
+                }
+            });
+        }
+        if inserted {
+            if let Some(dir) = &self.dir {
+                // Spilling is best-effort: an unwritable disk degrades
+                // restart warmth, it must not fail the job.
+                let _ = persist_entry(dir, key, &config, &body);
             }
-        });
+        }
     }
 
     /// Counter snapshot.
@@ -104,6 +187,8 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
+            loaded: self.loaded.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
         }
     }
 
@@ -128,6 +213,92 @@ impl ResultCache {
     }
 }
 
+/// File name for a key: the hex tail of `fnv64:<16 hex>` (falling back
+/// to the whole key if it ever lacks the prefix), plus `.json`.
+fn entry_file(dir: &Path, key: &str) -> PathBuf {
+    let stem = key.strip_prefix("fnv64:").unwrap_or(key);
+    dir.join(format!("{stem}.json"))
+}
+
+/// Writes one entry durably: temp file → fsync → rename.
+fn persist_entry(
+    dir: &Path,
+    key: &str,
+    config: &BTreeMap<String, String>,
+    body: &str,
+) -> std::io::Result<()> {
+    let doc = Json::obj([
+        (
+            "schema".to_owned(),
+            Json::Str(CACHE_ENTRY_SCHEMA.to_owned()),
+        ),
+        ("key".to_owned(), Json::Str(key.to_owned())),
+        ("digest".to_owned(), Json::Str(digest_report(body))),
+        (
+            "config".to_owned(),
+            Json::Obj(
+                config
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ),
+        ("body".to_owned(), Json::Str(body.to_owned())),
+    ]);
+    let path = entry_file(dir, key);
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(doc.to_compact().as_bytes())?;
+        file.sync_data()?;
+    }
+    std::fs::rename(&tmp, &path)
+}
+
+/// Loads and fully verifies one persisted entry; `None` means corrupt.
+fn load_entry(path: &Path) -> Option<(String, CacheEntry)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    if doc.get("schema").and_then(Json::as_str) != Some(CACHE_ENTRY_SCHEMA) {
+        return None;
+    }
+    let key = doc.get("key")?.as_str()?.to_owned();
+    let digest = doc.get("digest")?.as_str()?;
+    let body = doc.get("body")?.as_str()?.to_owned();
+    let mut config = BTreeMap::new();
+    for (k, v) in doc.get("config")?.as_obj()? {
+        config.insert(k.clone(), v.as_str()?.to_owned());
+    }
+    // end-to-end re-verification: the body must still digest to what the
+    // writer recorded, and the config must still address this key
+    if digest_report(&body) != digest || crate::job::cache_key(&config) != key {
+        return None;
+    }
+    // the file must be the one its key names (a mis-renamed or copied
+    // entry would otherwise alias another study)
+    if entry_file(path.parent()?, &key) != path {
+        return None;
+    }
+    Some((
+        key,
+        CacheEntry {
+            body: Arc::from(body),
+            config,
+            hits: 0,
+        },
+    ))
+}
+
+/// Renames a failed entry to `<name>.corrupt` (best-effort; deletes it
+/// if even the rename fails so it cannot be re-quarantined forever).
+fn quarantine(path: &Path) {
+    let mut corrupt = path.as_os_str().to_owned();
+    corrupt.push(".corrupt");
+    if std::fs::rename(path, PathBuf::from(&corrupt)).is_err() {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +307,14 @@ mod tests {
         let mut c = BTreeMap::new();
         c.insert("size".to_owned(), size.to_owned());
         c
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("foldic-serve-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -148,6 +327,7 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.entries, s.hits, s.misses, s.insertions), (1, 2, 1, 1));
         assert_eq!(cache.peek("fnv64:00").unwrap().hits, 2);
+        assert_eq!((s.loaded, s.corrupt), (0, 0));
     }
 
     #[test]
@@ -171,5 +351,78 @@ mod tests {
         );
         assert_eq!(p.get("hits").unwrap().as_f64(), Some(1.0));
         assert!(cache.provenance_json("nope").is_none());
+    }
+
+    #[test]
+    fn persisted_entries_reload_byte_identical() {
+        let dir = tmpdir("reload");
+        let cfg = config("tiny");
+        let key = crate::job::cache_key(&cfg);
+        let body = "manifest body\nwith a newline and \"quotes\"";
+        {
+            let cache = ResultCache::with_dir(&dir).unwrap();
+            cache.insert(&key, cfg.clone(), Arc::from(body));
+        }
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.entries, s.loaded, s.corrupt, s.insertions), (1, 1, 0, 1));
+        assert_eq!(cache.lookup(&key).unwrap().as_ref(), body);
+        assert_eq!(cache.peek(&key).unwrap().config, cfg);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_not_served() {
+        let dir = tmpdir("corrupt");
+        let cfg = config("tiny");
+        let key = crate::job::cache_key(&cfg);
+        {
+            let cache = ResultCache::with_dir(&dir).unwrap();
+            cache.insert(&key, cfg.clone(), Arc::from("good body"));
+        }
+        // flip bytes inside the stored body → digest check must fail
+        let path = entry_file(&dir, &key);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("good body", "evil body")).unwrap();
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.entries, s.loaded, s.corrupt), (0, 0, 1));
+        assert!(cache.lookup(&key).is_none(), "corrupt entry never served");
+        assert!(!path.exists(), "entry moved aside");
+        let mut corrupt = path.as_os_str().to_owned();
+        corrupt.push(".corrupt");
+        assert!(PathBuf::from(corrupt).exists(), "quarantined, not deleted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_misnamed_entries_are_quarantined() {
+        let dir = tmpdir("truncated");
+        let cfg = config("small");
+        let key = crate::job::cache_key(&cfg);
+        {
+            let cache = ResultCache::with_dir(&dir).unwrap();
+            cache.insert(&key, cfg, Arc::from("body"));
+        }
+        let path = entry_file(&dir, &key);
+        // truncate mid-document (torn write that somehow got the real name)
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        assert_eq!(cache.stats().corrupt, 1);
+        // a valid document under the wrong file name is also quarantined
+        let dir2 = tmpdir("misnamed");
+        let cfg2 = config("full");
+        let key2 = crate::job::cache_key(&cfg2);
+        {
+            let cache = ResultCache::with_dir(&dir2).unwrap();
+            cache.insert(&key2, cfg2, Arc::from("body"));
+        }
+        std::fs::rename(entry_file(&dir2, &key2), dir2.join("aaaa0000bbbb1111.json")).unwrap();
+        let cache = ResultCache::with_dir(&dir2).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.loaded, s.corrupt), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
     }
 }

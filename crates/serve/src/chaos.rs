@@ -1,0 +1,528 @@
+//! Deterministic chaos harness: SIGKILL a real daemon mid-load and
+//! prove the durability invariants.
+//!
+//! The harness drives a **subprocess** daemon (the caller supplies the
+//! command line — `repro loadgen --chaos SEED` points it at its own
+//! binary's `serve` subcommand) through a seeded crash-and-recover
+//! scenario:
+//!
+//! 1. boot the daemon with a journal and a cache directory under a
+//!    scratch dir, waiting on its port file;
+//! 2. submit a seeded stream of jobs single-threaded, recording every
+//!    **acknowledged** id (and the result body of each job that reaches
+//!    `done` before the kill), interleaved with seeded hostile clients —
+//!    slow-loris submissions that dribble half a request and stall, and
+//!    clients that disconnect mid-body — which the daemon must shrug off;
+//! 3. SIGKILL the daemon (no drain, no flush — the worst case);
+//! 4. restart it on the same journal + cache dir and assert the three
+//!    durability invariants:
+//!    * **no acknowledged job is lost** — every recorded id resolves
+//!      (404 after restart = a lost ack),
+//!    * **recovery is byte-identical** — every body observed before the
+//!      kill is served identically after it, and re-run jobs produce
+//!      bodies that survive a further restart unchanged,
+//!    * **replay is idempotent** — after a clean shutdown, a third boot
+//!      re-enqueues nothing and serves the same bodies again;
+//! 5. report everything as a `foldic-serve-chaos/1` document whose
+//!    [`ChaosReport::gate`] fails CI on any violation.
+//!
+//! Everything is derived from one seed: the job specs, the interleaving
+//! of hostile connections, and the kill point. Two runs with the same
+//! seed against the same binary exercise the same schedule (modulo OS
+//! timing, which the invariants are deliberately insensitive to).
+
+use crate::client;
+use crate::job::JobSpec;
+use foldic_obs::json::Json;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Schema tag of the chaos report document.
+pub const CHAOS_REPORT_SCHEMA: &str = "foldic-serve-chaos/1";
+
+/// Per-request timeout for harness HTTP calls.
+const HTTP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Chaos scenario configuration.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Command line that boots the daemon (binary + args). The harness
+    /// appends `--addr 127.0.0.1:0 --port-file <f> --journal <f>
+    /// --cache-dir <d>` itself.
+    pub serve_cmd: Vec<String>,
+    /// Master seed for specs, hostile-client interleaving and kill point.
+    pub seed: u64,
+    /// Acknowledged jobs to collect before the SIGKILL.
+    pub jobs: usize,
+    /// Experiment names to draw job specs from.
+    pub experiments: Vec<String>,
+    /// Design size for every generated spec.
+    pub size: String,
+    /// Scratch directory for the journal, cache dir and port files.
+    /// Created (and reused) by the harness.
+    pub dir: PathBuf,
+    /// How long to wait for each boot / each job to turn terminal.
+    pub timeout: Duration,
+}
+
+/// What one chaos run observed; [`ChaosReport::gate`] turns it into a
+/// pass/fail.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// Seed the scenario ran under.
+    pub seed: u64,
+    /// Jobs acknowledged before the kill.
+    pub acked: u64,
+    /// Of those, jobs observed `done` (body recorded) before the kill.
+    pub done_before_kill: u64,
+    /// Hostile slow-loris connections issued.
+    pub slowloris: u64,
+    /// Hostile mid-request disconnects issued.
+    pub disconnects: u64,
+    /// Acknowledged ids that 404'd after restart (**invariant 1**).
+    pub lost: Vec<u64>,
+    /// Acknowledged ids that never reached a terminal state after
+    /// restart within the timeout.
+    pub unrecovered: Vec<u64>,
+    /// Ids whose post-restart body differed from an earlier observation
+    /// (**invariant 2**).
+    pub mismatched: Vec<u64>,
+    /// Jobs the third (post-clean-shutdown) boot re-enqueued
+    /// (**invariant 3** — must be 0).
+    pub reenqueued_after_clean: u64,
+}
+
+impl ChaosReport {
+    /// The report as a `foldic-serve-chaos/1` document.
+    pub fn to_json(&self) -> Json {
+        let ids = |v: &[u64]| Json::Arr(v.iter().map(|&id| Json::Num(id as f64)).collect());
+        Json::obj([
+            (
+                "schema".to_owned(),
+                Json::Str(CHAOS_REPORT_SCHEMA.to_owned()),
+            ),
+            ("seed".to_owned(), Json::Num(self.seed as f64)),
+            ("acked".to_owned(), Json::Num(self.acked as f64)),
+            (
+                "done_before_kill".to_owned(),
+                Json::Num(self.done_before_kill as f64),
+            ),
+            ("slowloris".to_owned(), Json::Num(self.slowloris as f64)),
+            ("disconnects".to_owned(), Json::Num(self.disconnects as f64)),
+            ("lost".to_owned(), ids(&self.lost)),
+            ("unrecovered".to_owned(), ids(&self.unrecovered)),
+            ("mismatched".to_owned(), ids(&self.mismatched)),
+            (
+                "reenqueued_after_clean".to_owned(),
+                Json::Num(self.reenqueued_after_clean as f64),
+            ),
+            ("pass".to_owned(), Json::Bool(self.gate().is_ok())),
+        ])
+    }
+
+    /// The durability gate.
+    ///
+    /// # Errors
+    ///
+    /// One message per violated invariant.
+    pub fn gate(&self) -> Result<(), Vec<String>> {
+        let mut violations = Vec::new();
+        if self.acked == 0 {
+            violations.push("no jobs were acknowledged; scenario did not run".to_owned());
+        }
+        if !self.lost.is_empty() {
+            violations.push(format!(
+                "{} acknowledged job(s) lost across kill/restart: {:?}",
+                self.lost.len(),
+                self.lost
+            ));
+        }
+        if !self.unrecovered.is_empty() {
+            violations.push(format!(
+                "{} acknowledged job(s) never reached a terminal state after restart: {:?}",
+                self.unrecovered.len(),
+                self.unrecovered
+            ));
+        }
+        if !self.mismatched.is_empty() {
+            violations.push(format!(
+                "{} job(s) served a different body after recovery: {:?}",
+                self.mismatched.len(),
+                self.mismatched
+            ));
+        }
+        if self.reenqueued_after_clean > 0 {
+            violations.push(format!(
+                "journal replay is not idempotent: a clean restart re-enqueued {} job(s)",
+                self.reenqueued_after_clean
+            ));
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+/// A daemon subprocess plus the address it bound.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Boots the daemon and waits for its port file.
+    fn boot(cfg: &ChaosConfig, boot_index: u32) -> Result<Self, String> {
+        let port_file = cfg.dir.join(format!("addr-{boot_index}.txt"));
+        let _ = std::fs::remove_file(&port_file);
+        let (bin, args) = cfg
+            .serve_cmd
+            .split_first()
+            .ok_or("chaos: empty serve command")?;
+        let mut child = Command::new(bin)
+            .args(args)
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--port-file")
+            .arg(&port_file)
+            .arg("--journal")
+            .arg(cfg.dir.join("journal.jsonl"))
+            .arg("--cache-dir")
+            .arg(cfg.dir.join("cache"))
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("chaos: failed to spawn `{bin}`: {e}"))?;
+        let addr = wait_port_file(&port_file, &mut child, cfg.timeout)?;
+        Ok(Self { child, addr })
+    }
+
+    /// SIGKILL — no drain, no flush.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// `POST /shutdown` then wait for a clean exit.
+    fn shutdown_clean(&mut self, timeout: Duration) -> Result<(), String> {
+        let _ = client::post(self.addr, "/shutdown", HTTP_TIMEOUT);
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return Ok(()),
+                Ok(None) if Instant::now() >= deadline => {
+                    self.kill();
+                    return Err("chaos: daemon ignored /shutdown; killed".to_owned());
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                Err(e) => return Err(format!("chaos: wait failed: {e}")),
+            }
+        }
+    }
+}
+
+/// Polls `path` until the daemon writes its bound address (written only
+/// after a successful bind, so its presence doubles as readiness).
+fn wait_port_file(path: &Path, child: &mut Child, timeout: Duration) -> Result<SocketAddr, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok(Some(status)) = child.try_wait() {
+            return Err(format!("chaos: daemon exited during boot: {status}"));
+        }
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(addr) = text.trim().parse::<SocketAddr>() {
+                return Ok(addr);
+            }
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            return Err(format!(
+                "chaos: daemon did not write {} within {timeout:?}",
+                path.display()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// One acknowledged job the harness tracks across the kill.
+struct Acked {
+    id: u64,
+    /// Body observed before the kill, when the job got that far.
+    body_before: Option<Vec<u8>>,
+}
+
+/// Runs the full scenario.
+///
+/// # Errors
+///
+/// Harness-level failures only (cannot spawn the daemon, scenario never
+/// acknowledged a job, a probe transport died entirely). Invariant
+/// *violations* are not errors — they land in the report for
+/// [`ChaosReport::gate`] to judge, so CI output shows the whole picture.
+pub fn run(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
+    std::fs::create_dir_all(&cfg.dir)
+        .map_err(|e| format!("chaos: cannot create {}: {e}", cfg.dir.display()))?;
+    let mut report = ChaosReport {
+        seed: cfg.seed,
+        ..ChaosReport::default()
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Phase 1: boot and load until `jobs` acks, harassing in between.
+    let mut daemon = Daemon::boot(cfg, 1)?;
+    let mut acked: Vec<Acked> = Vec::new();
+    let mut attempts = 0usize;
+    while acked.len() < cfg.jobs.max(1) {
+        attempts += 1;
+        if attempts > cfg.jobs.max(1) * 20 {
+            daemon.kill();
+            return Err("chaos: daemon stopped acknowledging jobs".to_owned());
+        }
+        // Hostile clients first, seeded: the daemon must keep serving
+        // around them.
+        if rng.gen_range(0..100u32) < 30 {
+            slow_loris(daemon.addr, &mut rng);
+            report.slowloris += 1;
+        }
+        if rng.gen_range(0..100u32) < 30 {
+            disconnect_mid_request(daemon.addr, &mut rng);
+            report.disconnects += 1;
+        }
+        let spec = random_spec(cfg, &mut rng);
+        let Ok(response) = client::post_json(daemon.addr, "/jobs", &spec.to_json(), HTTP_TIMEOUT)
+        else {
+            continue;
+        };
+        if response.status != 200 && response.status != 202 {
+            continue;
+        }
+        let Some(id) = job_id(&response) else {
+            continue;
+        };
+        // Sometimes wait for the result (so the kill also covers jobs
+        // with journaled terminals + persisted cache entries), sometimes
+        // race straight on (so it covers queued/running jobs too).
+        let body_before = if rng.gen_range(0..100u32) < 50 {
+            wait_done_body(daemon.addr, id, cfg.timeout)
+        } else {
+            None
+        };
+        if body_before.is_some() {
+            report.done_before_kill += 1;
+        }
+        acked.push(Acked { id, body_before });
+    }
+    report.acked = acked.len() as u64;
+
+    // Phase 2: SIGKILL mid-load — queued and running jobs die with it.
+    daemon.kill();
+
+    // Phase 3: restart on the same journal + cache dir; assert recovery.
+    let mut daemon = Daemon::boot(cfg, 2)?;
+    let mut bodies: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for job in &mut acked {
+        match client::get(daemon.addr, &format!("/jobs/{}", job.id), HTTP_TIMEOUT) {
+            Ok(r) if r.status == 404 => {
+                report.lost.push(job.id);
+                continue;
+            }
+            Ok(_) => {}
+            Err(_) => {
+                report.unrecovered.push(job.id);
+                continue;
+            }
+        }
+        let Some(body) = wait_done_body(daemon.addr, job.id, cfg.timeout) else {
+            report.unrecovered.push(job.id);
+            continue;
+        };
+        if let Some(before) = &job.body_before {
+            if *before != body {
+                report.mismatched.push(job.id);
+            }
+        }
+        bodies.insert(job.id, body);
+    }
+    daemon.shutdown_clean(cfg.timeout)?;
+
+    // Phase 4: third boot — replay must be a no-op and bodies stable.
+    let mut daemon = Daemon::boot(cfg, 3)?;
+    report.reenqueued_after_clean = stats_reenqueued(daemon.addr).unwrap_or(u64::MAX);
+    for (&id, body) in &bodies {
+        match wait_done_body(daemon.addr, id, cfg.timeout) {
+            Some(again) if again == *body => {}
+            _ => report.mismatched.push(id),
+        }
+    }
+    daemon.shutdown_clean(cfg.timeout)?;
+    report.mismatched.dedup();
+    Ok(report)
+}
+
+/// A seeded job spec drawn from the configured experiment pool. Distinct
+/// seeds make distinct studies, so the stream is mostly misses (computed
+/// work — the interesting case for durability) with occasional repeats
+/// (cache hits, which must be acknowledged durably too).
+fn random_spec(cfg: &ChaosConfig, rng: &mut StdRng) -> JobSpec {
+    let pool = &cfg.experiments;
+    let name = if pool.is_empty() {
+        "table1".to_owned()
+    } else {
+        pool[rng.gen_range(0..pool.len())].clone()
+    };
+    JobSpec {
+        experiments: vec![name],
+        size: cfg.size.clone(),
+        // 8 distinct seeds → repeats are likely within a few dozen jobs
+        seed: Some(rng.gen_range(0..8u64)),
+        ..JobSpec::default()
+    }
+}
+
+/// The `job` field of a submission response.
+fn job_id(response: &client::HttpResponse) -> Option<u64> {
+    let doc = response.body_json().ok()?;
+    let id = doc.get("job")?.as_f64()?;
+    (id.fract() == 0.0 && id >= 0.0).then_some(id as u64)
+}
+
+/// Polls until `id` is `done` and returns its result body (`None`:
+/// failed/cancelled, or not terminal within the timeout).
+fn wait_done_body(addr: SocketAddr, id: u64, timeout: Duration) -> Option<Vec<u8>> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let response = client::get(addr, &format!("/jobs/{id}"), HTTP_TIMEOUT).ok()?;
+        let state = response
+            .body_json()
+            .ok()?
+            .get("state")?
+            .as_str()
+            .map(str::to_owned)?;
+        match state.as_str() {
+            "done" => {
+                let result = client::get(addr, &format!("/jobs/{id}/result"), HTTP_TIMEOUT).ok()?;
+                return (result.status == 200).then_some(result.body);
+            }
+            "failed" | "cancelled" => return None,
+            _ if Instant::now() >= deadline => return None,
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// `durability.journal.reenqueued` from `/stats`.
+fn stats_reenqueued(addr: SocketAddr) -> Option<u64> {
+    let response = client::get(addr, "/stats", HTTP_TIMEOUT).ok()?;
+    let doc = response.body_json().ok()?;
+    let n = doc
+        .get("durability")?
+        .get("journal")?
+        .get("reenqueued")?
+        .as_f64()?;
+    Some(n as u64)
+}
+
+/// Dribbles a partial request with pauses, then abandons the connection
+/// — the classic slow-loris. The daemon's read timeout must reclaim the
+/// connection thread without disturbing other clients.
+fn slow_loris(addr: SocketAddr, rng: &mut StdRng) {
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, HTTP_TIMEOUT) else {
+        return;
+    };
+    let request = format!("POST /jobs HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 64\r\n");
+    let bytes = request.as_bytes();
+    let cut = rng.gen_range(1..bytes.len() as u64) as usize;
+    for chunk in bytes[..cut].chunks(7) {
+        if stream.write_all(chunk).is_err() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(rng.gen_range(1..4u64)));
+    }
+    // drop: the header section never completes
+}
+
+/// Sends a complete header but only part of the promised body, then
+/// disconnects — a torn write the daemon must fail cleanly (408/400),
+/// never crash on.
+fn disconnect_mid_request(addr: SocketAddr, rng: &mut StdRng) {
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, HTTP_TIMEOUT) else {
+        return;
+    };
+    let body = "{\"experiments\":[\"table1\"],\"size\":\"tiny\"}";
+    let cut = rng.gen_range(0..body.len() as u64) as usize;
+    let _ = write!(
+        stream,
+        "POST /jobs HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        &body[..cut]
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_passes_only_when_all_invariants_hold() {
+        let clean = ChaosReport {
+            seed: 42,
+            acked: 10,
+            done_before_kill: 4,
+            ..ChaosReport::default()
+        };
+        assert!(clean.gate().is_ok());
+        assert_eq!(clean.to_json().get("pass").unwrap(), &Json::Bool(true));
+
+        let lost = ChaosReport {
+            lost: vec![3],
+            ..clean.clone()
+        };
+        assert!(lost.gate().is_err());
+        let mismatched = ChaosReport {
+            mismatched: vec![5, 6],
+            ..clean.clone()
+        };
+        assert!(mismatched
+            .gate()
+            .unwrap_err()
+            .iter()
+            .any(|v| v.contains("different body")));
+        let replayed = ChaosReport {
+            reenqueued_after_clean: 2,
+            ..clean.clone()
+        };
+        assert!(replayed
+            .gate()
+            .unwrap_err()
+            .iter()
+            .any(|v| v.contains("idempotent")));
+        let empty = ChaosReport::default();
+        assert!(empty.gate().is_err(), "an empty run must not pass");
+    }
+
+    #[test]
+    fn report_document_is_well_formed() {
+        let report = ChaosReport {
+            seed: 7,
+            acked: 3,
+            lost: vec![1],
+            ..ChaosReport::default()
+        };
+        let doc = report.to_json();
+        assert_eq!(
+            doc.get("schema").unwrap().as_str(),
+            Some(CHAOS_REPORT_SCHEMA)
+        );
+        assert_eq!(doc.get("pass").unwrap(), &Json::Bool(false));
+        assert_eq!(doc.get("lost").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

@@ -21,7 +21,16 @@
 //!   exclusive scheduling for deadline-bounded jobs and drain-on-shutdown;
 //! * [`cache`] — the content-addressed [`cache::ResultCache`], keyed on
 //!   the FNV-1a digest of the canonical manifest config (the `repro
-//!   compare` schema), entries carrying full manifest provenance;
+//!   compare` schema), entries carrying full manifest provenance,
+//!   optionally spilled to a verified-on-load cache directory;
+//! * [`journal`] — the write-ahead job [`journal::Journal`]
+//!   (`foldic-serve-journal/1`): fsync-before-ack acceptance records and
+//!   torn-tail-tolerant replay, so a SIGKILLed daemon loses no
+//!   acknowledged job;
+//! * [`chaos`] — the deterministic chaos harness behind
+//!   `repro loadgen --chaos`: seeded mid-load SIGKILL, client
+//!   disconnects and slow-loris submissions against a real subprocess
+//!   daemon, gating on the durability invariants;
 //! * [`server`] — the TCP daemon tying it together: job submission,
 //!   status/result/cancel endpoints, stats, graceful shutdown;
 //! * [`client`] — a minimal blocking HTTP client for tests and the load
@@ -41,9 +50,11 @@
 //! lives in `foldic-bench`, keeping this crate free of flow dependencies.
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod job;
+pub mod journal;
 pub mod loadgen;
 pub mod queue;
 pub mod server;
@@ -51,6 +62,7 @@ pub mod telemetry;
 
 pub use cache::ResultCache;
 pub use job::JobSpec;
+pub use journal::{Journal, JournalError, Replay};
 pub use queue::{Scheduler, SchedulerConfig, StudyRunner, Submission};
 pub use server::{Server, ServerConfig};
 pub use telemetry::{Telemetry, TelemetryConfig};

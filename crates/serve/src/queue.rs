@@ -33,10 +33,49 @@
 //! runner opens nest beneath it), workers drain the per-thread flight
 //! recorder into degraded jobs' status payloads, and every transition
 //! writes a structured log line.
+//!
+//! # Durability & supervision
+//!
+//! [`Scheduler::with_durability`] layers crash safety on top
+//! (`DESIGN.md` §12), all strictly pay-for-use — a scheduler built
+//! without it behaves byte-identically to one from before the layer
+//! existed:
+//!
+//! * **Write-ahead journal** — every admission appends an fsync'd
+//!   `accepted` record *before* the submission call returns, so an
+//!   acknowledged job survives SIGKILL; terminal transitions are
+//!   journaled too, and on construction the journal's [`Replay`] seeds
+//!   the job table: terminal jobs are restored (with bodies from the
+//!   journal or the persistent cache) and non-terminal jobs are
+//!   re-enqueued with `attempt+1`. Lifetime counters (`submitted`,
+//!   `completed`, `failed`, `cancelled`, cache insertions) are restored
+//!   so `/stats` and `/metrics` report true totals after a restart;
+//!   `rejected`, `shed` and cache hit/miss counters remain
+//!   process-local by design. A failed journal write sheds the
+//!   submission (503) — the daemon never acknowledges what it cannot
+//!   re-prove.
+//! * **Poison ledger** — a spec digest whose runs panic twice is
+//!   quarantined: its queued jobs fail at dispatch with a `poisoned:`
+//!   error instead of crash-looping the pool. Always on (it only
+//!   engages after a panic, which the pre-durability scheduler already
+//!   surfaced as a failed job).
+//! * **Circuit breaker** — optional: consecutive worker panics trip it,
+//!   admissions are shed (503 + `Retry-After`) while open, and a single
+//!   half-open probe decides recovery.
+//! * **Worker supervision** — each worker thread runs under a
+//!   supervisor that catches a panic of the *loop itself* (runner panics
+//!   are caught per-job inside), repairs the scheduler state (the
+//!   orphaned job fails, counters rebalance) and restarts the worker.
+//! * **Idempotency keys** — a submission carrying an idempotency key
+//!   that matches an accepted job returns that job instead of
+//!   double-enqueuing; the key→job map is journaled and survives
+//!   restart, so a client retry after a lost ack is safe.
 
 use crate::cache::ResultCache;
 use crate::job::{cache_key, JobSpec};
+use crate::journal::{Journal, Record as JournalRecord, Replay};
 use crate::telemetry::{self, field_num, field_str, Telemetry};
+use foldic_fault::supervise::{Admission, BreakerConfig, CircuitBreaker, PoisonLedger};
 use foldic_obs::json::Json;
 use foldic_obs::log::Level;
 use foldic_obs::metrics::Metric;
@@ -124,6 +163,18 @@ pub enum Submission {
         /// `Retry-After` hint in seconds.
         retry_after_secs: u32,
     },
+    /// Load shed — the circuit breaker is open or the journal refused
+    /// the acceptance record (503 + `Retry-After`).
+    Shed {
+        /// `Retry-After` hint in seconds.
+        retry_after_secs: u32,
+    },
+    /// The submission's idempotency key matches an already-accepted job:
+    /// that job is returned instead of enqueuing a duplicate (200).
+    Duplicate {
+        /// Id of the previously accepted job.
+        id: u64,
+    },
     /// The scheduler is shutting down (503).
     Draining,
     /// The spec failed validation (400).
@@ -137,6 +188,9 @@ pub struct JobStatus {
     pub id: u64,
     /// Current state.
     pub state: JobState,
+    /// Attempt count: 1 on first acceptance, bumped by journal-replay
+    /// re-enqueues after a crash.
+    pub attempt: u32,
     /// Whether the result came from the cache.
     pub cache_hit: bool,
     /// Content address of the study (cacheable jobs only).
@@ -155,7 +209,9 @@ pub struct JobStatus {
 }
 
 impl JobStatus {
-    /// The status document returned by `GET /jobs/<id>`.
+    /// The status document returned by `GET /jobs/<id>`. `attempt`
+    /// appears only past 1 (i.e. only for crash-recovered jobs), keeping
+    /// the durability-free document byte-identical to earlier versions.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("job".to_owned(), Json::Num(self.id as f64)),
@@ -177,6 +233,9 @@ impl JobStatus {
                 ),
             ),
         ];
+        if self.attempt > 1 {
+            fields.push(("attempt".to_owned(), Json::Num(f64::from(self.attempt))));
+        }
         if let Some(key) = &self.cache_key {
             fields.push(("cache_key".to_owned(), Json::Str(key.clone())));
         }
@@ -198,12 +257,19 @@ pub struct SubmitCtx {
     /// The request's `http.request` span — the root the job's
     /// `queue.wait`/`job.run` spans nest under.
     pub parent_span: Option<SpanId>,
+    /// Client idempotency key (`X-Idempotency-Key`): a submission whose
+    /// key matches an accepted job returns [`Submission::Duplicate`].
+    pub idempotency_key: Option<String>,
 }
 
 struct Job {
     spec: JobSpec,
     status: JobStatus,
     exclusive: bool,
+    /// Spec digest ([`cache_key`] of the canonical config) — computed
+    /// for every job, cacheable or not; addresses the poison ledger and
+    /// the journal.
+    digest: String,
     /// Originating request id, for log lines.
     request_id: Option<String>,
     /// The request span the job's trace nests under.
@@ -219,6 +285,10 @@ struct Counters {
     failed: u64,
     cancelled: u64,
     rejected: u64,
+    /// Submissions shed by the breaker or a failed journal write.
+    shed: u64,
+    /// Jobs failed at dispatch because their digest was poisoned.
+    poisoned: u64,
 }
 
 struct State {
@@ -234,6 +304,21 @@ struct State {
     next_id: u64,
     draining: bool,
     counters: Counters,
+    /// Panic strikes per spec digest; poisoned digests fail at dispatch.
+    ledger: PoisonLedger,
+    /// Optional circuit breaker over consecutive worker panics.
+    breaker: Option<CircuitBreaker>,
+    /// The job admitted as the breaker's half-open probe, when one is in
+    /// flight (so a cancelled probe can abort instead of wedging).
+    probe_job: Option<u64>,
+    /// Idempotency key → job id for every accepted keyed submission.
+    idempotency: HashMap<String, u64>,
+    /// Worker threads restarted by the supervisor after a loop panic.
+    worker_restarts: u64,
+    /// Jobs restored from the journal at construction.
+    replayed_jobs: u64,
+    /// Journaled non-terminal jobs re-enqueued at construction.
+    reenqueued: u64,
 }
 
 struct Shared {
@@ -243,6 +328,10 @@ struct Shared {
     /// Status watchers wait here for state changes.
     changed: Condvar,
     cache: ResultCache,
+    /// Write-ahead journal, when durability is configured.
+    journal: Option<Journal>,
+    /// `true` when a breaker was configured (for stats/metrics gating).
+    breaker_configured: bool,
     runner: Arc<dyn StudyRunner>,
     cfg: SchedulerConfig,
     telemetry: Arc<Telemetry>,
@@ -269,6 +358,29 @@ impl Default for SchedulerConfig {
     }
 }
 
+/// Durability wiring for [`Scheduler::with_durability`]: an opened
+/// journal with its replayed state, a (possibly disk-backed) result
+/// cache, and an optional circuit breaker. [`Durability::default`] is
+/// the no-durability configuration the plain constructors use.
+pub struct Durability {
+    /// Opened write-ahead journal plus the replay loaded from it.
+    pub journal: Option<(Journal, Replay)>,
+    /// The result cache — [`ResultCache::with_dir`] for persistence.
+    pub cache: ResultCache,
+    /// Circuit-breaker tuning; `None` disables the breaker entirely.
+    pub breaker: Option<BreakerConfig>,
+}
+
+impl Default for Durability {
+    fn default() -> Self {
+        Self {
+            journal: None,
+            cache: ResultCache::new(),
+            breaker: None,
+        }
+    }
+}
+
 /// The bounded FIFO scheduler plus its worker pool.
 pub struct Scheduler {
     shared: Arc<Shared>,
@@ -289,31 +401,90 @@ impl Scheduler {
         cfg: SchedulerConfig,
         telemetry: Arc<Telemetry>,
     ) -> Self {
+        Self::with_durability(runner, cfg, telemetry, Durability::default())
+    }
+
+    /// Creates the scheduler with the durability layer: replays the
+    /// journal into the job table (re-enqueuing non-terminal jobs with
+    /// `attempt+1` and fsyncing their re-acceptance records), restores
+    /// lifetime counters, and arms the breaker when configured.
+    pub fn with_durability(
+        runner: Arc<dyn StudyRunner>,
+        cfg: SchedulerConfig,
+        telemetry: Arc<Telemetry>,
+        durability: Durability,
+    ) -> Self {
+        let Durability {
+            journal,
+            cache,
+            breaker,
+        } = durability;
+        let breaker_configured = breaker.is_some();
+        let mut state = State {
+            jobs: HashMap::new(),
+            queue: VecDeque::new(),
+            queued: 0,
+            queue_high_water: 0,
+            running: 0,
+            exclusive_active: false,
+            next_id: 1,
+            draining: false,
+            counters: Counters::default(),
+            ledger: PoisonLedger::default(),
+            breaker: breaker.map(CircuitBreaker::new),
+            probe_job: None,
+            idempotency: HashMap::new(),
+            worker_restarts: 0,
+            replayed_jobs: 0,
+            reenqueued: 0,
+        };
+        let (journal, replay_summary) = match journal {
+            Some((journal, replay)) => {
+                let summary = seed_from_replay(&mut state, &cache, &replay);
+                if !summary.reaccepts.is_empty() {
+                    // Re-acceptance records make the bumped attempt
+                    // counts durable; failure degrades only that (the
+                    // jobs are re-enqueued in memory regardless).
+                    if let Err(e) = journal.append_sync(&summary.reaccepts) {
+                        telemetry.log(
+                            Level::Warn,
+                            "journal.error",
+                            vec![field_str("error", &e.to_string())],
+                        );
+                    }
+                }
+                (Some(journal), Some(summary))
+            }
+            None => (None, None),
+        };
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                jobs: HashMap::new(),
-                queue: VecDeque::new(),
-                queued: 0,
-                queue_high_water: 0,
-                running: 0,
-                exclusive_active: false,
-                next_id: 1,
-                draining: false,
-                counters: Counters::default(),
-            }),
+            state: Mutex::new(state),
             work: Condvar::new(),
             changed: Condvar::new(),
-            cache: ResultCache::new(),
+            cache,
+            journal,
+            breaker_configured,
             runner,
             cfg,
             telemetry,
         });
+        if let Some(summary) = replay_summary {
+            shared.telemetry.log(
+                Level::Info,
+                "journal.replayed",
+                vec![
+                    field_num("jobs", summary.jobs as f64),
+                    field_num("reenqueued", summary.reaccepts.len() as f64),
+                    field_num("trimmed_bytes", summary.trimmed_bytes as f64),
+                ],
+            );
+        }
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("foldic-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || supervise_worker(&shared))
             })
             .filter_map(Result::ok)
             .collect();
@@ -355,11 +526,27 @@ impl Scheduler {
         let cacheable = spec.cacheable();
         let experiments = config.get("experiments").cloned().unwrap_or_default();
         let request_id = ctx.as_ref().map(|c| c.request_id.clone());
+        let idempotency_key = ctx.as_ref().and_then(|c| c.idempotency_key.clone());
         let rid = request_id.as_deref().unwrap_or("-");
 
         let mut state = self.lock();
         if state.draining {
             return Submission::Draining;
+        }
+        if let Some(idem) = &idempotency_key {
+            if let Some(&id) = state.idempotency.get(idem) {
+                drop(state);
+                tele.log(
+                    Level::Info,
+                    "job.duplicate",
+                    vec![
+                        field_str("idempotency_key", idem),
+                        field_num("job", id as f64),
+                        field_str("request_id", rid),
+                    ],
+                );
+                return Submission::Duplicate { id };
+            }
         }
         state.counters.submitted += 1;
         if cacheable {
@@ -368,8 +555,31 @@ impl Scheduler {
             // consistent with the job table.
             if let Some(body) = self.shared.cache.lookup(&key) {
                 let id = state.next_id;
+                if let Some(journal) = &self.shared.journal {
+                    // A hit is an acknowledged job too: journal its
+                    // acceptance and completion in one fsync'd batch.
+                    // The body rides inline only when no cache directory
+                    // can re-supply it after a restart.
+                    let inline = self.shared.cache.dir().is_none();
+                    let records = [
+                        accepted_record(id, 1, &key, &spec, &config, &request_id, &idempotency_key),
+                        JournalRecord::Terminal {
+                            job: id,
+                            attempt: 1,
+                            state: "done".to_owned(),
+                            error: None,
+                            body: inline.then(|| body.to_string()),
+                        },
+                    ];
+                    if let Err(e) = journal.append_sync(&records) {
+                        return self.shed_submission(state, &e.to_string(), rid);
+                    }
+                }
                 state.next_id += 1;
                 state.counters.completed += 1;
+                if let Some(idem) = &idempotency_key {
+                    state.idempotency.insert(idem.clone(), id);
+                }
                 state.jobs.insert(
                     id,
                     Job {
@@ -377,6 +587,7 @@ impl Scheduler {
                         status: JobStatus {
                             id,
                             state: JobState::Done,
+                            attempt: 1,
                             cache_hit: true,
                             cache_key: Some(key.clone()),
                             config,
@@ -385,6 +596,7 @@ impl Scheduler {
                             flight: None,
                         },
                         exclusive: false,
+                        digest: key.clone(),
                         request_id: request_id.clone(),
                         parent_span: None,
                         submit_ns: trace::now_ns(),
@@ -430,8 +642,51 @@ impl Scheduler {
                 retry_after_secs: self.shared.cfg.retry_after_secs,
             };
         }
+        // The breaker gates computed work only — cache hits (above) are
+        // served even while open, and it is the last gate so a half-open
+        // probe admission always corresponds to an actually-queued job.
+        let mut probe = false;
+        if let Some(breaker) = &mut state.breaker {
+            match breaker.try_admit(Instant::now()) {
+                Admission::Allowed => {}
+                Admission::Probe => probe = true,
+                Admission::Shed { retry_after_secs } => {
+                    state.counters.submitted -= 1;
+                    state.counters.shed += 1;
+                    drop(state);
+                    tele.log(
+                        Level::Warn,
+                        "job.shed",
+                        vec![
+                            field_str("reason", "breaker_open"),
+                            field_num("retry_after_secs", f64::from(retry_after_secs)),
+                            field_str("request_id", rid),
+                        ],
+                    );
+                    return Submission::Shed { retry_after_secs };
+                }
+            }
+        }
         let id = state.next_id;
+        if let Some(journal) = &self.shared.journal {
+            let record =
+                accepted_record(id, 1, &key, &spec, &config, &request_id, &idempotency_key);
+            if let Err(e) = journal.append_sync(std::slice::from_ref(&record)) {
+                if probe {
+                    if let Some(breaker) = &mut state.breaker {
+                        breaker.abort_probe();
+                    }
+                }
+                return self.shed_submission(state, &e.to_string(), rid);
+            }
+        }
         state.next_id += 1;
+        if probe {
+            state.probe_job = Some(id);
+        }
+        if let Some(idem) = &idempotency_key {
+            state.idempotency.insert(idem.clone(), id);
+        }
         let exclusive = spec.deadline_secs.is_some();
         let parent_span = ctx.as_ref().and_then(|c| c.parent_span);
         state.jobs.insert(
@@ -441,6 +696,7 @@ impl Scheduler {
                 status: JobStatus {
                     id,
                     state: JobState::Queued,
+                    attempt: 1,
                     cache_hit: false,
                     cache_key: cacheable.then(|| key.clone()),
                     config,
@@ -449,6 +705,7 @@ impl Scheduler {
                     flight: None,
                 },
                 exclusive,
+                digest: key,
                 request_id: request_id.clone(),
                 parent_span,
                 submit_ns: trace::now_ns(),
@@ -475,6 +732,31 @@ impl Scheduler {
         Submission::Queued { id }
     }
 
+    /// Rolls a submission back after a failed journal write and sheds it:
+    /// the daemon must never acknowledge a job it cannot re-prove.
+    fn shed_submission(
+        &self,
+        mut state: MutexGuard<'_, State>,
+        error: &str,
+        rid: &str,
+    ) -> Submission {
+        state.counters.submitted -= 1;
+        state.counters.shed += 1;
+        let retry_after_secs = self.shared.cfg.retry_after_secs;
+        drop(state);
+        self.shared.telemetry.log(
+            Level::Error,
+            "job.shed",
+            vec![
+                field_str("error", error),
+                field_str("reason", "journal_write_failed"),
+                field_num("retry_after_secs", f64::from(retry_after_secs)),
+                field_str("request_id", rid),
+            ],
+        );
+        Submission::Shed { retry_after_secs }
+    }
+
     /// Snapshot of one job.
     pub fn status(&self, id: u64) -> Option<JobStatus> {
         self.lock().jobs.get(&id).map(|j| j.status.clone())
@@ -489,9 +771,23 @@ impl Scheduler {
         if job.status.state == JobState::Queued {
             job.status.state = JobState::Cancelled;
             let request_id = job.request_id.clone().unwrap_or_else(|| "-".to_owned());
+            let attempt = job.status.attempt;
             state.queued -= 1;
             state.counters.cancelled += 1;
+            if state.probe_job == Some(id) {
+                state.probe_job = None;
+                if let Some(breaker) = &mut state.breaker {
+                    breaker.abort_probe();
+                }
+            }
             drop(state);
+            self.journal_terminal(JournalRecord::Terminal {
+                job: id,
+                attempt,
+                state: "cancelled".to_owned(),
+                error: None,
+                body: None,
+            });
             self.shared.telemetry.log(
                 Level::Info,
                 "job.cancelled",
@@ -505,6 +801,20 @@ impl Scheduler {
             return Some(JobState::Cancelled);
         }
         Some(job.status.state)
+    }
+
+    /// Appends one terminal record (fsync'd, best-effort with a logged
+    /// error — the in-memory transition already happened).
+    fn journal_terminal(&self, record: JournalRecord) {
+        if let Some(journal) = &self.shared.journal {
+            if let Err(e) = journal.append_sync(std::slice::from_ref(&record)) {
+                self.shared.telemetry.log(
+                    Level::Warn,
+                    "journal.error",
+                    vec![field_str("error", &e.to_string())],
+                );
+            }
+        }
     }
 
     /// Blocks until job `id` reaches a terminal state, with a timeout.
@@ -534,7 +844,9 @@ impl Scheduler {
     /// The `/stats` document: job counts by state, queue occupancy,
     /// cache counters, plus uptime. Everything except `uptime_seconds`
     /// is a counter, not a wall-clock reading, so two probes of an idle
-    /// daemon agree on every other field.
+    /// daemon agree on every other field. With durability configured a
+    /// `durability` section is appended (and only then — a plain daemon
+    /// emits the document byte-identically to earlier versions).
     pub fn stats_json(&self) -> Json {
         let state = self.lock();
         let mut by_state: BTreeMap<&'static str, u64> = BTreeMap::new();
@@ -550,8 +862,9 @@ impl Scheduler {
         for job in state.jobs.values() {
             *by_state.entry(job.status.state.as_str()).or_default() += 1;
         }
+        let durability = self.durability_json(&state);
         let cache = self.shared.cache.stats();
-        Json::obj([
+        let mut fields = vec![
             (
                 "schema".to_owned(),
                 Json::Str("foldic-serve-stats/1".to_owned()),
@@ -618,18 +931,83 @@ impl Scheduler {
                 "workers".to_owned(),
                 Json::Num(self.shared.cfg.workers as f64),
             ),
-        ])
+        ];
+        if let Some(durability) = durability {
+            fields.push(("durability".to_owned(), durability));
+        }
+        drop(state);
+        Json::obj(fields)
+    }
+
+    /// The `durability` section of `/stats` — present only when the
+    /// journal, cache directory or breaker is configured (pay-for-use).
+    fn durability_json(&self, state: &State) -> Option<Json> {
+        let cache = self.shared.cache.stats();
+        let journal_on = self.shared.journal.is_some();
+        let dir_on = self.shared.cache.dir().is_some();
+        if !journal_on && !dir_on && !self.shared.breaker_configured {
+            return None;
+        }
+        let mut fields = vec![
+            (
+                "poisoned_jobs".to_owned(),
+                Json::Num(state.counters.poisoned as f64),
+            ),
+            ("shed".to_owned(), Json::Num(state.counters.shed as f64)),
+            (
+                "worker_restarts".to_owned(),
+                Json::Num(state.worker_restarts as f64),
+            ),
+        ];
+        if journal_on {
+            fields.push((
+                "journal".to_owned(),
+                Json::obj([
+                    ("reenqueued".to_owned(), Json::Num(state.reenqueued as f64)),
+                    (
+                        "replayed_jobs".to_owned(),
+                        Json::Num(state.replayed_jobs as f64),
+                    ),
+                ]),
+            ));
+        }
+        if dir_on {
+            fields.push((
+                "cache_dir".to_owned(),
+                Json::obj([
+                    ("corrupt".to_owned(), Json::Num(cache.corrupt as f64)),
+                    ("loaded".to_owned(), Json::Num(cache.loaded as f64)),
+                ]),
+            ));
+        }
+        if let Some(breaker) = &state.breaker {
+            fields.push((
+                "breaker".to_owned(),
+                Json::obj([
+                    (
+                        "state".to_owned(),
+                        Json::Str(breaker.state().as_str().to_owned()),
+                    ),
+                    (
+                        "transitions".to_owned(),
+                        Json::Num(breaker.transitions() as f64),
+                    ),
+                ]),
+            ));
+        }
+        Some(Json::obj(fields))
     }
 
     /// The `/metrics` exposition body: the live request/latency registry
     /// plus series synthesized from the scheduler's own counters and
     /// gauges, rendered per the `foldic-serve-metrics/1` contract
-    /// documented in [`crate::telemetry`].
+    /// documented in [`crate::telemetry`]. Durability families appear
+    /// only when the corresponding feature is configured.
     pub fn metrics_text(&self) -> String {
         self.shared.telemetry.ingest();
         let mut snap = self.shared.telemetry.registry().snapshot();
         let cache = self.shared.cache.stats();
-        let (counters, queued, high_water, running) = {
+        let (counters, queued, high_water, running, supervision) = {
             let state = self.lock();
             (
                 Counters {
@@ -638,10 +1016,18 @@ impl Scheduler {
                     failed: state.counters.failed,
                     cancelled: state.counters.cancelled,
                     rejected: state.counters.rejected,
+                    shed: state.counters.shed,
+                    poisoned: state.counters.poisoned,
                 },
                 state.queued,
                 state.queue_high_water,
                 state.running,
+                (
+                    state.worker_restarts,
+                    state.replayed_jobs,
+                    state.reenqueued,
+                    state.breaker.as_ref().map(|b| (b.state(), b.transitions())),
+                ),
             )
         };
         let m = &mut snap.metrics;
@@ -702,33 +1088,111 @@ impl Scheduler {
             "foldic_serve_uptime_seconds".to_owned(),
             gauge(self.shared.telemetry.uptime_secs() as f64),
         );
+        let (worker_restarts, replayed_jobs, reenqueued, breaker) = supervision;
+        let durable = self.shared.journal.is_some()
+            || self.shared.cache.dir().is_some()
+            || self.shared.breaker_configured;
+        if durable {
+            m.insert(
+                telemetry::SERIES_JOBS_SHED.to_owned(),
+                counter(counters.shed),
+            );
+            m.insert(
+                telemetry::SERIES_JOBS_POISONED.to_owned(),
+                counter(counters.poisoned),
+            );
+            m.insert(
+                telemetry::SERIES_WORKER_RESTARTS.to_owned(),
+                counter(worker_restarts),
+            );
+        }
+        if self.shared.journal.is_some() {
+            m.insert(
+                telemetry::SERIES_JOURNAL_REPLAYED.to_owned(),
+                counter(replayed_jobs),
+            );
+            m.insert(
+                telemetry::SERIES_JOURNAL_REENQUEUED.to_owned(),
+                counter(reenqueued),
+            );
+        }
+        if self.shared.cache.dir().is_some() {
+            m.insert(
+                telemetry::SERIES_CACHE_LOADED.to_owned(),
+                counter(cache.loaded),
+            );
+            m.insert(
+                telemetry::SERIES_CACHE_CORRUPT.to_owned(),
+                counter(cache.corrupt),
+            );
+        }
+        if let Some((breaker_state, transitions)) = breaker {
+            m.insert(
+                telemetry::SERIES_BREAKER_STATE.to_owned(),
+                gauge(match breaker_state {
+                    foldic_fault::supervise::BreakerState::Closed => 0.0,
+                    foldic_fault::supervise::BreakerState::HalfOpen => 1.0,
+                    foldic_fault::supervise::BreakerState::Open => 2.0,
+                }),
+            );
+            m.insert(
+                telemetry::SERIES_BREAKER_TRANSITIONS.to_owned(),
+                counter(transitions),
+            );
+        }
         foldic_obs::expo::to_prometheus(&snap)
     }
 
-    /// Drains and stops: no new submissions, queued jobs cancelled,
-    /// in-flight jobs run to completion, workers joined, and the trace
-    /// buffer flushed into the per-job mux — spans recorded between the
-    /// last export and the shutdown request are preserved, not dropped.
-    /// Idempotent.
+    /// Drains and stops: no new submissions, queued jobs cancelled (and
+    /// journaled as such), in-flight jobs run to completion, workers
+    /// joined, and the trace buffer flushed into the per-job mux — spans
+    /// recorded between the last export and the shutdown request are
+    /// preserved, not dropped. Idempotent.
     pub fn shutdown(&self) {
-        let drained = {
+        let (drained, terminal_records) = {
             let mut state = self.lock();
             state.draining = true;
             let ids: Vec<u64> = state.queue.iter().copied().collect();
             let mut drained = 0u64;
+            let mut records = Vec::new();
             for id in ids {
+                if state.probe_job == Some(id) {
+                    state.probe_job = None;
+                    if let Some(breaker) = &mut state.breaker {
+                        breaker.abort_probe();
+                    }
+                }
                 if let Some(job) = state.jobs.get_mut(&id) {
                     if job.status.state == JobState::Queued {
                         job.status.state = JobState::Cancelled;
+                        let attempt = job.status.attempt;
                         state.queued -= 1;
                         state.counters.cancelled += 1;
                         drained += 1;
+                        records.push(JournalRecord::Terminal {
+                            job: id,
+                            attempt,
+                            state: "cancelled".to_owned(),
+                            error: None,
+                            body: None,
+                        });
                     }
                 }
             }
             state.queue.clear();
-            drained
+            (drained, records)
         };
+        if !terminal_records.is_empty() {
+            if let Some(journal) = &self.shared.journal {
+                if let Err(e) = journal.append_sync(&terminal_records) {
+                    self.shared.telemetry.log(
+                        Level::Warn,
+                        "journal.error",
+                        vec![field_str("error", &e.to_string())],
+                    );
+                }
+            }
+        }
         self.shared.work.notify_all();
         self.shared.changed.notify_all();
         let workers: Vec<_> = {
@@ -749,24 +1213,282 @@ impl Scheduler {
     }
 }
 
-/// One worker: strict-FIFO dispatch honoring the exclusivity rule, then
-/// execution outside the lock, then completion bookkeeping.
-fn worker_loop(shared: &Shared) {
+/// Builds an `accepted` journal record for one admission.
+fn accepted_record(
+    id: u64,
+    attempt: u32,
+    digest: &str,
+    spec: &JobSpec,
+    config: &BTreeMap<String, String>,
+    request_id: &Option<String>,
+    idempotency_key: &Option<String>,
+) -> JournalRecord {
+    JournalRecord::Accepted {
+        job: id,
+        attempt,
+        digest: digest.to_owned(),
+        spec: spec.clone(),
+        config: config.clone(),
+        request_id: request_id.clone(),
+        idempotency_key: idempotency_key.clone(),
+    }
+}
+
+/// What [`seed_from_replay`] did, for the boot log line and the
+/// re-acceptance batch.
+struct ReplaySummary {
+    jobs: u64,
+    trimmed_bytes: u64,
+    reaccepts: Vec<JournalRecord>,
+}
+
+/// Seeds a fresh scheduler [`State`] from a journal [`Replay`]: terminal
+/// jobs are restored (bodies from the journal or the persistent cache —
+/// a `done` job whose body is unrecoverable is re-enqueued instead, and
+/// recomputes byte-identically), non-terminal jobs are re-enqueued with
+/// `attempt+1`, and lifetime counters come back.
+fn seed_from_replay(state: &mut State, cache: &ResultCache, replay: &Replay) -> ReplaySummary {
+    state.next_id = replay.next_id();
+    state.counters.submitted = replay.jobs.len() as u64;
+    state.replayed_jobs = replay.jobs.len() as u64;
+    let mut reaccepts = Vec::new();
+    for (&id, rjob) in &replay.jobs {
+        if let Some(key) = &rjob.idempotency_key {
+            state.idempotency.insert(key.clone(), id);
+        }
+        let cacheable = rjob.spec.cacheable();
+        // (terminal state, error, body, body came from the cache)
+        let restored = rjob.terminal.as_ref().and_then(|t| match t.state.as_str() {
+            "failed" => Some((JobState::Failed, t.error.clone(), None, false)),
+            "cancelled" => Some((JobState::Cancelled, None, None, false)),
+            "done" => {
+                if let Some(body) = &t.body {
+                    let body: Arc<str> = Arc::from(body.as_str());
+                    if cacheable {
+                        // re-warm the in-memory cache from the journal
+                        cache.insert(&rjob.digest, rjob.config.clone(), Arc::clone(&body));
+                    }
+                    Some((JobState::Done, None, Some(body), false))
+                } else {
+                    // body lives in the persistent cache — or is gone
+                    // (quarantined/missing) and the job recomputes
+                    cache
+                        .peek(&rjob.digest)
+                        .map(|entry| (JobState::Done, None, Some(entry.body), true))
+                }
+            }
+            _ => None,
+        });
+        let reenqueue = restored.is_none();
+        let attempt = if reenqueue {
+            rjob.attempt + 1
+        } else {
+            rjob.attempt
+        };
+        let (job_state, error, body, from_cache) =
+            restored.unwrap_or((JobState::Queued, None, None, false));
+        match job_state {
+            JobState::Done => state.counters.completed += 1,
+            JobState::Failed => state.counters.failed += 1,
+            JobState::Cancelled => state.counters.cancelled += 1,
+            _ => {}
+        }
+        state.jobs.insert(
+            id,
+            Job {
+                spec: rjob.spec.clone(),
+                status: JobStatus {
+                    id,
+                    state: job_state,
+                    attempt,
+                    cache_hit: from_cache,
+                    cache_key: cacheable.then(|| rjob.digest.clone()),
+                    config: rjob.config.clone(),
+                    error,
+                    body,
+                    flight: None,
+                },
+                exclusive: rjob.spec.deadline_secs.is_some(),
+                digest: rjob.digest.clone(),
+                request_id: rjob.request_id.clone(),
+                parent_span: None,
+                submit_ns: trace::now_ns(),
+            },
+        );
+        if reenqueue {
+            state.queue.push_back(id);
+            state.queued += 1;
+            state.reenqueued += 1;
+            reaccepts.push(accepted_record(
+                id,
+                attempt,
+                &rjob.digest,
+                &rjob.spec,
+                &rjob.config,
+                &rjob.request_id,
+                &rjob.idempotency_key,
+            ));
+        }
+    }
+    state.queue_high_water = state.queued;
+    ReplaySummary {
+        jobs: replay.jobs.len() as u64,
+        trimmed_bytes: replay.trimmed_bytes,
+        reaccepts,
+    }
+}
+
+/// Everything a worker needs to run one dispatched job.
+struct Picked {
+    id: u64,
+    spec: JobSpec,
+    cacheable_key: Option<String>,
+    config: BTreeMap<String, String>,
+    exclusive: bool,
+    digest: String,
+    attempt: u32,
+    request_id: Option<String>,
+    parent_span: Option<SpanId>,
+    submit_ns: u64,
+}
+
+/// Supervises one worker thread: [`worker_loop`] panics (which can only
+/// come from harness code — runner panics are caught per-job inside) are
+/// caught, the scheduler state is repaired (the orphaned job fails, the
+/// running count rebalances) and the loop restarts. A clean return means
+/// drain-on-shutdown finished.
+fn supervise_worker(shared: &Arc<Shared>) {
+    // The job this worker currently holds, maintained under the state
+    // lock at dispatch/completion. Only this thread touches it.
+    let current: Mutex<Option<(u64, bool, u32)>> = Mutex::new(None);
+    loop {
+        if catch_unwind(AssertUnwindSafe(|| worker_loop(shared, &current))).is_ok() {
+            return;
+        }
+        let orphan = current.lock().unwrap_or_else(|e| e.into_inner()).take();
+        let terminal = {
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.worker_restarts += 1;
+            let mut terminal = None;
+            if let Some((id, exclusive, attempt)) = orphan {
+                state.running = state.running.saturating_sub(1);
+                if exclusive {
+                    state.exclusive_active = false;
+                }
+                if state.probe_job == Some(id) {
+                    state.probe_job = None;
+                }
+                if let Some(breaker) = &mut state.breaker {
+                    breaker.record_failure(Instant::now());
+                }
+                let mut crashed = false;
+                if let Some(job) = state.jobs.get_mut(&id) {
+                    if job.status.state == JobState::Running {
+                        job.status.state = JobState::Failed;
+                        job.status.error = Some("worker crashed while running this job".to_owned());
+                        crashed = true;
+                        terminal = Some(JournalRecord::Terminal {
+                            job: id,
+                            attempt,
+                            state: "failed".to_owned(),
+                            error: job.status.error.clone(),
+                            body: None,
+                        });
+                    }
+                }
+                if crashed {
+                    state.counters.failed += 1;
+                }
+            }
+            terminal
+        };
+        if let Some(record) = terminal {
+            if let Some(journal) = &shared.journal {
+                let _ = journal.append_sync(std::slice::from_ref(&record));
+            }
+        }
+        shared.telemetry.log(
+            Level::Warn,
+            "worker.restarted",
+            vec![field_num(
+                "job",
+                orphan.map_or(-1.0, |(id, _, _)| id as f64),
+            )],
+        );
+        shared.changed.notify_all();
+        shared.work.notify_all();
+    }
+}
+
+/// One worker: strict-FIFO dispatch honoring the exclusivity and poison
+/// rules, then execution outside the lock, then completion bookkeeping.
+fn worker_loop(shared: &Shared, current: &Mutex<Option<(u64, bool, u32)>>) {
     let tele = &shared.telemetry;
     loop {
-        let (id, spec, cacheable_key, config, exclusive, request_id, parent_span, submit_ns) = {
+        let picked = {
             let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                // Drop already-cancelled heads so they never block FIFO.
+                // Drop already-cancelled heads so they never block FIFO,
+                // and fail poisoned heads at dispatch — their digest has
+                // struck out and must never reach a worker again.
                 while let Some(&head) = state.queue.front() {
-                    let gone = state
-                        .jobs
-                        .get(&head)
-                        .is_none_or(|j| j.status.state != JobState::Queued);
-                    if gone {
-                        state.queue.pop_front();
-                    } else {
-                        break;
+                    enum Head {
+                        Keep,
+                        Gone,
+                        Poisoned(u32),
+                    }
+                    let disposition = match state.jobs.get(&head) {
+                        None => Head::Gone,
+                        Some(job) if job.status.state != JobState::Queued => Head::Gone,
+                        Some(job) if state.ledger.is_poisoned(&job.digest) => {
+                            Head::Poisoned(state.ledger.strikes(&job.digest))
+                        }
+                        Some(_) => Head::Keep,
+                    };
+                    match disposition {
+                        Head::Keep => break,
+                        Head::Gone => {
+                            state.queue.pop_front();
+                        }
+                        Head::Poisoned(strikes) => {
+                            state.queue.pop_front();
+                            state.queued -= 1;
+                            state.counters.failed += 1;
+                            state.counters.poisoned += 1;
+                            if state.probe_job == Some(head) {
+                                state.probe_job = None;
+                                if let Some(breaker) = &mut state.breaker {
+                                    breaker.abort_probe();
+                                }
+                            }
+                            let mut terminal = None;
+                            if let Some(job) = state.jobs.get_mut(&head) {
+                                job.status.state = JobState::Failed;
+                                job.status.error = Some(format!(
+                                    "poisoned: workers panicked {strikes} times on this spec; \
+                                     quarantined"
+                                ));
+                                terminal = Some(JournalRecord::Terminal {
+                                    job: head,
+                                    attempt: job.status.attempt,
+                                    state: "failed".to_owned(),
+                                    error: job.status.error.clone(),
+                                    body: None,
+                                });
+                            }
+                            if let (Some(journal), Some(record)) = (&shared.journal, &terminal) {
+                                let _ = journal.append_sync(std::slice::from_ref(record));
+                            }
+                            tele.log(
+                                Level::Warn,
+                                "job.poisoned",
+                                vec![
+                                    field_num("job", head as f64),
+                                    field_num("strikes", f64::from(strikes)),
+                                ],
+                            );
+                            shared.changed.notify_all();
+                        }
                     }
                 }
                 let dispatchable = state.queue.front().and_then(|&head| {
@@ -790,19 +1512,26 @@ fn worker_loop(shared: &Shared) {
                         }
                     };
                     job.status.state = JobState::Running;
-                    let picked = (
+                    let picked = Picked {
                         id,
-                        job.spec.clone(),
-                        job.status.cache_key.clone(),
-                        job.status.config.clone(),
-                        job.exclusive,
-                        job.request_id.clone(),
-                        job.parent_span,
-                        job.submit_ns,
-                    );
-                    if picked.4 {
+                        spec: job.spec.clone(),
+                        cacheable_key: job.status.cache_key.clone(),
+                        config: job.status.config.clone(),
+                        exclusive: job.exclusive,
+                        digest: job.digest.clone(),
+                        attempt: job.status.attempt,
+                        request_id: job.request_id.clone(),
+                        parent_span: job.parent_span,
+                        submit_ns: job.submit_ns,
+                    };
+                    if picked.exclusive {
                         state.exclusive_active = true;
                     }
+                    // Under the state lock: the supervisor's crash
+                    // repair sees either no job or a fully-dispatched
+                    // one, never a half-transition.
+                    *current.lock().unwrap_or_else(|e| e.into_inner()) =
+                        Some((id, picked.exclusive, picked.attempt));
                     shared.changed.notify_all();
                     break picked;
                 }
@@ -812,6 +1541,24 @@ fn worker_loop(shared: &Shared) {
                 state = shared.work.wait(state).unwrap_or_else(|e| e.into_inner());
             }
         };
+        let Picked {
+            id,
+            spec,
+            cacheable_key,
+            config,
+            exclusive,
+            digest,
+            attempt,
+            request_id,
+            parent_span,
+            submit_ns,
+        } = picked;
+
+        // The started record is flushed, not fsync'd: losing it across a
+        // crash only means replay re-runs a job that had already begun.
+        if let Some(journal) = &shared.journal {
+            journal.append(&JournalRecord::Started { job: id, attempt });
+        }
 
         // Synthesize the queue-wait span: it covers admission → dispatch
         // and sits between the request span and the job.run span, so the
@@ -851,7 +1598,8 @@ fn worker_loop(shared: &Shared) {
         // queue-wait span (the runner's flow/stage spans nest beneath it
         // via the thread-local stack and pool inheritance). A panicking
         // runner must not take the worker down — it becomes a failed
-        // job, same as a runner error.
+        // job, same as a runner error (and a poison-ledger strike).
+        let panicked = std::cell::Cell::new(false);
         let run = || {
             catch_unwind(AssertUnwindSafe(|| shared.runner.run(&spec))).unwrap_or_else(|payload| {
                 let msg = payload
@@ -859,6 +1607,7 @@ fn worker_loop(shared: &Shared) {
                     .map(|s| (*s).to_owned())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "runner panicked".to_owned());
+                panicked.set(true);
                 Err(format!("runner panicked: {msg}"))
             })
         };
@@ -870,6 +1619,7 @@ fn worker_loop(shared: &Shared) {
         } else {
             run()
         };
+        let panicked = panicked.get();
         let run_ms = (trace::now_ns().saturating_sub(dispatch_ns)) as f64 / 1e6;
         tele.registry().observe("foldic_serve_job_wait_ms", wait_ms);
         tele.registry().observe("foldic_serve_job_run_ms", run_ms);
@@ -894,11 +1644,28 @@ fn worker_loop(shared: &Shared) {
         };
 
         let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        *current.lock().unwrap_or_else(|e| e.into_inner()) = None;
         state.running -= 1;
         if exclusive {
             state.exclusive_active = false;
         }
+        // Supervision bookkeeping: only a *panic* counts against the
+        // spec's poison ledger and the breaker's failure streak — an
+        // ordinary `Err` is the job's problem, not the pool's.
+        let mut newly_poisoned = false;
+        if panicked {
+            newly_poisoned = state.ledger.strike(&digest);
+            if let Some(breaker) = &mut state.breaker {
+                breaker.record_failure(Instant::now());
+            }
+        } else if let Some(breaker) = &mut state.breaker {
+            breaker.record_success();
+        }
+        if state.probe_job == Some(id) {
+            state.probe_job = None;
+        }
         let mut log_line: Option<(Level, &'static str, Option<String>)> = None;
+        let mut terminal = None;
         if let Some(job) = state.jobs.get_mut(&id) {
             job.status.flight = flight_dump;
             match outcome {
@@ -908,19 +1675,54 @@ fn worker_loop(shared: &Shared) {
                         shared.cache.insert(key, config, Arc::clone(&body));
                     }
                     job.status.state = JobState::Done;
-                    job.status.body = Some(body);
+                    job.status.body = Some(Arc::clone(&body));
                     state.counters.completed += 1;
                     log_line = Some((Level::Info, "job.done", None));
+                    // Inline the body only when the persistent cache
+                    // cannot re-supply it after a restart.
+                    let inline = cacheable_key.is_none() || shared.cache.dir().is_none();
+                    terminal = Some(JournalRecord::Terminal {
+                        job: id,
+                        attempt,
+                        state: "done".to_owned(),
+                        error: None,
+                        body: inline.then(|| body.to_string()),
+                    });
                 }
                 Err(msg) => {
                     job.status.state = JobState::Failed;
                     job.status.error = Some(msg.clone());
                     state.counters.failed += 1;
-                    log_line = Some((Level::Error, "job.failed", Some(msg)));
+                    log_line = Some((Level::Error, "job.failed", Some(msg.clone())));
+                    terminal = Some(JournalRecord::Terminal {
+                        job: id,
+                        attempt,
+                        state: "failed".to_owned(),
+                        error: Some(msg),
+                        body: None,
+                    });
                 }
             }
         }
         drop(state);
+        // Terminal durability is eventual, not ack-gated: a crash before
+        // this fsync merely re-runs the job on restart, byte-identically.
+        if let (Some(journal), Some(record)) = (&shared.journal, &terminal) {
+            if let Err(e) = journal.append_sync(std::slice::from_ref(record)) {
+                tele.log(
+                    Level::Warn,
+                    "journal.error",
+                    vec![field_str("error", &e.to_string())],
+                );
+            }
+        }
+        if newly_poisoned {
+            tele.log(
+                Level::Warn,
+                "spec.poisoned",
+                vec![field_str("digest", &digest), field_num("job", id as f64)],
+            );
+        }
         if let Some((level, event, error)) = log_line {
             let mut fields = vec![
                 field_str("cache", "miss"),
@@ -945,6 +1747,8 @@ fn worker_loop(shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     /// A runner that echoes its config as the body.
     struct EchoRunner;
@@ -972,11 +1776,40 @@ mod tests {
         }
     }
 
+    /// [`EchoRunner`] that also counts `run` invocations per experiment
+    /// set, for poison-quarantine assertions.
+    struct CountingRunner {
+        runs: AtomicU64,
+    }
+    impl StudyRunner for CountingRunner {
+        fn resolve(&self, spec: &JobSpec) -> Result<BTreeMap<String, String>, String> {
+            EchoRunner.resolve(spec)
+        }
+        fn run(&self, spec: &JobSpec) -> Result<String, String> {
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            EchoRunner.run(spec)
+        }
+    }
+
     fn spec(names: &[&str]) -> JobSpec {
         JobSpec {
             experiments: names.iter().map(|s| (*s).to_owned()).collect(),
             size: "tiny".to_owned(),
             ..JobSpec::default()
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("foldic-serve-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    fn durability_with_journal(path: &std::path::Path) -> Durability {
+        let (journal, replay) = Journal::open(path).unwrap();
+        Durability {
+            journal: Some((journal, replay)),
+            ..Durability::default()
         }
     }
 
@@ -1005,15 +1838,8 @@ mod tests {
         // a one-field delta misses
         let mut delta = spec(&["table1"]);
         delta.seed = Some(7);
-        assert!(matches!(
-            delta_submit(&sched, delta),
-            Submission::Queued { .. }
-        ));
+        assert!(matches!(sched.submit(delta), Submission::Queued { .. }));
         sched.shutdown();
-    }
-
-    fn delta_submit(sched: &Scheduler, spec: JobSpec) -> Submission {
-        sched.submit(spec)
     }
 
     #[test]
@@ -1077,6 +1903,220 @@ mod tests {
                 .unwrap()
                 .as_f64(),
             Some(1.0)
+        );
+        // pay-for-use: without durability there is no durability section
+        assert!(stats.get("durability").is_none());
+        sched.shutdown();
+    }
+
+    #[test]
+    fn journal_restores_terminal_jobs_and_counters_across_restart() {
+        let path = tmp("queue-restart");
+        let _ = std::fs::remove_file(&path);
+        let (id, body) = {
+            let sched = Scheduler::with_durability(
+                Arc::new(EchoRunner),
+                SchedulerConfig::default(),
+                Telemetry::disabled(),
+                durability_with_journal(&path),
+            );
+            let Submission::Queued { id } = sched.submit(spec(&["table1"])) else {
+                panic!("queued");
+            };
+            assert_eq!(
+                sched.wait_terminal(id, Duration::from_secs(10)),
+                Some(JobState::Done)
+            );
+            let body = sched.status(id).unwrap().body.unwrap();
+            sched.shutdown();
+            (id, body)
+        };
+        // "restart": a fresh scheduler over the same journal
+        let sched = Scheduler::with_durability(
+            Arc::new(EchoRunner),
+            SchedulerConfig::default(),
+            Telemetry::disabled(),
+            durability_with_journal(&path),
+        );
+        let restored = sched.status(id).unwrap();
+        assert_eq!(restored.state, JobState::Done);
+        assert_eq!(
+            restored.body.unwrap(),
+            body,
+            "recovered body is byte-identical"
+        );
+        // lifetime counters survived, and the cache re-warmed: the same
+        // spec now hits without recomputing
+        let stats = sched.stats_json();
+        assert_eq!(
+            stats
+                .get("counters")
+                .unwrap()
+                .get("completed")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            stats
+                .get("durability")
+                .unwrap()
+                .get("journal")
+                .unwrap()
+                .get("reenqueued")
+                .unwrap()
+                .as_f64(),
+            Some(0.0),
+            "clean restart re-enqueues nothing"
+        );
+        let Submission::Hit { .. } = sched.submit(spec(&["table1"])) else {
+            panic!("restored body must serve cache hits");
+        };
+        sched.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_reenqueues_non_terminal_jobs_with_bumped_attempt() {
+        let path = tmp("queue-reenqueue");
+        let _ = std::fs::remove_file(&path);
+        // Simulate a crash: an accepted (never finished) job on disk.
+        {
+            let (journal, _) = Journal::open(&path).unwrap();
+            let config = EchoRunner.resolve(&spec(&["table1"])).unwrap();
+            journal
+                .append_sync(&[accepted_record(
+                    7,
+                    1,
+                    &cache_key(&config),
+                    &spec(&["table1"]),
+                    &config,
+                    &Some("req-0000ff".to_owned()),
+                    &None,
+                )])
+                .unwrap();
+        }
+        let sched = Scheduler::with_durability(
+            Arc::new(EchoRunner),
+            SchedulerConfig::default(),
+            Telemetry::disabled(),
+            durability_with_journal(&path),
+        );
+        assert_eq!(
+            sched.wait_terminal(7, Duration::from_secs(10)),
+            Some(JobState::Done),
+            "re-enqueued job runs to completion"
+        );
+        let status = sched.status(7).unwrap();
+        assert_eq!(status.attempt, 2, "replay bumps the attempt");
+        assert_eq!(status.to_json().get("attempt").unwrap().as_f64(), Some(2.0));
+        sched.shutdown();
+        // after the clean shutdown the journal holds its terminal record:
+        // a second restart re-enqueues nothing (idempotent replay)
+        let sched = Scheduler::with_durability(
+            Arc::new(EchoRunner),
+            SchedulerConfig::default(),
+            Telemetry::disabled(),
+            durability_with_journal(&path),
+        );
+        assert_eq!(sched.status(7).unwrap().state, JobState::Done);
+        let stats = sched.stats_json();
+        assert_eq!(
+            stats
+                .get("durability")
+                .unwrap()
+                .get("journal")
+                .unwrap()
+                .get("reenqueued")
+                .unwrap()
+                .as_f64(),
+            Some(0.0)
+        );
+        sched.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn idempotency_key_replays_instead_of_double_enqueuing() {
+        let sched = Scheduler::new(Arc::new(EchoRunner), SchedulerConfig::default());
+        let ctx = |rid: &str| {
+            Some(SubmitCtx {
+                request_id: rid.to_owned(),
+                parent_span: None,
+                idempotency_key: Some("idem-abc".to_owned()),
+            })
+        };
+        let Submission::Queued { id } = sched.submit_traced(spec(&["table1"]), ctx("req-1")) else {
+            panic!("queued");
+        };
+        // retried POST (same key) returns the same job, no new enqueue
+        let Submission::Duplicate { id: dup } =
+            sched.submit_traced(spec(&["table1"]), ctx("req-2"))
+        else {
+            panic!("expected Duplicate");
+        };
+        assert_eq!(dup, id);
+        sched.wait_terminal(id, Duration::from_secs(10));
+        // …even after the job finished
+        let Submission::Duplicate { id: dup } =
+            sched.submit_traced(spec(&["table1"]), ctx("req-3"))
+        else {
+            panic!("expected Duplicate after completion");
+        };
+        assert_eq!(dup, id);
+        let stats = sched.stats_json();
+        assert_eq!(
+            stats
+                .get("counters")
+                .unwrap()
+                .get("submitted")
+                .unwrap()
+                .as_f64(),
+            Some(1.0),
+            "duplicates are not submissions"
+        );
+        sched.shutdown();
+    }
+
+    #[test]
+    fn poisoned_spec_is_quarantined_and_never_redispatched() {
+        let runner = Arc::new(CountingRunner {
+            runs: AtomicU64::new(0),
+        });
+        let sched = Scheduler::new(runner.clone(), SchedulerConfig::default());
+        // two panics strike the digest out
+        for _ in 0..2 {
+            let Submission::Queued { id } = sched.submit(spec(&["explode"])) else {
+                panic!("queued");
+            };
+            assert_eq!(
+                sched.wait_terminal(id, Duration::from_secs(10)),
+                Some(JobState::Failed)
+            );
+        }
+        assert_eq!(runner.runs.load(Ordering::SeqCst), 2);
+        // the third submission fails at dispatch without running
+        let Submission::Queued { id } = sched.submit(spec(&["explode"])) else {
+            panic!("queued");
+        };
+        assert_eq!(
+            sched.wait_terminal(id, Duration::from_secs(10)),
+            Some(JobState::Failed)
+        );
+        let error = sched.status(id).unwrap().error.unwrap();
+        assert!(error.contains("poisoned"), "{error}");
+        assert_eq!(
+            runner.runs.load(Ordering::SeqCst),
+            2,
+            "poisoned spec never reaches the runner again"
+        );
+        // other specs are unaffected
+        let Submission::Queued { id } = sched.submit(spec(&["table1"])) else {
+            panic!("queued");
+        };
+        assert_eq!(
+            sched.wait_terminal(id, Duration::from_secs(10)),
+            Some(JobState::Done)
         );
         sched.shutdown();
     }

@@ -30,20 +30,26 @@
 //! and (for submissions) threaded into the scheduler so the job's span
 //! tree roots under this request's `http.request` span.
 
+use crate::cache::ResultCache;
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::job::JobSpec;
-use crate::queue::{JobState, Scheduler, SchedulerConfig, StudyRunner, Submission, SubmitCtx};
+use crate::journal::Journal;
+use crate::queue::{
+    Durability, JobState, Scheduler, SchedulerConfig, StudyRunner, Submission, SubmitCtx,
+};
 use crate::telemetry::{endpoint_class, Telemetry, TelemetryConfig};
+use foldic_fault::supervise::BreakerConfig;
 use foldic_obs::json::Json;
 use foldic_obs::trace::{AttrValue, SpanGuard, SpanId};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Daemon tuning.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Most jobs that may wait in the queue at once.
     pub queue_capacity: usize,
@@ -54,6 +60,16 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// `Retry-After` hint handed out with 429 responses.
     pub retry_after_secs: u32,
+    /// Write-ahead job journal path (`--journal`): acknowledged jobs
+    /// survive a crash and are replayed at the next boot. `None` (the
+    /// default) keeps the daemon byte-identical to its pre-durability
+    /// behavior.
+    pub journal: Option<PathBuf>,
+    /// Result-cache spill directory (`--cache-dir`): cached bodies
+    /// persist across restarts, verified on load.
+    pub cache_dir: Option<PathBuf>,
+    /// Circuit-breaker tuning; `None` (the default) disables shedding.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +79,9 @@ impl Default for ServerConfig {
             workers: 2,
             read_timeout: Duration::from_secs(5),
             retry_after_secs: 1,
+            journal: None,
+            cache_dir: None,
+            breaker: None,
         }
     }
 }
@@ -118,7 +137,9 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates socket bind failures.
+    /// Propagates socket bind failures, an unopenable/corrupt-header
+    /// journal and an uncreatable cache directory — a daemon that cannot
+    /// honor its durability configuration must not boot.
     pub fn bind_with_telemetry(
         addr: &str,
         runner: Arc<dyn StudyRunner>,
@@ -127,8 +148,21 @@ impl Server {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let cache = match &cfg.cache_dir {
+            Some(dir) => ResultCache::with_dir(dir)?,
+            None => ResultCache::new(),
+        };
+        let journal = match &cfg.journal {
+            Some(path) => Some(Journal::open(path).map_err(std::io::Error::other)?),
+            None => None,
+        };
+        let durability = Durability {
+            journal,
+            cache,
+            breaker: cfg.breaker,
+        };
         let inner = Arc::new(Inner {
-            scheduler: Scheduler::with_telemetry(
+            scheduler: Scheduler::with_durability(
                 runner,
                 SchedulerConfig {
                     queue_capacity: cfg.queue_capacity,
@@ -136,6 +170,7 @@ impl Server {
                     retry_after_secs: cfg.retry_after_secs,
                 },
                 Arc::clone(&telemetry),
+                durability,
             ),
             telemetry,
             cfg,
@@ -274,17 +309,21 @@ struct RequestCtx {
     span: Option<SpanId>,
 }
 
-/// The request id for `request`: a well-formed `X-Request-Id` header
-/// (1–64 chars of `[A-Za-z0-9._-]`) is honored, anything else replaced
-/// with a freshly allocated id.
+/// A well-formed client token: 1–64 chars of `[A-Za-z0-9._-]`. Shared
+/// by `X-Request-Id` and `X-Idempotency-Key` validation.
+fn well_formed_token(value: &str) -> bool {
+    !value.is_empty()
+        && value.len() <= 64
+        && value
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// The request id for `request`: a well-formed `X-Request-Id` header is
+/// honored, anything else replaced with a freshly allocated id.
 fn request_id_for(request: &Request, telemetry: &Telemetry) -> String {
     if let Some(supplied) = request.header("x-request-id") {
-        let ok = !supplied.is_empty()
-            && supplied.len() <= 64
-            && supplied
-                .bytes()
-                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'));
-        if ok {
+        if well_formed_token(supplied) {
             return supplied.to_owned();
         }
     }
@@ -430,9 +469,22 @@ fn submit(request: &Request, inner: &Arc<Inner>, ctx: &RequestCtx) -> Response {
         Ok(spec) => spec,
         Err(msg) => return Response::error(400, &msg),
     };
+    // A malformed idempotency key is a client bug worth surfacing — a
+    // silently dropped key would quietly re-enable double enqueues.
+    let idempotency_key = match request.header("x-idempotency-key") {
+        Some(supplied) if well_formed_token(supplied) => Some(supplied.to_owned()),
+        Some(_) => {
+            return Response::error(
+                400,
+                "x-idempotency-key must be 1-64 chars of [A-Za-z0-9._-]",
+            )
+        }
+        None => None,
+    };
     let submit_ctx = SubmitCtx {
         request_id: ctx.request_id.clone(),
         parent_span: ctx.span,
+        idempotency_key,
     };
     match inner.scheduler.submit_traced(spec, Some(submit_ctx)) {
         Submission::Hit { id } => Response::json(
@@ -451,8 +503,28 @@ fn submit(request: &Request, inner: &Arc<Inner>, ctx: &RequestCtx) -> Response {
                 ("cache".to_owned(), Json::Str("miss".to_owned())),
             ]),
         ),
+        Submission::Duplicate { id } => {
+            // The earlier acceptance already answered this logical
+            // request: point the client at that job.
+            let state = inner
+                .scheduler
+                .status(id)
+                .map_or(JobState::Queued, |s| s.state);
+            Response::json(
+                200,
+                &Json::obj([
+                    ("idempotent_replay".to_owned(), Json::Bool(true)),
+                    ("job".to_owned(), Json::Num(id as f64)),
+                    ("state".to_owned(), Json::Str(state.as_str().to_owned())),
+                ]),
+            )
+        }
         Submission::Rejected { retry_after_secs } => {
             Response::error(429, "queue full; retry later")
+                .with_header("Retry-After", retry_after_secs.to_string())
+        }
+        Submission::Shed { retry_after_secs } => {
+            Response::error(503, "service unhealthy; retry later")
                 .with_header("Retry-After", retry_after_secs.to_string())
         }
         Submission::Draining => Response::error(503, "daemon is draining"),

@@ -26,6 +26,25 @@
 //! | `foldic_serve_workers_busy` | gauge | running jobs, **volatile** |
 //! | `foldic_serve_uptime_seconds` | gauge | **volatile** |
 //!
+//! The durability layer adds families that appear **only when the
+//! corresponding feature is configured** (pay-for-use — an undurable
+//! daemon's exposition is byte-identical to the pre-durability one):
+//!
+//! | Series | Kind | Present when | Notes |
+//! |---|---|---|---|
+//! | `foldic_serve_jobs_shed_total` | counter | any durability feature | breaker sheds + failed journal writes (503) |
+//! | `foldic_serve_jobs_poisoned_total` | counter | any durability feature | jobs failed at dispatch by the poison ledger |
+//! | `foldic_serve_worker_restarts_total` | counter | any durability feature | worker loops restarted by the supervisor |
+//! | `foldic_serve_journal_replayed_jobs_total` | counter | `--journal` | jobs restored from the journal at boot |
+//! | `foldic_serve_journal_reenqueued_total` | counter | `--journal` | non-terminal jobs re-enqueued at boot |
+//! | `foldic_serve_cache_loaded_total` | counter | `--cache-dir` | verified entries reloaded at boot |
+//! | `foldic_serve_cache_corrupt_total` | counter | `--cache-dir` | entries quarantined at boot |
+//! | `foldic_serve_breaker_state` | gauge | breaker | 0 closed / 1 half-open / 2 open, **volatile** |
+//! | `foldic_serve_breaker_transitions_total` | counter | breaker | state transitions, **volatile** |
+//!
+//! The breaker families are volatile because cooldown expiry is a
+//! wall-clock event.
+//!
 //! **Volatile** series are the timing class: their values depend on
 //! wall-clock scheduling, so they are excluded — by
 //! [`is_volatile_series`], the analogue of the manifest's excluded
@@ -96,8 +115,28 @@ pub const SERIES_CACHE_MISSES: &str = "foldic_serve_cache_misses_total";
 pub const SERIES_CACHE_INSERTIONS: &str = "foldic_serve_cache_insertions_total";
 /// Cache evictions (constant 0 — the cache never evicts).
 pub const SERIES_CACHE_EVICTIONS: &str = "foldic_serve_cache_evictions_total";
+/// Submissions shed by the breaker or a failed journal write (503).
+pub const SERIES_JOBS_SHED: &str = "foldic_serve_jobs_shed_total";
+/// Jobs failed at dispatch by the poison ledger.
+pub const SERIES_JOBS_POISONED: &str = "foldic_serve_jobs_poisoned_total";
+/// Worker loops restarted by the supervisor.
+pub const SERIES_WORKER_RESTARTS: &str = "foldic_serve_worker_restarts_total";
+/// Jobs restored from the journal at boot.
+pub const SERIES_JOURNAL_REPLAYED: &str = "foldic_serve_journal_replayed_jobs_total";
+/// Non-terminal journaled jobs re-enqueued at boot.
+pub const SERIES_JOURNAL_REENQUEUED: &str = "foldic_serve_journal_reenqueued_total";
+/// Verified cache entries reloaded from the cache directory at boot.
+pub const SERIES_CACHE_LOADED: &str = "foldic_serve_cache_loaded_total";
+/// Persisted cache entries quarantined at boot.
+pub const SERIES_CACHE_CORRUPT: &str = "foldic_serve_cache_corrupt_total";
+/// Circuit-breaker state gauge (0 closed / 1 half-open / 2 open).
+pub const SERIES_BREAKER_STATE: &str = "foldic_serve_breaker_state";
+/// Circuit-breaker state transitions.
+pub const SERIES_BREAKER_TRANSITIONS: &str = "foldic_serve_breaker_transitions_total";
 
 /// Families whose values are wall-clock dependent (the timing class).
+/// The breaker families qualify because cooldown expiry — and therefore
+/// every open/half-open/closed transition — is a wall-clock event.
 pub const VOLATILE_FAMILIES: &[&str] = &[
     "foldic_serve_request_latency_ms",
     "foldic_serve_job_wait_ms",
@@ -107,6 +146,8 @@ pub const VOLATILE_FAMILIES: &[&str] = &[
     "foldic_serve_uptime_seconds",
     "foldic_serve_workers",
     "foldic_serve_workers_busy",
+    "foldic_serve_breaker_state",
+    "foldic_serve_breaker_transitions_total",
 ];
 
 /// `true` for series excluded from byte-determinism comparisons: the

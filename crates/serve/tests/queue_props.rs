@@ -8,11 +8,19 @@
 //! * exclusive dispatch — a deadline-bounded job runs alone, and FIFO
 //!   order is preserved around it;
 //! * drain-on-shutdown — in-flight jobs finish, queued jobs cancel, and
-//!   shutdown returns without deadlock.
+//!   shutdown returns without deadlock;
+//! * supervision — a panicking spec is quarantined after the poison
+//!   threshold and never re-dispatched, and the circuit breaker walks
+//!   closed → open (shedding with `Retry-After`) → half-open (one
+//!   probe) → closed on a probe success.
 
-use foldic_serve::queue::{JobState, Scheduler, SchedulerConfig, StudyRunner, Submission};
+use foldic_fault::supervise::BreakerConfig;
+use foldic_serve::queue::{
+    Durability, JobState, Scheduler, SchedulerConfig, StudyRunner, Submission,
+};
 use foldic_serve::JobSpec;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -286,5 +294,150 @@ fn fifo_order_is_preserved_on_a_single_worker() {
         assert_eq!(sched.wait_terminal(id, WAIT), Some(JobState::Done));
     }
     assert_eq!(runner.started(), names);
+    sched.shutdown();
+}
+
+/// Runner that panics on specs named `boom*` and counts `run` entries —
+/// the stub behind the supervision properties.
+#[derive(Default)]
+struct CrashRunner {
+    runs: AtomicU64,
+}
+
+impl StudyRunner for CrashRunner {
+    fn resolve(&self, spec: &JobSpec) -> Result<BTreeMap<String, String>, String> {
+        let mut config = BTreeMap::new();
+        config.insert("experiments".to_owned(), spec.experiments.join("+"));
+        config.insert("size".to_owned(), spec.size.clone());
+        Ok(config)
+    }
+
+    fn run(&self, spec: &JobSpec) -> Result<String, String> {
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        let name = spec.experiments.join("+");
+        assert!(!name.starts_with("boom"), "crash requested by the test");
+        Ok(format!("body:{name}"))
+    }
+}
+
+fn breaker_durability(threshold: u32, cooldown: Duration) -> Durability {
+    Durability {
+        breaker: Some(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown,
+        }),
+        ..Durability::default()
+    }
+}
+
+/// Reads `durability.<field>` out of the stats document.
+fn durability_num(sched: &Scheduler, field: &str) -> f64 {
+    sched
+        .stats_json()
+        .get("durability")
+        .and_then(|d| d.get(field))
+        .and_then(foldic_obs::json::Json::as_f64)
+        .unwrap_or_else(|| panic!("stats missing durability.{field}"))
+}
+
+#[test]
+fn poisoned_spec_is_quarantined_and_other_specs_keep_running() {
+    let runner = Arc::new(CrashRunner::default());
+    let sched = Scheduler::with_durability(
+        runner.clone(),
+        SchedulerConfig {
+            queue_capacity: 8,
+            workers: 1,
+            retry_after_secs: 1,
+        },
+        foldic_serve::Telemetry::disabled(),
+        breaker_durability(100, Duration::from_secs(60)),
+    );
+    // Two panics on the same spec digest reach the poison threshold.
+    for _ in 0..2 {
+        let id = queued(sched.submit(spec("boom")));
+        assert_eq!(sched.wait_terminal(id, WAIT), Some(JobState::Failed));
+    }
+    assert_eq!(runner.runs.load(Ordering::SeqCst), 2);
+    // The third submission is accepted (the digest is only known after
+    // resolve) but quarantined at dispatch: failed, runner never entered.
+    let id = queued(sched.submit(spec("boom")));
+    assert_eq!(sched.wait_terminal(id, WAIT), Some(JobState::Failed));
+    let status = sched.status(id).unwrap();
+    let error = status.error.as_deref().unwrap_or("");
+    assert!(error.contains("poisoned"), "unexpected error: {error}");
+    assert_eq!(
+        runner.runs.load(Ordering::SeqCst),
+        2,
+        "a poisoned spec must never be re-dispatched"
+    );
+    assert!(durability_num(&sched, "poisoned_jobs") >= 1.0);
+    // Other specs are unaffected by the quarantine.
+    let ok = queued(sched.submit(spec("fine")));
+    assert_eq!(sched.wait_terminal(ok, WAIT), Some(JobState::Done));
+    sched.shutdown();
+}
+
+#[test]
+fn breaker_opens_sheds_with_retry_after_and_recovers_via_probe() {
+    let runner = Arc::new(CrashRunner::default());
+    // Threshold 2, long cooldown: after two panics every submission is
+    // shed while the breaker is open.
+    let sched = Scheduler::with_durability(
+        runner.clone(),
+        SchedulerConfig {
+            queue_capacity: 8,
+            workers: 1,
+            retry_after_secs: 1,
+        },
+        foldic_serve::Telemetry::disabled(),
+        breaker_durability(2, Duration::from_secs(3600)),
+    );
+    // Distinct spec names → distinct digests, so the poison ledger never
+    // triggers and each panic strikes the breaker once.
+    for name in ["boom1", "boom2"] {
+        let id = queued(sched.submit(spec(name)));
+        assert_eq!(sched.wait_terminal(id, WAIT), Some(JobState::Failed));
+    }
+    match sched.submit(spec("fine")) {
+        Submission::Shed { retry_after_secs } => assert!(retry_after_secs > 0),
+        other => panic!("expected Shed while the breaker is open, got {other:?}"),
+    }
+    assert!(durability_num(&sched, "shed") >= 1.0);
+    sched.shutdown();
+
+    // Same failure pattern with a zero cooldown: the next submission is
+    // admitted as the half-open probe, and its success closes the
+    // breaker again for everything after it.
+    let runner = Arc::new(CrashRunner::default());
+    let sched = Scheduler::with_durability(
+        runner.clone(),
+        SchedulerConfig {
+            queue_capacity: 8,
+            workers: 1,
+            retry_after_secs: 1,
+        },
+        foldic_serve::Telemetry::disabled(),
+        breaker_durability(2, Duration::ZERO),
+    );
+    for name in ["boom1", "boom2"] {
+        let id = queued(sched.submit(spec(name)));
+        assert_eq!(sched.wait_terminal(id, WAIT), Some(JobState::Failed));
+    }
+    let probe = queued(sched.submit(spec("probe")));
+    assert_eq!(sched.wait_terminal(probe, WAIT), Some(JobState::Done));
+    for i in 0..3 {
+        let id = queued(sched.submit(spec(&format!("after{i}"))));
+        assert_eq!(sched.wait_terminal(id, WAIT), Some(JobState::Done));
+    }
+    let breaker = sched.stats_json();
+    let state = breaker
+        .get("durability")
+        .and_then(|d| d.get("breaker"))
+        .and_then(|b| b.get("state"))
+        .and_then(foldic_obs::json::Json::as_str)
+        .map(str::to_owned)
+        .unwrap_or_default();
+    assert_eq!(state, "closed", "probe success must close the breaker");
     sched.shutdown();
 }
