@@ -79,8 +79,9 @@
 
 use foldic::prelude::*;
 use foldic::{
-    clear_deadline, install_deadline, install_fault_plan, take_fault_log, CheckpointStore,
-    Deadline, DeadlinePolicy, FaultPlan, FaultRecord, FlowStage, RetryPolicy, Watchdog,
+    clear_deadline, clear_resource, install_deadline, install_fault_plan, install_resource,
+    parse_bytes, parse_stage_mem, take_fault_log, take_peaks, CheckpointStore, Deadline,
+    DeadlinePolicy, FaultPlan, FaultRecord, FlowStage, ResourcePolicy, RetryPolicy, Watchdog,
 };
 use foldic_bench::{experiments, Ctx};
 use foldic_obs::json::Json;
@@ -93,19 +94,24 @@ const USAGE: &str = "usage: repro [EXPERIMENT...] [--size full|small|tiny] [--th
        \x20            [--trace out.json] [--events out.jsonl] [--manifest out.json]\n\
        \x20            [--faults SPEC] [--retries N] [--resume ckpt.jsonl]\n\
        \x20            [--deadline SECS] [--stage-timeout STAGE=SECS,...]\n\
+       \x20            [--mem-budget BYTES] [--stage-mem STAGE=BYTES,...]\n\
        repro compare <baseline.json> <candidate.json> [--tol PCT]\n\
        repro bench [FILTER] [--json out.json]\n\
        repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--port-file PATH]\n\
        \x20           [--log PATH] [--log-level debug|info|warn|error]\n\
        \x20           [--journal PATH] [--cache-dir DIR] [--breaker FAILURES[:COOLDOWN_SECS]]\n\
+       \x20           [--mem-limit BYTES]\n\
        repro loadgen --addr HOST:PORT [--jobs N] [--clients N] [--seed S] [--mix SPEC]\n\
        \x20             [--experiments a+b] [--size S] [--json out.json] [--gate] [--shutdown]\n\
        repro loadgen --chaos SEED [--jobs N] [--experiments a+b] [--size S] [--json out.json] [--gate]\n\
+       repro loadgen --overload SEED [--jobs N] [--json out.json] [--gate]\n\
        repro probe --addr HOST:PORT [--submit a+b] [--size S] [--seed S] [--shutdown]\n\
 experiments: table1 table2 table3 table4 table5 fig2 fig3 fig5 fig6 fig7 fig8 thermal ablations layouts all\n\
 fault spec:  stage:block[:kind[:attempts]],... e.g. route:ccx:panic or place:mcu0:error:1\n\
              (stages: validate partition place opt route sta power floorplan; kinds: panic error slow)\n\
-deadlines:   --deadline 30 bounds the whole run; --stage-timeout route=0.5,opt=2 bounds stages per block";
+deadlines:   --deadline 30 bounds the whole run; --stage-timeout route=0.5,opt=2 bounds stages per block\n\
+memory:      --mem-budget 64M bounds each block job's net allocation; --stage-mem place=16M,route=8M\n\
+             bounds stages per block (suffixes k/M/G are binary; breaches degrade like timeouts)";
 
 fn usage_err(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -142,6 +148,8 @@ fn main() {
     let mut resume_path: Option<PathBuf> = None;
     let mut deadline_secs: Option<f64> = None;
     let mut stage_timeout_spec: Option<String> = None;
+    let mut mem_budget: Option<u64> = None;
+    let mut stage_mem_spec: Option<String> = None;
     let mut args = raw.into_iter();
     // an output flag may appear once, and distinct outputs must not share
     // a path — catch both before spending minutes computing
@@ -214,6 +222,26 @@ fn main() {
                     usage_err("duplicate --stage-timeout");
                 }
                 stage_timeout_spec = Some(v);
+            }
+            "--mem-budget" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_err("--mem-budget needs a byte count (e.g. 64M)"));
+                if mem_budget.is_some() {
+                    usage_err("duplicate --mem-budget");
+                }
+                mem_budget = Some(
+                    parse_bytes(&v).unwrap_or_else(|e| usage_err(&format!("--mem-budget: {e}"))),
+                );
+            }
+            "--stage-mem" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_err("--stage-mem needs a spec (STAGE=BYTES,...)"));
+                if stage_mem_spec.is_some() {
+                    usage_err("duplicate --stage-mem");
+                }
+                stage_mem_spec = Some(v);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -301,6 +329,24 @@ fn main() {
         if let Some(overall) = deadline_policy.overall {
             watchdog = Some(Watchdog::spawn(Deadline::new(overall), token, Some("run")));
         }
+    }
+    let mut resource_policy = ResourcePolicy::default();
+    if let Some(bytes) = mem_budget {
+        resource_policy.overall = Some(bytes);
+        // canonical value: decimal bytes, independent of the suffix typed
+        manifest
+            .config
+            .insert("mem_budget".into(), bytes.to_string());
+    }
+    if let Some(spec) = &stage_mem_spec {
+        resource_policy.stage_budgets =
+            parse_stage_mem(spec).unwrap_or_else(|e| usage_err(&format!("--stage-mem: {e}")));
+        manifest
+            .config
+            .insert("stage_mem".into(), resource_policy.stage_spec());
+    }
+    if !resource_policy.is_empty() {
+        install_resource(&resource_policy);
     }
     // per-experiment wall clocks and pool stats go here — everything in
     // this object may vary across thread counts and is stripped before
@@ -392,8 +438,13 @@ fn main() {
     println!("total wall time {:?}", t0.elapsed());
     let deadline_tripped = watchdog.is_some_and(Watchdog::disarm);
     clear_deadline();
-    let (timeout_log, fault_log): (Vec<FaultRecord>, Vec<FaultRecord>) =
+    if !resource_policy.is_empty() {
+        clear_resource();
+    }
+    let (timeout_log, rest): (Vec<FaultRecord>, Vec<FaultRecord>) =
         take_fault_log().into_iter().partition(|r| r.timed_out);
+    let (mem_log, fault_log): (Vec<FaultRecord>, Vec<FaultRecord>) =
+        rest.into_iter().partition(|r| r.mem_exceeded);
     if !fault_log.is_empty() {
         println!(
             "faults: {} block run(s) recovered or degraded (see report footers)",
@@ -404,6 +455,12 @@ fn main() {
         println!(
             "timeouts: {} run(s) hit a wall-clock budget and degraded (see report footers)",
             timeout_log.len()
+        );
+    }
+    if !mem_log.is_empty() {
+        println!(
+            "memory: {} run(s) hit a memory budget and recovered or degraded (see report footers)",
+            mem_log.len()
         );
     }
     if deadline_tripped {
@@ -439,6 +496,15 @@ fn main() {
             .iter()
             .map(FaultRecord::to_manifest_entry)
             .collect();
+        manifest.mem_exceeded = mem_log.iter().map(FaultRecord::to_manifest_entry).collect();
+        if !resource_policy.is_empty() {
+            // pay-for-use: peaks are recorded only while a policy is
+            // installed, so flagless manifests stay byte-identical
+            manifest.resources = take_peaks()
+                .into_iter()
+                .map(|(stage, bytes)| (stage.to_string(), bytes))
+                .collect();
+        }
         manifest.metrics = foldic_obs::metrics::take();
         foldic_obs::metrics::set_enabled(false);
         manifest.timing = Json::obj([
@@ -587,7 +653,8 @@ fn run_bench(args: &[String]) -> i32 {
 
 /// `repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 /// [--port-file PATH] [--log PATH] [--log-level LEVEL] [--journal PATH]
-/// [--cache-dir DIR] [--breaker FAILURES[:COOLDOWN_SECS]]`. Runs until
+/// [--cache-dir DIR] [--breaker FAILURES[:COOLDOWN_SECS]]
+/// [--mem-limit BYTES]`. Runs until
 /// `POST /shutdown`, then drains. Exit code: 0 after a clean drain, 2 on
 /// usage/bind errors (including an unreadable journal or cache dir: a
 /// daemon that cannot honor its durability configuration must not boot).
@@ -657,6 +724,18 @@ fn run_serve(args: &[String]) -> i32 {
                     .next()
                     .unwrap_or_else(|| usage_err("--cache-dir needs a directory"));
                 cfg.cache_dir = Some(PathBuf::from(v));
+            }
+            "--mem-limit" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--mem-limit needs BYTES (e.g. 512M)"));
+                if cfg.mem_limit.is_some() {
+                    usage_err("duplicate --mem-limit");
+                }
+                cfg.mem_limit = Some(
+                    parse_bytes(v)
+                        .unwrap_or_else(|e: String| usage_err(&format!("--mem-limit: {e}"))),
+                );
             }
             "--breaker" => {
                 let v = it
@@ -737,6 +816,12 @@ fn run_serve(args: &[String]) -> i32 {
             breaker.cooldown.as_secs()
         );
     }
+    if let Some(limit) = cfg.mem_limit {
+        println!(
+            "serve: memory admission limit {} (cost-estimate reservations)",
+            foldic::format_bytes(limit)
+        );
+    }
     if let Some(path) = &log_path {
         println!(
             "serve: structured log -> {} ({})",
@@ -770,6 +855,7 @@ fn run_loadgen(args: &[String]) -> i32 {
     let mut gate = false;
     let mut shutdown = false;
     let mut chaos: Option<u64> = None;
+    let mut overload: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -848,6 +934,16 @@ fn run_loadgen(args: &[String]) -> i32 {
                     ))
                 }));
             }
+            "--overload" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--overload needs a seed"));
+                overload = Some(parse_u64_maybe_hex(v).unwrap_or_else(|| {
+                    usage_err(&format!(
+                        "--overload needs an integer seed (decimal or 0x hex), got `{v}`"
+                    ))
+                }));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return 0;
@@ -858,8 +954,13 @@ fn run_loadgen(args: &[String]) -> i32 {
     if let Some(chaos_seed) = chaos {
         return run_chaos(chaos_seed, jobs, experiments, size, json_path, gate);
     }
+    if let Some(overload_seed) = overload {
+        return run_overload(overload_seed, jobs, json_path, gate);
+    }
     let Some(addr) = addr else {
-        usage_err("loadgen needs --addr HOST:PORT (or --chaos SEED for the crash harness)");
+        usage_err(
+            "loadgen needs --addr HOST:PORT (or --chaos SEED / --overload SEED for a harness)",
+        );
     };
     let mut cfg = foldic_serve::loadgen::LoadConfig::new(addr);
     if let Some(jobs) = jobs {
@@ -1003,6 +1104,80 @@ fn run_chaos(
             return 1;
         }
         println!("chaos: gate passed");
+    }
+    0
+}
+
+/// `repro loadgen --overload SEED [...]`: the deterministic overload
+/// harness. Boots this same binary as `repro serve --mem-limit` with a
+/// deliberately tiny limit, floods it behind an oversized job that
+/// reserves the whole admission ledger, then asserts the daemon
+/// survives, every shed carries a usable `Retry-After`, every fitting
+/// job completes once clients honor it, and the oversized job degrades
+/// deterministically (byte-identical bodies with `resources`
+/// provenance). Exit code: 0 on a passing gate, 1 on a violated
+/// invariant, 2 on harness errors.
+fn run_overload(seed: u64, jobs: Option<usize>, json_path: Option<PathBuf>, gate: bool) -> i32 {
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe.display().to_string(),
+        Err(e) => {
+            eprintln!("loadgen: cannot locate own executable for --overload: {e}");
+            return 2;
+        }
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "foldic-overload-{seed:x}-{pid}",
+        pid = std::process::id()
+    ));
+    let cfg = foldic_serve::overload::OverloadConfig {
+        serve_cmd: vec![exe, "serve".to_owned()],
+        seed,
+        jobs: jobs.unwrap_or(6),
+        mem_limit: foldic_serve::overload::DEFAULT_MEM_LIMIT,
+        dir: dir.clone(),
+        timeout: std::time::Duration::from_secs(120),
+    };
+    println!(
+        "overload: seed {seed}, {} fitting job(s), mem limit {}, scratch {}",
+        cfg.jobs,
+        foldic::format_bytes(cfg.mem_limit),
+        dir.display()
+    );
+    let report = match foldic_serve::overload::run(&cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("overload: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "overload: {}/{} fitting job(s) done, {} shed(s) ({} hintless), {} oversized ack(s) (mismatched: {}, missing resources: {}), daemon died: {}, ledger after drain: {} byte(s)",
+        report.completed,
+        report.fitting,
+        report.shed,
+        report.bad_retry_after,
+        report.oversized_acked,
+        report.oversized_mismatched,
+        report.oversized_missing_resources,
+        report.daemon_died,
+        report.stats_reserved_after
+    );
+    if let Some(path) = json_path {
+        write_or_die(&path, &report.to_json().to_pretty());
+        println!("overload: report -> {}", path.display());
+    }
+    let verdict = report.gate();
+    if verdict.is_ok() {
+        // Keep the scratch directory around on failure for inspection;
+        // a passing run cleans up.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if gate {
+        if let Err(problems) = verdict {
+            eprintln!("overload: GATE FAILED: {}", problems.join("; "));
+            return 1;
+        }
+        println!("overload: gate passed");
     }
     0
 }

@@ -13,16 +13,17 @@
 //! Serve jobs keep the manifest's `timing` section `Null` and its
 //! `metrics` snapshot empty: both are process-global observations that
 //! would race between concurrent jobs, and both are excluded from
-//! comparison anyway. Deadline-bounded jobs ride the process-global
-//! deadline layer, so the scheduler dispatches them exclusively; this
+//! comparison anyway. Deadline-bounded and memory-budgeted jobs ride
+//! process-global layers (`foldic-fault`'s deadline and resource
+//! machinery), so the scheduler dispatches them exclusively; this
 //! runner additionally serializes the install → run → drain → clear
 //! window behind a static mutex so even direct (non-scheduler) use
-//! cannot interleave two deadline installations.
+//! cannot interleave two installations.
 
 use crate::{experiments, Ctx};
 use foldic::{
-    clear_deadline, install_deadline, take_fault_log, Deadline, DeadlinePolicy, FaultRecord,
-    Watchdog,
+    clear_deadline, clear_resource, install_deadline, install_resource, take_fault_log, take_peaks,
+    Deadline, DeadlinePolicy, FaultRecord, ResourcePolicy, Watchdog,
 };
 use foldic_obs::flight;
 use foldic_obs::json::Json;
@@ -133,6 +134,10 @@ impl StudyRunner for BenchRunner {
     }
 
     fn run(&self, spec: &JobSpec) -> Result<String, String> {
+        self.run_budgeted(spec, None)
+    }
+
+    fn run_budgeted(&self, spec: &JobSpec, mem_budget: Option<u64>) -> Result<String, String> {
         let resolved = resolve_spec(spec)?;
         let mut manifest = RunManifest {
             config: resolved.config,
@@ -140,85 +145,127 @@ impl StudyRunner for BenchRunner {
         };
         let mut ctx = Ctx::with_threads(resolved.cfg, spec.threads.max(1));
 
+        if spec.deadline_secs.is_none() && mem_budget.is_none() {
+            run_experiments(&mut ctx, &resolved.names, &mut manifest);
+            return Ok(manifest.to_json_text());
+        }
+
+        // Deadline- and budget-bounded jobs both ride process-global
+        // layers, so the scheduler dispatches them exclusively; this
+        // runner additionally serializes the whole install → run →
+        // drain → clear window so even direct (non-scheduler) use
+        // cannot interleave two installations.
+        let window = DEADLINE_WINDOW.lock().unwrap_or_else(|e| e.into_inner());
+        // Drop fault-log residue so this job's fault provenance is its
+        // own (clean unbounded runs never drain the log).
+        let _ = take_fault_log();
+        // This thread is the scheduler worker, so records land in the
+        // worker's flight ring and a degraded job's status payload
+        // carries them as provenance.
+        let mut start_fields = vec![
+            (
+                "experiments".to_owned(),
+                Json::Str(resolved.names.join("+")),
+            ),
+            ("size".to_owned(), Json::Str(spec.size.clone())),
+        ];
         if let Some(secs) = spec.deadline_secs {
-            let window = DEADLINE_WINDOW.lock().unwrap_or_else(|e| e.into_inner());
-            // Drop fault-log residue so this job's timeout provenance is
-            // its own (clean non-deadline runs never drain the log).
-            let _ = take_fault_log();
-            // This thread is the scheduler worker, so records land in
-            // the worker's flight ring and a degraded job's status
-            // payload carries them as provenance.
-            flight::record(
-                "job.start",
-                [
-                    ("deadline_secs".to_owned(), Json::Num(secs)),
-                    (
-                        "experiments".to_owned(),
-                        Json::Str(resolved.names.join("+")),
-                    ),
-                    ("size".to_owned(), Json::Str(spec.size.clone())),
-                ],
-            );
+            start_fields.push(("deadline_secs".to_owned(), Json::Num(secs)));
+        }
+        if let Some(bytes) = mem_budget {
+            start_fields.push(("mem_budget_bytes".to_owned(), Json::Num(bytes as f64)));
+        }
+        flight::record("job.start", start_fields);
+        let watchdog = spec.deadline_secs.map(|secs| {
             let overall = Duration::from_secs_f64(secs);
             let policy = DeadlinePolicy {
                 overall: Some(overall),
                 ..Default::default()
             };
             let token = install_deadline(&policy);
-            let watchdog = Watchdog::spawn(Deadline::new(overall), token, Some("serve"));
-            let caught = foldic_exec::run_caught(std::panic::AssertUnwindSafe(|| {
-                run_experiments(&mut ctx, &resolved.names, &mut manifest);
-            }));
+            Watchdog::spawn(Deadline::new(overall), token, Some("serve"))
+        });
+        if let Some(bytes) = mem_budget {
+            install_resource(&ResourcePolicy {
+                overall: Some(bytes),
+                stage_budgets: Vec::new(),
+            });
+        }
+        let caught = foldic_exec::run_caught(std::panic::AssertUnwindSafe(|| {
+            run_experiments(&mut ctx, &resolved.names, &mut manifest);
+        }));
+        if let Some(watchdog) = watchdog {
             watchdog.disarm();
             clear_deadline();
-            let (timeouts, faults): (Vec<FaultRecord>, Vec<FaultRecord>) =
-                take_fault_log().into_iter().partition(|r| r.timed_out);
-            drop(window);
-            let flight_fields = |record: &FaultRecord| {
-                [
-                    ("block".to_owned(), Json::Str(record.block.clone())),
-                    (
-                        "disposition".to_owned(),
-                        Json::Str(record.disposition.as_str().to_owned()),
-                    ),
-                    ("scope".to_owned(), Json::Str(record.scope.clone())),
-                    (
-                        "stage".to_owned(),
-                        Json::Str(record.stage.as_str().to_owned()),
-                    ),
-                ]
-            };
-            for record in &timeouts {
-                flight::record("stage.timeout", flight_fields(record));
-            }
-            for record in &faults {
-                flight::record("stage.fault", flight_fields(record));
-            }
-            if let Err(panic) = &caught {
-                flight::record(
-                    "job.panic",
-                    [("message".to_owned(), Json::Str(panic.message().to_owned()))],
-                );
-            }
-            flight::record(
-                "job.end",
-                [
-                    ("faults".to_owned(), Json::Num(faults.len() as f64)),
-                    (
-                        "outcome".to_owned(),
-                        Json::Str(if caught.is_ok() { "ok" } else { "panicked" }.to_owned()),
-                    ),
-                    ("timeouts".to_owned(), Json::Num(timeouts.len() as f64)),
-                ],
-            );
-            caught.map_err(|p| format!("job panicked: {}", p.message()))?;
-            manifest.faults = faults.iter().map(FaultRecord::to_manifest_entry).collect();
-            manifest.timeouts = timeouts
-                .iter()
-                .map(FaultRecord::to_manifest_entry)
-                .collect();
+        }
+        let peaks = if mem_budget.is_some() {
+            clear_resource();
+            take_peaks()
         } else {
-            run_experiments(&mut ctx, &resolved.names, &mut manifest);
+            Vec::new()
+        };
+        let (timeouts, rest): (Vec<FaultRecord>, Vec<FaultRecord>) =
+            take_fault_log().into_iter().partition(|r| r.timed_out);
+        let (mem_log, faults): (Vec<FaultRecord>, Vec<FaultRecord>) =
+            rest.into_iter().partition(|r| r.mem_exceeded);
+        drop(window);
+        let flight_fields = |record: &FaultRecord| {
+            [
+                ("block".to_owned(), Json::Str(record.block.clone())),
+                (
+                    "disposition".to_owned(),
+                    Json::Str(record.disposition.as_str().to_owned()),
+                ),
+                ("scope".to_owned(), Json::Str(record.scope.clone())),
+                (
+                    "stage".to_owned(),
+                    Json::Str(record.stage.as_str().to_owned()),
+                ),
+            ]
+        };
+        for record in &timeouts {
+            flight::record("stage.timeout", flight_fields(record));
+        }
+        for record in &mem_log {
+            flight::record("stage.mem_exceeded", flight_fields(record));
+        }
+        for record in &faults {
+            flight::record("stage.fault", flight_fields(record));
+        }
+        if let Err(panic) = &caught {
+            flight::record(
+                "job.panic",
+                [("message".to_owned(), Json::Str(panic.message().to_owned()))],
+            );
+        }
+        let mut end_fields = vec![
+            ("faults".to_owned(), Json::Num(faults.len() as f64)),
+            (
+                "outcome".to_owned(),
+                Json::Str(if caught.is_ok() { "ok" } else { "panicked" }.to_owned()),
+            ),
+            ("timeouts".to_owned(), Json::Num(timeouts.len() as f64)),
+        ];
+        if mem_budget.is_some() {
+            // pay-for-use: deadline-only jobs keep their pre-budget
+            // flight shape byte-for-byte
+            end_fields.push(("mem_exceeded".to_owned(), Json::Num(mem_log.len() as f64)));
+        }
+        flight::record("job.end", end_fields);
+        caught.map_err(|p| format!("job panicked: {}", p.message()))?;
+        manifest.faults = faults.iter().map(FaultRecord::to_manifest_entry).collect();
+        manifest.timeouts = timeouts
+            .iter()
+            .map(FaultRecord::to_manifest_entry)
+            .collect();
+        manifest.mem_exceeded = mem_log.iter().map(FaultRecord::to_manifest_entry).collect();
+        if mem_budget.is_some() {
+            // pay-for-use: peaks are recorded only while a policy is
+            // installed, so unbudgeted bodies stay byte-identical
+            manifest.resources = peaks
+                .into_iter()
+                .map(|(stage, bytes)| (stage.to_string(), bytes))
+                .collect();
         }
         Ok(manifest.to_json_text())
     }
@@ -276,6 +323,20 @@ mod tests {
         s.seed = Some(0xBEEF);
         let config = runner.resolve(&s).unwrap();
         assert_eq!(config.get("seed").unwrap(), "0xbeef");
+    }
+
+    #[test]
+    fn unbudgeted_run_budgeted_is_plain_run() {
+        // With no budget the instrumented path is bypassed entirely, so
+        // the body is byte-identical to `run` (pay-for-use). The
+        // budgeted path itself is exercised by the resource gate, where
+        // its process-global layer cannot race sibling unit tests.
+        let runner = BenchRunner;
+        let s = spec(&["table1"], "tiny");
+        assert_eq!(
+            runner.run(&s).unwrap(),
+            runner.run_budgeted(&s, None).unwrap()
+        );
     }
 
     #[test]

@@ -21,8 +21,8 @@ use crate::folding::{
 use crate::metrics::DesignMetrics;
 use foldic_fault::deadline::{backoff_wait, has_stage_override, run_token, stage_scope};
 use foldic_fault::{
-    fault_point, isolate, log_fault, CheckpointStore, Disposition, FaultRecord, FlowError,
-    FlowStage, RetryPolicy,
+    fault_point, isolate, job_scope, log_fault, CheckpointStore, Disposition, FaultRecord,
+    FlowError, FlowStage, RetryPolicy,
 };
 use foldic_floorplan::{floorplan_t2, plan_chip_tsvs, ChipPlan, FloorplanStyle};
 use foldic_geom::{Point, Rect, Tier};
@@ -210,6 +210,7 @@ fn run_block_isolated(
     let token = run_token();
     let mut last_stage = FlowStage::Job;
     let mut last_timed_out = false;
+    let mut last_mem_exceeded = false;
     let mut attempts = 0;
     for attempt in 0..retry.max_attempts {
         if attempt > 0 {
@@ -222,7 +223,13 @@ fn run_block_isolated(
             }
         }
         attempts = attempt + 1;
-        match isolate(|| attempt_fn(block, attempt)) {
+        // the job-wide memory scope lives inside the isolation boundary
+        // so a mem-breach unwind still pops it via the guard's Drop
+        let result = isolate(|| {
+            let _mem = job_scope(&block.name, attempt);
+            attempt_fn(block, attempt)
+        });
+        match result {
             Ok(metrics) => {
                 if attempt == 0 {
                     return (metrics, None);
@@ -234,6 +241,7 @@ fn run_block_isolated(
                     attempts,
                     disposition: Disposition::Recovered,
                     timed_out: last_timed_out,
+                    mem_exceeded: last_mem_exceeded,
                 };
                 log_fault(record.clone());
                 return (metrics, Some(record));
@@ -241,6 +249,7 @@ fn run_block_isolated(
             Err(e) => {
                 last_stage = e.stage;
                 last_timed_out = e.is_timeout();
+                last_mem_exceeded = e.is_mem_exceeded();
                 if !e.recoverable() {
                     break; // invalid input fails identically every time
                 }
@@ -256,6 +265,7 @@ fn run_block_isolated(
         attempts,
         disposition: Disposition::Degraded,
         timed_out: last_timed_out,
+        mem_exceeded: last_mem_exceeded,
     };
     log_fault(record.clone());
     (metrics, Some(record))
@@ -424,6 +434,7 @@ pub fn run_fullchip(
             attempts: 0,
             disposition: Disposition::Degraded,
             timed_out: true,
+            mem_exceeded: false,
         };
         log_fault(record.clone());
         faults.push(record);

@@ -172,9 +172,21 @@ struct Active {
 }
 
 static ACTIVE: RwLock<Option<Arc<Active>>> = RwLock::new(None);
-/// Fast-path switch: lets [`poll`] bail with one atomic load when no
-/// policy is installed (the pay-for-use contract for hot loops).
+/// `true` while a deadline policy is installed.
 static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Fast-path switch: lets [`poll`] bail with one atomic load when
+/// neither the deadline nor the resource layer is installed (the
+/// pay-for-use contract for hot loops).
+static POLL_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Recomputes the shared poll switch after either layer's
+/// install/clear.
+pub(crate) fn rearm_poll() {
+    POLL_ARMED.store(
+        ENABLED.load(Ordering::Relaxed) || crate::resource::resource_active(),
+        Ordering::Relaxed,
+    );
+}
 
 fn active() -> Option<Arc<Active>> {
     ACTIVE
@@ -197,6 +209,7 @@ pub fn install_deadline(policy: &DeadlinePolicy) -> CancelToken {
     };
     *ACTIVE.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(state));
     ENABLED.store(true, Ordering::Relaxed);
+    rearm_poll();
     token
 }
 
@@ -204,6 +217,7 @@ pub fn install_deadline(policy: &DeadlinePolicy) -> CancelToken {
 pub fn clear_deadline() {
     *ACTIVE.write().unwrap_or_else(|e| e.into_inner()) = None;
     ENABLED.store(false, Ordering::Relaxed);
+    rearm_poll();
 }
 
 /// `true` while a policy is installed.
@@ -242,15 +256,19 @@ thread_local! {
     static SCOPES: RefCell<Vec<Scope>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Pops its scope when dropped; returned by [`stage_scope`].
+/// Pops its scope(s) when dropped; returned by [`stage_scope`].
 #[derive(Debug)]
 #[must_use = "dropping the guard immediately ends the stage scope"]
 pub struct StageGuard {
     pushed: bool,
+    mem_pushed: bool,
 }
 
 impl Drop for StageGuard {
     fn drop(&mut self) {
+        if self.mem_pushed {
+            crate::resource::pop_stage();
+        }
         if self.pushed {
             SCOPES.with(|s| {
                 s.borrow_mut().pop();
@@ -286,51 +304,57 @@ fn timed_out(stage: FlowStage, block: &str, msg: impl Into<String>) -> FlowError
 /// overall deadline has already expired at stage entry, or the stage's
 /// budget works out to zero.
 pub fn stage_scope(stage: FlowStage, block: &str, attempt: u32) -> Result<StageGuard, FlowError> {
-    let Some(active) = active() else {
-        return Ok(StageGuard { pushed: false });
-    };
-    if active.token.is_cancelled() {
-        return Err(timed_out(stage, block, "run cancelled before stage entry"));
-    }
-    let overall_end = active.overall.map(|d| d.expires_at());
-    let now = Instant::now();
-    if overall_end.is_some_and(|end| end <= now) {
-        return Err(timed_out(
-            stage,
-            block,
-            "run deadline expired before stage entry",
-        ));
-    }
-    let scale = attempt.saturating_add(1);
-    let base = active
-        .stage_budgets
-        .iter()
-        .find(|(s, _)| *s == stage)
-        .map(|(_, d)| *d)
-        .or_else(|| {
-            active
-                .overall
-                .map(|d| d.remaining().mul_f64(active.split.fraction(stage)))
-        });
-    let expires_at = match base {
-        Some(budget) => {
-            let scaled = budget.saturating_mul(scale);
-            if scaled.is_zero() {
-                return Err(timed_out(stage, block, "stage budget is zero"));
+    let pushed = match active() {
+        None => false,
+        Some(active) => {
+            if active.token.is_cancelled() {
+                return Err(timed_out(stage, block, "run cancelled before stage entry"));
             }
-            let end = now + scaled;
-            Some(overall_end.map_or(end, |o| end.min(o)))
+            let overall_end = active.overall.map(|d| d.expires_at());
+            let now = Instant::now();
+            if overall_end.is_some_and(|end| end <= now) {
+                return Err(timed_out(
+                    stage,
+                    block,
+                    "run deadline expired before stage entry",
+                ));
+            }
+            let scale = attempt.saturating_add(1);
+            let base = active
+                .stage_budgets
+                .iter()
+                .find(|(s, _)| *s == stage)
+                .map(|(_, d)| *d)
+                .or_else(|| {
+                    active
+                        .overall
+                        .map(|d| d.remaining().mul_f64(active.split.fraction(stage)))
+                });
+            let expires_at = match base {
+                Some(budget) => {
+                    let scaled = budget.saturating_mul(scale);
+                    if scaled.is_zero() {
+                        return Err(timed_out(stage, block, "stage budget is zero"));
+                    }
+                    let end = now + scaled;
+                    Some(overall_end.map_or(end, |o| end.min(o)))
+                }
+                None => overall_end,
+            };
+            SCOPES.with(|s| {
+                s.borrow_mut().push(Scope {
+                    stage,
+                    block: block.to_owned(),
+                    expires_at,
+                })
+            });
+            true
         }
-        None => overall_end,
     };
-    SCOPES.with(|s| {
-        s.borrow_mut().push(Scope {
-            stage,
-            block: block.to_owned(),
-            expires_at,
-        })
-    });
-    Ok(StageGuard { pushed: true })
+    // The memory layer scopes the same stage entries: pushed only after
+    // the deadline checks pass, so an entry error leaks no scope.
+    let mem_pushed = crate::resource::push_stage(stage, block, attempt);
+    Ok(StageGuard { pushed, mem_pushed })
 }
 
 /// The cooperative checkpoint kernels call at coarse-grained intervals
@@ -342,9 +366,11 @@ pub fn stage_scope(stage: FlowStage, block: &str, attempt: u32) -> Result<StageG
 ///
 /// Returns a [`FaultCause::TimedOut`] error attributed to the innermost
 /// scope's stage and block when the run token is cancelled or the
-/// stage's budget is spent.
+/// stage's budget is spent, or a
+/// [`FaultCause::MemExceeded`](crate::FaultCause::MemExceeded) error
+/// when a scope on this thread breached its memory budget.
 pub fn poll() -> Result<(), FlowError> {
-    if !ENABLED.load(Ordering::Relaxed) {
+    if !POLL_ARMED.load(Ordering::Relaxed) {
         return Ok(());
     }
     SCOPES.with(|s| {
@@ -361,7 +387,8 @@ pub fn poll() -> Result<(), FlowError> {
             return Err(timed_out(top.stage, &top.block, "stage budget exhausted"));
         }
         Ok(())
-    })
+    })?;
+    crate::resource::check()
 }
 
 /// [`poll`] for infallible kernels (floorplan SA, CTS): a trip unwinds
@@ -481,6 +508,7 @@ impl Watchdog {
                         attempts: 0,
                         disposition: Disposition::Degraded,
                         timed_out: true,
+                        mem_exceeded: false,
                     });
                 }
             });
@@ -524,16 +552,21 @@ impl Drop for Watchdog {
     }
 }
 
+/// Tests anywhere in this crate that install a process-global policy
+/// (deadline or resource) serialize on this.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static GLOBAL: Mutex<()> = Mutex::new(());
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::take_fault_log;
 
-    /// Tests that install a process-global policy serialize on this.
-    static GLOBAL: Mutex<()> = Mutex::new(());
-
     fn lock() -> std::sync::MutexGuard<'static, ()> {
-        GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+        test_lock()
     }
 
     #[test]

@@ -34,6 +34,7 @@
 pub mod checkpoint;
 pub mod deadline;
 pub mod inject;
+pub mod resource;
 pub mod retry;
 pub mod supervise;
 
@@ -44,6 +45,10 @@ pub use deadline::{
 };
 pub use inject::{
     clear_fault_plan, fault_point, install_fault_plan, FaultKind, FaultPlan, PlanError,
+};
+pub use resource::{
+    clear_resource, format_bytes, install_resource, job_scope, parse_bytes, parse_stage_mem,
+    resource_active, take_peaks, MemGuard, ResourcePolicy, TrackingAlloc,
 };
 pub use retry::{isolate, log_fault, take_fault_log, Disposition, FaultRecord, RetryPolicy};
 pub use supervise::{
@@ -140,6 +145,10 @@ pub enum FaultCause {
     /// gets a larger share of the remaining budget, so this is
     /// recoverable.
     TimedOut(String),
+    /// The stage overran its memory budget and was cooperatively
+    /// stopped at a poll point. A retry gets a larger budget, so this
+    /// is recoverable.
+    MemExceeded(String),
 }
 
 impl FaultCause {
@@ -150,7 +159,8 @@ impl FaultCause {
             | FaultCause::Injected(m)
             | FaultCause::Panic(m)
             | FaultCause::Stage(m)
-            | FaultCause::TimedOut(m) => m,
+            | FaultCause::TimedOut(m)
+            | FaultCause::MemExceeded(m) => m,
         }
     }
 
@@ -162,6 +172,7 @@ impl FaultCause {
             FaultCause::Panic(_) => "panic",
             FaultCause::Stage(_) => "stage",
             FaultCause::TimedOut(_) => "timed_out",
+            FaultCause::MemExceeded(_) => "mem_exceeded",
         }
     }
 }
@@ -224,9 +235,24 @@ impl FlowError {
         }
     }
 
+    /// A memory-budget breach (recoverable — retries get a larger
+    /// budget).
+    pub fn mem_exceeded(stage: FlowStage, msg: impl Into<String>) -> Self {
+        Self {
+            stage,
+            block: None,
+            cause: FaultCause::MemExceeded(msg.into()),
+        }
+    }
+
     /// `true` when the failure was a wall-clock timeout.
     pub fn is_timeout(&self) -> bool {
         matches!(self.cause, FaultCause::TimedOut(_))
+    }
+
+    /// `true` when the failure was a memory-budget breach.
+    pub fn is_mem_exceeded(&self) -> bool {
+        matches!(self.cause, FaultCause::MemExceeded(_))
     }
 
     /// Attributes the error to a block (keeps an existing attribution).
@@ -288,6 +314,9 @@ mod tests {
         let timeout = FlowError::timed_out(FlowStage::Route, "budget spent");
         assert!(timeout.recoverable() && timeout.is_timeout());
         assert_eq!(timeout.cause.label(), "timed_out");
+        let mem = FlowError::mem_exceeded(FlowStage::Place, "budget spent");
+        assert!(mem.recoverable() && mem.is_mem_exceeded() && !mem.is_timeout());
+        assert_eq!(mem.cause.label(), "mem_exceeded");
         assert!(!FlowError::invalid(FlowStage::Validate, "bad outline").recoverable());
     }
 

@@ -92,28 +92,39 @@ pub struct FaultRecord {
     /// records land in the manifest's `timeouts` section instead of
     /// `faults`.
     pub timed_out: bool,
+    /// `true` when the last failure was a memory-budget breach
+    /// ([`FaultCause::MemExceeded`](crate::FaultCause::MemExceeded));
+    /// such records land in the manifest's `mem_exceeded` section
+    /// instead of `faults`.
+    pub mem_exceeded: bool,
 }
 
 impl fmt::Display for FaultRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}/{}: {} {} after {} attempt{}{}",
+            "{}/{}: {} {} after {} attempt{}{}{}",
             self.scope,
             self.block,
             self.stage,
             self.disposition,
             self.attempts,
             if self.attempts == 1 { "" } else { "s" },
-            if self.timed_out { " (timed out)" } else { "" }
+            if self.timed_out { " (timed out)" } else { "" },
+            if self.mem_exceeded {
+                " (mem exceeded)"
+            } else {
+                ""
+            }
         )
     }
 }
 
 impl FaultRecord {
-    /// JSON form for manifests and checkpoints. The `timed_out` key is
-    /// only written when set, so records from runs without deadlines
-    /// serialize byte-identically to the pre-deadline format.
+    /// JSON form for manifests and checkpoints. The `timed_out` and
+    /// `mem_exceeded` keys are only written when set, so records from
+    /// runs without deadlines or memory budgets serialize
+    /// byte-identically to the earlier formats.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("scope".to_owned(), Json::Str(self.scope.clone())),
@@ -130,6 +141,9 @@ impl FaultRecord {
         ];
         if self.timed_out {
             fields.push(("timed_out".to_owned(), Json::Bool(true)));
+        }
+        if self.mem_exceeded {
+            fields.push(("mem_exceeded".to_owned(), Json::Bool(true)));
         }
         Json::obj(fields)
     }
@@ -178,10 +192,12 @@ impl FaultRecord {
                 n as u32
             }
         };
-        let timed_out = match json.get("timed_out") {
-            None => false,
-            Some(Json::Bool(b)) => *b,
-            Some(_) => return Err("fault record `timed_out` is not a bool".to_owned()),
+        let flag = |key: &str| -> Result<bool, String> {
+            match json.get(key) {
+                None => Ok(false),
+                Some(Json::Bool(b)) => Ok(*b),
+                Some(_) => Err(format!("fault record `{key}` is not a bool")),
+            }
         };
         Ok(Self {
             scope: text("scope")?,
@@ -189,7 +205,8 @@ impl FaultRecord {
             stage,
             attempts,
             disposition,
-            timed_out,
+            timed_out: flag("timed_out")?,
+            mem_exceeded: flag("mem_exceeded")?,
         })
     }
 }
@@ -260,6 +277,7 @@ mod tests {
             attempts: 3,
             disposition: Disposition::Degraded,
             timed_out: false,
+            mem_exceeded: false,
         };
         let back = FaultRecord::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
@@ -301,6 +319,7 @@ mod tests {
             attempts: 2,
             disposition: Disposition::Degraded,
             timed_out: true,
+            mem_exceeded: false,
         };
         assert!(r.to_string().ends_with("after 2 attempts (timed out)"));
         let back = FaultRecord::from_json(&r.to_json()).unwrap();
@@ -313,6 +332,32 @@ mod tests {
     }
 
     #[test]
+    fn mem_exceeded_records_mark_display_and_json_but_stay_backward_compatible() {
+        let mut r = FaultRecord {
+            scope: "2d".into(),
+            block: "spc0".into(),
+            stage: FlowStage::Place,
+            attempts: 3,
+            disposition: Disposition::Degraded,
+            timed_out: false,
+            mem_exceeded: true,
+        };
+        assert!(r.to_string().ends_with("after 3 attempts (mem exceeded)"));
+        let back = FaultRecord::from_json(&r.to_json()).unwrap();
+        assert!(back.mem_exceeded && !back.timed_out);
+        // a plain record's JSON has no mem_exceeded key at all, so old
+        // checkpoints and manifests are byte-identical
+        r.mem_exceeded = false;
+        assert!(!r.to_json().to_compact().contains("mem_exceeded"));
+        assert!(!r.to_string().contains("mem exceeded"));
+        let mut json = r.to_json();
+        if let Some(obj) = json.as_obj_mut() {
+            obj.insert("mem_exceeded".to_owned(), Json::Num(1.0));
+        }
+        assert!(FaultRecord::from_json(&json).is_err());
+    }
+
+    #[test]
     fn from_json_rejects_malformed_attempts_and_flags() {
         let base = FaultRecord {
             scope: "s".into(),
@@ -321,6 +366,7 @@ mod tests {
             attempts: 1,
             disposition: Disposition::Recovered,
             timed_out: false,
+            mem_exceeded: false,
         };
         let with = |key: &str, value: Json| {
             let mut json = base.to_json();

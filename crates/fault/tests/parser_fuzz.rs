@@ -110,6 +110,7 @@ fn random_record_json(rng: &mut StdRng) -> Json {
         "attempts",
         "disposition",
         "timed_out",
+        "mem_exceeded",
     ] {
         if rng.gen_bool(0.8) {
             let value = match rng.gen_range(0..5u32) {
@@ -160,6 +161,7 @@ fn fault_record_from_json_never_panics_and_round_trips() {
                 foldic_fault::Disposition::Degraded
             },
             timed_out: rng.gen(),
+            mem_exceeded: rng.gen(),
         };
         assert_eq!(
             FaultRecord::from_json(&record.to_json()),

@@ -1,0 +1,162 @@
+//! Adversarial property tests for the resource-governance parsers:
+//! `parse_bytes` (`--mem-budget`), `parse_stage_mem` (`--stage-mem`),
+//! and the `format_bytes` round trip that puts budgets into manifest
+//! config entries. Both parsers ingest operator-typed input, so the
+//! property under test matches `parser_fuzz.rs`: arbitrary input yields
+//! `Ok` or a typed `Err`, never a panic — and every canonical form
+//! survives parse → format → parse byte-identically.
+//!
+//! Seeding matches `crates/obs/tests/json_fuzz.rs`: `FOLDIC_FUZZ_SEED`
+//! (decimal u64) when set, a fixed default otherwise.
+
+use foldic_fault::{format_bytes, parse_bytes, parse_stage_mem, FlowStage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ITERS: usize = 10_000;
+
+fn fuzz_seed() -> u64 {
+    std::env::var("FOLDIC_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xDAC1_4F00D)
+}
+
+/// Byte-spec soup biased toward the grammar's own tokens (digits and
+/// suffixes), so inputs routinely reach the multiplier and overflow
+/// paths instead of dying at the first character.
+fn random_bytes_spec(rng: &mut StdRng) -> String {
+    let mut spec = String::new();
+    for _ in 0..rng.gen_range(0..24usize) {
+        if rng.gen_bool(0.7) {
+            spec.push((b'0' + (rng.gen::<u64>() % 10) as u8) as char);
+        } else {
+            const BYTES: &[u8] = b"kKmMgG bB.-+_,=\t\x7f";
+            spec.push(BYTES[rng.gen_range(0..BYTES.len())] as char);
+        }
+    }
+    spec
+}
+
+/// Stage-mem soup: real stage names and `=`/`,` structure often enough
+/// to get past the split and into the per-entry byte parser.
+fn random_stage_mem_spec(rng: &mut StdRng) -> String {
+    let mut spec = String::new();
+    for i in 0..rng.gen_range(0..5usize) {
+        if i > 0 {
+            spec.push(',');
+        }
+        if rng.gen_bool(0.7) {
+            spec.push_str(FlowStage::ALL[rng.gen_range(0..FlowStage::ALL.len())].as_str());
+        } else {
+            spec.push_str(["plaice", "", "*", "route "][rng.gen_range(0..4usize)]);
+        }
+        if rng.gen_bool(0.8) {
+            spec.push('=');
+        }
+        spec.push_str(&random_bytes_spec(rng));
+    }
+    spec
+}
+
+#[test]
+fn parse_bytes_never_panics() {
+    let mut rng = StdRng::seed_from_u64(fuzz_seed());
+    for i in 0..ITERS {
+        let spec = random_bytes_spec(&mut rng);
+        let result = std::panic::catch_unwind(|| parse_bytes(&spec).is_ok());
+        assert!(
+            result.is_ok(),
+            "parse_bytes panicked on iteration {i} (seed {}): {spec:?}",
+            fuzz_seed()
+        );
+    }
+}
+
+#[test]
+fn parse_bytes_format_bytes_round_trips() {
+    // `format_bytes` prints the smallest spelling `parse_bytes` reads
+    // back to the same value, and that string lands in boot banners and
+    // manifest config entries — both directions must be exact.
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x6279_7465);
+    for i in 0..ITERS {
+        // bias toward suffix-divisible values so every branch of
+        // `format_bytes` runs, but keep raw odd byte counts in the mix
+        let bytes = match rng.gen_range(0..4u32) {
+            0 => rng.gen_range(1..1u64 << 34) & !((1 << 10) - 1),
+            1 => rng.gen_range(1..1u64 << 14) << 20,
+            2 => rng.gen_range(1..1u64 << 8) << 30,
+            _ => rng.gen_range(1..1u64 << 40),
+        }
+        .max(1);
+        let printed = format_bytes(bytes);
+        assert_eq!(
+            parse_bytes(&printed),
+            Ok(bytes),
+            "iteration {i} (seed {}): {bytes} printed as {printed:?}",
+            fuzz_seed()
+        );
+        // canonical decimal always parses to itself too (manifest
+        // `mem_budget` entries are plain decimal bytes)
+        assert_eq!(parse_bytes(&bytes.to_string()), Ok(bytes));
+    }
+}
+
+#[test]
+fn parse_stage_mem_never_panics_and_accepts_its_own_canonical_form() {
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x7374_6167);
+    for i in 0..ITERS {
+        let spec = random_stage_mem_spec(&mut rng);
+        let result = std::panic::catch_unwind(|| parse_stage_mem(&spec).is_ok());
+        assert!(
+            result.is_ok(),
+            "parse_stage_mem panicked on iteration {i} (seed {}): {spec:?}",
+            fuzz_seed()
+        );
+
+        // canonical round trip: distinct stages with positive budgets
+        // re-parse to the same list via the policy's `STAGE=BYTES` form
+        let mut budgets: Vec<(FlowStage, u64)> = Vec::new();
+        for _ in 0..rng.gen_range(1..4usize) {
+            let stage = FlowStage::ALL[rng.gen_range(0..FlowStage::ALL.len())];
+            if budgets.iter().any(|(s, _)| *s == stage) {
+                continue; // duplicate stages are a parse error by design
+            }
+            budgets.push((stage, rng.gen_range(1..1u64 << 40)));
+        }
+        let canonical = budgets
+            .iter()
+            .map(|(stage, bytes)| format!("{stage}={bytes}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        assert_eq!(
+            parse_stage_mem(&canonical),
+            Ok(budgets),
+            "iteration {i} (seed {}): {canonical}",
+            fuzz_seed()
+        );
+    }
+}
+
+#[test]
+fn parse_bytes_rejections_are_typed_and_name_the_input() {
+    // The CLI prints the parser's message verbatim under a usage error,
+    // so a rejected spec must be identifiable from the message alone.
+    for bad in ["", "  ", "k", "12q", "0", "0k", "99999999999999999999G"] {
+        let err = parse_bytes(bad).unwrap_err();
+        assert!(
+            !err.is_empty(),
+            "rejection for {bad:?} must carry a message"
+        );
+    }
+    assert!(
+        parse_stage_mem("").is_err(),
+        "empty stage-mem spec rejected"
+    );
+    assert!(
+        parse_stage_mem("place=1M,place=2M")
+            .unwrap_err()
+            .contains("repeats"),
+        "duplicate stages rejected with a naming message"
+    );
+}

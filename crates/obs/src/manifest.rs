@@ -80,6 +80,15 @@ pub struct RunManifest {
     /// the key is omitted from the JSON when empty, so runs without
     /// deadline flags serialize byte-identically to older manifests.
     pub timeouts: Vec<FaultEntry>,
+    /// Memory-budget breach events (stages stopped by a resource
+    /// policy), sorted. Same shape and pay-for-use rule as `timeouts`.
+    pub mem_exceeded: Vec<FaultEntry>,
+    /// Peak net-allocated bytes per flow stage, recorded only while a
+    /// resource policy was installed (pay-for-use: the key is omitted
+    /// when empty). Peaks are sampled at poll granularity on the worker
+    /// thread, so they are compared with a relative tolerance
+    /// ([`CompareConfig::mem_tol_pct`]), never byte-exactly.
+    pub resources: BTreeMap<String, u64>,
 }
 
 /// FNV-1a 64-bit digest of a report text, formatted `fnv64:<16 hex>`.
@@ -155,6 +164,21 @@ impl RunManifest {
         if !self.timeouts.is_empty() {
             fields.push(("timeouts".to_owned(), Json::Arr(entries(&self.timeouts))));
         }
+        // same rule for the resource-governance sections
+        if !self.mem_exceeded.is_empty() {
+            fields.push((
+                "mem_exceeded".to_owned(),
+                Json::Arr(entries(&self.mem_exceeded)),
+            ));
+        }
+        if !self.resources.is_empty() {
+            let resources = self
+                .resources
+                .iter()
+                .map(|(stage, bytes)| (stage.clone(), Json::Num(*bytes as f64)))
+                .collect();
+            fields.push(("resources".to_owned(), Json::Obj(resources)));
+        }
         Json::obj(fields)
     }
 
@@ -224,6 +248,16 @@ impl RunManifest {
         };
         manifest.faults = read_entries("faults")?;
         manifest.timeouts = read_entries("timeouts")?;
+        manifest.mem_exceeded = read_entries("mem_exceeded")?;
+        if let Some(Json::Obj(resources)) = json.get("resources") {
+            for (stage, v) in resources {
+                let bytes = v
+                    .as_f64()
+                    .filter(|n| n.is_finite() && *n >= 0.0)
+                    .ok_or_else(|| format!("resources.{stage} is not a byte count"))?;
+                manifest.resources.insert(stage.clone(), bytes as u64);
+            }
+        }
         Ok(manifest)
     }
 
@@ -239,11 +273,19 @@ pub struct CompareConfig {
     /// Maximum allowed relative delta, in percent, for numeric metrics
     /// (counters, gauges, histogram count/sum).
     pub rel_tol_pct: f64,
+    /// Maximum allowed relative delta, in percent, for the `resources`
+    /// peak-bytes section. Much looser than `rel_tol_pct`: peaks are
+    /// poll-granularity samples of a per-thread net counter, so small
+    /// allocator- and schedule-dependent drift is expected.
+    pub mem_tol_pct: f64,
 }
 
 impl Default for CompareConfig {
     fn default() -> Self {
-        Self { rel_tol_pct: 0.5 }
+        Self {
+            rel_tol_pct: 0.5,
+            mem_tol_pct: 25.0,
+        }
     }
 }
 
@@ -367,6 +409,12 @@ pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: CompareConfig) -> Co
     }
     gate_entries(&mut out, "fault", &base.faults, &cand.faults);
     gate_entries(&mut out, "timeout", &base.timeouts, &cand.timeouts);
+    gate_entries(
+        &mut out,
+        "mem_exceeded",
+        &base.mem_exceeded,
+        &cand.mem_exceeded,
+    );
 
     fn check(
         out: &mut CompareOutcome,
@@ -417,6 +465,32 @@ pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: CompareConfig) -> Co
     for name in cand.metrics.metrics.keys() {
         if !base.metrics.metrics.contains_key(name) {
             out.changes.push(format!("metric {name}: new in candidate"));
+        }
+    }
+
+    // Peak-bytes section: numeric like metrics, but under the looser
+    // memory tolerance — see `CompareConfig::mem_tol_pct`.
+    for (stage, bv) in &base.resources {
+        match cand.resources.get(stage) {
+            None => {
+                out.compared += 1;
+                out.regressions
+                    .push(format!("resources {stage}: missing from candidate"));
+            }
+            Some(cv) => check(
+                &mut out,
+                cfg.mem_tol_pct,
+                &format!("resources {stage}"),
+                "peak_bytes",
+                *bv as f64,
+                *cv as f64,
+            ),
+        }
+    }
+    for stage in cand.resources.keys() {
+        if !base.resources.contains_key(stage) {
+            out.changes
+                .push(format!("resources {stage}: new in candidate"));
         }
     }
 
@@ -585,6 +659,70 @@ mod tests {
     }
 
     #[test]
+    fn resource_sections_are_pay_for_use_and_gated() {
+        // no resource policy: both keys absent, JSON byte-identical to
+        // the pre-resource layout
+        let m = sample();
+        assert!(m.mem_exceeded.is_empty() && m.resources.is_empty());
+        let text = m.to_json_text();
+        assert!(!text.contains("\"mem_exceeded\"") && !text.contains("\"resources\""));
+
+        // with a policy: both sections round-trip deterministically
+        let mut r = sample();
+        r.mem_exceeded.push(FaultEntry {
+            scope: "2d".into(),
+            block: "ccx".into(),
+            stage: "place".into(),
+            attempts: 2,
+            disposition: "degraded".into(),
+        });
+        r.resources.insert("place".into(), 48 * 1024 * 1024);
+        r.resources.insert("job".into(), 96 * 1024 * 1024);
+        let text = r.to_json_text();
+        assert!(text.contains("\"mem_exceeded\"") && text.contains("\"resources\""));
+        let back = RunManifest::parse(&text).unwrap();
+        assert_eq!(back.mem_exceeded, r.mem_exceeded);
+        assert_eq!(back.resources, r.resources);
+        assert_eq!(back.to_json_text(), text);
+
+        // a newly mem-degraded block is a regression, like a timeout
+        let out = compare(&m, &r, CompareConfig::default());
+        assert!(!out.is_ok(), "newly mem-degraded block must trip the gate");
+        assert!(out
+            .regressions
+            .iter()
+            .any(|x| x.starts_with("mem_exceeded ")));
+
+        // the same breach pinned in the baseline compares clean
+        assert!(compare(&r, &r, CompareConfig::default()).is_ok());
+
+        // peaks drift within the memory tolerance: clean; beyond: gated
+        let mut cand = r.clone();
+        cand.resources.insert("place".into(), 52 * 1024 * 1024); // ~8%
+        let out = compare(&r, &cand, CompareConfig::default());
+        assert!(out.is_ok(), "{:?}", out.regressions);
+        cand.resources.insert("place".into(), 90 * 1024 * 1024); // ~88%
+        let out = compare(&r, &cand, CompareConfig::default());
+        assert!(!out.is_ok(), "an 88% peak jump must trip the 25% gate");
+
+        // a stage peak vanishing from the candidate is a regression;
+        // a new stage peak is an informational change
+        let mut cand = r.clone();
+        cand.resources.remove("place");
+        cand.resources.insert("route".into(), 1024);
+        let out = compare(&r, &cand, CompareConfig::default());
+        assert!(!out.is_ok());
+        assert!(out
+            .regressions
+            .iter()
+            .any(|x| x.contains("resources place") && x.contains("missing")));
+        assert!(out
+            .changes
+            .iter()
+            .any(|c| c.contains("resources route") && c.contains("new in candidate")));
+    }
+
+    #[test]
     fn digest_is_stable_and_content_sensitive() {
         let d = digest_report("Table 2\nrow a\n");
         assert!(d.starts_with("fnv64:") && d.len() == 6 + 16, "{d}");
@@ -609,9 +747,23 @@ mod tests {
         cand.metrics
             .metrics
             .insert("fullchip.2d.power_total_uw".into(), Metric::Gauge(1020.0));
-        let out = compare(&base, &cand, CompareConfig { rel_tol_pct: 0.5 });
+        let out = compare(
+            &base,
+            &cand,
+            CompareConfig {
+                rel_tol_pct: 0.5,
+                ..CompareConfig::default()
+            },
+        );
         assert!(!out.is_ok(), "2% gauge drift must trip a 0.5% gate");
-        let loose = compare(&base, &cand, CompareConfig { rel_tol_pct: 5.0 });
+        let loose = compare(
+            &base,
+            &cand,
+            CompareConfig {
+                rel_tol_pct: 5.0,
+                ..CompareConfig::default()
+            },
+        );
         assert!(loose.is_ok(), "{:?}", loose.regressions);
         assert!(!loose.changes.is_empty(), "in-tolerance drift is reported");
     }

@@ -170,48 +170,67 @@ impl ChaosReport {
     }
 }
 
-/// A daemon subprocess plus the address it bound.
-struct Daemon {
-    child: Child,
-    addr: SocketAddr,
+/// A daemon subprocess plus the address it bound. Shared with the
+/// overload harness (`crate::overload`), which boots the same way but
+/// with admission flags instead of durability ones.
+pub(crate) struct Daemon {
+    pub(crate) child: Child,
+    pub(crate) addr: SocketAddr,
 }
 
 impl Daemon {
-    /// Boots the daemon and waits for its port file.
-    fn boot(cfg: &ChaosConfig, boot_index: u32) -> Result<Self, String> {
-        let port_file = cfg.dir.join(format!("addr-{boot_index}.txt"));
-        let _ = std::fs::remove_file(&port_file);
-        let (bin, args) = cfg
-            .serve_cmd
-            .split_first()
-            .ok_or("chaos: empty serve command")?;
+    /// Spawns `serve_cmd` with `extra` flags appended (plus the
+    /// `--addr`/`--port-file` pair every harness needs) and waits for
+    /// the port file.
+    pub(crate) fn spawn(
+        serve_cmd: &[String],
+        extra: &[std::ffi::OsString],
+        port_file: &Path,
+        timeout: Duration,
+    ) -> Result<Self, String> {
+        let _ = std::fs::remove_file(port_file);
+        let (bin, args) = serve_cmd.split_first().ok_or("empty serve command")?;
         let mut child = Command::new(bin)
             .args(args)
             .arg("--addr")
             .arg("127.0.0.1:0")
             .arg("--port-file")
-            .arg(&port_file)
-            .arg("--journal")
-            .arg(cfg.dir.join("journal.jsonl"))
-            .arg("--cache-dir")
-            .arg(cfg.dir.join("cache"))
+            .arg(port_file)
+            .args(extra)
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(Stdio::null())
             .spawn()
-            .map_err(|e| format!("chaos: failed to spawn `{bin}`: {e}"))?;
-        let addr = wait_port_file(&port_file, &mut child, cfg.timeout)?;
+            .map_err(|e| format!("failed to spawn `{bin}`: {e}"))?;
+        let addr = wait_port_file(port_file, &mut child, timeout)?;
         Ok(Self { child, addr })
     }
 
+    /// Boots the daemon on the chaos journal + cache and waits for its
+    /// port file.
+    fn boot(cfg: &ChaosConfig, boot_index: u32) -> Result<Self, String> {
+        let extra = [
+            std::ffi::OsString::from("--journal"),
+            cfg.dir.join("journal.jsonl").into_os_string(),
+            std::ffi::OsString::from("--cache-dir"),
+            cfg.dir.join("cache").into_os_string(),
+        ];
+        Self::spawn(
+            &cfg.serve_cmd,
+            &extra,
+            &cfg.dir.join(format!("addr-{boot_index}.txt")),
+            cfg.timeout,
+        )
+    }
+
     /// SIGKILL — no drain, no flush.
-    fn kill(&mut self) {
+    pub(crate) fn kill(&mut self) {
         let _ = self.child.kill();
         let _ = self.child.wait();
     }
 
     /// `POST /shutdown` then wait for a clean exit.
-    fn shutdown_clean(&mut self, timeout: Duration) -> Result<(), String> {
+    pub(crate) fn shutdown_clean(&mut self, timeout: Duration) -> Result<(), String> {
         let _ = client::post(self.addr, "/shutdown", HTTP_TIMEOUT);
         let deadline = Instant::now() + timeout;
         loop {
@@ -219,10 +238,10 @@ impl Daemon {
                 Ok(Some(_)) => return Ok(()),
                 Ok(None) if Instant::now() >= deadline => {
                     self.kill();
-                    return Err("chaos: daemon ignored /shutdown; killed".to_owned());
+                    return Err("daemon ignored /shutdown; killed".to_owned());
                 }
                 Ok(None) => std::thread::sleep(Duration::from_millis(20)),
-                Err(e) => return Err(format!("chaos: wait failed: {e}")),
+                Err(e) => return Err(format!("wait failed: {e}")),
             }
         }
     }
@@ -230,11 +249,15 @@ impl Daemon {
 
 /// Polls `path` until the daemon writes its bound address (written only
 /// after a successful bind, so its presence doubles as readiness).
-fn wait_port_file(path: &Path, child: &mut Child, timeout: Duration) -> Result<SocketAddr, String> {
+pub(crate) fn wait_port_file(
+    path: &Path,
+    child: &mut Child,
+    timeout: Duration,
+) -> Result<SocketAddr, String> {
     let deadline = Instant::now() + timeout;
     loop {
         if let Ok(Some(status)) = child.try_wait() {
-            return Err(format!("chaos: daemon exited during boot: {status}"));
+            return Err(format!("daemon exited during boot: {status}"));
         }
         if let Ok(text) = std::fs::read_to_string(path) {
             if let Ok(addr) = text.trim().parse::<SocketAddr>() {
@@ -244,7 +267,7 @@ fn wait_port_file(path: &Path, child: &mut Child, timeout: Duration) -> Result<S
         if Instant::now() >= deadline {
             let _ = child.kill();
             return Err(format!(
-                "chaos: daemon did not write {} within {timeout:?}",
+                "daemon did not write {} within {timeout:?}",
                 path.display()
             ));
         }
@@ -388,7 +411,7 @@ fn random_spec(cfg: &ChaosConfig, rng: &mut StdRng) -> JobSpec {
 }
 
 /// The `job` field of a submission response.
-fn job_id(response: &client::HttpResponse) -> Option<u64> {
+pub(crate) fn job_id(response: &client::HttpResponse) -> Option<u64> {
     let doc = response.body_json().ok()?;
     let id = doc.get("job")?.as_f64()?;
     (id.fract() == 0.0 && id >= 0.0).then_some(id as u64)
@@ -396,7 +419,7 @@ fn job_id(response: &client::HttpResponse) -> Option<u64> {
 
 /// Polls until `id` is `done` and returns its result body (`None`:
 /// failed/cancelled, or not terminal within the timeout).
-fn wait_done_body(addr: SocketAddr, id: u64, timeout: Duration) -> Option<Vec<u8>> {
+pub(crate) fn wait_done_body(addr: SocketAddr, id: u64, timeout: Duration) -> Option<Vec<u8>> {
     let deadline = Instant::now() + timeout;
     loop {
         let response = client::get(addr, &format!("/jobs/{id}"), HTTP_TIMEOUT).ok()?;

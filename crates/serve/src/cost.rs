@@ -1,0 +1,131 @@
+//! Admission-time memory cost model: `estimate_cost(spec) → bytes`.
+//!
+//! The scheduler's reservation ledger admits a job only when this
+//! estimate fits under `--mem-limit` alongside the reservations of every
+//! in-flight job, so the model is deliberately **conservative**: it
+//! charges a fixed harness base, a per-size design-generation term, and
+//! a per-experiment working-set term, each calibrated against the peak
+//! net-allocation figures the `foldic-fault` resource layer reports for
+//! real runs (`repro … --mem-budget … --manifest` → `resources` section)
+//! with roughly 2× headroom. Over-estimation costs a little admission
+//! throughput; under-estimation would let the ledger over-commit the
+//! limit, which is the one thing it exists to prevent.
+//!
+//! The estimate is a pure, deterministic function of the spec's `size`
+//! and (deduplicated) experiment list. `seed`, `threads` and
+//! `deadline_secs` deliberately do not participate: the seed does not
+//! change working-set shape, intra-job threads share the same arenas,
+//! and deadlines bound time, not space.
+
+use crate::job::JobSpec;
+
+/// Fixed per-job harness overhead (manifest assembly, job bookkeeping).
+const BASE_BYTES: u64 = 1 << 20;
+
+/// Per-size cost terms: (design generation, per-experiment working set).
+/// Calibrated from measured peak **net** allocations (the same quantity
+/// the resource layer budgets — blocks free as they finish, so net peaks
+/// sit far below RSS): a `tiny` `table2` job peaks around 0.8 MiB net
+/// and a `small` one around 2.3 MiB; `full` extrapolates the
+/// cluster-size scaling with extra margin.
+fn size_terms(size: &str) -> Result<(u64, u64), String> {
+    match size {
+        "tiny" => Ok((1 << 20, 2 << 20)),
+        "small" => Ok((2 << 20, 4 << 20)),
+        "full" => Ok((8 << 20, 32 << 20)),
+        other => Err(format!("unknown size `{other}` (full|small|tiny)")),
+    }
+}
+
+/// Estimated peak memory, in bytes, a job for `spec` needs. See the
+/// module docs for the model and its calibration.
+///
+/// # Errors
+///
+/// A message naming the first unpriceable field (unknown size, empty or
+/// oversized experiment list). Specs that passed [`JobSpec::from_json`]
+/// and the runner's `resolve` never hit the list errors; they exist so
+/// arbitrary specs get a typed rejection instead of a panic.
+pub fn estimate_cost(spec: &JobSpec) -> Result<u64, String> {
+    let (design, per_experiment) = size_terms(&spec.size)?;
+    if spec.experiments.is_empty() {
+        return Err("cannot price an empty experiment list".to_owned());
+    }
+    if spec.experiments.len() > 1024 {
+        return Err(format!(
+            "cannot price {} experiments (max 1024)",
+            spec.experiments.len()
+        ));
+    }
+    // Experiments run sequentially on one design, so the dominant term
+    // is the widest single working set, not the sum — but each extra
+    // experiment retains its report and metrics, so distinct names are
+    // charged a small multiple of the per-experiment term anyway (the
+    // conservative direction).
+    let mut distinct: Vec<&str> = spec.experiments.iter().map(String::as_str).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let n = distinct.len() as u64;
+    Ok(BASE_BYTES
+        .saturating_add(design)
+        .saturating_add(per_experiment.saturating_mul(1 + n / 2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(names: &[&str], size: &str) -> JobSpec {
+        JobSpec {
+            experiments: names.iter().map(|s| (*s).to_owned()).collect(),
+            size: size.to_owned(),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn estimates_are_deterministic_and_order_insensitive() {
+        let a = estimate_cost(&spec(&["table2", "fig2"], "tiny")).unwrap();
+        let b = estimate_cost(&spec(&["fig2", "table2", "fig2"], "tiny")).unwrap();
+        assert_eq!(a, b, "dedup + sort make the estimate order-insensitive");
+    }
+
+    #[test]
+    fn estimates_grow_with_size_and_experiment_count() {
+        let tiny = estimate_cost(&spec(&["table2"], "tiny")).unwrap();
+        let small = estimate_cost(&spec(&["table2"], "small")).unwrap();
+        let full = estimate_cost(&spec(&["table2"], "full")).unwrap();
+        assert!(tiny < small && small < full);
+        let many = estimate_cost(&spec(&["table2", "fig2", "fig3", "fig5"], "tiny")).unwrap();
+        assert!(many > tiny);
+    }
+
+    #[test]
+    fn tiny_estimate_covers_measured_peak_with_headroom() {
+        // Measured: a tiny table2 job peaks around 0.8 MiB net. The
+        // estimate must stay comfortably above it (the ledger must never
+        // over-commit) but within one order of magnitude (or admission
+        // throughput suffers for nothing).
+        let est = estimate_cost(&spec(&["table2"], "tiny")).unwrap();
+        let measured = 800 << 10;
+        assert!(est >= 2 * measured, "estimate {est} lacks headroom");
+        assert!(est <= 32 * measured, "estimate {est} is absurdly padded");
+    }
+
+    #[test]
+    fn junk_specs_get_typed_errors_not_panics() {
+        assert!(estimate_cost(&spec(&["table2"], "huge"))
+            .unwrap_err()
+            .contains("unknown size"));
+        assert!(estimate_cost(&spec(&[], "tiny"))
+            .unwrap_err()
+            .contains("empty"));
+        let many: Vec<String> = (0..2000).map(|i| format!("e{i}")).collect();
+        let s = JobSpec {
+            experiments: many,
+            size: "tiny".to_owned(),
+            ..JobSpec::default()
+        };
+        assert!(estimate_cost(&s).unwrap_err().contains("max 1024"));
+    }
+}

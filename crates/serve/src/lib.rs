@@ -52,10 +52,12 @@
 pub mod cache;
 pub mod chaos;
 pub mod client;
+pub mod cost;
 pub mod http;
 pub mod job;
 pub mod journal;
 pub mod loadgen;
+pub mod overload;
 pub mod queue;
 pub mod server;
 pub mod telemetry;

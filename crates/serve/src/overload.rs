@@ -1,0 +1,574 @@
+//! Deterministic overload harness: flood a memory-limited daemon and
+//! prove it degrades instead of dying.
+//!
+//! The harness drives a **subprocess** daemon (the caller supplies the
+//! command line — `repro loadgen --overload SEED` points it at its own
+//! binary's `serve` subcommand) booted with a deliberately small
+//! `--mem-limit`, through a seeded overload scenario:
+//!
+//! 1. boot the daemon with `--mem-limit` sized so one ordinary job fits
+//!    and a two-study job does not;
+//! 2. submit an **oversized** job first — its cost estimate exceeds the
+//!    limit outright, so admission reserves the whole ledger, derives a
+//!    per-job budget, and runs it alone;
+//! 3. burst-submit a seeded stream of fitting jobs behind it. With the
+//!    ledger fully committed every one must be **shed** (503 +
+//!    `Retry-After`), never crashed on and never silently dropped;
+//! 4. retry each shed job, honoring its `Retry-After` hint, until every
+//!    fitting job is acknowledged and completes — graceful degradation
+//!    means overload costs latency, not results;
+//! 5. resubmit the oversized spec and assert its body matches the
+//!    first run's modulo the `resources` section (budget-degraded
+//!    execution is deterministic; peak figures sit outside the resource
+//!    layer's determinism boundary) and that both bodies carry that
+//!    `resources` provenance section proving the budget rode along;
+//! 6. cross-check `/stats` (`resources.mem_shed`, `.oversized`,
+//!    `.reserved_bytes` drained to zero) and shut down cleanly.
+//!
+//! Report: a `foldic-serve-overload/1` document whose
+//! [`OverloadReport::gate`] fails CI on any violation. Everything is
+//! derived from one seed (job spec seeds and submission order); wall
+//! clock only decides how often retries spin, never what the gate sees.
+
+use crate::chaos::{job_id, wait_done_body, Daemon};
+use crate::client;
+use crate::job::JobSpec;
+use foldic_obs::json::Json;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Schema tag of the overload report document.
+pub const OVERLOAD_REPORT_SCHEMA: &str = "foldic-serve-overload/1";
+
+/// Per-request timeout for harness HTTP calls.
+const HTTP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Admission limit the daemon boots with: one fitting (single-study
+/// tiny) job reserves ~4 MiB, so 5 MiB admits exactly one at a time and
+/// classifies any two-study spec oversized — the smallest configuration
+/// that exercises every admission path.
+pub const DEFAULT_MEM_LIMIT: u64 = 5 << 20;
+
+/// Overload scenario configuration.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Command line that boots the daemon (binary + args). The harness
+    /// appends `--addr 127.0.0.1:0 --port-file <f> --mem-limit <n>`
+    /// itself.
+    pub serve_cmd: Vec<String>,
+    /// Master seed for job spec seeds and submission order.
+    pub seed: u64,
+    /// Fitting jobs that must all complete despite the overload.
+    pub jobs: usize,
+    /// `--mem-limit` handed to the daemon.
+    pub mem_limit: u64,
+    /// Scratch directory for port files. Created by the harness.
+    pub dir: PathBuf,
+    /// Overall scenario deadline (boot, retries, completions).
+    pub timeout: Duration,
+}
+
+/// What one overload run observed; [`OverloadReport::gate`] turns it
+/// into a pass/fail.
+#[derive(Debug, Clone, Default)]
+pub struct OverloadReport {
+    /// Seed the scenario ran under.
+    pub seed: u64,
+    /// Admission limit the daemon ran with.
+    pub mem_limit: u64,
+    /// Fitting jobs the scenario submitted.
+    pub fitting: u64,
+    /// Of those, jobs that reached `done` (**small-job completion**).
+    pub completed: u64,
+    /// 503 sheds observed across the burst and retries (**the overload
+    /// must actually overload** — 0 means the scenario proved nothing).
+    pub shed: u64,
+    /// Sheds whose `Retry-After` header was missing or unusable
+    /// (must be 0 — clients cannot back off without a hint).
+    pub bad_retry_after: u64,
+    /// Oversized submissions acknowledged (the harness sends 2).
+    pub oversized_acked: u64,
+    /// Whether the two oversized bodies differed outside the
+    /// `resources` section (**budget-degraded execution must be
+    /// deterministic**; peaks alone are tolerance-compared, not
+    /// byte-exact).
+    pub oversized_mismatched: bool,
+    /// Oversized bodies missing the manifest `resources` section (the
+    /// proof the per-job budget was actually installed).
+    pub oversized_missing_resources: u64,
+    /// Acknowledged ids that turned `failed`/`cancelled` or never went
+    /// terminal.
+    pub failed: Vec<u64>,
+    /// Whether the daemon process exited before the clean shutdown
+    /// (**daemon survival** — the headline invariant).
+    pub daemon_died: bool,
+    /// `/stats` `resources.mem_shed` after the scenario drained.
+    pub stats_mem_shed: u64,
+    /// `/stats` `resources.oversized` after the scenario drained.
+    pub stats_oversized: u64,
+    /// `/stats` `resources.reserved_bytes` after the scenario drained
+    /// (a non-zero value is a leaked reservation).
+    pub stats_reserved_after: u64,
+}
+
+impl OverloadReport {
+    /// The report as a `foldic-serve-overload/1` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "schema".to_owned(),
+                Json::Str(OVERLOAD_REPORT_SCHEMA.to_owned()),
+            ),
+            ("seed".to_owned(), Json::Num(self.seed as f64)),
+            (
+                "mem_limit_bytes".to_owned(),
+                Json::Num(self.mem_limit as f64),
+            ),
+            ("fitting".to_owned(), Json::Num(self.fitting as f64)),
+            ("completed".to_owned(), Json::Num(self.completed as f64)),
+            ("shed".to_owned(), Json::Num(self.shed as f64)),
+            (
+                "bad_retry_after".to_owned(),
+                Json::Num(self.bad_retry_after as f64),
+            ),
+            (
+                "oversized_acked".to_owned(),
+                Json::Num(self.oversized_acked as f64),
+            ),
+            (
+                "oversized_mismatched".to_owned(),
+                Json::Bool(self.oversized_mismatched),
+            ),
+            (
+                "oversized_missing_resources".to_owned(),
+                Json::Num(self.oversized_missing_resources as f64),
+            ),
+            (
+                "failed".to_owned(),
+                Json::Arr(self.failed.iter().map(|&id| Json::Num(id as f64)).collect()),
+            ),
+            ("daemon_died".to_owned(), Json::Bool(self.daemon_died)),
+            (
+                "stats_mem_shed".to_owned(),
+                Json::Num(self.stats_mem_shed as f64),
+            ),
+            (
+                "stats_oversized".to_owned(),
+                Json::Num(self.stats_oversized as f64),
+            ),
+            (
+                "stats_reserved_after".to_owned(),
+                Json::Num(self.stats_reserved_after as f64),
+            ),
+            ("pass".to_owned(), Json::Bool(self.gate().is_ok())),
+        ])
+    }
+
+    /// The overload gate.
+    ///
+    /// # Errors
+    ///
+    /// One message per violated invariant.
+    pub fn gate(&self) -> Result<(), Vec<String>> {
+        let mut violations = Vec::new();
+        if self.daemon_died {
+            violations.push("daemon died under overload".to_owned());
+        }
+        if self.fitting == 0 {
+            violations.push("no fitting jobs were submitted; scenario did not run".to_owned());
+        }
+        if self.completed < self.fitting {
+            violations.push(format!(
+                "only {}/{} fitting job(s) completed under overload",
+                self.completed, self.fitting
+            ));
+        }
+        if self.shed == 0 {
+            violations.push("no submission was shed — the scenario never overloaded".to_owned());
+        }
+        if self.bad_retry_after > 0 {
+            violations.push(format!(
+                "{} shed(s) carried no usable Retry-After hint",
+                self.bad_retry_after
+            ));
+        }
+        if self.oversized_acked < 2 {
+            violations.push(format!(
+                "only {} oversized submission(s) acknowledged (want 2)",
+                self.oversized_acked
+            ));
+        }
+        if self.oversized_mismatched {
+            violations.push("oversized bodies differ between runs".to_owned());
+        }
+        if self.oversized_missing_resources > 0 {
+            violations.push(format!(
+                "{} oversized body(ies) lack `resources` provenance",
+                self.oversized_missing_resources
+            ));
+        }
+        if !self.failed.is_empty() {
+            violations.push(format!(
+                "{} job(s) failed or never went terminal: {:?}",
+                self.failed.len(),
+                self.failed
+            ));
+        }
+        if self.stats_oversized != self.oversized_acked {
+            violations.push(format!(
+                "/stats counted {} oversized admission(s), harness saw {}",
+                self.stats_oversized, self.oversized_acked
+            ));
+        }
+        if self.stats_mem_shed < self.shed {
+            violations.push(format!(
+                "/stats counted {} mem shed(s), harness saw {}",
+                self.stats_mem_shed, self.shed
+            ));
+        }
+        if self.stats_reserved_after != 0 {
+            violations.push(format!(
+                "reservation ledger leaked {} byte(s) after drain",
+                self.stats_reserved_after
+            ));
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+/// The oversized spec: two distinct tiny studies price above
+/// [`DEFAULT_MEM_LIMIT`], so admission classifies it oversized and runs
+/// it under a derived budget. A fixed seed keeps its body comparable
+/// across the two submissions.
+fn oversized_spec() -> JobSpec {
+    JobSpec {
+        experiments: vec!["table2".to_owned(), "fig2".to_owned()],
+        size: "tiny".to_owned(),
+        seed: Some(0xF01D),
+        ..JobSpec::default()
+    }
+}
+
+/// A seeded fitting spec: one tiny study, distinct seeds so the stream
+/// is computed work (cache hits would dodge the ledger entirely).
+fn fitting_spec(rng: &mut StdRng) -> JobSpec {
+    JobSpec {
+        experiments: vec!["table2".to_owned()],
+        size: "tiny".to_owned(),
+        seed: Some(rng.gen_range(0..1u64 << 32)),
+        ..JobSpec::default()
+    }
+}
+
+/// Classifies one submission attempt for the retry loop.
+enum Attempt {
+    Acked(u64),
+    Shed { retry_after: Option<u64> },
+    Other,
+}
+
+fn submit(daemon: &Daemon, spec: &JobSpec) -> Attempt {
+    let Ok(response) = client::post_json(daemon.addr, "/jobs", &spec.to_json(), HTTP_TIMEOUT)
+    else {
+        return Attempt::Other;
+    };
+    match response.status {
+        200 | 202 => match job_id(&response) {
+            Some(id) => Attempt::Acked(id),
+            None => Attempt::Other,
+        },
+        503 => Attempt::Shed {
+            retry_after: response
+                .header("retry-after")
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&secs| secs >= 1),
+        },
+        _ => Attempt::Other,
+    }
+}
+
+/// `resources` counters from `/stats`, as (mem_shed, oversized,
+/// reserved_bytes).
+fn stats_resources(daemon: &Daemon) -> Option<(u64, u64, u64)> {
+    let response = client::get(daemon.addr, "/stats", HTTP_TIMEOUT).ok()?;
+    let doc = response.body_json().ok()?;
+    let resources = doc.get("resources")?;
+    let num = |key: &str| resources.get(key).and_then(Json::as_f64).map(|n| n as u64);
+    Some((num("mem_shed")?, num("oversized")?, num("reserved_bytes")?))
+}
+
+/// Whether a result body is a manifest carrying the `resources`
+/// provenance section (proof the job ran under an installed budget).
+fn body_has_resources(body: &[u8]) -> bool {
+    std::str::from_utf8(body)
+        .ok()
+        .and_then(|text| Json::parse(text).ok())
+        .is_some_and(|doc| doc.get("resources").is_some())
+}
+
+/// Canonical form of a manifest body with its `resources` section
+/// stripped. Peak net-allocation figures sit outside the resource
+/// layer's determinism boundary (they depend on what the worker thread
+/// freed during the window — see `foldic-fault::resource`'s module
+/// docs), so the determinism invariant covers everything *but* them:
+/// results, config, and `mem_exceeded` provenance must match exactly.
+fn body_modulo_resources(body: &[u8]) -> Option<String> {
+    let text = std::str::from_utf8(body).ok()?;
+    let mut doc = Json::parse(text).ok()?;
+    if let Some(obj) = doc.as_obj_mut() {
+        obj.remove("resources");
+    }
+    Some(doc.to_compact())
+}
+
+/// Runs the full scenario.
+///
+/// # Errors
+///
+/// Harness-level failures only (cannot spawn the daemon, a shutdown
+/// that had to be escalated to SIGKILL). Invariant *violations* are not
+/// errors — they land in the report for [`OverloadReport::gate`] to
+/// judge, so CI output shows the whole picture.
+pub fn run(cfg: &OverloadConfig) -> Result<OverloadReport, String> {
+    std::fs::create_dir_all(&cfg.dir)
+        .map_err(|e| format!("overload: cannot create {}: {e}", cfg.dir.display()))?;
+    let mut report = OverloadReport {
+        seed: cfg.seed,
+        mem_limit: cfg.mem_limit,
+        ..OverloadReport::default()
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let deadline = Instant::now() + cfg.timeout;
+
+    let extra = [
+        std::ffi::OsString::from("--mem-limit"),
+        std::ffi::OsString::from(cfg.mem_limit.to_string()),
+    ];
+    let mut daemon = Daemon::spawn(
+        &cfg.serve_cmd,
+        &extra,
+        &cfg.dir.join("addr.txt"),
+        cfg.timeout,
+    )
+    .map_err(|e| format!("overload: {e}"))?;
+
+    // Phase 1: the oversized job first. Admission reserves the whole
+    // ledger for it, so the burst behind it is guaranteed to shed.
+    let over = oversized_spec();
+    let first_over_id = match submit(&daemon, &over) {
+        Attempt::Acked(id) => {
+            report.oversized_acked += 1;
+            Some(id)
+        }
+        _ => None,
+    };
+
+    // Phase 2: burst the fitting jobs with no pacing. Track what shed.
+    let specs: Vec<JobSpec> = (0..cfg.jobs.max(1))
+        .map(|_| fitting_spec(&mut rng))
+        .collect();
+    report.fitting = specs.len() as u64;
+    let mut pending: Vec<(JobSpec, Option<u64>)> =
+        specs.into_iter().map(|spec| (spec, None)).collect();
+    for (spec, acked) in &mut pending {
+        match submit(&daemon, spec) {
+            Attempt::Acked(id) => *acked = Some(id),
+            Attempt::Shed { retry_after } => {
+                report.shed += 1;
+                if retry_after.is_none() {
+                    report.bad_retry_after += 1;
+                }
+            }
+            Attempt::Other => {}
+        }
+    }
+
+    // Phase 3: retry loop — honor each shed's hint until every fitting
+    // job is acknowledged (or the scenario deadline expires).
+    while pending.iter().any(|(_, acked)| acked.is_none()) && Instant::now() < deadline {
+        if daemon.child.try_wait().ok().flatten().is_some() {
+            report.daemon_died = true;
+            return Ok(report);
+        }
+        let mut backoff = 1u64;
+        for (spec, acked) in &mut pending {
+            if acked.is_some() {
+                continue;
+            }
+            match submit(&daemon, spec) {
+                Attempt::Acked(id) => *acked = Some(id),
+                Attempt::Shed { retry_after } => {
+                    report.shed += 1;
+                    match retry_after {
+                        Some(hint) => backoff = backoff.max(hint),
+                        None => report.bad_retry_after += 1,
+                    }
+                }
+                Attempt::Other => {}
+            }
+        }
+        if pending.iter().any(|(_, acked)| acked.is_none()) {
+            // Honoring the largest hint of the round keeps the loop a
+            // well-behaved client; the hint is bounded, so this cannot
+            // outlive the scenario deadline by much.
+            std::thread::sleep(Duration::from_secs(backoff.min(10)));
+        }
+    }
+
+    // Phase 4: every acknowledged fitting job must complete.
+    for id in pending.iter().filter_map(|(_, acked)| acked.as_ref()) {
+        match wait_done_body(daemon.addr, *id, cfg.timeout) {
+            Some(_) => report.completed += 1,
+            None => report.failed.push(*id),
+        }
+    }
+
+    // Phase 5: the oversized body, twice — deterministic and carrying
+    // `resources` provenance. The spec is non-cacheable, so the second
+    // submission recomputes rather than replaying a cached body.
+    let mut over_bodies: Vec<Vec<u8>> = Vec::new();
+    if let Some(id) = first_over_id {
+        match wait_done_body(daemon.addr, id, cfg.timeout) {
+            Some(body) => over_bodies.push(body),
+            None => report.failed.push(id),
+        }
+    }
+    if let Attempt::Acked(id) = submit(&daemon, &over) {
+        report.oversized_acked += 1;
+        match wait_done_body(daemon.addr, id, cfg.timeout) {
+            Some(body) => over_bodies.push(body),
+            None => report.failed.push(id),
+        }
+    }
+    report.oversized_mismatched = over_bodies.len() == 2
+        && body_modulo_resources(&over_bodies[0]) != body_modulo_resources(&over_bodies[1]);
+    report.oversized_missing_resources = over_bodies
+        .iter()
+        .filter(|body| !body_has_resources(body))
+        .count() as u64;
+
+    // Phase 6: ledger and counters after the drain, then a clean exit.
+    if let Some((mem_shed, oversized, reserved)) = stats_resources(&daemon) {
+        report.stats_mem_shed = mem_shed;
+        report.stats_oversized = oversized;
+        report.stats_reserved_after = reserved;
+    }
+    if daemon.child.try_wait().ok().flatten().is_some() {
+        report.daemon_died = true;
+        return Ok(report);
+    }
+    daemon
+        .shutdown_clean(cfg.timeout)
+        .map_err(|e| format!("overload: {e}"))?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean() -> OverloadReport {
+        OverloadReport {
+            seed: 42,
+            mem_limit: DEFAULT_MEM_LIMIT,
+            fitting: 6,
+            completed: 6,
+            shed: 9,
+            oversized_acked: 2,
+            stats_mem_shed: 9,
+            stats_oversized: 2,
+            ..OverloadReport::default()
+        }
+    }
+
+    #[test]
+    fn gate_passes_only_when_all_invariants_hold() {
+        assert!(clean().gate().is_ok());
+        assert_eq!(clean().to_json().get("pass").unwrap(), &Json::Bool(true));
+
+        let died = OverloadReport {
+            daemon_died: true,
+            ..clean()
+        };
+        assert!(died.gate().unwrap_err().iter().any(|v| v.contains("died")));
+        let starved = OverloadReport {
+            completed: 3,
+            ..clean()
+        };
+        assert!(starved
+            .gate()
+            .unwrap_err()
+            .iter()
+            .any(|v| v.contains("3/6")));
+        let never_overloaded = OverloadReport { shed: 0, ..clean() };
+        assert!(never_overloaded
+            .gate()
+            .unwrap_err()
+            .iter()
+            .any(|v| v.contains("never overloaded")));
+        let hintless = OverloadReport {
+            bad_retry_after: 2,
+            ..clean()
+        };
+        assert!(hintless
+            .gate()
+            .unwrap_err()
+            .iter()
+            .any(|v| v.contains("Retry-After")));
+        let nondeterministic = OverloadReport {
+            oversized_mismatched: true,
+            ..clean()
+        };
+        assert!(nondeterministic
+            .gate()
+            .unwrap_err()
+            .iter()
+            .any(|v| v.contains("differ")));
+        let leaked = OverloadReport {
+            stats_reserved_after: 4096,
+            ..clean()
+        };
+        assert!(leaked
+            .gate()
+            .unwrap_err()
+            .iter()
+            .any(|v| v.contains("leaked")));
+        let empty = OverloadReport::default();
+        assert!(empty.gate().is_err(), "an empty run must not pass");
+    }
+
+    #[test]
+    fn report_document_is_well_formed() {
+        let doc = clean().to_json();
+        assert_eq!(
+            doc.get("schema").unwrap().as_str(),
+            Some(OVERLOAD_REPORT_SCHEMA)
+        );
+        assert_eq!(doc.get("pass").unwrap(), &Json::Bool(true));
+        assert_eq!(doc.get("completed").unwrap().as_f64(), Some(6.0));
+    }
+
+    #[test]
+    fn oversized_spec_prices_above_the_default_limit_and_fitting_below() {
+        let over = crate::cost::estimate_cost(&oversized_spec()).unwrap();
+        assert!(
+            over > DEFAULT_MEM_LIMIT,
+            "oversized spec must exceed the limit ({over} <= {DEFAULT_MEM_LIMIT})"
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let fit = crate::cost::estimate_cost(&fitting_spec(&mut rng)).unwrap();
+        assert!(
+            fit <= DEFAULT_MEM_LIMIT,
+            "fitting spec must fit under the limit ({fit} > {DEFAULT_MEM_LIMIT})"
+        );
+        assert!(
+            2 * fit > DEFAULT_MEM_LIMIT,
+            "two fitting jobs must not fit at once or nothing ever sheds"
+        );
+    }
+}

@@ -107,6 +107,21 @@ pub trait StudyRunner: Send + Sync {
     ///
     /// A message describing the failure (the job lands in `failed`).
     fn run(&self, spec: &JobSpec) -> Result<String, String>;
+
+    /// [`StudyRunner::run`] under a per-job memory budget, for jobs the
+    /// cost-aware admission layer classified oversized. Implementations
+    /// that honor the budget install a `foldic-fault` resource policy
+    /// around the run so breaches degrade gracefully instead of taking
+    /// the worker's address space; the default ignores the budget, which
+    /// keeps budget-less runners byte-identical to their old behavior.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`StudyRunner::run`].
+    fn run_budgeted(&self, spec: &JobSpec, mem_budget: Option<u64>) -> Result<String, String> {
+        let _ = mem_budget;
+        self.run(spec)
+    }
 }
 
 /// Lifecycle of one job.
@@ -266,6 +281,12 @@ struct Job {
     spec: JobSpec,
     status: JobStatus,
     exclusive: bool,
+    /// Bytes this job holds in the reservation ledger; zero once
+    /// released (release is idempotent via `State::release_reservation`).
+    reservation: u64,
+    /// Per-job memory budget for oversized admissions, handed to
+    /// [`StudyRunner::run_budgeted`].
+    mem_budget: Option<u64>,
     /// Spec digest ([`cache_key`] of the canonical config) — computed
     /// for every job, cacheable or not; addresses the poison ledger and
     /// the journal.
@@ -289,6 +310,11 @@ struct Counters {
     shed: u64,
     /// Jobs failed at dispatch because their digest was poisoned.
     poisoned: u64,
+    /// Submissions shed because the reservation ledger was full.
+    mem_shed: u64,
+    /// Admissions whose estimate exceeded the memory limit outright
+    /// (run alone under a derived budget).
+    oversized: u64,
 }
 
 struct State {
@@ -319,6 +345,28 @@ struct State {
     replayed_jobs: u64,
     /// Journaled non-terminal jobs re-enqueued at construction.
     reenqueued: u64,
+    /// Bytes currently committed in the reservation ledger.
+    reserved: u64,
+    /// Highest the ledger has ever been (gauge on `/stats`, `/metrics`).
+    reserved_peak: u64,
+}
+
+impl State {
+    /// Returns a job's ledger reservation to the pool. Idempotent: the
+    /// reservation is taken out of the job, so every terminal path may
+    /// call this without double-counting.
+    fn release_reservation(&mut self, id: u64) {
+        if let Some(job) = self.jobs.get_mut(&id) {
+            let held = std::mem::take(&mut job.reservation);
+            self.reserved = self.reserved.saturating_sub(held);
+        }
+    }
+
+    /// Commits `bytes` against the ledger for job bookkeeping.
+    fn reserve(&mut self, bytes: u64) {
+        self.reserved = self.reserved.saturating_add(bytes);
+        self.reserved_peak = self.reserved_peak.max(self.reserved);
+    }
 }
 
 struct Shared {
@@ -344,8 +392,17 @@ pub struct SchedulerConfig {
     pub queue_capacity: usize,
     /// Worker threads executing jobs.
     pub workers: usize,
-    /// `Retry-After` hint handed out on admission rejection.
+    /// Base `Retry-After` hint handed out on admission rejection; the
+    /// actual hint scales with load (see [`retry_after_hint`]).
     pub retry_after_secs: u32,
+    /// Memory the scheduler may commit to admitted jobs at once, in
+    /// bytes. When set, every submission is priced by
+    /// [`crate::cost::estimate_cost`] and admitted only while the sum of
+    /// in-flight reservations stays under the limit; estimates above the
+    /// limit run alone under a derived per-job budget instead of being
+    /// refused outright. `None` (the default) disables the ledger and
+    /// keeps admission byte-identical to the pre-resource scheduler.
+    pub mem_limit: Option<u64>,
 }
 
 impl Default for SchedulerConfig {
@@ -354,8 +411,26 @@ impl Default for SchedulerConfig {
             queue_capacity: 64,
             workers: 2,
             retry_after_secs: 1,
+            mem_limit: None,
         }
     }
+}
+
+/// Load-derived `Retry-After` hint: the configured base, plus one second
+/// per worker-pool's worth of queued jobs, plus one second per quarter
+/// of the reservation ledger already committed. Deterministic in the
+/// scheduler state and bounded — a hammered daemon asks clients to back
+/// off harder, but never for more than a minute.
+fn retry_after_hint(cfg: &SchedulerConfig, state: &State) -> u32 {
+    let base = u64::from(cfg.retry_after_secs.max(1));
+    let queue_pressure = state.queued as u64 / cfg.workers.max(1) as u64;
+    let mem_pressure = match cfg.mem_limit {
+        Some(limit) if limit > 0 => 4 * state.reserved / limit,
+        _ => 0,
+    };
+    base.saturating_add(queue_pressure)
+        .saturating_add(mem_pressure)
+        .min(60) as u32
 }
 
 /// Durability wiring for [`Scheduler::with_durability`]: an opened
@@ -437,10 +512,15 @@ impl Scheduler {
             worker_restarts: 0,
             replayed_jobs: 0,
             reenqueued: 0,
+            reserved: 0,
+            reserved_peak: 0,
         };
         let (journal, replay_summary) = match journal {
             Some((journal, replay)) => {
                 let summary = seed_from_replay(&mut state, &cache, &replay);
+                if let Some(limit) = cfg.mem_limit {
+                    reprice_replayed(&mut state, limit);
+                }
                 if !summary.reaccepts.is_empty() {
                     // Re-acceptance records make the bumped attempt
                     // counts durable; failure degrades only that (the
@@ -596,6 +676,8 @@ impl Scheduler {
                             flight: None,
                         },
                         exclusive: false,
+                        reservation: 0,
+                        mem_budget: None,
                         digest: key.clone(),
                         request_id: request_id.clone(),
                         parent_span: None,
@@ -626,22 +708,62 @@ impl Scheduler {
         if state.queued >= self.shared.cfg.queue_capacity {
             state.counters.submitted -= 1;
             state.counters.rejected += 1;
+            let retry_after_secs = retry_after_hint(&self.shared.cfg, &state);
             drop(state);
             tele.log(
                 Level::Warn,
                 "job.rejected",
                 vec![
-                    field_num(
-                        "retry_after_secs",
-                        f64::from(self.shared.cfg.retry_after_secs),
-                    ),
+                    field_num("retry_after_secs", f64::from(retry_after_secs)),
                     field_str("request_id", rid),
                 ],
             );
-            return Submission::Rejected {
-                retry_after_secs: self.shared.cfg.retry_after_secs,
-            };
+            return Submission::Rejected { retry_after_secs };
         }
+        // Cost-aware admission: price the job and fit it into the
+        // reservation ledger. An estimate that fits alongside in-flight
+        // reservations commits; a fitting estimate that finds the ledger
+        // full is shed; an estimate above the limit outright is admitted
+        // anyway — alone, under a budget derived from the limit — so big
+        // studies degrade deterministically instead of starving.
+        let mut reservation = 0u64;
+        let mut mem_budget = None;
+        let mut oversized = false;
+        if let Some(limit) = self.shared.cfg.mem_limit {
+            let estimate = match crate::cost::estimate_cost(&spec) {
+                Ok(estimate) => estimate,
+                Err(msg) => {
+                    state.counters.submitted -= 1;
+                    return Submission::Invalid(msg);
+                }
+            };
+            if estimate > limit {
+                oversized = true;
+                reservation = limit;
+                mem_budget = Some(limit);
+            } else if state.reserved.saturating_add(estimate) > limit {
+                state.counters.submitted -= 1;
+                state.counters.mem_shed += 1;
+                let retry_after_secs = retry_after_hint(&self.shared.cfg, &state);
+                drop(state);
+                tele.log(
+                    Level::Warn,
+                    "job.shed",
+                    vec![
+                        field_num("estimate_bytes", estimate as f64),
+                        field_str("reason", "mem_backlog"),
+                        field_num("retry_after_secs", f64::from(retry_after_secs)),
+                        field_str("request_id", rid),
+                    ],
+                );
+                return Submission::Shed { retry_after_secs };
+            } else {
+                reservation = estimate;
+            }
+        }
+        // A budget-degraded body is not the spec's canonical result, so
+        // oversized jobs stay out of the content-addressed cache.
+        let cacheable = cacheable && !oversized;
         // The breaker gates computed work only — cache hits (above) are
         // served even while open, and it is the last gate so a half-open
         // probe admission always corresponds to an actually-queued job.
@@ -684,10 +806,17 @@ impl Scheduler {
         if probe {
             state.probe_job = Some(id);
         }
+        if oversized {
+            state.counters.oversized += 1;
+        }
+        state.reserve(reservation);
         if let Some(idem) = &idempotency_key {
             state.idempotency.insert(idem.clone(), id);
         }
-        let exclusive = spec.deadline_secs.is_some();
+        // Budgeted jobs ride the process-global resource layer, so —
+        // exactly like deadline jobs on the deadline layer — they must
+        // not share the process with other running jobs.
+        let exclusive = spec.deadline_secs.is_some() || oversized;
         let parent_span = ctx.as_ref().and_then(|c| c.parent_span);
         state.jobs.insert(
             id,
@@ -705,6 +834,8 @@ impl Scheduler {
                     flight: None,
                 },
                 exclusive,
+                reservation,
+                mem_budget,
                 digest: key,
                 request_id: request_id.clone(),
                 parent_span,
@@ -717,6 +848,17 @@ impl Scheduler {
         drop(state);
         if let Some(span) = parent_span {
             tele.seed_job_span(id, span);
+        }
+        if let Some(budget) = mem_budget {
+            tele.log(
+                Level::Warn,
+                "job.oversized",
+                vec![
+                    field_num("job", id as f64),
+                    field_num("mem_budget_bytes", budget as f64),
+                    field_str("request_id", rid),
+                ],
+            );
         }
         tele.log(
             Level::Info,
@@ -742,7 +884,7 @@ impl Scheduler {
     ) -> Submission {
         state.counters.submitted -= 1;
         state.counters.shed += 1;
-        let retry_after_secs = self.shared.cfg.retry_after_secs;
+        let retry_after_secs = retry_after_hint(&self.shared.cfg, &state);
         drop(state);
         self.shared.telemetry.log(
             Level::Error,
@@ -772,6 +914,7 @@ impl Scheduler {
             job.status.state = JobState::Cancelled;
             let request_id = job.request_id.clone().unwrap_or_else(|| "-".to_owned());
             let attempt = job.status.attempt;
+            state.release_reservation(id);
             state.queued -= 1;
             state.counters.cancelled += 1;
             if state.probe_job == Some(id) {
@@ -935,6 +1078,32 @@ impl Scheduler {
         if let Some(durability) = durability {
             fields.push(("durability".to_owned(), durability));
         }
+        // Pay-for-use like `durability`: only a memory-limited daemon
+        // grows the `resources` section.
+        if let Some(limit) = self.shared.cfg.mem_limit {
+            fields.push((
+                "resources".to_owned(),
+                Json::obj([
+                    ("limit_bytes".to_owned(), Json::Num(limit as f64)),
+                    (
+                        "mem_shed".to_owned(),
+                        Json::Num(state.counters.mem_shed as f64),
+                    ),
+                    (
+                        "oversized".to_owned(),
+                        Json::Num(state.counters.oversized as f64),
+                    ),
+                    (
+                        "reserved_bytes".to_owned(),
+                        Json::Num(state.reserved as f64),
+                    ),
+                    (
+                        "reserved_peak_bytes".to_owned(),
+                        Json::Num(state.reserved_peak as f64),
+                    ),
+                ]),
+            ));
+        }
         drop(state);
         Json::obj(fields)
     }
@@ -1007,7 +1176,7 @@ impl Scheduler {
         self.shared.telemetry.ingest();
         let mut snap = self.shared.telemetry.registry().snapshot();
         let cache = self.shared.cache.stats();
-        let (counters, queued, high_water, running, supervision) = {
+        let (counters, queued, high_water, running, supervision, reserved, reserved_peak) = {
             let state = self.lock();
             (
                 Counters {
@@ -1018,6 +1187,8 @@ impl Scheduler {
                     rejected: state.counters.rejected,
                     shed: state.counters.shed,
                     poisoned: state.counters.poisoned,
+                    mem_shed: state.counters.mem_shed,
+                    oversized: state.counters.oversized,
                 },
                 state.queued,
                 state.queue_high_water,
@@ -1028,6 +1199,8 @@ impl Scheduler {
                     state.reenqueued,
                     state.breaker.as_ref().map(|b| (b.state(), b.transitions())),
                 ),
+                state.reserved,
+                state.reserved_peak,
             )
         };
         let m = &mut snap.metrics;
@@ -1140,6 +1313,25 @@ impl Scheduler {
                 counter(transitions),
             );
         }
+        if let Some(limit) = self.shared.cfg.mem_limit {
+            m.insert(telemetry::SERIES_MEM_LIMIT.to_owned(), gauge(limit as f64));
+            m.insert(
+                telemetry::SERIES_MEM_RESERVED.to_owned(),
+                gauge(reserved as f64),
+            );
+            m.insert(
+                telemetry::SERIES_MEM_RESERVED_PEAK.to_owned(),
+                gauge(reserved_peak as f64),
+            );
+            m.insert(
+                telemetry::SERIES_JOBS_OVERSIZED.to_owned(),
+                counter(counters.oversized),
+            );
+            m.insert(
+                telemetry::SERIES_JOBS_MEM_SHED.to_owned(),
+                counter(counters.mem_shed),
+            );
+        }
         foldic_obs::expo::to_prometheus(&snap)
     }
 
@@ -1166,6 +1358,7 @@ impl Scheduler {
                     if job.status.state == JobState::Queued {
                         job.status.state = JobState::Cancelled;
                         let attempt = job.status.attempt;
+                        state.release_reservation(id);
                         state.queued -= 1;
                         state.counters.cancelled += 1;
                         drained += 1;
@@ -1211,6 +1404,23 @@ impl Scheduler {
             vec![field_num("cancelled_queued", drained as f64)],
         );
     }
+}
+
+/// Renders a drained flight ring as the status-payload dump: `None` when
+/// the ring was empty, else the record array with a truncation marker
+/// when the ring overflowed.
+fn flight_json(records: &[flight::FlightRecord], dropped: u64) -> Option<Json> {
+    if records.is_empty() && dropped == 0 {
+        return None;
+    }
+    let mut items: Vec<Json> = records.iter().map(flight::FlightRecord::to_json).collect();
+    if dropped > 0 {
+        items.push(Json::obj([
+            ("dropped".to_owned(), Json::Num(dropped as f64)),
+            ("name".to_owned(), Json::Str("flight.truncated".to_owned())),
+        ]));
+    }
+    Some(Json::Arr(items))
 }
 
 /// Builds an `accepted` journal record for one admission.
@@ -1309,6 +1519,8 @@ fn seed_from_replay(state: &mut State, cache: &ResultCache, replay: &Replay) -> 
                     flight: None,
                 },
                 exclusive: rjob.spec.deadline_secs.is_some(),
+                reservation: 0,
+                mem_budget: None,
                 digest: rjob.digest.clone(),
                 request_id: rjob.request_id.clone(),
                 parent_span: None,
@@ -1338,6 +1550,35 @@ fn seed_from_replay(state: &mut State, cache: &ResultCache, replay: &Replay) -> 
     }
 }
 
+/// Re-runs the cost-admission classification for journal-replayed queued
+/// jobs: they bypassed `submit_traced`, but they will occupy workers all
+/// the same, so they must hold ledger reservations — and an oversized
+/// replay must come back exclusive and budgeted, or a crash would strip
+/// the very protection that let it in. An unpriceable spec (the journal
+/// outlived a size rename, say) is charged the whole limit: maximally
+/// conservative, never admitted alongside anything.
+fn reprice_replayed(state: &mut State, limit: u64) {
+    let queued: Vec<u64> = state.queue.iter().copied().collect();
+    for id in queued {
+        let Some(job) = state.jobs.get_mut(&id) else {
+            continue;
+        };
+        if job.status.state != JobState::Queued {
+            continue;
+        }
+        let estimate = crate::cost::estimate_cost(&job.spec).unwrap_or(limit);
+        let reservation = if estimate > limit {
+            job.exclusive = true;
+            job.mem_budget = Some(limit);
+            limit
+        } else {
+            estimate
+        };
+        job.reservation = reservation;
+        state.reserve(reservation);
+    }
+}
+
 /// Everything a worker needs to run one dispatched job.
 struct Picked {
     id: u64,
@@ -1345,6 +1586,7 @@ struct Picked {
     cacheable_key: Option<String>,
     config: BTreeMap<String, String>,
     exclusive: bool,
+    mem_budget: Option<u64>,
     digest: String,
     attempt: u32,
     request_id: Option<String>,
@@ -1399,6 +1641,7 @@ fn supervise_worker(shared: &Arc<Shared>) {
                 if crashed {
                     state.counters.failed += 1;
                 }
+                state.release_reservation(id);
             }
             terminal
         };
@@ -1468,6 +1711,20 @@ fn worker_loop(shared: &Shared, current: &Mutex<Option<(u64, bool, u32)>>) {
                                     "poisoned: workers panicked {strikes} times on this spec; \
                                      quarantined"
                                 ));
+                                // No worker ran, so synthesize the
+                                // provenance dump a run would have left:
+                                // record the quarantine into this
+                                // thread's ring and drain it.
+                                flight::record(
+                                    "job.poisoned",
+                                    [
+                                        ("digest".to_owned(), Json::Str(job.digest.clone())),
+                                        ("job".to_owned(), Json::Num(head as f64)),
+                                        ("strikes".to_owned(), Json::Num(f64::from(strikes))),
+                                    ],
+                                );
+                                let (records, dropped) = flight::take();
+                                job.status.flight = flight_json(&records, dropped);
                                 terminal = Some(JournalRecord::Terminal {
                                     job: head,
                                     attempt: job.status.attempt,
@@ -1476,6 +1733,7 @@ fn worker_loop(shared: &Shared, current: &Mutex<Option<(u64, bool, u32)>>) {
                                     body: None,
                                 });
                             }
+                            state.release_reservation(head);
                             if let (Some(journal), Some(record)) = (&shared.journal, &terminal) {
                                 let _ = journal.append_sync(std::slice::from_ref(record));
                             }
@@ -1518,6 +1776,7 @@ fn worker_loop(shared: &Shared, current: &Mutex<Option<(u64, bool, u32)>>) {
                         cacheable_key: job.status.cache_key.clone(),
                         config: job.status.config.clone(),
                         exclusive: job.exclusive,
+                        mem_budget: job.mem_budget,
                         digest: job.digest.clone(),
                         attempt: job.status.attempt,
                         request_id: job.request_id.clone(),
@@ -1547,6 +1806,7 @@ fn worker_loop(shared: &Shared, current: &Mutex<Option<(u64, bool, u32)>>) {
             cacheable_key,
             config,
             exclusive,
+            mem_budget,
             digest,
             attempt,
             request_id,
@@ -1601,13 +1861,23 @@ fn worker_loop(shared: &Shared, current: &Mutex<Option<(u64, bool, u32)>>) {
         // job, same as a runner error (and a poison-ledger strike).
         let panicked = std::cell::Cell::new(false);
         let run = || {
-            catch_unwind(AssertUnwindSafe(|| shared.runner.run(&spec))).unwrap_or_else(|payload| {
+            catch_unwind(AssertUnwindSafe(|| {
+                shared.runner.run_budgeted(&spec, mem_budget)
+            }))
+            .unwrap_or_else(|payload| {
                 let msg = payload
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_owned())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "runner panicked".to_owned());
                 panicked.set(true);
+                // A panicking run may never have reached its own flight
+                // bookkeeping — record the unwind itself, so panicked
+                // jobs carry a dump like degraded ones do.
+                flight::record(
+                    "job.panic",
+                    [("message".to_owned(), Json::Str(msg.clone()))],
+                );
                 Err(format!("runner panicked: {msg}"))
             })
         };
@@ -1628,19 +1898,7 @@ fn worker_loop(shared: &Shared, current: &Mutex<Option<(u64, bool, u32)>>) {
         // becomes provenance on the job's status payload.
         let flight_dump = {
             let (records, dropped) = flight::take();
-            if records.is_empty() && dropped == 0 {
-                None
-            } else {
-                let mut items: Vec<Json> =
-                    records.iter().map(flight::FlightRecord::to_json).collect();
-                if dropped > 0 {
-                    items.push(Json::obj([
-                        ("dropped".to_owned(), Json::Num(dropped as f64)),
-                        ("name".to_owned(), Json::Str("flight.truncated".to_owned())),
-                    ]));
-                }
-                Some(Json::Arr(items))
-            }
+            flight_json(&records, dropped)
         };
 
         let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -1649,6 +1907,7 @@ fn worker_loop(shared: &Shared, current: &Mutex<Option<(u64, bool, u32)>>) {
         if exclusive {
             state.exclusive_active = false;
         }
+        state.release_reservation(id);
         // Supervision bookkeeping: only a *panic* counts against the
         // spec's poison ledger and the breaker's failure streak — an
         // ordinary `Err` is the job's problem, not the pool's.

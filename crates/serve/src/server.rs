@@ -70,6 +70,11 @@ pub struct ServerConfig {
     pub cache_dir: Option<PathBuf>,
     /// Circuit-breaker tuning; `None` (the default) disables shedding.
     pub breaker: Option<BreakerConfig>,
+    /// Cost-aware admission memory limit (`--mem-limit`): submissions
+    /// are priced and admitted only while their estimates fit under the
+    /// limit alongside in-flight reservations. `None` (the default)
+    /// disables the ledger entirely.
+    pub mem_limit: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +87,7 @@ impl Default for ServerConfig {
             journal: None,
             cache_dir: None,
             breaker: None,
+            mem_limit: None,
         }
     }
 }
@@ -168,6 +174,7 @@ impl Server {
                     queue_capacity: cfg.queue_capacity,
                     workers: cfg.workers,
                     retry_after_secs: cfg.retry_after_secs,
+                    mem_limit: cfg.mem_limit,
                 },
                 Arc::clone(&telemetry),
                 durability,

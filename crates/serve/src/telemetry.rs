@@ -42,8 +42,21 @@
 //! | `foldic_serve_breaker_state` | gauge | breaker | 0 closed / 1 half-open / 2 open, **volatile** |
 //! | `foldic_serve_breaker_transitions_total` | counter | breaker | state transitions, **volatile** |
 //!
+//! The resource-governance layer (`--mem-limit`) is pay-for-use the same
+//! way — a limitless daemon's exposition is byte-identical to before the
+//! layer existed:
+//!
+//! | Series | Kind | Present when | Notes |
+//! |---|---|---|---|
+//! | `foldic_serve_mem_limit_bytes` | gauge | `--mem-limit` | configured admission limit |
+//! | `foldic_serve_mem_reserved_bytes` | gauge | `--mem-limit` | ledger commitment, **volatile** |
+//! | `foldic_serve_mem_reserved_peak_bytes` | gauge | `--mem-limit` | ledger high water, **volatile** |
+//! | `foldic_serve_jobs_oversized_total` | counter | `--mem-limit` | estimates above the limit (run alone, budgeted) |
+//! | `foldic_serve_jobs_mem_shed_total` | counter | `--mem-limit` | submissions shed by a full ledger (503) |
+//!
 //! The breaker families are volatile because cooldown expiry is a
-//! wall-clock event.
+//! wall-clock event; the reservation gauges because how many admissions
+//! overlap at scrape time is a scheduling accident.
 //!
 //! **Volatile** series are the timing class: their values depend on
 //! wall-clock scheduling, so they are excluded — by
@@ -133,6 +146,16 @@ pub const SERIES_CACHE_CORRUPT: &str = "foldic_serve_cache_corrupt_total";
 pub const SERIES_BREAKER_STATE: &str = "foldic_serve_breaker_state";
 /// Circuit-breaker state transitions.
 pub const SERIES_BREAKER_TRANSITIONS: &str = "foldic_serve_breaker_transitions_total";
+/// Configured admission memory limit (`--mem-limit`).
+pub const SERIES_MEM_LIMIT: &str = "foldic_serve_mem_limit_bytes";
+/// Bytes currently committed in the reservation ledger.
+pub const SERIES_MEM_RESERVED: &str = "foldic_serve_mem_reserved_bytes";
+/// Highest the reservation ledger has ever been.
+pub const SERIES_MEM_RESERVED_PEAK: &str = "foldic_serve_mem_reserved_peak_bytes";
+/// Admissions whose cost estimate exceeded the memory limit outright.
+pub const SERIES_JOBS_OVERSIZED: &str = "foldic_serve_jobs_oversized_total";
+/// Submissions shed because the reservation ledger was full (503).
+pub const SERIES_JOBS_MEM_SHED: &str = "foldic_serve_jobs_mem_shed_total";
 
 /// Families whose values are wall-clock dependent (the timing class).
 /// The breaker families qualify because cooldown expiry — and therefore
@@ -148,6 +171,8 @@ pub const VOLATILE_FAMILIES: &[&str] = &[
     "foldic_serve_workers_busy",
     "foldic_serve_breaker_state",
     "foldic_serve_breaker_transitions_total",
+    "foldic_serve_mem_reserved_bytes",
+    "foldic_serve_mem_reserved_peak_bytes",
 ];
 
 /// `true` for series excluded from byte-determinism comparisons: the

@@ -1,0 +1,133 @@
+//! Adversarial property tests for the admission cost model:
+//! `estimate_cost` prices whatever spec a client manages to get past
+//! JSON parsing, so arbitrary specs must yield `Ok` or a typed `Err`,
+//! never a panic — and the estimate itself must be a pure, deterministic,
+//! order-insensitive function of the spec's size and experiment set
+//! (the reservation ledger's correctness rides on two submissions of
+//! the same study pricing identically).
+//!
+//! Seeding matches `crates/obs/tests/json_fuzz.rs`: `FOLDIC_FUZZ_SEED`
+//! (decimal u64) when set, a fixed default otherwise.
+
+use foldic_serve::cost::estimate_cost;
+use foldic_serve::JobSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ITERS: usize = 10_000;
+
+fn fuzz_seed() -> u64 {
+    std::env::var("FOLDIC_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xDAC1_4F00D)
+}
+
+const SIZES: &[&str] = &["tiny", "small", "full", "", "huge", "TINY", "tiny ", "füll"];
+
+fn random_name(rng: &mut StdRng) -> String {
+    let mut name = String::new();
+    for _ in 0..rng.gen_range(0..12usize) {
+        const BYTES: &[u8] = b"table2fig+*= \t\0";
+        name.push(BYTES[rng.gen_range(0..BYTES.len())] as char);
+    }
+    name
+}
+
+/// A spec in the neighborhood of what clients send: valid sizes and
+/// experiment names often enough to reach the arithmetic, junk often
+/// enough to reach every rejection.
+fn random_spec(rng: &mut StdRng) -> JobSpec {
+    let n = match rng.gen_range(0..10u32) {
+        0 => 0,
+        // straddle the 1024-experiment cap from both sides
+        1 => rng.gen_range(1020..1030usize),
+        _ => rng.gen_range(1..8usize),
+    };
+    JobSpec {
+        experiments: (0..n).map(|_| random_name(rng)).collect(),
+        size: SIZES[rng.gen_range(0..SIZES.len())].to_owned(),
+        seed: rng.gen_bool(0.5).then(|| rng.gen()),
+        threads: rng.gen_range(1..65usize),
+        deadline_secs: rng.gen_bool(0.3).then(|| rng.gen_range(0.0..100.0)),
+    }
+}
+
+#[test]
+fn estimate_cost_never_panics() {
+    let mut rng = StdRng::seed_from_u64(fuzz_seed());
+    for i in 0..ITERS {
+        let spec = random_spec(&mut rng);
+        let result = std::panic::catch_unwind(|| estimate_cost(&spec).is_ok());
+        assert!(
+            result.is_ok(),
+            "estimate_cost panicked on iteration {i} (seed {}): {:?}",
+            fuzz_seed(),
+            spec.experiments
+        );
+    }
+}
+
+#[test]
+fn estimates_are_deterministic_order_insensitive_and_ignore_runtime_knobs() {
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x636F_7374);
+    for i in 0..ITERS {
+        let spec = random_spec(&mut rng);
+        let first = estimate_cost(&spec);
+        assert_eq!(
+            first,
+            estimate_cost(&spec),
+            "iteration {i} (seed {}): same spec, different answer",
+            fuzz_seed()
+        );
+
+        // reversing (and duplicating one entry of) the experiment list
+        // must not change a successful estimate: admission dedups and
+        // sorts, so the ledger charge is a function of the *set*
+        let mut shuffled = spec.clone();
+        shuffled.experiments.reverse();
+        if let Some(first_name) = shuffled.experiments.first().cloned() {
+            shuffled.experiments.push(first_name);
+        }
+        // duplication may cross the length cap; only compare when both
+        // sides are priceable
+        if let (Ok(a), Ok(b)) = (&first, &estimate_cost(&shuffled)) {
+            assert_eq!(a, b, "iteration {i} (seed {})", fuzz_seed());
+        }
+
+        // seed, threads and deadline deliberately do not participate
+        let mut reknobbed = spec.clone();
+        reknobbed.seed = Some(rng.gen());
+        reknobbed.threads = rng.gen_range(1..65usize);
+        reknobbed.deadline_secs = Some(1.0);
+        assert_eq!(
+            first,
+            estimate_cost(&reknobbed),
+            "iteration {i} (seed {}): runtime knobs changed the price",
+            fuzz_seed()
+        );
+    }
+}
+
+#[test]
+fn successful_estimates_are_sane() {
+    // Every priceable spec costs at least its base overhead and the
+    // model never overflows (saturating arithmetic) — a u64::MAX
+    // estimate would wedge admission by out-pricing every limit.
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x7361_6E65);
+    for i in 0..ITERS {
+        let spec = random_spec(&mut rng);
+        if let Ok(estimate) = estimate_cost(&spec) {
+            assert!(
+                estimate >= 1 << 20,
+                "iteration {i} (seed {}): estimate {estimate} below base overhead",
+                fuzz_seed()
+            );
+            assert!(
+                estimate < u64::MAX / 2,
+                "iteration {i} (seed {}): estimate {estimate} implausibly large",
+                fuzz_seed()
+            );
+        }
+    }
+}

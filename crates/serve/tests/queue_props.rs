@@ -137,6 +137,7 @@ fn full_queue_rejects_with_retry_after_and_recovers() {
             queue_capacity: 2,
             workers: 1,
             retry_after_secs: 7,
+            ..SchedulerConfig::default()
         },
     );
     // `a` occupies the only worker; `b` and `c` fill the queue.
@@ -145,9 +146,11 @@ fn full_queue_rejects_with_retry_after_and_recovers() {
     let b = queued(sched.submit(spec("b")));
     let c = queued(sched.submit(spec("c")));
     // The queue is full: the next submission is rejected immediately,
-    // carrying the configured hint — and is NOT recorded as a job.
+    // carrying a load-derived hint — the configured base (7) plus one
+    // second per worker-pool's worth of queued jobs (2 queued / 1
+    // worker) — and is NOT recorded as a job.
     match sched.submit(spec("d")) {
-        Submission::Rejected { retry_after_secs } => assert_eq!(retry_after_secs, 7),
+        Submission::Rejected { retry_after_secs } => assert_eq!(retry_after_secs, 9),
         other => panic!("expected Rejected, got {other:?}"),
     }
     // Draining one slot re-admits.
@@ -171,6 +174,7 @@ fn cancel_before_start_never_reaches_the_runner() {
             queue_capacity: 8,
             workers: 1,
             retry_after_secs: 1,
+            ..SchedulerConfig::default()
         },
     );
     let a = queued(sched.submit(spec("a")));
@@ -203,6 +207,7 @@ fn deadline_jobs_dispatch_exclusively_in_fifo_order() {
             queue_capacity: 8,
             workers: 2,
             retry_after_secs: 1,
+            ..SchedulerConfig::default()
         },
     );
     let a = queued(sched.submit(spec("a")));
@@ -244,6 +249,7 @@ fn shutdown_drains_in_flight_and_cancels_queued_without_deadlock() {
             queue_capacity: 8,
             workers: 1,
             retry_after_secs: 1,
+            ..SchedulerConfig::default()
         },
     ));
     let a = queued(sched.submit(spec("a")));
@@ -279,6 +285,7 @@ fn fifo_order_is_preserved_on_a_single_worker() {
             queue_capacity: 16,
             workers: 1,
             retry_after_secs: 1,
+            ..SchedulerConfig::default()
         },
     );
     let names: Vec<String> = (0..8).map(|i| format!("job{i}")).collect();
@@ -349,6 +356,7 @@ fn poisoned_spec_is_quarantined_and_other_specs_keep_running() {
             queue_capacity: 8,
             workers: 1,
             retry_after_secs: 1,
+            ..SchedulerConfig::default()
         },
         foldic_serve::Telemetry::disabled(),
         breaker_durability(100, Duration::from_secs(60)),
@@ -389,6 +397,7 @@ fn breaker_opens_sheds_with_retry_after_and_recovers_via_probe() {
             queue_capacity: 8,
             workers: 1,
             retry_after_secs: 1,
+            ..SchedulerConfig::default()
         },
         foldic_serve::Telemetry::disabled(),
         breaker_durability(2, Duration::from_secs(3600)),
@@ -416,6 +425,7 @@ fn breaker_opens_sheds_with_retry_after_and_recovers_via_probe() {
             queue_capacity: 8,
             workers: 1,
             retry_after_secs: 1,
+            ..SchedulerConfig::default()
         },
         foldic_serve::Telemetry::disabled(),
         breaker_durability(2, Duration::ZERO),
