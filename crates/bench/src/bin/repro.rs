@@ -91,12 +91,15 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: repro [EXPERIMENT...] [--size full|small|tiny] [--threads N] [--profile]\n\
-       \x20            [--trace out.json] [--events out.jsonl] [--manifest out.json]\n\
+       \x20            [--design design.fdb] [--trace out.json] [--events out.jsonl]\n\
+       \x20            [--manifest out.json]\n\
        \x20            [--faults SPEC] [--retries N] [--resume ckpt.jsonl]\n\
        \x20            [--deadline SECS] [--stage-timeout STAGE=SECS,...]\n\
        \x20            [--mem-budget BYTES] [--stage-mem STAGE=BYTES,...]\n\
+       repro gen --out design.fdb [--size full|small|tiny] [--cells N] [--seed S]\n\
        repro compare <baseline.json> <candidate.json> [--tol PCT]\n\
        repro bench [FILTER] [--json out.json]\n\
+       repro bench scale [--max-cells N] [--json out.json]\n\
        repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--port-file PATH]\n\
        \x20           [--log PATH] [--log-level debug|info|warn|error]\n\
        \x20           [--journal PATH] [--cache-dir DIR] [--breaker FAILURES[:COOLDOWN_SECS]]\n\
@@ -120,6 +123,9 @@ fn usage_err(msg: &str) -> ! {
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("gen") {
+        std::process::exit(run_gen(&raw[1..]));
+    }
     if raw.first().map(String::as_str) == Some("compare") {
         std::process::exit(run_compare(&raw[1..]));
     }
@@ -143,6 +149,7 @@ fn main() {
     let mut trace_path: Option<PathBuf> = None;
     let mut events_path: Option<PathBuf> = None;
     let mut manifest_path: Option<PathBuf> = None;
+    let mut design_path: Option<PathBuf> = None;
     let mut faults_spec: Option<String> = None;
     let mut retries: Option<u32> = None;
     let mut resume_path: Option<PathBuf> = None;
@@ -179,6 +186,7 @@ fn main() {
             "--trace" => path_flag(&mut trace_path, "--trace", args.next()),
             "--events" => path_flag(&mut events_path, "--events", args.next()),
             "--manifest" => path_flag(&mut manifest_path, "--manifest", args.next()),
+            "--design" => path_flag(&mut design_path, "--design", args.next()),
             "--faults" => {
                 let v = args.next().unwrap_or_else(|| {
                     usage_err("--faults needs a spec (stage:block[:kind[:attempts]],...)")
@@ -283,12 +291,55 @@ fn main() {
     if picks.is_empty() {
         picks.push("all".to_owned());
     }
-    let cfg = match size.as_str() {
+    let size_cfg = |label: &str| match label {
         "full" => T2Config::full(),
         "small" => T2Config::small(),
         "tiny" => T2Config::tiny(),
         other => usage_err(&format!("unknown size `{other}` (full|small|tiny)")),
     };
+    let mut cfg = size_cfg(&size);
+
+    // A snapshot-backed run: the file's provenance overrides the size
+    // flag entirely, so the run is the one the snapshot was generated
+    // for — report bodies must come out byte-identical either way.
+    let mut loaded_design = None;
+    let mut db_info = None;
+    if let Some(path) = &design_path {
+        let (design, info) = foldic_netlist::db::load_design(path).unwrap_or_else(|e| {
+            eprintln!("cannot load design {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        match info.meta.get("generator").map(String::as_str) {
+            Some("t2") => {}
+            other => {
+                eprintln!(
+                    "--design: snapshot generator `{}` cannot drive the experiments (need t2; \
+                     scale snapshots are for `repro bench scale`)",
+                    other.unwrap_or("<missing>")
+                );
+                std::process::exit(2);
+            }
+        }
+        if let Some(label) = info.meta.get("size") {
+            size = label.clone();
+            cfg = size_cfg(&size);
+        }
+        if let Some(v) = info.meta.get("seed").and_then(|v| parse_u64_maybe_hex(v)) {
+            cfg.seed = v;
+        }
+        let f64_meta = |key: &str| info.meta.get(key).and_then(|v| v.parse::<f64>().ok());
+        if let Some(v) = f64_meta("size_factor") {
+            cfg.size = v;
+        }
+        if let Some(v) = f64_meta("cluster_size") {
+            cfg.cluster_size = v;
+        }
+        if let Some(v) = f64_meta("utilization") {
+            cfg.utilization = v;
+        }
+        loaded_design = Some(design);
+        db_info = Some(info);
+    }
 
     let mut manifest = RunManifest::default();
     manifest.config.insert("size".into(), size.clone());
@@ -360,7 +411,13 @@ fn main() {
         if threads == 1 { "" } else { "s" }
     );
     let t0 = Instant::now();
-    let mut ctx = Ctx::with_threads(cfg, threads);
+    let mut ctx = match loaded_design.take() {
+        Some(design) => {
+            let tech = cfg.scaled_technology();
+            Ctx::with_design(cfg, design, tech, threads)
+        }
+        None => Ctx::with_threads(cfg, threads),
+    };
     if let Some(n) = retries {
         // `--retries N` counts the retries on top of the first attempt
         ctx.retry = RetryPolicy::attempts(n.saturating_add(1));
@@ -379,12 +436,22 @@ fn main() {
         }
         ctx.checkpoint = Some(std::sync::Arc::new(store));
     }
-    println!(
-        "generated {} blocks, {} instances in {:?}\n",
-        ctx.design.num_blocks(),
-        ctx.design.total_insts(),
-        t0.elapsed()
-    );
+    if let Some(path) = &design_path {
+        println!(
+            "loaded {} blocks, {} instances from {} in {:?}\n",
+            ctx.design.num_blocks(),
+            ctx.design.total_insts(),
+            path.display(),
+            t0.elapsed()
+        );
+    } else {
+        println!(
+            "generated {} blocks, {} instances in {:?}\n",
+            ctx.design.num_blocks(),
+            ctx.design.total_insts(),
+            t0.elapsed()
+        );
+    }
 
     let want = |name: &str, picks: &[String]| picks.iter().any(|p| p == name || p == "all");
     let mut ran: Vec<String> = Vec::new();
@@ -505,6 +572,37 @@ fn main() {
                 .map(|(stage, bytes)| (stage.to_string(), bytes))
                 .collect();
         }
+        // Design-database provenance: a snapshot-backed run records the
+        // file's digest directly; a generated run streams the pristine
+        // design into a temp snapshot with the same canonical meta
+        // `repro gen` writes, so the two digests agree whenever the
+        // designs do.
+        let (db_digest, db_source) = match &db_info {
+            Some(info) => (info.digest.clone(), "snapshot"),
+            None => {
+                let tmp = std::env::temp_dir()
+                    .join(format!("foldic-manifest-{}.fdb", std::process::id()));
+                let meta = t2_meta(&ctx.cfg, &size);
+                let meta_refs: Vec<(&str, &str)> =
+                    meta.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                let digest = foldic_netlist::db::save_design(&ctx.design, &meta_refs, &tmp)
+                    .and_then(|()| foldic_netlist::db::file_digest(&tmp))
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot digest design for manifest: {e}");
+                        std::process::exit(1);
+                    });
+                let _ = std::fs::remove_file(&tmp);
+                (digest, "generated")
+            }
+        };
+        manifest.db.insert("digest".into(), db_digest);
+        manifest
+            .db
+            .insert("cells".into(), ctx.design.total_insts().to_string());
+        manifest
+            .db
+            .insert("nets".into(), ctx.design.total_nets().to_string());
+        manifest.db.insert("source".into(), db_source.into());
         manifest.metrics = foldic_obs::metrics::take();
         foldic_obs::metrics::set_enabled(false);
         manifest.timing = Json::obj([
@@ -607,12 +705,136 @@ fn write_or_die(path: &Path, content: &str) {
     }
 }
 
+/// Canonical snapshot provenance for a T2 config: everything needed to
+/// reconstruct the config (and thus the scaled technology) on load.
+/// `repro gen` and the manifest's generated-design digest both write
+/// exactly this, so their file digests agree for the same design.
+fn t2_meta(cfg: &T2Config, size_label: &str) -> Vec<(String, String)> {
+    vec![
+        ("generator".into(), "t2".into()),
+        ("size".into(), size_label.into()),
+        ("seed".into(), format!("{:#x}", cfg.seed)),
+        ("size_factor".into(), cfg.size.to_string()),
+        ("cluster_size".into(), cfg.cluster_size.to_string()),
+        ("utilization".into(), cfg.utilization.to_string()),
+    ]
+}
+
+/// `repro gen --out design.fdb [--size full|small|tiny] [--cells N]
+/// [--seed S]`. Writes a `foldic-db/1` snapshot: the T2 design for a
+/// size label, or (with `--cells`) a synthetic scale design streamed
+/// block-by-block. Exit code: 0 on success, 1 on write errors, 2 on
+/// usage errors.
+fn run_gen(args: &[String]) -> i32 {
+    let mut out: Option<PathBuf> = None;
+    let mut size = "full".to_owned();
+    let mut cells: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                let v = it.next().unwrap_or_else(|| usage_err("--out needs a path"));
+                if out.is_some() {
+                    usage_err("duplicate --out");
+                }
+                out = Some(PathBuf::from(v));
+            }
+            "--size" => {
+                size = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--size needs a value (full|small|tiny)"))
+                    .clone();
+            }
+            "--cells" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--cells needs a count"));
+                cells =
+                    Some(parse_u64_maybe_hex(v).unwrap_or_else(|| {
+                        usage_err(&format!("--cells needs an integer, got `{v}`"))
+                    }));
+            }
+            "--seed" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--seed needs a value"));
+                seed =
+                    Some(parse_u64_maybe_hex(v).unwrap_or_else(|| {
+                        usage_err(&format!("--seed needs an integer, got `{v}`"))
+                    }));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other => usage_err(&format!("unknown gen argument `{other}`")),
+        }
+    }
+    let out = out.unwrap_or_else(|| usage_err("gen needs --out design.fdb"));
+    let t0 = Instant::now();
+    let result = if let Some(cells) = cells {
+        let cfg =
+            foldic_t2::ScaleConfig::new(cells, seed.unwrap_or(foldic_bench::scale::SCALE_SEED));
+        println!(
+            "gen: scale design, {} cells in {} block(s) (seed {:#x})",
+            cfg.cells,
+            cfg.num_blocks(),
+            cfg.seed
+        );
+        cfg.save(&foldic_tech::Technology::cmos28(), &out)
+    } else {
+        let mut cfg = match size.as_str() {
+            "full" => T2Config::full(),
+            "small" => T2Config::small(),
+            "tiny" => T2Config::tiny(),
+            other => usage_err(&format!("unknown size `{other}` (full|small|tiny)")),
+        };
+        if let Some(s) = seed {
+            cfg.seed = s;
+        }
+        println!(
+            "gen: t2 design @ size={size} (seed {:#x}, cluster {}x)",
+            cfg.seed, cfg.cluster_size
+        );
+        let (design, _tech) = cfg.generate();
+        let meta = t2_meta(&cfg, &size);
+        let meta_refs: Vec<(&str, &str)> =
+            meta.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        foldic_netlist::db::save_design(&design, &meta_refs, &out)
+    };
+    if let Err(e) = result {
+        eprintln!("gen: cannot write {}: {e}", out.display());
+        return 1;
+    }
+    match foldic_netlist::db::load_design(&out) {
+        Ok((design, info)) => {
+            println!(
+                "gen: {} -> {} blocks, {} cells, {} nets, {} bytes, {} in {:?}",
+                out.display(),
+                design.num_blocks(),
+                info.cells,
+                info.nets,
+                std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0),
+                info.digest,
+                t0.elapsed()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("gen: wrote {} but cannot read it back: {e}", out.display());
+            1
+        }
+    }
+}
+
 /// `repro bench [FILTER] [--json out.json]`.
 /// Exit code: 0 on success (even when the filter matches nothing — the
 /// JSON then carries an empty kernel map), 2 on usage errors.
 fn run_bench(args: &[String]) -> i32 {
     let mut filter: Option<String> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut max_cells: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -624,6 +846,14 @@ fn run_bench(args: &[String]) -> i32 {
                     usage_err("duplicate --json");
                 }
                 json_path = Some(PathBuf::from(v));
+            }
+            "--max-cells" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_err("--max-cells needs a count"));
+                max_cells = Some(parse_u64_maybe_hex(v).unwrap_or_else(|| {
+                    usage_err(&format!("--max-cells needs an integer, got `{v}`"))
+                }));
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -637,6 +867,24 @@ fn run_bench(args: &[String]) -> i32 {
                 filter = Some(other.to_owned());
             }
         }
+    }
+    if filter.as_deref() == Some("scale") {
+        // the database scaling sweep: 10k -> 1M cells, build/save/load/
+        // check wall times, bytes/cell vs the String-per-entity baseline
+        let report = foldic_bench::scale::run(
+            foldic_bench::scale::SCALE_SEED,
+            max_cells.unwrap_or(u64::MAX),
+            &std::env::temp_dir(),
+        );
+        print!("{}", report.render());
+        if let Some(path) = json_path {
+            write_or_die(&path, &report.to_json());
+            println!("bench: scale sweep -> {}", path.display());
+        }
+        return 0;
+    }
+    if max_cells.is_some() {
+        usage_err("--max-cells only applies to `bench scale`");
     }
     let results = foldic_bench::kernels::run_kernels(&filter);
     if results.is_empty() {

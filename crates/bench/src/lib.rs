@@ -15,6 +15,7 @@
 pub mod experiments;
 pub mod kernels;
 pub mod paper;
+pub mod scale;
 pub mod serve;
 
 use foldic::prelude::*;
@@ -57,6 +58,14 @@ impl Ctx {
     /// Generates the design for `cfg` with a worker-thread count.
     pub fn with_threads(cfg: T2Config, threads: usize) -> Self {
         let (design, tech) = cfg.generate();
+        Self::with_design(cfg, design, tech, threads)
+    }
+
+    /// Wraps a pre-built design (e.g. loaded from a `foldic-db/1`
+    /// snapshot) instead of generating one. `cfg` must be the config the
+    /// design was generated from, so experiment headers and manifests
+    /// stay truthful.
+    pub fn with_design(cfg: T2Config, design: Design, tech: Technology, threads: usize) -> Self {
         Self {
             design,
             tech,

@@ -1,0 +1,374 @@
+//! Database scaling benchmark: 10 k → 1 M cells.
+//!
+//! Builds synthetic [`ScaleConfig`] designs at increasing sizes and
+//! measures what the design database actually costs: bytes per cell in
+//! memory, snapshot size on disk, wall time to build / save / load /
+//! check, and — the headline numbers — the bytes-per-cell reduction
+//! against a String-per-entity baseline and the scaling exponent between
+//! consecutive sizes (1.0 = perfectly linear).
+//!
+//! The baseline is an honest mirror of the pre-interning representation:
+//! one heap `String` per instance, net and port plus a per-net `Vec` of
+//! sink pins, arenas at the capacity `push`-doubling actually reached,
+//! and allocator chunk overhead on every per-entity allocation (see
+//! [`heap_chunk`]). It is costed per block with `size_of` on replica
+//! structs — never instantiated — so even the million-cell row runs with
+//! peak memory proportional to one block, the same streaming guarantee
+//! the generator itself makes.
+//!
+//! No wall-time thresholds are asserted anywhere: CI cores vary. The
+//! numbers are recorded in the JSON report (`foldic-scale-bench/1`) and
+//! regressions are caught by reading `BENCH_scale.json` diffs, not by
+//! flaky gates.
+
+use foldic_netlist::db::load_design;
+use foldic_netlist::PinRef;
+use foldic_t2::ScaleConfig;
+use foldic_tech::Technology;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Cell counts the scaling gate sweeps.
+pub const SCALE_SIZES: [u64; 3] = [10_000, 100_000, 1_000_000];
+
+/// Seed used by the committed `BENCH_scale.json`.
+pub const SCALE_SEED: u64 = 0x5CA1_AB1E;
+
+/// One row of the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Total instance count.
+    pub cells: u64,
+    /// Blocks the design splits into.
+    pub blocks: usize,
+    /// Wall time to build every block, seconds.
+    pub build_s: f64,
+    /// Wall time to stream the design into a snapshot, seconds.
+    pub save_s: f64,
+    /// Wall time to load the snapshot back, seconds.
+    pub load_s: f64,
+    /// Wall time to `check()` every loaded block, seconds.
+    pub check_s: f64,
+    /// In-memory heap bytes of the interned/SoA representation.
+    pub heap_bytes: u64,
+    /// Heap bytes a String-per-entity representation would need.
+    pub legacy_bytes: u64,
+    /// Snapshot size on disk.
+    pub file_bytes: u64,
+    /// Largest single block's heap bytes (the streaming peak).
+    pub peak_block_bytes: u64,
+}
+
+impl ScaleRow {
+    /// Interned/SoA bytes per cell.
+    pub fn bytes_per_cell(&self) -> f64 {
+        self.heap_bytes as f64 / self.cells as f64
+    }
+
+    /// String-per-entity baseline bytes per cell.
+    pub fn legacy_bytes_per_cell(&self) -> f64 {
+        self.legacy_bytes as f64 / self.cells as f64
+    }
+
+    /// How many times smaller the interned representation is.
+    pub fn reduction(&self) -> f64 {
+        self.legacy_bytes as f64 / self.heap_bytes as f64
+    }
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// Seed the designs were generated with.
+    pub seed: u64,
+    /// One row per size, ascending.
+    pub rows: Vec<ScaleRow>,
+}
+
+/// Field-for-field replicas of the pre-interning entity structs (one
+/// owned `String` per entity, one `Vec<PinRef>` per net, AoS arenas),
+/// used only for `size_of` — never instantiated.
+mod legacy {
+    #![allow(dead_code)]
+    use foldic_geom::{Point, Tier};
+    use foldic_netlist::{ClockDomain, GroupId, InstMaster, PinRef, PortDir};
+
+    pub struct Inst {
+        pub name: String,
+        pub master: InstMaster,
+        pub pos: Point,
+        pub tier: Tier,
+        pub fixed: bool,
+        pub group: Option<GroupId>,
+    }
+
+    pub struct Net {
+        pub name: String,
+        pub driver: Option<PinRef>,
+        pub sinks: Vec<PinRef>,
+        pub domain: ClockDomain,
+        pub is_clock: bool,
+    }
+
+    pub struct Port {
+        pub name: String,
+        pub dir: PortDir,
+        pub domain: ClockDomain,
+        pub pos: Point,
+        pub tier: Tier,
+    }
+}
+
+/// Capacity a `Vec` reaches after `n` plain `push`es: doubling growth
+/// from a minimum first allocation of 4 — exactly what the pre-interning
+/// arenas and per-net sink vectors did. The SoA side's `heap_bytes()`
+/// likewise counts capacity, so the comparison is capacity-to-capacity.
+fn grown_cap(n: usize) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        n.next_power_of_two().max(4) as u64
+    }
+}
+
+/// Heap actually consumed by one malloc of `n` bytes under the glibc
+/// 64-bit allocator: an 8-byte chunk header, 16-byte size granularity,
+/// 32-byte minimum chunk. The String-per-entity representation paid
+/// this on *every* name and sink vector — millions of small chunks —
+/// while the SoA side makes ~17 large allocations per netlist, where
+/// the same overhead rounds to nothing (so `heap_bytes()` fairly skips
+/// it there).
+fn heap_chunk(n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        ((n + 8).div_ceil(16) * 16).max(32)
+    }
+}
+
+/// Bytes the String-per-entity representation would occupy for this
+/// block: AoS arenas at push-grown capacity, one name allocation per
+/// entity, one sink buffer per net — each small allocation costed at
+/// its real chunk size.
+fn legacy_block_bytes(nl: &foldic_netlist::Netlist) -> u64 {
+    use std::mem::size_of;
+    let mut bytes = grown_cap(nl.num_insts()) * size_of::<legacy::Inst>() as u64
+        + grown_cap(nl.num_nets()) * size_of::<legacy::Net>() as u64
+        + grown_cap(nl.num_ports()) * size_of::<legacy::Port>() as u64;
+    let mut scratch = String::new();
+    let name_len = |scratch: &mut String, name| {
+        scratch.clear();
+        let _ = write!(scratch, "{}", nl.name_of(name));
+        heap_chunk(scratch.len() as u64)
+    };
+    for (_, inst) in nl.insts() {
+        bytes += name_len(&mut scratch, inst.name);
+    }
+    for (_, net) in nl.nets() {
+        bytes += name_len(&mut scratch, net.name);
+        bytes += heap_chunk(grown_cap(net.fanout()) * size_of::<PinRef>() as u64);
+    }
+    for (_, port) in nl.ports() {
+        bytes += name_len(&mut scratch, port.name);
+    }
+    bytes
+}
+
+/// Runs the sweep for every size in [`SCALE_SIZES`] up to `max_cells`,
+/// writing snapshots into `dir` (they are deleted before returning).
+///
+/// # Panics
+///
+/// Panics when a snapshot cannot be written or read back — the gate is
+/// completion, and a broken database *is* the failure.
+pub fn run(seed: u64, max_cells: u64, dir: &std::path::Path) -> ScaleReport {
+    let tech = Technology::cmos28();
+    let mut rows = Vec::new();
+    for &cells in SCALE_SIZES.iter().filter(|&&c| c <= max_cells) {
+        let cfg = ScaleConfig::new(cells, seed);
+        let path = dir.join(format!("scale_{cells}.fdb"));
+
+        // Build pass: one block at a time, costing both representations
+        // and dropping each block before the next (streaming peak).
+        let t0 = Instant::now();
+        let mut heap_bytes = 0u64;
+        let mut peak_block_bytes = 0u64;
+        let mut legacy_bytes = 0u64;
+        for b in 0..cfg.num_blocks() {
+            let blk = cfg.block(b, &tech);
+            let hb = blk.netlist.heap_bytes();
+            heap_bytes += hb;
+            peak_block_bytes = peak_block_bytes.max(hb);
+            legacy_bytes += legacy_block_bytes(&blk.netlist);
+        }
+        let build_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        cfg.save(&tech, &path)
+            .unwrap_or_else(|e| panic!("save {cells}-cell snapshot: {e}"));
+        let save_s = t0.elapsed().as_secs_f64();
+        let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+        let t0 = Instant::now();
+        let (design, info) =
+            load_design(&path).unwrap_or_else(|e| panic!("load {cells}-cell snapshot: {e}"));
+        let load_s = t0.elapsed().as_secs_f64();
+        assert_eq!(info.cells, cells, "snapshot census must match");
+
+        let t0 = Instant::now();
+        for (_, blk) in design.blocks() {
+            blk.netlist
+                .check()
+                .unwrap_or_else(|e| panic!("{cells}-cell check: {e}"));
+        }
+        let check_s = t0.elapsed().as_secs_f64();
+
+        let _ = std::fs::remove_file(&path);
+        rows.push(ScaleRow {
+            cells,
+            blocks: cfg.num_blocks(),
+            build_s,
+            save_s,
+            load_s,
+            check_s,
+            heap_bytes,
+            legacy_bytes,
+            file_bytes,
+            peak_block_bytes,
+        });
+    }
+    ScaleReport { seed, rows }
+}
+
+impl ScaleReport {
+    /// Scaling exponent of `f` between consecutive rows:
+    /// `ln(t2/t1) / ln(n2/n1)`; 1.0 is perfectly linear.
+    fn exponent(a: &ScaleRow, b: &ScaleRow, f: impl Fn(&ScaleRow) -> f64) -> f64 {
+        let (ta, tb) = (f(a).max(1e-9), f(b).max(1e-9));
+        (tb / ta).ln() / (b.cells as f64 / a.cells as f64).ln()
+    }
+
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "database scaling sweep (seed {:#x})", self.seed);
+        let _ = writeln!(
+            out,
+            "{:>9} {:>6} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>6} {:>9}",
+            "cells",
+            "blocks",
+            "build s",
+            "save s",
+            "load s",
+            "check s",
+            "B/cell",
+            "old B/c",
+            "shrink",
+            "peak MiB"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:>9} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>8.1} {:>8.1} {:>5.1}x {:>9.1}",
+                r.cells,
+                r.blocks,
+                r.build_s,
+                r.save_s,
+                r.load_s,
+                r.check_s,
+                r.bytes_per_cell(),
+                r.legacy_bytes_per_cell(),
+                r.reduction(),
+                r.peak_block_bytes as f64 / (1024.0 * 1024.0),
+            );
+        }
+        for w in self.rows.windows(2) {
+            let _ = writeln!(
+                out,
+                "scaling {} -> {}: build exp {:.2}, load exp {:.2}, check exp {:.2}",
+                w[0].cells,
+                w[1].cells,
+                Self::exponent(&w[0], &w[1], |r| r.build_s),
+                Self::exponent(&w[0], &w[1], |r| r.load_s),
+                Self::exponent(&w[0], &w[1], |r| r.check_s),
+            );
+        }
+        out
+    }
+
+    /// The machine-readable report (`foldic-scale-bench/1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"foldic-scale-bench/1\",\n");
+        let _ = writeln!(out, "  \"seed\": \"{:#x}\",", self.seed);
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"cells\": {}, \"blocks\": {}, \"build_s\": {:.4}, \"save_s\": {:.4}, \
+                 \"load_s\": {:.4}, \"check_s\": {:.4}, \"heap_bytes\": {}, \
+                 \"legacy_bytes\": {}, \"file_bytes\": {}, \"peak_block_bytes\": {}, \
+                 \"bytes_per_cell\": {:.2}, \"legacy_bytes_per_cell\": {:.2}, \
+                 \"reduction\": {:.2}}}",
+                r.cells,
+                r.blocks,
+                r.build_s,
+                r.save_s,
+                r.load_s,
+                r.check_s,
+                r.heap_bytes,
+                r.legacy_bytes,
+                r.file_bytes,
+                r.peak_block_bytes,
+                r.bytes_per_cell(),
+                r.legacy_bytes_per_cell(),
+                r.reduction(),
+            );
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n  \"exponents\": [\n");
+        let pairs: Vec<String> = self
+            .rows
+            .windows(2)
+            .map(|w| {
+                format!(
+                    "    {{\"from\": {}, \"to\": {}, \"build\": {:.3}, \"load\": {:.3}, \
+                     \"check\": {:.3}}}",
+                    w[0].cells,
+                    w[1].cells,
+                    Self::exponent(&w[0], &w[1], |r| r.build_s),
+                    Self::exponent(&w[0], &w[1], |r| r.load_s),
+                    Self::exponent(&w[0], &w[1], |r| r.check_s),
+                )
+            })
+            .collect();
+        out.push_str(&pairs.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_smallest_size_and_schema() {
+        let dir = std::env::temp_dir();
+        let report = run(7, 10_000, &dir);
+        assert_eq!(report.rows.len(), 1);
+        let r = &report.rows[0];
+        assert_eq!(r.cells, 10_000);
+        assert!(r.heap_bytes > 0 && r.file_bytes > 0);
+        assert!(
+            r.reduction() >= 4.0,
+            "interning must shrink >= 4x vs String-per-entity, got {:.2}x",
+            r.reduction()
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"foldic-scale-bench/1\""));
+        assert!(json.contains("\"cells\": 10000"));
+        let table = report.render();
+        assert!(table.contains("10000"));
+    }
+}

@@ -405,12 +405,11 @@ pub fn recluster_clock_leaves(netlist: &mut Netlist) {
                 })
                 .collect();
             let is_leaf = net
-                .sinks
-                .iter()
+                .sinks()
                 .all(|s| s.inst().is_none_or(|i| !drives_clock.contains(&i)));
-            if is_leaf && !net.sinks.is_empty() {
+            if is_leaf && net.fanout() > 0 {
                 leaf_nets.push(nid);
-                all_sinks.extend(net.sinks.iter().copied());
+                all_sinks.extend(net.sinks());
             }
             let _ = driver;
         }
@@ -442,13 +441,12 @@ pub fn recluster_clock_leaves(netlist: &mut Netlist) {
                     .fold(Point::ORIGIN, |acc, &s| acc + netlist.pin_pos(s))
                     * (1.0 / chunk.len() as f64);
                 let tier = netlist.pin_tier(chunk[0]);
-                let inst = netlist.inst_mut(driver);
+                let mut inst = netlist.inst_mut(driver);
                 inst.pos = centroid;
                 inst.tier = tier;
             }
         }
-        let net = netlist.net_mut(*nid);
-        net.sinks = chunk;
+        netlist.set_sinks(*nid, &chunk);
     }
 }
 
@@ -476,7 +474,7 @@ fn rescale_tier_geometry(netlist: &mut Netlist, tier: Tier, fallback: Rect, to: 
     };
     let ids: Vec<InstId> = netlist.inst_ids().collect();
     for id in ids {
-        let inst = netlist.inst_mut(id);
+        let mut inst = netlist.inst_mut(id);
         if inst.tier == tier {
             inst.pos = map(inst.pos);
         }
@@ -688,7 +686,8 @@ fn induced_subnetlist(nl: &Netlist, members: &[InstId]) -> (Netlist, Vec<InstId>
     let mut map: std::collections::HashMap<InstId, InstId> = Default::default();
     for &id in members {
         let inst = nl.inst(id);
-        let new = sub.add_inst(inst.name.clone(), inst.master);
+        // resolve through the parent interner: symbols are per-netlist
+        let new = sub.add_inst(nl.name_of(inst.name).to_string(), inst.master);
         sub.inst_mut(new).pos = inst.pos;
         map.insert(id, new);
         back.push(id);
@@ -704,7 +703,7 @@ fn induced_subnetlist(nl: &Netlist, members: &[InstId]) -> (Netlist, Vec<InstId>
         if !all_inside || pins.len() < 2 {
             continue;
         }
-        let nid = sub.add_net(net.name.clone());
+        let nid = sub.add_net(nl.name_of(net.name).to_string());
         let remap = |p: PinRef| match p {
             PinRef::InstOut(i) => PinRef::InstOut(map[&i]),
             PinRef::InstIn(i, k) => PinRef::InstIn(map[&i], k),
@@ -713,7 +712,7 @@ fn induced_subnetlist(nl: &Netlist, members: &[InstId]) -> (Netlist, Vec<InstId>
         if let Some(d) = net.driver {
             sub.connect_driver(nid, remap(d));
         }
-        for &s in &net.sinks {
+        for s in net.sinks() {
             sub.connect_sink(nid, remap(s));
         }
     }

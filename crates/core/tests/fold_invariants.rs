@@ -55,7 +55,7 @@ fn every_strategy_produces_a_sound_two_tier_block() {
                 assert!(
                     block.outline.inflated(2.0).contains(inst.pos),
                     "{label}: {} escaped",
-                    inst.name
+                    block.netlist.name_of(inst.name)
                 );
             }
             // vias match tier-crossing nets

@@ -1,5 +1,6 @@
 //! Blocks: named netlists with a physical outline and chip-level placement.
 
+use crate::intern::Symbol;
 use crate::netlist::{ClockDomain, Netlist};
 use foldic_geom::{Point, Rect, Tier};
 use std::fmt;
@@ -16,8 +17,8 @@ pub enum PortDir {
 /// A block boundary pin.
 #[derive(Debug, Clone)]
 pub struct Port {
-    /// Port name.
-    pub name: String,
+    /// Port name (resolve via `Netlist::name_of`).
+    pub name: Symbol,
     /// Direction.
     pub dir: PortDir,
     /// Clock domain of the signal.

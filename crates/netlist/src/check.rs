@@ -151,8 +151,14 @@ impl Netlist {
     /// undriven nets, dangling instance/port references, ports used against
     /// their direction, or duplicated sink pins.
     pub fn check(&self) -> Result<(), CheckError> {
+        // Single pass over the flat arrays: names are symbols resolved
+        // only when constructing an error, and duplicate-sink detection
+        // sorts packed 6-byte pin encodings in one reused buffer instead
+        // of hashing `PinRef`s per net — zero steady-state allocations,
+        // O(pins · log fanout) overall.
+        let mut buf: Vec<u64> = Vec::new();
         for (_, net) in self.nets() {
-            let name = || net.name.clone();
+            let name = || self.name_of(net.name).to_string();
             let driver = net
                 .driver
                 .ok_or_else(|| CheckError::UndrivenNet { net: name() })?;
@@ -177,7 +183,7 @@ impl Netlist {
                         if !ok {
                             return Err(CheckError::PortDirectionMismatch {
                                 net: name(),
-                                port: port.name.clone(),
+                                port: self.name_of(port.name).to_string(),
                             });
                         }
                     }
@@ -188,11 +194,14 @@ impl Netlist {
                 // treat an input pin driving a net as an undriven net
                 return Err(CheckError::UndrivenNet { net: name() });
             }
-            let mut seen = std::collections::HashSet::new();
-            for s in &net.sinks {
-                if !seen.insert(*s) {
-                    return Err(CheckError::DuplicateSink { net: name() });
-                }
+            buf.clear();
+            for s in net.sinks() {
+                let (key, aux) = crate::netlist::encode_pin(s);
+                buf.push(u64::from(key) << 16 | u64::from(aux));
+            }
+            buf.sort_unstable();
+            if buf.windows(2).any(|w| w[0] == w[1]) {
+                return Err(CheckError::DuplicateSink { net: name() });
             }
         }
         Ok(())
@@ -249,13 +258,13 @@ impl Block {
             if !inside {
                 return Err(CheckError::PortOutsideOutline {
                     block: name(),
-                    port: port.name.clone(),
+                    port: self.netlist.name_of(port.name).to_string(),
                 });
             }
             if !self.folded && port.tier == Tier::Top {
                 return Err(CheckError::TierMismatch {
                     block: name(),
-                    port: port.name.clone(),
+                    port: self.netlist.name_of(port.name).to_string(),
                 });
             }
         }

@@ -118,6 +118,30 @@ impl Design {
     pub fn total_nets(&self) -> usize {
         self.blocks.iter().map(|b| b.netlist.num_nets()).sum()
     }
+
+    /// Heap bytes resident across all block netlists plus the chip-level
+    /// structures (the scaling bench's bytes/cell numerator).
+    pub fn heap_bytes(&self) -> u64 {
+        let block_heap: u64 = self
+            .blocks
+            .iter()
+            .map(|b| b.name.capacity() as u64 + b.netlist.heap_bytes())
+            .sum();
+        let net_heap: u64 = self
+            .chip_nets
+            .iter()
+            .map(|n| {
+                (n.name.capacity()
+                    + n.endpoints.capacity() * std::mem::size_of::<(BlockId, PortId)>())
+                    as u64
+            })
+            .sum();
+        self.name.capacity() as u64
+            + (self.blocks.capacity() * std::mem::size_of::<Block>()) as u64
+            + (self.chip_nets.capacity() * std::mem::size_of::<ChipNet>()) as u64
+            + block_heap
+            + net_heap
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,320 @@
+//! Name interning: `Symbol(u32)` handles in place of per-entity `String`s.
+//!
+//! A million-cell netlist cannot afford a heap `String` per instance and
+//! net (24 bytes of header plus the heap block each). Names in generated
+//! designs are overwhelmingly *derived*: a shared pattern with one
+//! decimal index (`spc0_u{i}`, `n_ccx_{i}`). The interner therefore
+//! stores two kinds of symbol in one `u32`:
+//!
+//! * **plain** (bit 31 clear): an index into a span table over one shared
+//!   string buffer. Used for one-off names (`"clk"`, block roots, names
+//!   arriving from outside a generator).
+//! * **derived** (bit 31 set): a 7-bit template id plus a 24-bit decimal
+//!   index. A template is a `(prefix, suffix)` pair registered once per
+//!   netlist; the full text is produced only at formatting time, exactly
+//!   as `format!("{prefix}{index}{suffix}")` would have.
+//!
+//! Symbols are **identities of creation**, not content hashes: interning
+//! the same text twice may yield two different symbols, and a derived
+//! name never compares equal to a plain interning of the same text.
+//! Nothing in the workspace compares names through symbols — lookups go
+//! through typed ids — so this is a deliberate trade that keeps interning
+//! allocation-free on the hot path (no dedup map).
+//!
+//! **Determinism:** symbols are assigned in insertion order by a single
+//! construction thread, so the same construction sequence produces the
+//! same symbol values, and resolving them reproduces the exact bytes the
+//! old `String` fields held. Report digests are therefore unchanged.
+
+use std::fmt;
+
+/// `(start, len)` span of a plain name inside the shared string buffer.
+pub(crate) type NameSpan = (u32, u32);
+/// `(prefix_start, prefix_len, suffix_start, suffix_len)` of a template.
+pub(crate) type TmplSpan = (u32, u32, u32, u32);
+
+/// Interned name handle. See the module docs for the encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+const DERIVED_BIT: u32 = 1 << 31;
+const TMPL_SHIFT: u32 = 24;
+const INDEX_MASK: u32 = (1 << TMPL_SHIFT) - 1;
+
+impl Symbol {
+    /// Raw encoded value (stable across save/load; used by snapshots).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a symbol from its raw encoding (snapshot load path).
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        Symbol(raw)
+    }
+}
+
+/// Template handle returned by [`Interner::template`]; combine with an
+/// index via [`Tmpl::at`] to name an entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tmpl(u8);
+
+impl Tmpl {
+    /// The derived name `{prefix}{index}{suffix}` for this template.
+    /// Indices that do not fit the 24-bit payload are handled by the
+    /// netlist's name-construction path (which falls back to a plain
+    /// interning of the formatted text), not here.
+    #[inline]
+    pub fn at(self, index: usize) -> DerivedName {
+        DerivedName { tmpl: self, index }
+    }
+}
+
+/// A not-yet-interned derived name; see [`Tmpl::at`].
+#[derive(Debug, Clone, Copy)]
+pub struct DerivedName {
+    pub(crate) tmpl: Tmpl,
+    pub(crate) index: usize,
+}
+
+/// Per-netlist symbol table: one shared buffer, a span table for plain
+/// symbols, and a `(prefix, suffix)` table for templates.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    /// All plain strings and template halves, concatenated.
+    buf: String,
+    /// Plain symbol spans: `(start, len)` into `buf`.
+    spans: Vec<(u32, u32)>,
+    /// Template spans: `(prefix_start, prefix_len, suffix_start,
+    /// suffix_len)` into `buf`.
+    templates: Vec<(u32, u32, u32, u32)>,
+}
+
+impl Interner {
+    fn push_span(&mut self, text: &str) -> (u32, u32) {
+        let start = self.buf.len() as u32;
+        self.buf.push_str(text);
+        (start, text.len() as u32)
+    }
+
+    /// Interns `text` as a plain symbol. No deduplication: callers that
+    /// intern in a loop should hold on to the symbol (or use a template).
+    pub fn intern(&mut self, text: &str) -> Symbol {
+        let span = self.push_span(text);
+        let idx = self.spans.len() as u32;
+        assert!(idx < DERIVED_BIT, "interner span table overflow");
+        self.spans.push(span);
+        Symbol(idx)
+    }
+
+    /// Registers a `{prefix}{index}{suffix}` template. A netlist supports
+    /// up to 128 templates; generators register a handful per block.
+    pub fn template(&mut self, prefix: &str, suffix: &str) -> Tmpl {
+        let id = self.templates.len();
+        assert!(id < (1 << 7), "interner template table overflow");
+        let p = self.push_span(prefix);
+        let s = self.push_span(suffix);
+        self.templates.push((p.0, p.1, s.0, s.1));
+        Tmpl(id as u8)
+    }
+
+    /// Encodes a derived name, falling back to a plain interning of the
+    /// formatted text when the index exceeds the 24-bit payload.
+    pub fn derived(&mut self, name: DerivedName) -> Symbol {
+        if name.index as u64 > u64::from(INDEX_MASK) {
+            let (p, s) = self.template_parts(name.tmpl);
+            let text = format!("{p}{}{s}", name.index);
+            return self.intern(&text);
+        }
+        Symbol(DERIVED_BIT | (u32::from(name.tmpl.0) << TMPL_SHIFT) | name.index as u32)
+    }
+
+    fn span_str(&self, (start, len): (u32, u32)) -> &str {
+        &self.buf[start as usize..(start + len) as usize]
+    }
+
+    fn template_parts(&self, tmpl: Tmpl) -> (&str, &str) {
+        let (ps, pl, ss, sl) = self.templates[tmpl.0 as usize];
+        (self.span_str((ps, pl)), self.span_str((ss, sl)))
+    }
+
+    /// Resolves a symbol to a zero-allocation displayable name.
+    pub fn name(&self, sym: Symbol) -> NameRef<'_> {
+        NameRef {
+            interner: self,
+            sym,
+        }
+    }
+
+    /// Appends the resolved text of `sym` to `out` (formatting-time
+    /// resolution for report and Verilog writers).
+    pub fn write_name(&self, out: &mut String, sym: Symbol) {
+        use fmt::Write;
+        let _ = write!(out, "{}", self.name(sym));
+    }
+
+    /// Heap bytes held by the symbol table (scaling-bench accounting).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.buf.capacity()
+            + self.spans.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.templates.capacity() * std::mem::size_of::<(u32, u32, u32, u32)>())
+            as u64
+    }
+
+    /// Serialization accessors for the snapshot writer.
+    pub(crate) fn parts(&self) -> (&str, &[NameSpan], &[TmplSpan]) {
+        (&self.buf, &self.spans, &self.templates)
+    }
+
+    /// Rebuilds an interner from snapshot sections, validating that every
+    /// span lies inside the buffer on a UTF-8 boundary.
+    pub(crate) fn from_parts(
+        buf: String,
+        spans: Vec<(u32, u32)>,
+        templates: Vec<(u32, u32, u32, u32)>,
+    ) -> Result<Self, String> {
+        let check = |start: u32, len: u32| -> Result<(), String> {
+            let end = u64::from(start) + u64::from(len);
+            if end > buf.len() as u64 {
+                return Err(format!("name span {start}+{len} outside buffer"));
+            }
+            if !buf.is_char_boundary(start as usize) || !buf.is_char_boundary(end as usize) {
+                return Err(format!("name span {start}+{len} splits a UTF-8 sequence"));
+            }
+            Ok(())
+        };
+        for &(s, l) in &spans {
+            check(s, l)?;
+        }
+        for &(ps, pl, ss, sl) in &templates {
+            check(ps, pl)?;
+            check(ss, sl)?;
+        }
+        Ok(Self {
+            buf,
+            spans,
+            templates,
+        })
+    }
+
+    /// The text of a plain symbol, or `None` for derived symbols (group
+    /// names are always plain, so `Netlist::group_name` can return
+    /// `&str`).
+    pub(crate) fn as_plain(&self, sym: Symbol) -> Option<&str> {
+        if sym.0 & DERIVED_BIT == 0 {
+            Some(self.span_str(self.spans[sym.0 as usize]))
+        } else {
+            None
+        }
+    }
+
+    /// `true` when `sym` resolves inside this table (snapshot validation).
+    pub(crate) fn contains(&self, sym: Symbol) -> bool {
+        if sym.0 & DERIVED_BIT == 0 {
+            (sym.0 as usize) < self.spans.len()
+        } else {
+            let tmpl = ((sym.0 & !DERIVED_BIT) >> TMPL_SHIFT) as usize;
+            tmpl < self.templates.len()
+        }
+    }
+}
+
+/// A resolved name: displays as the exact text the entity was named
+/// with, without allocating. Obtain via `Netlist::name_of`.
+#[derive(Clone, Copy)]
+pub struct NameRef<'a> {
+    interner: &'a Interner,
+    sym: Symbol,
+}
+
+impl fmt::Display for NameRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sym = self.sym;
+        if sym.0 & DERIVED_BIT == 0 {
+            f.write_str(self.interner.span_str(self.interner.spans[sym.0 as usize]))
+        } else {
+            let tmpl = Tmpl(((sym.0 & !DERIVED_BIT) >> TMPL_SHIFT) as u8);
+            let (prefix, suffix) = self.interner.template_parts(tmpl);
+            write!(f, "{prefix}{}{suffix}", sym.0 & INDEX_MASK)
+        }
+    }
+}
+
+impl fmt::Debug for NameRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_symbols_resolve_to_their_text() {
+        let mut it = Interner::default();
+        let clk = it.intern("clk");
+        let root = it.intern("spc0_ckroot");
+        assert_eq!(it.name(clk).to_string(), "clk");
+        assert_eq!(it.name(root).to_string(), "spc0_ckroot");
+    }
+
+    #[test]
+    fn derived_symbols_format_like_the_original_format_string() {
+        let mut it = Interner::default();
+        let cells = it.template("spc0_u", "");
+        let mpins = it.template("n_spc0_m7_", "");
+        for i in [0usize, 1, 9, 10, 123_456] {
+            let sym = it.derived(cells.at(i));
+            assert_eq!(it.name(sym).to_string(), format!("spc0_u{i}"));
+        }
+        let sym = it.derived(mpins.at(3));
+        assert_eq!(it.name(sym).to_string(), "n_spc0_m7_3");
+    }
+
+    #[test]
+    fn oversized_indices_fall_back_to_plain_interning() {
+        let mut it = Interner::default();
+        let t = it.template("u", "");
+        let sym = it.derived(t.at(1 << 24));
+        assert_eq!(it.name(sym).to_string(), format!("u{}", 1 << 24));
+        assert_eq!(sym.raw() & super::DERIVED_BIT, 0, "fallback is plain");
+    }
+
+    #[test]
+    fn symbols_are_creation_identities_not_content_hashes() {
+        let mut it = Interner::default();
+        let a = it.intern("clk");
+        let b = it.intern("clk");
+        assert_ne!(a, b, "no dedup by design");
+        assert_eq!(it.name(a).to_string(), it.name(b).to_string());
+    }
+
+    #[test]
+    fn write_name_appends_without_clearing() {
+        let mut it = Interner::default();
+        let t = it.template("n_ccx_", "");
+        let sym = it.derived(t.at(42));
+        let mut out = String::from(".");
+        it.write_name(&mut out, sym);
+        assert_eq!(out, ".n_ccx_42");
+    }
+
+    #[test]
+    fn from_parts_rejects_out_of_range_spans() {
+        let bad = Interner::from_parts("ab".to_owned(), vec![(1, 5)], Vec::new());
+        assert!(bad.is_err());
+        let bad = Interner::from_parts(
+            "ab".to_owned(),
+            Vec::new(),
+            vec![(0, 1), (9, 1)]
+                .into_iter()
+                .flat_map(|(a, b)| [(a, b, 0, 0)])
+                .collect(),
+        );
+        assert!(bad.is_err());
+        let ok = Interner::from_parts("ab".to_owned(), vec![(0, 2)], vec![(0, 1, 1, 1)]);
+        assert!(ok.is_ok());
+    }
+}

@@ -36,8 +36,10 @@
 
 mod block;
 mod check;
+pub mod db;
 mod design;
 mod ids;
+mod intern;
 mod netlist;
 mod stats;
 pub mod verilog;
@@ -46,6 +48,10 @@ pub use block::{Block, BlockKind, Port, PortDir};
 pub use check::CheckError;
 pub use design::{ChipNet, Design};
 pub use ids::{BlockId, GroupId, InstId, NetId, PortId};
-pub use netlist::{ClockDomain, Inst, InstMaster, Net, Netlist, PinRef};
+pub use intern::{DerivedName, NameRef, Symbol, Tmpl};
+pub use netlist::{
+    Adjacency, ClockDomain, Inst, InstMaster, InstMut, IntoName, Net, NetData, NetMut, Netlist,
+    NetlistBuilder, PinRef,
+};
 pub use stats::NetlistStats;
 pub use verilog::write_verilog;

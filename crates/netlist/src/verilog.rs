@@ -32,6 +32,8 @@ fn ident(name: &str) -> String {
 /// single-output cell model. Macro pins follow the same convention.
 pub fn write_verilog(netlist: &Netlist, tech: &Technology) -> String {
     let mut out = String::new();
+    // names are interned symbols; resolve to text here, at format time
+    let name = |s| netlist.name_of(s).to_string();
     let module = ident(&netlist.name);
     // ports
     let mut port_decls = Vec::new();
@@ -40,7 +42,7 @@ pub fn write_verilog(netlist: &Netlist, tech: &Technology) -> String {
             PortDir::Input => "input",
             PortDir::Output => "output",
         };
-        port_decls.push((dir, ident(&port.name)));
+        port_decls.push((dir, ident(&name(port.name))));
     }
     let _ = writeln!(
         out,
@@ -56,7 +58,7 @@ pub fn write_verilog(netlist: &Netlist, tech: &Technology) -> String {
     }
     // wires: one per net not directly a port passthrough
     for (_, net) in netlist.nets() {
-        let _ = writeln!(out, "  wire {};", ident(&net.name));
+        let _ = writeln!(out, "  wire {};", ident(&name(net.name)));
     }
     // port-to-net aliases
     for (pid, port) in netlist.ports() {
@@ -71,16 +73,16 @@ pub fn write_verilog(netlist: &Netlist, tech: &Technology) -> String {
                     let _ = writeln!(
                         out,
                         "  assign {} = {};",
-                        ident(&net.name),
-                        ident(&port.name)
+                        ident(&name(net.name)),
+                        ident(&name(port.name))
                     );
                 }
                 PortDir::Output => {
                     let _ = writeln!(
                         out,
                         "  assign {} = {};",
-                        ident(&port.name),
-                        ident(&net.name)
+                        ident(&name(port.name)),
+                        ident(&name(net.name))
                     );
                 }
             }
@@ -89,7 +91,7 @@ pub fn write_verilog(netlist: &Netlist, tech: &Technology) -> String {
     // instances: collect per-pin wires
     let mut conns: Vec<Vec<(String, String)>> = vec![Vec::new(); netlist.num_insts()];
     for (_, net) in netlist.nets() {
-        let wire = ident(&net.name);
+        let wire = ident(&name(net.name));
         for (k, pin) in net.pins().enumerate() {
             match pin {
                 PinRef::InstOut(i) => {
@@ -116,7 +118,12 @@ pub fn write_verilog(netlist: &Netlist, tech: &Technology) -> String {
             .map(|(p, w)| format!(".{p}({w})"))
             .collect::<Vec<_>>()
             .join(", ");
-        let _ = writeln!(out, "  {} {} ({body});", ident(&master), ident(&inst.name));
+        let _ = writeln!(
+            out,
+            "  {} {} ({body});",
+            ident(&master),
+            ident(&name(inst.name))
+        );
     }
     let _ = writeln!(out, "endmodule");
     out

@@ -89,6 +89,13 @@ pub struct RunManifest {
     /// thread, so they are compared with a relative tolerance
     /// ([`CompareConfig::mem_tol_pct`]), never byte-exactly.
     pub resources: BTreeMap<String, u64>,
+    /// Design-database provenance: snapshot digest (path-less), cell and
+    /// net counts, and whether the design was `generated` in-process or
+    /// loaded from a `snapshot` file. Pay-for-use like `resources`.
+    /// Everything except `source` is compared for exact equality — the
+    /// same design loaded from disk must digest identically to the one
+    /// generated in memory.
+    pub db: BTreeMap<String, String>,
 }
 
 /// FNV-1a 64-bit digest of a report text, formatted `fnv64:<16 hex>`.
@@ -179,6 +186,14 @@ impl RunManifest {
                 .collect();
             fields.push(("resources".to_owned(), Json::Obj(resources)));
         }
+        if !self.db.is_empty() {
+            let db = self
+                .db
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                .collect();
+            fields.push(("db".to_owned(), Json::Obj(db)));
+        }
         Json::obj(fields)
     }
 
@@ -256,6 +271,14 @@ impl RunManifest {
                     .filter(|n| n.is_finite() && *n >= 0.0)
                     .ok_or_else(|| format!("resources.{stage} is not a byte count"))?;
                 manifest.resources.insert(stage.clone(), bytes as u64);
+            }
+        }
+        if let Some(Json::Obj(db)) = json.get("db") {
+            for (k, v) in db {
+                let v = v
+                    .as_str()
+                    .ok_or_else(|| format!("db.{k} is not a string"))?;
+                manifest.db.insert(k.clone(), v.to_owned());
             }
         }
         Ok(manifest)
@@ -494,6 +517,31 @@ pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: CompareConfig) -> Co
         }
     }
 
+    // Design-database section: exact equality, except `source` — the
+    // whole point of the digest is that a snapshot-loaded design and a
+    // generated one are interchangeable, so provenance alone is a
+    // change, never a regression.
+    for (key, bv) in &base.db {
+        out.compared += 1;
+        match cand.db.get(key) {
+            Some(cv) if cv == bv => {}
+            Some(cv) if key == "source" => out
+                .changes
+                .push(format!("db source: {bv} -> {cv} (digest gated separately)")),
+            Some(cv) => out
+                .regressions
+                .push(format!("db {key}: baseline {bv:?} vs candidate {cv:?}")),
+            None => out
+                .regressions
+                .push(format!("db {key}: missing from candidate")),
+        }
+    }
+    for key in cand.db.keys() {
+        if !base.db.contains_key(key) {
+            out.changes.push(format!("db {key}: new in candidate"));
+        }
+    }
+
     out
 }
 
@@ -720,6 +768,47 @@ mod tests {
             .changes
             .iter()
             .any(|c| c.contains("resources route") && c.contains("new in candidate")));
+    }
+
+    #[test]
+    fn db_section_is_pay_for_use_and_gated_exactly() {
+        // no --design and no digest recorded: key absent, layout unchanged
+        let m = sample();
+        assert!(!m.to_json_text().contains("\"db\""));
+
+        // with provenance: round-trips byte-identically
+        let mut base = sample();
+        base.db
+            .insert("digest".into(), "fnv64:00aabbccddeeff11".into());
+        base.db.insert("cells".into(), "120000".into());
+        base.db.insert("nets".into(), "118000".into());
+        base.db.insert("source".into(), "generated".into());
+        let text = base.to_json_text();
+        assert!(text.contains("\"db\""));
+        let back = RunManifest::parse(&text).unwrap();
+        assert_eq!(back.db, base.db);
+        assert_eq!(back.to_json_text(), text);
+
+        // snapshot-loaded run with the same digest: source flips but the
+        // gate stays green — provenance is informational
+        let mut cand = base.clone();
+        cand.db.insert("source".into(), "snapshot".into());
+        let out = compare(&base, &cand, CompareConfig::default());
+        assert!(out.is_ok(), "{:?}", out.regressions);
+        assert!(out.changes.iter().any(|c| c.contains("db source")));
+
+        // a digest or census drift is a hard regression
+        let mut cand = base.clone();
+        cand.db
+            .insert("digest".into(), "fnv64:ffffffffffffffff".into());
+        assert!(!compare(&base, &cand, CompareConfig::default()).is_ok());
+        let mut cand = base.clone();
+        cand.db.remove("cells");
+        let out = compare(&base, &cand, CompareConfig::default());
+        assert!(out
+            .regressions
+            .iter()
+            .any(|x| x.contains("db cells") && x.contains("missing")));
     }
 
     #[test]

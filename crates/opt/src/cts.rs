@@ -67,7 +67,7 @@ pub fn synthesize_clock_tree(netlist: &mut Netlist, tech: &Technology) -> CtsSta
         .map(|(id, _)| id)
         .collect();
     for nid in &old_clock_nets {
-        netlist.net_mut(*nid).sinks.clear();
+        netlist.clear_sinks(*nid);
     }
     // keep the root input (clk port) net if one exists
     let root_in = old_clock_nets
@@ -98,7 +98,7 @@ pub fn synthesize_clock_tree(netlist: &mut Netlist, tech: &Technology) -> CtsSta
     }
     let trunk = netlist.add_net("cts_trunk");
     {
-        let n = netlist.net_mut(trunk);
+        let mut n = netlist.net_mut(trunk);
         n.domain = domain;
         n.is_clock = true;
     }
@@ -153,7 +153,7 @@ fn bisect(
     let name = format!("cts_{}_{}_{}", tier, level, stats.buffers);
     let buf = netlist.add_inst(name, InstMaster::Cell(master));
     {
-        let inst = netlist.inst_mut(buf);
+        let mut inst = netlist.inst_mut(buf);
         inst.pos = centroid;
         inst.tier = tier;
     }
@@ -161,7 +161,7 @@ fn bisect(
     netlist.connect_sink(parent_net, PinRef::input(buf, 0));
     let net = netlist.add_net(format!("cts_n_{}_{}_{}", tier, level, stats.buffers));
     {
-        let n = netlist.net_mut(net);
+        let mut n = netlist.net_mut(net);
         n.domain = domain;
         n.is_clock = true;
     }
@@ -225,11 +225,11 @@ pub fn estimate_skew_ps(
     let mut min_d = f64::INFINITY;
     let mut max_d = f64::NEG_INFINITY;
     for (nid, net) in netlist.nets() {
-        if !net.is_clock || net.sinks.is_empty() {
+        if !net.is_clock || net.fanout() == 0 {
             continue;
         }
         let rec = wiring.net(nid);
-        for (k, _) in net.sinks.iter().enumerate() {
+        for k in 0..net.fanout() {
             let len = rec.sink_paths.get(k).copied().unwrap_or(0.0);
             let d = 0.5 * r * len * c * len * foldic_tech::units::RC_TO_PS;
             min_d = min_d.min(d);
@@ -273,9 +273,9 @@ mod tests {
         let mut seen = std::collections::HashMap::new();
         for (_, net) in nl.nets() {
             if net.is_clock {
-                for s in &net.sinks {
-                    if expect.contains(s) {
-                        *seen.entry(*s).or_insert(0usize) += 1;
+                for s in net.sinks() {
+                    if expect.contains(&s) {
+                        *seen.entry(s).or_insert(0usize) += 1;
                     }
                 }
             }
@@ -295,10 +295,14 @@ mod tests {
         let stats = synthesize_clock_tree(&mut nl, &tech);
         assert!(stats.leaves >= 1);
         for (_, net) in nl.nets() {
-            if net.is_clock && net.name.starts_with("cts_n") {
+            if net.is_clock && nl.name_of(net.name).to_string().starts_with("cts_n") {
                 // leaf nets drive flops only up to capacity; internal nets
                 // drive buffers (small fanout by construction)
-                assert!(net.fanout() <= LEAF_CAPACITY.max(2), "{}", net.name);
+                assert!(
+                    net.fanout() <= LEAF_CAPACITY.max(2),
+                    "{}",
+                    nl.name_of(net.name)
+                );
             }
         }
     }
@@ -320,14 +324,18 @@ mod tests {
         synthesize_clock_tree(&mut nl, &tech);
         // no cts leaf net may span tiers
         for (nid, net) in nl.nets() {
-            if net.is_clock && net.name.starts_with("cts_n") {
-                let drives_flops = net.sinks.iter().any(|s| match s {
-                    PinRef::InstIn(i, 1) => matches!(nl.inst(*i).master, InstMaster::Cell(m)
+            if net.is_clock && nl.name_of(net.name).to_string().starts_with("cts_n") {
+                let drives_flops = net.sinks().any(|s| match s {
+                    PinRef::InstIn(i, 1) => matches!(nl.inst(i).master, InstMaster::Cell(m)
                         if tech.cells.master(m).kind == CellKind::Dff),
                     _ => false,
                 });
                 if drives_flops {
-                    assert!(!nl.net_is_3d(nid), "leaf {} spans tiers", net.name);
+                    assert!(
+                        !nl.net_is_3d(nid),
+                        "leaf {} spans tiers",
+                        nl.name_of(net.name)
+                    );
                 }
             }
         }

@@ -150,7 +150,7 @@ pub fn insert_buffers(
             foldic_fault::deadline::poll()?;
         }
         let net = netlist.net(nid);
-        if net.is_clock || net.sinks.is_empty() {
+        if net.is_clock || net.fanout() == 0 {
             continue;
         }
         let Some(driver) = net.driver else { continue };
@@ -164,7 +164,7 @@ pub fn insert_buffers(
 
         if net.fanout() == 1 {
             // chain along the straight line to the sink
-            let sink = net.sinks[0];
+            let sink = net.sink(0);
             let spos = netlist.pin_pos(sink);
             let stier = netlist.pin_tier(sink);
             let len = rec.length_um;
@@ -185,7 +185,7 @@ pub fn insert_buffers(
                     InstMaster::Cell(buf_master),
                 );
                 {
-                    let inst = netlist.inst_mut(b);
+                    let mut inst = netlist.inst_mut(b);
                     inst.pos = pos;
                     inst.tier = if t < 0.5 { dtier } else { stier };
                 }
@@ -203,9 +203,7 @@ pub fn insert_buffers(
         } else {
             // multi-fanout: buffer the far cluster once
             let far: Vec<PinRef> = net
-                .sinks
-                .iter()
-                .copied()
+                .sinks()
                 .zip(rec.sink_paths.iter())
                 .filter(|&(_, &d)| d > spacing)
                 .map(|(s, _)| s)
@@ -226,7 +224,7 @@ pub fn insert_buffers(
             );
             let b = netlist.add_inst(format!("optbuf_{}_c", nid.0), InstMaster::Cell(buf_master));
             {
-                let inst = netlist.inst_mut(b);
+                let mut inst = netlist.inst_mut(b);
                 inst.pos = pos;
                 inst.tier = dtier;
             }
@@ -324,9 +322,8 @@ pub fn downsize_with_slack(
                 let net = netlist.net(nid);
                 let wire = loads.net(nid).length_um * c_um;
                 let pins: f64 = net
-                    .sinks
-                    .iter()
-                    .map(|&s| match s {
+                    .sinks()
+                    .map(|s| match s {
                         PinRef::InstIn(i, _) => match netlist.inst(i).master {
                             InstMaster::Cell(mm) => tech.cells.master(mm).input_cap_ff,
                             InstMaster::Macro(k) => tech.macros.get(k).pin_cap_ff,

@@ -213,7 +213,7 @@ mod tests {
                 }
             }
             let expected = if t > b { Tier::Top } else { Tier::Bottom };
-            assert_eq!(port.tier, expected, "port {}", port.name);
+            assert_eq!(port.tier, expected, "port {}", nl.name_of(port.name));
         }
     }
 }

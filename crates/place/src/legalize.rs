@@ -314,7 +314,7 @@ mod tests {
             assert!(
                 !hole.overlaps(inst.rect(&tech).inflated(-0.01)),
                 "{} at {}",
-                inst.name,
+                nl.name_of(inst.name),
                 inst.pos
             );
         }

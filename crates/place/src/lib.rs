@@ -201,7 +201,10 @@ pub fn place_with_obstacles(
         if !(inst.pos.x.is_finite() && inst.pos.y.is_finite()) {
             return Err(FlowError::stage(
                 FlowStage::Place,
-                format!("placement diverged: `{}` at non-finite position", inst.name),
+                format!(
+                    "placement diverged: `{}` at non-finite position",
+                    netlist.name_of(inst.name)
+                ),
             ));
         }
     }
@@ -287,7 +290,7 @@ mod tests {
             assert!(
                 outline.inflated(1e-6).contains_rect(r),
                 "{} at {} escapes {}",
-                inst.name,
+                nl.name_of(inst.name),
                 inst.pos,
                 outline
             );

@@ -488,7 +488,7 @@ mod tests {
                 (w.x.to_bits(), w.y.to_bits()),
                 (f.x.to_bits(), f.y.to_bits()),
                 "scratch reuse drifted for {}",
-                warm_nl.inst(c).name
+                warm_nl.name_of(warm_nl.inst(c).name)
             );
         }
     }

@@ -147,9 +147,8 @@ pub fn power_census(
         let f = net.domain.frequency_ghz(tech);
         let alpha = if net.is_clock { 1.0 } else { cfg.activity };
         let pin_cap: f64 = net
-            .sinks
-            .iter()
-            .map(|&s| match s {
+            .sinks()
+            .map(|s| match s {
                 PinRef::InstIn(i, _) => match netlist.inst(i).master {
                     InstMaster::Cell(m) => tech.cells.master(m).input_cap_ff,
                     InstMaster::Macro(k) => tech.macros.get(k).pin_cap_ff,

@@ -109,7 +109,7 @@ pub fn write_merged(netlist: &Netlist, tech: &Technology, outline: Rect, name: &
         let _ = writeln!(
             out,
             "  - {} {}{} + PLACED ( {} {} ) ;",
-            inst.name,
+            netlist.name_of(inst.name),
             base,
             suffix(inst.tier),
             dbu(inst.pos.x),
@@ -120,8 +120,14 @@ pub fn write_merged(netlist: &Netlist, tech: &Technology, outline: Rect, name: &
 
     let pin_name = |p: PinRef| -> Option<(String, String)> {
         match p {
-            PinRef::InstOut(i) => Some((netlist.inst(i).name.clone(), "out".to_owned())),
-            PinRef::InstIn(i, k) => Some((netlist.inst(i).name.clone(), format!("in{k}"))),
+            PinRef::InstOut(i) => Some((
+                netlist.name_of(netlist.inst(i).name).to_string(),
+                "out".to_owned(),
+            )),
+            PinRef::InstIn(i, k) => Some((
+                netlist.name_of(netlist.inst(i).name).to_string(),
+                format!("in{k}"),
+            )),
             PinRef::Port(_) => None,
         }
     };
@@ -131,7 +137,7 @@ pub fn write_merged(netlist: &Netlist, tech: &Technology, outline: Rect, name: &
         if netlist.net_is_3d(nid) {
             let pins: Vec<(String, String)> = net.pins().filter_map(pin_name).collect();
             if pins.len() >= 2 {
-                nets_3d.push((net.name.clone(), pins));
+                nets_3d.push((netlist.name_of(net.name).to_string(), pins));
                 continue;
             }
         }

@@ -196,7 +196,10 @@ pub fn place_vias(
         if !(median.x.is_finite() && median.y.is_finite()) {
             return Err(FlowError::stage(
                 FlowStage::Route,
-                format!("3D net `{}` has pins at non-finite coordinates", net.name),
+                format!(
+                    "3D net `{}` has pins at non-finite coordinates",
+                    netlist.name_of(net.name)
+                ),
             ));
         }
         let ideal = median.clamped(outline);
@@ -257,7 +260,7 @@ mod tests {
             let y = 190.0 + 0.01 * i as f64;
             nl.inst_mut(a).pos = Point::new(x, y);
             {
-                let inst = nl.inst_mut(b);
+                let mut inst = nl.inst_mut(b);
                 inst.pos = Point::new(x, y);
                 inst.tier = Tier::Top;
             }
@@ -267,7 +270,7 @@ mod tests {
         }
         if with_macro {
             let mac = nl.add_inst("mem", InstMaster::Macro(MacroKind::Sram16k));
-            let inst = nl.inst_mut(mac);
+            let mut inst = nl.inst_mut(mac);
             inst.pos = Point::new(200.0, 200.0);
             inst.fixed = true;
         }

@@ -82,9 +82,8 @@ impl BlockWiring {
             let dpos = netlist.pin_pos(driver);
             let dtier = netlist.pin_tier(driver);
             let sinks: Vec<(Point, Tier)> = net
-                .sinks
-                .iter()
-                .map(|&s| (netlist.pin_pos(s), netlist.pin_tier(s)))
+                .sinks()
+                .map(|s| (netlist.pin_pos(s), netlist.pin_tier(s)))
                 .collect();
             let is_3d = sinks.iter().any(|&(_, t)| t != dtier);
 

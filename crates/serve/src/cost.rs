@@ -11,8 +11,11 @@
 //! throughput; under-estimation would let the ledger over-commit the
 //! limit, which is the one thing it exists to prevent.
 //!
-//! The estimate is a pure, deterministic function of the spec's `size`
-//! and (deduplicated) experiment list. `seed`, `threads` and
+//! The estimate is a pure, deterministic function of the spec's `size`,
+//! its (deduplicated) experiment list and, when advertised, its
+//! `design_cells` — snapshot-backed designs can be far larger than the
+//! size label suggests, so the cell count raises (never lowers) both
+//! design and per-experiment terms. `seed`, `threads` and
 //! `deadline_secs` deliberately do not participate: the seed does not
 //! change working-set shape, intra-job threads share the same arenas,
 //! and deadlines bound time, not space.
@@ -47,7 +50,21 @@ fn size_terms(size: &str) -> Result<(u64, u64), String> {
 /// and the runner's `resolve` never hit the list errors; they exist so
 /// arbitrary specs get a typed rejection instead of a panic.
 pub fn estimate_cost(spec: &JobSpec) -> Result<u64, String> {
-    let (design, per_experiment) = size_terms(&spec.size)?;
+    let (mut design, mut per_experiment) = size_terms(&spec.size)?;
+    if let Some(cells) = spec.design_cells {
+        // Snapshot-backed or otherwise non-standard designs advertise
+        // their cell count; the terms scale linearly with it (≈60 B/cell
+        // in the interned database, priced at 256/64 B for the usual 2×+
+        // conservatism) and never price *below* the size label. Beyond
+        // 2^32 cells no machine this daemon runs on could hold the job:
+        // reject it typed instead of quoting a number that would wedge
+        // the ledger at u64::MAX.
+        if cells > 1 << 32 {
+            return Err(format!("cannot price {cells} cells (max 2^32)"));
+        }
+        design = design.max(cells.saturating_mul(256));
+        per_experiment = per_experiment.max(cells.saturating_mul(64));
+    }
     if spec.experiments.is_empty() {
         return Err("cannot price an empty experiment list".to_owned());
     }
@@ -127,5 +144,30 @@ mod tests {
             ..JobSpec::default()
         };
         assert!(estimate_cost(&s).unwrap_err().contains("max 1024"));
+    }
+
+    #[test]
+    fn design_cells_raises_terms_but_never_lowers_them() {
+        let base = estimate_cost(&spec(&["table2"], "tiny")).unwrap();
+        // Tiny advertised designs fall below the size-label floor and
+        // change nothing.
+        let mut small_cells = spec(&["table2"], "tiny");
+        small_cells.design_cells = Some(100);
+        assert_eq!(estimate_cost(&small_cells).unwrap(), base);
+        // A million-cell snapshot must be priced off its cell count, not
+        // the label: at least the 256 B/cell design term.
+        let mut big = spec(&["table2"], "tiny");
+        big.design_cells = Some(1_000_000);
+        let est = estimate_cost(&big).unwrap();
+        assert!(est > base, "cells must raise the estimate");
+        assert!(est >= 1_000_000 * 256, "design term under-priced: {est}");
+        // Beyond 2^32 cells the spec is unpriceable, not astronomically
+        // priced.
+        let mut absurd = spec(&["table2"], "tiny");
+        absurd.design_cells = Some((1 << 32) + 1);
+        assert!(estimate_cost(&absurd).unwrap_err().contains("max 2^32"));
+        let mut boundary = spec(&["table2"], "tiny");
+        boundary.design_cells = Some(1 << 32);
+        assert!(estimate_cost(&boundary).is_ok());
     }
 }

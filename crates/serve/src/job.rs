@@ -34,6 +34,12 @@ pub struct JobSpec {
     /// Optional wall-clock budget for the job; such jobs ride the
     /// process-global deadline layer and are scheduled exclusively.
     pub deadline_secs: Option<f64>,
+    /// Advertised design size in cells, for snapshot-backed or otherwise
+    /// non-standard designs whose footprint the `size` label alone
+    /// cannot price. Only the admission cost model reads it — it does
+    /// not participate in the cache identity, because the design content
+    /// is already pinned by the config the runner builds.
+    pub design_cells: Option<u64>,
 }
 
 impl Default for JobSpec {
@@ -44,6 +50,7 @@ impl Default for JobSpec {
             seed: None,
             threads: 1,
             deadline_secs: None,
+            design_cells: None,
         }
     }
 }
@@ -59,13 +66,14 @@ impl JobSpec {
     /// the server maps it to a 400 response.
     pub fn from_json(json: &Json) -> Result<Self, String> {
         let obj = json.as_obj().ok_or("submission must be a JSON object")?;
-        const KNOWN: [&str; 6] = [
+        const KNOWN: [&str; 7] = [
             "schema",
             "experiments",
             "size",
             "seed",
             "threads",
             "deadline_secs",
+            "design_cells",
         ];
         for key in obj.keys() {
             if !KNOWN.contains(&key.as_str()) {
@@ -134,6 +142,16 @@ impl JobSpec {
             }
             spec.deadline_secs = Some(v);
         }
+
+        if let Some(cells) = obj.get("design_cells") {
+            let v = cells.as_f64().ok_or("`design_cells` must be a number")?;
+            if !(v.is_finite() && v >= 1.0 && v.fract() == 0.0 && v <= 2f64.powi(53)) {
+                return Err(format!(
+                    "`design_cells` must be an integer in [1, 2^53], got {v}"
+                ));
+            }
+            spec.design_cells = Some(v as u64);
+        }
         Ok(spec)
     }
 
@@ -159,6 +177,9 @@ impl JobSpec {
         }
         if let Some(deadline) = self.deadline_secs {
             fields.push(("deadline_secs".to_owned(), Json::Num(deadline)));
+        }
+        if let Some(cells) = self.design_cells {
+            fields.push(("design_cells".to_owned(), Json::Num(cells as f64)));
         }
         Json::obj(fields)
     }
@@ -212,6 +233,7 @@ mod tests {
             seed: Some(12345),
             threads: 4,
             deadline_secs: Some(2.5),
+            design_cells: Some(1_000_000),
         };
         let back = JobSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
@@ -249,6 +271,14 @@ mod tests {
             (
                 r#"{"experiments": ["t"], "size": "tiny", "schema": "bogus/9"}"#,
                 "schema",
+            ),
+            (
+                r#"{"experiments": ["t"], "size": "tiny", "design_cells": 0}"#,
+                "design_cells",
+            ),
+            (
+                r#"{"experiments": ["t"], "size": "tiny", "design_cells": 2.5}"#,
+                "design_cells",
             ),
         ] {
             let err = parse(text).unwrap_err();

@@ -188,6 +188,7 @@ fn plan(cfg: &LoadConfig) -> (Vec<JobSpec>, Vec<Planned>) {
         seed: None,
         threads: 1,
         deadline_secs: None,
+        design_cells: None,
     };
     // Seeds travel as JSON numbers (f64), so derived seeds are masked to
     // the 53-bit exactly-representable range the job schema accepts.

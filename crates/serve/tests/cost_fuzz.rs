@@ -50,6 +50,13 @@ fn random_spec(rng: &mut StdRng) -> JobSpec {
         seed: rng.gen_bool(0.5).then(|| rng.gen()),
         threads: rng.gen_range(1..65usize),
         deadline_secs: rng.gen_bool(0.3).then(|| rng.gen_range(0.0..100.0)),
+        // straddle the 2^32-cell pricing cap: plausible counts, the
+        // boundary neighborhood, and arbitrary u64 junk
+        design_cells: rng.gen_bool(0.5).then(|| match rng.gen_range(0..4u32) {
+            0 => rng.gen_range(1..10_000_000u64),
+            1 => (1u64 << 32) - 1 + rng.gen_range(0..3),
+            _ => rng.gen(),
+        }),
     }
 }
 
@@ -96,6 +103,7 @@ fn estimates_are_deterministic_order_insensitive_and_ignore_runtime_knobs() {
         }
 
         // seed, threads and deadline deliberately do not participate
+        // (design_cells does — it stays untouched here)
         let mut reknobbed = spec.clone();
         reknobbed.seed = Some(rng.gen());
         reknobbed.threads = rng.gen_range(1..65usize);

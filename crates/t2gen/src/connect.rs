@@ -351,10 +351,16 @@ mod tests {
         let mut checked = 0;
         for (_, net) in ccx.netlist.nets() {
             if let Some(PinRef::Port(p)) = net.driver {
-                if ccx.netlist.port(p).name.starts_with("ccx_spc") {
-                    for s in &net.sinks {
+                let pname = ccx.netlist.name_of(ccx.netlist.port(p).name).to_string();
+                if pname.starts_with("ccx_spc") {
+                    for s in net.sinks() {
                         let inst = ccx.netlist.inst(s.inst().unwrap());
-                        assert_eq!(inst.group, Some(pcx), "sink {}", inst.name);
+                        assert_eq!(
+                            inst.group,
+                            Some(pcx),
+                            "sink {}",
+                            ccx.netlist.name_of(inst.name)
+                        );
                         checked += 1;
                     }
                 }

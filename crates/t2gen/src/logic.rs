@@ -284,6 +284,13 @@ pub fn synthesize_block(
     let mut rng = StdRng::seed_from_u64(seed);
     let name = spec.instance_name(copy);
     let mut nl = Netlist::new(name.clone());
+    // derived-name templates: one u32 per entity instead of a String each,
+    // resolving to the exact text the old format! calls produced
+    let t_mem = nl.name_template(&format!("{name}_mem"), "");
+    let t_cell = nl.name_template(&format!("{name}_u"), "");
+    let t_net = nl.name_template(&format!("n_{name}_"), "");
+    let t_cklf = nl.name_template(&format!("{name}_cklf"), "");
+    let t_ncklf = nl.name_template(&format!("n_{name}_cklf"), "");
 
     // ---- plan cells --------------------------------------------------------
     let n_cells = ((spec.cells as f64 * cfg.size).round() as usize).max(40);
@@ -330,7 +337,7 @@ pub fn synthesize_block(
     let mut group_ids: std::collections::HashMap<String, GroupId> = Default::default();
     for (gname, _, _) in &regions {
         if !group_ids.contains_key(gname) {
-            let id = nl.add_group(gname.clone());
+            let id = nl.add_group(gname);
             group_ids.insert(gname.clone(), id);
         }
     }
@@ -346,8 +353,8 @@ pub fn synthesize_block(
     );
     let mut macro_insts: Vec<InstId> = Vec::new();
     for (i, (&(kind, _, _), &pos)) in macro_dims.iter().zip(&macro_centers).enumerate() {
-        let id = nl.add_inst(format!("{name}_mem{i}"), InstMaster::Macro(kind));
-        let inst = nl.inst_mut(id);
+        let id = nl.add_inst(t_mem.at(i), InstMaster::Macro(kind));
+        let mut inst = nl.inst_mut(id);
         inst.pos = pos;
         inst.fixed = true;
         // macros join the region (group) containing their centre
@@ -382,9 +389,9 @@ pub fn synthesize_block(
             (rect.lly + rng.gen::<f64>() * rect.height()) * bh,
         );
         let master = tech.cells.id_of(plan.kind, plan.drive, VthClass::Rvt);
-        let id = nl.add_inst(format!("{name}_u{i}"), InstMaster::Cell(master));
+        let id = nl.add_inst(t_cell.at(i), InstMaster::Cell(master));
         let gid = group_ids[gname];
-        let inst = nl.inst_mut(id);
+        let mut inst = nl.inst_mut(id);
         inst.pos = p;
         inst.group = Some(gid);
         cell_ids.push(id);
@@ -416,7 +423,7 @@ pub fn synthesize_block(
     };
     for (i, &driver) in cell_ids.iter().enumerate() {
         let fanout = sample_fanout(&mut rng);
-        let net = nl.add_net(format!("n_{name}_{i}"));
+        let net = nl.add_net(t_net.at(i));
         nl.net_mut(net).domain = domain;
         nl.connect_driver(net, PinRef::output(driver));
         let dpos = positions[i];
@@ -495,8 +502,9 @@ pub fn synthesize_block(
         let pins_used =
             ((master.pin_count as f64 * cfg.size).round() as usize).clamp(4, master.pin_count);
         let mpos = nl.inst(mid).pos;
+        let t_mpin = nl.name_template(&format!("n_{name}_m{mi}_"), "");
         for p in 0..pins_used {
-            let net = nl.add_net(format!("n_{name}_m{mi}_{p}"));
+            let net = nl.add_net(t_mpin.at(p));
             nl.net_mut(net).domain = domain;
             // nearby logic partner
             let target = Point::new(
@@ -543,7 +551,7 @@ pub fn synthesize_block(
         let root = nl.add_inst(format!("{name}_ckroot"), InstMaster::Cell(root_master));
         let root_group = cell_groups.first().copied();
         {
-            let inst = nl.inst_mut(root);
+            let mut inst = nl.inst_mut(root);
             inst.pos = Point::new(bw / 2.0, bh / 2.0);
             inst.group = root_group;
         }
@@ -572,15 +580,15 @@ pub fn synthesize_block(
                 .iter()
                 .fold(Point::ORIGIN, |acc, &i| acc + positions[i])
                 * (1.0 / chunk.len() as f64);
-            let leaf = nl.add_inst(format!("{name}_cklf{li}"), InstMaster::Cell(leaf_master));
+            let leaf = nl.add_inst(t_cklf.at(li), InstMaster::Cell(leaf_master));
             let leaf_group = cell_groups[chunk[0]];
             {
-                let inst = nl.inst_mut(leaf);
+                let mut inst = nl.inst_mut(leaf);
                 inst.pos = centroid;
                 inst.group = Some(leaf_group);
             }
             nl.connect_sink(trunk, PinRef::input(leaf, 0));
-            let leaf_net = nl.add_net(format!("n_{name}_cklf{li}"));
+            let leaf_net = nl.add_net(t_ncklf.at(li));
             nl.net_mut(leaf_net).domain = domain;
             nl.net_mut(leaf_net).is_clock = true;
             nl.connect_driver(leaf_net, PinRef::output(leaf));
@@ -662,7 +670,12 @@ mod tests {
     fn cells_seeded_inside_outline() {
         let b = synth(BlockKind::L2t);
         for (_, i) in b.netlist.insts() {
-            assert!(b.outline.contains(i.pos), "{} at {}", i.name, i.pos);
+            assert!(
+                b.outline.contains(i.pos),
+                "{} at {}",
+                b.netlist.name_of(i.name),
+                i.pos
+            );
         }
     }
 
@@ -673,7 +686,7 @@ mod tests {
         let mut clocked = std::collections::HashSet::new();
         for (_, net) in b.netlist.nets() {
             if net.is_clock {
-                for s in &net.sinks {
+                for s in net.sinks() {
                     if let Some(i) = s.inst() {
                         clocked.insert(i);
                     }
@@ -683,7 +696,11 @@ mod tests {
         for (id, inst) in b.netlist.insts() {
             if let InstMaster::Cell(m) = inst.master {
                 if t.cells.master(m).kind == CellKind::Dff {
-                    assert!(clocked.contains(&id), "flop {} unclocked", inst.name);
+                    assert!(
+                        clocked.contains(&id),
+                        "flop {} unclocked",
+                        b.netlist.name_of(inst.name)
+                    );
                 }
             }
         }

@@ -12,7 +12,7 @@ fn every_block_outline_contains_its_content() {
                 block.outline.inflated(1.0).contains(inst.pos),
                 "{}: {} at {} outside {}",
                 block.name,
-                inst.name,
+                block.netlist.name_of(inst.name),
                 inst.pos,
                 block.outline
             );
@@ -21,7 +21,7 @@ fn every_block_outline_contains_its_content() {
                     block.outline.inflated(1.0).contains_rect(inst.rect(&tech)),
                     "{}: macro {} clipped",
                     block.name,
-                    inst.name
+                    block.netlist.name_of(inst.name)
                 );
             }
         }
@@ -30,7 +30,7 @@ fn every_block_outline_contains_its_content() {
                 block.outline.inflated(1.0).contains(port.pos),
                 "{}: port {} off the boundary box",
                 block.name,
-                port.name
+                block.netlist.name_of(port.name)
             );
         }
     }
@@ -94,14 +94,15 @@ fn flop_clock_pins_never_carry_data() {
     for (_, block) in design.blocks() {
         let nl = &block.netlist;
         for (_, net) in nl.nets() {
-            for &s in &net.sinks {
+            for s in net.sinks() {
                 if let PinRef::InstIn(i, 1) = s {
                     if let InstMaster::Cell(m) = nl.inst(i).master {
                         if tech.cells.master(m).kind == foldic_tech::CellKind::Dff {
                             assert!(
                                 net.is_clock,
                                 "{}: data net {} drives a flop clock pin",
-                                block.name, net.name
+                                block.name,
+                                nl.name_of(net.name)
                             );
                         }
                     }

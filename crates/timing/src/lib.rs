@@ -195,7 +195,7 @@ pub fn analyze(
         // total load on the driver
         let wire_cap = rec.length_um * c_um;
         let via = cfg.via_kind.filter(|_| rec.is_3d).map(|k| via_rc(tech, k));
-        let pins_cap: f64 = net.sinks.iter().map(|&s| sink_cap(netlist, tech, s)).sum();
+        let pins_cap: f64 = net.sinks().map(|s| sink_cap(netlist, tech, s)).sum();
         let load = wire_cap + pins_cap + via.map(|(_, c)| c).unwrap_or(0.0);
 
         // driver delay and source node
@@ -226,7 +226,7 @@ pub fn analyze(
             PinRef::InstIn(..) => continue, // malformed; skip
         };
 
-        for (k, &s) in net.sinks.iter().enumerate() {
+        for (k, s) in net.sinks().enumerate() {
             let path = rec.sink_paths.get(k).copied().unwrap_or(0.0);
             let scap = sink_cap(netlist, tech, s);
             // Elmore along the path: distributed wire + sink pin, plus the

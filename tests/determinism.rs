@@ -16,7 +16,7 @@ fn generator_is_deterministic_end_to_end() {
         assert_eq!(ba.1.name, bb.1.name);
         assert_eq!(ba.1.outline, bb.1.outline);
         for ((_, ia), (_, ib)) in ba.1.netlist.insts().zip(bb.1.netlist.insts()) {
-            assert_eq!(ia.pos, ib.pos, "{}", ia.name);
+            assert_eq!(ia.pos, ib.pos, "{}", ba.1.netlist.name_of(ia.name));
             assert_eq!(ia.master, ib.master);
         }
     }

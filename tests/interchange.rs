@@ -13,12 +13,8 @@ fn generated_block_exports_clean_verilog() {
     assert!(v.starts_with("module ccu ("));
     // every instance appears exactly once
     for (_, inst) in block.netlist.insts() {
-        assert_eq!(
-            v.matches(&format!(" {} (", inst.name)).count(),
-            1,
-            "{}",
-            inst.name
-        );
+        let name = block.netlist.name_of(inst.name);
+        assert_eq!(v.matches(&format!(" {name} (")).count(), 1, "{name}");
     }
     assert!(v.lines().count() > block.netlist.num_insts());
     assert!(v.trim_end().ends_with("endmodule"));

@@ -28,7 +28,11 @@ fn generation_to_power_pipeline_is_consistent() {
     // placement keeps everything inside the outline
     place_block(&mut block.netlist, &tech, outline, &PlacerConfig::fast()).unwrap();
     for (_, inst) in block.netlist.insts() {
-        assert!(outline.inflated(1.0).contains(inst.pos), "{}", inst.name);
+        assert!(
+            outline.inflated(1.0).contains(inst.pos),
+            "{}",
+            block.netlist.name_of(inst.name)
+        );
     }
 
     // wiring, timing, power
